@@ -1,0 +1,42 @@
+// Shared helpers for the experiment harnesses (bench/table_e*.cpp).
+//
+// Every harness prints (a) the experiment id and the paper claim being
+// regenerated, (b) a deterministic table of measurements (seeds printed),
+// matching the rows recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace vdist::bench {
+
+inline constexpr double kE = 2.718281828459045;
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n##### Experiment " << id << " #####\n"
+            << "claim: " << claim << "\n";
+}
+
+inline void print_footer(const std::string& verdict) {
+  std::cout << "verdict: " << verdict << "\n";
+}
+
+// Ratio accumulator: OPT / ALG >= 1; tracks mean and worst case.
+struct RatioStats {
+  util::RunningStats stats;
+  void add(double opt, double alg) {
+    if (alg <= 0.0) {
+      stats.add(opt <= 0.0 ? 1.0 : 1e9);
+      return;
+    }
+    stats.add(opt / alg);
+  }
+  [[nodiscard]] double mean() const { return stats.mean(); }
+  [[nodiscard]] double worst() const { return stats.max(); }
+};
+
+}  // namespace vdist::bench

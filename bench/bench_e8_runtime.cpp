@@ -1,0 +1,104 @@
+// E8 — running-time scaling (google-benchmark). The paper claims O(n^2)
+// for the fixed greedy (§2.1 complexity analysis, Thm 2.8) where n is the
+// input length |S| + |U| + edges; Allocate is O(n log n)-ish per stream
+// sweep (sorting candidates dominates). Complexity fits are reported by
+// google-benchmark's BigO machinery over a size sweep.
+#include <benchmark/benchmark.h>
+
+#include "core/allocate_online.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/mmd_solver.h"
+#include "gen/random_instances.h"
+
+namespace {
+
+using namespace vdist;
+
+gen::RandomCapConfig cap_config(std::int64_t streams) {
+  gen::RandomCapConfig cfg;
+  cfg.num_streams = static_cast<std::size_t>(streams);
+  cfg.num_users = static_cast<std::size_t>(streams) / 4 + 2;
+  cfg.interest_per_stream = 4.0;
+  cfg.budget_fraction = 0.3;
+  cfg.seed = 12345;
+  return cfg;
+}
+
+void BM_GreedyUnitSkew(benchmark::State& state) {
+  const model::Instance inst = gen::random_cap_instance(cap_config(state.range(0)));
+  for (auto _ : state) {
+    core::GreedyResult r = core::greedy_unit_skew(inst);
+    benchmark::DoNotOptimize(r.capped_utility);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.input_length()));
+}
+BENCHMARK(BM_GreedyUnitSkew)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_FixedGreedy(benchmark::State& state) {
+  const model::Instance inst = gen::random_cap_instance(cap_config(state.range(0)));
+  for (auto _ : state) {
+    core::SmdSolveResult r = core::solve_unit_skew(inst);
+    benchmark::DoNotOptimize(r.utility);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.input_length()));
+}
+BENCHMARK(BM_FixedGreedy)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SkewBandsPipeline(benchmark::State& state) {
+  gen::RandomSmdConfig cfg;
+  cfg.num_streams = static_cast<std::size_t>(state.range(0));
+  cfg.num_users = cfg.num_streams / 4 + 2;
+  cfg.target_skew = 64.0;
+  cfg.seed = 54321;
+  const model::Instance inst = gen::random_smd_instance(cfg);
+  for (auto _ : state) {
+    core::MmdSolveResult r = core::solve_mmd(inst);
+    benchmark::DoNotOptimize(r.utility);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.input_length()));
+}
+BENCHMARK(BM_SkewBandsPipeline)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_AllocateOnline(benchmark::State& state) {
+  gen::RandomMmdConfig cfg;
+  cfg.num_streams = static_cast<std::size_t>(state.range(0));
+  cfg.num_users = cfg.num_streams / 4 + 2;
+  cfg.num_server_measures = 3;
+  cfg.num_user_measures = 2;
+  cfg.seed = 777;
+  const model::Instance inst = gen::random_mmd_instance(cfg);
+  for (auto _ : state) {
+    core::AllocateResult r = core::allocate_online(inst);
+    benchmark::DoNotOptimize(r.utility);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.input_length()));
+}
+BENCHMARK(BM_AllocateOnline)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_ExactSolver(benchmark::State& state) {
+  gen::RandomCapConfig cfg = cap_config(state.range(0));
+  cfg.num_users = 5;
+  const model::Instance inst = gen::random_cap_instance(cfg);
+  for (auto _ : state) {
+    core::ExactResult r = core::solve_exact(inst);
+    benchmark::DoNotOptimize(r.utility);
+  }
+}
+BENCHMARK(BM_ExactSolver)->DenseRange(10, 18, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// E11 — the §4 closing remark: the multi-budget reduction maximizes ANY
+// nonnegative nondecreasing submodular function under m knapsack
+// constraints with an O(m) factor. Demonstrated on weighted coverage
+// (the classic submodular benchmark), with exhaustive optimum as ground
+// truth on small universes.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/submodular.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace vdist;
+
+struct CoverageProblem {
+  core::CoverageOracle oracle;
+  std::vector<std::vector<double>> costs;  // m x items
+  std::vector<double> budgets;
+  int items;
+};
+
+CoverageProblem make_problem(int items, int elements, std::size_t m,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < items; ++i)
+    for (int e = 0; e < elements; ++e)
+      if (rng.bernoulli(0.25)) pairs.emplace_back(i, e);
+  std::vector<double> weights(elements);
+  for (auto& w : weights) w = rng.uniform(0.5, 5.0);
+  std::vector<std::vector<double>> costs(m, std::vector<double>(items));
+  std::vector<double> budgets(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double total = 0.0;
+    for (auto& c : costs[i]) {
+      c = rng.uniform(0.5, 2.5);
+      total += c;
+    }
+    budgets[i] = 0.45 * total;
+  }
+  return CoverageProblem{
+      core::CoverageOracle(items, elements, pairs, weights), std::move(costs),
+      std::move(budgets), items};
+}
+
+// Exhaustive optimum over item subsets respecting every budget.
+double exact_coverage(CoverageProblem& p) {
+  double best = 0.0;
+  const auto n = static_cast<std::uint32_t>(p.items);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool ok = true;
+    for (std::size_t i = 0; i < p.budgets.size() && ok; ++i) {
+      double used = 0.0;
+      for (std::uint32_t x = 0; x < n; ++x)
+        if (mask >> x & 1) used += p.costs[i][x];
+      ok = used <= p.budgets[i] * (1 + 1e-12);
+    }
+    if (!ok) continue;
+    p.oracle.reset();
+    for (std::uint32_t x = 0; x < n; ++x)
+      if (mask >> x & 1) p.oracle.add(static_cast<int>(x));
+    best = std::max(best, p.oracle.value());
+  }
+  return best;
+}
+
+void run() {
+  bench::print_header(
+      "E11", "submodular maximization under m budgets, O(m) factor "
+             "(§4 closing remark)");
+  util::Table table({"m", "runs", "mean OPT/ALG", "max OPT/ALG",
+                     "mean OPT/ALG (enum)", "O(m) scale"});
+  constexpr int kRuns = 8;
+  std::uint64_t seed = 8000;
+  for (std::size_t m : {1u, 2u, 3u, 4u, 6u}) {
+    bench::RatioStats greedy_ratio;
+    bench::RatioStats enum_ratio;
+    for (int run = 0; run < kRuns; ++run) {
+      CoverageProblem p = make_problem(14, 40, m, seed++);
+      const double opt = exact_coverage(p);
+      const core::SubmodularResult alg =
+          core::multi_budget_submodular(p.oracle, p.costs, p.budgets);
+      greedy_ratio.add(opt, alg.value);
+      const core::SubmodularResult enumd = core::multi_budget_submodular(
+          p.oracle, p.costs, p.budgets, /*use_partial_enum=*/true);
+      enum_ratio.add(opt, enumd.value);
+    }
+    table.row()
+        .add(m)
+        .add(kRuns)
+        .add(greedy_ratio.mean(), 3)
+        .add(greedy_ratio.worst(), 3)
+        .add(enum_ratio.mean(), 3)
+        .add(static_cast<double>(m), 0);
+  }
+  table.print_aligned(std::cout, "E11: coverage under m knapsacks");
+  bench::print_footer(
+      "measured ratio grows sub-linearly in m, consistent with O(m)");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

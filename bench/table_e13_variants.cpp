@@ -1,0 +1,74 @@
+// E13 (extension) — variant selection under the at-most-one-per-group
+// constraint (the group-budget variant of budgeted coverage the paper
+// cites as related work [Chekuri-Kumar], §1.2). Each logical channel is
+// offered as SD/HD/UHD encodings; the head-end may carry at most one.
+// Reports constrained vs. unconstrained utility (an upper bound) and how
+// the selection splits across quality classes.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/group_select.h"
+#include "gen/iptv.h"
+#include "model/validate.h"
+
+namespace {
+
+using namespace vdist;
+
+void run() {
+  bench::print_header(
+      "E13", "variant selection: at most one encoding per channel "
+             "(group constraint, related work [6])");
+  util::Table table({"variants", "bw frac", "constrained util",
+                     "unconstrained util", "retention", "SD", "HD", "UHD",
+                     "constraint ok"});
+  for (int variants : {2, 3}) {
+    for (double bw : {0.2, 0.4}) {
+      gen::IptvConfig cfg;
+      cfg.num_channels = 180;
+      cfg.num_users = 200;
+      cfg.variants_per_channel = variants;
+      cfg.bandwidth_fraction = bw;
+      cfg.seed = 77;
+      const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+
+      const core::GroupSelectResult constrained =
+          core::solve_with_groups(w.instance, w.variant_group);
+      const core::MmdSolveResult unconstrained = core::solve_mmd(w.instance);
+
+      int sd = 0, hd = 0, uhd = 0;
+      for (model::StreamId s : constrained.assignment.range()) {
+        switch (w.channels[static_cast<std::size_t>(s)].klass) {
+          case gen::ChannelClass::kSd: ++sd; break;
+          case gen::ChannelClass::kHd: ++hd; break;
+          case gen::ChannelClass::kUhd: ++uhd; break;
+        }
+      }
+      const bool ok = core::satisfies_group_constraint(
+                          constrained.assignment, w.variant_group) &&
+                      model::validate(constrained.assignment).feasible();
+      table.row()
+          .add(variants)
+          .add(bw, 2)
+          .add(constrained.utility, 1)
+          .add(unconstrained.utility, 1)
+          .add(constrained.utility / unconstrained.utility, 3)
+          .add(sd)
+          .add(hd)
+          .add(uhd)
+          .add(ok ? "yes" : "NO");
+    }
+  }
+  table.print_aligned(std::cout, "E13: encoding selection per channel");
+  bench::print_footer(
+      "tight bandwidth pushes the lineup toward SD encodings; looser "
+      "budgets buy HD/UHD upgrades — the group constraint costs little "
+      "total utility");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E5 — Theorem 4.4: the full pipeline is an O(m*mc*log(2*alpha*mc))
+// approximation. Sweeps m x mc on random MMD instances and reports the
+// measured ratio next to the concrete theorem factor — who wins and how
+// the loss scales with m*mc is the shape being regenerated.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/exact.h"
+#include "core/mmd_solver.h"
+#include "gen/random_instances.h"
+#include "model/validate.h"
+
+namespace {
+
+using namespace vdist;
+
+void run() {
+  bench::print_header(
+      "E5", "MMD ratio scales with m*mc (Thm 4.4), measured vs bound");
+  util::Table table({"m", "mc", "m*mc", "runs", "mean OPT/ALG", "max OPT/ALG",
+                     "bound (2m-1)(2mc-1)*2t*3e/(e-1)", "feasible"});
+  constexpr int kRuns = 6;
+  std::uint64_t seed = 5000;
+  for (int m : {1, 2, 4, 8}) {
+    for (int mc : {1, 2, 4}) {
+      bench::RatioStats ratio;
+      int bands = 1;
+      bool all_feasible = true;
+      for (int run = 0; run < kRuns; ++run) {
+        gen::RandomMmdConfig cfg;
+        cfg.num_streams = 10;
+        cfg.num_users = 5;
+        cfg.num_server_measures = m;
+        cfg.num_user_measures = mc;
+        cfg.budget_fraction = 0.4;
+        cfg.capacity_fraction = 0.5;
+        cfg.seed = seed++;
+        const model::Instance inst = gen::random_mmd_instance(cfg);
+        const core::MmdSolveResult alg = core::solve_mmd(inst);
+        const core::ExactResult opt = core::solve_exact(inst);
+        ratio.add(opt.utility, alg.utility);
+        bands = std::max(bands, alg.num_bands);
+        all_feasible &= model::validate(alg.assignment).feasible();
+      }
+      const double bound = (2.0 * m - 1) * (2.0 * mc - 1) * 2.0 * bands *
+                           3.0 * bench::kE / (bench::kE - 1.0);
+      table.row()
+          .add(m)
+          .add(mc)
+          .add(m * mc)
+          .add(kRuns)
+          .add(ratio.mean(), 3)
+          .add(ratio.worst(), 3)
+          .add(bound, 1)
+          .add(all_feasible ? "yes" : "NO");
+    }
+  }
+  table.print_aligned(std::cout, "E5: ratio vs (m, mc)");
+  bench::print_footer(
+      "measured loss grows mildly with m*mc, far inside the proven factor");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

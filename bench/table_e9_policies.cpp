@@ -1,0 +1,110 @@
+// E9 — the paper's motivating comparison (§1): utility-aware allocation
+// vs. the threshold-based admission control "most solutions in use today
+// employ". On the synthetic IPTV workload the Theorem 1.1 pipeline and
+// the online Allocate are compared against FCFS/utility-sorted/density-
+// sorted/random threshold admission.
+#include <iostream>
+
+#include "baseline/policies.h"
+#include "bench_common.h"
+#include "core/allocate_online.h"
+#include "core/mmd_solver.h"
+#include "gen/iptv.h"
+#include "model/validate.h"
+
+namespace {
+
+using namespace vdist;
+
+void run() {
+  bench::print_header(
+      "E9", "utility-aware policies beat threshold admission (paper §1)");
+  util::Table table({"policy", "utility", "vs best", "streams carried",
+                     "bw util%", "feasible"});
+
+  // Adversarial regime from the paper's introduction: channel prices are
+  // decorrelated from bitrates, so per-cost utilities vary wildly and
+  // cost-blind admission pays for it.
+  gen::IptvConfig cfg;
+  cfg.num_channels = 250;
+  cfg.num_users = 400;
+  cfg.bandwidth_fraction = 0.3;
+  cfg.decorrelate_price = true;
+  cfg.seed = 2024;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+  const model::Instance& inst = w.instance;
+
+  struct Row {
+    std::string name;
+    double utility;
+    std::size_t carried;
+    double bw_util;
+    bool feasible;
+  };
+  std::vector<Row> rows;
+
+  auto add_assignment = [&](const std::string& name,
+                            const model::Assignment& a) {
+    rows.push_back(Row{name, a.utility(), a.range_size(),
+                       100.0 * a.server_cost(0) / inst.budget(0),
+                       model::validate(a).feasible()});
+  };
+
+  const core::MmdSolveResult solver = core::solve_mmd(inst);
+  add_assignment("mmd-solver (Thm 1.1)", solver.assignment);
+
+  const core::AllocateResult online = core::allocate_online(inst);
+  add_assignment("allocate (online, Thm 5.4)", online.assignment);
+
+  baseline::ThresholdOptions fcfs;
+  add_assignment("threshold FCFS", baseline::threshold_admission(inst, fcfs).assignment);
+
+  baseline::ThresholdOptions adversarial;
+  adversarial.order = baseline::StreamOrder::kDensityAsc;
+  add_assignment("threshold FCFS (adversarial arrival)",
+                 baseline::threshold_admission(inst, adversarial).assignment);
+
+  baseline::ThresholdOptions by_utility;
+  by_utility.order = baseline::StreamOrder::kUtilityDesc;
+  add_assignment("threshold by-utility",
+                 baseline::threshold_admission(inst, by_utility).assignment);
+
+  baseline::ThresholdOptions by_density;
+  by_density.order = baseline::StreamOrder::kDensityDesc;
+  add_assignment("threshold by-density",
+                 baseline::threshold_admission(inst, by_density).assignment);
+
+  add_assignment("random order",
+                 baseline::random_admission(inst, 99).assignment);
+
+  baseline::ThresholdOptions margin;
+  margin.server_margin = 0.9;
+  margin.user_margin = 0.9;
+  add_assignment("threshold 90% margin",
+                 baseline::threshold_admission(inst, margin).assignment);
+
+  double best = 0.0;
+  for (const Row& r : rows) best = std::max(best, r.utility);
+  for (const Row& r : rows)
+    table.row()
+        .add(r.name)
+        .add(r.utility, 1)
+        .add(r.utility / best, 3)
+        .add(r.carried)
+        .add(r.bw_util, 1)
+        .add(r.feasible ? "yes" : "NO");
+
+  table.print_aligned(std::cout, "E9: policy comparison on IPTV workload");
+  std::cout << "catalog: " << inst.num_streams() << " channels, "
+            << inst.num_users() << " users, " << inst.num_edges()
+            << " interests (seed " << cfg.seed << ")\n";
+  bench::print_footer(
+      "the utility-aware solver leads; blind FCFS/random trail it");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

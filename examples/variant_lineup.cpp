@@ -1,0 +1,60 @@
+// Variant selection: every channel is offered in SD/HD/UHD encodings and
+// the head-end may carry at most one encoding per channel (the group
+// constraint of the paper's related work [6]). Shows how the chosen
+// lineup's quality mix responds to the egress budget.
+//
+//   ./examples/variant_lineup [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/group_select.h"
+#include "gen/iptv.h"
+#include "model/validate.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace vdist;
+
+  std::uint64_t seed = 3;
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+
+  util::Table table({"egress frac", "utility", "channels", "SD", "HD", "UHD",
+                     "dropped variants", "feasible"});
+  for (double bw : {0.15, 0.3, 0.5, 0.8}) {
+    gen::IptvConfig cfg;
+    cfg.num_channels = 150;  // 50 logical channels x 3 encodings
+    cfg.num_users = 200;
+    cfg.variants_per_channel = 3;
+    cfg.bandwidth_fraction = bw;
+    cfg.seed = seed;
+    const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+
+    const core::GroupSelectResult r =
+        core::solve_with_groups(w.instance, w.variant_group);
+    int sd = 0, hd = 0, uhd = 0;
+    for (model::StreamId s : r.assignment.range()) {
+      switch (w.channels[static_cast<std::size_t>(s)].klass) {
+        case gen::ChannelClass::kSd: ++sd; break;
+        case gen::ChannelClass::kHd: ++hd; break;
+        case gen::ChannelClass::kUhd: ++uhd; break;
+      }
+    }
+    table.row()
+        .add(bw, 2)
+        .add(r.utility, 1)
+        .add(r.groups_used)
+        .add(sd)
+        .add(hd)
+        .add(uhd)
+        .add(r.variants_dropped)
+        .add(model::validate(r.assignment).feasible() &&
+                     core::satisfies_group_constraint(r.assignment,
+                                                      w.variant_group)
+                 ? "yes"
+                 : "NO");
+  }
+  table.print_aligned(std::cout, "lineup quality mix vs egress budget");
+  std::cout << "reading: with a starved uplink the lineup is mostly SD;\n"
+               "as egress grows the same channels upgrade to HD/UHD.\n";
+  return 0;
+}

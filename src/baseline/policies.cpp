@@ -1,0 +1,140 @@
+#include "baseline/policies.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/float_cmp.h"
+#include "util/rng.h"
+
+namespace vdist::baseline {
+
+using model::Assignment;
+using model::EdgeId;
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+using util::approx_le;
+using util::is_unbounded;
+
+namespace {
+
+std::vector<StreamId> make_order(const Instance& inst,
+                                 const ThresholdOptions& opts) {
+  std::vector<StreamId> order(inst.num_streams());
+  std::iota(order.begin(), order.end(), 0);
+  switch (opts.order) {
+    case StreamOrder::kArrival:
+      break;
+    case StreamOrder::kUtilityDesc:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](StreamId a, StreamId b) {
+                         return inst.total_utility(a) > inst.total_utility(b);
+                       });
+      break;
+    case StreamOrder::kDensityDesc:
+    case StreamOrder::kDensityAsc: {
+      auto combined = [&](StreamId s) {
+        double c = 0.0;
+        for (int i = 0; i < inst.num_server_measures(); ++i)
+          if (!is_unbounded(inst.budget(i)))
+            c += inst.cost(s, i) / inst.budget(i);
+        return c;
+      };
+      auto density = [&](StreamId s) {
+        const double c = combined(s);
+        return c > 0 ? inst.total_utility(s) / c : util::kInf;
+      };
+      const bool desc = opts.order == StreamOrder::kDensityDesc;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](StreamId a, StreamId b) {
+                         return desc ? density(a) > density(b)
+                                     : density(a) < density(b);
+                       });
+      break;
+    }
+    case StreamOrder::kRandom: {
+      util::Rng rng(opts.seed);
+      rng.shuffle(order);
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+BaselineResult threshold_admission(const Instance& inst,
+                                   const ThresholdOptions& opts) {
+  BaselineResult out{Assignment(inst), 0.0, 0, 0};
+  const int m = inst.num_server_measures();
+  const int mc = inst.num_user_measures();
+
+  std::vector<double> used(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> user_used(inst.num_users() * static_cast<std::size_t>(mc),
+                                0.0);
+
+  for (StreamId s : make_order(inst, opts)) {
+    // Server margin check.
+    bool fits = true;
+    for (int i = 0; i < m; ++i) {
+      if (is_unbounded(inst.budget(i))) continue;
+      if (!approx_le(used[static_cast<std::size_t>(i)] + inst.cost(s, i),
+                     opts.server_margin * inst.budget(i))) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      ++out.rejected;
+      continue;
+    }
+    // Users take the stream if their margins allow.
+    std::vector<EdgeId> takers;
+    for (EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
+      const UserId u = inst.edge_user(e);
+      bool ok = true;
+      for (int j = 0; j < mc; ++j) {
+        const double cap = inst.capacity(u, j);
+        if (is_unbounded(cap)) continue;
+        const double cur =
+            user_used[static_cast<std::size_t>(u) * static_cast<std::size_t>(mc) +
+                      static_cast<std::size_t>(j)];
+        if (!approx_le(cur + inst.edge_load(e, j), opts.user_margin * cap)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) takers.push_back(e);
+    }
+    if (takers.empty()) {
+      ++out.rejected;
+      continue;
+    }
+    ++out.admitted;
+    for (int i = 0; i < m; ++i)
+      used[static_cast<std::size_t>(i)] += inst.cost(s, i);
+    for (EdgeId e : takers) {
+      const UserId u = inst.edge_user(e);
+      out.assignment.assign(u, s);
+      for (int j = 0; j < mc; ++j)
+        user_used[static_cast<std::size_t>(u) * static_cast<std::size_t>(mc) +
+                  static_cast<std::size_t>(j)] += inst.edge_load(e, j);
+    }
+  }
+  out.utility = out.assignment.utility();
+  return out;
+}
+
+BaselineResult fcfs_admission(const Instance& inst) {
+  return threshold_admission(inst, ThresholdOptions{});
+}
+
+BaselineResult random_admission(const Instance& inst, std::uint64_t seed) {
+  ThresholdOptions opts;
+  opts.order = StreamOrder::kRandom;
+  opts.seed = seed;
+  return threshold_admission(inst, opts);
+}
+
+}  // namespace vdist::baseline

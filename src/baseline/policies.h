@@ -1,0 +1,57 @@
+// Baseline admission-control policies.
+//
+// The paper's introduction: "most solutions in use today employ a simple
+// threshold-based admission control policy, where requests are admitted so
+// long as they do not go over certain 'safety margins' for the resources
+// in question... this approach is somewhat naive, in that it ignores the
+// possibly very different utilities of different streams." These baselines
+// make that comparison concrete (bench E9): streams are processed in some
+// order and admitted while they fit within margin * bound, each interested
+// user taking the stream if their own capacities (times their margin)
+// allow. No utility/cost trade-off is ever considered — only the ordering
+// heuristic differs between variants.
+#pragma once
+
+#include <cstdint>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::baseline {
+
+enum class StreamOrder {
+  kArrival,      // stream id order (FCFS)
+  kUtilityDesc,  // naive utility-aware: highest total utility first
+  kDensityDesc,  // utility per combined cost (greedy-ish but no residuals)
+  kDensityAsc,   // adversarial arrival: least valuable per cost first
+  kRandom,       // shuffled (uses `seed`)
+};
+
+struct ThresholdOptions {
+  // Admit while cost stays within server_margin * B_i ("safety margin";
+  // 1.0 = fill to the brim, 0.9 = keep 10% headroom).
+  double server_margin = 1.0;
+  double user_margin = 1.0;
+  StreamOrder order = StreamOrder::kArrival;
+  std::uint64_t seed = 1;
+};
+
+struct BaselineResult {
+  model::Assignment assignment;  // always feasible
+  double utility = 0.0;
+  std::size_t admitted = 0;  // streams carried by the server
+  std::size_t rejected = 0;  // streams that did not fit (or found no taker)
+};
+
+// Threshold admission over a whole instance. A stream is carried iff it
+// fits every server margin AND at least one interested user can take it
+// within their margins; users take greedily in id order.
+[[nodiscard]] BaselineResult threshold_admission(
+    const model::Instance& inst, const ThresholdOptions& opts = {});
+
+// Convenience wrappers used by benches and the simulator.
+[[nodiscard]] BaselineResult fcfs_admission(const model::Instance& inst);
+[[nodiscard]] BaselineResult random_admission(const model::Instance& inst,
+                                              std::uint64_t seed);
+
+}  // namespace vdist::baseline

@@ -1,0 +1,278 @@
+#include "core/allocate_online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/float_cmp.h"
+
+namespace vdist::core {
+
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+using util::approx_le;
+using util::is_unbounded;
+
+AllocatorScales compute_scales(const Instance& inst) {
+  AllocatorScales out;
+  const int m = inst.num_server_measures();
+  const int mc = inst.num_user_measures();
+  const double D = static_cast<double>(m) +
+                   static_cast<double>(inst.num_users()) *
+                       static_cast<double>(std::max(mc, 1));
+
+  // Server measures: scale_i = min over streams with c_i(S) > 0 of
+  // (1/D) * (min single-user utility) / c_i(S).
+  out.server.assign(static_cast<std::size_t>(m), 1.0);
+  for (int i = 0; i < m; ++i) {
+    double best = util::kInf;
+    for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
+      const auto s = static_cast<StreamId>(ss);
+      const double c = inst.cost(s, i);
+      if (c <= 0.0) continue;
+      const auto ws = inst.utilities_of(s);
+      if (ws.empty()) continue;
+      double min_w = util::kInf;
+      for (double w : ws) min_w = std::min(min_w, w);
+      best = std::min(best, min_w / (D * c));
+    }
+    if (best < util::kInf) out.server[static_cast<std::size_t>(i)] = best;
+  }
+
+  // User measures as virtual budgets: X is the singleton {u}.
+  out.user.resize(inst.num_users());
+  for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    out.user[uu].assign(static_cast<std::size_t>(mc), 1.0);
+    for (int j = 0; j < mc; ++j) {
+      double best = util::kInf;
+      for (model::EdgeId e : inst.edges_of(u)) {
+        const double k = inst.edge_load(e, j);
+        const double w = inst.edge_utility(e);
+        if (k <= 0.0 || w <= 0.0) continue;
+        best = std::min(best, w / (D * k));
+      }
+      if (best < util::kInf) out.user[uu][static_cast<std::size_t>(j)] = best;
+    }
+  }
+  return out;
+}
+
+ExponentialCostAllocator::ExponentialCostAllocator(std::vector<double> budgets,
+                                                   Config config,
+                                                   std::vector<double> scales)
+    : config_(config),
+      log_mu_(std::log(config.mu)),
+      budgets_(std::move(budgets)),
+      scales_(std::move(scales)),
+      server_used_(budgets_.size(), 0.0) {
+  if (!(config.mu > 1.0))
+    throw std::invalid_argument("ExponentialCostAllocator: mu must be > 1");
+  if (scales_.empty()) scales_.assign(budgets_.size(), 1.0);
+  if (scales_.size() != budgets_.size())
+    throw std::invalid_argument("ExponentialCostAllocator: scales/budgets "
+                                "size mismatch");
+}
+
+UserId ExponentialCostAllocator::add_user(std::vector<double> capacities,
+                                          std::vector<double> scales) {
+  if (scales.empty()) scales.assign(capacities.size(), 1.0);
+  if (scales.size() != capacities.size())
+    throw std::invalid_argument("add_user: scales/capacities size mismatch");
+  user_used_.emplace_back(capacities.size(), 0.0);
+  user_caps_.push_back(std::move(capacities));
+  user_scales_.push_back(std::move(scales));
+  return static_cast<UserId>(user_caps_.size() - 1);
+}
+
+double ExponentialCostAllocator::exp_cost(double bound, double load) const {
+  // C(i) = B_i * (mu^{L} - 1); L is the normalized load.
+  const double L = load / bound;
+  return bound * (std::exp(L * log_mu_) - 1.0);
+}
+
+ExponentialCostAllocator::Decision ExponentialCostAllocator::offer(
+    std::span<const double> costs, const std::vector<Candidate>& candidates) {
+  Decision out;
+
+  // Server-side term: sum over finite budgets of (c'_i/B'_i) * C(i), in
+  // the eq.-(1) normalized units (both c and B scale, so only the C(i)
+  // prefactor changes).
+  double server_term = 0.0;
+  for (std::size_t i = 0; i < budgets_.size(); ++i) {
+    if (is_unbounded(budgets_[i]) || costs[i] <= 0.0) continue;
+    server_term += costs[i] / budgets_[i] * scales_[i] *
+                   exp_cost(budgets_[i], server_used_[i]);
+  }
+
+  // Candidate users with their virtual-budget terms and ratios.
+  struct Entry {
+    std::size_t idx;     // into `candidates`
+    double term;         // sum_j (k_j/K_j) * C(u,j)
+    double ratio;        // term / w_u(S): the peeling key
+  };
+  std::vector<Entry> entries;
+  entries.reserve(candidates.size());
+  for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
+    const Candidate& cand = candidates[idx];
+    if (cand.utility <= 0.0) continue;
+    const auto& caps = user_caps_[static_cast<std::size_t>(cand.user)];
+    const auto& used = user_used_[static_cast<std::size_t>(cand.user)];
+    if (config_.guard_feasibility) {
+      // Drop users whose capacity the stream would actually violate.
+      bool violates = false;
+      for (std::size_t j = 0; j < caps.size(); ++j) {
+        if (is_unbounded(caps[j])) continue;
+        if (!approx_le(used[j] + cand.loads[j], caps[j])) {
+          violates = true;
+          break;
+        }
+      }
+      if (violates) {
+        ++out.guard_dropped;
+        ++guard_trips_;
+        continue;
+      }
+    }
+    const auto& uscales = user_scales_[static_cast<std::size_t>(cand.user)];
+    double term = 0.0;
+    for (std::size_t j = 0; j < caps.size(); ++j) {
+      if (is_unbounded(caps[j]) || cand.loads[j] <= 0.0) continue;
+      term += cand.loads[j] / caps[j] * uscales[j] *
+              exp_cost(caps[j], used[j]);
+    }
+    entries.push_back(Entry{idx, term, term / cand.utility});
+  }
+  if (entries.empty()) return out;
+
+  if (config_.guard_feasibility) {
+    // Server-side guard: reject outright if the stream would overrun a
+    // budget no matter which users take it.
+    for (std::size_t i = 0; i < budgets_.size(); ++i) {
+      if (is_unbounded(budgets_[i])) continue;
+      if (!approx_le(server_used_[i] + costs[i], budgets_[i])) {
+        out.guard_rejected_stream = true;
+        ++guard_trips_;
+        return out;
+      }
+    }
+  }
+
+  // Peel users in decreasing term/utility ratio (Algorithm 2's note):
+  // equivalently, keep the largest ascending-ratio prefix satisfying the
+  // admission condition.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.ratio < b.ratio; });
+  std::size_t keep = entries.size();
+  double term_sum = server_term;
+  double utility_sum = 0.0;
+  for (const Entry& e : entries) {
+    term_sum += e.term;
+    utility_sum += candidates[e.idx].utility;
+  }
+  while (keep > 0 && !approx_le(term_sum, utility_sum)) {
+    --keep;
+    term_sum -= entries[keep].term;
+    utility_sum -= candidates[entries[keep].idx].utility;
+    ++out.peeled;
+  }
+  if (keep == 0) return out;
+
+  // Accept: commit server costs and the kept users' loads.
+  out.accepted = true;
+  for (std::size_t i = 0; i < budgets_.size(); ++i)
+    server_used_[i] += costs[i];
+  for (std::size_t t = 0; t < keep; ++t) {
+    const Candidate& cand = candidates[entries[t].idx];
+    auto& used = user_used_[static_cast<std::size_t>(cand.user)];
+    for (std::size_t j = 0; j < used.size(); ++j) used[j] += cand.loads[j];
+    out.taken.push_back(entries[t].idx);
+  }
+  std::sort(out.taken.begin(), out.taken.end());
+  return out;
+}
+
+void ExponentialCostAllocator::release(
+    std::span<const double> costs, const std::vector<Candidate>& candidates,
+    const std::vector<std::size_t>& taken) {
+  for (std::size_t i = 0; i < budgets_.size(); ++i)
+    server_used_[i] -= costs[i];
+  for (std::size_t idx : taken) {
+    const Candidate& cand = candidates[idx];
+    auto& used = user_used_[static_cast<std::size_t>(cand.user)];
+    for (std::size_t j = 0; j < used.size(); ++j) used[j] -= cand.loads[j];
+  }
+}
+
+double ExponentialCostAllocator::server_load(int i) const {
+  const auto ii = static_cast<std::size_t>(i);
+  if (is_unbounded(budgets_[ii])) return 0.0;
+  return server_used_[ii] / budgets_[ii];
+}
+
+double ExponentialCostAllocator::user_load(UserId u, int j) const {
+  const auto uu = static_cast<std::size_t>(u);
+  const auto jj = static_cast<std::size_t>(j);
+  if (is_unbounded(user_caps_[uu][jj])) return 0.0;
+  return user_used_[uu][jj] / user_caps_[uu][jj];
+}
+
+double mu_for(const Instance& inst) { return model::global_skew(inst).mu; }
+
+AllocateResult allocate_online(const Instance& inst,
+                               const AllocateOptions& opts) {
+  const model::GlobalSkewInfo gs = model::global_skew(inst);
+  const double mu = opts.mu > 0.0 ? opts.mu : gs.mu;
+
+  std::vector<double> budgets(inst.budgets().begin(), inst.budgets().end());
+  AllocatorScales scales = compute_scales(inst);
+  ExponentialCostAllocator alloc(std::move(budgets),
+                                 {mu, opts.guard_feasibility},
+                                 std::move(scales.server));
+  const int mc = inst.num_user_measures();
+  for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
+    std::vector<double> caps(static_cast<std::size_t>(mc));
+    for (int j = 0; j < mc; ++j)
+      caps[static_cast<std::size_t>(j)] =
+          inst.capacity(static_cast<UserId>(uu), j);
+    alloc.add_user(std::move(caps), std::move(scales.user[uu]));
+  }
+
+  std::vector<StreamId> order = opts.order;
+  if (order.empty()) {
+    order.resize(inst.num_streams());
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  AllocateResult out{model::Assignment(inst), 0.0, mu, gs.gamma, 0, 0, 0};
+  std::vector<double> costs(static_cast<std::size_t>(inst.num_server_measures()));
+  for (StreamId s : order) {
+    for (int i = 0; i < inst.num_server_measures(); ++i)
+      costs[static_cast<std::size_t>(i)] = inst.cost(s, i);
+    std::vector<ExponentialCostAllocator::Candidate> candidates;
+    for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
+      ExponentialCostAllocator::Candidate cand;
+      cand.user = inst.edge_user(e);
+      cand.utility = inst.edge_utility(e);
+      cand.loads.resize(static_cast<std::size_t>(mc));
+      for (int j = 0; j < mc; ++j)
+        cand.loads[static_cast<std::size_t>(j)] = inst.edge_load(e, j);
+      candidates.push_back(std::move(cand));
+    }
+    const auto decision = alloc.offer(costs, candidates);
+    if (decision.accepted) {
+      ++out.accepted;
+      for (std::size_t idx : decision.taken)
+        out.assignment.assign(candidates[idx].user, s);
+    } else {
+      ++out.rejected;
+    }
+  }
+  out.utility = out.assignment.utility();
+  out.guard_trips = alloc.guard_trips();
+  return out;
+}
+
+}  // namespace vdist::core

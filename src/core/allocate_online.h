@@ -1,0 +1,140 @@
+// Section 5: Algorithm 2 ("Allocate") — online allocation for small
+// streams, after Awerbuch-Azar-Plotkin.
+//
+// Every server budget i and every (user, measure) pair is a budget with an
+// exponential cost  C_A(i) = B_i * (mu^{L_A(i)} - 1)  in its normalized
+// load L_A(i). An arriving stream is assigned to the maximal user subset
+// U_j (obtained by peeling users in decreasing (k_u(S)/K_u)*C(u)/w_u(S)
+// order) satisfying
+//     sum_{i in M ∪ U_j} (c_i(S)/B_i) * C(i)  <=  sum_{u in U_j} w_u(S),
+// or rejected if no nonempty subset qualifies.
+//
+// Guarantees (for mu = 2*gamma*(m + |U|*mc) + 2): never violates a budget
+// when every cost/load is at most its bound / log2(mu) (Lemma 5.1), and is
+// (1 + 2*log2 mu)-competitive (Theorem 5.4). Decisions are never revoked,
+// so the algorithm works online; per the paper's footnote 1 it extends to
+// finite-duration streams, which ExponentialCostAllocator::release()
+// implements for the simulator.
+//
+// Outside the small-streams regime the paper's algorithm can overrun
+// budgets; the `guard_feasibility` option (default on) additionally drops
+// users/streams that would breach a constraint and counts how often that
+// fires — zero trips inside the regime (bench E7 checks this).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "model/skew.h"
+
+namespace vdist::core {
+
+// Per-budget normalization of eq. (1): multiplying measure i's costs by
+// scale[i] makes the smallest (1/D) * w / c ratio exactly 1, which both
+// feasibility (Lemma 5.1) and competitiveness (Lemma 5.2/5.3) rely on.
+// compute_scales() derives them from an instance; all-ones is correct only
+// for pre-normalized inputs.
+struct AllocatorScales {
+  std::vector<double> server;              // one per server measure
+  std::vector<std::vector<double>> user;   // per user, per measure
+};
+
+[[nodiscard]] AllocatorScales compute_scales(const model::Instance& inst);
+
+// Instance-independent allocator state, usable by the simulator where
+// streams arrive and depart dynamically.
+class ExponentialCostAllocator {
+ public:
+  struct Config {
+    double mu = 16.0;              // exponential base (compute via mu_for())
+    bool guard_feasibility = true; // refuse real constraint violations
+  };
+
+  // `scales` may be empty (all ones). Normalized loads L are unaffected by
+  // scaling; only the exponential-cost *terms* are.
+  ExponentialCostAllocator(std::vector<double> budgets, Config config,
+                           std::vector<double> scales = {});
+
+  // Registers a user with its capacity vector (entries may be
+  // model::kUnbounded). Returns the dense user id used in Candidate.
+  model::UserId add_user(std::vector<double> capacities,
+                         std::vector<double> scales = {});
+  [[nodiscard]] std::size_t num_users() const noexcept {
+    return user_caps_.size();
+  }
+
+  struct Candidate {
+    model::UserId user;
+    double utility;             // w_u(S) > 0
+    std::vector<double> loads;  // one per user measure of this user
+  };
+
+  struct Decision {
+    bool accepted = false;                 // accepted for at least one user
+    std::vector<std::size_t> taken;        // indices into the candidate list
+    std::size_t peeled = 0;                // users removed by the ratio peel
+    std::size_t guard_dropped = 0;         // users dropped by the guard
+    bool guard_rejected_stream = false;    // server-side guard rejection
+  };
+
+  // Algorithm 2's per-stream decision; commits loads on acceptance.
+  [[nodiscard]] Decision offer(std::span<const double> costs,
+                               const std::vector<Candidate>& candidates);
+
+  // Reverses an earlier acceptance (stream departure): subtracts the
+  // stream's server costs and the loads of the users in `taken`.
+  void release(std::span<const double> costs,
+               const std::vector<Candidate>& candidates,
+               const std::vector<std::size_t>& taken);
+
+  // Normalized loads (for metrics): L_A(i) for server measure i.
+  [[nodiscard]] double server_load(int i) const;
+  [[nodiscard]] double user_load(model::UserId u, int j) const;
+  [[nodiscard]] std::size_t guard_trips() const noexcept {
+    return guard_trips_;
+  }
+
+ private:
+  [[nodiscard]] double exp_cost(double bound, double load) const;
+
+  Config config_;
+  double log_mu_;
+  std::vector<double> budgets_;        // server bounds B_i
+  std::vector<double> scales_;         // eq. (1) normalization, per measure
+  std::vector<double> server_used_;    // absolute used cost per measure
+  std::vector<std::vector<double>> user_caps_;    // per user
+  std::vector<std::vector<double>> user_scales_;  // per user, per measure
+  std::vector<std::vector<double>> user_used_;    // per user, absolute loads
+  std::size_t guard_trips_ = 0;
+};
+
+// mu as defined in Section 5 (generalized to mc >= 1 user measures).
+[[nodiscard]] double mu_for(const model::Instance& inst);
+
+struct AllocateOptions {
+  // 0 means "compute from the instance's global skew" (the paper's mu).
+  double mu = 0.0;
+  bool guard_feasibility = true;
+  // Arrival order; empty = stream id order. Allocate is online: the order
+  // is adversarial in the analysis, and benches randomize it.
+  std::vector<model::StreamId> order;
+};
+
+struct AllocateResult {
+  model::Assignment assignment;
+  double utility = 0.0;
+  double mu = 0.0;
+  double gamma = 0.0;
+  std::size_t accepted = 0;   // streams assigned to >= 1 user
+  std::size_t rejected = 0;
+  std::size_t guard_trips = 0;
+};
+
+// Runs Algorithm 2 over a whole instance (offline driver for the online
+// algorithm; used by tests and benches E7/E9).
+[[nodiscard]] AllocateResult allocate_online(const model::Instance& inst,
+                                             const AllocateOptions& opts = {});
+
+}  // namespace vdist::core

@@ -1,0 +1,163 @@
+#include "core/augment.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/float_cmp.h"
+
+namespace vdist::core {
+
+using model::Assignment;
+using model::EdgeId;
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+using util::approx_le;
+using util::is_unbounded;
+
+namespace {
+
+// Residual-capacity bookkeeping shared by both phases.
+class Residuals {
+ public:
+  explicit Residuals(const Instance& inst, const Assignment& a)
+      : inst_(inst), server_(static_cast<std::size_t>(inst.num_server_measures())) {
+    for (int i = 0; i < inst.num_server_measures(); ++i)
+      server_[static_cast<std::size_t>(i)] =
+          is_unbounded(inst.budget(i)) ? model::kUnbounded
+                                       : inst.budget(i) - a.server_cost(i);
+    const auto mc = static_cast<std::size_t>(inst.num_user_measures());
+    user_.resize(inst.num_users() * mc);
+    for (std::size_t u = 0; u < inst.num_users(); ++u)
+      for (std::size_t j = 0; j < mc; ++j) {
+        const double cap =
+            inst.capacity(static_cast<UserId>(u), static_cast<int>(j));
+        user_[u * mc + j] =
+            is_unbounded(cap)
+                ? model::kUnbounded
+                : cap - a.user_load(static_cast<UserId>(u),
+                                    static_cast<int>(j));
+      }
+  }
+
+  [[nodiscard]] bool stream_fits(StreamId s) const {
+    for (int i = 0; i < inst_.num_server_measures(); ++i) {
+      const double r = server_[static_cast<std::size_t>(i)];
+      if (!is_unbounded(r) && !approx_le(inst_.cost(s, i), r)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool edge_fits(EdgeId e, UserId u) const {
+    const auto mc = static_cast<std::size_t>(inst_.num_user_measures());
+    for (std::size_t j = 0; j < mc; ++j) {
+      const double r = user_[static_cast<std::size_t>(u) * mc + j];
+      if (!is_unbounded(r) &&
+          !approx_le(inst_.edge_load(e, static_cast<int>(j)), r))
+        return false;
+    }
+    return true;
+  }
+
+  void charge_stream(StreamId s) {
+    for (int i = 0; i < inst_.num_server_measures(); ++i) {
+      auto& r = server_[static_cast<std::size_t>(i)];
+      if (!is_unbounded(r)) r -= inst_.cost(s, i);
+    }
+  }
+
+  void charge_edge(EdgeId e, UserId u) {
+    const auto mc = static_cast<std::size_t>(inst_.num_user_measures());
+    for (std::size_t j = 0; j < mc; ++j) {
+      auto& r = user_[static_cast<std::size_t>(u) * mc + j];
+      if (!is_unbounded(r)) r -= inst_.edge_load(e, static_cast<int>(j));
+    }
+  }
+
+  // Normalized combined cost of a stream against the *original* budgets
+  // (density denominator; stable across the pass).
+  [[nodiscard]] double combined_cost(StreamId s) const {
+    double c = 0.0;
+    for (int i = 0; i < inst_.num_server_measures(); ++i)
+      if (!is_unbounded(inst_.budget(i)))
+        c += inst_.cost(s, i) / inst_.budget(i);
+    return c;
+  }
+
+ private:
+  const Instance& inst_;
+  std::vector<double> server_;
+  std::vector<double> user_;
+};
+
+// Offers stream s to every interested user that can still take it.
+double add_takers(const Instance& inst, Assignment& a, Residuals& res,
+                  StreamId s, AugmentStats& stats) {
+  double gained = 0.0;
+  for (EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
+    const UserId u = inst.edge_user(e);
+    if (a.has(u, s) || !res.edge_fits(e, u)) continue;
+    a.assign(u, s);
+    res.charge_edge(e, u);
+    gained += inst.edge_utility(e);
+    ++stats.users_added;
+  }
+  return gained;
+}
+
+}  // namespace
+
+AugmentStats augment_assignment(const Instance& inst, Assignment& a) {
+  const std::vector<char> all(inst.num_streams(), 1);
+  return augment_assignment(inst, a, all);
+}
+
+AugmentStats augment_assignment(const Instance& inst, Assignment& a,
+                                std::span<const char> allowed) {
+  AugmentStats stats;
+  Residuals res(inst, a);
+
+  // Phase 1: free riders on already-carried streams.
+  for (StreamId s : a.range())
+    stats.utility_gained += add_takers(inst, a, res, s, stats);
+
+  // Phase 2: admit whole (allowed) streams by density until nothing fits.
+  std::vector<char> considered(inst.num_streams(), 0);
+  for (std::size_t s = 0; s < inst.num_streams(); ++s)
+    if (!allowed[s]) considered[s] = 1;
+  for (StreamId s : a.range()) considered[static_cast<std::size_t>(s)] = 1;
+  for (;;) {
+    StreamId best = model::kInvalidStream;
+    double best_density = 0.0;
+    double best_gain = 0.0;
+    for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
+      if (considered[ss]) continue;
+      const auto s = static_cast<StreamId>(ss);
+      if (!res.stream_fits(s)) continue;
+      // Prospective gain: users whose caps admit the stream right now.
+      double gain = 0.0;
+      for (EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e)
+        if (res.edge_fits(e, inst.edge_user(e)))
+          gain += inst.edge_utility(e);
+      if (gain <= 0.0) continue;
+      const double c = res.combined_cost(s);
+      const double density = c > 0.0 ? gain / c : util::kInf;
+      if (density > best_density) {
+        best_density = density;
+        best_gain = gain;
+        best = s;
+      }
+    }
+    if (best == model::kInvalidStream || best_gain <= 0.0) break;
+    considered[static_cast<std::size_t>(best)] = 1;
+    res.charge_stream(best);
+    const double gained = add_takers(inst, a, res, best, stats);
+    if (gained > 0.0) {
+      ++stats.streams_added;
+      stats.utility_gained += gained;
+    }
+  }
+  return stats;
+}
+
+}  // namespace vdist::core

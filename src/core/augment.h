@@ -1,0 +1,45 @@
+// Feasible greedy augmentation post-pass.
+//
+// The Theorem 4.3 output transformation deliberately *discards* utility to
+// restore feasibility: it keeps one interval group (combined cost <= 1 out
+// of a budget of m), so on benign instances most of the budget is left on
+// the table. This pass pours utility back in without touching the
+// guarantee: it only ever ADDS (user, stream) pairs that keep every server
+// budget and user capacity satisfied, so the result dominates its input.
+//
+//   1. Free riders first: streams already carried by the server are
+//      offered to every interested user whose capacities admit them
+//      (multicast makes these additions cost-free at the server).
+//   2. Then whole streams, by utility-per-combined-residual-cost density,
+//      while the budgets admit them.
+//
+// Not part of the paper; DESIGN.md lists it as a design extension and
+// bench E12 ablates it.
+#pragma once
+
+#include <span>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::core {
+
+struct AugmentStats {
+  std::size_t users_added = 0;    // pairs added to already-carried streams
+  std::size_t streams_added = 0;  // new streams admitted
+  double utility_gained = 0.0;
+};
+
+// Requires `a` to be feasible; returns what was added. The assignment is
+// modified in place and remains feasible.
+AugmentStats augment_assignment(const model::Instance& inst,
+                                model::Assignment& a);
+
+// Same, but phase 2 only admits streams with allowed[s] != 0 (group
+// selection uses this to respect at-most-one-per-group). `allowed` must
+// have one entry per stream.
+AugmentStats augment_assignment(const model::Instance& inst,
+                                model::Assignment& a,
+                                std::span<const char> allowed);
+
+}  // namespace vdist::core

@@ -1,0 +1,311 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mmd_solver.h"
+#include "util/float_cmp.h"
+
+namespace vdist::core {
+
+using model::Assignment;
+using model::EdgeId;
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+using util::approx_le;
+using util::is_unbounded;
+using util::kInf;
+
+namespace {
+
+// Exact per-user sub-solver: given the subset of the user's interest edges
+// whose stream the server provides (a bitmask over the user's edge list),
+// pick the utility-maximal subset satisfying all mc capacities.
+class UserKnapsack {
+ public:
+  UserKnapsack(const Instance& inst, UserId u) : inst_(inst), u_(u) {
+    const auto edges = inst.edges_of(u);
+    if (edges.size() > 62)
+      throw std::invalid_argument(
+          "solve_exact: a user has more than 62 interest edges");
+    // Sort by utility descending for a tight suffix-sum bound.
+    order_.assign(edges.begin(), edges.end());
+    std::sort(order_.begin(), order_.end(), [&](EdgeId a, EdgeId b) {
+      return inst.edge_utility(a) > inst.edge_utility(b);
+    });
+    edge_pos_.reserve(order_.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      // Position of the i-th edge (in instance order) within order_.
+      const auto it = std::find(order_.begin(), order_.end(), edges[i]);
+      edge_pos_.push_back(static_cast<std::size_t>(it - order_.begin()));
+    }
+  }
+
+  struct Result {
+    double value = 0.0;
+    std::uint64_t chosen = 0;  // submask over order_ positions
+  };
+
+  // mask: bit i set iff order_[i]'s stream is provided by the server.
+  Result solve(std::uint64_t mask) {
+    const auto it = cache_.find(mask);
+    if (it != cache_.end()) return it->second;
+    // Suffix sums of available utilities for the bound.
+    avail_.clear();
+    for (std::size_t i = 0; i < order_.size(); ++i)
+      if (mask >> i & 1) avail_.push_back(i);
+    suffix_.assign(avail_.size() + 1, 0.0);
+    for (std::size_t t = avail_.size(); t > 0; --t)
+      suffix_[t - 1] =
+          suffix_[t] + inst_.edge_utility(order_[avail_[t - 1]]);
+    best_ = Result{};
+    residual_.clear();
+    for (int j = 0; j < inst_.num_user_measures(); ++j)
+      residual_.push_back(inst_.capacity(u_, j));
+    dfs(0, 0.0, 0);
+    cache_.emplace(mask, best_);
+    return best_;
+  }
+
+  // Maps a submask over order_ positions back to edge ids.
+  void collect_edges(std::uint64_t chosen, std::vector<EdgeId>& out) const {
+    for (std::size_t i = 0; i < order_.size(); ++i)
+      if (chosen >> i & 1) out.push_back(order_[i]);
+  }
+
+  // Position within order_ of the user's t-th edge in instance order.
+  [[nodiscard]] std::size_t position_of_edge(std::size_t t) const {
+    return edge_pos_[t];
+  }
+
+ private:
+  void dfs(std::size_t t, double acc, std::uint64_t chosen) {
+    if (acc > best_.value) best_ = Result{acc, chosen};
+    if (t >= avail_.size()) return;
+    if (acc + suffix_[t] <= best_.value) return;  // bound
+    const std::size_t pos = avail_[t];
+    const EdgeId e = order_[pos];
+    // Take, if every capacity admits it.
+    bool fits = true;
+    for (int j = 0; j < inst_.num_user_measures(); ++j) {
+      const double k = inst_.edge_load(e, j);
+      if (!is_unbounded(residual_[static_cast<std::size_t>(j)]) &&
+          !approx_le(k, residual_[static_cast<std::size_t>(j)])) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      for (int j = 0; j < inst_.num_user_measures(); ++j)
+        residual_[static_cast<std::size_t>(j)] -= inst_.edge_load(e, j);
+      dfs(t + 1, acc + inst_.edge_utility(e), chosen | (1ULL << pos));
+      for (int j = 0; j < inst_.num_user_measures(); ++j)
+        residual_[static_cast<std::size_t>(j)] += inst_.edge_load(e, j);
+    }
+    dfs(t + 1, acc, chosen);
+  }
+
+  const Instance& inst_;
+  UserId u_;
+  std::vector<EdgeId> order_;
+  std::vector<std::size_t> edge_pos_;
+  std::unordered_map<std::uint64_t, Result> cache_;
+  // Scratch state for one solve().
+  std::vector<std::size_t> avail_;
+  std::vector<double> suffix_;
+  std::vector<double> residual_;
+  Result best_;
+};
+
+class ExactSearch {
+ public:
+  ExactSearch(const Instance& inst, const ExactOptions& opts)
+      : inst_(inst), opts_(opts), best_assignment_(inst) {
+    const std::size_t S = inst.num_streams();
+    if (S > 62)
+      throw std::invalid_argument("solve_exact: more than 62 streams");
+
+    // Branch order: by total utility, descending (good incumbents early).
+    stream_order_.resize(S);
+    std::iota(stream_order_.begin(), stream_order_.end(), 0);
+    std::sort(stream_order_.begin(), stream_order_.end(),
+              [&](StreamId a, StreamId b) {
+                return inst.total_utility(a) > inst.total_utility(b);
+              });
+
+    for (std::size_t u = 0; u < inst.num_users(); ++u)
+      users_.emplace_back(inst, static_cast<UserId>(u));
+
+    // Per-user upper-bound machinery: `potential` = total utility still
+    // reachable; `cap_bound` = fractional capacity-density bound.
+    potential_.resize(inst.num_users());
+    cap_bound_.resize(inst.num_users());
+    for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
+      const auto u = static_cast<UserId>(uu);
+      double pot = 0.0;
+      for (EdgeId e : inst.edges_of(u)) pot += inst.edge_utility(e);
+      potential_[uu] = pot;
+      double bound = kInf;
+      for (int j = 0; j < inst.num_user_measures(); ++j) {
+        const double cap = inst.capacity(u, j);
+        if (is_unbounded(cap)) continue;
+        double free_w = 0.0;
+        double max_density = 0.0;
+        for (EdgeId e : inst.edges_of(u)) {
+          const double k = inst.edge_load(e, j);
+          if (k <= 0.0)
+            free_w += inst.edge_utility(e);
+          else
+            max_density = std::max(max_density, inst.edge_utility(e) / k);
+        }
+        bound = std::min(bound, free_w + cap * max_density);
+      }
+      cap_bound_[uu] = bound;
+      ub_total_ += std::min(pot, bound);
+    }
+
+    used_.assign(static_cast<std::size_t>(inst.num_server_measures()), 0.0);
+    user_mask_.assign(inst.num_users(), 0);
+
+    // Warm start: the Theorem 1.1 pipeline's feasible solution.
+    MmdSolveResult warm = solve_mmd(inst);
+    best_value_ = warm.utility;
+    best_assignment_ = std::move(warm.assignment);
+  }
+
+  ExactResult run() {
+    dfs(0);
+    ExactResult out{std::move(best_assignment_), best_value_,
+                    nodes_ <= opts_.max_nodes, nodes_};
+    return out;
+  }
+
+ private:
+  void dfs(std::size_t depth) {
+    if (nodes_ > opts_.max_nodes) return;
+    ++nodes_;
+    if (ub_total_ <= best_value_ + 1e-12) return;  // dominated subtree
+    if (depth == stream_order_.size()) {
+      evaluate_leaf();
+      return;
+    }
+    const StreamId s = stream_order_[depth];
+
+    // Include branch (if the budget admits the stream in every measure).
+    bool fits = true;
+    for (int i = 0; i < inst_.num_server_measures(); ++i) {
+      if (is_unbounded(inst_.budget(i))) continue;
+      if (!approx_le(used_[static_cast<std::size_t>(i)] + inst_.cost(s, i),
+                     inst_.budget(i))) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      for (int i = 0; i < inst_.num_server_measures(); ++i)
+        used_[static_cast<std::size_t>(i)] += inst_.cost(s, i);
+      toggle_stream(s, /*on=*/true);
+      dfs(depth + 1);
+      toggle_stream(s, /*on=*/false);
+      for (int i = 0; i < inst_.num_server_measures(); ++i)
+        used_[static_cast<std::size_t>(i)] -= inst_.cost(s, i);
+    }
+
+    // Exclude branch: the stream's utility leaves every interested user's
+    // potential.
+    const EdgeId lo = inst_.first_edge(s);
+    const EdgeId hi = inst_.last_edge(s);
+    for (EdgeId e = lo; e < hi; ++e) adjust_potential(e, -1.0);
+    dfs(depth + 1);
+    for (EdgeId e = lo; e < hi; ++e) adjust_potential(e, +1.0);
+  }
+
+  void adjust_potential(EdgeId e, double sign) {
+    const auto uu = static_cast<std::size_t>(inst_.edge_user(e));
+    const double before = std::min(potential_[uu], cap_bound_[uu]);
+    potential_[uu] += sign * inst_.edge_utility(e);
+    const double after = std::min(potential_[uu], cap_bound_[uu]);
+    ub_total_ += after - before;
+  }
+
+  // Sets/clears the bits of s in every interested user's candidate mask.
+  void toggle_stream(StreamId s, bool on) {
+    const EdgeId lo = inst_.first_edge(s);
+    const EdgeId hi = inst_.last_edge(s);
+    for (EdgeId e = lo; e < hi; ++e) {
+      const UserId u = inst_.edge_user(e);
+      const auto uu = static_cast<std::size_t>(u);
+      // Which of u's edges is e? The user's edge list is sorted by stream.
+      const auto streams = inst_.streams_of(u);
+      const auto it = std::lower_bound(streams.begin(), streams.end(), s);
+      const auto t = static_cast<std::size_t>(it - streams.begin());
+      const std::size_t pos = users_[uu].position_of_edge(t);
+      if (on)
+        user_mask_[uu] |= (1ULL << pos);
+      else
+        user_mask_[uu] &= ~(1ULL << pos);
+    }
+  }
+
+  void evaluate_leaf() {
+    double total = 0.0;
+    for (std::size_t uu = 0; uu < users_.size(); ++uu)
+      total += users_[uu].solve(user_mask_[uu]).value;
+    if (total > best_value_ + 1e-12) {
+      best_value_ = total;
+      best_assignment_.clear();
+      std::vector<EdgeId> chosen_edges;
+      for (std::size_t uu = 0; uu < users_.size(); ++uu) {
+        chosen_edges.clear();
+        users_[uu].collect_edges(users_[uu].solve(user_mask_[uu]).chosen,
+                                 chosen_edges);
+        for (EdgeId e : chosen_edges) {
+          // Recover the stream of edge e by binary search over streams.
+          const StreamId s = stream_of_edge(e);
+          best_assignment_.assign(static_cast<UserId>(uu), s);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] StreamId stream_of_edge(EdgeId e) const {
+    // Streams' edge ranges are contiguous and increasing; binary search.
+    std::size_t lo = 0;
+    std::size_t hi = inst_.num_streams();
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (inst_.first_edge(static_cast<StreamId>(mid)) <= e)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return static_cast<StreamId>(lo);
+  }
+
+  const Instance& inst_;
+  ExactOptions opts_;
+  std::vector<StreamId> stream_order_;
+  std::vector<UserKnapsack> users_;
+  std::vector<double> potential_;
+  std::vector<double> cap_bound_;
+  double ub_total_ = 0.0;
+  std::vector<double> used_;
+  std::vector<std::uint64_t> user_mask_;
+  double best_value_ = 0.0;
+  model::Assignment best_assignment_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const Instance& inst, const ExactOptions& opts) {
+  ExactSearch search(inst, opts);
+  return search.run();
+}
+
+}  // namespace vdist::core

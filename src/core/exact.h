@@ -1,0 +1,42 @@
+// Exact MMD solver by branch-and-bound, for small instances.
+//
+// Not part of the paper (MMD is NP-hard, §1) — this is evaluation
+// substrate: every quality experiment measures ALG against the true OPT
+// computed here. The search branches on the server set (include/exclude
+// each stream, ordered by total utility) with two prunes:
+//   * budget feasibility in every measure on the include branch;
+//   * an upper bound sum_u min(available utility, capacity-density bound),
+//     maintained incrementally.
+// At each leaf the per-user problem — a small multi-dimensional knapsack —
+// is solved exactly by DFS with a suffix-sum bound, memoized on the
+// user's candidate bitmask across leaves.
+//
+// Limits: at most 62 streams and 62 interest edges per user (bitmask
+// state). Throws std::invalid_argument beyond that; intended for
+// |S| <= ~24 at bench scale.
+#pragma once
+
+#include <cstddef>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::core {
+
+struct ExactOptions {
+  // Abort the search (returning the incumbent, proven_optimal = false)
+  // after this many branch nodes.
+  std::size_t max_nodes = 50'000'000;
+};
+
+struct ExactResult {
+  model::Assignment assignment;
+  double utility = 0.0;
+  bool proven_optimal = true;
+  std::size_t nodes = 0;
+};
+
+[[nodiscard]] ExactResult solve_exact(const model::Instance& inst,
+                                      const ExactOptions& opts = {});
+
+}  // namespace vdist::core

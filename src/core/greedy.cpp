@@ -1,0 +1,219 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/float_cmp.h"
+
+namespace vdist::core {
+
+using model::Assignment;
+using model::EdgeId;
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+using util::approx_le;
+using util::kInf;
+
+namespace {
+
+void require_cap_form(const Instance& inst, const char* who) {
+  if (!inst.is_smd() || !inst.is_unit_skew())
+    throw std::invalid_argument(std::string(who) +
+                                ": requires a unit-skew SMD (cap-form) "
+                                "instance; see model::build_cap_instance");
+}
+
+// Shared engine for the plain and seeded greedy. Maintains, per stream,
+// the fractional residual utility w̄^A(S) of §2 ("preliminaries"), updated
+// incrementally when a user's residual cap changes — the O(|S|*n) scheme
+// of the paper's complexity analysis.
+class GreedyEngine {
+ public:
+  explicit GreedyEngine(const Instance& inst)
+      : inst_(inst),
+        result_{Assignment(inst), 0.0, {}},
+        rem_(inst.num_users()),
+        wbar_(inst.num_streams()),
+        in_pool_(inst.num_streams(), 1),
+        pool_size_(inst.num_streams()) {
+    for (std::size_t u = 0; u < rem_.size(); ++u)
+      rem_[u] = inst.capacity(static_cast<UserId>(u), 0);
+    for (std::size_t s = 0; s < wbar_.size(); ++s)
+      wbar_[s] = inst.total_utility(static_cast<StreamId>(s));
+  }
+
+  // Force-adds a stream (seed). Requires it to fit the remaining budget.
+  void add_seed(StreamId s) {
+    const auto ss = static_cast<std::size_t>(s);
+    if (!in_pool_[ss]) return;  // duplicate seed
+    const double c = inst_.cost(s, 0);
+    if (!approx_le(used_ + c, inst_.budget(0)))
+      throw std::invalid_argument("greedy seed does not fit the budget");
+    result_.trace.considered.push_back(s);
+    result_.trace.added.push_back(1);
+    add_stream(s, c);
+    remove_from_pool(ss);
+  }
+
+  void run() {
+    const double B = inst_.budget(0);
+    while (pool_size_ > 0) {
+      const StreamId best = argmax_effectiveness();
+      if (best == model::kInvalidStream) break;
+      const auto bs = static_cast<std::size_t>(best);
+      if (wbar_[bs] <= util::kAbsEps) break;  // nothing left to gain
+      result_.trace.considered.push_back(best);
+      const double c = inst_.cost(best, 0);
+      if (approx_le(used_ + c, B)) {
+        result_.trace.added.push_back(1);
+        add_stream(best, c);
+      } else {
+        result_.trace.added.push_back(0);
+        ++result_.trace.skipped_budget;
+      }
+      remove_from_pool(bs);
+    }
+  }
+
+  GreedyResult take() && { return std::move(result_); }
+
+ private:
+  StreamId argmax_effectiveness() const {
+    StreamId best = model::kInvalidStream;
+    double best_eff = -1.0;
+    double best_wbar = -1.0;
+    for (std::size_t s = 0; s < wbar_.size(); ++s) {
+      if (!in_pool_[s]) continue;
+      const double c = inst_.cost(static_cast<StreamId>(s), 0);
+      const double eff =
+          c > 0.0 ? wbar_[s] / c : (wbar_[s] > 0.0 ? kInf : 0.0);
+      if (eff > best_eff || (eff == best_eff && wbar_[s] > best_wbar)) {
+        best = static_cast<StreamId>(s);
+        best_eff = eff;
+        best_wbar = wbar_[s];
+      }
+    }
+    return best;
+  }
+
+  // Assigns `s` to every user with positive residual, charging its cost
+  // and propagating residual changes into w̄ of the remaining streams.
+  void add_stream(StreamId s, double cost) {
+    used_ += cost;
+    const EdgeId lo = inst_.first_edge(s);
+    const EdgeId hi = inst_.last_edge(s);
+    for (EdgeId e = lo; e < hi; ++e) {
+      const UserId u = inst_.edge_user(e);
+      const auto uu = static_cast<std::size_t>(u);
+      const double w = inst_.edge_utility(e);
+      if (rem_[uu] <= util::kAbsEps || w <= 0.0) continue;
+      result_.assignment.assign(u, s);
+      result_.capped_utility += std::min(w, rem_[uu]);
+      const double rem_old = rem_[uu];
+      rem_[uu] -= w;
+      const double rem_new = rem_[uu];
+      const auto streams = inst_.streams_of(u);
+      const auto edges = inst_.edges_of(u);
+      for (std::size_t t = 0; t < edges.size(); ++t) {
+        const StreamId sp = streams[t];
+        if (sp == s || !in_pool_[static_cast<std::size_t>(sp)]) continue;
+        const double we = inst_.edge_utility(edges[t]);
+        const double before = std::min(we, std::max(rem_old, 0.0));
+        const double after = std::min(we, std::max(rem_new, 0.0));
+        wbar_[static_cast<std::size_t>(sp)] += after - before;
+      }
+    }
+  }
+
+  void remove_from_pool(std::size_t s) {
+    in_pool_[s] = 0;
+    --pool_size_;
+  }
+
+  const Instance& inst_;
+  GreedyResult result_;
+  std::vector<double> rem_;
+  std::vector<double> wbar_;
+  std::vector<char> in_pool_;
+  std::size_t pool_size_;
+  double used_ = 0.0;
+};
+
+}  // namespace
+
+GreedyResult greedy_unit_skew(const Instance& inst) {
+  return greedy_unit_skew_seeded(inst, {});
+}
+
+GreedyResult greedy_unit_skew_seeded(const Instance& inst,
+                                     std::span<const StreamId> seeds) {
+  require_cap_form(inst, "greedy_unit_skew");
+  GreedyEngine engine(inst);
+  for (StreamId s : seeds) engine.add_seed(s);
+  engine.run();
+  return std::move(engine).take();
+}
+
+Assignment best_single_stream(const Instance& inst) {
+  require_cap_form(inst, "best_single_stream");
+  StreamId best = model::kInvalidStream;
+  double best_w = -1.0;
+  for (std::size_t s = 0; s < inst.num_streams(); ++s) {
+    const double w = inst.total_utility(static_cast<StreamId>(s));
+    if (w > best_w) {
+      best_w = w;
+      best = static_cast<StreamId>(s);
+    }
+  }
+  Assignment a(inst);
+  if (best != model::kInvalidStream && best_w > 0.0)
+    for (UserId u : inst.users_of(best)) a.assign(u, best);
+  return a;
+}
+
+FeasibleSplit split_last_stream(const Instance& inst,
+                                const Assignment& semi) {
+  FeasibleSplit out{Assignment(inst), Assignment(inst), 0.0, 0.0};
+  for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    const auto streams = semi.streams_of(u);
+    if (streams.empty()) continue;
+    // Only users the greedy saturated past W_u need the last stream peeled
+    // (the paper peels unconditionally; keeping the full assignment when
+    // it already fits is a strict improvement with the same guarantee).
+    const bool over_cap =
+        !approx_le(semi.user_utility(u), inst.capacity(u, 0));
+    const std::size_t keep_in_a1 = streams.size() - (over_cap ? 1 : 0);
+    for (std::size_t t = 0; t < keep_in_a1; ++t) out.a1.assign(u, streams[t]);
+    out.a2.assign(u, streams.back());
+  }
+  out.w1 = out.a1.utility();
+  out.w2 = out.a2.utility();
+  return out;
+}
+
+SmdSolveResult solve_unit_skew(const Instance& inst, SmdMode mode) {
+  require_cap_form(inst, "solve_unit_skew");
+  GreedyResult g = greedy_unit_skew(inst);
+  Assignment amax = best_single_stream(inst);
+  const double w_amax = amax.capped_utility();
+
+  if (mode == SmdMode::kAugmented) {
+    // Corollary 2.7: the semi-feasible greedy vs. the single best stream,
+    // compared by capped utility.
+    if (g.capped_utility >= w_amax)
+      return {std::move(g.assignment), g.capped_utility, "greedy"};
+    return {std::move(amax), w_amax, "Amax"};
+  }
+
+  // Theorem 2.8: peel the last stream assigned to each user.
+  FeasibleSplit split = split_last_stream(inst, g.assignment);
+  if (split.w1 >= split.w2 && split.w1 >= w_amax)
+    return {std::move(split.a1), split.w1, "A1"};
+  if (split.w2 >= w_amax) return {std::move(split.a2), split.w2, "A2"};
+  return {std::move(amax), w_amax, "Amax"};
+}
+
+}  // namespace vdist::core

@@ -1,0 +1,91 @@
+// Algorithm 1 ("Greedy", Section 2.1) and its Section 2.2 fixes.
+//
+// Operates on the Section-2 cap form: an SMD instance whose single user
+// measure is the utility cap (load == utility, K_u = W_u; see
+// model::build_cap_instance). The greedy iteratively adds the stream with
+// maximum cost effectiveness  w̄^A(S) / c(S)  — fractional residual utility
+// per unit cost — assigning it to every user with positive residual, which
+// may saturate a user past W_u once (a *semi-feasible* assignment).
+//
+// The plain greedy alone has unbounded ratio (Section 2.2's S1-blocks-S2
+// example); the fixes are:
+//   * kAugmented (Cor. 2.7): return max(greedy, best-single-stream), a
+//     semi-feasible 2e/(e-1)-approximation under resource augmentation
+//     K_u + max_S k_u(S);
+//   * kFeasible (Thm. 2.8): split the greedy per user into "all but the
+//     last stream" (A1) and "the last stream" (A2), both feasible, and
+//     return the best of A1, A2, Amax — a feasible 3e/(e-1)-approximation
+//     in O(n^2) time.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::core {
+
+struct GreedyTrace {
+  // Streams in the order the algorithm considered them (seeds first, then
+  // argmax order).
+  std::vector<model::StreamId> considered;
+  // Parallel to `considered`: true if the stream was added to the solution.
+  std::vector<char> added;
+  // Streams skipped because c(A) + c(S) > B.
+  std::size_t skipped_budget = 0;
+};
+
+struct GreedyResult {
+  model::Assignment assignment;  // semi-feasible (server budget holds)
+  // Paper's w(A) for semi-feasible assignments: sum_u min(W_u, w_u(A)).
+  double capped_utility = 0.0;
+  GreedyTrace trace;
+};
+
+// Runs Algorithm 1 verbatim. Requires inst.is_smd() && inst.is_unit_skew()
+// (throws std::invalid_argument otherwise). O(|S| * n) time as in §2.1.
+[[nodiscard]] GreedyResult greedy_unit_skew(const model::Instance& inst);
+
+// Algorithm 1 started from a preassigned seed set (the §2.3 partial
+// enumeration needs this). Seeds are force-added in the given order —
+// their total cost must fit the budget — and greedy continues over the
+// remaining streams. Duplicate seeds are ignored.
+[[nodiscard]] GreedyResult greedy_unit_skew_seeded(
+    const model::Instance& inst, std::span<const model::StreamId> seeds);
+
+// The best single-stream assignment Amax of Lemma 2.6: the stream S
+// maximizing w(S) = sum_u w_u(S), assigned to all its interested users.
+[[nodiscard]] model::Assignment best_single_stream(const model::Instance& inst);
+
+// Theorem 2.8's per-user peel of a semi-feasible assignment: A1(u) drops
+// the *last* stream assigned to u, A2(u) keeps only that stream. Both are
+// feasible and w(A1) + w(A2) >= w(A).
+struct FeasibleSplit {
+  model::Assignment a1;
+  model::Assignment a2;
+  double w1 = 0.0;
+  double w2 = 0.0;
+};
+[[nodiscard]] FeasibleSplit split_last_stream(const model::Instance& inst,
+                                              const model::Assignment& semi);
+
+enum class SmdMode {
+  kFeasible,   // Theorem 2.8: feasible output, ratio 3e/(e-1)
+  kAugmented,  // Corollary 2.7: semi-feasible output, ratio 2e/(e-1)
+};
+
+struct SmdSolveResult {
+  model::Assignment assignment;
+  // Capped utility (== raw utility when the assignment is feasible).
+  double utility = 0.0;
+  // Which candidate won: "greedy", "A1", "A2" or "Amax".
+  std::string variant;
+};
+
+// The fixed greedy of Section 2.2 for unit-skew SMD instances.
+[[nodiscard]] SmdSolveResult solve_unit_skew(
+    const model::Instance& inst, SmdMode mode = SmdMode::kFeasible);
+
+}  // namespace vdist::core

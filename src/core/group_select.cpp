@@ -1,0 +1,114 @@
+#include "core/group_select.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/augment.h"
+
+namespace vdist::core {
+
+using model::Assignment;
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+
+namespace {
+
+// Drops all but the highest-realized-utility carried variant per group.
+// Returns the number of streams removed.
+std::size_t dedup_groups(const Instance& inst,
+                         std::span<const GroupId> group_of, Assignment& a) {
+  std::vector<double> stream_value(inst.num_streams(), 0.0);
+  for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    for (StreamId s : a.streams_of(u))
+      stream_value[static_cast<std::size_t>(s)] += inst.utility(u, s);
+  }
+  std::unordered_map<GroupId, StreamId> winner;
+  for (StreamId s : a.range()) {
+    const GroupId g = group_of[static_cast<std::size_t>(s)];
+    if (g == kNoGroup) continue;
+    const auto it = winner.find(g);
+    if (it == winner.end() ||
+        stream_value[static_cast<std::size_t>(s)] >
+            stream_value[static_cast<std::size_t>(it->second)])
+      winner[g] = s;
+  }
+  std::size_t dropped = 0;
+  for (StreamId s : a.range()) {
+    const GroupId g = group_of[static_cast<std::size_t>(s)];
+    if (g == kNoGroup || winner.at(g) == s) continue;
+    ++dropped;
+    for (std::size_t uu = 0; uu < inst.num_users(); ++uu)
+      a.unassign(static_cast<UserId>(uu), s);
+  }
+  return dropped;
+}
+
+// Marks every stream of an already-used group as not-allowed (except the
+// carried winner itself).
+void block_used_groups(const Instance& inst,
+                       std::span<const GroupId> group_of, const Assignment& a,
+                       std::vector<char>& allowed) {
+  std::unordered_map<GroupId, bool> used;
+  for (StreamId s : a.range()) {
+    const GroupId g = group_of[static_cast<std::size_t>(s)];
+    if (g != kNoGroup) used[g] = true;
+  }
+  for (std::size_t s = 0; s < inst.num_streams(); ++s) {
+    const GroupId g = group_of[s];
+    if (g != kNoGroup && used.count(g) &&
+        !a.in_range(static_cast<StreamId>(s)))
+      allowed[s] = 0;
+  }
+}
+
+}  // namespace
+
+GroupSelectResult solve_with_groups(const Instance& inst,
+                                    std::span<const GroupId> group_of,
+                                    const MmdSolverOptions& opts) {
+  if (group_of.size() != inst.num_streams())
+    throw std::invalid_argument(
+        "solve_with_groups: group_of must have one entry per stream");
+
+  MmdSolveResult base = solve_mmd(inst, opts);
+  GroupSelectResult out{std::move(base.assignment), 0.0, 0, 0};
+
+  out.variants_dropped = dedup_groups(inst, group_of, out.assignment);
+
+  // Fixed point: augment among allowed streams, re-deduplicate (one pass
+  // may admit two variants of one group), tighten the allowed set, repeat.
+  std::vector<char> allowed(inst.num_streams(), 1);
+  block_used_groups(inst, group_of, out.assignment, allowed);
+  for (;;) {
+    const double before = out.assignment.utility();
+    augment_assignment(inst, out.assignment, allowed);
+    out.variants_dropped += dedup_groups(inst, group_of, out.assignment);
+    block_used_groups(inst, group_of, out.assignment, allowed);
+    if (out.assignment.utility() <= before + 1e-12) break;
+  }
+
+  out.utility = out.assignment.utility();
+  std::unordered_map<GroupId, int> counts;
+  for (StreamId s : out.assignment.range()) {
+    const GroupId g = group_of[static_cast<std::size_t>(s)];
+    if (g != kNoGroup) ++counts[g];
+  }
+  out.groups_used = counts.size();
+  return out;
+}
+
+bool satisfies_group_constraint(const Assignment& a,
+                                std::span<const GroupId> group_of) {
+  std::unordered_map<GroupId, int> counts;
+  for (StreamId s : a.range()) {
+    const GroupId g = group_of[static_cast<std::size_t>(s)];
+    if (g == kNoGroup) continue;
+    if (++counts[g] > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace vdist::core

@@ -1,0 +1,50 @@
+// At-most-one-stream-per-group selection ("variant selection").
+//
+// The paper's related work (§1.2) discusses the group-budget-constraint
+// variant of budgeted coverage [Chekuri-Kumar 6]: sets are partitioned
+// into groups, at most one set per group may be chosen. The video analog
+// is a channel offered in several encodings (SD/HD/UHD variants of the
+// same content) of which the head-end should carry at most one — a user
+// watching the HD variant derives no extra value from the SD one.
+//
+// This module layers the constraint on top of the Theorem 1.1 pipeline:
+//   1. solve the unconstrained MMD instance;
+//   2. for every group carrying multiple variants, keep the variant with
+//      the largest realized utility and drop the rest (feasibility only
+//      improves: dropping pairs frees resources);
+//   3. rerun the augmentation pass restricted to streams whose group is
+//      still unused.
+// A heuristic with the pipeline's guarantee against the *grouped* optimum
+// (dropping variants loses at most the grouped-OPT factor of the
+// unconstrained bound); bench-level behavior is exercised in tests.
+#pragma once
+
+#include <span>
+
+#include "core/mmd_solver.h"
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::core {
+
+using GroupId = std::int32_t;
+inline constexpr GroupId kNoGroup = -1;
+
+struct GroupSelectResult {
+  model::Assignment assignment;  // feasible, one carried stream per group
+  double utility = 0.0;
+  std::size_t groups_used = 0;     // groups with exactly one carried stream
+  std::size_t variants_dropped = 0;  // streams removed by step 2
+};
+
+// group_of[s] is the group of stream s (kNoGroup = unconstrained). Throws
+// std::invalid_argument if the size does not match the instance.
+[[nodiscard]] GroupSelectResult solve_with_groups(
+    const model::Instance& inst, std::span<const GroupId> group_of,
+    const MmdSolverOptions& opts = {});
+
+// Verifies the at-most-one-per-group invariant (used by tests/benches).
+[[nodiscard]] bool satisfies_group_constraint(
+    const model::Assignment& a, std::span<const GroupId> group_of);
+
+}  // namespace vdist::core

@@ -1,0 +1,176 @@
+#include "core/mmd_reduction.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/float_cmp.h"
+#include "util/interval_partition.h"
+
+namespace vdist::core {
+
+using model::Assignment;
+using model::EdgeId;
+using model::Instance;
+using model::InstanceBuilder;
+using model::StreamId;
+using model::UserId;
+using util::is_unbounded;
+
+namespace {
+
+// Combined (normalized-and-added) server cost of a stream.
+double combined_cost(const Instance& mmd, StreamId s) {
+  double c = 0.0;
+  for (int i = 0; i < mmd.num_server_measures(); ++i)
+    if (!is_unbounded(mmd.budget(i))) c += mmd.cost(s, i) / mmd.budget(i);
+  return c;
+}
+
+// Combined user load of one interest edge.
+double combined_load(const Instance& mmd, EdgeId e, UserId u) {
+  double k = 0.0;
+  for (int j = 0; j < mmd.num_user_measures(); ++j) {
+    const double cap = mmd.capacity(u, j);
+    if (!is_unbounded(cap)) k += mmd.edge_load(e, j) / cap;
+  }
+  return k;
+}
+
+}  // namespace
+
+Instance reduce_to_smd(const Instance& mmd) {
+  InstanceBuilder b(1, 1);
+  b.set_budget(0, static_cast<double>(mmd.num_server_measures()));
+  for (std::size_t ss = 0; ss < mmd.num_streams(); ++ss)
+    b.add_stream({combined_cost(mmd, static_cast<StreamId>(ss))});
+  // K_u = mc uniformly; a user whose capacities are all infinite only has
+  // zero combined loads, so the cap never binds for them anyway.
+  const double cap = mmd.num_user_measures() > 0
+                         ? static_cast<double>(mmd.num_user_measures())
+                         : model::kUnbounded;
+  for (std::size_t uu = 0; uu < mmd.num_users(); ++uu) b.add_user({cap});
+  for (std::size_t ss = 0; ss < mmd.num_streams(); ++ss) {
+    const auto s = static_cast<StreamId>(ss);
+    for (EdgeId e = mmd.first_edge(s); e < mmd.last_edge(s); ++e) {
+      const UserId u = mmd.edge_user(e);
+      b.add_interest(u, s, mmd.edge_utility(e), {combined_load(mmd, e, u)});
+    }
+  }
+  return std::move(b).build();
+}
+
+Assignment transform_output(const Instance& mmd,
+                            const Assignment& smd_assignment,
+                            OutputTransformReport* report) {
+  OutputTransformReport rep;
+  rep.input_utility = smd_assignment.utility();
+
+  // --- Server-side decomposition (<= 2m-1 candidate groups) -------------
+  // Collect the range and split into S1 (combined cost >= 1) and S2.
+  std::vector<StreamId> s1;
+  std::vector<StreamId> s2;
+  std::vector<double> s2_sizes;
+  for (StreamId s : smd_assignment.range()) {
+    const double c = combined_cost(mmd, s);
+    if (c >= 1.0 - 1e-12) {
+      s1.push_back(s);
+    } else {
+      s2.push_back(s);
+      s2_sizes.push_back(c);
+    }
+  }
+  rep.range_size = s1.size() + s2.size();
+  rep.s1_size = s1.size();
+
+  // Utility each stream contributes under the current assignment.
+  std::vector<double> stream_value(mmd.num_streams(), 0.0);
+  for (std::size_t uu = 0; uu < mmd.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    for (StreamId s : smd_assignment.streams_of(u))
+      stream_value[static_cast<std::size_t>(s)] += mmd.utility(u, s);
+  }
+
+  std::vector<std::vector<StreamId>> candidates;
+  for (StreamId s : s1) candidates.push_back({s});
+  const util::IntervalPartition part = util::unit_interval_partition(s2_sizes);
+  for (const auto& group : part.groups) {
+    std::vector<StreamId> g;
+    g.reserve(group.size());
+    for (std::size_t idx : group) g.push_back(s2[idx]);
+    candidates.push_back(std::move(g));
+  }
+  rep.num_server_groups = candidates.size();
+
+  std::size_t best_candidate = 0;
+  double best_value = -1.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    double v = 0.0;
+    for (StreamId s : candidates[i])
+      v += stream_value[static_cast<std::size_t>(s)];
+    if (v > best_value) {
+      best_value = v;
+      best_candidate = i;
+    }
+  }
+
+  Assignment result(mmd);
+  if (candidates.empty()) {
+    if (report) *report = rep;
+    return result;
+  }
+  const std::vector<StreamId>& chosen = candidates[best_candidate];
+  std::vector<char> keep(mmd.num_streams(), 0);
+  for (StreamId s : chosen) keep[static_cast<std::size_t>(s)] = 1;
+  rep.after_server_selection = best_value;
+
+  // --- Per-user decomposition (<= 2mc-1 groups each) ---------------------
+  for (std::size_t uu = 0; uu < mmd.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    std::vector<StreamId> u1;            // combined load >= 1: singletons
+    std::vector<StreamId> u2;
+    std::vector<double> u2_sizes;
+    std::vector<double> u2_values;
+    for (StreamId s : smd_assignment.streams_of(u)) {
+      if (!keep[static_cast<std::size_t>(s)]) continue;
+      const auto e = mmd.find_edge(u, s);
+      const double k = e ? combined_load(mmd, *e, u) : 0.0;
+      if (k >= 1.0 - 1e-12) {
+        u1.push_back(s);
+      } else {
+        u2.push_back(s);
+        u2_sizes.push_back(k);
+        u2_values.push_back(e ? mmd.edge_utility(*e) : 0.0);
+      }
+    }
+    // Candidates: each u1 stream alone, or one u2 interval group.
+    double u_best = -1.0;
+    std::vector<StreamId> u_chosen;
+    for (StreamId s : u1) {
+      const double v = mmd.utility(u, s);
+      if (v > u_best) {
+        u_best = v;
+        u_chosen = {s};
+      }
+    }
+    const util::IntervalPartition upart =
+        util::unit_interval_partition(u2_sizes);
+    rep.max_user_groups =
+        std::max(rep.max_user_groups, upart.groups.size() + u1.size());
+    for (const auto& group : upart.groups) {
+      double v = 0.0;
+      for (std::size_t idx : group) v += u2_values[idx];
+      if (v > u_best) {
+        u_best = v;
+        u_chosen.clear();
+        for (std::size_t idx : group) u_chosen.push_back(u2[idx]);
+      }
+    }
+    for (StreamId s : u_chosen) result.assign(u, s);
+  }
+
+  rep.final_utility = result.utility();
+  if (report) *report = rep;
+  return result;
+}
+
+}  // namespace vdist::core

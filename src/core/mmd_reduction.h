@@ -1,0 +1,47 @@
+// Section 4.1: the reduction from multiple budgets (MMD) to a single
+// budget (SMD), and the output transformation of Theorem 4.3.
+//
+// Input transformation: normalize-and-add all cost measures,
+//     c(S)  = Σ_i c_i(S)/B_i   with budget B = m,
+//     k_u(S) = Σ_j k_j^u(S)/K_j^u  with capacity K_u = mc,
+// (measures with infinite budget/capacity contribute nothing). Lemma 4.1:
+// the local skew grows by at most a factor of mc; Lemma 4.2: any
+// r-approximation of the SMD instance is within r of the MMD optimum but
+// may overrun each budget by a factor m (capacity by mc).
+//
+// Output transformation: split the SMD solution's range into S1 (combined
+// cost >= 1; each stream alone is feasible) and S2 (interval-partitioned
+// into groups of combined cost <= 1, Fig. 3); keep the best of the
+// <= 2m-1 candidates; then repeat the same decomposition per user on the
+// combined loads (<= 2mc-1 groups). The result is feasible for the MMD
+// instance and loses at most a (2m-1)(2mc-1) factor — tight up to a
+// constant (Section 4.2).
+#pragma once
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::core {
+
+// Builds the combined single-budget instance. Stream and user ids are
+// preserved, so assignments transfer back by pair identity.
+[[nodiscard]] model::Instance reduce_to_smd(const model::Instance& mmd);
+
+struct OutputTransformReport {
+  double input_utility = 0.0;   // w of the SMD assignment before transform
+  std::size_t range_size = 0;   // |S(A)| of the SMD assignment
+  std::size_t s1_size = 0;      // streams with combined cost >= 1
+  std::size_t num_server_groups = 0;  // candidates considered (<= 2m-1)
+  double after_server_selection = 0.0;
+  std::size_t max_user_groups = 0;    // worst user's group count (<= 2mc-1)
+  double final_utility = 0.0;
+};
+
+// Applies Theorem 4.3's output transformation: `smd_assignment` is a
+// (feasible) assignment of the *reduced* instance — identified with the
+// MMD instance by stream/user ids — and the result is feasible for `mmd`.
+[[nodiscard]] model::Assignment transform_output(
+    const model::Instance& mmd, const model::Assignment& smd_assignment,
+    OutputTransformReport* report = nullptr);
+
+}  // namespace vdist::core

@@ -1,0 +1,34 @@
+#include "core/mmd_solver.h"
+
+#include "core/augment.h"
+
+namespace vdist::core {
+
+using model::Assignment;
+using model::Instance;
+
+MmdSolveResult solve_mmd(const Instance& inst, const MmdSolverOptions& opts) {
+  MmdSolveResult out = [&] {
+    if (inst.is_smd()) {
+      SkewBandsResult bands = solve_smd_any_skew(inst, opts.bands);
+      return MmdSolveResult{std::move(bands.assignment), bands.utility,
+                            /*reduced=*/false, bands.alpha, bands.num_bands,
+                            bands.chosen_band, {}};
+    }
+    const Instance smd = reduce_to_smd(inst);
+    SkewBandsResult bands = solve_smd_any_skew(smd, opts.bands);
+    OutputTransformReport report;
+    Assignment final_assignment =
+        transform_output(inst, bands.assignment, &report);
+    return MmdSolveResult{std::move(final_assignment), report.final_utility,
+                          /*reduced=*/true, bands.alpha, bands.num_bands,
+                          bands.chosen_band, report};
+  }();
+  if (opts.augment) {
+    augment_assignment(inst, out.assignment);
+    out.utility = out.assignment.utility();
+  }
+  return out;
+}
+
+}  // namespace vdist::core

@@ -1,0 +1,44 @@
+// The full Theorem 1.1 / 4.4 pipeline:
+//
+//   MMD instance
+//     --(§4.1 reduce_to_smd)-->        single-budget SMD
+//     --(§3 classify-and-select)-->    unit-skew bands
+//     --(§2 fixed greedy / §2.3)-->    per-band solutions
+//     --(§4 transform_output)-->       feasible MMD assignment
+//
+// yielding an O(m*mc*log(2*alpha*mc))-approximation in O(n^2) time. For
+// instances that are already SMD (m = mc = 1) the reduction and output
+// transformation are skipped — the band solution is directly feasible.
+#pragma once
+
+#include "core/mmd_reduction.h"
+#include "core/skew_bands.h"
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::core {
+
+struct MmdSolverOptions {
+  SkewBandsOptions bands;
+  // Run the feasible greedy augmentation post-pass (core/augment.h) on the
+  // pipeline's output. Only ever adds pairs, so every approximation
+  // guarantee is preserved; off reproduces the paper's bare pipeline
+  // (bench E12 ablates the difference).
+  bool augment = true;
+};
+
+struct MmdSolveResult {
+  model::Assignment assignment;  // feasible for the input instance
+  double utility = 0.0;
+  // Diagnostics from the stages.
+  bool reduced = false;     // whether the §4 reduction was applied
+  double alpha = 1.0;       // local skew of the (possibly reduced) SMD
+  int num_bands = 0;
+  int chosen_band = 0;
+  OutputTransformReport transform;  // meaningful when reduced
+};
+
+[[nodiscard]] MmdSolveResult solve_mmd(const model::Instance& inst,
+                                       const MmdSolverOptions& opts = {});
+
+}  // namespace vdist::core

@@ -1,0 +1,151 @@
+#include "core/partial_enum.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/float_cmp.h"
+
+namespace vdist::core {
+
+using model::Assignment;
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+using util::approx_le;
+
+namespace {
+
+// Builds the semi-feasible assignment for a fixed stream set: streams are
+// handed to users in the given order, each user taking a stream while its
+// residual cap is positive (the same saturation rule as Algorithm 1).
+GreedyResult assign_seed_only(const Instance& inst,
+                              std::span<const StreamId> seeds) {
+  GreedyResult out{Assignment(inst), 0.0, {}};
+  std::vector<double> rem(inst.num_users());
+  for (std::size_t u = 0; u < rem.size(); ++u)
+    rem[u] = inst.capacity(static_cast<UserId>(u), 0);
+  for (StreamId s : seeds) {
+    out.trace.considered.push_back(s);
+    out.trace.added.push_back(1);
+    for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
+      const UserId u = inst.edge_user(e);
+      const auto uu = static_cast<std::size_t>(u);
+      const double w = inst.edge_utility(e);
+      if (rem[uu] <= util::kAbsEps || w <= 0.0) continue;
+      out.assignment.assign(u, s);
+      out.capped_utility += std::min(w, rem[uu]);
+      rem[uu] -= w;
+    }
+  }
+  return out;
+}
+
+// Scores one candidate semi-feasible assignment under the requested mode
+// and keeps it if it beats the incumbent.
+class Incumbent {
+ public:
+  Incumbent(const Instance& inst, SmdMode mode)
+      : inst_(inst), mode_(mode), best_{Assignment(inst), -1.0, "none"} {}
+
+  void offer(GreedyResult&& g) {
+    if (mode_ == SmdMode::kAugmented) {
+      consider({std::move(g.assignment), g.capped_utility, "greedy"});
+      return;
+    }
+    FeasibleSplit split = split_last_stream(inst_, g.assignment);
+    if (split.w1 >= split.w2)
+      consider({std::move(split.a1), split.w1, "A1"});
+    else
+      consider({std::move(split.a2), split.w2, "A2"});
+  }
+
+  void offer_single_best() {
+    Assignment amax = best_single_stream(inst_);
+    const double w = amax.capped_utility();
+    consider({std::move(amax), w, "Amax"});
+  }
+
+  SmdSolveResult take() && { return std::move(best_); }
+
+ private:
+  void consider(SmdSolveResult&& cand) {
+    if (cand.utility > best_.utility) best_ = std::move(cand);
+  }
+
+  const Instance& inst_;
+  SmdMode mode_;
+  SmdSolveResult best_;
+};
+
+// Enumerates all subsets of size exactly `k` whose total cost fits the
+// budget, invoking `fn` on each. Prunes on cost as it recurses.
+template <typename Fn>
+void for_each_subset(const Instance& inst, int k, Fn&& fn,
+                     std::size_t& budget_left_candidates) {
+  const auto S = static_cast<StreamId>(inst.num_streams());
+  const double B = inst.budget(0);
+  std::vector<StreamId> current;
+  current.reserve(static_cast<std::size_t>(k));
+  auto rec = [&](auto&& self, StreamId start, double cost) -> bool {
+    if (static_cast<int>(current.size()) == k) {
+      if (budget_left_candidates == 0) return false;
+      --budget_left_candidates;
+      fn(std::span<const StreamId>(current));
+      return true;
+    }
+    for (StreamId s = start; s < S; ++s) {
+      const double c = inst.cost(s, 0);
+      if (!approx_le(cost + c, B)) continue;
+      current.push_back(s);
+      const bool keep_going = self(self, s + 1, cost + c);
+      current.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  rec(rec, 0, 0.0);
+}
+
+}  // namespace
+
+PartialEnumResult partial_enum_unit_skew(const Instance& inst,
+                                         const PartialEnumOptions& opts) {
+  PartialEnumResult out{{Assignment(inst), -1.0, "none"}, 0, false};
+  Incumbent incumbent(inst, opts.mode);
+
+  // The plain greedy (empty seed) and the single best stream are always
+  // candidates; with seed_size == 0 they are the whole algorithm.
+  incumbent.offer(greedy_unit_skew(inst));
+  incumbent.offer_single_best();
+  out.candidates_evaluated = 2;
+
+  std::size_t candidate_budget = opts.max_candidates;
+
+  // Cardinality-(< seed_size) sets, evaluated directly (no completion).
+  for (int k = 1; k < opts.seed_size; ++k) {
+    for_each_subset(
+        inst, k,
+        [&](std::span<const StreamId> set) {
+          ++out.candidates_evaluated;
+          incumbent.offer(assign_seed_only(inst, set));
+        },
+        candidate_budget);
+  }
+
+  // Cardinality-(== seed_size) seeds with greedy completion.
+  if (opts.seed_size >= 1) {
+    for_each_subset(
+        inst, opts.seed_size,
+        [&](std::span<const StreamId> seed) {
+          ++out.candidates_evaluated;
+          incumbent.offer(greedy_unit_skew_seeded(inst, seed));
+        },
+        candidate_budget);
+  }
+
+  out.truncated = (candidate_budget == 0);
+  out.best = std::move(incumbent).take();
+  return out;
+}
+
+}  // namespace vdist::core

@@ -1,0 +1,47 @@
+// Section 2.3: the better approximation via partial enumeration
+// (Sviridenko's algorithm for maximizing a nondecreasing submodular set
+// function under a knapsack constraint, instantiated for the cap-form
+// utility of Lemma 2.1).
+//
+// The algorithm:
+//   1. evaluates every feasible stream set of cardinality < seed_size
+//      directly, and
+//   2. for every feasible set of cardinality exactly seed_size, runs the
+//      greedy of Algorithm 1 seeded with that set,
+// returning the best candidate. With seed_size = 3 (the default, as in
+// Sviridenko [16]) this guarantees e/(e-1) with resource augmentation
+// (Theorem 2.9) and 2e/(e-1) without (Theorem 2.10, via the same
+// last-stream split as Theorem 2.8).
+//
+// Running time is O(|S|^seed_size) greedy runs — polynomial but heavy;
+// intended for moderate instance sizes (the paper's point is the existence
+// of the ratio, and bench E3 measures the quality/time trade-off).
+#pragma once
+
+#include <cstddef>
+
+#include "core/greedy.h"
+
+namespace vdist::core {
+
+struct PartialEnumOptions {
+  // Sviridenko's enumeration depth d; 3 proves the theorem, smaller values
+  // trade quality for time (0 degenerates to solve_unit_skew).
+  int seed_size = 3;
+  SmdMode mode = SmdMode::kFeasible;
+  // Safety valve: stop enumerating after this many candidate seed sets.
+  std::size_t max_candidates = 5'000'000;
+};
+
+struct PartialEnumResult {
+  SmdSolveResult best;
+  std::size_t candidates_evaluated = 0;
+  // True if max_candidates stopped the enumeration early (the guarantee
+  // then no longer holds; benches report it).
+  bool truncated = false;
+};
+
+[[nodiscard]] PartialEnumResult partial_enum_unit_skew(
+    const model::Instance& inst, const PartialEnumOptions& opts = {});
+
+}  // namespace vdist::core

@@ -1,0 +1,82 @@
+#include "core/submodular.h"
+
+#include <stdexcept>
+
+namespace vdist::core {
+
+CoverageOracle::CoverageOracle(
+    int num_items, int num_elements,
+    std::vector<std::pair<int, int>> item_element_pairs,
+    std::vector<double> element_weights)
+    : covers_(static_cast<std::size_t>(num_items)),
+      weights_(std::move(element_weights)),
+      covered_(static_cast<std::size_t>(num_elements), 0) {
+  if (weights_.size() != static_cast<std::size_t>(num_elements))
+    throw std::invalid_argument("CoverageOracle: weights size mismatch");
+  for (const auto& [item, element] : item_element_pairs) {
+    if (item < 0 || item >= num_items || element < 0 ||
+        element >= num_elements)
+      throw std::invalid_argument("CoverageOracle: pair out of range");
+    covers_[static_cast<std::size_t>(item)].push_back(element);
+  }
+}
+
+void CoverageOracle::reset() {
+  std::fill(covered_.begin(), covered_.end(), 0);
+  value_ = 0.0;
+}
+
+double CoverageOracle::marginal(int item) const {
+  double gain = 0.0;
+  for (int el : covers_[static_cast<std::size_t>(item)])
+    if (!covered_[static_cast<std::size_t>(el)])
+      gain += weights_[static_cast<std::size_t>(el)];
+  return gain;
+}
+
+void CoverageOracle::add(int item) {
+  for (int el : covers_[static_cast<std::size_t>(item)]) {
+    if (!covered_[static_cast<std::size_t>(el)]) {
+      covered_[static_cast<std::size_t>(el)] = 1;
+      value_ += weights_[static_cast<std::size_t>(el)];
+    }
+  }
+}
+
+CapUtilityOracle::CapUtilityOracle(const model::Instance& inst)
+    : inst_(&inst), rem_(inst.num_users()) {
+  if (!inst.is_smd() || !inst.is_unit_skew())
+    throw std::invalid_argument(
+        "CapUtilityOracle: requires a unit-skew SMD (cap-form) instance");
+  reset();
+}
+
+void CapUtilityOracle::reset() {
+  for (std::size_t u = 0; u < rem_.size(); ++u)
+    rem_[u] = inst_->capacity(static_cast<model::UserId>(u), 0);
+  value_ = 0.0;
+}
+
+double CapUtilityOracle::marginal(int stream) const {
+  const auto s = static_cast<model::StreamId>(stream);
+  double gain = 0.0;
+  for (model::EdgeId e = inst_->first_edge(s); e < inst_->last_edge(s); ++e) {
+    const double rem = rem_[static_cast<std::size_t>(inst_->edge_user(e))];
+    if (rem <= 0.0) continue;
+    gain += std::min(inst_->edge_utility(e), rem);
+  }
+  return gain;
+}
+
+void CapUtilityOracle::add(int stream) {
+  const auto s = static_cast<model::StreamId>(stream);
+  for (model::EdgeId e = inst_->first_edge(s); e < inst_->last_edge(s); ++e) {
+    auto& rem = rem_[static_cast<std::size_t>(inst_->edge_user(e))];
+    if (rem <= 0.0) continue;
+    const double w = inst_->edge_utility(e);
+    value_ += std::min(w, rem);
+    rem -= w;
+  }
+}
+
+}  // namespace vdist::core

@@ -1,0 +1,186 @@
+#include "gen/iptv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vdist::gen {
+
+using model::InstanceBuilder;
+using model::StreamId;
+using model::UserId;
+
+namespace {
+
+struct TierSpec {
+  const char* name;
+  double incoming_mbps;  // DOCSIS-like downstream cap
+  double revenue_cap;    // most revenue extractable from this tier
+};
+
+constexpr TierSpec kGold{"gold", 80.0, 60.0};
+constexpr TierSpec kSilver{"silver", 40.0, 30.0};
+constexpr TierSpec kBronze{"bronze", 18.0, 14.0};
+
+// Bitrate/price draw for one quality class (0 = SD, 1 = HD, >= 2 = UHD).
+void draw_class(int quality, util::Rng& rng, IptvChannel& ch) {
+  if (quality == 0) {
+    ch.klass = ChannelClass::kSd;
+    ch.bitrate_mbps = rng.uniform(2.0, 4.0);
+    ch.base_price = rng.uniform(0.8, 1.4);
+  } else if (quality == 1) {
+    ch.klass = ChannelClass::kHd;
+    ch.bitrate_mbps = rng.uniform(7.0, 11.0);
+    ch.base_price = rng.uniform(1.8, 3.2);
+  } else {
+    ch.klass = ChannelClass::kUhd;
+    ch.bitrate_mbps = rng.uniform(15.0, 24.0);
+    ch.base_price = rng.uniform(3.5, 6.0);
+  }
+}
+
+const char* class_tag(ChannelClass klass) {
+  switch (klass) {
+    case ChannelClass::kSd: return "sd";
+    case ChannelClass::kHd: return "hd";
+    default: return "uhd";
+  }
+}
+
+}  // namespace
+
+IptvWorkload make_iptv_workload(const IptvConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  IptvWorkload out{model::Instance{model::InstanceBuilder(1, 0).build()},
+                   {},
+                   {},
+                   {}};
+  const int variants = std::max(cfg.variants_per_channel, 1);
+
+  // --- Channel catalog ------------------------------------------------------
+  std::vector<IptvChannel> channels;
+  channels.reserve(cfg.num_channels);
+  std::vector<std::int32_t> variant_group;
+  double total_bitrate = 0.0;
+  double total_processing = 0.0;
+  double max_bitrate = 0.0;
+  double max_processing = 0.0;
+
+  const std::size_t logical_channels =
+      variants > 1 ? std::max<std::size_t>(cfg.num_channels /
+                                               static_cast<std::size_t>(variants),
+                                           1)
+                   : cfg.num_channels;
+
+  auto finish_channel = [&](IptvChannel& ch, std::int32_t group) {
+    if (cfg.decorrelate_price) ch.base_price = rng.uniform(0.3, 6.0);
+    ch.processing_units = 0.5 + ch.bitrate_mbps * rng.uniform(0.08, 0.15);
+    total_bitrate += ch.bitrate_mbps;
+    total_processing += ch.processing_units;
+    max_bitrate = std::max(max_bitrate, ch.bitrate_mbps);
+    max_processing = std::max(max_processing, ch.processing_units);
+    channels.push_back(std::move(ch));
+    variant_group.push_back(group);
+  };
+
+  if (variants > 1) {
+    // Variant mode: each logical channel appears in `variants` encodings,
+    // quality classes 0..variants-1, all sharing the popularity rank.
+    for (std::size_t l = 0; l < logical_channels; ++l) {
+      const double content_factor = rng.uniform(0.7, 1.6);
+      for (int v = 0; v < variants; ++v) {
+        IptvChannel ch;
+        ch.popularity_rank = l;
+        draw_class(std::min(v, 2), rng, ch);
+        ch.base_price *= content_factor;
+        ch.name = "ch" + std::to_string(l) + "-" + class_tag(ch.klass);
+        finish_channel(ch, static_cast<std::int32_t>(l));
+      }
+    }
+  } else {
+    for (std::size_t c = 0; c < cfg.num_channels; ++c) {
+      IptvChannel ch;
+      ch.popularity_rank = c;
+      const double cls = rng.uniform();
+      const int quality = cls < cfg.sd_fraction                      ? 0
+                          : cls < cfg.sd_fraction + cfg.hd_fraction ? 1
+                                                                     : 2;
+      draw_class(quality, rng, ch);
+      ch.name = std::string(class_tag(ch.klass)) + "-" + std::to_string(c);
+      finish_channel(ch, -1);
+    }
+  }
+
+  // --- Instance -------------------------------------------------------------
+  // Budgets never drop below the single largest cost (the paper assumes
+  // every stream fits alone; the builder enforces it).
+  InstanceBuilder b(/*m=*/3, /*mc=*/2);
+  b.set_budget(0,
+               std::max(cfg.bandwidth_fraction * total_bitrate, max_bitrate));
+  b.set_budget(1, std::max(cfg.processing_fraction * total_processing,
+                           max_processing));
+  b.set_budget(
+      2, std::max(cfg.ports_fraction * static_cast<double>(channels.size()),
+                  1.0));
+  for (const auto& ch : channels)
+    b.add_stream({ch.bitrate_mbps, ch.processing_units, 1.0}, ch.name);
+
+  std::vector<std::string> tiers;
+  tiers.reserve(cfg.num_users);
+  for (std::size_t u = 0; u < cfg.num_users; ++u) {
+    const double t = rng.uniform();
+    const TierSpec& tier = t < cfg.gold_fraction ? kGold
+                           : t < cfg.gold_fraction + cfg.silver_fraction
+                               ? kSilver
+                               : kBronze;
+    tiers.emplace_back(tier.name);
+    b.add_user({tier.incoming_mbps, tier.revenue_cap},
+               std::string(tier.name) + "-" + std::to_string(u));
+  }
+
+  // --- Interest graph: Zipf popularity over logical channels ----------------
+  const auto cdf =
+      util::Rng::make_zipf_cdf(logical_channels, cfg.zipf_exponent);
+  std::vector<char> picked(logical_channels);
+  for (std::size_t u = 0; u < cfg.num_users; ++u) {
+    std::fill(picked.begin(), picked.end(), 0);
+    std::size_t chosen = 0;
+    std::size_t attempts = 0;
+    const std::size_t want =
+        std::min(cfg.interests_per_user, logical_channels);
+    while (chosen < want && attempts < logical_channels * 20) {
+      ++attempts;
+      const std::size_t l = rng.zipf(cdf);
+      if (picked[l]) continue;
+      picked[l] = 1;
+      ++chosen;
+      const double affinity = rng.uniform(0.6, 1.4);
+      if (variants > 1) {
+        // Interested in every variant of the chosen content; utility
+        // scales with the variant's price (quality premium).
+        for (int v = 0; v < variants; ++v) {
+          const std::size_t s = l * static_cast<std::size_t>(variants) +
+                                static_cast<std::size_t>(v);
+          const IptvChannel& ch = channels[s];
+          const double utility = ch.base_price * affinity;
+          b.add_interest(static_cast<UserId>(u), static_cast<StreamId>(s),
+                         utility, {ch.bitrate_mbps, utility});
+        }
+      } else {
+        const IptvChannel& ch = channels[l];
+        const double utility = ch.base_price * affinity;
+        b.add_interest(static_cast<UserId>(u), static_cast<StreamId>(l),
+                       utility, {ch.bitrate_mbps, utility});
+      }
+    }
+  }
+
+  out.instance = std::move(b).build();
+  out.channels = std::move(channels);
+  out.user_tiers = std::move(tiers);
+  out.variant_group = std::move(variant_group);
+  return out;
+}
+
+}  // namespace vdist::gen

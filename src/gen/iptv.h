@@ -1,0 +1,74 @@
+// Synthetic IPTV / cable head-end workload (the Fig. 1 scenario).
+//
+// Substitutes for real channel catalogs and subscriber populations (see
+// DESIGN.md "Substitutions"):
+//   * channels come in SD/HD/UHD bitrate classes with Zipf(s) popularity;
+//   * the server (head-end) has m = 3 measures: outgoing bandwidth (Mbps),
+//     processing (transcode units), and input ports (slots);
+//   * users (households / neighborhood gateways) have mc = 2 measures:
+//     incoming bandwidth (their DOCSIS tier) and a revenue cap (utility
+//     modeled as revenue; the cap is the paper's W_u realized as a
+//     unit-skew measure);
+//   * utility of a channel to a user = class base price x popularity
+//     affinity noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace vdist::gen {
+
+enum class ChannelClass { kSd, kHd, kUhd };
+
+struct IptvConfig {
+  std::size_t num_channels = 200;
+  std::size_t num_users = 300;
+  double zipf_exponent = 0.9;          // channel popularity skew
+  std::size_t interests_per_user = 25; // channels a user would pay for
+  // Class mix (fractions; remainder is UHD).
+  double sd_fraction = 0.5;
+  double hd_fraction = 0.4;
+  // Server budgets as fractions of the full catalog's demands. < 1 makes
+  // the constraint binding.
+  double bandwidth_fraction = 0.35;
+  double processing_fraction = 0.5;
+  double ports_fraction = 0.6;
+  // User tier mix (fractions; remainder is bronze).
+  double gold_fraction = 0.2;
+  double silver_fraction = 0.3;
+  // Draw channel prices independently of the bitrate class. This is the
+  // adversarial regime of the paper's introduction: utility no longer
+  // tracks cost, so cost-blind admission fills the plant with junk.
+  bool decorrelate_price = false;
+  // When > 1, every logical channel is offered in this many encodings
+  // (variants) forming one group each; core::solve_with_groups enforces
+  // carrying at most one variant. num_channels then counts variants, so
+  // the catalog has num_channels / variants_per_channel logical channels.
+  int variants_per_channel = 1;
+  std::uint64_t seed = 42;
+};
+
+struct IptvChannel {
+  std::string name;
+  ChannelClass klass;
+  double bitrate_mbps;     // server bandwidth cost and user load
+  double processing_units; // transcode cost at the head-end
+  double base_price;       // revenue scale
+  std::size_t popularity_rank;
+};
+
+struct IptvWorkload {
+  model::Instance instance;  // m = 3, mc = 2
+  std::vector<IptvChannel> channels;     // by StreamId
+  std::vector<std::string> user_tiers;   // "gold"/"silver"/"bronze" by UserId
+  // Variant-group id per stream (all -1 when variants_per_channel == 1);
+  // feed to core::solve_with_groups.
+  std::vector<std::int32_t> variant_group;
+};
+
+[[nodiscard]] IptvWorkload make_iptv_workload(const IptvConfig& cfg);
+
+}  // namespace vdist::gen

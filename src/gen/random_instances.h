@@ -1,0 +1,73 @@
+// Random MMD/SMD/cap-form instance generators for tests and benches.
+//
+// All generators are deterministic functions of their config (including
+// seed). Budgets and capacities are expressed as *fractions* of the
+// generated totals so that instances stay comparably "tight" as sizes
+// sweep — the quality benches rely on that to isolate the effect of
+// n, m, mc and alpha.
+#pragma once
+
+#include <cstdint>
+
+#include "model/instance.h"
+
+namespace vdist::gen {
+
+// --- Section-2 cap form (unit skew) ---------------------------------------
+struct RandomCapConfig {
+  std::size_t num_streams = 20;
+  std::size_t num_users = 10;
+  // Expected number of interested users per stream.
+  double interest_per_stream = 4.0;
+  double utility_min = 1.0;
+  double utility_max = 10.0;
+  double cost_min = 1.0;
+  double cost_max = 10.0;
+  // B = budget_fraction * sum of stream costs.
+  double budget_fraction = 0.3;
+  // W_u = cap_fraction * (sum of u's interest utilities); >= 1 means the
+  // cap never binds.
+  double cap_fraction = 0.6;
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] model::Instance random_cap_instance(const RandomCapConfig& cfg);
+
+// --- SMD with controlled local skew ---------------------------------------
+struct RandomSmdConfig {
+  std::size_t num_streams = 20;
+  std::size_t num_users = 10;
+  double interest_per_stream = 4.0;
+  double utility_min = 1.0;
+  double utility_max = 10.0;
+  double cost_min = 1.0;
+  double cost_max = 10.0;
+  double budget_fraction = 0.3;
+  // Per-edge utility/load ratio is drawn log-uniformly from
+  // [1, target_skew]; target_skew = 1 gives the cap form exactly.
+  double target_skew = 1.0;
+  // K_u = capacity_fraction * (sum of u's interest loads).
+  double capacity_fraction = 0.6;
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] model::Instance random_smd_instance(const RandomSmdConfig& cfg);
+
+// --- General MMD ------------------------------------------------------------
+struct RandomMmdConfig {
+  std::size_t num_streams = 20;
+  std::size_t num_users = 10;
+  int num_server_measures = 2;   // m
+  int num_user_measures = 2;     // mc
+  double interest_per_stream = 4.0;
+  double utility_min = 1.0;
+  double utility_max = 10.0;
+  double cost_min = 1.0;
+  double cost_max = 10.0;
+  double budget_fraction = 0.3;  // per measure
+  double load_min = 0.5;
+  double load_max = 5.0;
+  double capacity_fraction = 0.6;  // per user measure
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] model::Instance random_mmd_instance(const RandomMmdConfig& cfg);
+
+}  // namespace vdist::gen

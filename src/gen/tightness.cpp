@@ -1,0 +1,69 @@
+#include "gen/tightness.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace vdist::gen {
+
+using model::Instance;
+using model::InstanceBuilder;
+using model::StreamId;
+using model::UserId;
+
+Instance tightness_instance(const TightnessConfig& cfg) {
+  if (cfg.m < 1 || cfg.mc < 1)
+    throw std::invalid_argument("tightness_instance: m, mc >= 1 required");
+  // The paper's "small enough" eps = 1/m^2 (eps' = 1/mc^2); both must stay
+  // below 1/2 for all streams to fit together, which 1/m^2 violates at
+  // m = 1 — clamp to 1/4.
+  const double eps = std::min(
+      cfg.eps > 0.0 ? cfg.eps : 1.0 / (static_cast<double>(cfg.m) * cfg.m),
+      0.25);
+  const double epsp =
+      std::min(cfg.eps_prime > 0.0
+                   ? cfg.eps_prime
+                   : 1.0 / (static_cast<double>(cfg.mc) * cfg.mc),
+               0.25);
+  const auto m = static_cast<std::size_t>(cfg.m);
+  const auto mc = static_cast<std::size_t>(cfg.mc);
+  const std::size_t num_streams = m + mc - 1;
+
+  InstanceBuilder b(cfg.m, cfg.mc);
+  for (std::size_t i = 0; i < m; ++i) b.set_budget(static_cast<int>(i), 1.0);
+
+  for (std::size_t j = 0; j < num_streams; ++j) {
+    std::vector<double> costs(m, 0.0);
+    if (j < m - 1) {
+      // Streams S_1..S_{m-1} (0-based j < m-1): cost in their own measure.
+      costs[j] = 0.5 + eps;
+    } else {
+      // Streams S_m..S_{m+mc-1}: cost in measure m (0-based m-1).
+      costs[m - 1] = (0.5 + eps) / static_cast<double>(mc);
+    }
+    b.add_stream(std::move(costs));
+  }
+
+  const UserId u = b.add_user(std::vector<double>(mc, 1.0));
+
+  for (std::size_t j = 0; j < num_streams; ++j) {
+    std::vector<double> loads(mc, 0.0);
+    double w;
+    if (j < m - 1) {
+      w = 1.0;  // no user load at all
+    } else {
+      // Stream S_{m+i-1} loads user measure i (0-based: j = m-1+i0).
+      loads[j - (m - 1)] = 0.5 + epsp;
+      w = 1.0 / static_cast<double>(mc);
+    }
+    b.add_interest(u, static_cast<StreamId>(j), w, std::move(loads));
+  }
+  return std::move(b).build();
+}
+
+double tightness_opt(const TightnessConfig& cfg) {
+  // All streams together: (m-1) * 1 + mc * (1/mc) = m.
+  return static_cast<double>(cfg.m);
+}
+
+}  // namespace vdist::gen

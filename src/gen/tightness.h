@@ -1,0 +1,33 @@
+// The explicit worst-case instance of Section 4.2, showing the Theorem 4.3
+// output transformation can lose a Theta(m * mc) factor.
+//
+// Construction (one user, m + mc - 1 streams, unit budgets/capacities):
+//   c_i(S_j)   = 1/2 + eps          for i = j < m,
+//                (1/2 + eps) / mc   for i = m and j >= m,
+//                0                  otherwise;
+//   k_i^u(S_j) = 1/2 + eps'         for j = m + i - 1, else 0;
+//   w_u(S_j)   = 1 for j < m, 1/mc for j >= m,
+// with eps = 1/m^2, eps' = 1/mc^2. The optimum takes all streams (OPT = m);
+// the reduction's decomposition can end up keeping a single j >= m stream
+// of utility 1/mc — a loss of m*mc.
+#pragma once
+
+#include "model/instance.h"
+
+namespace vdist::gen {
+
+struct TightnessConfig {
+  int m = 4;   // server measures, >= 1
+  int mc = 4;  // user capacity measures, >= 1
+  // Defaults to the paper's eps = 1/m^2, eps' = 1/mc^2 when <= 0.
+  double eps = -1.0;
+  double eps_prime = -1.0;
+};
+
+[[nodiscard]] model::Instance tightness_instance(const TightnessConfig& cfg);
+
+// The instance's optimum utility (all streams): m (analytically; handy for
+// benches that should not run the exact solver).
+[[nodiscard]] double tightness_opt(const TightnessConfig& cfg);
+
+}  // namespace vdist::gen

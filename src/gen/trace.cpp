@@ -1,0 +1,43 @@
+#include "gen/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vdist::gen {
+
+std::vector<Session> make_trace(const model::Instance& inst,
+                                const TraceConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  // Popularity-weighted stream sampling CDF.
+  std::vector<double> cdf(inst.num_streams());
+  double total = 0.0;
+  for (std::size_t s = 0; s < inst.num_streams(); ++s) {
+    const double w = std::pow(
+        1.0 + inst.total_utility(static_cast<model::StreamId>(s)),
+        cfg.popularity_bias);
+    total += w;
+    cdf[s] = total;
+  }
+  for (auto& v : cdf) v /= total;
+
+  std::vector<Session> out;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(cfg.arrival_rate);
+    if (t >= cfg.horizon) break;
+    Session sess;
+    sess.arrival = t;
+    sess.duration = rng.exponential(1.0 / cfg.mean_duration);
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    sess.stream = static_cast<model::StreamId>(
+        std::min<std::size_t>(static_cast<std::size_t>(it - cdf.begin()),
+                              inst.num_streams() - 1));
+    out.push_back(sess);
+  }
+  return out;
+}
+
+}  // namespace vdist::gen

@@ -1,0 +1,35 @@
+// Session traces for the discrete-event simulator: timed offerings of
+// catalog streams with finite durations (the dynamic setting of the
+// paper's footnote 1 in Section 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace vdist::gen {
+
+struct Session {
+  double arrival = 0.0;
+  double duration = 0.0;
+  model::StreamId stream = model::kInvalidStream;  // catalog stream offered
+};
+
+struct TraceConfig {
+  double arrival_rate = 1.0;    // Poisson arrivals per unit time
+  double mean_duration = 20.0;  // exponential session length
+  double horizon = 500.0;       // stop generating at this time
+  // Popularity bias: probability of offering stream s is proportional to
+  // (1 + total_utility(s))^bias; 0 = uniform.
+  double popularity_bias = 0.0;
+  std::uint64_t seed = 7;
+};
+
+// Draws a Poisson arrival process over the instance's catalog. Sessions
+// are sorted by arrival time. A stream may be offered multiple times
+// (distinct sessions).
+[[nodiscard]] std::vector<Session> make_trace(const model::Instance& inst,
+                                              const TraceConfig& cfg);
+
+}  // namespace vdist::gen

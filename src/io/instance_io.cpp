@@ -1,0 +1,258 @@
+#include "io/instance_io.h"
+
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/float_cmp.h"
+
+namespace vdist::io {
+
+using model::Instance;
+using model::InstanceBuilder;
+using model::StreamId;
+using model::UserId;
+
+namespace {
+
+constexpr const char* kMagic = "vdist-instance";
+constexpr int kVersion = 1;
+
+void write_value(std::ostream& os, double v) {
+  if (util::is_unbounded(v)) {
+    os << "inf";
+    return;
+  }
+  // max_digits10 guarantees exact round-trip through decimal.
+  std::ostringstream ss;
+  ss.precision(std::numeric_limits<double>::max_digits10);
+  ss << v;
+  os << ss.str();
+}
+
+double parse_value(const std::string& token, std::size_t line) {
+  if (token == "inf") return model::kUnbounded;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("instance_io: bad number '" + token +
+                             "' at line " + std::to_string(line));
+  }
+}
+
+std::string escape_name(const std::string& name) {
+  if (name.empty()) return "-";
+  std::string out;
+  for (char c : name) out += (c == ' ' || c == '\t' || c == '#') ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+void save_instance(std::ostream& os, const Instance& inst) {
+  const int m = inst.num_server_measures();
+  const int mc = inst.num_user_measures();
+  os << kMagic << ' ' << kVersion << "\n";
+  os << "dims " << m << ' ' << mc << "\n";
+  for (int i = 0; i < m; ++i) {
+    os << "budget " << i << ' ';
+    write_value(os, inst.budget(i));
+    os << "\n";
+  }
+  for (std::size_t s = 0; s < inst.num_streams(); ++s) {
+    const auto sid = static_cast<StreamId>(s);
+    os << "stream " << s << ' ' << escape_name(inst.stream_name(sid));
+    for (int i = 0; i < m; ++i) {
+      os << ' ';
+      write_value(os, inst.cost(sid, i));
+    }
+    os << "\n";
+  }
+  for (std::size_t u = 0; u < inst.num_users(); ++u) {
+    const auto uid = static_cast<UserId>(u);
+    os << "user " << u << ' ' << escape_name(inst.user_name(uid));
+    for (int j = 0; j < mc; ++j) {
+      os << ' ';
+      write_value(os, inst.capacity(uid, j));
+    }
+    os << "\n";
+  }
+  for (std::size_t s = 0; s < inst.num_streams(); ++s) {
+    const auto sid = static_cast<StreamId>(s);
+    for (model::EdgeId e = inst.first_edge(sid); e < inst.last_edge(sid);
+         ++e) {
+      os << "interest " << inst.edge_user(e) << ' ' << s << ' ';
+      write_value(os, inst.edge_utility(e));
+      for (int j = 0; j < mc; ++j) {
+        os << ' ';
+        write_value(os, inst.edge_load(e, j));
+      }
+      os << "\n";
+    }
+  }
+}
+
+Instance load_instance(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto fail = [&](const std::string& msg) -> std::runtime_error {
+    return std::runtime_error("instance_io: " + msg + " at line " +
+                              std::to_string(line_no));
+  };
+
+  // Header.
+  std::string magic;
+  int version = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    ss >> magic >> version;
+    break;
+  }
+  if (magic != kMagic) throw fail("missing 'vdist-instance' header");
+  if (version != kVersion)
+    throw fail("unsupported version " + std::to_string(version));
+
+  int m = -1;
+  int mc = -1;
+  std::unique_ptr<InstanceBuilder> builder;
+  std::size_t next_stream = 0;
+  std::size_t next_user = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    std::vector<std::string> tokens;
+    for (std::string t; ss >> t;) tokens.push_back(t);
+
+    if (kind == "dims") {
+      if (builder) throw fail("duplicate dims");
+      if (tokens.size() != 2) throw fail("dims needs m and mc");
+      m = std::stoi(tokens[0]);
+      mc = std::stoi(tokens[1]);
+      builder = std::make_unique<InstanceBuilder>(m, mc);
+      continue;
+    }
+    if (!builder) throw fail("dims must come first");
+
+    if (kind == "budget") {
+      if (tokens.size() != 2) throw fail("budget needs index and value");
+      builder->set_budget(std::stoi(tokens[0]), parse_value(tokens[1], line_no));
+    } else if (kind == "stream") {
+      if (tokens.size() != 2 + static_cast<std::size_t>(m))
+        throw fail("stream needs id, name and m costs");
+      if (std::stoul(tokens[0]) != next_stream)
+        throw fail("stream ids must be dense and ordered");
+      ++next_stream;
+      std::vector<double> costs;
+      for (int i = 0; i < m; ++i)
+        costs.push_back(parse_value(tokens[2 + static_cast<std::size_t>(i)], line_no));
+      builder->add_stream(std::move(costs),
+                          tokens[1] == "-" ? std::string{} : tokens[1]);
+    } else if (kind == "user") {
+      if (tokens.size() != 2 + static_cast<std::size_t>(mc))
+        throw fail("user needs id, name and mc capacities");
+      if (std::stoul(tokens[0]) != next_user)
+        throw fail("user ids must be dense and ordered");
+      ++next_user;
+      std::vector<double> caps;
+      for (int j = 0; j < mc; ++j)
+        caps.push_back(parse_value(tokens[2 + static_cast<std::size_t>(j)], line_no));
+      builder->add_user(std::move(caps),
+                        tokens[1] == "-" ? std::string{} : tokens[1]);
+    } else if (kind == "interest") {
+      if (tokens.size() != 3 + static_cast<std::size_t>(mc))
+        throw fail("interest needs user, stream, utility and mc loads");
+      const auto u = static_cast<UserId>(std::stoi(tokens[0]));
+      const auto s = static_cast<StreamId>(std::stoi(tokens[1]));
+      const double w = parse_value(tokens[2], line_no);
+      std::vector<double> loads;
+      for (int j = 0; j < mc; ++j)
+        loads.push_back(parse_value(tokens[3 + static_cast<std::size_t>(j)], line_no));
+      builder->add_interest(u, s, w, std::move(loads));
+    } else {
+      throw fail("unknown record '" + kind + "'");
+    }
+  }
+  if (!builder) throw fail("empty input");
+  return std::move(*builder).build();
+}
+
+void save_instance_file(const std::string& path, const Instance& inst) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("instance_io: cannot open " + path);
+  save_instance(os, inst);
+  if (!os) throw std::runtime_error("instance_io: write failed: " + path);
+}
+
+Instance load_instance_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("instance_io: cannot open " + path);
+  return load_instance(is);
+}
+
+void save_assignment(std::ostream& os, const model::Assignment& a) {
+  const Instance& inst = a.instance();
+  for (std::size_t u = 0; u < inst.num_users(); ++u)
+    for (StreamId s : a.streams_of(static_cast<UserId>(u)))
+      os << "assign " << u << ' ' << s << "\n";
+  os << "utility ";
+  std::ostringstream ss;
+  ss.precision(std::numeric_limits<double>::max_digits10);
+  ss << a.utility();
+  os << ss.str() << "\n";
+}
+
+model::Assignment load_assignment(std::istream& is, const Instance& inst) {
+  model::Assignment a(inst);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_utility = false;
+  double claimed_utility = 0.0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "assign") {
+      long long u = -1;
+      long long s = -1;
+      ss >> u >> s;
+      if (ss.fail() || u < 0 ||
+          static_cast<std::size_t>(u) >= inst.num_users() || s < 0 ||
+          static_cast<std::size_t>(s) >= inst.num_streams())
+        throw std::runtime_error("load_assignment: bad pair at line " +
+                                 std::to_string(line_no));
+      a.assign(static_cast<UserId>(u), static_cast<StreamId>(s));
+    } else if (kind == "utility") {
+      std::string token;
+      ss >> token;
+      claimed_utility = parse_value(token, line_no);
+      saw_utility = true;
+    } else {
+      throw std::runtime_error("load_assignment: unknown record '" + kind +
+                               "' at line " + std::to_string(line_no));
+    }
+  }
+  if (saw_utility &&
+      !util::approx_eq(claimed_utility, a.utility(), 1e-9, 1e-9))
+    throw std::runtime_error(
+        "load_assignment: utility line does not match the rebuilt "
+        "assignment (wrong instance?)");
+  return a;
+}
+
+}  // namespace vdist::io

@@ -1,0 +1,47 @@
+// Plain-text serialization of MMD instances and assignments.
+//
+// A stable, diff-friendly, line-oriented format so instances can be
+// versioned, shared, and fed to the CLI tool:
+//
+//   vdist-instance 1
+//   dims <m> <mc>
+//   budget <i> <value|inf>
+//   stream <id> <name|-> <c_0> ... <c_{m-1}>
+//   user <id> <name|-> <K_0|inf> ... <K_{mc-1}|inf>
+//   interest <user> <stream> <utility> <k_0> ... <k_{mc-1}>
+//
+// Comments start with '#'; blank lines are ignored. Ids must be dense and
+// in order (the loader validates). Doubles are written with enough digits
+// to round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::io {
+
+// Serializes an instance. Never fails (beyond stream badbit).
+void save_instance(std::ostream& os, const model::Instance& inst);
+
+// Parses the format above. Throws std::runtime_error with a line number
+// on malformed input.
+[[nodiscard]] model::Instance load_instance(std::istream& is);
+
+// Convenience file wrappers (throw std::runtime_error on IO failure).
+void save_instance_file(const std::string& path, const model::Instance& inst);
+[[nodiscard]] model::Instance load_instance_file(const std::string& path);
+
+// Assignment export: one "assign <user> <stream>" line per pair, with a
+// trailing "utility <value>" summary line.
+void save_assignment(std::ostream& os, const model::Assignment& a);
+
+// Parses the save_assignment format against an instance (ids validated;
+// the trailing utility line, if present, is checked against the rebuilt
+// assignment). Throws std::runtime_error on malformed input or mismatch.
+[[nodiscard]] model::Assignment load_assignment(std::istream& is,
+                                                const model::Instance& inst);
+
+}  // namespace vdist::io

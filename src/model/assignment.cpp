@@ -1,0 +1,105 @@
+#include "model/assignment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdist::model {
+
+Assignment::Assignment(const Instance& inst)
+    : inst_(&inst),
+      mc_(static_cast<std::size_t>(inst.num_user_measures())),
+      assigned_(inst.num_users()),
+      stream_user_count_(inst.num_streams(), 0),
+      server_cost_(static_cast<std::size_t>(inst.num_server_measures()), 0.0),
+      user_load_(inst.num_users() * mc_, 0.0),
+      user_utility_(inst.num_users(), 0.0) {}
+
+bool Assignment::has(UserId u, StreamId s) const noexcept {
+  const auto& v = assigned_[static_cast<std::size_t>(u)];
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+bool Assignment::assign(UserId u, StreamId s) {
+  if (has(u, s)) return false;
+  assigned_[static_cast<std::size_t>(u)].push_back(s);
+  ++num_pairs_;
+  if (stream_user_count_[static_cast<std::size_t>(s)]++ == 0) {
+    ++range_size_;
+    for (int i = 0; i < inst_->num_server_measures(); ++i)
+      server_cost_[static_cast<std::size_t>(i)] += inst_->cost(s, i);
+  }
+  if (const auto e = inst_->find_edge(u, s)) {
+    const double w = inst_->edge_utility(*e);
+    user_utility_[static_cast<std::size_t>(u)] += w;
+    total_utility_ += w;
+    for (std::size_t j = 0; j < mc_; ++j)
+      user_load_[static_cast<std::size_t>(u) * mc_ + j] +=
+          inst_->edge_load(*e, static_cast<int>(j));
+  }
+  return true;
+}
+
+bool Assignment::unassign(UserId u, StreamId s) {
+  auto& v = assigned_[static_cast<std::size_t>(u)];
+  const auto it = std::find(v.begin(), v.end(), s);
+  if (it == v.end()) return false;
+  v.erase(it);
+  --num_pairs_;
+  if (--stream_user_count_[static_cast<std::size_t>(s)] == 0) {
+    --range_size_;
+    for (int i = 0; i < inst_->num_server_measures(); ++i)
+      server_cost_[static_cast<std::size_t>(i)] -= inst_->cost(s, i);
+  }
+  if (const auto e = inst_->find_edge(u, s)) {
+    const double w = inst_->edge_utility(*e);
+    user_utility_[static_cast<std::size_t>(u)] -= w;
+    total_utility_ -= w;
+    for (std::size_t j = 0; j < mc_; ++j)
+      user_load_[static_cast<std::size_t>(u) * mc_ + j] -=
+          inst_->edge_load(*e, static_cast<int>(j));
+  }
+  return true;
+}
+
+std::vector<StreamId> Assignment::range() const {
+  std::vector<StreamId> out;
+  out.reserve(range_size_);
+  for (std::size_t s = 0; s < stream_user_count_.size(); ++s)
+    if (stream_user_count_[s] > 0) out.push_back(static_cast<StreamId>(s));
+  return out;
+}
+
+double Assignment::capped_utility() const {
+  if (inst_->num_user_measures() != 1)
+    throw std::logic_error("capped_utility requires mc == 1 (cap form)");
+  double total = 0.0;
+  for (std::size_t u = 0; u < user_utility_.size(); ++u)
+    total += std::min(inst_->capacity(static_cast<UserId>(u), 0),
+                      user_utility_[u]);
+  return total;
+}
+
+Assignment Assignment::restricted_to(
+    std::span<const StreamId> streams) const {
+  std::vector<char> keep(inst_->num_streams(), 0);
+  for (StreamId s : streams) keep[static_cast<std::size_t>(s)] = 1;
+  Assignment out(*inst_);
+  for (std::size_t u = 0; u < assigned_.size(); ++u)
+    for (StreamId s : assigned_[u])
+      if (keep[static_cast<std::size_t>(s)])
+        out.assign(static_cast<UserId>(u), s);
+  return out;
+}
+
+void Assignment::clear() {
+  for (auto& v : assigned_) v.clear();
+  std::fill(stream_user_count_.begin(), stream_user_count_.end(), 0);
+  std::fill(server_cost_.begin(), server_cost_.end(), 0.0);
+  std::fill(user_load_.begin(), user_load_.end(), 0.0);
+  std::fill(user_utility_.begin(), user_utility_.end(), 0.0);
+  total_utility_ = 0.0;
+  num_pairs_ = 0;
+  range_size_ = 0;
+}
+
+}  // namespace vdist::model

@@ -1,0 +1,93 @@
+// An assignment A: users -> sets of streams, with incremental accounting.
+//
+// Mirrors the paper's quantities (Fig. 2):
+//   * S(A), the range: streams assigned to at least one user (the server
+//     multicasts exactly these and pays their cost once);
+//   * c_i(A) = c_i(S(A)): per-measure server cost;
+//   * k_j^u(A) = k_j^u(A(u)): per-user, per-measure load;
+//   * w_u(A), w(A): raw utility.
+//
+// Assignment performs no feasibility enforcement: algorithms build
+// semi-feasible intermediates on purpose (Section 2). Use validate() to
+// classify a finished assignment.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace vdist::model {
+
+class Assignment {
+ public:
+  explicit Assignment(const Instance& inst);
+
+  [[nodiscard]] const Instance& instance() const noexcept { return *inst_; }
+
+  // Adds stream s to A(u). Returns false (and does nothing) if already
+  // assigned. The pair need not be an interest edge; utility 0 then.
+  bool assign(UserId u, StreamId s);
+  // Removes stream s from A(u). Returns false if not assigned.
+  bool unassign(UserId u, StreamId s);
+  [[nodiscard]] bool has(UserId u, StreamId s) const noexcept;
+
+  // True iff s is in the range S(A).
+  [[nodiscard]] bool in_range(StreamId s) const noexcept {
+    return stream_user_count_[static_cast<std::size_t>(s)] > 0;
+  }
+  [[nodiscard]] std::vector<StreamId> range() const;
+  [[nodiscard]] std::size_t range_size() const noexcept { return range_size_; }
+
+  // A(u), in assignment order (the order matters to the Theorem 2.8 split,
+  // which peels the *last* stream assigned to each user).
+  [[nodiscard]] std::span<const StreamId> streams_of(UserId u) const noexcept {
+    return assigned_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] std::size_t num_assigned_pairs() const noexcept {
+    return num_pairs_;
+  }
+
+  // c_i(A), maintained incrementally.
+  [[nodiscard]] double server_cost(int i) const noexcept {
+    return server_cost_[static_cast<std::size_t>(i)];
+  }
+  // k_j^u(A).
+  [[nodiscard]] double user_load(UserId u, int j) const noexcept {
+    return user_load_[static_cast<std::size_t>(u) * mc_ +
+                      static_cast<std::size_t>(j)];
+  }
+  // w_u(A), raw (uncapped) utility of user u.
+  [[nodiscard]] double user_utility(UserId u) const noexcept {
+    return user_utility_[static_cast<std::size_t>(u)];
+  }
+  // w(A) = sum of raw user utilities.
+  [[nodiscard]] double utility() const noexcept { return total_utility_; }
+
+  // Section-2 capped utility: sum_u min(W_u, w_u(A)) where W_u is the
+  // user's single capacity (requires mc == 1; meaningful for the cap form
+  // where load == utility). This is the w(A) the paper uses for
+  // semi-feasible assignments.
+  [[nodiscard]] double capped_utility() const;
+
+  // A restricted to a stream subset C: A|C(u) = A(u) ∩ C (Theorem 4.3's
+  // output transformation uses this).
+  [[nodiscard]] Assignment restricted_to(std::span<const StreamId> streams) const;
+
+  // Clears everything back to the empty assignment.
+  void clear();
+
+ private:
+  const Instance* inst_;
+  std::size_t mc_;
+  std::vector<std::vector<StreamId>> assigned_;   // per user, insertion order
+  std::vector<std::int32_t> stream_user_count_;   // per stream
+  std::vector<double> server_cost_;               // m
+  std::vector<double> user_load_;                 // |U| x mc
+  std::vector<double> user_utility_;              // |U|
+  double total_utility_ = 0.0;
+  std::size_t num_pairs_ = 0;
+  std::size_t range_size_ = 0;
+};
+
+}  // namespace vdist::model

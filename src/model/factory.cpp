@@ -1,0 +1,28 @@
+#include "model/factory.h"
+
+namespace vdist::model {
+
+Instance build_cap_instance(std::vector<double> stream_costs, double budget,
+                            std::vector<double> utility_caps,
+                            const std::vector<CapEdge>& edges) {
+  InstanceBuilder b(1, 1);
+  b.set_budget(0, budget);
+  for (double c : stream_costs) b.add_stream({c});
+  for (double w : utility_caps) b.add_user({w});
+  for (const auto& e : edges)
+    b.add_interest(e.user, e.stream, e.utility, {e.utility});
+  return std::move(b).build();
+}
+
+Instance build_smd_instance(std::vector<double> stream_costs, double budget,
+                            std::vector<double> capacities,
+                            const std::vector<SmdEdge>& edges) {
+  InstanceBuilder b(1, 1);
+  b.set_budget(0, budget);
+  for (double c : stream_costs) b.add_stream({c});
+  for (double k : capacities) b.add_user({k});
+  for (const auto& e : edges) b.add_interest(e.user, e.stream, e.utility, {e.load});
+  return std::move(b).build();
+}
+
+}  // namespace vdist::model

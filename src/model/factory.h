@@ -1,0 +1,41 @@
+// Convenience constructors for the special-case instances the paper's
+// sections operate on. These are thin wrappers over InstanceBuilder used
+// heavily by tests, generators and the Section-3/4 reductions.
+#pragma once
+
+#include <vector>
+
+#include "model/instance.h"
+
+namespace vdist::model {
+
+struct CapEdge {
+  UserId user;
+  StreamId stream;
+  double utility;
+};
+
+// Builds the Section-2 "cap form": a single server cost function, budget B,
+// and per-user utility caps W_u realized as a unit-skew capacity measure
+// (load == utility, K_u = W_u). Resulting instance: m = mc = 1,
+// is_unit_skew() == true.
+[[nodiscard]] Instance build_cap_instance(std::vector<double> stream_costs,
+                                          double budget,
+                                          std::vector<double> utility_caps,
+                                          const std::vector<CapEdge>& edges);
+
+struct SmdEdge {
+  UserId user;
+  StreamId stream;
+  double utility;
+  double load;
+};
+
+// Builds a general SMD instance (m = mc = 1) with independent load and
+// utility per edge — the Section-3 setting with arbitrary skew.
+[[nodiscard]] Instance build_smd_instance(std::vector<double> stream_costs,
+                                          double budget,
+                                          std::vector<double> capacities,
+                                          const std::vector<SmdEdge>& edges);
+
+}  // namespace vdist::model

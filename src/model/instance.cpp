@@ -1,0 +1,208 @@
+#include "model/instance.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/float_cmp.h"
+
+namespace vdist::model {
+
+using util::approx_eq;
+using util::approx_le;
+using util::is_finite_nonneg;
+using util::is_unbounded;
+
+double Instance::utility(UserId u, StreamId s) const noexcept {
+  const auto e = find_edge(u, s);
+  return e ? edge_utility(*e) : 0.0;
+}
+
+std::optional<EdgeId> Instance::find_edge(UserId u, StreamId s) const noexcept {
+  const auto users = users_of(s);
+  const auto it = std::lower_bound(users.begin(), users.end(), u);
+  if (it == users.end() || *it != u) return std::nullopt;
+  return first_edge(s) + static_cast<EdgeId>(it - users.begin());
+}
+
+InstanceBuilder::InstanceBuilder(int num_server_measures, int num_user_measures)
+    : m_(num_server_measures), mc_(num_user_measures) {
+  if (m_ < 1) throw std::invalid_argument("InstanceBuilder: m must be >= 1");
+  if (mc_ < 0) throw std::invalid_argument("InstanceBuilder: mc must be >= 0");
+  budgets_.assign(static_cast<std::size_t>(m_), kUnbounded);
+}
+
+void InstanceBuilder::set_budget(int i, double value) {
+  if (i < 0 || i >= m_)
+    throw std::invalid_argument("set_budget: measure out of range");
+  if (!(value > 0.0) && !is_unbounded(value))
+    throw std::invalid_argument("set_budget: budget must be positive or inf");
+  budgets_[static_cast<std::size_t>(i)] = value;
+}
+
+StreamId InstanceBuilder::add_stream(std::vector<double> costs,
+                                     std::string name) {
+  if (costs.size() != static_cast<std::size_t>(m_))
+    throw std::invalid_argument("add_stream: expected " + std::to_string(m_) +
+                                " costs, got " + std::to_string(costs.size()));
+  for (double c : costs)
+    if (!is_finite_nonneg(c))
+      throw std::invalid_argument("add_stream: costs must be finite and >= 0");
+  stream_costs_.push_back(std::move(costs));
+  stream_names_.push_back(std::move(name));
+  return static_cast<StreamId>(stream_costs_.size() - 1);
+}
+
+UserId InstanceBuilder::add_user(std::vector<double> capacities,
+                                 std::string name) {
+  if (capacities.size() != static_cast<std::size_t>(mc_))
+    throw std::invalid_argument(
+        "add_user: expected " + std::to_string(mc_) + " capacities, got " +
+        std::to_string(capacities.size()));
+  for (double k : capacities)
+    if (!(is_finite_nonneg(k) || is_unbounded(k)))
+      throw std::invalid_argument(
+          "add_user: capacities must be >= 0 or unbounded");
+  user_caps_.push_back(std::move(capacities));
+  user_names_.push_back(std::move(name));
+  return static_cast<UserId>(user_caps_.size() - 1);
+}
+
+void InstanceBuilder::add_interest(UserId u, StreamId s, double utility,
+                                   std::vector<double> loads) {
+  if (u < 0 || static_cast<std::size_t>(u) >= user_caps_.size())
+    throw std::invalid_argument("add_interest: unknown user");
+  if (s < 0 || static_cast<std::size_t>(s) >= stream_costs_.size())
+    throw std::invalid_argument("add_interest: unknown stream");
+  if (!is_finite_nonneg(utility))
+    throw std::invalid_argument("add_interest: utility must be finite, >= 0");
+  if (loads.size() != static_cast<std::size_t>(mc_))
+    throw std::invalid_argument("add_interest: expected " +
+                                std::to_string(mc_) + " loads");
+  for (double k : loads)
+    if (!is_finite_nonneg(k))
+      throw std::invalid_argument("add_interest: loads must be finite, >= 0");
+  edges_.push_back(RawEdge{u, s, utility, std::move(loads)});
+}
+
+void InstanceBuilder::add_interest_unit_skew(UserId u, StreamId s,
+                                             double utility) {
+  if (mc_ != 1)
+    throw std::logic_error("add_interest_unit_skew requires mc == 1");
+  add_interest(u, s, utility, {utility});
+}
+
+Instance InstanceBuilder::build() && {
+  Instance inst;
+  inst.m_ = m_;
+  inst.mc_ = mc_;
+  inst.budgets_ = std::move(budgets_);
+  const std::size_t S = stream_costs_.size();
+  const std::size_t U = user_caps_.size();
+  const auto mc = static_cast<std::size_t>(mc_);
+
+  // Validate the paper's c_i(S) <= B_i assumption and pack costs
+  // measure-major for cache-friendly per-measure scans.
+  inst.costs_.resize(static_cast<std::size_t>(m_) * S);
+  for (std::size_t s = 0; s < S; ++s) {
+    for (int i = 0; i < m_; ++i) {
+      const double c = stream_costs_[s][static_cast<std::size_t>(i)];
+      if (!approx_le(c, inst.budgets_[static_cast<std::size_t>(i)]))
+        throw std::invalid_argument(
+            "build: stream " + std::to_string(s) + " violates c_i(S) <= B_i "
+            "in measure " + std::to_string(i) +
+            " (the paper assumes every stream fits alone)");
+      inst.costs_[static_cast<std::size_t>(i) * S + s] = c;
+    }
+  }
+
+  inst.capacities_.resize(U * mc);
+  for (std::size_t u = 0; u < U; ++u)
+    for (std::size_t j = 0; j < mc; ++j)
+      inst.capacities_[u * mc + j] = user_caps_[u][j];
+
+  // Apply the paper's convention: w_u(S) = 0 whenever some k_j^u(S) > K_j^u
+  // (the stream alone would violate the user's capacity). Such edges are
+  // dropped, as are explicitly zero-utility edges.
+  std::vector<RawEdge> kept;
+  kept.reserve(edges_.size());
+  std::size_t zeroed = 0;
+  for (auto& e : edges_) {
+    if (e.utility <= 0.0) continue;
+    bool over_cap = false;
+    for (std::size_t j = 0; j < mc; ++j) {
+      if (!approx_le(e.loads[j],
+                     user_caps_[static_cast<std::size_t>(e.u)][j])) {
+        over_cap = true;
+        break;
+      }
+    }
+    if (over_cap) {
+      ++zeroed;
+      continue;
+    }
+    kept.push_back(std::move(e));
+  }
+  inst.zeroed_edges_ = zeroed;
+
+  // Sort by (stream, user) for the stream-CSR; duplicates are an error.
+  std::sort(kept.begin(), kept.end(), [](const RawEdge& a, const RawEdge& b) {
+    return a.s != b.s ? a.s < b.s : a.u < b.u;
+  });
+  for (std::size_t i = 1; i < kept.size(); ++i)
+    if (kept[i].s == kept[i - 1].s && kept[i].u == kept[i - 1].u)
+      throw std::invalid_argument("build: duplicate (user, stream) interest");
+
+  const std::size_t E = kept.size();
+  inst.stream_offsets_.assign(S + 1, 0);
+  inst.edge_user_.resize(E);
+  inst.edge_utility_.resize(E);
+  inst.edge_loads_.resize(E * mc);
+  inst.stream_total_utility_.assign(S, 0.0);
+  for (std::size_t e = 0; e < E; ++e) {
+    ++inst.stream_offsets_[static_cast<std::size_t>(kept[e].s) + 1];
+    inst.edge_user_[e] = kept[e].u;
+    inst.edge_utility_[e] = kept[e].utility;
+    for (std::size_t j = 0; j < mc; ++j)
+      inst.edge_loads_[e * mc + j] = kept[e].loads[j];
+    inst.stream_total_utility_[static_cast<std::size_t>(kept[e].s)] +=
+        kept[e].utility;
+    inst.utility_grand_total_ += kept[e].utility;
+  }
+  for (std::size_t s = 0; s < S; ++s)
+    inst.stream_offsets_[s + 1] += inst.stream_offsets_[s];
+
+  // Mirror CSR by user, sorted by (user, stream).
+  std::vector<EdgeId> order(E);
+  for (std::size_t e = 0; e < E; ++e) order[e] = static_cast<EdgeId>(e);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const auto& ea = kept[static_cast<std::size_t>(a)];
+    const auto& eb = kept[static_cast<std::size_t>(b)];
+    return ea.u != eb.u ? ea.u < eb.u : ea.s < eb.s;
+  });
+  inst.user_offsets_.assign(U + 1, 0);
+  inst.user_edge_idx_.resize(E);
+  inst.user_edge_stream_.resize(E);
+  for (std::size_t i = 0; i < E; ++i) {
+    const auto& e = kept[static_cast<std::size_t>(order[i])];
+    ++inst.user_offsets_[static_cast<std::size_t>(e.u) + 1];
+    inst.user_edge_idx_[i] = order[i];
+    inst.user_edge_stream_[i] = e.s;
+  }
+  for (std::size_t u = 0; u < U; ++u)
+    inst.user_offsets_[u + 1] += inst.user_offsets_[u];
+
+  // Unit-skew detection (Section 2 form).
+  inst.unit_skew_ = (m_ == 1 && mc_ == 1);
+  if (inst.unit_skew_) {
+    for (std::size_t e = 0; e < E && inst.unit_skew_; ++e)
+      if (!approx_eq(inst.edge_loads_[e], inst.edge_utility_[e]))
+        inst.unit_skew_ = false;
+  }
+
+  inst.stream_names_ = std::move(stream_names_);
+  inst.user_names_ = std::move(user_names_);
+  return inst;
+}
+
+}  // namespace vdist::model

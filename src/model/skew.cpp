@@ -1,0 +1,142 @@
+#include "model/skew.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/float_cmp.h"
+
+namespace vdist::model {
+
+using util::is_unbounded;
+using util::kInf;
+
+LocalSkewInfo local_skew(const Instance& inst) {
+  LocalSkewInfo info;
+  const int mc = inst.num_user_measures();
+  const std::size_t U = inst.num_users();
+  info.scale.assign(U * static_cast<std::size_t>(mc), 1.0);
+
+  for (std::size_t uu = 0; uu < U; ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    for (int j = 0; j < mc; ++j) {
+      double min_ratio = kInf;
+      double max_ratio = 0.0;
+      for (EdgeId e : inst.edges_of(u)) {
+        const double w = inst.edge_utility(e);
+        if (w <= 0.0) continue;
+        const double k = inst.edge_load(e, j);
+        if (k <= 0.0) {
+          info.has_free_edges = true;
+          continue;
+        }
+        const double r = w / k;
+        min_ratio = std::min(min_ratio, r);
+        max_ratio = std::max(max_ratio, r);
+      }
+      if (max_ratio > 0.0 && min_ratio < kInf) {
+        info.alpha = std::max(info.alpha, max_ratio / min_ratio);
+        // Scaling loads by min_ratio makes the user's smallest
+        // utility-per-load exactly 1 (the paper's normalization).
+        info.scale[uu * static_cast<std::size_t>(mc) +
+                   static_cast<std::size_t>(j)] = min_ratio;
+      }
+    }
+  }
+  return info;
+}
+
+namespace {
+
+// Accumulates the [min, max] ratio range for one budget function.
+struct RatioRange {
+  double lo = kInf;
+  double hi = 0.0;
+  void add(double r) noexcept {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  [[nodiscard]] bool valid() const noexcept { return hi > 0.0 && lo < kInf; }
+  [[nodiscard]] double spread() const noexcept { return hi / lo; }
+};
+
+}  // namespace
+
+GlobalSkewInfo global_skew(const Instance& inst) {
+  GlobalSkewInfo out;
+  const int m = inst.num_server_measures();
+  const int mc = inst.num_user_measures();
+  double gamma = 1.0;
+
+  // Server measures: for stream S with c_i(S) > 0, the subset X of
+  // interested users ranges the numerator over
+  // [min single w_u(S), Σ_u w_u(S)].
+  for (int i = 0; i < m; ++i) {
+    if (is_unbounded(inst.budget(i))) continue;  // unconstrained measure
+    RatioRange range;
+    for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
+      const auto s = static_cast<StreamId>(ss);
+      const double c = inst.cost(s, i);
+      if (c <= 0.0) continue;
+      const auto ws = inst.utilities_of(s);
+      if (ws.empty()) continue;  // never assigned by any algorithm
+      double min_w = kInf;
+      double total_w = 0.0;
+      for (double w : ws) {
+        min_w = std::min(min_w, w);
+        total_w += w;
+      }
+      range.add(min_w / c);
+      range.add(total_w / c);
+    }
+    if (range.valid()) gamma = std::max(gamma, range.spread());
+  }
+
+  // User measures as virtual budgets: X is the singleton {u}.
+  for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    for (int j = 0; j < mc; ++j) {
+      if (is_unbounded(inst.capacity(u, j))) continue;
+      RatioRange range;
+      for (EdgeId e : inst.edges_of(u)) {
+        const double w = inst.edge_utility(e);
+        const double k = inst.edge_load(e, j);
+        if (w <= 0.0 || k <= 0.0) continue;
+        range.add(w / k);
+      }
+      if (range.valid()) gamma = std::max(gamma, range.spread());
+    }
+  }
+
+  out.gamma = gamma;
+  const double D = static_cast<double>(m) +
+                   static_cast<double>(inst.num_users()) *
+                       static_cast<double>(std::max(mc, 1));
+  out.mu = 2.0 * gamma * D + 2.0;
+  out.log2_mu = std::log2(out.mu);
+  return out;
+}
+
+bool satisfies_small_streams(const Instance& inst, const GlobalSkewInfo& gs) {
+  const double denom = gs.log2_mu;
+  if (denom <= 0.0) return true;
+  for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
+    const auto s = static_cast<StreamId>(ss);
+    for (int i = 0; i < inst.num_server_measures(); ++i) {
+      if (is_unbounded(inst.budget(i))) continue;
+      if (!util::approx_le(inst.cost(s, i), inst.budget(i) / denom))
+        return false;
+    }
+    for (EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
+      const UserId u = inst.edge_user(e);
+      for (int j = 0; j < inst.num_user_measures(); ++j) {
+        if (is_unbounded(inst.capacity(u, j))) continue;
+        if (!util::approx_le(inst.edge_load(e, j),
+                             inst.capacity(u, j) / denom))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace vdist::model

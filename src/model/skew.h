@@ -1,0 +1,57 @@
+// Skew measures of an instance.
+//
+// Local skew (Section 3): normalize each user's load functions so that
+// min_S w_u(S)/k_j^u(S) = 1 over streams with w_u(S) > 0; then
+//   alpha = max_{u,S,j} w_u(S)/k_j^u(S).
+// alpha = 1 iff every load is proportional to utility (the Section-2 form).
+//
+// Global skew (Section 5, eq. (1)): treating each (user, measure) pair as
+// a virtual server budget, for every budget function i, stream S with
+// c_i(S) > 0 and nonempty user subset X ⊆ {u : w_u(S) > 0}:
+//   1 <= (1/D) * (Σ_{u∈X} w_u(S)) / c_i(S) <= gamma,   D = m + |U|*mc,
+// after per-measure normalization. Since only the *ratio* of the extreme
+// values matters, gamma is scale-invariant and computable directly:
+//   gamma = max_i [ max_S ratio_i(S) / min_S ratio_i(S) ]
+// with ratio ranges determined by the singleton (min) and full (max) X.
+//
+// mu = 2*gamma*(m + |U|*mc) + 2 drives Algorithm Allocate's exponential
+// cost functions; the small-streams condition is c_i(S) <= B_i / log2(mu).
+#pragma once
+
+#include <vector>
+
+#include "model/instance.h"
+
+namespace vdist::model {
+
+struct LocalSkewInfo {
+  // The paper's alpha (>= 1). Edges with k = 0 but w > 0 are excluded from
+  // the ratio (they would make alpha infinite) and flagged below.
+  double alpha = 1.0;
+  // True if some edge has positive utility but zero load in some measure
+  // ("free" edges; Section 3's classify-and-select gives them their own
+  // band in our implementation).
+  bool has_free_edges = false;
+  // Per-user, per-measure normalization factors: multiplying user u's
+  // measure-j loads and capacity by scale[u*mc+j] realizes the paper's
+  // normalization (min ratio becomes exactly 1).
+  std::vector<double> scale;
+};
+
+[[nodiscard]] LocalSkewInfo local_skew(const Instance& inst);
+
+struct GlobalSkewInfo {
+  double gamma = 1.0;  // >= local alpha for every instance (paper, §1.1)
+  double mu = 0.0;     // 2*gamma*(m + |U|*mc) + 2
+  // log2(mu); the small-streams threshold is B_i / log2_mu.
+  double log2_mu = 0.0;
+};
+
+[[nodiscard]] GlobalSkewInfo global_skew(const Instance& inst);
+
+// True iff every cost and load is at most its budget/capacity divided by
+// log2(mu) — the premise of Theorem 1.2 / Lemma 5.1.
+[[nodiscard]] bool satisfies_small_streams(const Instance& inst,
+                                           const GlobalSkewInfo& gs);
+
+}  // namespace vdist::model

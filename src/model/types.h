@@ -1,0 +1,22 @@
+// Fundamental identifiers and constants shared by the whole library.
+#pragma once
+
+#include <cstdint>
+
+#include "util/float_cmp.h"
+
+namespace vdist::model {
+
+// Streams and users are dense 0-based ids assigned by InstanceBuilder.
+using StreamId = std::int32_t;
+using UserId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr StreamId kInvalidStream = -1;
+inline constexpr UserId kInvalidUser = -1;
+
+// Sentinel for "no budget cap" / "no capacity cap" (B_i = ∞, K_j^u = ∞
+// in the paper's notation).
+inline constexpr double kUnbounded = util::kInf;
+
+}  // namespace vdist::model

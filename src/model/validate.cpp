@@ -1,0 +1,73 @@
+#include "model/validate.h"
+
+#include <sstream>
+
+#include "util/float_cmp.h"
+
+namespace vdist::model {
+
+using util::approx_le;
+
+std::string Violation::to_string() const {
+  std::ostringstream ss;
+  if (kind == Kind::kServerBudget) {
+    ss << "server budget " << measure << ": cost " << value << " > bound "
+       << bound;
+  } else {
+    ss << "user " << user << " capacity " << measure << ": load " << value
+       << " > bound " << bound;
+  }
+  return ss.str();
+}
+
+ValidationReport validate(const Assignment& a) {
+  const Instance& inst = a.instance();
+  ValidationReport rep;
+  const int m = inst.num_server_measures();
+  const int mc = inst.num_user_measures();
+
+  // Server side: recompute c_i(S(A)) from the range.
+  rep.recomputed_server_cost.assign(static_cast<std::size_t>(m), 0.0);
+  for (StreamId s : a.range())
+    for (int i = 0; i < m; ++i)
+      rep.recomputed_server_cost[static_cast<std::size_t>(i)] +=
+          inst.cost(s, i);
+  bool server_ok = true;
+  for (int i = 0; i < m; ++i) {
+    const double cost = rep.recomputed_server_cost[static_cast<std::size_t>(i)];
+    if (!approx_le(cost, inst.budget(i))) {
+      server_ok = false;
+      rep.violations.push_back(Violation{Violation::Kind::kServerBudget, i,
+                                         kInvalidUser, cost, inst.budget(i)});
+    }
+  }
+
+  // User side: recompute loads and utility per user.
+  bool users_ok = true;
+  for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    std::vector<double> load(static_cast<std::size_t>(mc), 0.0);
+    for (StreamId s : a.streams_of(u)) {
+      if (const auto e = inst.find_edge(u, s)) {
+        rep.recomputed_utility += inst.edge_utility(*e);
+        for (int j = 0; j < mc; ++j)
+          load[static_cast<std::size_t>(j)] += inst.edge_load(*e, j);
+      }
+    }
+    for (int j = 0; j < mc; ++j) {
+      const double lj = load[static_cast<std::size_t>(j)];
+      if (!approx_le(lj, inst.capacity(u, j))) {
+        users_ok = false;
+        rep.violations.push_back(Violation{Violation::Kind::kUserCapacity, j,
+                                           u, lj, inst.capacity(u, j)});
+      }
+    }
+  }
+
+  rep.feasibility = !server_ok  ? Feasibility::kInfeasible
+                    : !users_ok ? Feasibility::kSemiFeasible
+                                : Feasibility::kFeasible;
+  return rep;
+}
+
+}  // namespace vdist::model

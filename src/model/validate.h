@@ -1,0 +1,51 @@
+// Feasibility classification of assignments, mirroring Section 2's
+// feasible / semi-feasible distinction.
+//
+// * Feasible: all server budgets and all user capacities hold.
+// * Semi-feasible: server budgets hold; user capacities may be violated
+//   (the paper's greedy deliberately saturates users past their cap by at
+//   most one stream).
+// * Infeasible: some server budget is violated.
+//
+// All checks recompute sums from scratch (no reliance on Assignment's
+// incremental accounting) and use the library-wide float tolerance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace vdist::model {
+
+enum class Feasibility { kFeasible, kSemiFeasible, kInfeasible };
+
+struct Violation {
+  enum class Kind { kServerBudget, kUserCapacity } kind;
+  int measure = 0;       // server measure i, or user measure j
+  UserId user = kInvalidUser;  // set for user-capacity violations
+  double value = 0.0;    // attained load/cost
+  double bound = 0.0;    // the violated bound
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ValidationReport {
+  Feasibility feasibility = Feasibility::kFeasible;
+  std::vector<Violation> violations;
+  // Recomputed-from-scratch totals; tests compare these to the
+  // incrementally-maintained values.
+  double recomputed_utility = 0.0;
+  std::vector<double> recomputed_server_cost;  // m
+
+  [[nodiscard]] bool feasible() const noexcept {
+    return feasibility == Feasibility::kFeasible;
+  }
+  [[nodiscard]] bool server_feasible() const noexcept {
+    return feasibility != Feasibility::kInfeasible;
+  }
+};
+
+[[nodiscard]] ValidationReport validate(const Assignment& a);
+
+}  // namespace vdist::model

@@ -1,0 +1,213 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/float_cmp.h"
+
+namespace vdist::sim {
+
+using model::EdgeId;
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+using util::approx_le;
+using util::is_unbounded;
+
+namespace {
+
+StreamOffer make_offer(const Instance& catalog, StreamId s) {
+  StreamOffer offer;
+  offer.stream = s;
+  offer.costs.resize(static_cast<std::size_t>(catalog.num_server_measures()));
+  for (int i = 0; i < catalog.num_server_measures(); ++i)
+    offer.costs[static_cast<std::size_t>(i)] = catalog.cost(s, i);
+  for (EdgeId e = catalog.first_edge(s); e < catalog.last_edge(s); ++e) {
+    Candidate cand;
+    cand.user = catalog.edge_user(e);
+    cand.utility = catalog.edge_utility(e);
+    cand.loads.resize(static_cast<std::size_t>(catalog.num_user_measures()));
+    for (int j = 0; j < catalog.num_user_measures(); ++j)
+      cand.loads[static_cast<std::size_t>(j)] = catalog.edge_load(e, j);
+    offer.candidates.push_back(std::move(cand));
+  }
+  return offer;
+}
+
+struct ActiveSession {
+  StreamOffer offer;
+  std::vector<std::size_t> taken;
+  double utility = 0.0;
+};
+
+struct Departure {
+  double time;
+  std::size_t session;  // index into the active-session store
+  bool operator>(const Departure& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+SimResult run_simulation(const Instance& catalog,
+                         const std::vector<gen::Session>& trace,
+                         AdmissionPolicy& policy, const SimConfig& config) {
+  SimResult result;
+  const auto m = static_cast<std::size_t>(catalog.num_server_measures());
+  const auto mc = static_cast<std::size_t>(catalog.num_user_measures());
+
+  // Ground-truth accounting, independent of the policy's own state.
+  std::vector<double> server_used(m, 0.0);
+  std::vector<double> user_used(catalog.num_users() * mc, 0.0);
+  double active_utility = 0.0;
+  std::size_t active_count = 0;
+
+  std::vector<ActiveSession> sessions_store;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+
+  result.totals.mean_utilization.assign(m, 0.0);
+  result.totals.peak_utilization.assign(m, 0.0);
+  double last_time = 0.0;
+  double utilization_time_weight = 0.0;
+  std::vector<double> utilization_integral(m, 0.0);
+
+  double next_sample = 0.0;
+
+  auto record_progress = [&](double now) {
+    // Time-weighted integrals between events.
+    const double dt = now - last_time;
+    if (dt > 0.0) {
+      result.totals.utility_time += active_utility * dt;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double util_i = is_unbounded(catalog.budget(static_cast<int>(i)))
+                                  ? 0.0
+                                  : server_used[i] /
+                                        catalog.budget(static_cast<int>(i));
+        utilization_integral[i] += util_i * dt;
+        result.totals.peak_utilization[i] =
+            std::max(result.totals.peak_utilization[i], util_i);
+      }
+      utilization_time_weight += dt;
+    }
+    while (next_sample <= now &&
+           result.timeline.size() < config.max_samples) {
+      SimSample sample;
+      sample.time = next_sample;
+      sample.active_utility = active_utility;
+      sample.active_sessions = active_count;
+      for (std::size_t i = 0; i < m; ++i)
+        sample.server_utilization.push_back(
+            is_unbounded(catalog.budget(static_cast<int>(i)))
+                ? 0.0
+                : server_used[i] / catalog.budget(static_cast<int>(i)));
+      result.timeline.push_back(std::move(sample));
+      next_sample += config.sample_interval;
+    }
+    if (result.timeline.size() >= config.max_samples) next_sample = now + 1.0;
+    last_time = now;
+  };
+
+  auto check_violations = [&](const StreamOffer& offer,
+                              const std::vector<std::size_t>& taken) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (is_unbounded(catalog.budget(static_cast<int>(i)))) continue;
+      if (!approx_le(server_used[i], catalog.budget(static_cast<int>(i))))
+        ++result.totals.violations;
+    }
+    for (std::size_t t : taken) {
+      const UserId u = offer.candidates[t].user;
+      for (std::size_t j = 0; j < mc; ++j) {
+        const double cap = catalog.capacity(u, static_cast<int>(j));
+        if (is_unbounded(cap)) continue;
+        if (!approx_le(user_used[static_cast<std::size_t>(u) * mc + j], cap))
+          ++result.totals.violations;
+      }
+    }
+  };
+
+  auto depart = [&](std::size_t idx) {
+    ActiveSession& sess = sessions_store[idx];
+    policy.on_departure(sess.offer, sess.taken);
+    for (std::size_t i = 0; i < m; ++i) server_used[i] -= sess.offer.costs[i];
+    for (std::size_t t : sess.taken) {
+      const Candidate& cand = sess.offer.candidates[t];
+      for (std::size_t j = 0; j < mc; ++j)
+        user_used[static_cast<std::size_t>(cand.user) * mc + j] -=
+            cand.loads[j];
+    }
+    active_utility -= sess.utility;
+    --active_count;
+  };
+
+  for (const gen::Session& sess : trace) {
+    // Flush departures scheduled before (or at) this arrival.
+    while (!departures.empty() && departures.top().time <= sess.arrival) {
+      const Departure d = departures.top();
+      departures.pop();
+      record_progress(d.time);
+      depart(d.session);
+    }
+    record_progress(sess.arrival);
+
+    ++result.totals.sessions;
+    StreamOffer offer = make_offer(catalog, sess.stream);
+    std::vector<std::size_t> taken = policy.on_arrival(offer);
+    if (taken.empty()) {
+      ++result.totals.rejected;
+      continue;
+    }
+    ++result.totals.accepted;
+
+    double utility = 0.0;
+    for (std::size_t t : taken) {
+      const Candidate& cand = offer.candidates[t];
+      utility += cand.utility;
+      for (std::size_t j = 0; j < mc; ++j)
+        user_used[static_cast<std::size_t>(cand.user) * mc + j] +=
+            cand.loads[j];
+    }
+    for (std::size_t i = 0; i < m; ++i) server_used[i] += offer.costs[i];
+    check_violations(offer, taken);
+
+    active_utility += utility;
+    ++active_count;
+    sessions_store.push_back(
+        ActiveSession{std::move(offer), std::move(taken), utility});
+    departures.push(
+        Departure{sess.arrival + sess.duration, sessions_store.size() - 1});
+  }
+
+  // Drain the remaining departures.
+  while (!departures.empty()) {
+    const Departure d = departures.top();
+    departures.pop();
+    record_progress(d.time);
+    depart(d.session);
+  }
+  record_progress(last_time);
+
+  // Final sample reflecting the fully-drained end state (periodic samples
+  // are taken before departures at the same instant execute).
+  SimSample final_sample;
+  final_sample.time = last_time;
+  final_sample.active_utility = active_utility;
+  final_sample.active_sessions = active_count;
+  for (std::size_t i = 0; i < m; ++i)
+    final_sample.server_utilization.push_back(
+        is_unbounded(catalog.budget(static_cast<int>(i)))
+            ? 0.0
+            : server_used[i] / catalog.budget(static_cast<int>(i)));
+  if (!result.timeline.empty() &&
+      result.timeline.back().time >= final_sample.time)
+    result.timeline.back() = std::move(final_sample);
+  else
+    result.timeline.push_back(std::move(final_sample));
+
+  if (utilization_time_weight > 0.0)
+    for (std::size_t i = 0; i < m; ++i)
+      result.totals.mean_utilization[i] =
+          utilization_integral[i] / utilization_time_weight;
+  return result;
+}
+
+}  // namespace vdist::sim

@@ -1,0 +1,70 @@
+// Centralized floating-point comparison policy.
+//
+// Every feasibility decision in the library (budget checks, capacity checks,
+// semi-feasibility classification) funnels through these helpers so that an
+// accumulated sum that is equal-up-to-rounding to its bound is treated as
+// within the bound. The paper works with exact reals; we work with doubles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vdist::util {
+
+// Default relative tolerance used by feasibility checks. Chosen so that
+// sums of up to ~1e6 terms of comparable magnitude stay well inside it.
+inline constexpr double kRelEps = 1e-9;
+// Absolute floor for comparisons around zero.
+inline constexpr double kAbsEps = 1e-12;
+
+// True iff a <= b up to tolerance (a may exceed b by eps*scale).
+[[nodiscard]] inline bool approx_le(double a, double b,
+                                    double rel = kRelEps,
+                                    double abs = kAbsEps) noexcept {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return a <= b + std::max(abs, rel * scale);
+}
+
+// True iff a >= b up to tolerance.
+[[nodiscard]] inline bool approx_ge(double a, double b,
+                                    double rel = kRelEps,
+                                    double abs = kAbsEps) noexcept {
+  return approx_le(b, a, rel, abs);
+}
+
+// True iff |a - b| is within tolerance.
+[[nodiscard]] inline bool approx_eq(double a, double b,
+                                    double rel = kRelEps,
+                                    double abs = kAbsEps) noexcept {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= std::max(abs, rel * scale);
+}
+
+// Strictly-greater with the same tolerance: a > b and not approx_eq.
+[[nodiscard]] inline bool definitely_gt(double a, double b,
+                                        double rel = kRelEps,
+                                        double abs = kAbsEps) noexcept {
+  return !approx_le(a, b, rel, abs);
+}
+
+// Strictly-less with the same tolerance.
+[[nodiscard]] inline bool definitely_lt(double a, double b,
+                                        double rel = kRelEps,
+                                        double abs = kAbsEps) noexcept {
+  return !approx_ge(a, b, rel, abs);
+}
+
+// True iff x is a finite, non-negative real. Used by input validation.
+[[nodiscard]] inline bool is_finite_nonneg(double x) noexcept {
+  return std::isfinite(x) && x >= 0.0;
+}
+
+// True iff x is +infinity (used for "no budget" / "no capacity" sentinels).
+[[nodiscard]] inline bool is_unbounded(double x) noexcept {
+  return std::isinf(x) && x > 0.0;
+}
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace vdist::util

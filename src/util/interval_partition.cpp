@@ -1,0 +1,72 @@
+#include "util/interval_partition.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/float_cmp.h"
+
+namespace vdist::util {
+
+IntervalPartition unit_interval_partition(std::span<const double> sizes) {
+  IntervalPartition out;
+  double pos = 0.0;
+  // The group of items lying strictly between two consecutive integer
+  // points ("white" in Fig. 3); flushed whenever an item straddles an
+  // integer point ("shaded" singleton).
+  std::vector<std::size_t> open_group;
+  double open_sum = 0.0;
+
+  auto flush_open = [&] {
+    if (!open_group.empty()) {
+      out.groups.push_back(std::move(open_group));
+      out.group_sums.push_back(open_sum);
+      open_group.clear();
+      open_sum = 0.0;
+    }
+  };
+
+  for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
+    const double s = sizes[idx];
+    assert(is_finite_nonneg(s));
+    assert(s < 1.0 + kRelEps && "sizes must be < 1");
+    const double start = pos;
+    const double end = pos + s;
+    // Integer cut points are l = 1, 2, ...; the item's interval [start,end)
+    // contains l iff start <= l < end. With all sizes < 1 at most one such l
+    // exists: the smallest integer >= start (computed tolerantly so an item
+    // beginning within rounding distance of an integer counts as starting
+    // on it).
+    double l = std::ceil(start - 1e-12);
+    if (l < 1.0) l = 1.0;
+    const bool straddles = s > 0.0 && l >= start - 1e-12 && l < end - 1e-12;
+    if (straddles) {
+      flush_open();
+      out.groups.push_back({idx});
+      out.group_sums.push_back(s);
+    } else {
+      open_group.push_back(idx);
+      open_sum += s;
+    }
+    pos = end;
+  }
+  flush_open();
+  return out;
+}
+
+std::size_t best_group(const IntervalPartition& part,
+                       std::span<const double> values) {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  double best_value = -1.0;
+  for (std::size_t g = 0; g < part.groups.size(); ++g) {
+    double v = 0.0;
+    for (std::size_t idx : part.groups[g]) v += values[idx];
+    if (v > best_value) {
+      best_value = v;
+      best = g;
+    }
+  }
+  return best;
+}
+
+}  // namespace vdist::util

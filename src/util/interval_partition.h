@@ -1,0 +1,38 @@
+// The interval decomposition of Fig. 3 / Theorem 4.3 of the paper.
+//
+// Given items with sizes in [0, 1), lay them consecutively on the real
+// line. Every item whose interval contains an integer point becomes a
+// singleton group ("shaded" in Fig. 3); the items lying strictly between
+// two consecutive integer points form one group ("white"). Every group
+// then has total size at most 1, and the number of groups is at most
+// 2*ceil(total) - 1 (the paper's 2m-1 when total <= m).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vdist::util {
+
+struct IntervalPartition {
+  // Groups of indices into the input span; order follows the line layout.
+  std::vector<std::vector<std::size_t>> groups;
+  // groups[i] sums to group_sums[i]; each is <= 1 (+ rounding slack).
+  std::vector<double> group_sums;
+};
+
+// Decomposes `sizes` (each in [0,1); sizes >= 1 are rejected by assertion
+// in debug builds and forced into singleton groups in release builds) into
+// groups of total size <= 1 following the paper's construction.
+// The input order is preserved; callers wanting a different layout permute
+// the input first (the paper allows arbitrary order).
+[[nodiscard]] IntervalPartition unit_interval_partition(
+    std::span<const double> sizes);
+
+// Index of the group maximizing `value(group)`, where value is computed by
+// summing `values[idx]` over the group's members. Returns SIZE_MAX if the
+// partition is empty.
+[[nodiscard]] std::size_t best_group(const IntervalPartition& part,
+                                     std::span<const double> values);
+
+}  // namespace vdist::util

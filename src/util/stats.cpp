@@ -1,0 +1,97 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdist::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double fit_loglog_slope(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++m;
+  }
+  if (m < 2) return 0.0;
+  const auto dm = static_cast<double>(m);
+  const double denom = dm * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (dm * sxy - sx * sy) / denom;
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  double sum_log = 0.0;
+  std::size_t m = 0;
+  for (double x : xs) {
+    if (x > 0) {
+      sum_log += std::log(x);
+      ++m;
+    }
+  }
+  if (m == 0) return 0.0;
+  return std::exp(sum_log / static_cast<double>(m));
+}
+
+}  // namespace vdist::util

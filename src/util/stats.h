@@ -1,0 +1,47 @@
+// Small online/offline statistics helpers used by benches and the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vdist::util {
+
+// Welford online accumulator: mean/variance/min/max in one pass, O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  // Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample (linear interpolation between order statistics).
+// p in [0, 100]. Copies and sorts; fine for bench-scale sample counts.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+// Least-squares fit of log(y) = a + b*log(x); returns the exponent b.
+// Used by the runtime-scaling bench (E8) to estimate the power law.
+[[nodiscard]] double fit_loglog_slope(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+// Geometric mean; ignores non-positive entries (returns 0 if none valid).
+[[nodiscard]] double geometric_mean(const std::vector<double>& xs);
+
+}  // namespace vdist::util

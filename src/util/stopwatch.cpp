@@ -1,0 +1,12 @@
+#include "util/stopwatch.h"
+
+namespace vdist::util {
+
+void Stopwatch::reset() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::elapsed_s() const noexcept {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace vdist::util

@@ -1,0 +1,23 @@
+// Monotonic wall-clock stopwatch for the table harnesses (google-benchmark
+// handles the microbenchmarks; this is for coarse per-run timings).
+#pragma once
+
+#include <chrono>
+
+namespace vdist::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept { reset(); }
+
+  void reset() noexcept;
+  // Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const noexcept;
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+  [[nodiscard]] double elapsed_us() const noexcept { return elapsed_s() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vdist::util

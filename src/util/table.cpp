@@ -1,0 +1,124 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vdist::util {
+
+std::string format_double(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  std::string s = ss.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  if (rows_.empty()) row();
+  if (rows_.back().size() >= columns_.size())
+    throw std::logic_error("Table: row has too many cells");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  return rows_.at(r).at(c);
+}
+
+void Table::print_aligned(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << v;
+      if (c + 1 < columns_.size())
+        os << std::string(widths[c] - v.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << csv_escape(columns_[c]) << (c + 1 < columns_.size() ? "," : "");
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c < r.size()) os << csv_escape(r[c]);
+      if (c + 1 < columns_.size()) os << ',';
+    }
+    os << '\n';
+  }
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  os << '|';
+  for (const auto& c : columns_) os << ' ' << c << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& r : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      os << ' ' << (c < r.size() ? r[c] : std::string{}) << " |";
+    os << '\n';
+  }
+}
+
+}  // namespace vdist::util

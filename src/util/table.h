@@ -1,0 +1,49 @@
+// Aligned-text / CSV / Markdown table writer for the bench harnesses.
+//
+// Every experiment binary prints the same rows EXPERIMENTS.md records, so
+// the output format is part of the deliverable: stable column order,
+// fixed precision, optional CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vdist::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Starts a new row; values are appended with the add_* calls below.
+  Table& row();
+  Table& add(const std::string& value);
+  Table& add(double value, int precision = 4);
+  Table& add(std::size_t value);
+  Table& add(std::int64_t value);
+  Table& add(int value);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& column_names() const noexcept {
+    return columns_;
+  }
+  // Raw cell access (row-major), used by tests.
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const;
+
+  // Renders with space-padded alignment, a header rule, and a title line.
+  void print_aligned(std::ostream& os, const std::string& title) const;
+  // RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& os) const;
+  // GitHub-flavored markdown.
+  void print_markdown(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision, trimming trailing zeros
+// ("3.5000" -> "3.5", "2.0000" -> "2").
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+}  // namespace vdist::util

@@ -1,0 +1,123 @@
+#include "baseline/policies.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_instances.h"
+#include "model/factory.h"
+#include "model/validate.h"
+
+namespace vdist::baseline {
+namespace {
+
+using model::build_cap_instance;
+using model::Instance;
+
+TEST(Threshold, AlwaysFeasible) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    gen::RandomMmdConfig cfg;
+    cfg.num_streams = 30;
+    cfg.num_users = 10;
+    cfg.num_server_measures = 2;
+    cfg.num_user_measures = 2;
+    cfg.budget_fraction = 0.3;
+    cfg.capacity_fraction = 0.4;
+    cfg.seed = seed;
+    const Instance inst = gen::random_mmd_instance(cfg);
+    for (const StreamOrder order :
+         {StreamOrder::kArrival, StreamOrder::kUtilityDesc,
+          StreamOrder::kDensityDesc, StreamOrder::kRandom}) {
+      ThresholdOptions opts;
+      opts.order = order;
+      opts.seed = seed;
+      const BaselineResult r = threshold_admission(inst, opts);
+      EXPECT_TRUE(model::validate(r.assignment).feasible())
+          << "seed " << seed;
+      EXPECT_EQ(r.admitted + r.rejected, inst.num_streams());
+    }
+  }
+}
+
+TEST(Threshold, MarginLeavesHeadroom) {
+  // With margin 0.5 the server must never use more than half the budget.
+  gen::RandomCapConfig cfg;
+  cfg.num_streams = 40;
+  cfg.num_users = 8;
+  cfg.budget_fraction = 0.5;
+  cfg.seed = 4;
+  const Instance inst = gen::random_cap_instance(cfg);
+  ThresholdOptions opts;
+  opts.server_margin = 0.5;
+  const BaselineResult r = threshold_admission(inst, opts);
+  EXPECT_LE(r.assignment.server_cost(0), 0.5 * inst.budget(0) * (1 + 1e-9));
+}
+
+TEST(Threshold, AdmitsGreedilyInOrder) {
+  // Arrival order: s0 (cost 6) fills the budget; s1 (cost 5, huge utility)
+  // is rejected — exactly the naivety the paper criticizes.
+  const Instance inst = build_cap_instance(
+      {6.0, 5.0}, 8.0, {1000.0},
+      {{0, 0, 1.0}, {0, 1, 100.0}});
+  const BaselineResult fcfs = fcfs_admission(inst);
+  EXPECT_DOUBLE_EQ(fcfs.utility, 1.0);
+  EXPECT_EQ(fcfs.admitted, 1u);
+  EXPECT_EQ(fcfs.rejected, 1u);
+  // Utility-sorted order fixes this particular instance.
+  ThresholdOptions opts;
+  opts.order = StreamOrder::kUtilityDesc;
+  const BaselineResult sorted = threshold_admission(inst, opts);
+  EXPECT_DOUBLE_EQ(sorted.utility, 100.0);
+}
+
+TEST(Threshold, UsersSkipStreamsOverTheirCaps) {
+  // User cap 3: can take the w=2 stream but not both (2+2 > 3); the
+  // second admitted stream is carried for nobody and counts as rejected.
+  const Instance inst = build_cap_instance(
+      {1.0, 1.0}, 10.0, {3.0}, {{0, 0, 2.0}, {0, 1, 2.0}});
+  const BaselineResult r = fcfs_admission(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 2.0);
+  EXPECT_EQ(r.admitted, 1u);
+  EXPECT_EQ(r.rejected, 1u) << "no taker => not carried";
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+}
+
+TEST(Threshold, StreamWithNoTakersNotCharged) {
+  // A stream nobody wants must not consume budget.
+  const Instance inst = build_cap_instance(
+      {6.0, 5.0}, 8.0, {10.0},
+      {{0, 1, 4.0}});  // only s1 is wanted
+  const BaselineResult r = fcfs_admission(inst);
+  EXPECT_EQ(r.admitted, 1u);
+  EXPECT_DOUBLE_EQ(r.assignment.server_cost(0), 5.0);
+  EXPECT_DOUBLE_EQ(r.utility, 4.0);
+}
+
+TEST(Threshold, RandomOrderIsSeedDeterministic) {
+  gen::RandomCapConfig cfg;
+  cfg.num_streams = 25;
+  cfg.num_users = 8;
+  cfg.seed = 9;
+  const Instance inst = gen::random_cap_instance(cfg);
+  const BaselineResult a = random_admission(inst, 123);
+  const BaselineResult b = random_admission(inst, 123);
+  const BaselineResult c = random_admission(inst, 456);
+  EXPECT_DOUBLE_EQ(a.utility, b.utility);
+  // Different seeds usually give different outcomes on tight budgets
+  // (not guaranteed, so only check determinism above; this is a smoke
+  // check that the seed is actually used).
+  (void)c;
+}
+
+TEST(Threshold, DensityOrderBeatsArrivalOnAdversarialInstance) {
+  // Low-density expensive stream first in arrival order.
+  const Instance inst = build_cap_instance(
+      {8.0, 1.0, 1.0}, 9.0, {1000.0},
+      {{0, 0, 2.0}, {0, 1, 5.0}, {0, 2, 5.0}});
+  const BaselineResult arrival = fcfs_admission(inst);
+  ThresholdOptions opts;
+  opts.order = StreamOrder::kDensityDesc;
+  const BaselineResult density = threshold_admission(inst, opts);
+  EXPECT_GT(density.utility, arrival.utility);
+}
+
+}  // namespace
+}  // namespace vdist::baseline

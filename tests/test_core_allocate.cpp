@@ -1,0 +1,256 @@
+#include "core/allocate_online.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/mmd_solver.h"
+#include "gen/small_streams.h"
+#include "model/factory.h"
+#include "model/validate.h"
+#include "util/rng.h"
+
+namespace vdist::core {
+namespace {
+
+using model::Instance;
+
+TEST(Allocator, RejectsBadMu) {
+  EXPECT_THROW(ExponentialCostAllocator({1.0}, {0.5, true}),
+               std::invalid_argument);
+  EXPECT_THROW(ExponentialCostAllocator({1.0}, {1.0, true}),
+               std::invalid_argument);
+}
+
+TEST(Allocator, FirstCheapStreamIsAccepted) {
+  // Zero load: exponential costs are all 0, so any positive-utility
+  // stream beats the LHS.
+  ExponentialCostAllocator alloc({10.0}, {16.0, true});
+  const auto u = alloc.add_user({5.0});
+  const std::vector<double> costs{1.0};
+  const auto decision =
+      alloc.offer(costs, {{u, 2.0, {1.0}}});
+  EXPECT_TRUE(decision.accepted);
+  ASSERT_EQ(decision.taken.size(), 1u);
+  EXPECT_NEAR(alloc.server_load(0), 0.1, 1e-12);
+  EXPECT_NEAR(alloc.user_load(u, 0), 0.2, 1e-12);
+}
+
+TEST(Allocator, HighLoadMakesExponentialCostProhibitive) {
+  ExponentialCostAllocator alloc({10.0}, {1e6, /*guard=*/false});
+  const auto u = alloc.add_user({1e9});
+  // Drive the server load high with a big cheap-to-accept stream.
+  const std::vector<double> big{9.0};
+  auto d1 = alloc.offer(big, {{u, 1e9, {0.0}}});
+  ASSERT_TRUE(d1.accepted);
+  // Now C(server) = 10*(mu^0.9 - 1) is astronomically larger than any
+  // modest utility: a small stream must be rejected.
+  const std::vector<double> small{0.5};
+  auto d2 = alloc.offer(small, {{u, 1.0, {0.0}}});
+  EXPECT_FALSE(d2.accepted);
+}
+
+TEST(Allocator, PeelsWorstRatioUsersFirst) {
+  // Two users, one heavily loaded. The loaded user's term is huge, so the
+  // peel should drop exactly them and keep the fresh user.
+  ExponentialCostAllocator alloc({100.0}, {1e4, false});
+  const auto hot = alloc.add_user({1.0});
+  const auto cold = alloc.add_user({1.0});
+  // Saturate `hot` to 90% via a dedicated stream.
+  const std::vector<double> warm_costs{0.0};
+  auto warmup = alloc.offer(warm_costs, {{hot, 1e9, {0.9}}});
+  ASSERT_TRUE(warmup.accepted);
+  // Now offer a stream both want with modest utility.
+  const std::vector<double> main_costs{1.0};
+  auto d = alloc.offer(main_costs, {{hot, 1.0, {0.1}}, {cold, 1.0, {0.1}}});
+  ASSERT_TRUE(d.accepted);
+  ASSERT_EQ(d.taken.size(), 1u);
+  EXPECT_EQ(d.taken[0], 1u) << "the cold user's candidate index";
+  EXPECT_EQ(d.peeled, 1u);
+}
+
+TEST(Allocator, ReleaseRestoresLoads) {
+  ExponentialCostAllocator alloc({10.0}, {16.0, true});
+  const auto u = alloc.add_user({5.0});
+  const std::vector<double> costs{2.0};
+  const std::vector<ExponentialCostAllocator::Candidate> cands{
+      {u, 3.0, {1.5}}};
+  const auto d = alloc.offer(costs, cands);
+  ASSERT_TRUE(d.accepted);
+  alloc.release(costs, cands, d.taken);
+  EXPECT_NEAR(alloc.server_load(0), 0.0, 1e-12);
+  EXPECT_NEAR(alloc.user_load(u, 0), 0.0, 1e-12);
+}
+
+TEST(Allocator, GuardBlocksRealViolations) {
+  // mu far too small for the load regime: the raw algorithm would
+  // overshoot; the guard must prevent it.
+  ExponentialCostAllocator alloc({1.0}, {2.0, true});
+  const auto u = alloc.add_user({model::kUnbounded});
+  const std::vector<double> costs{0.4};
+  for (int i = 0; i < 10; ++i) (void)alloc.offer(costs, {{u, 100.0, {0.0}}});
+  EXPECT_NEAR(alloc.server_load(0), 0.8, 1e-9)
+      << "two acceptances, the rest guarded off";
+  EXPECT_GT(alloc.guard_trips(), 0u);
+}
+
+TEST(AllocateOnline, Lemma51NoViolationsOnSmallStreams) {
+  // The paper's feasibility lemma: with mu from the global skew and the
+  // small-streams premise, no budget is ever violated EVEN WITHOUT the
+  // guard.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    gen::SmallStreamsConfig cfg;
+    cfg.num_streams = 150;
+    cfg.num_users = 10;
+    cfg.seed = seed;
+    const auto gen_result = gen::small_streams_instance(cfg);
+    ASSERT_TRUE(
+        model::satisfies_small_streams(gen_result.instance, gen_result.skew));
+
+    AllocateOptions opts;
+    opts.guard_feasibility = false;  // pure Algorithm 2
+    const AllocateResult r = allocate_online(gen_result.instance, opts);
+    EXPECT_TRUE(model::validate(r.assignment).feasible())
+        << "Lemma 5.1 violated at seed " << seed;
+    EXPECT_EQ(r.guard_trips, 0u);
+  }
+}
+
+TEST(AllocateOnline, CompetitiveAgainstOfflineSolver) {
+  // Theorem 5.4 implies ALG >= OPT/(1+2 log2 mu) >= offline/(1+2 log2 mu).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    gen::SmallStreamsConfig cfg;
+    cfg.num_streams = 120;
+    cfg.num_users = 8;
+    cfg.tightness = 1.5;
+    cfg.seed = seed * 3 + 1;
+    const auto gen_result = gen::small_streams_instance(cfg);
+
+    AllocateOptions opts;
+    opts.guard_feasibility = false;
+    const AllocateResult online = allocate_online(gen_result.instance, opts);
+    const MmdSolveResult offline = solve_mmd(gen_result.instance);
+    const double factor = 1.0 + 2.0 * std::log2(online.mu);
+    EXPECT_GE(online.utility * factor + 1e-6, offline.utility)
+        << "seed " << cfg.seed << " mu " << online.mu;
+  }
+}
+
+TEST(AllocateOnline, OrderInsensitiveFeasibility) {
+  gen::SmallStreamsConfig cfg;
+  cfg.num_streams = 100;
+  cfg.num_users = 6;
+  cfg.seed = 99;
+  const auto gen_result = gen::small_streams_instance(cfg);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    AllocateOptions opts;
+    opts.guard_feasibility = false;
+    opts.order.resize(gen_result.instance.num_streams());
+    std::iota(opts.order.begin(), opts.order.end(), 0);
+    rng.shuffle(opts.order);
+    const AllocateResult r = allocate_online(gen_result.instance, opts);
+    EXPECT_TRUE(model::validate(r.assignment).feasible());
+  }
+}
+
+TEST(AllocateOnline, GuardKeepsGeneralInstancesFeasible) {
+  // Outside the small-streams regime the guard must still deliver
+  // feasibility.
+  const Instance inst = model::build_cap_instance(
+      {5.0, 5.0, 5.0}, 8.0, {100.0},
+      {{0, 0, 5.0}, {0, 1, 5.0}, {0, 2, 5.0}});
+  AllocateOptions opts;
+  opts.guard_feasibility = true;
+  const AllocateResult r = allocate_online(inst, opts);
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+}
+
+TEST(AllocateOnline, MuDefaultsToGlobalSkew) {
+  const Instance inst = model::build_cap_instance(
+      {1.0}, 10.0, {5.0}, {{0, 0, 4.0}});
+  const AllocateResult r = allocate_online(inst);
+  EXPECT_DOUBLE_EQ(r.mu, model::global_skew(inst).mu);
+  EXPECT_DOUBLE_EQ(r.gamma, 1.0);
+}
+
+TEST(AllocateOnline, DecisionsAreDeterministic) {
+  gen::SmallStreamsConfig cfg;
+  cfg.num_streams = 80;
+  cfg.num_users = 6;
+  cfg.seed = 7;
+  const auto gen_result = gen::small_streams_instance(cfg);
+  const AllocateResult a = allocate_online(gen_result.instance);
+  const AllocateResult b = allocate_online(gen_result.instance);
+  EXPECT_EQ(a.utility, b.utility);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected, b.rejected);
+}
+
+
+TEST(AllocatorScales, HandComputedNormalization) {
+  // One stream of cost 2, two users with utilities 3 and 5 (cap form).
+  // D = m + |U|*mc = 1 + 2 = 3. Server scale = min single utility /
+  // (D * cost) = 3 / (3*2) = 0.5. User virtual-budget scales: w/k = 1 for
+  // the cap form, so scale = 1/(D*1) = 1/3.
+  const Instance inst = model::build_cap_instance(
+      {2.0}, 10.0, {10.0, 10.0}, {{0, 0, 3.0}, {1, 0, 5.0}});
+  const AllocatorScales scales = compute_scales(inst);
+  ASSERT_EQ(scales.server.size(), 1u);
+  EXPECT_NEAR(scales.server[0], 0.5, 1e-12);
+  ASSERT_EQ(scales.user.size(), 2u);
+  EXPECT_NEAR(scales.user[0][0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(scales.user[1][0], 1.0 / 3.0, 1e-12);
+}
+
+TEST(AllocatorScales, ZeroCostMeasuresKeepDefaultScale) {
+  model::InstanceBuilder b(2, 1);
+  b.set_budget(0, 5.0);
+  b.set_budget(1, 5.0);
+  const auto s = b.add_stream({1.0, 0.0});  // measure 1 free
+  const auto u = b.add_user({10.0});
+  b.add_interest(u, s, 2.0, {2.0});
+  const Instance inst = std::move(b).build();
+  const AllocatorScales scales = compute_scales(inst);
+  // Measure 0: 2 / (D * 1) with D = 1*... m=2, |U|*mc = 1 => D = 3.
+  EXPECT_NEAR(scales.server[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(scales.server[1], 1.0, 1e-12) << "no costed stream: default";
+}
+
+TEST(AllocatorScales, NormalizationSatisfiesEquationOne) {
+  // After scaling, for every budget function i and stream S:
+  //   1 <= (1/D) * (min_u w) / c'_i(S)   and   (1/D) * (sum_u w) / c'_i(S)
+  // stays below the instance's gamma.
+  gen::SmallStreamsConfig cfg;
+  cfg.num_streams = 60;
+  cfg.num_users = 8;
+  cfg.seed = 5;
+  const auto built = gen::small_streams_instance(cfg);
+  const Instance& inst = built.instance;
+  const AllocatorScales scales = compute_scales(inst);
+  const double D = inst.num_server_measures() +
+                   static_cast<double>(inst.num_users()) *
+                       inst.num_user_measures();
+  const double gamma = model::global_skew(inst).gamma;
+  for (int i = 0; i < inst.num_server_measures(); ++i) {
+    for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
+      const auto s = static_cast<model::StreamId>(ss);
+      const double c =
+          inst.cost(s, i) * scales.server[static_cast<std::size_t>(i)];
+      if (c <= 0.0) continue;
+      const auto ws = inst.utilities_of(s);
+      if (ws.empty()) continue;
+      double min_w = 1e300, sum_w = 0.0;
+      for (double w : ws) {
+        min_w = std::min(min_w, w);
+        sum_w += w;
+      }
+      EXPECT_GE(min_w / (D * c), 1.0 - 1e-9);
+      EXPECT_LE(sum_w / (D * c), gamma * (1 + 1e-9));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdist::core

@@ -1,0 +1,118 @@
+#include "core/augment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mmd_solver.h"
+#include "gen/iptv.h"
+#include "gen/random_instances.h"
+#include "model/factory.h"
+#include "model/validate.h"
+
+namespace vdist::core {
+namespace {
+
+using model::Instance;
+
+TEST(Augment, AddsFreeRiders) {
+  // Stream carried for user 0; user 1 also wants it and has capacity:
+  // multicast makes the addition free.
+  const Instance inst = model::build_cap_instance(
+      {2.0}, 2.0, {5.0, 5.0}, {{0, 0, 3.0}, {1, 0, 4.0}});
+  model::Assignment a(inst);
+  a.assign(0, 0);
+  const AugmentStats stats = augment_assignment(inst, a);
+  EXPECT_EQ(stats.users_added, 1u);
+  EXPECT_TRUE(a.has(1, 0));
+  EXPECT_DOUBLE_EQ(stats.utility_gained, 4.0);
+  EXPECT_TRUE(model::validate(a).feasible());
+}
+
+TEST(Augment, AddsStreamsWithinResidualBudget) {
+  const Instance inst = model::build_cap_instance(
+      {1.0, 1.0, 1.0}, 2.5, {100.0},
+      {{0, 0, 5.0}, {0, 1, 4.0}, {0, 2, 3.0}});
+  model::Assignment a(inst);
+  a.assign(0, 0);  // cost 1 used; residual 1.5 admits one more stream
+  const AugmentStats stats = augment_assignment(inst, a);
+  EXPECT_EQ(stats.streams_added, 1u);
+  EXPECT_TRUE(a.has(0, 1)) << "densest remaining stream";
+  EXPECT_FALSE(a.has(0, 2)) << "third stream no longer fits";
+  EXPECT_TRUE(model::validate(a).feasible());
+}
+
+TEST(Augment, RespectsUserCapacities) {
+  // Residual budget admits the stream, but the user cap (3) does not.
+  const Instance inst = model::build_cap_instance(
+      {1.0, 1.0}, 10.0, {3.0}, {{0, 0, 3.0}, {0, 1, 2.0}});
+  model::Assignment a(inst);
+  a.assign(0, 0);  // saturates the cap exactly
+  const AugmentStats stats = augment_assignment(inst, a);
+  EXPECT_EQ(stats.users_added, 0u);
+  EXPECT_EQ(stats.streams_added, 0u);
+  EXPECT_TRUE(model::validate(a).feasible());
+}
+
+TEST(Augment, NeverDecreasesUtilityAndStaysFeasible) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    gen::RandomMmdConfig cfg;
+    cfg.num_streams = 25;
+    cfg.num_users = 10;
+    cfg.num_server_measures = 3;
+    cfg.num_user_measures = 2;
+    cfg.budget_fraction = 0.3;
+    cfg.capacity_fraction = 0.4;
+    cfg.seed = seed;
+    const Instance inst = gen::random_mmd_instance(cfg);
+    MmdSolverOptions bare;
+    bare.augment = false;
+    MmdSolveResult r = solve_mmd(inst, bare);
+    const double before = r.utility;
+    const AugmentStats stats = augment_assignment(inst, r.assignment);
+    EXPECT_GE(stats.utility_gained, 0.0);
+    EXPECT_NEAR(r.assignment.utility(), before + stats.utility_gained, 1e-9);
+    EXPECT_TRUE(model::validate(r.assignment).feasible()) << "seed " << seed;
+  }
+}
+
+TEST(Augment, SolverOptionMatchesManualPass) {
+  gen::RandomMmdConfig cfg;
+  cfg.num_streams = 20;
+  cfg.num_users = 8;
+  cfg.num_server_measures = 2;
+  cfg.num_user_measures = 2;
+  cfg.seed = 77;
+  const Instance inst = gen::random_mmd_instance(cfg);
+  MmdSolverOptions bare;
+  bare.augment = false;
+  MmdSolveResult manual = solve_mmd(inst, bare);
+  augment_assignment(inst, manual.assignment);
+  const MmdSolveResult with_option = solve_mmd(inst);  // augment defaults on
+  EXPECT_NEAR(with_option.utility, manual.assignment.utility(), 1e-9);
+}
+
+TEST(Augment, RecoversWastedBudgetOnIptv) {
+  gen::IptvConfig cfg;
+  cfg.num_channels = 80;
+  cfg.num_users = 100;
+  cfg.seed = 5;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+  MmdSolverOptions bare;
+  bare.augment = false;
+  const MmdSolveResult without = solve_mmd(w.instance, bare);
+  const MmdSolveResult with_aug = solve_mmd(w.instance);
+  EXPECT_GT(with_aug.utility, without.utility)
+      << "the transform leaves budget on the table; augment must reclaim it";
+  EXPECT_TRUE(model::validate(with_aug.assignment).feasible());
+}
+
+TEST(Augment, NoOpOnSaturatedAssignment) {
+  const Instance inst = model::build_cap_instance(
+      {1.0}, 1.0, {2.0}, {{0, 0, 2.0}});
+  model::Assignment a(inst);
+  a.assign(0, 0);
+  const AugmentStats stats = augment_assignment(inst, a);
+  EXPECT_EQ(stats.users_added + stats.streams_added, 0u);
+}
+
+}  // namespace
+}  // namespace vdist::core

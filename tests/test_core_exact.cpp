@@ -1,0 +1,174 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_instances.h"
+#include "model/factory.h"
+#include "model/validate.h"
+
+namespace vdist::core {
+namespace {
+
+using model::build_cap_instance;
+using model::Instance;
+
+TEST(Exact, TrivialSingleStream) {
+  const Instance inst = build_cap_instance({1.0}, 1.0, {5.0}, {{0, 0, 3.0}});
+  const ExactResult r = solve_exact(inst);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.utility, 3.0);
+  EXPECT_TRUE(r.assignment.has(0, 0));
+}
+
+TEST(Exact, KnapsackChoice) {
+  // Budget 5: {c=3,w=4} + {c=2,w=3} = 7 beats {c=5,w=6}.
+  const Instance inst = build_cap_instance(
+      {3.0, 2.0, 5.0}, 5.0, {100.0},
+      {{0, 0, 4.0}, {0, 1, 3.0}, {0, 2, 6.0}});
+  const ExactResult r = solve_exact(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 7.0);
+  EXPECT_TRUE(r.assignment.has(0, 0));
+  EXPECT_TRUE(r.assignment.has(0, 1));
+  EXPECT_FALSE(r.assignment.has(0, 2));
+}
+
+TEST(Exact, UserCapsLimitValue) {
+  // Both streams fit the budget but the user cap (5) binds: the optimum
+  // takes the single w=5 stream, not 4+3 truncated... it takes whichever
+  // subset maximizes the sum subject to sum <= 5: {5} or {4} or {3} or
+  // {4+3=7 > 5 infeasible} => 5.
+  const Instance inst = build_cap_instance(
+      {1.0, 1.0, 1.0}, 10.0, {5.0},
+      {{0, 0, 4.0}, {0, 1, 3.0}, {0, 2, 5.0}});
+  const ExactResult r = solve_exact(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 5.0);
+}
+
+TEST(Exact, MulticastSharingExploited) {
+  // One expensive stream wanted by many users beats two cheap exclusive
+  // ones: server pays once, utility sums across users.
+  const Instance inst = build_cap_instance(
+      {4.0, 1.0, 1.0}, 4.0, {10.0, 10.0, 10.0},
+      {{0, 0, 3.0}, {1, 0, 3.0}, {2, 0, 3.0},  // popular: 9 total
+       {0, 1, 2.0}, {1, 2, 2.0}});             // 4 total, cost 2
+  const ExactResult r = solve_exact(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 9.0);
+}
+
+TEST(Exact, MultiMeasureConstraints) {
+  model::InstanceBuilder b(2, 2);
+  b.set_budget(0, 3.0);
+  b.set_budget(1, 2.0);
+  const auto s0 = b.add_stream({2.0, 0.5});
+  const auto s1 = b.add_stream({2.0, 0.5});
+  const auto s2 = b.add_stream({0.5, 1.5});
+  const auto u = b.add_user({4.0, 4.0});
+  b.add_interest(u, s0, 5.0, {1.0, 1.0});
+  b.add_interest(u, s1, 5.0, {1.0, 1.0});
+  b.add_interest(u, s2, 3.0, {1.0, 1.0});
+  const Instance inst = std::move(b).build();
+  // Server measure 0 forbids {s0, s1} (4 > 3); best is s0 + s2 = 8.
+  const ExactResult r = solve_exact(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 8.0);
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+}
+
+TEST(Exact, MatchesBruteForceOnTinyInstances) {
+  // Cross-verify the B&B against a straightforward exhaustive search over
+  // server sets and per-user subsets.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    gen::RandomCapConfig cfg;
+    cfg.num_streams = 7;
+    cfg.num_users = 4;
+    cfg.budget_fraction = 0.4;
+    cfg.cap_fraction = 0.5;
+    cfg.seed = seed * 101;
+    const Instance inst = gen::random_cap_instance(cfg);
+
+    double brute_best = 0.0;
+    const auto S = inst.num_streams();
+    for (std::uint32_t mask = 0; mask < (1u << S); ++mask) {
+      double cost = 0.0;
+      for (std::size_t s = 0; s < S; ++s)
+        if (mask >> s & 1) cost += inst.cost(static_cast<model::StreamId>(s), 0);
+      if (cost > inst.budget(0) * (1 + 1e-12)) continue;
+      double total = 0.0;
+      for (std::size_t u = 0; u < inst.num_users(); ++u) {
+        // Per-user best subset under the cap.
+        const auto uid = static_cast<model::UserId>(u);
+        const auto streams = inst.streams_of(uid);
+        const auto edges = inst.edges_of(uid);
+        double best_u = 0.0;
+        const auto deg = streams.size();
+        for (std::uint32_t um = 0; um < (1u << deg); ++um) {
+          double w = 0.0;
+          bool ok = true;
+          for (std::size_t t = 0; t < deg; ++t) {
+            if (!(um >> t & 1)) continue;
+            if (!(mask >> streams[t] & 1)) {
+              ok = false;
+              break;
+            }
+            w += inst.edge_utility(edges[t]);
+          }
+          if (ok && w <= inst.capacity(uid, 0) * (1 + 1e-12))
+            best_u = std::max(best_u, w);
+        }
+        total += best_u;
+      }
+      brute_best = std::max(brute_best, total);
+    }
+
+    const ExactResult r = solve_exact(inst);
+    EXPECT_TRUE(r.proven_optimal);
+    EXPECT_NEAR(r.utility, brute_best, 1e-9) << "seed " << cfg.seed;
+    EXPECT_TRUE(model::validate(r.assignment).feasible());
+  }
+}
+
+TEST(Exact, AssignmentUtilityMatchesReportedValue) {
+  gen::RandomMmdConfig cfg;
+  cfg.num_streams = 10;
+  cfg.num_users = 5;
+  cfg.num_server_measures = 2;
+  cfg.num_user_measures = 2;
+  cfg.seed = 99;
+  const Instance inst = gen::random_mmd_instance(cfg);
+  const ExactResult r = solve_exact(inst);
+  EXPECT_NEAR(r.utility, r.assignment.utility(), 1e-9);
+}
+
+TEST(Exact, RejectsOversizedInstances) {
+  gen::RandomCapConfig cfg;
+  cfg.num_streams = 70;
+  cfg.num_users = 3;
+  cfg.seed = 1;
+  const Instance inst = gen::random_cap_instance(cfg);
+  EXPECT_THROW(solve_exact(inst), std::invalid_argument);
+}
+
+TEST(Exact, NodeBudgetReturnsIncumbent) {
+  gen::RandomCapConfig cfg;
+  cfg.num_streams = 16;
+  cfg.num_users = 8;
+  cfg.seed = 2;
+  const Instance inst = gen::random_cap_instance(cfg);
+  ExactOptions opts;
+  opts.max_nodes = 1;  // immediately exhausted
+  const ExactResult r = solve_exact(inst, opts);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_GT(r.utility, 0.0) << "warm start provides an incumbent";
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+}
+
+TEST(Exact, EmptyInstance) {
+  model::InstanceBuilder b(1, 1);
+  b.set_budget(0, 1.0);
+  const Instance inst = std::move(b).build();
+  const ExactResult r = solve_exact(inst);
+  EXPECT_EQ(r.utility, 0.0);
+  EXPECT_TRUE(r.proven_optimal);
+}
+
+}  // namespace
+}  // namespace vdist::core

@@ -1,0 +1,141 @@
+#include "core/group_select.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/random_instances.h"
+#include "model/factory.h"
+#include "model/validate.h"
+
+namespace vdist::core {
+namespace {
+
+using model::Instance;
+
+TEST(GroupSelect, ValidatesGroupVectorSize) {
+  const Instance inst = model::build_cap_instance(
+      {1.0}, 2.0, {5.0}, {{0, 0, 1.0}});
+  const GroupId groups[] = {0, 1};  // too many
+  EXPECT_THROW(solve_with_groups(inst, groups), std::invalid_argument);
+}
+
+TEST(GroupSelect, PicksOneVariantPerGroup) {
+  // One channel in two variants (both affordable, both wanted): the
+  // constrained solution must carry exactly one.
+  const Instance inst = model::build_cap_instance(
+      {1.0, 2.0}, 10.0, {100.0},
+      {{0, 0, 3.0}, {0, 1, 5.0}});
+  const GroupId groups[] = {7, 7};
+  const GroupSelectResult r = solve_with_groups(inst, groups);
+  EXPECT_TRUE(satisfies_group_constraint(r.assignment, groups));
+  EXPECT_EQ(r.assignment.range_size(), 1u);
+  EXPECT_DOUBLE_EQ(r.utility, 5.0) << "the better variant wins";
+  EXPECT_EQ(r.groups_used, 1u);
+}
+
+TEST(GroupSelect, UngroupedStreamsUnaffected) {
+  const Instance inst = model::build_cap_instance(
+      {1.0, 1.0, 1.0}, 10.0, {100.0},
+      {{0, 0, 3.0}, {0, 1, 2.0}, {0, 2, 4.0}});
+  const GroupId groups[] = {kNoGroup, kNoGroup, kNoGroup};
+  const GroupSelectResult r = solve_with_groups(inst, groups);
+  EXPECT_DOUBLE_EQ(r.utility, 9.0) << "no constraint, everything carried";
+  EXPECT_EQ(r.variants_dropped, 0u);
+}
+
+TEST(GroupSelect, FreedBudgetReusedForOtherGroups) {
+  // Two variants of channel A (cost 3 each) and a cheap channel B. Budget
+  // 4: unconstrained would carry both A variants (utility 3+3=6 > 3+2);
+  // the group constraint forces one A, and augmentation must then pull in
+  // B with the freed budget.
+  const Instance inst = model::build_cap_instance(
+      {3.0, 3.0, 1.0}, 6.0, {100.0},
+      {{0, 0, 3.0}, {0, 1, 3.0}, {0, 2, 2.0}});
+  const GroupId groups[] = {1, 1, kNoGroup};
+  const GroupSelectResult r = solve_with_groups(inst, groups);
+  EXPECT_TRUE(satisfies_group_constraint(r.assignment, groups));
+  EXPECT_TRUE(r.assignment.in_range(2)) << "channel B picked up";
+  EXPECT_DOUBLE_EQ(r.utility, 5.0);
+}
+
+TEST(GroupSelect, ConstraintHoldsOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    gen::RandomMmdConfig cfg;
+    cfg.num_streams = 24;
+    cfg.num_users = 10;
+    cfg.num_server_measures = 2;
+    cfg.num_user_measures = 2;
+    cfg.budget_fraction = 0.4;
+    cfg.seed = seed;
+    const Instance inst = gen::random_mmd_instance(cfg);
+    // Groups of 3 consecutive streams (8 channels x 3 variants).
+    std::vector<GroupId> groups(inst.num_streams());
+    for (std::size_t s = 0; s < groups.size(); ++s)
+      groups[s] = static_cast<GroupId>(s / 3);
+    const GroupSelectResult r = solve_with_groups(inst, groups);
+    EXPECT_TRUE(satisfies_group_constraint(r.assignment, groups))
+        << "seed " << seed;
+    EXPECT_TRUE(model::validate(r.assignment).feasible()) << "seed " << seed;
+    EXPECT_LE(r.groups_used, groups.size() / 3 + 1);
+    EXPECT_NEAR(r.utility, r.assignment.utility(), 1e-9);
+  }
+}
+
+TEST(GroupSelect, UtilityNoWorseThanNaiveDedup) {
+  // The fixed-point augmentation must at least match "solve + drop".
+  for (std::uint64_t seed = 20; seed <= 30; ++seed) {
+    gen::RandomCapConfig cfg;
+    cfg.num_streams = 20;
+    cfg.num_users = 8;
+    cfg.budget_fraction = 0.35;
+    cfg.seed = seed;
+    const Instance inst = gen::random_cap_instance(cfg);
+    std::vector<GroupId> groups(inst.num_streams());
+    for (std::size_t s = 0; s < groups.size(); ++s)
+      groups[s] = static_cast<GroupId>(s / 2);
+
+    const GroupSelectResult full = solve_with_groups(inst, groups);
+
+    // Naive: unconstrained solve, keep best variant per group, stop.
+    MmdSolveResult base = solve_mmd(inst);
+    model::Assignment naive = std::move(base.assignment);
+    std::vector<double> value(inst.num_streams(), 0.0);
+    for (std::size_t uu = 0; uu < inst.num_users(); ++uu)
+      for (model::StreamId s :
+           naive.streams_of(static_cast<model::UserId>(uu)))
+        value[static_cast<std::size_t>(s)] +=
+            inst.utility(static_cast<model::UserId>(uu), s);
+    for (model::StreamId s : naive.range()) {
+      const GroupId g = groups[static_cast<std::size_t>(s)];
+      // Keep s only if it is the max-value carried stream of its group.
+      for (model::StreamId t : naive.range()) {
+        if (t != s && groups[static_cast<std::size_t>(t)] == g &&
+            value[static_cast<std::size_t>(t)] >
+                value[static_cast<std::size_t>(s)]) {
+          for (std::size_t uu = 0; uu < inst.num_users(); ++uu)
+            naive.unassign(static_cast<model::UserId>(uu), s);
+          break;
+        }
+      }
+    }
+    EXPECT_GE(full.utility + 1e-9, naive.utility()) << "seed " << seed;
+  }
+}
+
+TEST(GroupSelect, SatisfiesGroupConstraintHelper) {
+  const Instance inst = model::build_cap_instance(
+      {1.0, 1.0}, 10.0, {100.0}, {{0, 0, 1.0}, {0, 1, 1.0}});
+  model::Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(0, 1);
+  const GroupId same[] = {3, 3};
+  const GroupId diff[] = {3, 4};
+  const GroupId none[] = {kNoGroup, kNoGroup};
+  EXPECT_FALSE(satisfies_group_constraint(a, same));
+  EXPECT_TRUE(satisfies_group_constraint(a, diff));
+  EXPECT_TRUE(satisfies_group_constraint(a, none));
+}
+
+}  // namespace
+}  // namespace vdist::core

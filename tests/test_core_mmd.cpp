@@ -1,0 +1,207 @@
+#include "core/mmd_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/mmd_solver.h"
+#include "gen/random_instances.h"
+#include "gen/tightness.h"
+#include "model/skew.h"
+#include "model/validate.h"
+
+namespace vdist::core {
+namespace {
+
+using model::Instance;
+
+Instance sample_mmd(std::uint64_t seed, int m = 3, int mc = 2) {
+  gen::RandomMmdConfig cfg;
+  cfg.num_streams = 14;
+  cfg.num_users = 6;
+  cfg.num_server_measures = m;
+  cfg.num_user_measures = mc;
+  cfg.seed = seed;
+  return gen::random_mmd_instance(cfg);
+}
+
+TEST(Reduction, CombinedCostsAndBudget) {
+  const Instance mmd = sample_mmd(3);
+  const Instance smd = reduce_to_smd(mmd);
+  ASSERT_TRUE(smd.is_smd());
+  EXPECT_DOUBLE_EQ(smd.budget(0),
+                   static_cast<double>(mmd.num_server_measures()));
+  for (std::size_t s = 0; s < mmd.num_streams(); ++s) {
+    double expected = 0.0;
+    for (int i = 0; i < mmd.num_server_measures(); ++i)
+      expected += mmd.cost(static_cast<model::StreamId>(s), i) /
+                  mmd.budget(i);
+    EXPECT_NEAR(smd.cost(static_cast<model::StreamId>(s), 0), expected,
+                1e-12);
+    EXPECT_LE(smd.cost(static_cast<model::StreamId>(s), 0),
+              smd.budget(0) + 1e-9)
+        << "combined cost <= m because each c_i <= B_i";
+  }
+}
+
+TEST(Reduction, CombinedLoadsAndCapacity) {
+  const Instance mmd = sample_mmd(4);
+  const Instance smd = reduce_to_smd(mmd);
+  EXPECT_EQ(smd.num_edges(), mmd.num_edges());
+  for (std::size_t u = 0; u < mmd.num_users(); ++u)
+    EXPECT_DOUBLE_EQ(smd.capacity(static_cast<model::UserId>(u), 0),
+                     static_cast<double>(mmd.num_user_measures()));
+}
+
+TEST(Reduction, UtilitiesPreserved) {
+  const Instance mmd = sample_mmd(5);
+  const Instance smd = reduce_to_smd(mmd);
+  for (std::size_t s = 0; s < mmd.num_streams(); ++s)
+    EXPECT_NEAR(smd.total_utility(static_cast<model::StreamId>(s)),
+                mmd.total_utility(static_cast<model::StreamId>(s)), 1e-12);
+}
+
+TEST(Reduction, Lemma41SkewGrowsByAtMostMc) {
+  for (std::uint64_t seed = 10; seed <= 20; ++seed) {
+    const Instance mmd = sample_mmd(seed, 2, 3);
+    const Instance smd = reduce_to_smd(mmd);
+    const double alpha_m = model::local_skew(mmd).alpha;
+    const double alpha_s = model::local_skew(smd).alpha;
+    EXPECT_LE(alpha_s,
+              static_cast<double>(mmd.num_user_measures()) * alpha_m + 1e-6)
+        << "Lemma 4.1 at seed " << seed;
+  }
+}
+
+TEST(Reduction, OptimalOfMmdIsFeasibleForSmd) {
+  // Lemma 4.2's step 3: any MMD-feasible assignment satisfies the combined
+  // constraints.
+  const Instance mmd = sample_mmd(6, 2, 2);
+  const Instance smd = reduce_to_smd(mmd);
+  const ExactResult opt = solve_exact(mmd);
+  model::Assignment on_smd(smd);
+  for (std::size_t u = 0; u < mmd.num_users(); ++u)
+    for (model::StreamId s : opt.assignment.streams_of(static_cast<model::UserId>(u)))
+      on_smd.assign(static_cast<model::UserId>(u), s);
+  EXPECT_TRUE(model::validate(on_smd).feasible());
+}
+
+TEST(OutputTransform, ResultFeasibleForMmd) {
+  for (std::uint64_t seed = 30; seed <= 45; ++seed) {
+    const Instance mmd = sample_mmd(seed);
+    const Instance smd = reduce_to_smd(mmd);
+    const SkewBandsResult bands = solve_smd_any_skew(smd);
+    OutputTransformReport report;
+    const model::Assignment final_a =
+        transform_output(mmd, bands.assignment, &report);
+    EXPECT_TRUE(model::validate(final_a).feasible()) << "seed " << seed;
+    EXPECT_NEAR(report.final_utility, final_a.utility(), 1e-9);
+  }
+}
+
+TEST(OutputTransform, LossBoundedByGroupCounts) {
+  // Theorem 4.3: final utility >= input / ((2m-1)(2mc-1)).
+  for (std::uint64_t seed = 50; seed <= 60; ++seed) {
+    const Instance mmd = sample_mmd(seed, 3, 2);
+    const Instance smd = reduce_to_smd(mmd);
+    const SkewBandsResult bands = solve_smd_any_skew(smd);
+    OutputTransformReport report;
+    (void)transform_output(mmd, bands.assignment, &report);
+    const double m = mmd.num_server_measures();
+    const double mc = mmd.num_user_measures();
+    EXPECT_GE(report.final_utility * (2 * m - 1) * (2 * mc - 1) + 1e-9,
+              report.input_utility)
+        << "seed " << seed;
+    // Theorem 4.3: at most 2m-1 server candidates, 2mc-1 groups per user.
+    EXPECT_LE(report.num_server_groups, static_cast<std::size_t>(2 * m - 1));
+    EXPECT_LE(report.max_user_groups, static_cast<std::size_t>(2 * mc - 1));
+  }
+}
+
+TEST(OutputTransform, EmptyAssignmentPassesThrough) {
+  const Instance mmd = sample_mmd(70);
+  const Instance smd = reduce_to_smd(mmd);
+  const model::Assignment empty(smd);
+  OutputTransformReport report;
+  const model::Assignment out = transform_output(mmd, empty, &report);
+  EXPECT_EQ(out.num_assigned_pairs(), 0u);
+  EXPECT_EQ(report.final_utility, 0.0);
+}
+
+TEST(MmdSolver, SmdInputSkipsReduction) {
+  gen::RandomSmdConfig cfg;
+  cfg.num_streams = 12;
+  cfg.num_users = 5;
+  cfg.target_skew = 4.0;
+  cfg.seed = 3;
+  const Instance inst = gen::random_smd_instance(cfg);
+  const MmdSolveResult r = solve_mmd(inst);
+  EXPECT_FALSE(r.reduced);
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+}
+
+TEST(MmdSolver, MmdInputGoesThroughPipeline) {
+  const Instance inst = sample_mmd(80);
+  const MmdSolveResult r = solve_mmd(inst);
+  EXPECT_TRUE(r.reduced);
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+  EXPECT_NEAR(r.utility, r.assignment.utility(), 1e-9);
+  EXPECT_GE(r.num_bands, 1);
+}
+
+// --- Section 4.2: the tightness instance -----------------------------------
+
+TEST(Tightness, InstanceMatchesPaperConstruction) {
+  const gen::TightnessConfig cfg{3, 2, -1.0, -1.0};
+  const Instance inst = gen::tightness_instance(cfg);
+  EXPECT_EQ(inst.num_streams(), 4u);  // m + mc - 1
+  EXPECT_EQ(inst.num_users(), 1u);
+  EXPECT_EQ(inst.num_server_measures(), 3);
+  EXPECT_EQ(inst.num_user_measures(), 2);
+  const double eps = 1.0 / 9.0;
+  // Stream 0 costs 1/2+eps in measure 0 only.
+  EXPECT_NEAR(inst.cost(0, 0), 0.5 + eps, 1e-12);
+  EXPECT_NEAR(inst.cost(0, 1), 0.0, 1e-12);
+  // Streams 2,3 cost (1/2+eps)/mc in the last measure.
+  EXPECT_NEAR(inst.cost(2, 2), (0.5 + eps) / 2.0, 1e-12);
+  EXPECT_NEAR(inst.cost(3, 2), (0.5 + eps) / 2.0, 1e-12);
+  // Utilities: 1 for j < m-1... (0-based first m-1 streams), 1/mc after.
+  EXPECT_NEAR(inst.utility(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(inst.utility(0, 2), 0.5, 1e-12);
+}
+
+TEST(Tightness, TakingAllStreamsIsFeasibleAndOptimal) {
+  for (int m : {1, 2, 4})
+    for (int mc : {1, 2, 3}) {
+      const gen::TightnessConfig cfg{m, mc, -1.0, -1.0};
+      const Instance inst = gen::tightness_instance(cfg);
+      model::Assignment all(inst);
+      for (std::size_t s = 0; s < inst.num_streams(); ++s)
+        all.assign(0, static_cast<model::StreamId>(s));
+      EXPECT_TRUE(model::validate(all).feasible())
+          << "m=" << m << " mc=" << mc;
+      EXPECT_NEAR(all.utility(), gen::tightness_opt(cfg), 1e-9);
+      const ExactResult opt = solve_exact(inst);
+      EXPECT_NEAR(opt.utility, gen::tightness_opt(cfg), 1e-9);
+    }
+}
+
+TEST(Tightness, PipelineLosesAtMostTheoremFactor) {
+  // The instance is built to hurt the reduction; the solver must still be
+  // within the proven factor, and the measured loss grows with m*mc
+  // (bench E6 charts the trend).
+  for (int m : {2, 3})
+    for (int mc : {2, 3}) {
+      const gen::TightnessConfig cfg{m, mc, -1.0, -1.0};
+      const Instance inst = gen::tightness_instance(cfg);
+      const MmdSolveResult alg = solve_mmd(inst);
+      EXPECT_TRUE(model::validate(alg.assignment).feasible());
+      const double opt = gen::tightness_opt(cfg);
+      EXPECT_GT(alg.utility, 0.0);
+      EXPECT_LE(opt / alg.utility,
+                (2.0 * m - 1) * (2.0 * mc - 1) * 2.0 * 3 * 2.718 / 1.718 + 1)
+          << "m=" << m << " mc=" << mc;
+    }
+}
+
+}  // namespace
+}  // namespace vdist::core

@@ -1,0 +1,132 @@
+#include "core/skew_bands.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "gen/random_instances.h"
+#include "model/factory.h"
+#include "model/validate.h"
+
+namespace vdist::core {
+namespace {
+
+using model::build_smd_instance;
+using model::Instance;
+
+TEST(SkewBands, RequiresSmd) {
+  model::InstanceBuilder b(2, 1);
+  b.set_budget(0, 1.0);
+  b.set_budget(1, 1.0);
+  const Instance mmd = std::move(b).build();
+  EXPECT_THROW(solve_smd_any_skew(mmd), std::invalid_argument);
+}
+
+TEST(SkewBands, UnitSkewUsesSingleBandAndMatchesSection2) {
+  gen::RandomCapConfig cfg;
+  cfg.num_streams = 15;
+  cfg.num_users = 6;
+  cfg.seed = 77;
+  const Instance inst = gen::random_cap_instance(cfg);
+  const SkewBandsResult bands = solve_smd_any_skew(inst);
+  EXPECT_EQ(bands.num_bands, 1);
+  EXPECT_DOUBLE_EQ(bands.alpha, 1.0);
+  const SmdSolveResult direct = solve_unit_skew(inst);
+  EXPECT_NEAR(bands.utility, direct.utility, 1e-9);
+}
+
+TEST(SkewBands, BandCountFollowsAlpha) {
+  // alpha = 8 => t = 1 + floor(log2 8) = 4.
+  const Instance inst = build_smd_instance(
+      {1.0, 1.0}, 10.0, {100.0},
+      {{0, 0, 8.0, 1.0}, {0, 1, 1.0, 1.0}});
+  const SkewBandsResult bands = solve_smd_any_skew(inst);
+  EXPECT_DOUBLE_EQ(bands.alpha, 8.0);
+  EXPECT_EQ(bands.num_bands, 4);
+}
+
+TEST(SkewBands, EdgesArePartitionedAcrossBands) {
+  gen::RandomSmdConfig cfg;
+  cfg.num_streams = 20;
+  cfg.num_users = 8;
+  cfg.target_skew = 32.0;
+  cfg.seed = 5;
+  const Instance inst = gen::random_smd_instance(cfg);
+  const SkewBandsResult bands = solve_smd_any_skew(inst);
+  std::size_t total_edges = 0;
+  for (const BandReport& band : bands.bands) total_edges += band.num_edges;
+  EXPECT_EQ(total_edges, inst.num_edges())
+      << "every pair must appear in exactly one band (Thm 3.1 proof)";
+}
+
+TEST(SkewBands, OutputFeasibleOnOriginalInstance) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    gen::RandomSmdConfig cfg;
+    cfg.num_streams = 18;
+    cfg.num_users = 7;
+    cfg.target_skew = 16.0;
+    cfg.capacity_fraction = 0.35;
+    cfg.budget_fraction = 0.3;
+    cfg.seed = seed;
+    const Instance inst = gen::random_smd_instance(cfg);
+    const SkewBandsResult bands = solve_smd_any_skew(inst);
+    EXPECT_TRUE(model::validate(bands.assignment).feasible())
+        << "seed " << seed;
+    EXPECT_NEAR(bands.utility, bands.assignment.utility(), 1e-9);
+  }
+}
+
+TEST(SkewBands, FreeEdgesGetTheirOwnBand) {
+  // All load-free pairs: the free band carries everything; capacity never
+  // binds, so the whole catalog within budget is assignable.
+  const Instance inst = build_smd_instance(
+      {1.0, 1.0}, 2.0, {0.5},
+      {{0, 0, 5.0, 0.0}, {0, 1, 3.0, 0.0}});
+  const SkewBandsResult bands = solve_smd_any_skew(inst);
+  EXPECT_EQ(bands.chosen_band, 0) << "free band";
+  EXPECT_DOUBLE_EQ(bands.utility, 8.0);
+  EXPECT_TRUE(model::validate(bands.assignment).feasible());
+}
+
+TEST(SkewBands, MixedFreeAndLoadedEdges) {
+  // One free pair (utility 10) and one loaded pair (utility 2, load 2,
+  // cap 1 => the loaded edge is dropped by the builder's w=0 rule? No:
+  // load 2 > cap 1 drops it; use load 1 <= cap). The best band should be
+  // the free one.
+  const Instance inst = build_smd_instance(
+      {1.0, 1.0}, 10.0, {1.0},
+      {{0, 0, 10.0, 0.0}, {0, 1, 2.0, 1.0}});
+  const SkewBandsResult bands = solve_smd_any_skew(inst);
+  EXPECT_DOUBLE_EQ(bands.utility, 10.0);
+  EXPECT_EQ(bands.chosen_band, 0);
+}
+
+TEST(SkewBands, ChoosesBestBandByOriginalUtility) {
+  // Band 1 (ratio ~1): many small-utility pairs; band 2 (ratio ~4): one
+  // large pair. Force the big pair to win.
+  const Instance inst = build_smd_instance(
+      {1.0, 1.0}, 1.0,  // budget admits one stream only
+      {10.0, 10.0},
+      {{0, 0, 1.0, 1.0},    // ratio 1
+       {1, 1, 8.0, 2.0}});  // ratio 4
+  const SkewBandsResult bands = solve_smd_any_skew(inst);
+  EXPECT_DOUBLE_EQ(bands.utility, 8.0);
+  EXPECT_TRUE(bands.assignment.has(1, 1));
+}
+
+TEST(SkewBands, PartialEnumOptionImprovesOrMatches) {
+  gen::RandomSmdConfig cfg;
+  cfg.num_streams = 10;
+  cfg.num_users = 5;
+  cfg.target_skew = 8.0;
+  cfg.seed = 11;
+  const Instance inst = gen::random_smd_instance(cfg);
+  const SkewBandsResult plain = solve_smd_any_skew(inst);
+  SkewBandsOptions opts;
+  opts.use_partial_enum = true;
+  opts.seed_size = 2;
+  const SkewBandsResult better = solve_smd_any_skew(inst, opts);
+  EXPECT_GE(better.utility + 1e-9, plain.utility);
+}
+
+}  // namespace
+}  // namespace vdist::core

@@ -1,0 +1,142 @@
+// Degenerate-input coverage: every public entry point must behave sanely
+// on empty/trivial/unbounded instances.
+#include <gtest/gtest.h>
+
+#include "baseline/policies.h"
+#include "core/allocate_online.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/mmd_solver.h"
+#include "core/partial_enum.h"
+#include "core/skew_bands.h"
+#include "model/factory.h"
+#include "model/skew.h"
+#include "model/validate.h"
+
+namespace vdist {
+namespace {
+
+model::Instance empty_instance() {
+  model::InstanceBuilder b(1, 1);
+  b.set_budget(0, 1.0);
+  return std::move(b).build();
+}
+
+TEST(EdgeCases, EmptyInstanceThroughEveryAlgorithm) {
+  const model::Instance inst = empty_instance();
+  EXPECT_EQ(core::greedy_unit_skew(inst).capped_utility, 0.0);
+  EXPECT_EQ(core::solve_unit_skew(inst).utility, 0.0);
+  EXPECT_EQ(core::solve_smd_any_skew(inst).utility, 0.0);
+  EXPECT_EQ(core::solve_mmd(inst).utility, 0.0);
+  EXPECT_EQ(core::solve_exact(inst).utility, 0.0);
+  EXPECT_EQ(core::allocate_online(inst).utility, 0.0);
+  EXPECT_EQ(baseline::fcfs_admission(inst).utility, 0.0);
+  EXPECT_EQ(core::partial_enum_unit_skew(inst).best.utility, 0.0);
+  EXPECT_DOUBLE_EQ(model::local_skew(inst).alpha, 1.0);
+  EXPECT_DOUBLE_EQ(model::global_skew(inst).gamma, 1.0);
+}
+
+TEST(EdgeCases, StreamsWithNoInterestedUsers) {
+  model::InstanceBuilder b(1, 1);
+  b.set_budget(0, 10.0);
+  b.add_stream({1.0});
+  b.add_stream({1.0});
+  const auto s2 = b.add_stream({1.0});
+  const auto u = b.add_user({5.0});
+  b.add_interest(u, s2, 2.0, {2.0});
+  const model::Instance inst = std::move(b).build();
+  const core::MmdSolveResult r = core::solve_mmd(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 2.0);
+  EXPECT_EQ(r.assignment.range_size(), 1u) << "dead streams never carried";
+}
+
+TEST(EdgeCases, UsersWithNoInterests) {
+  model::InstanceBuilder b(1, 1);
+  b.set_budget(0, 10.0);
+  const auto s = b.add_stream({1.0});
+  b.add_user({5.0});
+  const auto u1 = b.add_user({5.0});
+  b.add_user({5.0});
+  b.add_interest(u1, s, 3.0, {3.0});
+  const model::Instance inst = std::move(b).build();
+  const core::MmdSolveResult r = core::solve_mmd(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 3.0);
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+}
+
+TEST(EdgeCases, AllBudgetsUnbounded) {
+  model::InstanceBuilder b(2, 1);
+  b.set_budget(0, model::kUnbounded);
+  b.set_budget(1, model::kUnbounded);
+  const auto s0 = b.add_stream({100.0, 50.0});
+  const auto s1 = b.add_stream({200.0, 80.0});
+  const auto u = b.add_user({model::kUnbounded});
+  b.add_interest(u, s0, 1.0, {1.0});
+  b.add_interest(u, s1, 2.0, {2.0});
+  const model::Instance inst = std::move(b).build();
+  const core::MmdSolveResult r = core::solve_mmd(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 3.0) << "nothing binds: take everything";
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+  const core::ExactResult opt = core::solve_exact(inst);
+  EXPECT_DOUBLE_EQ(opt.utility, 3.0);
+}
+
+TEST(EdgeCases, SingleStreamSingleUser) {
+  const model::Instance inst =
+      model::build_cap_instance({1.0}, 1.0, {2.0}, {{0, 0, 2.0}});
+  EXPECT_DOUBLE_EQ(core::solve_mmd(inst).utility, 2.0);
+  EXPECT_DOUBLE_EQ(core::solve_exact(inst).utility, 2.0);
+  EXPECT_DOUBLE_EQ(core::allocate_online(inst).utility, 2.0);
+  EXPECT_DOUBLE_EQ(baseline::fcfs_admission(inst).utility, 2.0);
+}
+
+TEST(EdgeCases, ZeroCostZeroLoadStream) {
+  // Free in every sense: must always be taken by everyone interested.
+  model::InstanceBuilder b(1, 1);
+  b.set_budget(0, 1.0);
+  const auto s = b.add_stream({0.0});
+  const auto u0 = b.add_user({1.0});
+  const auto u1 = b.add_user({1.0});
+  b.add_interest(u0, s, 5.0, {0.0});
+  b.add_interest(u1, s, 7.0, {0.0});
+  const model::Instance inst = std::move(b).build();
+  EXPECT_DOUBLE_EQ(core::solve_mmd(inst).utility, 12.0);
+  EXPECT_DOUBLE_EQ(core::solve_exact(inst).utility, 12.0);
+}
+
+TEST(EdgeCases, UtilityCapZeroUserContributesNothing) {
+  // A cap of 0 zeroes every edge (load > cap never true for load==w>0...
+  // the builder drops w > 0 edges because w > 0 = K). Validate the
+  // instance simply has no usable edges.
+  model::InstanceBuilder b(1, 1);
+  b.set_budget(0, 10.0);
+  const auto s = b.add_stream({1.0});
+  const auto u = b.add_user({0.0});
+  b.add_interest(u, s, 2.0, {2.0});
+  const model::Instance inst = std::move(b).build();
+  EXPECT_EQ(inst.num_edges(), 0u);
+  EXPECT_EQ(inst.num_edges_zeroed_by_capacity(), 1u);
+  EXPECT_DOUBLE_EQ(core::solve_mmd(inst).utility, 0.0);
+}
+
+TEST(EdgeCases, TieBreakingIsDeterministic) {
+  // Identical streams: repeated solves give identical assignments.
+  const model::Instance inst = model::build_cap_instance(
+      {2.0, 2.0, 2.0}, 4.0, {100.0},
+      {{0, 0, 3.0}, {0, 1, 3.0}, {0, 2, 3.0}});
+  const auto a = core::solve_mmd(inst);
+  const auto b2 = core::solve_mmd(inst);
+  EXPECT_EQ(a.utility, b2.utility);
+  EXPECT_EQ(a.assignment.range(), b2.assignment.range());
+}
+
+TEST(EdgeCases, DuplicateStreamsSaturateBudgetExactly) {
+  const model::Instance inst = model::build_cap_instance(
+      {1.0, 1.0, 1.0, 1.0}, 4.0, {100.0},
+      {{0, 0, 1.0}, {0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}});
+  const auto r = core::solve_mmd(inst);
+  EXPECT_DOUBLE_EQ(r.utility, 4.0) << "exact-fit budget must be fully used";
+}
+
+}  // namespace
+}  // namespace vdist

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/iptv.h"
+#include "gen/random_instances.h"
+#include "gen/small_streams.h"
+#include "gen/tightness.h"
+#include "gen/trace.h"
+#include "model/skew.h"
+#include "model/validate.h"
+
+namespace vdist::gen {
+namespace {
+
+TEST(RandomInstances, DeterministicPerSeed) {
+  RandomCapConfig cfg;
+  cfg.seed = 42;
+  const model::Instance a = random_cap_instance(cfg);
+  const model::Instance b = random_cap_instance(cfg);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_streams(), b.num_streams());
+  for (std::size_t s = 0; s < a.num_streams(); ++s)
+    EXPECT_DOUBLE_EQ(a.cost(static_cast<model::StreamId>(s), 0),
+                     b.cost(static_cast<model::StreamId>(s), 0));
+  cfg.seed = 43;
+  const model::Instance c = random_cap_instance(cfg);
+  bool any_diff = c.num_edges() != a.num_edges();
+  for (std::size_t s = 0; !any_diff && s < a.num_streams(); ++s)
+    any_diff = a.cost(static_cast<model::StreamId>(s), 0) !=
+               c.cost(static_cast<model::StreamId>(s), 0);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomInstances, CapInstanceIsWellFormed) {
+  RandomCapConfig cfg;
+  cfg.num_streams = 50;
+  cfg.num_users = 20;
+  cfg.seed = 7;
+  const model::Instance inst = random_cap_instance(cfg);
+  EXPECT_TRUE(inst.is_smd());
+  EXPECT_TRUE(inst.is_unit_skew());
+  EXPECT_EQ(inst.num_streams(), 50u);
+  EXPECT_EQ(inst.num_users(), 20u);
+  EXPECT_GT(inst.num_edges(), 0u);
+  // No stream exceeds the budget; the builder would have thrown otherwise.
+  for (std::size_t s = 0; s < inst.num_streams(); ++s)
+    EXPECT_LE(inst.cost(static_cast<model::StreamId>(s), 0),
+              inst.budget(0) * (1 + 1e-12));
+}
+
+TEST(RandomInstances, EveryStreamHasAtLeastOneInterestedUser) {
+  RandomCapConfig cfg;
+  cfg.num_streams = 60;
+  cfg.num_users = 15;
+  cfg.interest_per_stream = 0.1;  // sparse: forces the fallback path
+  cfg.seed = 11;
+  const model::Instance inst = random_cap_instance(cfg);
+  for (std::size_t s = 0; s < inst.num_streams(); ++s)
+    EXPECT_GE(inst.users_of(static_cast<model::StreamId>(s)).size(), 1u);
+}
+
+TEST(RandomInstances, SmdSkewIsBounded) {
+  RandomSmdConfig cfg;
+  cfg.num_streams = 40;
+  cfg.num_users = 12;
+  cfg.target_skew = 16.0;
+  cfg.seed = 13;
+  const model::Instance inst = random_smd_instance(cfg);
+  const double alpha = model::local_skew(inst).alpha;
+  EXPECT_GE(alpha, 1.0);
+  // Capacity clamping can shrink loads (raising a ratio) by at most the
+  // clamp factor; in practice alpha stays near the target.
+  EXPECT_LE(alpha, cfg.target_skew * 4);
+}
+
+TEST(RandomInstances, UnitTargetSkewGivesCapForm) {
+  RandomSmdConfig cfg;
+  cfg.target_skew = 1.0;
+  cfg.seed = 17;
+  const model::Instance inst = random_smd_instance(cfg);
+  EXPECT_NEAR(model::local_skew(inst).alpha, 1.0, 1e-9);
+}
+
+TEST(RandomInstances, MmdDimensionsHonored) {
+  RandomMmdConfig cfg;
+  cfg.num_server_measures = 4;
+  cfg.num_user_measures = 3;
+  cfg.seed = 19;
+  const model::Instance inst = random_mmd_instance(cfg);
+  EXPECT_EQ(inst.num_server_measures(), 4);
+  EXPECT_EQ(inst.num_user_measures(), 3);
+  EXPECT_FALSE(inst.is_smd());
+}
+
+TEST(Tightness, ValidatesArguments) {
+  EXPECT_THROW(tightness_instance({0, 1, -1, -1}), std::invalid_argument);
+  EXPECT_THROW(tightness_instance({1, 0, -1, -1}), std::invalid_argument);
+}
+
+TEST(Tightness, EdgeCaseMEqualsOne) {
+  const TightnessConfig cfg{1, 3, -1.0, -1.0};
+  const model::Instance inst = tightness_instance(cfg);
+  EXPECT_EQ(inst.num_streams(), 3u);  // m + mc - 1 = 3
+  EXPECT_NEAR(tightness_opt(cfg), 1.0, 1e-12);
+  model::Assignment all(inst);
+  for (std::size_t s = 0; s < inst.num_streams(); ++s)
+    all.assign(0, static_cast<model::StreamId>(s));
+  EXPECT_TRUE(model::validate(all).feasible());
+}
+
+TEST(SmallStreams, PremiseHoldsByConstruction) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SmallStreamsConfig cfg;
+    cfg.num_streams = 100;
+    cfg.num_users = 12;
+    cfg.seed = seed;
+    const SmallStreamsInstance gen_result = small_streams_instance(cfg);
+    EXPECT_TRUE(model::satisfies_small_streams(gen_result.instance,
+                                               gen_result.skew))
+        << "seed " << seed;
+    EXPECT_GT(gen_result.skew.mu, 2.0);
+  }
+}
+
+TEST(SmallStreams, TightnessLoosensBudgets) {
+  SmallStreamsConfig tight;
+  tight.seed = 5;
+  tight.tightness = 1.0;
+  SmallStreamsConfig loose = tight;
+  loose.tightness = 3.0;
+  const auto a = small_streams_instance(tight);
+  const auto b = small_streams_instance(loose);
+  EXPECT_LT(a.instance.budget(0), b.instance.budget(0));
+}
+
+TEST(Iptv, CatalogShape) {
+  IptvConfig cfg;
+  cfg.num_channels = 100;
+  cfg.num_users = 80;
+  cfg.seed = 3;
+  const IptvWorkload w = make_iptv_workload(cfg);
+  EXPECT_EQ(w.instance.num_streams(), 100u);
+  EXPECT_EQ(w.instance.num_users(), 80u);
+  EXPECT_EQ(w.instance.num_server_measures(), 3);
+  EXPECT_EQ(w.instance.num_user_measures(), 2);
+  EXPECT_EQ(w.channels.size(), 100u);
+  EXPECT_EQ(w.user_tiers.size(), 80u);
+  // Every channel class appears in a 100-channel catalog w.h.p.
+  bool sd = false, hd = false, uhd = false;
+  for (const auto& ch : w.channels) {
+    sd |= ch.klass == ChannelClass::kSd;
+    hd |= ch.klass == ChannelClass::kHd;
+    uhd |= ch.klass == ChannelClass::kUhd;
+  }
+  EXPECT_TRUE(sd);
+  EXPECT_TRUE(hd);
+  EXPECT_TRUE(uhd);
+}
+
+TEST(Iptv, BronzeUsersCannotTakeUhd) {
+  // UHD bitrates (15-24 Mbps) exceed the bronze incoming cap (18 Mbps)
+  // for most draws; the builder zeroes those edges per the paper's rule.
+  IptvConfig cfg;
+  cfg.num_channels = 150;
+  cfg.num_users = 100;
+  cfg.sd_fraction = 0.0;
+  cfg.hd_fraction = 0.0;  // all UHD
+  cfg.seed = 21;
+  const IptvWorkload w = make_iptv_workload(cfg);
+  EXPECT_GT(w.instance.num_edges_zeroed_by_capacity(), 0u);
+  for (std::size_t s = 0; s < w.instance.num_streams(); ++s) {
+    const auto sid = static_cast<model::StreamId>(s);
+    for (model::EdgeId e = w.instance.first_edge(sid);
+         e < w.instance.last_edge(sid); ++e) {
+      const model::UserId u = w.instance.edge_user(e);
+      EXPECT_LE(w.instance.edge_load(e, 0), w.instance.capacity(u, 0));
+    }
+  }
+}
+
+TEST(Iptv, ZipfMakesPopularChannelsMoreSubscribed) {
+  IptvConfig cfg;
+  cfg.num_channels = 120;
+  cfg.num_users = 200;
+  cfg.zipf_exponent = 1.1;
+  cfg.seed = 9;
+  const IptvWorkload w = make_iptv_workload(cfg);
+  // Average degree of the top-decile ranks must exceed the bottom decile.
+  double top = 0, bottom = 0;
+  for (std::size_t s = 0; s < 12; ++s)
+    top += static_cast<double>(
+        w.instance.users_of(static_cast<model::StreamId>(s)).size());
+  for (std::size_t s = 108; s < 120; ++s)
+    bottom += static_cast<double>(
+        w.instance.users_of(static_cast<model::StreamId>(s)).size());
+  EXPECT_GT(top, bottom * 1.5);
+}
+
+TEST(Trace, SortedAndWithinHorizon) {
+  IptvConfig cfg;
+  cfg.num_channels = 30;
+  cfg.num_users = 20;
+  const IptvWorkload w = make_iptv_workload(cfg);
+  TraceConfig tc;
+  tc.arrival_rate = 2.0;
+  tc.horizon = 100.0;
+  tc.seed = 31;
+  const auto trace = make_trace(w.instance, tc);
+  EXPECT_GT(trace.size(), 100u);  // ~200 expected
+  EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end(),
+                             [](const Session& a, const Session& b) {
+                               return a.arrival < b.arrival;
+                             }));
+  for (const Session& s : trace) {
+    EXPECT_GE(s.arrival, 0.0);
+    EXPECT_LT(s.arrival, tc.horizon);
+    EXPECT_GT(s.duration, 0.0);
+    EXPECT_GE(s.stream, 0);
+    EXPECT_LT(static_cast<std::size_t>(s.stream), w.instance.num_streams());
+  }
+}
+
+TEST(Trace, PopularityBiasSkewsSampling) {
+  IptvConfig cfg;
+  cfg.num_channels = 40;
+  cfg.num_users = 60;
+  const IptvWorkload w = make_iptv_workload(cfg);
+  TraceConfig biased;
+  biased.arrival_rate = 20.0;
+  biased.horizon = 200.0;
+  biased.popularity_bias = 2.0;
+  biased.seed = 37;
+  const auto trace = make_trace(w.instance, biased);
+  // The most-utility stream should be offered more often than the least.
+  model::StreamId best = 0, worst = 0;
+  for (std::size_t s = 1; s < w.instance.num_streams(); ++s) {
+    const auto sid = static_cast<model::StreamId>(s);
+    if (w.instance.total_utility(sid) > w.instance.total_utility(best))
+      best = sid;
+    if (w.instance.total_utility(sid) < w.instance.total_utility(worst))
+      worst = sid;
+  }
+  std::size_t best_count = 0, worst_count = 0;
+  for (const Session& s : trace) {
+    if (s.stream == best) ++best_count;
+    if (s.stream == worst) ++worst_count;
+  }
+  EXPECT_GT(best_count, worst_count);
+}
+
+}  // namespace
+}  // namespace vdist::gen

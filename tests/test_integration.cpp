@@ -1,0 +1,148 @@
+// End-to-end integration: generated workloads flow through serialization,
+// every solver, validation and the simulator together — the paths a real
+// user strings together.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/policies.h"
+#include "core/allocate_online.h"
+#include "core/exact.h"
+#include "core/group_select.h"
+#include "core/mmd_solver.h"
+#include "gen/iptv.h"
+#include "gen/trace.h"
+#include "io/instance_io.h"
+#include "model/skew.h"
+#include "model/validate.h"
+#include "sim/engine.h"
+
+namespace vdist {
+namespace {
+
+TEST(Integration, GenerateSerializeSolveValidate) {
+  gen::IptvConfig cfg;
+  cfg.num_channels = 60;
+  cfg.num_users = 80;
+  cfg.seed = 15;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+
+  // Round-trip through the text format.
+  std::stringstream ss;
+  io::save_instance(ss, w.instance);
+  const model::Instance inst = io::load_instance(ss);
+
+  // Every solver on the loaded instance: feasible, utilities consistent.
+  const core::MmdSolveResult pipeline = core::solve_mmd(inst);
+  EXPECT_TRUE(model::validate(pipeline.assignment).feasible());
+  EXPECT_GT(pipeline.utility, 0.0);
+
+  const core::AllocateResult online = core::allocate_online(inst);
+  EXPECT_TRUE(model::validate(online.assignment).feasible());
+
+  const baseline::BaselineResult threshold = baseline::fcfs_admission(inst);
+  EXPECT_TRUE(model::validate(threshold.assignment).feasible());
+
+  // Utilities agree with the original instance (same ids after round-trip).
+  model::Assignment replay(w.instance);
+  for (std::size_t u = 0; u < inst.num_users(); ++u)
+    for (model::StreamId s :
+         pipeline.assignment.streams_of(static_cast<model::UserId>(u)))
+      replay.assign(static_cast<model::UserId>(u), s);
+  EXPECT_NEAR(replay.utility(), pipeline.utility, 1e-9);
+}
+
+TEST(Integration, SolverChainRespectsUtilityOrdering) {
+  // On a small instance: exact >= pipeline >= max(bare pipeline, nothing),
+  // and exact >= every other feasible algorithm.
+  gen::IptvConfig cfg;
+  cfg.num_channels = 16;
+  cfg.num_users = 12;
+  cfg.interests_per_user = 6;
+  cfg.seed = 23;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+  const model::Instance& inst = w.instance;
+
+  const core::ExactResult opt = core::solve_exact(inst);
+  ASSERT_TRUE(opt.proven_optimal);
+  const core::MmdSolveResult pipeline = core::solve_mmd(inst);
+  core::MmdSolverOptions bare_opts;
+  bare_opts.augment = false;
+  const core::MmdSolveResult bare = core::solve_mmd(inst, bare_opts);
+  const baseline::BaselineResult threshold = baseline::fcfs_admission(inst);
+  const core::AllocateResult online = core::allocate_online(inst);
+
+  EXPECT_GE(opt.utility + 1e-9, pipeline.utility);
+  EXPECT_GE(opt.utility + 1e-9, threshold.utility);
+  EXPECT_GE(opt.utility + 1e-9, online.utility);
+  EXPECT_GE(pipeline.utility + 1e-9, bare.utility);
+}
+
+TEST(Integration, VariantWorkflowEndToEnd) {
+  gen::IptvConfig cfg;
+  cfg.num_channels = 60;
+  cfg.num_users = 60;
+  cfg.variants_per_channel = 3;
+  cfg.seed = 31;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+  const core::GroupSelectResult r =
+      core::solve_with_groups(w.instance, w.variant_group);
+  EXPECT_TRUE(core::satisfies_group_constraint(r.assignment, w.variant_group));
+  EXPECT_TRUE(model::validate(r.assignment).feasible());
+  // The constrained utility cannot beat the unconstrained pipeline.
+  const core::MmdSolveResult unconstrained = core::solve_mmd(w.instance);
+  EXPECT_LE(r.utility, unconstrained.utility + 1e-6);
+}
+
+TEST(Integration, SimulatorAgreesWithStaticSolveOnStaticTrace) {
+  // A trace where every catalog stream arrives once and never departs
+  // (duration beyond horizon) makes the threshold policy equivalent to
+  // the static threshold_admission in arrival order.
+  gen::IptvConfig cfg;
+  cfg.num_channels = 40;
+  cfg.num_users = 40;
+  cfg.seed = 41;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+
+  std::vector<gen::Session> trace;
+  for (std::size_t s = 0; s < w.instance.num_streams(); ++s)
+    trace.push_back(gen::Session{static_cast<double>(s) + 1.0, 1e9,
+                                 static_cast<model::StreamId>(s)});
+
+  sim::ThresholdPolicy policy(w.instance);
+  const sim::SimResult sim_result =
+      run_simulation(w.instance, trace, policy);
+  const baseline::BaselineResult static_result =
+      baseline::fcfs_admission(w.instance);
+  EXPECT_EQ(sim_result.totals.accepted, static_result.admitted);
+  EXPECT_EQ(sim_result.totals.violations, 0u);
+}
+
+TEST(Integration, OnlineAllocateConsistencyBetweenDriverAndPolicy) {
+  // The offline driver (allocate_online) and the simulator policy fed the
+  // same one-shot arrivals must make identical decisions.
+  gen::IptvConfig cfg;
+  cfg.num_channels = 30;
+  cfg.num_users = 25;
+  cfg.seed = 53;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+  const double mu = model::global_skew(w.instance).mu;
+
+  core::AllocateOptions opts;
+  opts.mu = mu;
+  const core::AllocateResult driver = core::allocate_online(w.instance, opts);
+
+  std::vector<gen::Session> trace;
+  for (std::size_t s = 0; s < w.instance.num_streams(); ++s)
+    trace.push_back(gen::Session{static_cast<double>(s) + 1.0, 1e9,
+                                 static_cast<model::StreamId>(s)});
+  sim::OnlineAllocatePolicy policy(w.instance, mu, true);
+  const sim::SimResult sim_result =
+      run_simulation(w.instance, trace, policy);
+
+  EXPECT_EQ(sim_result.totals.accepted, driver.accepted);
+  EXPECT_EQ(sim_result.totals.rejected, driver.rejected);
+}
+
+}  // namespace
+}  // namespace vdist

@@ -1,0 +1,231 @@
+#include "io/instance_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/iptv.h"
+#include "gen/random_instances.h"
+#include "model/factory.h"
+
+namespace vdist::io {
+namespace {
+
+void expect_instances_equal(const model::Instance& a,
+                            const model::Instance& b) {
+  ASSERT_EQ(a.num_streams(), b.num_streams());
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_server_measures(), b.num_server_measures());
+  ASSERT_EQ(a.num_user_measures(), b.num_user_measures());
+  for (int i = 0; i < a.num_server_measures(); ++i)
+    EXPECT_EQ(a.budget(i), b.budget(i));
+  for (std::size_t s = 0; s < a.num_streams(); ++s) {
+    const auto sid = static_cast<model::StreamId>(s);
+    EXPECT_EQ(a.stream_name(sid), b.stream_name(sid));
+    for (int i = 0; i < a.num_server_measures(); ++i)
+      EXPECT_EQ(a.cost(sid, i), b.cost(sid, i)) << "stream " << s;
+    const auto ua = a.users_of(sid);
+    const auto ub = b.users_of(sid);
+    ASSERT_EQ(ua.size(), ub.size());
+    for (std::size_t t = 0; t < ua.size(); ++t) {
+      EXPECT_EQ(ua[t], ub[t]);
+      EXPECT_EQ(a.utilities_of(sid)[t], b.utilities_of(sid)[t]);
+    }
+  }
+  for (std::size_t u = 0; u < a.num_users(); ++u) {
+    const auto uid = static_cast<model::UserId>(u);
+    EXPECT_EQ(a.user_name(uid), b.user_name(uid));
+    for (int j = 0; j < a.num_user_measures(); ++j)
+      EXPECT_EQ(a.capacity(uid, j), b.capacity(uid, j));
+  }
+}
+
+TEST(InstanceIo, RoundTripTinyInstance) {
+  const model::Instance inst = model::build_cap_instance(
+      {1.5, 2.25}, 3.0, {4.0, model::kUnbounded},
+      {{0, 0, 1.0}, {1, 1, 2.0}});
+  std::stringstream ss;
+  save_instance(ss, inst);
+  const model::Instance loaded = load_instance(ss);
+  expect_instances_equal(inst, loaded);
+}
+
+TEST(InstanceIo, RoundTripExactDoubles) {
+  // Values with no short decimal representation must survive.
+  model::InstanceBuilder b(1, 1);
+  b.set_budget(0, 1.0 / 3.0 * 10);
+  const auto s = b.add_stream({0.1 + 0.2});
+  const auto u = b.add_user({1e-7});
+  b.add_interest(u, s, 1e-7, {1e-7});
+  const model::Instance inst = std::move(b).build();
+  std::stringstream ss;
+  save_instance(ss, inst);
+  const model::Instance loaded = load_instance(ss);
+  EXPECT_EQ(loaded.budget(0), inst.budget(0));
+  EXPECT_EQ(loaded.cost(0, 0), inst.cost(0, 0));
+  EXPECT_EQ(loaded.edge_utility(0), inst.edge_utility(0));
+}
+
+TEST(InstanceIo, RoundTripRandomMmd) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    gen::RandomMmdConfig cfg;
+    cfg.num_streams = 20;
+    cfg.num_users = 8;
+    cfg.num_server_measures = 3;
+    cfg.num_user_measures = 2;
+    cfg.seed = seed;
+    const model::Instance inst = gen::random_mmd_instance(cfg);
+    std::stringstream ss;
+    save_instance(ss, inst);
+    const model::Instance loaded = load_instance(ss);
+    expect_instances_equal(inst, loaded);
+  }
+}
+
+TEST(InstanceIo, RoundTripIptvWithNames) {
+  gen::IptvConfig cfg;
+  cfg.num_channels = 25;
+  cfg.num_users = 20;
+  cfg.seed = 3;
+  const model::Instance inst = gen::make_iptv_workload(cfg).instance;
+  std::stringstream ss;
+  save_instance(ss, inst);
+  const model::Instance loaded = load_instance(ss);
+  expect_instances_equal(inst, loaded);
+  EXPECT_FALSE(loaded.stream_name(0).empty());
+}
+
+TEST(InstanceIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "vdist-instance 1\n"
+      "dims 1 1\n"
+      "# budgets\n"
+      "budget 0 5\n"
+      "stream 0 - 1\n"
+      "user 0 - 2\n"
+      "\n"
+      "interest 0 0 1.5 1.5\n";
+  std::istringstream is(text);
+  const model::Instance inst = load_instance(is);
+  EXPECT_EQ(inst.num_streams(), 1u);
+  EXPECT_EQ(inst.num_edges(), 1u);
+  EXPECT_EQ(inst.utility(0, 0), 1.5);
+}
+
+TEST(InstanceIo, RejectsMalformedInput) {
+  auto load = [](const std::string& text) {
+    std::istringstream is(text);
+    return load_instance(is);
+  };
+  EXPECT_THROW(load(""), std::runtime_error);
+  EXPECT_THROW(load("not-a-header 1\n"), std::runtime_error);
+  EXPECT_THROW(load("vdist-instance 99\ndims 1 1\n"), std::runtime_error);
+  EXPECT_THROW(load("vdist-instance 1\nbudget 0 5\n"), std::runtime_error)
+      << "dims must come first";
+  EXPECT_THROW(load("vdist-instance 1\ndims 1 1\nstream 5 - 1\n"),
+               std::runtime_error)
+      << "non-dense stream ids";
+  EXPECT_THROW(load("vdist-instance 1\ndims 1 1\nstream 0 - abc\n"),
+               std::runtime_error)
+      << "bad number";
+  EXPECT_THROW(load("vdist-instance 1\ndims 1 1\nfrobnicate 1 2\n"),
+               std::runtime_error)
+      << "unknown record";
+  EXPECT_THROW(load("vdist-instance 1\ndims 1 1\nstream 0 - 1 2\n"),
+               std::runtime_error)
+      << "wrong arity";
+}
+
+TEST(InstanceIo, UnboundedValuesSerializeAsInf) {
+  model::InstanceBuilder b(1, 1);
+  b.set_budget(0, model::kUnbounded);
+  b.add_stream({5.0});
+  b.add_user({model::kUnbounded});
+  const model::Instance inst = std::move(b).build();
+  std::stringstream ss;
+  save_instance(ss, inst);
+  EXPECT_NE(ss.str().find("budget 0 inf"), std::string::npos);
+  const model::Instance loaded = load_instance(ss);
+  EXPECT_TRUE(std::isinf(loaded.budget(0)));
+}
+
+TEST(InstanceIo, FileRoundTripAndErrors) {
+  const model::Instance inst = model::build_cap_instance(
+      {1.0}, 2.0, {3.0}, {{0, 0, 1.0}});
+  const std::string path = "/tmp/vdist_io_test_instance.txt";
+  save_instance_file(path, inst);
+  const model::Instance loaded = load_instance_file(path);
+  expect_instances_equal(inst, loaded);
+  EXPECT_THROW(load_instance_file("/nonexistent/dir/file.txt"),
+               std::runtime_error);
+}
+
+TEST(AssignmentIo, ExportsPairsAndUtility) {
+  const model::Instance inst = model::build_cap_instance(
+      {1.0, 1.0}, 5.0, {10.0}, {{0, 0, 2.0}, {0, 1, 3.0}});
+  model::Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(0, 1);
+  std::stringstream ss;
+  save_assignment(ss, a);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("assign 0 0"), std::string::npos);
+  EXPECT_NE(out.find("assign 0 1"), std::string::npos);
+  EXPECT_NE(out.find("utility 5"), std::string::npos);
+}
+
+
+TEST(AssignmentIo, RoundTripThroughLoadAssignment) {
+  gen::RandomMmdConfig cfg;
+  cfg.num_streams = 15;
+  cfg.num_users = 6;
+  cfg.num_server_measures = 2;
+  cfg.num_user_measures = 2;
+  cfg.seed = 12;
+  const model::Instance inst = gen::random_mmd_instance(cfg);
+  model::Assignment a(inst);
+  a.assign(0, 1);
+  a.assign(2, 1);
+  a.assign(3, 4);
+  std::stringstream ss;
+  save_assignment(ss, a);
+  const model::Assignment loaded = load_assignment(ss, inst);
+  EXPECT_NEAR(loaded.utility(), a.utility(), 1e-12);
+  EXPECT_EQ(loaded.num_assigned_pairs(), a.num_assigned_pairs());
+  EXPECT_TRUE(loaded.has(0, 1));
+  EXPECT_TRUE(loaded.has(2, 1));
+  EXPECT_TRUE(loaded.has(3, 4));
+}
+
+TEST(AssignmentIo, LoadRejectsBadPairsAndMismatchedUtility) {
+  const model::Instance inst = model::build_cap_instance(
+      {1.0}, 5.0, {10.0}, {{0, 0, 2.0}});
+  {
+    std::istringstream is("assign 0 7\n");
+    EXPECT_THROW((void)load_assignment(is, inst), std::runtime_error);
+  }
+  {
+    std::istringstream is("assign 9 0\n");
+    EXPECT_THROW((void)load_assignment(is, inst), std::runtime_error);
+  }
+  {
+    std::istringstream is("assign 0 0\nutility 99\n");
+    EXPECT_THROW((void)load_assignment(is, inst), std::runtime_error)
+        << "claimed utility disagrees with the instance";
+  }
+  {
+    std::istringstream is("assign 0 0\nutility 2\n");
+    const model::Assignment ok = load_assignment(is, inst);
+    EXPECT_DOUBLE_EQ(ok.utility(), 2.0);
+  }
+  {
+    std::istringstream is("bogus 1 2\n");
+    EXPECT_THROW((void)load_assignment(is, inst), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace vdist::io

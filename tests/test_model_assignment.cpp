@@ -1,0 +1,148 @@
+#include "model/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "model/factory.h"
+#include "model/validate.h"
+
+namespace vdist::model {
+namespace {
+
+// Two streams, two users; edges: (u0,s0,2), (u0,s1,3), (u1,s0,4).
+Instance small_instance() {
+  return build_cap_instance({1.0, 2.0}, 10.0, {4.0, 4.0},
+                            {{0, 0, 2.0}, {0, 1, 3.0}, {1, 0, 4.0}});
+}
+
+TEST(Assignment, StartsEmpty) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  EXPECT_EQ(a.utility(), 0.0);
+  EXPECT_EQ(a.num_assigned_pairs(), 0u);
+  EXPECT_EQ(a.range_size(), 0u);
+  EXPECT_EQ(a.server_cost(0), 0.0);
+}
+
+TEST(Assignment, AssignTracksEverything) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  EXPECT_TRUE(a.assign(0, 0));
+  EXPECT_FALSE(a.assign(0, 0)) << "double assignment must be a no-op";
+  EXPECT_TRUE(a.assign(1, 0));
+  EXPECT_TRUE(a.assign(0, 1));
+
+  EXPECT_DOUBLE_EQ(a.utility(), 2.0 + 4.0 + 3.0);
+  EXPECT_DOUBLE_EQ(a.user_utility(0), 5.0);
+  EXPECT_DOUBLE_EQ(a.user_utility(1), 4.0);
+  // Server pays once per range stream (multicast).
+  EXPECT_DOUBLE_EQ(a.server_cost(0), 1.0 + 2.0);
+  EXPECT_EQ(a.range_size(), 2u);
+  EXPECT_TRUE(a.in_range(0));
+  EXPECT_TRUE(a.in_range(1));
+  EXPECT_EQ(a.num_assigned_pairs(), 3u);
+  // Loads track utilities in the cap form.
+  EXPECT_DOUBLE_EQ(a.user_load(0, 0), 5.0);
+}
+
+TEST(Assignment, MulticastCostSharing) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  a.assign(0, 0);
+  const double cost_one = a.server_cost(0);
+  a.assign(1, 0);  // second user on the same stream: no extra server cost
+  EXPECT_DOUBLE_EQ(a.server_cost(0), cost_one);
+}
+
+TEST(Assignment, UnassignRestoresState) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(1, 0);
+  EXPECT_TRUE(a.unassign(0, 0));
+  EXPECT_FALSE(a.unassign(0, 0));
+  EXPECT_DOUBLE_EQ(a.utility(), 4.0);
+  EXPECT_TRUE(a.in_range(0)) << "still held by user 1";
+  EXPECT_TRUE(a.unassign(1, 0));
+  EXPECT_FALSE(a.in_range(0));
+  EXPECT_DOUBLE_EQ(a.server_cost(0), 0.0);
+  EXPECT_EQ(a.num_assigned_pairs(), 0u);
+}
+
+TEST(Assignment, NonEdgePairContributesNothing) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  EXPECT_TRUE(a.assign(1, 1));  // (u1, s1) is not an interest edge
+  EXPECT_DOUBLE_EQ(a.utility(), 0.0);
+  EXPECT_DOUBLE_EQ(a.server_cost(0), 2.0) << "server still pays for it";
+}
+
+TEST(Assignment, CappedUtilityClampsPerUser) {
+  const Instance inst = small_instance();  // caps are 4.0
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(0, 1);  // raw 5 > cap 4
+  EXPECT_DOUBLE_EQ(a.utility(), 5.0);
+  EXPECT_DOUBLE_EQ(a.capped_utility(), 4.0);
+}
+
+TEST(Assignment, RangeListsAssignedStreams) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  a.assign(0, 1);
+  const auto range = a.range();
+  ASSERT_EQ(range.size(), 1u);
+  EXPECT_EQ(range[0], 1);
+}
+
+TEST(Assignment, RestrictedToSubset) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(0, 1);
+  a.assign(1, 0);
+  const StreamId keep[] = {1};
+  const Assignment r = a.restricted_to(keep);
+  EXPECT_DOUBLE_EQ(r.utility(), 3.0);
+  EXPECT_FALSE(r.has(0, 0));
+  EXPECT_TRUE(r.has(0, 1));
+  EXPECT_FALSE(r.has(1, 0));
+}
+
+TEST(Assignment, StreamsOfPreservesInsertionOrder) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  a.assign(0, 1);
+  a.assign(0, 0);
+  const auto streams = a.streams_of(0);
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0], 1);
+  EXPECT_EQ(streams[1], 0);
+}
+
+TEST(Assignment, ClearResets) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(1, 0);
+  a.clear();
+  EXPECT_EQ(a.utility(), 0.0);
+  EXPECT_EQ(a.num_assigned_pairs(), 0u);
+  EXPECT_EQ(a.range_size(), 0u);
+  EXPECT_DOUBLE_EQ(a.server_cost(0), 0.0);
+  EXPECT_FALSE(a.has(0, 0));
+}
+
+TEST(Assignment, IncrementalAccountingMatchesValidateRecomputation) {
+  const Instance inst = small_instance();
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(0, 1);
+  a.assign(1, 0);
+  a.unassign(0, 0);
+  const ValidationReport rep = validate(a);
+  EXPECT_NEAR(rep.recomputed_utility, a.utility(), 1e-12);
+  EXPECT_NEAR(rep.recomputed_server_cost[0], a.server_cost(0), 1e-12);
+}
+
+}  // namespace
+}  // namespace vdist::model

@@ -1,0 +1,210 @@
+#include "model/instance.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/factory.h"
+
+namespace vdist::model {
+namespace {
+
+InstanceBuilder basic_builder() {
+  InstanceBuilder b(2, 1);
+  b.set_budget(0, 10.0);
+  b.set_budget(1, 5.0);
+  return b;
+}
+
+TEST(InstanceBuilder, RejectsBadDimensions) {
+  EXPECT_THROW(InstanceBuilder(0, 1), std::invalid_argument);
+  EXPECT_THROW(InstanceBuilder(1, -1), std::invalid_argument);
+}
+
+TEST(InstanceBuilder, RejectsBadBudgets) {
+  InstanceBuilder b(1, 1);
+  EXPECT_THROW(b.set_budget(1, 1.0), std::invalid_argument);
+  EXPECT_THROW(b.set_budget(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(b.set_budget(0, -2.0), std::invalid_argument);
+  b.set_budget(0, kUnbounded);  // infinite budget is legal
+}
+
+TEST(InstanceBuilder, RejectsWrongCostArity) {
+  auto b = basic_builder();
+  EXPECT_THROW(b.add_stream({1.0}), std::invalid_argument);
+  EXPECT_THROW(b.add_stream({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(InstanceBuilder, RejectsNegativeOrNonFiniteCosts) {
+  auto b = basic_builder();
+  EXPECT_THROW(b.add_stream({-1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(b.add_stream({kUnbounded, 0.0}), std::invalid_argument);
+}
+
+TEST(InstanceBuilder, RejectsStreamExceedingBudget) {
+  auto b = basic_builder();
+  b.add_stream({1.0, 6.0});  // 6 > B_1 = 5: violates c_i(S) <= B_i
+  b.add_user({3.0});
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(InstanceBuilder, RejectsUnknownIdsAndDuplicates) {
+  auto b = basic_builder();
+  const StreamId s = b.add_stream({1.0, 1.0});
+  const UserId u = b.add_user({3.0});
+  EXPECT_THROW(b.add_interest(u + 1, s, 1.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(b.add_interest(u, s + 1, 1.0, {1.0}), std::invalid_argument);
+  b.add_interest(u, s, 1.0, {1.0});
+  b.add_interest(u, s, 2.0, {1.0});  // duplicate detected at build
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(InstanceBuilder, ZeroesEdgesOverCapacity) {
+  // Paper: w_u(S) = 0 whenever some k_j^u(S) > K_j^u.
+  auto b = basic_builder();
+  const StreamId s = b.add_stream({1.0, 1.0});
+  const UserId u = b.add_user({3.0});
+  b.add_interest(u, s, 5.0, {4.0});  // load 4 > cap 3
+  const Instance inst = std::move(b).build();
+  EXPECT_EQ(inst.num_edges(), 0u);
+  EXPECT_EQ(inst.num_edges_zeroed_by_capacity(), 1u);
+  EXPECT_EQ(inst.utility(u, s), 0.0);
+}
+
+TEST(InstanceBuilder, DropsZeroUtilityEdges) {
+  auto b = basic_builder();
+  const StreamId s = b.add_stream({1.0, 1.0});
+  const UserId u = b.add_user({3.0});
+  b.add_interest(u, s, 0.0, {1.0});
+  const Instance inst = std::move(b).build();
+  EXPECT_EQ(inst.num_edges(), 0u);
+  EXPECT_EQ(inst.num_edges_zeroed_by_capacity(), 0u);
+}
+
+TEST(Instance, CsrBothDirectionsConsistent) {
+  InstanceBuilder b(1, 1);
+  b.set_budget(0, 100.0);
+  const StreamId s0 = b.add_stream({1.0});
+  const StreamId s1 = b.add_stream({2.0});
+  const UserId u0 = b.add_user({10.0});
+  const UserId u1 = b.add_user({10.0});
+  const UserId u2 = b.add_user({10.0});
+  b.add_interest(u1, s0, 3.0, {3.0});
+  b.add_interest(u0, s0, 1.0, {1.0});
+  b.add_interest(u2, s1, 2.0, {2.0});
+  b.add_interest(u0, s1, 4.0, {4.0});
+  const Instance inst = std::move(b).build();
+
+  ASSERT_EQ(inst.num_edges(), 4u);
+  // Stream CSR is sorted by user.
+  const auto users0 = inst.users_of(s0);
+  ASSERT_EQ(users0.size(), 2u);
+  EXPECT_EQ(users0[0], u0);
+  EXPECT_EQ(users0[1], u1);
+  EXPECT_EQ(inst.utilities_of(s0)[0], 1.0);
+  EXPECT_EQ(inst.utilities_of(s0)[1], 3.0);
+  // User CSR is sorted by stream and mirrors the same edges.
+  const auto streams0 = inst.streams_of(u0);
+  ASSERT_EQ(streams0.size(), 2u);
+  EXPECT_EQ(streams0[0], s0);
+  EXPECT_EQ(streams0[1], s1);
+  const auto edges0 = inst.edges_of(u0);
+  EXPECT_EQ(inst.edge_utility(edges0[0]), 1.0);
+  EXPECT_EQ(inst.edge_utility(edges0[1]), 4.0);
+  // Point lookups.
+  EXPECT_EQ(inst.utility(u2, s1), 2.0);
+  EXPECT_EQ(inst.utility(u2, s0), 0.0);
+  EXPECT_TRUE(inst.find_edge(u1, s0).has_value());
+  EXPECT_FALSE(inst.find_edge(u1, s1).has_value());
+}
+
+TEST(Instance, TotalsAndInputLength) {
+  InstanceBuilder b(1, 1);
+  b.set_budget(0, 10.0);
+  const StreamId s = b.add_stream({1.0});
+  const UserId u0 = b.add_user({9.0});
+  const UserId u1 = b.add_user({9.0});
+  b.add_interest(u0, s, 2.0, {2.0});
+  b.add_interest(u1, s, 3.5, {3.5});
+  const Instance inst = std::move(b).build();
+  EXPECT_DOUBLE_EQ(inst.total_utility(s), 5.5);
+  EXPECT_DOUBLE_EQ(inst.utility_upper_bound(), 5.5);
+  EXPECT_EQ(inst.input_length(), 1u + 2u + 2u);
+}
+
+TEST(Instance, UnitSkewDetection) {
+  {
+    InstanceBuilder b(1, 1);
+    b.set_budget(0, 10.0);
+    const StreamId s = b.add_stream({1.0});
+    const UserId u = b.add_user({5.0});
+    b.add_interest_unit_skew(u, s, 2.0);
+    const Instance inst = std::move(b).build();
+    EXPECT_TRUE(inst.is_smd());
+    EXPECT_TRUE(inst.is_unit_skew());
+  }
+  {
+    InstanceBuilder b(1, 1);
+    b.set_budget(0, 10.0);
+    const StreamId s = b.add_stream({1.0});
+    const UserId u = b.add_user({5.0});
+    b.add_interest(u, s, 2.0, {1.0});  // load != utility
+    const Instance inst = std::move(b).build();
+    EXPECT_TRUE(inst.is_smd());
+    EXPECT_FALSE(inst.is_unit_skew());
+  }
+  {
+    InstanceBuilder b(2, 1);
+    b.set_budget(0, 10.0);
+    b.set_budget(1, 10.0);
+    b.add_stream({1.0, 1.0});
+    b.add_user({5.0});
+    const Instance inst = std::move(b).build();
+    EXPECT_FALSE(inst.is_smd());
+  }
+}
+
+TEST(Instance, NamesArePreserved) {
+  InstanceBuilder b(1, 1);
+  b.set_budget(0, 10.0);
+  const StreamId s = b.add_stream({1.0}, "espn-hd");
+  const UserId u = b.add_user({5.0}, "gateway-3");
+  const Instance inst = std::move(b).build();
+  EXPECT_EQ(inst.stream_name(s), "espn-hd");
+  EXPECT_EQ(inst.user_name(u), "gateway-3");
+}
+
+TEST(Factory, CapInstanceIsUnitSkew) {
+  const Instance inst = build_cap_instance(
+      {2.0, 3.0}, 4.0, {5.0, 6.0},
+      {{0, 0, 1.5}, {1, 0, 2.0}, {0, 1, 3.0}});
+  EXPECT_TRUE(inst.is_unit_skew());
+  EXPECT_EQ(inst.num_streams(), 2u);
+  EXPECT_EQ(inst.num_users(), 2u);
+  EXPECT_EQ(inst.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(inst.budget(0), 4.0);
+  EXPECT_DOUBLE_EQ(inst.capacity(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(inst.edge_load(*inst.find_edge(0, 0), 0), 1.5);
+}
+
+TEST(Factory, SmdInstanceKeepsIndependentLoads) {
+  const Instance inst = build_smd_instance(
+      {2.0}, 4.0, {5.0}, {{0, 0, /*utility=*/6.0, /*load=*/1.0}});
+  EXPECT_FALSE(inst.is_unit_skew());
+  EXPECT_DOUBLE_EQ(inst.edge_utility(*inst.find_edge(0, 0)), 6.0);
+  EXPECT_DOUBLE_EQ(inst.edge_load(*inst.find_edge(0, 0), 0), 1.0);
+}
+
+TEST(Factory, MmcZeroUserMeasuresAllowed) {
+  InstanceBuilder b(1, 0);
+  b.set_budget(0, 5.0);
+  const StreamId s = b.add_stream({1.0});
+  const UserId u = b.add_user({});
+  b.add_interest(u, s, 1.0, {});
+  const Instance inst = std::move(b).build();
+  EXPECT_EQ(inst.num_user_measures(), 0);
+  EXPECT_EQ(inst.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace vdist::model

@@ -1,0 +1,127 @@
+#include "model/skew.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/factory.h"
+
+namespace vdist::model {
+namespace {
+
+TEST(LocalSkew, UnitSkewInstanceHasAlphaOne) {
+  const Instance inst = build_cap_instance(
+      {1.0, 2.0}, 10.0, {5.0, 5.0}, {{0, 0, 2.0}, {1, 1, 3.0}});
+  const LocalSkewInfo info = local_skew(inst);
+  EXPECT_DOUBLE_EQ(info.alpha, 1.0);
+  EXPECT_FALSE(info.has_free_edges);
+}
+
+TEST(LocalSkew, RatioSpreadWithinOneUser) {
+  // User 0 sees ratios 4 and 1 => alpha = 4.
+  const Instance inst = build_smd_instance(
+      {1.0, 1.0}, 10.0, {10.0},
+      {{0, 0, 4.0, 1.0}, {0, 1, 2.0, 2.0}});
+  const LocalSkewInfo info = local_skew(inst);
+  EXPECT_DOUBLE_EQ(info.alpha, 4.0);
+  // Normalization scale is the user's min ratio (=1 here).
+  EXPECT_DOUBLE_EQ(info.scale[0], 1.0);
+}
+
+TEST(LocalSkew, PerUserNormalizationIsIndependent) {
+  // User 0: ratios {10}; user 1: ratios {2, 6}. After per-user
+  // normalization alpha = max(1, 3) = 3.
+  const Instance inst = build_smd_instance(
+      {1.0, 1.0}, 10.0, {100.0, 100.0},
+      {{0, 0, 10.0, 1.0}, {1, 0, 2.0, 1.0}, {1, 1, 6.0, 1.0}});
+  const LocalSkewInfo info = local_skew(inst);
+  EXPECT_DOUBLE_EQ(info.alpha, 3.0);
+  EXPECT_DOUBLE_EQ(info.scale[0], 10.0);
+  EXPECT_DOUBLE_EQ(info.scale[1], 2.0);
+}
+
+TEST(LocalSkew, FreeEdgesFlaggedAndExcluded) {
+  const Instance inst = build_smd_instance(
+      {1.0, 1.0}, 10.0, {10.0},
+      {{0, 0, 4.0, 0.0},   // free edge: w > 0, k = 0
+       {0, 1, 2.0, 1.0}});
+  const LocalSkewInfo info = local_skew(inst);
+  EXPECT_TRUE(info.has_free_edges);
+  EXPECT_DOUBLE_EQ(info.alpha, 1.0) << "single finite ratio => alpha 1";
+}
+
+TEST(LocalSkew, MultiMeasureTakesWorst) {
+  InstanceBuilder b(1, 2);
+  b.set_budget(0, 10.0);
+  const StreamId s0 = b.add_stream({1.0});
+  const StreamId s1 = b.add_stream({1.0});
+  const UserId u = b.add_user({100.0, 100.0});
+  // Measure 0 ratios: 1 and 1 (no spread); measure 1 ratios: 1 and 8.
+  b.add_interest(u, s0, 2.0, {2.0, 2.0});
+  b.add_interest(u, s1, 8.0, {8.0, 1.0});
+  const Instance inst = std::move(b).build();
+  const LocalSkewInfo info = local_skew(inst);
+  EXPECT_DOUBLE_EQ(info.alpha, 8.0);
+}
+
+TEST(GlobalSkew, UniformInstanceHasGammaOne) {
+  // One stream, one user, one measure: max ratio == min ratio.
+  const Instance inst =
+      build_cap_instance({2.0}, 10.0, {5.0}, {{0, 0, 4.0}});
+  const GlobalSkewInfo gs = global_skew(inst);
+  EXPECT_DOUBLE_EQ(gs.gamma, 1.0);
+  // mu = 2*gamma*(m + |U|*mc) + 2 = 2*1*(1+1) + 2 = 6.
+  EXPECT_DOUBLE_EQ(gs.mu, 6.0);
+  EXPECT_NEAR(gs.log2_mu, std::log2(6.0), 1e-12);
+}
+
+TEST(GlobalSkew, SubsetRangeDrivesGamma) {
+  // Stream 0: utilities {1, 9} for cost 1 => X ranges the numerator over
+  // [1, 10]; gamma >= 10.
+  const Instance inst = build_cap_instance(
+      {1.0}, 10.0, {100.0, 100.0}, {{0, 0, 1.0}, {1, 0, 9.0}});
+  const GlobalSkewInfo gs = global_skew(inst);
+  EXPECT_DOUBLE_EQ(gs.gamma, 10.0);
+}
+
+TEST(GlobalSkew, AcrossStreamsSpread) {
+  // Stream 0: w/c = 8; stream 1: w/c = 2 => gamma = 4 on the server
+  // measure (user virtual budgets contribute ratio spreads of 1 each).
+  const Instance inst = build_cap_instance(
+      {1.0, 1.0}, 10.0, {100.0},
+      {{0, 0, 8.0}, {0, 1, 2.0}});
+  const GlobalSkewInfo gs = global_skew(inst);
+  EXPECT_DOUBLE_EQ(gs.gamma, 4.0);
+}
+
+TEST(GlobalSkew, GammaAtLeastLocalAlpha) {
+  // Paper (§1.1): gamma >= alpha for all instances. Spot-check.
+  const Instance inst = build_smd_instance(
+      {1.0, 2.0}, 10.0, {50.0},
+      {{0, 0, 6.0, 1.0}, {0, 1, 3.0, 3.0}});
+  EXPECT_GE(global_skew(inst).gamma, local_skew(inst).alpha - 1e-9);
+}
+
+TEST(SmallStreams, PredicateMatchesConstruction) {
+  // Costs far below B/log2(mu): satisfied.
+  const Instance ok = build_cap_instance(
+      {0.1, 0.1}, 100.0, {100.0}, {{0, 0, 1.0}, {0, 1, 1.0}});
+  EXPECT_TRUE(satisfies_small_streams(ok, global_skew(ok)));
+  // A cost equal to the whole budget: violated (log2 mu > 1 here).
+  const Instance bad = build_cap_instance(
+      {100.0, 0.1}, 100.0, {100.0}, {{0, 0, 1.0}, {0, 1, 1.0}});
+  EXPECT_FALSE(satisfies_small_streams(bad, global_skew(bad)));
+}
+
+TEST(SmallStreams, UnboundedMeasuresIgnored) {
+  InstanceBuilder b(1, 1);
+  b.set_budget(0, kUnbounded);
+  const StreamId s = b.add_stream({1e12});
+  const UserId u = b.add_user({kUnbounded});
+  b.add_interest(u, s, 1.0, {1e12});
+  const Instance inst = std::move(b).build();
+  EXPECT_TRUE(satisfies_small_streams(inst, global_skew(inst)));
+}
+
+}  // namespace
+}  // namespace vdist::model

@@ -1,0 +1,115 @@
+#include "model/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "model/factory.h"
+
+namespace vdist::model {
+namespace {
+
+// Budget 3; stream costs 2 and 2; caps 3.
+Instance tight_instance() {
+  return build_cap_instance({2.0, 2.0}, 3.0, {3.0, 3.0},
+                            {{0, 0, 2.0}, {0, 1, 2.0}, {1, 0, 1.0}});
+}
+
+TEST(Validate, EmptyAssignmentIsFeasible) {
+  const Instance inst = tight_instance();
+  const Assignment a(inst);
+  const ValidationReport rep = validate(a);
+  EXPECT_TRUE(rep.feasible());
+  EXPECT_TRUE(rep.violations.empty());
+}
+
+TEST(Validate, FeasibleWithinAllBounds) {
+  const Instance inst = tight_instance();
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(1, 0);
+  const ValidationReport rep = validate(a);
+  EXPECT_EQ(rep.feasibility, Feasibility::kFeasible);
+}
+
+TEST(Validate, SemiFeasibleWhenUserCapExceeded) {
+  const Instance inst = tight_instance();
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(0, 1);  // raw utility 4 > cap 3; server cost 4 > budget 3 too!
+  const ValidationReport rep = validate(a);
+  // Server is violated as well here, so: infeasible.
+  EXPECT_EQ(rep.feasibility, Feasibility::kInfeasible);
+}
+
+TEST(Validate, SemiFeasibleClassification) {
+  // Loosen the budget so only the user cap is violated.
+  const Instance inst = build_cap_instance(
+      {2.0, 2.0}, 10.0, {3.0, 3.0}, {{0, 0, 2.0}, {0, 1, 2.0}});
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(0, 1);  // raw 4 > cap 3, server 4 <= 10
+  const ValidationReport rep = validate(a);
+  EXPECT_EQ(rep.feasibility, Feasibility::kSemiFeasible);
+  EXPECT_TRUE(rep.server_feasible());
+  EXPECT_FALSE(rep.feasible());
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].kind, Violation::Kind::kUserCapacity);
+  EXPECT_EQ(rep.violations[0].user, 0);
+  EXPECT_FALSE(rep.violations[0].to_string().empty());
+}
+
+TEST(Validate, InfeasibleWhenServerBudgetExceeded) {
+  const Instance inst = tight_instance();
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(1, 1);  // range {0,1}: cost 4 > 3 — but wait, (u1,s1) is not an
+                   // edge; the server still pays for carrying s1.
+  const ValidationReport rep = validate(a);
+  EXPECT_EQ(rep.feasibility, Feasibility::kInfeasible);
+  ASSERT_FALSE(rep.violations.empty());
+  EXPECT_EQ(rep.violations[0].kind, Violation::Kind::kServerBudget);
+  EXPECT_FALSE(rep.server_feasible());
+}
+
+TEST(Validate, ExactBoundaryIsFeasible) {
+  // Sum exactly equals the bound: tolerance must accept it.
+  const Instance inst = build_cap_instance(
+      {1.5, 1.5}, 3.0, {4.0}, {{0, 0, 2.0}, {0, 1, 2.0}});
+  Assignment a(inst);
+  a.assign(0, 0);
+  a.assign(0, 1);
+  const ValidationReport rep = validate(a);
+  EXPECT_EQ(rep.feasibility, Feasibility::kFeasible);
+}
+
+TEST(Validate, UnboundedMeasuresNeverViolate) {
+  InstanceBuilder b(1, 1);
+  b.set_budget(0, kUnbounded);
+  const StreamId s0 = b.add_stream({1e9});
+  const UserId u = b.add_user({kUnbounded});
+  b.add_interest(u, s0, 1e9, {1e9});
+  const Instance inst = std::move(b).build();
+  Assignment a(inst);
+  a.assign(u, s0);
+  EXPECT_TRUE(validate(a).feasible());
+}
+
+TEST(Validate, MultiMeasureViolationsAreAllReported) {
+  InstanceBuilder b(2, 2);
+  b.set_budget(0, 2.0);
+  b.set_budget(1, 2.0);
+  const StreamId s0 = b.add_stream({1.5, 1.5});
+  const StreamId s1 = b.add_stream({1.5, 1.5});
+  const UserId u = b.add_user({2.0, 2.0});
+  b.add_interest(u, s0, 1.0, {1.5, 1.5});
+  b.add_interest(u, s1, 1.0, {1.5, 1.5});
+  const Instance inst = std::move(b).build();
+  Assignment a(inst);
+  a.assign(u, s0);
+  a.assign(u, s1);  // violates both server measures and both user measures
+  const ValidationReport rep = validate(a);
+  EXPECT_EQ(rep.feasibility, Feasibility::kInfeasible);
+  EXPECT_EQ(rep.violations.size(), 4u);
+}
+
+}  // namespace
+}  // namespace vdist::model

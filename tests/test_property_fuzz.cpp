@@ -1,0 +1,239 @@
+// Randomized property tests: long random operation sequences checked
+// against naive reference implementations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/allocate_online.h"
+#include "gen/iptv.h"
+#include "gen/random_instances.h"
+#include "model/assignment.h"
+#include "model/validate.h"
+#include "util/rng.h"
+
+namespace vdist {
+namespace {
+
+// --- Assignment vs. reference ----------------------------------------------
+
+// Reference model: plain sets, everything recomputed from scratch.
+struct ReferenceAssignment {
+  const model::Instance* inst;
+  std::map<model::UserId, std::set<model::StreamId>> pairs;
+
+  bool assign(model::UserId u, model::StreamId s) {
+    return pairs[u].insert(s).second;
+  }
+  bool unassign(model::UserId u, model::StreamId s) {
+    return pairs[u].erase(s) > 0;
+  }
+  [[nodiscard]] double utility() const {
+    double total = 0;
+    for (const auto& [u, streams] : pairs)
+      for (model::StreamId s : streams) total += inst->utility(u, s);
+    return total;
+  }
+  [[nodiscard]] double server_cost(int i) const {
+    std::set<model::StreamId> range;
+    for (const auto& [u, streams] : pairs)
+      range.insert(streams.begin(), streams.end());
+    double total = 0;
+    for (model::StreamId s : range) total += inst->cost(s, i);
+    return total;
+  }
+  [[nodiscard]] double user_load(model::UserId u, int j) const {
+    double total = 0;
+    const auto it = pairs.find(u);
+    if (it == pairs.end()) return 0;
+    for (model::StreamId s : it->second)
+      if (const auto e = inst->find_edge(u, s))
+        total += inst->edge_load(*e, j);
+    return total;
+  }
+  [[nodiscard]] std::size_t range_size() const {
+    std::set<model::StreamId> range;
+    for (const auto& [u, streams] : pairs)
+      range.insert(streams.begin(), streams.end());
+    return range.size();
+  }
+};
+
+TEST(AssignmentFuzz, MatchesReferenceOverRandomOps) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    gen::RandomMmdConfig cfg;
+    cfg.num_streams = 15;
+    cfg.num_users = 8;
+    cfg.num_server_measures = 2;
+    cfg.num_user_measures = 2;
+    cfg.seed = seed;
+    const model::Instance inst = gen::random_mmd_instance(cfg);
+
+    util::Rng rng(seed * 7919);
+    model::Assignment a(inst);
+    ReferenceAssignment ref{&inst, {}};
+    for (int op = 0; op < 600; ++op) {
+      const auto u = static_cast<model::UserId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(inst.num_users()) - 1));
+      const auto s = static_cast<model::StreamId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(inst.num_streams()) - 1));
+      if (rng.bernoulli(0.65)) {
+        EXPECT_EQ(a.assign(u, s), ref.assign(u, s));
+      } else {
+        EXPECT_EQ(a.unassign(u, s), ref.unassign(u, s));
+      }
+      if (op % 97 == 0) {
+        EXPECT_NEAR(a.utility(), ref.utility(), 1e-9);
+        for (int i = 0; i < inst.num_server_measures(); ++i)
+          EXPECT_NEAR(a.server_cost(i), ref.server_cost(i), 1e-9);
+      }
+    }
+    // Full final cross-check.
+    EXPECT_NEAR(a.utility(), ref.utility(), 1e-9);
+    EXPECT_EQ(a.range_size(), ref.range_size());
+    for (std::size_t uu = 0; uu < inst.num_users(); ++uu)
+      for (int j = 0; j < inst.num_user_measures(); ++j)
+        EXPECT_NEAR(a.user_load(static_cast<model::UserId>(uu), j),
+                    ref.user_load(static_cast<model::UserId>(uu), j), 1e-9);
+    const auto rep = model::validate(a);
+    EXPECT_NEAR(rep.recomputed_utility, a.utility(), 1e-9);
+  }
+}
+
+// --- Allocator state under offer/release churn ------------------------------
+
+TEST(AllocatorFuzz, LoadsReturnToZeroAfterFullRelease) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    std::vector<double> budgets(m);
+    for (auto& bi : budgets) bi = rng.uniform(50.0, 200.0);
+    core::ExponentialCostAllocator alloc(budgets, {64.0, true});
+    const int num_users = 6;
+    for (int u = 0; u < num_users; ++u)
+      alloc.add_user({rng.uniform(10.0, 30.0)});
+
+    struct Live {
+      std::vector<double> costs;
+      std::vector<core::ExponentialCostAllocator::Candidate> cands;
+      std::vector<std::size_t> taken;
+    };
+    std::vector<Live> live;
+    for (int op = 0; op < 300; ++op) {
+      if (!live.empty() && rng.bernoulli(0.4)) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        alloc.release(live[idx].costs, live[idx].cands, live[idx].taken);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        continue;
+      }
+      Live offer;
+      offer.costs.resize(m);
+      for (auto& c : offer.costs) c = rng.uniform(0.1, 3.0);
+      const int fans = 1 + static_cast<int>(rng.uniform_int(0, 3));
+      for (int f = 0; f < fans; ++f)
+        offer.cands.push_back({static_cast<model::UserId>(
+                                   rng.uniform_int(0, num_users - 1)),
+                               rng.uniform(0.5, 5.0),
+                               {rng.uniform(0.1, 2.0)}});
+      const auto d = alloc.offer(offer.costs, offer.cands);
+      if (d.accepted) {
+        offer.taken = d.taken;
+        live.push_back(std::move(offer));
+      }
+    }
+    // Release everything still live; all loads must return to zero.
+    for (const Live& l : live) alloc.release(l.costs, l.cands, l.taken);
+    for (std::size_t i = 0; i < m; ++i)
+      EXPECT_NEAR(alloc.server_load(static_cast<int>(i)), 0.0, 1e-9)
+          << "trial " << trial;
+    for (int u = 0; u < num_users; ++u)
+      EXPECT_NEAR(alloc.user_load(u, 0), 0.0, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(AllocatorFuzz, GuardedOfferNeverOverrunsBudgets) {
+  util::Rng rng(911);
+  std::vector<double> budgets{20.0, 15.0};
+  core::ExponentialCostAllocator alloc(budgets, {8.0, true});
+  const auto u = alloc.add_user({25.0});
+  double shadow0 = 0.0, shadow1 = 0.0, shadow_user = 0.0;
+  for (int op = 0; op < 500; ++op) {
+    std::vector<double> costs{rng.uniform(0.2, 6.0), rng.uniform(0.2, 5.0)};
+    std::vector<core::ExponentialCostAllocator::Candidate> cands{
+        {u, rng.uniform(1.0, 10.0), {rng.uniform(0.2, 4.0)}}};
+    const auto d = alloc.offer(costs, cands);
+    if (d.accepted) {
+      shadow0 += costs[0];
+      shadow1 += costs[1];
+      for (std::size_t t : d.taken) shadow_user += cands[t].loads[0];
+    }
+    EXPECT_LE(shadow0, budgets[0] * (1 + 1e-9));
+    EXPECT_LE(shadow1, budgets[1] * (1 + 1e-9));
+    EXPECT_LE(shadow_user, 25.0 * (1 + 1e-9));
+  }
+  EXPECT_NEAR(alloc.server_load(0), shadow0 / budgets[0], 1e-9);
+}
+
+// --- IPTV variant generation -------------------------------------------------
+
+TEST(IptvVariants, GroupsAreWellFormed) {
+  gen::IptvConfig cfg;
+  cfg.num_channels = 90;
+  cfg.num_users = 50;
+  cfg.variants_per_channel = 3;
+  cfg.seed = 8;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+  ASSERT_EQ(w.variant_group.size(), w.instance.num_streams());
+  EXPECT_EQ(w.instance.num_streams(), 90u);  // 30 logical x 3 variants
+  std::map<std::int32_t, int> sizes;
+  for (std::int32_t g : w.variant_group) {
+    EXPECT_GE(g, 0);
+    ++sizes[g];
+  }
+  EXPECT_EQ(sizes.size(), 30u);
+  for (const auto& [g, n] : sizes) EXPECT_EQ(n, 3) << "group " << g;
+  // Variants of one channel share the popularity rank but differ in class.
+  for (std::size_t s = 0; s + 2 < w.channels.size(); s += 3) {
+    EXPECT_EQ(w.channels[s].popularity_rank,
+              w.channels[s + 1].popularity_rank);
+    EXPECT_NE(static_cast<int>(w.channels[s].klass),
+              static_cast<int>(w.channels[s + 2].klass));
+  }
+}
+
+TEST(IptvVariants, SingleVariantModeHasNoGroups) {
+  gen::IptvConfig cfg;
+  cfg.num_channels = 30;
+  cfg.num_users = 10;
+  cfg.seed = 9;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+  for (std::int32_t g : w.variant_group) EXPECT_EQ(g, -1);
+}
+
+TEST(IptvVariants, UsersWantAllVariantsOfChosenChannels) {
+  gen::IptvConfig cfg;
+  cfg.num_channels = 60;
+  cfg.num_users = 40;
+  cfg.variants_per_channel = 2;
+  cfg.interests_per_user = 10;
+  cfg.seed = 10;
+  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
+  // For every (user, stream) edge on an SD variant, the HD sibling edge
+  // should exist too unless the builder zeroed it for capacity.
+  std::size_t pairs_checked = 0;
+  for (std::size_t s = 0; s + 1 < w.instance.num_streams(); s += 2) {
+    const auto sd = static_cast<model::StreamId>(s);
+    const auto hd = static_cast<model::StreamId>(s + 1);
+    for (model::UserId u : w.instance.users_of(hd)) {
+      // HD fits => SD (smaller bitrate) must fit as well.
+      EXPECT_GT(w.instance.utility(u, sd), 0.0)
+          << "user " << u << " wants hd of ch" << s / 2 << " but not sd";
+      ++pairs_checked;
+    }
+  }
+  EXPECT_GT(pairs_checked, 0u);
+}
+
+}  // namespace
+}  // namespace vdist

@@ -1,0 +1,120 @@
+#include "util/interval_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vdist::util {
+namespace {
+
+// Invariants from Theorem 4.3 / Fig. 3: every input index appears in
+// exactly one group, every group sums to <= 1 (+rounding), and there are
+// at most 2*ceil(total)-1 groups.
+void check_invariants(const std::vector<double>& sizes) {
+  const IntervalPartition part = unit_interval_partition(sizes);
+  std::vector<int> seen(sizes.size(), 0);
+  ASSERT_EQ(part.groups.size(), part.group_sums.size());
+  for (std::size_t g = 0; g < part.groups.size(); ++g) {
+    double sum = 0.0;
+    for (std::size_t idx : part.groups[g]) {
+      ASSERT_LT(idx, sizes.size());
+      ++seen[idx];
+      sum += sizes[idx];
+    }
+    EXPECT_NEAR(sum, part.group_sums[g], 1e-9);
+    EXPECT_LE(sum, 1.0 + 1e-9) << "group " << g << " oversized";
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    EXPECT_EQ(seen[i], 1) << "index " << i << " not covered exactly once";
+  const double total = std::accumulate(sizes.begin(), sizes.end(), 0.0);
+  const auto bound =
+      static_cast<std::size_t>(2 * std::max(1.0, std::ceil(total)) - 1);
+  if (!sizes.empty()) {
+    EXPECT_LE(part.groups.size(), bound)
+        << "more than 2*ceil(total)-1 groups";
+  }
+}
+
+TEST(IntervalPartition, Empty) {
+  const IntervalPartition part = unit_interval_partition({});
+  EXPECT_TRUE(part.groups.empty());
+}
+
+TEST(IntervalPartition, SingleSmallItemIsOneGroup) {
+  const std::vector<double> sizes{0.4};
+  const IntervalPartition part = unit_interval_partition(sizes);
+  ASSERT_EQ(part.groups.size(), 1u);
+  EXPECT_EQ(part.groups[0], (std::vector<std::size_t>{0}));
+}
+
+TEST(IntervalPartition, AllFitInUnitStaysTogether) {
+  const std::vector<double> sizes{0.2, 0.3, 0.4};
+  const IntervalPartition part = unit_interval_partition(sizes);
+  ASSERT_EQ(part.groups.size(), 1u);
+  EXPECT_EQ(part.groups[0].size(), 3u);
+}
+
+TEST(IntervalPartition, StraddlingItemBecomesSingleton) {
+  // 0.6 + 0.6: the second item straddles the integer point 1.
+  const std::vector<double> sizes{0.6, 0.6};
+  const IntervalPartition part = unit_interval_partition(sizes);
+  ASSERT_EQ(part.groups.size(), 2u);
+  EXPECT_EQ(part.groups[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(part.groups[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(IntervalPartition, PaperLikeSequence) {
+  // Three items of 0.6: white {0}, shaded {1}, white {2} (Fig. 3 pattern).
+  check_invariants({0.6, 0.6, 0.6});
+  // Many small items pack into few groups.
+  check_invariants({0.3, 0.3, 0.3, 0.3});
+}
+
+TEST(IntervalPartition, ExactBoundaryItem) {
+  // 0.5 + 0.5 ends exactly on the integer point; the point belongs to the
+  // *next* item's interval (half-open), so {0,1} stay together.
+  const std::vector<double> sizes{0.5, 0.5, 0.5};
+  const IntervalPartition part = unit_interval_partition(sizes);
+  ASSERT_EQ(part.groups.size(), 2u);
+  EXPECT_EQ(part.groups[0].size(), 2u);
+  EXPECT_EQ(part.groups[1].size(), 1u);
+  check_invariants(sizes);
+}
+
+TEST(IntervalPartition, ZeroSizedItemsJoinTheOpenGroup) {
+  check_invariants({0.0, 0.0, 0.5, 0.0});
+  const IntervalPartition part =
+      unit_interval_partition(std::vector<double>{0.0, 0.0});
+  ASSERT_EQ(part.groups.size(), 1u);
+  EXPECT_EQ(part.groups[0].size(), 2u);
+}
+
+TEST(IntervalPartition, RandomizedInvariantSweep) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 40));
+    std::vector<double> sizes;
+    for (int i = 0; i < n; ++i) sizes.push_back(rng.uniform(0.0, 0.999));
+    check_invariants(sizes);
+  }
+}
+
+TEST(BestGroup, PicksMaxValueGroup) {
+  const std::vector<double> sizes{0.6, 0.6, 0.6};
+  const IntervalPartition part = unit_interval_partition(sizes);
+  const std::vector<double> values{1.0, 5.0, 2.0};
+  EXPECT_EQ(best_group(part, values), 1u);
+}
+
+TEST(BestGroup, EmptyPartition) {
+  const IntervalPartition part = unit_interval_partition({});
+  EXPECT_EQ(best_group(part, {}), std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace vdist::util

@@ -1,0 +1,130 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vdist::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 7.25);
+  EXPECT_NEAR(s.sum(), mean * static_cast<double>(xs.size()), 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Percentile, Basics) {
+  std::vector<double> xs{4, 1, 3, 2, 5};
+  EXPECT_EQ(percentile(xs, 0), 1.0);
+  EXPECT_EQ(percentile(xs, 100), 5.0);
+  EXPECT_EQ(percentile(xs, 50), 3.0);
+  EXPECT_NEAR(percentile(xs, 25), 2.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStats) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_NEAR(percentile(xs, 50), 5.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 75), 7.5, 1e-12);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(FitLogLogSlope, RecoversPowerLaw) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i * 100.0);
+    y.push_back(3.0 * std::pow(i * 100.0, 2.0));
+  }
+  EXPECT_NEAR(fit_loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(FitLogLogSlope, LinearIsSlopeOne) {
+  std::vector<double> x{1, 2, 4, 8, 16}, y{3, 6, 12, 24, 48};
+  EXPECT_NEAR(fit_loglog_slope(x, y), 1.0, 1e-9);
+}
+
+TEST(FitLogLogSlope, IgnoresNonPositive) {
+  std::vector<double> x{0.0, 1, 2, 4}, y{5.0, 1, 2, 4};
+  EXPECT_NEAR(fit_loglog_slope(x, y), 1.0, 1e-9);
+}
+
+TEST(GeometricMean, Basics) {
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+}
+
+TEST(GeometricMean, SkipsNonPositive) {
+  EXPECT_NEAR(geometric_mean({2.0, 0.0, 8.0, -1.0}), 4.0, 1e-12);
+  EXPECT_EQ(geometric_mean({0.0, -2.0}), 0.0);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace vdist::util

@@ -1,0 +1,88 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vdist::util {
+namespace {
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(3.5), "3.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.25, 4), "0.25");
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+  EXPECT_EQ(format_double(1.0 / 0.0), "inf");
+  EXPECT_EQ(format_double(-1.0 / 0.0), "-inf");
+  EXPECT_EQ(format_double(-0.0), "0");
+}
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowAndCellAccess) {
+  Table t({"a", "b"});
+  t.row().add("x").add(2.5);
+  t.row().add(std::size_t{7}).add(-1);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "2.5");
+  EXPECT_EQ(t.cell(1, 0), "7");
+  EXPECT_EQ(t.cell(1, 1), "-1");
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().add("1");
+  EXPECT_THROW(t.add("2"), std::logic_error);
+}
+
+TEST(Table, AlignedOutputContainsHeaderAndRule) {
+  Table t({"name", "value"});
+  t.row().add("answer").add(42);
+  std::ostringstream ss;
+  t.print_aligned(ss, "demo");
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("answer"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"x"});
+  t.row().add("a,b");
+  t.row().add("q\"q");
+  std::ostringstream ss;
+  t.print_csv(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"q\"\"q\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"x", "y"});
+  t.row().add("plain").add(1);
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "x,y\nplain,1\n");
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"c1", "c2"});
+  t.row().add("v1").add("v2");
+  std::ostringstream ss;
+  t.print_markdown(ss);
+  EXPECT_EQ(ss.str(), "| c1 | c2 |\n|---|---|\n| v1 | v2 |\n");
+}
+
+}  // namespace
+}  // namespace vdist::util
