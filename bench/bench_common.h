@@ -3,11 +3,24 @@
 // Every harness prints (a) the experiment id and the paper claim being
 // regenerated, (b) a deterministic table of measurements (seeds printed),
 // matching the rows recorded in EXPERIMENTS.md.
+//
+// Algorithms are invoked through the engine registry (engine/solver.h) —
+// harnesses name algorithms by string and read objectives/diagnostics off
+// the uniform SolveResult instead of linking each algorithm's own API.
+//
+// Smoke mode: when VDIST_BENCH_SMOKE is set (the `bench-smoke` CMake
+// target and CI set it), harnesses shrink their sweeps to a tiny
+// configuration that exercises every code path in seconds. Numbers
+// produced under smoke mode are NOT the experiment — they only prove the
+// harness still runs.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "engine/batch.h"
+#include "engine/solver.h"
 #include "util/stats.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -16,13 +29,65 @@ namespace vdist::bench {
 
 inline constexpr double kE = 2.718281828459045;
 
+[[nodiscard]] inline bool smoke_mode() {
+  static const bool enabled = std::getenv("VDIST_BENCH_SMOKE") != nullptr;
+  return enabled;
+}
+
+// The full-experiment value, or a tiny stand-in under smoke mode.
+template <typename T>
+[[nodiscard]] T full_or_smoke(T full, T smoke) {
+  return smoke_mode() ? smoke : full;
+}
+
+// Repetition count: smoke mode caps it at 2 runs.
+[[nodiscard]] inline int runs(int full) { return smoke_mode() ? 2 : full; }
+
 inline void print_header(const std::string& id, const std::string& claim) {
   std::cout << "\n##### Experiment " << id << " #####\n"
             << "claim: " << claim << "\n";
+  if (smoke_mode())
+    std::cout << "(smoke mode: tiny sweep, numbers not representative)\n";
 }
 
 inline void print_footer(const std::string& verdict) {
   std::cout << "verdict: " << verdict << "\n";
+}
+
+// Request builder: the common (instance, algorithm) case in one line.
+//   auto r = engine::solve(bench::request(inst, "greedy"));
+[[nodiscard]] inline engine::SolveRequest request(
+    const model::Instance& inst, std::string algorithm,
+    engine::SolveOptions options = {}) {
+  engine::SolveRequest req;
+  req.instance = &inst;
+  req.algorithm = std::move(algorithm);
+  req.options = std::move(options);
+  return req;
+}
+
+// Unwraps a SolveResult that the harness expects to succeed; a failure
+// (unknown name, wrong instance form) is a harness bug worth dying loudly
+// over rather than polluting a table with zeros. The lvalue overload is
+// zero-copy (batch results are checked in place); the rvalue overload
+// moves, so binding a reference to expect_ok(solve(...)) stays safe.
+inline void die_unless_ok(const engine::SolveResult& r) {
+  if (!r.ok) {
+    std::cerr << "bench: solve '" << r.algorithm << "' failed: " << r.error
+              << "\n";
+    std::exit(1);
+  }
+}
+
+[[nodiscard]] inline const engine::SolveResult& expect_ok(
+    const engine::SolveResult& r) {
+  die_unless_ok(r);
+  return r;
+}
+
+[[nodiscard]] inline engine::SolveResult expect_ok(engine::SolveResult&& r) {
+  die_unless_ok(r);
+  return std::move(r);
 }
 
 // Ratio accumulator: OPT / ALG >= 1; tracks mean and worst case.

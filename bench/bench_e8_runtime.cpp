@@ -3,17 +3,30 @@
 // input length |S| + |U| + edges; Allocate is O(n log n)-ish per stream
 // sweep (sorting candidates dominates). Complexity fits are reported by
 // google-benchmark's BigO machinery over a size sweep.
+//
+// Solves dispatch through the engine registry with validation disabled so
+// the timed region is the algorithm plus the (constant) dispatch cost —
+// the same path a production caller pays. Under VDIST_BENCH_SMOKE the
+// main() injects a tiny --benchmark_min_time so every benchmark still
+// executes (bit-rot check) without the full measurement cost.
 #include <benchmark/benchmark.h>
 
-#include "core/allocate_online.h"
-#include "core/exact.h"
-#include "core/greedy.h"
-#include "core/mmd_solver.h"
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
 #include "gen/random_instances.h"
 
 namespace {
 
 using namespace vdist;
+
+engine::SolveRequest request(const model::Instance& inst, const char* algo) {
+  engine::SolveRequest req = bench::request(inst, algo);
+  req.validate = false;  // keep the O(n) feasibility recheck out of the lap
+  return req;
+}
 
 gen::RandomCapConfig cap_config(std::int64_t streams) {
   gen::RandomCapConfig cfg;
@@ -27,9 +40,10 @@ gen::RandomCapConfig cap_config(std::int64_t streams) {
 
 void BM_GreedyUnitSkew(benchmark::State& state) {
   const model::Instance inst = gen::random_cap_instance(cap_config(state.range(0)));
+  const engine::SolveRequest req = request(inst, "greedy-plain");
   for (auto _ : state) {
-    core::GreedyResult r = core::greedy_unit_skew(inst);
-    benchmark::DoNotOptimize(r.capped_utility);
+    engine::SolveResult r = engine::solve(req);
+    benchmark::DoNotOptimize(r.objective);
   }
   state.SetComplexityN(static_cast<std::int64_t>(inst.input_length()));
 }
@@ -40,9 +54,10 @@ BENCHMARK(BM_GreedyUnitSkew)
 
 void BM_FixedGreedy(benchmark::State& state) {
   const model::Instance inst = gen::random_cap_instance(cap_config(state.range(0)));
+  const engine::SolveRequest req = request(inst, "greedy");
   for (auto _ : state) {
-    core::SmdSolveResult r = core::solve_unit_skew(inst);
-    benchmark::DoNotOptimize(r.utility);
+    engine::SolveResult r = engine::solve(req);
+    benchmark::DoNotOptimize(r.objective);
   }
   state.SetComplexityN(static_cast<std::int64_t>(inst.input_length()));
 }
@@ -58,9 +73,10 @@ void BM_SkewBandsPipeline(benchmark::State& state) {
   cfg.target_skew = 64.0;
   cfg.seed = 54321;
   const model::Instance inst = gen::random_smd_instance(cfg);
+  const engine::SolveRequest req = request(inst, "pipeline");
   for (auto _ : state) {
-    core::MmdSolveResult r = core::solve_mmd(inst);
-    benchmark::DoNotOptimize(r.utility);
+    engine::SolveResult r = engine::solve(req);
+    benchmark::DoNotOptimize(r.objective);
   }
   state.SetComplexityN(static_cast<std::int64_t>(inst.input_length()));
 }
@@ -77,9 +93,10 @@ void BM_AllocateOnline(benchmark::State& state) {
   cfg.num_user_measures = 2;
   cfg.seed = 777;
   const model::Instance inst = gen::random_mmd_instance(cfg);
+  const engine::SolveRequest req = request(inst, "online");
   for (auto _ : state) {
-    core::AllocateResult r = core::allocate_online(inst);
-    benchmark::DoNotOptimize(r.utility);
+    engine::SolveResult r = engine::solve(req);
+    benchmark::DoNotOptimize(r.objective);
   }
   state.SetComplexityN(static_cast<std::int64_t>(inst.input_length()));
 }
@@ -92,13 +109,26 @@ void BM_ExactSolver(benchmark::State& state) {
   gen::RandomCapConfig cfg = cap_config(state.range(0));
   cfg.num_users = 5;
   const model::Instance inst = gen::random_cap_instance(cfg);
+  const engine::SolveRequest req = request(inst, "exact");
   for (auto _ : state) {
-    core::ExactResult r = core::solve_exact(inst);
-    benchmark::DoNotOptimize(r.utility);
+    engine::SolveResult r = engine::solve(req);
+    benchmark::DoNotOptimize(r.objective);
   }
 }
 BENCHMARK(BM_ExactSolver)->DenseRange(10, 18, 4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Bare-number form: the "0.01s" suffix syntax needs benchmark >= 1.8.
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (std::getenv("VDIST_BENCH_SMOKE") != nullptr)
+    args.push_back(min_time.data());
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

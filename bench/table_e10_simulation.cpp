@@ -21,8 +21,8 @@ void run() {
       "E10", "online admission over a day of session churn (sim)");
 
   gen::IptvConfig icfg;
-  icfg.num_channels = 120;
-  icfg.num_users = 250;
+  icfg.num_channels = bench::full_or_smoke<std::size_t>(120, 40);
+  icfg.num_users = bench::full_or_smoke<std::size_t>(250, 60);
   icfg.bandwidth_fraction = 0.25;
   icfg.seed = 11;
   const gen::IptvWorkload w = gen::make_iptv_workload(icfg);
@@ -30,7 +30,7 @@ void run() {
   gen::TraceConfig tcfg;
   tcfg.arrival_rate = 2.0;
   tcfg.mean_duration = 45.0;
-  tcfg.horizon = 1000.0;
+  tcfg.horizon = bench::full_or_smoke(1000.0, 120.0);
   tcfg.popularity_bias = 1.0;
   tcfg.seed = 17;
   const auto trace = gen::make_trace(w.instance, tcfg);

@@ -71,13 +71,16 @@ void run() {
              "(§4 closing remark)");
   util::Table table({"m", "runs", "mean OPT/ALG", "max OPT/ALG",
                      "mean OPT/ALG (enum)", "O(m) scale"});
-  constexpr int kRuns = 8;
+  const int kRuns = bench::runs(8);
+  const int kItems = bench::full_or_smoke(14, 10);
+  const auto measures = bench::full_or_smoke<std::vector<std::size_t>>(
+      {1, 2, 3, 4, 6}, {1, 2});
   std::uint64_t seed = 8000;
-  for (std::size_t m : {1u, 2u, 3u, 4u, 6u}) {
+  for (std::size_t m : measures) {
     bench::RatioStats greedy_ratio;
     bench::RatioStats enum_ratio;
     for (int run = 0; run < kRuns; ++run) {
-      CoverageProblem p = make_problem(14, 40, m, seed++);
+      CoverageProblem p = make_problem(kItems, 40, m, seed++);
       const double opt = exact_coverage(p);
       const core::SubmodularResult alg =
           core::multi_budget_submodular(p.oracle, p.costs, p.budgets);

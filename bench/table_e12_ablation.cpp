@@ -7,13 +7,12 @@
 //       calls (Lemma 2.1 submodularity is what licenses laziness);
 //   (d) solving §3 bands with partial enumeration instead of the fixed
 //       greedy: quality uplift vs. cost.
+// End-to-end solves go through the engine registry; (b) and (c) reach
+// below it on purpose — they ablate internals no public algorithm exposes.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/exact.h"
-#include "core/greedy.h"
-#include "core/mmd_solver.h"
-#include "core/skew_bands.h"
 #include "core/submodular.h"
 #include "gen/random_instances.h"
 
@@ -43,7 +42,7 @@ void run() {
   // --- (a) + (b): the fix and the peel refinement -------------------------
   {
     util::Table table({"config", "runs", "mean OPT/ALG", "max OPT/ALG"});
-    constexpr int kRuns = 20;
+    const int kRuns = bench::runs(20);
     bench::RatioStats plain, paper_fix, refined_fix;
     std::uint64_t seed = 9000;
     for (int run = 0; run < kRuns; ++run) {
@@ -54,16 +53,22 @@ void run() {
       cfg.cap_fraction = 0.4;
       cfg.seed = seed++;
       const model::Instance inst = gen::random_cap_instance(cfg);
-      const core::ExactResult opt = core::solve_exact(inst);
-      const core::GreedyResult g = core::greedy_unit_skew(inst);
-      const double amax = core::best_single_stream(inst).capped_utility();
+      const double opt =
+          bench::expect_ok(engine::solve(bench::request(inst, "exact")))
+              .objective;
+      const engine::SolveResult g =
+          bench::expect_ok(engine::solve(bench::request(inst, "greedy-plain")));
+      const double amax =
+          bench::expect_ok(engine::solve(bench::request(inst, "amax")))
+              .objective;
 
-      plain.add(opt.utility, g.capped_utility);
-      paper_fix.add(opt.utility,
-                    std::max(unconditional_split_value(inst, g.assignment),
+      plain.add(opt, g.objective);
+      paper_fix.add(opt,
+                    std::max(unconditional_split_value(inst, g.solution()),
                              amax));
-      const core::SmdSolveResult refined = core::solve_unit_skew(inst);
-      refined_fix.add(opt.utility, refined.utility);
+      const engine::SolveResult refined =
+          bench::expect_ok(engine::solve(bench::request(inst, "greedy")));
+      refined_fix.add(opt, refined.objective);
     }
     table.row().add("greedy only (semi-feasible)").add(kRuns)
         .add(plain.mean(), 3).add(plain.worst(), 3);
@@ -78,7 +83,9 @@ void run() {
   {
     util::Table table({"|S|", "evals eager", "evals lazy", "saving x",
                        "values equal"});
-    for (std::size_t streams : {50u, 100u, 200u, 400u}) {
+    const auto sizes = bench::full_or_smoke<std::vector<std::size_t>>(
+        {50, 100, 200, 400}, {50, 100});
+    for (std::size_t streams : sizes) {
       gen::RandomCapConfig cfg;
       cfg.num_streams = streams;
       cfg.num_users = streams / 4;
@@ -111,9 +118,11 @@ void run() {
   {
     util::Table table({"skew", "runs", "greedy bands util", "enum bands util",
                        "uplift %", "ms greedy", "ms enum"});
-    constexpr int kRuns = 5;
+    const int kRuns = bench::runs(5);
+    const auto skews =
+        bench::full_or_smoke<std::vector<double>>({4.0, 32.0}, {4.0});
     std::uint64_t seed = 9900;
-    for (double skew : {4.0, 32.0}) {
+    for (double skew : skews) {
       util::RunningStats util_greedy, util_enum, ms_greedy, ms_enum;
       for (int run = 0; run < kRuns; ++run) {
         gen::RandomSmdConfig cfg;
@@ -122,18 +131,16 @@ void run() {
         cfg.target_skew = skew;
         cfg.seed = seed++;
         const model::Instance inst = gen::random_smd_instance(cfg);
-        util::Stopwatch watch;
-        const core::SkewBandsResult plain_bands = core::solve_smd_any_skew(inst);
-        ms_greedy.add(watch.elapsed_ms());
-        util_greedy.add(plain_bands.utility);
-        core::SkewBandsOptions opts;
-        opts.use_partial_enum = true;
-        opts.seed_size = 2;
-        watch.reset();
-        const core::SkewBandsResult enum_bands =
-            core::solve_smd_any_skew(inst, opts);
-        ms_enum.add(watch.elapsed_ms());
-        util_enum.add(enum_bands.utility);
+        const engine::SolveResult plain_bands =
+            bench::expect_ok(engine::solve(bench::request(inst, "bands")));
+        ms_greedy.add(plain_bands.wall_ms);
+        util_greedy.add(plain_bands.objective);
+        const engine::SolveResult enum_bands =
+            bench::expect_ok(engine::solve(bench::request(
+                inst, "bands",
+                engine::SolveOptions().set("enum-bands", 1).set("depth", 2))));
+        ms_enum.add(enum_bands.wall_ms);
+        util_enum.add(enum_bands.objective);
       }
       table.row()
           .add(skew, 0)
@@ -151,10 +158,11 @@ void run() {
   {
     util::Table table({"m x mc", "runs", "bare pipeline util",
                        "augmented util", "uplift %"});
-    constexpr int kRuns = 8;
+    const int kRuns = bench::runs(8);
+    const auto combos = bench::full_or_smoke<std::vector<std::pair<int, int>>>(
+        {{2, 1}, {3, 2}, {4, 2}}, {{2, 1}});
     std::uint64_t seed = 9990;
-    for (const auto& [m, mc] : std::vector<std::pair<int, int>>{
-             {2, 1}, {3, 2}, {4, 2}}) {
+    for (const auto& [m, mc] : combos) {
       util::RunningStats bare_util, aug_util;
       for (int run = 0; run < kRuns; ++run) {
         gen::RandomMmdConfig cfg;
@@ -165,10 +173,14 @@ void run() {
         cfg.budget_fraction = 0.35;
         cfg.seed = seed++;
         const model::Instance inst = gen::random_mmd_instance(cfg);
-        core::MmdSolverOptions bare;
-        bare.augment = false;
-        bare_util.add(core::solve_mmd(inst, bare).utility);
-        aug_util.add(core::solve_mmd(inst).utility);
+        bare_util.add(bench::expect_ok(engine::solve(bench::request(
+                                           inst, "pipeline",
+                                           engine::SolveOptions().set(
+                                               "augment", "0"))))
+                          .objective);
+        aug_util.add(
+            bench::expect_ok(engine::solve(bench::request(inst, "pipeline")))
+                .objective);
       }
       table.row()
           .add(std::to_string(m) + "x" + std::to_string(mc))

@@ -2,13 +2,15 @@
 // 3e/(e-1) ~ 4.75 approximation for unit-skew SMD; in practice the ratio
 // is far smaller. Sweeps instance sizes and budget/cap tightness, and
 // reports the plain greedy alongside to show the value of the fix.
+//
+// Per configuration the (exact, greedy-plain, greedy) solves for all runs
+// go through one engine::BatchRunner, which fans them out across a thread
+// pool with deterministic seeding.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/exact.h"
-#include "core/greedy.h"
 #include "gen/random_instances.h"
-#include "model/validate.h"
 
 namespace {
 
@@ -23,15 +25,19 @@ void run() {
   util::Table table({"|S|", "|U|", "B-frac", "W-frac", "runs",
                      "ratio(greedy)", "ratio(fixed) mean", "ratio(fixed) max",
                      "bound", "feasible"});
-  constexpr int kRuns = 12;
+  const int kRuns = bench::runs(12);
+  const auto stream_sizes =
+      bench::full_or_smoke<std::vector<std::size_t>>({8, 12, 16}, {8});
+  const auto user_sizes =
+      bench::full_or_smoke<std::vector<std::size_t>>({4, 10}, {4});
   std::uint64_t seed = 1;
-  for (std::size_t streams : {8u, 12u, 16u}) {
-    for (std::size_t users : {4u, 10u}) {
+  for (std::size_t streams : stream_sizes) {
+    for (std::size_t users : user_sizes) {
       for (double bf : {0.25, 0.5}) {
         const double cf = 0.5;
-        bench::RatioStats plain;
-        bench::RatioStats fixed;
-        bool all_feasible = true;
+        // Generate the run instances, then batch every solve of the cell.
+        std::vector<model::Instance> instances;
+        instances.reserve(static_cast<std::size_t>(kRuns));
         for (int run = 0; run < kRuns; ++run) {
           gen::RandomCapConfig cfg;
           cfg.num_streams = streams;
@@ -39,14 +45,25 @@ void run() {
           cfg.budget_fraction = bf;
           cfg.cap_fraction = cf;
           cfg.seed = seed++;
-          const model::Instance inst = gen::random_cap_instance(cfg);
-          const core::ExactResult opt = core::solve_exact(inst);
-          const core::GreedyResult g = core::greedy_unit_skew(inst);
-          const core::SmdSolveResult f =
-              core::solve_unit_skew(inst, core::SmdMode::kFeasible);
-          plain.add(opt.utility, g.capped_utility);
-          fixed.add(opt.utility, f.utility);
-          all_feasible &= model::validate(f.assignment).feasible();
+          instances.push_back(gen::random_cap_instance(cfg));
+        }
+        std::vector<engine::SolveRequest> requests;
+        for (const model::Instance& inst : instances)
+          for (const char* algo : {"exact", "greedy-plain", "greedy"})
+            requests.push_back(bench::request(inst, algo));
+        const std::vector<engine::SolveResult> results =
+            engine::solve_batch(requests);
+
+        bench::RatioStats plain;
+        bench::RatioStats fixed;
+        bool all_feasible = true;
+        for (std::size_t i = 0; i < results.size(); i += 3) {
+          const double opt = bench::expect_ok(results[i]).objective;
+          const engine::SolveResult& g = bench::expect_ok(results[i + 1]);
+          const engine::SolveResult& f = bench::expect_ok(results[i + 2]);
+          plain.add(opt, g.objective);
+          fixed.add(opt, f.objective);
+          all_feasible &= f.feasible();
         }
         table.row()
             .add(streams)

@@ -3,14 +3,12 @@
 // *reduced* budget B - cmax (Thm 2.5), and max(greedy, Amax) achieves
 // (e-1)/2e of the true optimum while over-running each user cap by at
 // most one stream (Cor 2.7).
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/exact.h"
-#include "core/greedy.h"
 #include "gen/random_instances.h"
 #include "model/factory.h"
-#include "model/validate.h"
 
 namespace {
 
@@ -43,9 +41,13 @@ void run() {
   util::Table table({"|S|", "B-frac", "runs", "min greedy/OPT-", "bound",
                      "min aug/OPT", "bound(aug)", "semi-feasible"});
   std::uint64_t seed = 2000;
-  constexpr int kRuns = 12;
-  for (std::size_t streams : {10u, 14u}) {
-    for (double bf : {0.35, 0.6}) {
+  const int kRuns = bench::runs(12);
+  const auto stream_sizes =
+      bench::full_or_smoke<std::vector<std::size_t>>({10, 14}, {10});
+  const auto budget_fractions =
+      bench::full_or_smoke<std::vector<double>>({0.35, 0.6}, {0.35});
+  for (std::size_t streams : stream_sizes) {
+    for (double bf : budget_fractions) {
       double worst25 = 1e9;
       double worst27 = 1e9;
       bool all_semi = true;
@@ -59,22 +61,25 @@ void run() {
         double cmax = 0.0;
         for (std::size_t s = 0; s < inst.num_streams(); ++s)
           cmax = std::max(cmax, inst.cost(static_cast<model::StreamId>(s), 0));
-        const core::GreedyResult g = core::greedy_unit_skew(inst);
+        const engine::SolveResult g =
+            bench::expect_ok(engine::solve(bench::request(inst, "greedy-plain")));
         // Theorem 2.5: compare with OPT at budget B - cmax.
         if (inst.budget(0) - cmax > cmax) {
           const model::Instance reduced =
               with_budget(inst, inst.budget(0) - cmax);
-          const core::ExactResult opt_minus = core::solve_exact(reduced);
-          if (opt_minus.utility > 0)
-            worst25 = std::min(worst25, g.capped_utility / opt_minus.utility);
+          const double opt_minus =
+              bench::expect_ok(engine::solve(bench::request(reduced, "exact")))
+                  .objective;
+          if (opt_minus > 0) worst25 = std::min(worst25, g.objective / opt_minus);
         }
         // Corollary 2.7: the augmented candidate vs. the true OPT.
-        const core::ExactResult opt = core::solve_exact(inst);
-        const core::SmdSolveResult aug =
-            core::solve_unit_skew(inst, core::SmdMode::kAugmented);
-        if (opt.utility > 0)
-          worst27 = std::min(worst27, aug.utility / opt.utility);
-        all_semi &= model::validate(aug.assignment).server_feasible();
+        const double opt =
+            bench::expect_ok(engine::solve(bench::request(inst, "exact")))
+                .objective;
+        const engine::SolveResult aug = bench::expect_ok(
+            engine::solve(bench::request(inst, "greedy-augmented")));
+        if (opt > 0) worst27 = std::min(worst27, aug.objective / opt);
+        all_semi &= aug.feasibility != model::Feasibility::kInfeasible;
       }
       table.row()
           .add(streams)

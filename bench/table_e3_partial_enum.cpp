@@ -4,10 +4,9 @@
 // time — the polynomial-but-steep trade-off the paper accepts for the
 // better constant.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/exact.h"
-#include "core/partial_enum.h"
 #include "gen/random_instances.h"
 
 namespace {
@@ -20,8 +19,10 @@ void run() {
                       "(Thm 2.10); deeper seeds = better quality, more time");
   util::Table table({"seed-depth", "runs", "mean OPT/ALG", "max OPT/ALG",
                      "mean candidates", "mean ms"});
-  constexpr int kRuns = 8;
-  for (int depth : {0, 1, 2, 3}) {
+  const int kRuns = bench::runs(8);
+  const auto depths = bench::full_or_smoke<std::vector<int>>({0, 1, 2, 3},
+                                                             {0, 2, 3});
+  for (int depth : depths) {
     bench::RatioStats ratio;
     util::RunningStats candidates;
     util::RunningStats ms;
@@ -34,14 +35,15 @@ void run() {
       cfg.cap_fraction = 0.5;
       cfg.seed = seed++;
       const model::Instance inst = gen::random_cap_instance(cfg);
-      const core::ExactResult opt = core::solve_exact(inst);
-      core::PartialEnumOptions opts;
-      opts.seed_size = depth;
-      util::Stopwatch watch;
-      const core::PartialEnumResult r = core::partial_enum_unit_skew(inst, opts);
-      ms.add(watch.elapsed_ms());
-      ratio.add(opt.utility, r.best.utility);
-      candidates.add(static_cast<double>(r.candidates_evaluated));
+      const double opt =
+          bench::expect_ok(engine::solve(bench::request(inst, "exact")))
+              .objective;
+      const engine::SolveResult r = bench::expect_ok(engine::solve(
+          bench::request(inst, "enum",
+                         engine::SolveOptions().set("depth", depth))));
+      ms.add(r.wall_ms);
+      ratio.add(opt, r.objective);
+      candidates.add(r.stat("candidates"));
     }
     table.row()
         .add(depth)

@@ -5,10 +5,9 @@
 // must stay below it and should grow (at most) logarithmically.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/exact.h"
-#include "core/skew_bands.h"
 #include "gen/random_instances.h"
 
 namespace {
@@ -22,9 +21,11 @@ void run() {
                      "mean OPT/ALG", "max OPT/ALG", "bound 2t*3e/(e-1)"});
   std::vector<double> alphas;
   std::vector<double> ratios;
-  constexpr int kRuns = 8;
+  const int kRuns = bench::runs(8);
+  const auto targets = bench::full_or_smoke<std::vector<double>>(
+      {1.0, 2.0, 4.0, 16.0, 64.0, 256.0, 1024.0}, {1.0, 16.0, 256.0});
   std::uint64_t seed = 4000;
-  for (double target : {1.0, 2.0, 4.0, 16.0, 64.0, 256.0, 1024.0}) {
+  for (double target : targets) {
     bench::RatioStats ratio;
     util::RunningStats alpha_stats;
     int bands = 0;
@@ -37,11 +38,14 @@ void run() {
       cfg.capacity_fraction = 0.45;
       cfg.seed = seed++;
       const model::Instance inst = gen::random_smd_instance(cfg);
-      const core::SkewBandsResult alg = core::solve_smd_any_skew(inst);
-      const core::ExactResult opt = core::solve_exact(inst);
-      ratio.add(opt.utility, alg.utility);
-      alpha_stats.add(alg.alpha);
-      bands = std::max(bands, alg.num_bands);
+      const engine::SolveResult alg =
+          bench::expect_ok(engine::solve(bench::request(inst, "bands")));
+      const double opt =
+          bench::expect_ok(engine::solve(bench::request(inst, "exact")))
+              .objective;
+      ratio.add(opt, alg.objective);
+      alpha_stats.add(alg.stat("alpha"));
+      bands = std::max(bands, static_cast<int>(alg.stat("num_bands")));
     }
     const double t = std::max(1.0, 1.0 + std::floor(std::log2(
                                             std::max(alpha_stats.mean(), 1.0))));

@@ -2,13 +2,12 @@
 // approximation. Sweeps m x mc on random MMD instances and reports the
 // measured ratio next to the concrete theorem factor — who wins and how
 // the loss scales with m*mc is the shape being regenerated.
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/exact.h"
-#include "core/mmd_solver.h"
 #include "gen/random_instances.h"
-#include "model/validate.h"
 
 namespace {
 
@@ -19,13 +18,15 @@ void run() {
       "E5", "MMD ratio scales with m*mc (Thm 4.4), measured vs bound");
   util::Table table({"m", "mc", "m*mc", "runs", "mean OPT/ALG", "max OPT/ALG",
                      "bound (2m-1)(2mc-1)*2t*3e/(e-1)", "feasible"});
-  constexpr int kRuns = 6;
+  const int kRuns = bench::runs(6);
+  const auto ms = bench::full_or_smoke<std::vector<int>>({1, 2, 4, 8}, {1, 2});
+  const auto mcs = bench::full_or_smoke<std::vector<int>>({1, 2, 4}, {1, 2});
   std::uint64_t seed = 5000;
-  for (int m : {1, 2, 4, 8}) {
-    for (int mc : {1, 2, 4}) {
-      bench::RatioStats ratio;
-      int bands = 1;
-      bool all_feasible = true;
+  for (int m : ms) {
+    for (int mc : mcs) {
+      // All of the cell's instances first, then one batch over the
+      // (pipeline, exact) pairs.
+      std::vector<model::Instance> instances;
       for (int run = 0; run < kRuns; ++run) {
         gen::RandomMmdConfig cfg;
         cfg.num_streams = 10;
@@ -35,12 +36,25 @@ void run() {
         cfg.budget_fraction = 0.4;
         cfg.capacity_fraction = 0.5;
         cfg.seed = seed++;
-        const model::Instance inst = gen::random_mmd_instance(cfg);
-        const core::MmdSolveResult alg = core::solve_mmd(inst);
-        const core::ExactResult opt = core::solve_exact(inst);
-        ratio.add(opt.utility, alg.utility);
-        bands = std::max(bands, alg.num_bands);
-        all_feasible &= model::validate(alg.assignment).feasible();
+        instances.push_back(gen::random_mmd_instance(cfg));
+      }
+      std::vector<engine::SolveRequest> requests;
+      for (const model::Instance& inst : instances) {
+        requests.push_back(bench::request(inst, "pipeline"));
+        requests.push_back(bench::request(inst, "exact"));
+      }
+      const std::vector<engine::SolveResult> results =
+          engine::solve_batch(requests);
+
+      bench::RatioStats ratio;
+      int bands = 1;
+      bool all_feasible = true;
+      for (std::size_t i = 0; i < results.size(); i += 2) {
+        const engine::SolveResult& alg = bench::expect_ok(results[i]);
+        const engine::SolveResult& opt = bench::expect_ok(results[i + 1]);
+        ratio.add(opt.objective, alg.objective);
+        bands = std::max(bands, static_cast<int>(alg.stat("num_bands")));
+        all_feasible &= alg.feasible();
       }
       const double bound = (2.0 * m - 1) * (2.0 * mc - 1) * 2.0 * bands *
                            3.0 * bench::kE / (bench::kE - 1.0);

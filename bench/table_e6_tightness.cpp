@@ -10,10 +10,10 @@
 //     one unit-utility stream survives);
 //   * full pipeline — solve_mmd end to end.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/mmd_reduction.h"
-#include "core/mmd_solver.h"
 #include "gen/tightness.h"
 #include "model/validate.h"
 #include "util/interval_partition.h"
@@ -59,8 +59,11 @@ void run() {
   util::Table table({"m", "mc", "OPT", "adversarial util", "adv loss",
                      "best-group util", "best loss", "pipeline util",
                      "m*mc"});
-  for (int m : {2, 3, 4, 6, 8}) {
-    for (int mc : {2, 4, 8}) {
+  const auto ms =
+      bench::full_or_smoke<std::vector<int>>({2, 3, 4, 6, 8}, {2, 3});
+  const auto mcs = bench::full_or_smoke<std::vector<int>>({2, 4, 8}, {2});
+  for (int m : ms) {
+    for (int mc : mcs) {
       const gen::TightnessConfig cfg{m, mc, -1.0, -1.0};
       const model::Instance inst = gen::tightness_instance(cfg);
       const double opt = gen::tightness_opt(cfg);
@@ -77,7 +80,8 @@ void run() {
           core::transform_output(inst, optimal_smd, &report);
       const bool feasible = model::validate(best_group).feasible();
 
-      const core::MmdSolveResult pipeline = core::solve_mmd(inst);
+      const engine::SolveResult pipeline =
+          bench::expect_ok(engine::solve(bench::request(inst, "pipeline")));
 
       table.row()
           .add(m)
@@ -87,7 +91,7 @@ void run() {
           .add(opt / std::max(adv, 1e-9), 2)
           .add(report.final_utility, 3)
           .add(opt / std::max(report.final_utility, 1e-9), 2)
-          .add(pipeline.utility, 3)
+          .add(pipeline.objective, 3)
           .add(m * mc);
       if (!feasible) std::cout << "WARNING: infeasible decomposition!\n";
     }

@@ -5,12 +5,10 @@
 // feasibility is lost without the guard and recovered with it.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/allocate_online.h"
-#include "core/mmd_solver.h"
 #include "gen/small_streams.h"
-#include "model/validate.h"
 
 namespace {
 
@@ -24,16 +22,19 @@ void run() {
   util::Table table({"premise", "tightness", "runs", "mu", "violations",
                      "min ALG*/off", "1/(1+2log2mu)", "accept%",
                      "guard trips(on)"});
-  constexpr int kRuns = 6;
+  const int kRuns = bench::runs(6);
+  const std::size_t kStreams = bench::full_or_smoke<std::size_t>(150, 40);
   std::uint64_t seed = 7000;
   struct Setting {
     const char* label;
     double tightness;  // >= 1 keeps the premise; < 1 breaks it (we shrink
                        // the budgets below the required log2(mu) factor)
   };
-  for (const Setting& setting :
-       {Setting{"holds", 1.0}, Setting{"holds", 2.0}, Setting{"broken", 0.35},
-        Setting{"broken", 0.15}}) {
+  const auto settings = bench::full_or_smoke<std::vector<Setting>>(
+      {Setting{"holds", 1.0}, Setting{"holds", 2.0}, Setting{"broken", 0.35},
+       Setting{"broken", 0.15}},
+      {Setting{"holds", 1.0}, Setting{"broken", 0.35}});
+  for (const Setting& setting : settings) {
     std::size_t violations = 0;
     std::size_t guard_trips = 0;
     double worst_competitive = 1e9;
@@ -41,7 +42,7 @@ void run() {
     util::RunningStats accept;
     for (int run = 0; run < kRuns; ++run) {
       gen::SmallStreamsConfig cfg;
-      cfg.num_streams = 150;
+      cfg.num_streams = kStreams;
       cfg.num_users = 10;
       cfg.tightness = std::max(setting.tightness, 1.0);
       cfg.seed = seed++;
@@ -86,24 +87,24 @@ void run() {
         inst = std::move(b).build();
       }
 
-      core::AllocateOptions pure;
-      pure.guard_feasibility = false;
-      const core::AllocateResult r = core::allocate_online(inst, pure);
-      mu_stats.add(r.mu);
-      if (!model::validate(r.assignment).feasible()) ++violations;
-      accept.add(100.0 * static_cast<double>(r.accepted) /
+      const engine::SolveResult r = bench::expect_ok(engine::solve(
+          bench::request(inst, "online",
+                         engine::SolveOptions().set("guard", "0"))));
+      mu_stats.add(r.stat("mu"));
+      if (!r.feasible()) ++violations;
+      accept.add(100.0 * r.stat("accepted") /
                  static_cast<double>(inst.num_streams()));
 
-      const core::MmdSolveResult offline = core::solve_mmd(inst);
-      if (offline.utility > 0)
+      const engine::SolveResult offline =
+          bench::expect_ok(engine::solve(bench::request(inst, "pipeline")));
+      if (offline.objective > 0)
         worst_competitive =
-            std::min(worst_competitive, r.utility / offline.utility);
+            std::min(worst_competitive, r.objective / offline.objective);
 
-      core::AllocateOptions guarded;
-      guarded.guard_feasibility = true;
-      const core::AllocateResult rg = core::allocate_online(inst, guarded);
-      guard_trips += rg.guard_trips;
-      if (!model::validate(rg.assignment).feasible()) ++violations;
+      const engine::SolveResult rg =
+          bench::expect_ok(engine::solve(bench::request(inst, "online")));
+      guard_trips += static_cast<std::size_t>(rg.stat("guard_trips"));
+      if (!rg.feasible()) ++violations;
     }
     const double factor = 1.0 / (1.0 + 2.0 * std::log2(mu_stats.mean()));
     table.row()

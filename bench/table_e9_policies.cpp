@@ -3,14 +3,15 @@
 // employ". On the synthetic IPTV workload the Theorem 1.1 pipeline and
 // the online Allocate are compared against FCFS/utility-sorted/density-
 // sorted/random threshold admission.
+//
+// Every policy is an engine registry entry, so the comparison is a table
+// of (label, algorithm, options) rows — adding a policy is one line.
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "baseline/policies.h"
 #include "bench_common.h"
-#include "core/allocate_online.h"
-#include "core/mmd_solver.h"
 #include "gen/iptv.h"
-#include "model/validate.h"
 
 namespace {
 
@@ -26,73 +27,58 @@ void run() {
   // decorrelated from bitrates, so per-cost utilities vary wildly and
   // cost-blind admission pays for it.
   gen::IptvConfig cfg;
-  cfg.num_channels = 250;
-  cfg.num_users = 400;
+  cfg.num_channels = bench::full_or_smoke<std::size_t>(250, 60);
+  cfg.num_users = bench::full_or_smoke<std::size_t>(400, 80);
   cfg.bandwidth_fraction = 0.3;
   cfg.decorrelate_price = true;
   cfg.seed = 2024;
   const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
   const model::Instance& inst = w.instance;
 
-  struct Row {
-    std::string name;
-    double utility;
-    std::size_t carried;
-    double bw_util;
-    bool feasible;
+  struct Policy {
+    std::string label;
+    std::string algorithm;
+    engine::SolveOptions options;
+    std::uint64_t seed = 1;
   };
-  std::vector<Row> rows;
-
-  auto add_assignment = [&](const std::string& name,
-                            const model::Assignment& a) {
-    rows.push_back(Row{name, a.utility(), a.range_size(),
-                       100.0 * a.server_cost(0) / inst.budget(0),
-                       model::validate(a).feasible()});
+  const std::vector<Policy> policies = {
+      {"mmd-solver (Thm 1.1)", "pipeline", {}},
+      {"allocate (online, Thm 5.4)", "online", {}},
+      {"threshold FCFS", "fcfs", {}},
+      {"threshold FCFS (adversarial arrival)", "threshold",
+       engine::SolveOptions().set("order", "density-asc")},
+      {"threshold by-utility", "threshold",
+       engine::SolveOptions().set("order", "utility")},
+      {"threshold by-density", "threshold",
+       engine::SolveOptions().set("order", "density")},
+      {"random order", "random", {}, 99},
+      {"threshold 90% margin", "threshold",
+       engine::SolveOptions()
+           .set("server-margin", "0.9")
+           .set("user-margin", "0.9")},
   };
 
-  const core::MmdSolveResult solver = core::solve_mmd(inst);
-  add_assignment("mmd-solver (Thm 1.1)", solver.assignment);
-
-  const core::AllocateResult online = core::allocate_online(inst);
-  add_assignment("allocate (online, Thm 5.4)", online.assignment);
-
-  baseline::ThresholdOptions fcfs;
-  add_assignment("threshold FCFS", baseline::threshold_admission(inst, fcfs).assignment);
-
-  baseline::ThresholdOptions adversarial;
-  adversarial.order = baseline::StreamOrder::kDensityAsc;
-  add_assignment("threshold FCFS (adversarial arrival)",
-                 baseline::threshold_admission(inst, adversarial).assignment);
-
-  baseline::ThresholdOptions by_utility;
-  by_utility.order = baseline::StreamOrder::kUtilityDesc;
-  add_assignment("threshold by-utility",
-                 baseline::threshold_admission(inst, by_utility).assignment);
-
-  baseline::ThresholdOptions by_density;
-  by_density.order = baseline::StreamOrder::kDensityDesc;
-  add_assignment("threshold by-density",
-                 baseline::threshold_admission(inst, by_density).assignment);
-
-  add_assignment("random order",
-                 baseline::random_admission(inst, 99).assignment);
-
-  baseline::ThresholdOptions margin;
-  margin.server_margin = 0.9;
-  margin.user_margin = 0.9;
-  add_assignment("threshold 90% margin",
-                 baseline::threshold_admission(inst, margin).assignment);
+  std::vector<engine::SolveResult> results;
+  for (const Policy& p : policies) {
+    engine::SolveRequest req = bench::request(inst, p.algorithm, p.options);
+    req.seed = p.seed;
+    results.push_back(bench::expect_ok(engine::solve(req)));
+  }
 
   double best = 0.0;
-  for (const Row& r : rows) best = std::max(best, r.utility);
-  for (const Row& r : rows)
+  for (const engine::SolveResult& r : results)
+    best = std::max(best, r.raw_utility);
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const engine::SolveResult& r = results[i];
+    const model::Assignment& a = r.solution();
     table.row()
-        .add(r.name)
-        .add(r.utility, 1)
-        .add(r.utility / best, 3)
-        .add(r.carried)
-        .add(r.bw_util, 1)
-        .add(r.feasible ? "yes" : "NO");
+        .add(policies[i].label)
+        .add(r.raw_utility, 1)
+        .add(r.raw_utility / best, 3)
+        .add(a.range_size())
+        .add(100.0 * a.server_cost(0) / inst.budget(0), 1)
+        .add(r.feasible() ? "yes" : "NO");
+  }
 
   table.print_aligned(std::cout, "E9: policy comparison on IPTV workload");
   std::cout << "catalog: " << inst.num_streams() << " channels, "

@@ -1,0 +1,18 @@
+// Registration hooks for the built-in algorithm families. Called exactly
+// once by SolverRegistry::global(); each lives in its own TU next to the
+// algorithms it wraps so the mapping from registry name to implementation
+// stays local to the module.
+#pragma once
+
+namespace vdist::engine {
+
+class SolverRegistry;
+
+// src/core: greedy family, partial enumeration, skew bands, MMD pipeline,
+// online Allocate, exact branch-and-bound (register_core.cpp).
+void register_core_solvers(SolverRegistry& registry);
+
+// src/baseline: threshold admission policies (register_baseline.cpp).
+void register_baseline_solvers(SolverRegistry& registry);
+
+}  // namespace vdist::engine

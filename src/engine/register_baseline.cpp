@@ -1,0 +1,73 @@
+// Registry adapters for the baseline threshold-admission policies the
+// paper's introduction argues against ("safety margin" admission control).
+#include <utility>
+
+#include "baseline/policies.h"
+#include "engine/builtin_solvers.h"
+#include "engine/registry.h"
+
+namespace vdist::engine {
+
+namespace {
+
+baseline::StreamOrder parse_order(const SolveOptions& opts) {
+  const std::string order = opts.get("order", "arrival");
+  if (order == "arrival") return baseline::StreamOrder::kArrival;
+  if (order == "utility") return baseline::StreamOrder::kUtilityDesc;
+  if (order == "density") return baseline::StreamOrder::kDensityDesc;
+  if (order == "density-asc") return baseline::StreamOrder::kDensityAsc;
+  if (order == "random") return baseline::StreamOrder::kRandom;
+  throw std::invalid_argument(
+      "option --order expects arrival|utility|density|density-asc|random, "
+      "got '" +
+      order + "'");
+}
+
+SolveOutcome run_threshold(const SolveRequest& req,
+                           baseline::StreamOrder order) {
+  baseline::ThresholdOptions opts;
+  opts.order = order;
+  opts.server_margin = req.options.get_double("server-margin", 1.0);
+  opts.user_margin = req.options.get_double("user-margin", 1.0);
+  opts.seed = req.seed;
+  baseline::BaselineResult r = baseline::threshold_admission(*req.instance, opts);
+  SolveOutcome out{std::move(r.assignment)};
+  out.objective = r.utility;
+  out.stats["admitted"] = static_cast<double>(r.admitted);
+  out.stats["rejected"] = static_cast<double>(r.rejected);
+  return out;
+}
+
+}  // namespace
+
+void register_baseline_solvers(SolverRegistry& r) {
+  r.add({.name = "threshold",
+         .description =
+             "margin-based admission control (paper §1 baseline); options: "
+             "order=arrival|utility|density|density-asc|random, "
+             "server-margin, user-margin; stats: admitted, rejected",
+         .form = InstanceForm::kAny,
+         .deterministic = false},
+        [](const SolveRequest& req) {
+          return run_threshold(req, parse_order(req.options));
+        });
+  r.add({.name = "fcfs",
+         .description =
+             "threshold admission in arrival (stream id) order — the FCFS "
+             "policy 'most solutions in use today employ'",
+         .form = InstanceForm::kAny},
+        [](const SolveRequest& req) {
+          return run_threshold(req, baseline::StreamOrder::kArrival);
+        });
+  r.add({.name = "random",
+         .description =
+             "threshold admission in seed-shuffled order (stats: admitted, "
+             "rejected; order derived from the request seed)",
+         .form = InstanceForm::kAny,
+         .deterministic = false},
+        [](const SolveRequest& req) {
+          return run_threshold(req, baseline::StreamOrder::kRandom);
+        });
+}
+
+}  // namespace vdist::engine

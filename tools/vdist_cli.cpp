@@ -2,8 +2,12 @@
 //
 //   vdist_cli gen   --kind cap|smd|mmd|iptv|small|tightness [options] --out F
 //   vdist_cli stats F
-//   vdist_cli solve F [--algo pipeline|greedy|enum|online|threshold|exact]
+//   vdist_cli algos
+//   vdist_cli solve F --algo NAME [algorithm options]
 //
+// Solving dispatches through the engine::SolverRegistry: every registered
+// algorithm is available by name and unrecognized --key value pairs are
+// forwarded to it as SolveOptions, so a new algorithm needs no CLI change.
 // See `vdist_cli help` for every option. Instances use the text format of
 // src/io/instance_io.h.
 #include <cstring>
@@ -12,12 +16,7 @@
 #include <map>
 #include <string>
 
-#include "baseline/policies.h"
-#include "core/allocate_online.h"
-#include "core/exact.h"
-#include "core/greedy.h"
-#include "core/mmd_solver.h"
-#include "core/partial_enum.h"
+#include "engine/registry.h"
 #include "gen/iptv.h"
 #include "gen/random_instances.h"
 #include "gen/small_streams.h"
@@ -25,7 +24,6 @@
 #include "io/instance_io.h"
 #include "model/skew.h"
 #include "model/validate.h"
-#include "util/stopwatch.h"
 
 namespace {
 
@@ -154,34 +152,48 @@ int cmd_stats(const Args& args) {
 
 int cmd_solve(const Args& args) {
   const model::Instance inst = io::load_instance_file(args.file);
-  const std::string algo = opt(args, "algo", "pipeline");
-  util::Stopwatch watch;
-  model::Assignment result(inst);
-  if (algo == "pipeline") {
-    result = core::solve_mmd(inst).assignment;
-  } else if (algo == "greedy") {
-    result = core::solve_unit_skew(inst).assignment;
-  } else if (algo == "enum") {
-    core::PartialEnumOptions opts;
-    opts.seed_size = static_cast<int>(opt_u(args, "depth", 3));
-    result = core::partial_enum_unit_skew(inst, opts).best.assignment;
-  } else if (algo == "online") {
-    result = core::allocate_online(inst).assignment;
-  } else if (algo == "threshold") {
-    result = baseline::fcfs_admission(inst).assignment;
-  } else if (algo == "exact") {
-    result = core::solve_exact(inst).assignment;
-  } else {
-    throw std::runtime_error("unknown --algo " + algo);
+
+  engine::SolveRequest req;
+  req.instance = &inst;
+  req.algorithm = opt(args, "algo", "pipeline");
+  req.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 1));
+  try {
+    req.time_budget_ms = std::stod(opt(args, "budget-ms", "0"));
+  } catch (const std::exception&) {
+    throw std::runtime_error("option --budget-ms expects a number, got '" +
+                             opt(args, "budget-ms", "0") + "'");
   }
-  const double ms = watch.elapsed_ms();
-  const auto report = model::validate(result);
-  std::cerr << "algo=" << algo << " utility=" << result.utility()
-            << " streams=" << result.range_size() << " pairs="
-            << result.num_assigned_pairs() << " feasible="
-            << (report.feasible() ? "yes" : "NO") << " time_ms=" << ms
-            << "\n";
+  // Every option the CLI does not consume itself belongs to the algorithm.
+  for (const auto& [key, value] : args.options)
+    if (key != "algo" && key != "seed" && key != "budget-ms" &&
+        key != "export" && key != "verbose")
+      req.options.set(key, value);
+
+  const engine::SolveResult r = engine::solve(req);
+  if (!r.ok) throw std::runtime_error(r.error);
+
+  const model::Assignment& result = r.solution();
+  std::cerr << "algo=" << r.algorithm << " objective=" << r.objective
+            << " utility=" << r.raw_utility << " streams="
+            << result.range_size() << " pairs=" << result.num_assigned_pairs()
+            << " feasible=" << (r.feasible() ? "yes" : "NO");
+  if (!r.variant.empty()) std::cerr << " variant=" << r.variant;
+  std::cerr << " time_ms=" << r.wall_ms;
+  if (r.timed_out) std::cerr << " TIMED-OUT";
+  std::cerr << "\n";
+  if (opt(args, "verbose", "0") == "1")
+    for (const auto& [key, value] : r.stats)
+      std::cerr << "  " << key << "=" << value << "\n";
   if (opt(args, "export", "0") == "1") io::save_assignment(std::cout, result);
+  return 0;
+}
+
+int cmd_algos() {
+  const engine::SolverRegistry& registry = engine::SolverRegistry::global();
+  for (const std::string& name : registry.names()) {
+    const engine::SolverInfo& info = registry.info(name);
+    std::cout << name << "\n    " << info.description << "\n";
+  }
   return 0;
 }
 
@@ -210,13 +222,17 @@ int cmd_help() {
       "            [--streams N] [--users N] [--m M] [--mc MC] [--skew A]\n"
       "            [--decorrelate 1] [--seed S] [--out FILE]\n"
       "  vdist_cli stats FILE\n"
-      "  vdist_cli solve FILE [--algo pipeline|greedy|enum|online|\n"
-      "            threshold|exact] [--depth D] [--export 1]\n"
+      "  vdist_cli algos\n"
+      "  vdist_cli solve FILE --algo NAME [--seed S] [--budget-ms T]\n"
+      "            [--verbose 1] [--export 1] [algorithm options]\n"
       "  vdist_cli eval FILE --assignment ASSIGNMENT_FILE\n\n"
-      "'greedy'/'enum' require a unit-skew cap-form instance; 'exact' is\n"
-      "for <= 62 streams. 'solve --export 1' writes the assignment to\n"
-      "stdout in the text format of src/io/instance_io.h; 'eval' validates\n"
-      "such a file against the instance (exit 2 if infeasible).\n";
+      "'solve' dispatches through the solver registry: 'vdist_cli algos'\n"
+      "lists every algorithm with its option keys, and unconsumed --key\n"
+      "value pairs are forwarded to the algorithm (e.g. --depth 2 for\n"
+      "enum, --order density for threshold). 'solve --export 1' writes\n"
+      "the assignment to stdout in the text format of src/io/\n"
+      "instance_io.h; 'eval' validates such a file against the instance\n"
+      "(exit 2 if infeasible).\n";
   return 0;
 }
 
@@ -227,6 +243,7 @@ int main(int argc, char** argv) {
   try {
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "algos") return cmd_algos();
     if (args.command == "solve") return cmd_solve(args);
     if (args.command == "eval") return cmd_eval(args);
     return cmd_help();
