@@ -4,9 +4,12 @@
 // regenerated, (b) a deterministic table of measurements (seeds printed),
 // matching the rows recorded in EXPERIMENTS.md.
 //
-// Algorithms are invoked through the engine registry (engine/solver.h) —
-// harnesses name algorithms by string and read objectives/diagnostics off
-// the uniform SolveResult instead of linking each algorithm's own API.
+// Since the scenario/sweep redesign the harnesses are declarative: each
+// builds an engine::SweepPlan (scenario x algorithm x seed cells) and
+// reads its table off the aggregated engine::SweepResult — the sweep
+// loop, thread fan-out and seeding live in src/engine/sweep.cpp, not
+// here. This header keeps only the smoke-mode switches and the
+// formatting/accumulation helpers the tables share.
 //
 // Smoke mode: when VDIST_BENCH_SMOKE is set (the `bench-smoke` CMake
 // target and CI set it), harnesses shrink their sweeps to a tiny
@@ -18,11 +21,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "engine/batch.h"
-#include "engine/solver.h"
+#include "engine/sweep.h"
 #include "util/stats.h"
-#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace vdist::bench {
@@ -54,40 +56,25 @@ inline void print_footer(const std::string& verdict) {
   std::cout << "verdict: " << verdict << "\n";
 }
 
-// Request builder: the common (instance, algorithm) case in one line.
-//   auto r = engine::solve(bench::request(inst, "greedy"));
-[[nodiscard]] inline engine::SolveRequest request(
-    const model::Instance& inst, std::string algorithm,
-    engine::SolveOptions options = {}) {
-  engine::SolveRequest req;
-  req.instance = &inst;
-  req.algorithm = std::move(algorithm);
-  req.options = std::move(options);
-  return req;
+// Axis values are strings; benches keep their sweeps as numeric lists.
+template <typename T>
+[[nodiscard]] std::vector<std::string> axis_values(const std::vector<T>& xs) {
+  std::vector<std::string> out;
+  out.reserve(xs.size());
+  for (const T& x : xs) out.push_back(util::format_double(
+      static_cast<double>(x), 6));
+  return out;
 }
 
-// Unwraps a SolveResult that the harness expects to succeed; a failure
-// (unknown name, wrong instance form) is a harness bug worth dying loudly
-// over rather than polluting a table with zeros. The lvalue overload is
-// zero-copy (batch results are checked in place); the rvalue overload
-// moves, so binding a reference to expect_ok(solve(...)) stays safe.
-inline void die_unless_ok(const engine::SolveResult& r) {
-  if (!r.ok) {
-    std::cerr << "bench: solve '" << r.algorithm << "' failed: " << r.error
-              << "\n";
+// A failed run in a sweep (unknown name, wrong instance form, solver
+// limit) is a harness bug worth dying loudly over rather than polluting
+// a table with zeros.
+inline void die_on_error(const engine::SweepResult& result) {
+  const std::string error = result.first_error();
+  if (!error.empty()) {
+    std::cerr << "bench: sweep failed: " << error << "\n";
     std::exit(1);
   }
-}
-
-[[nodiscard]] inline const engine::SolveResult& expect_ok(
-    const engine::SolveResult& r) {
-  die_unless_ok(r);
-  return r;
-}
-
-[[nodiscard]] inline engine::SolveResult expect_ok(engine::SolveResult&& r) {
-  die_unless_ok(r);
-  return std::move(r);
 }
 
 // Ratio accumulator: OPT / ALG >= 1; tracks mean and worst case.
@@ -103,5 +90,15 @@ struct RatioStats {
   [[nodiscard]] double mean() const { return stats.mean(); }
   [[nodiscard]] double worst() const { return stats.max(); }
 };
+
+// Paired per-replicate ratio between two algorithm cells of one scenario
+// cell (the OPT/ALG columns every quality table reports).
+[[nodiscard]] inline RatioStats paired_ratio(const engine::SweepCell& opt,
+                                             const engine::SweepCell& alg) {
+  RatioStats ratio;
+  for (std::size_t rep = 0; rep < opt.runs.size(); ++rep)
+    ratio.add(opt.runs[rep].objective, alg.runs[rep].objective);
+  return ratio;
+}
 
 }  // namespace vdist::bench

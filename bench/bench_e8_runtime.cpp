@@ -4,11 +4,13 @@
 // sweep (sorting candidates dominates). Complexity fits are reported by
 // google-benchmark's BigO machinery over a size sweep.
 //
-// Solves dispatch through the engine registry with validation disabled so
-// the timed region is the algorithm plus the (constant) dispatch cost —
-// the same path a production caller pays. Under VDIST_BENCH_SMOKE the
-// main() injects a tiny --benchmark_min_time so every benchmark still
-// executes (bit-rot check) without the full measurement cost.
+// Instances come from the scenario registry (the same specs a SweepPlan
+// or the CLI would name) and solves dispatch through the engine registry
+// with validation disabled, so the timed region is the algorithm plus the
+// (constant) dispatch cost — the same path a production caller pays.
+// Under VDIST_BENCH_SMOKE the main() injects a tiny --benchmark_min_time
+// so every benchmark still executes (bit-rot check) without the full
+// measurement cost.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -16,30 +18,32 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "gen/random_instances.h"
 
 namespace {
 
 using namespace vdist;
 
 engine::SolveRequest request(const model::Instance& inst, const char* algo) {
-  engine::SolveRequest req = bench::request(inst, algo);
+  engine::SolveRequest req;
+  req.instance = &inst;
+  req.algorithm = algo;
   req.validate = false;  // keep the O(n) feasibility recheck out of the lap
   return req;
 }
 
-gen::RandomCapConfig cap_config(std::int64_t streams) {
-  gen::RandomCapConfig cfg;
-  cfg.num_streams = static_cast<std::size_t>(streams);
-  cfg.num_users = static_cast<std::size_t>(streams) / 4 + 2;
-  cfg.interest_per_stream = 4.0;
-  cfg.budget_fraction = 0.3;
-  cfg.seed = 12345;
-  return cfg;
+engine::ScenarioSpec cap_spec(std::int64_t streams) {
+  engine::ScenarioSpec spec;
+  spec.name = "cap";
+  spec.params.set("streams", static_cast<int>(streams))
+      .set("users", static_cast<int>(streams / 4 + 2))
+      .set("interest", 4)
+      .set("budget-fraction", 0.3);
+  spec.seed = 12345;
+  return spec;
 }
 
 void BM_GreedyUnitSkew(benchmark::State& state) {
-  const model::Instance inst = gen::random_cap_instance(cap_config(state.range(0)));
+  const model::Instance inst = engine::build_scenario(cap_spec(state.range(0)));
   const engine::SolveRequest req = request(inst, "greedy-plain");
   for (auto _ : state) {
     engine::SolveResult r = engine::solve(req);
@@ -53,7 +57,7 @@ BENCHMARK(BM_GreedyUnitSkew)
     ->Complexity(benchmark::oNSquared);
 
 void BM_FixedGreedy(benchmark::State& state) {
-  const model::Instance inst = gen::random_cap_instance(cap_config(state.range(0)));
+  const model::Instance inst = engine::build_scenario(cap_spec(state.range(0)));
   const engine::SolveRequest req = request(inst, "greedy");
   for (auto _ : state) {
     engine::SolveResult r = engine::solve(req);
@@ -67,12 +71,13 @@ BENCHMARK(BM_FixedGreedy)
     ->Complexity(benchmark::oNSquared);
 
 void BM_SkewBandsPipeline(benchmark::State& state) {
-  gen::RandomSmdConfig cfg;
-  cfg.num_streams = static_cast<std::size_t>(state.range(0));
-  cfg.num_users = cfg.num_streams / 4 + 2;
-  cfg.target_skew = 64.0;
-  cfg.seed = 54321;
-  const model::Instance inst = gen::random_smd_instance(cfg);
+  engine::ScenarioSpec spec;
+  spec.name = "smd";
+  spec.params.set("streams", static_cast<int>(state.range(0)))
+      .set("users", static_cast<int>(state.range(0) / 4 + 2))
+      .set("skew", 64);
+  spec.seed = 54321;
+  const model::Instance inst = engine::build_scenario(spec);
   const engine::SolveRequest req = request(inst, "pipeline");
   for (auto _ : state) {
     engine::SolveResult r = engine::solve(req);
@@ -86,13 +91,14 @@ BENCHMARK(BM_SkewBandsPipeline)
     ->Complexity(benchmark::oNSquared);
 
 void BM_AllocateOnline(benchmark::State& state) {
-  gen::RandomMmdConfig cfg;
-  cfg.num_streams = static_cast<std::size_t>(state.range(0));
-  cfg.num_users = cfg.num_streams / 4 + 2;
-  cfg.num_server_measures = 3;
-  cfg.num_user_measures = 2;
-  cfg.seed = 777;
-  const model::Instance inst = gen::random_mmd_instance(cfg);
+  engine::ScenarioSpec spec;
+  spec.name = "mmd";
+  spec.params.set("streams", static_cast<int>(state.range(0)))
+      .set("users", static_cast<int>(state.range(0) / 4 + 2))
+      .set("m", 3)
+      .set("mc", 2);
+  spec.seed = 777;
+  const model::Instance inst = engine::build_scenario(spec);
   const engine::SolveRequest req = request(inst, "online");
   for (auto _ : state) {
     engine::SolveResult r = engine::solve(req);
@@ -106,9 +112,9 @@ BENCHMARK(BM_AllocateOnline)
     ->Complexity(benchmark::oNLogN);
 
 void BM_ExactSolver(benchmark::State& state) {
-  gen::RandomCapConfig cfg = cap_config(state.range(0));
-  cfg.num_users = 5;
-  const model::Instance inst = gen::random_cap_instance(cfg);
+  engine::ScenarioSpec spec = cap_spec(state.range(0));
+  spec.params.set("users", 5);
+  const model::Instance inst = engine::build_scenario(spec);
   const engine::SolveRequest req = request(inst, "exact");
   for (auto _ : state) {
     engine::SolveResult r = engine::solve(req);

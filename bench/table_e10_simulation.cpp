@@ -3,11 +3,15 @@
 // informed of departures. The discrete-event simulator replays the same
 // trace against every policy and reports the utility-time integral,
 // acceptance, utilization and ground-truth constraint violations.
+//
+// The head-end workload comes from the scenario registry; the policies
+// are sim::Policy objects driven by the simulator, not engine solvers,
+// so this harness compares policy *processes*, not solver requests — the
+// one experiment shape the SweepPlan API intentionally does not cover.
 #include <iostream>
 #include <memory>
 
 #include "bench_common.h"
-#include "gen/iptv.h"
 #include "gen/trace.h"
 #include "model/skew.h"
 #include "sim/engine.h"
@@ -20,12 +24,16 @@ void run() {
   bench::print_header(
       "E10", "online admission over a day of session churn (sim)");
 
-  gen::IptvConfig icfg;
-  icfg.num_channels = bench::full_or_smoke<std::size_t>(120, 40);
-  icfg.num_users = bench::full_or_smoke<std::size_t>(250, 60);
-  icfg.bandwidth_fraction = 0.25;
-  icfg.seed = 11;
-  const gen::IptvWorkload w = gen::make_iptv_workload(icfg);
+  engine::ScenarioSpec spec;
+  spec.name = "iptv";
+  spec.params
+      .set("streams",
+           static_cast<int>(bench::full_or_smoke<std::size_t>(120, 40)))
+      .set("users",
+           static_cast<int>(bench::full_or_smoke<std::size_t>(250, 60)))
+      .set("bandwidth-fraction", 0.25);
+  spec.seed = 11;
+  const model::Instance instance = engine::build_scenario(spec);
 
   gen::TraceConfig tcfg;
   tcfg.arrival_rate = 2.0;
@@ -33,9 +41,9 @@ void run() {
   tcfg.horizon = bench::full_or_smoke(1000.0, 120.0);
   tcfg.popularity_bias = 1.0;
   tcfg.seed = 17;
-  const auto trace = gen::make_trace(w.instance, tcfg);
+  const auto trace = gen::make_trace(instance, tcfg);
 
-  const double mu = model::global_skew(w.instance).mu;
+  const double mu = model::global_skew(instance).mu;
 
   util::Table table({"policy", "utility-time", "vs best", "accept%",
                      "mean bw util%", "peak bw util%", "violations"});
@@ -46,29 +54,29 @@ void run() {
   std::vector<Entry> entries;
 
   {
-    sim::OnlineAllocatePolicy policy(w.instance, mu, true);
+    sim::OnlineAllocatePolicy policy(instance, mu, true);
     entries.push_back(
-        {"allocate (mu from gamma)", run_simulation(w.instance, trace, policy)});
+        {"allocate (mu from gamma)", run_simulation(instance, trace, policy)});
   }
   {
-    sim::OnlineAllocatePolicy policy(w.instance, 8.0, true);
+    sim::OnlineAllocatePolicy policy(instance, 8.0, true);
     entries.push_back(
-        {"allocate (mu=8)", run_simulation(w.instance, trace, policy)});
+        {"allocate (mu=8)", run_simulation(instance, trace, policy)});
   }
   {
-    sim::ThresholdPolicy policy(w.instance);
+    sim::ThresholdPolicy policy(instance);
     entries.push_back(
-        {"threshold (fill)", run_simulation(w.instance, trace, policy)});
+        {"threshold (fill)", run_simulation(instance, trace, policy)});
   }
   {
-    sim::ThresholdPolicy policy(w.instance, 0.85, 0.85);
+    sim::ThresholdPolicy policy(instance, 0.85, 0.85);
     entries.push_back(
-        {"threshold (85% margin)", run_simulation(w.instance, trace, policy)});
+        {"threshold (85% margin)", run_simulation(instance, trace, policy)});
   }
   {
-    sim::RandomPolicy policy(w.instance, 0.5, 31);
+    sim::RandomPolicy policy(instance, 0.5, 31);
     entries.push_back(
-        {"random p=0.5", run_simulation(w.instance, trace, policy)});
+        {"random p=0.5", run_simulation(instance, trace, policy)});
   }
 
   double best = 0.0;

@@ -3,6 +3,11 @@
 // constraints with an O(m) factor. Demonstrated on weighted coverage
 // (the classic submodular benchmark), with exhaustive optimum as ground
 // truth on small universes.
+//
+// This harness runs on coverage oracles, not model::Instance workloads,
+// so it sits outside the scenario/sweep API (which sweeps instances
+// through registered solvers) — the m x runs loop here is over a
+// different problem domain by design.
 #include <iostream>
 
 #include "bench_common.h"

@@ -7,14 +7,14 @@
 //       calls (Lemma 2.1 submodularity is what licenses laziness);
 //   (d) solving §3 bands with partial enumeration instead of the fixed
 //       greedy: quality uplift vs. cost.
-// End-to-end solves go through the engine registry; (b) and (c) reach
-// below it on purpose — they ablate internals no public algorithm exposes.
+// End-to-end solves are SweepPlans; (b) and (c) reach below the engine on
+// purpose — they ablate internals no public algorithm exposes, replaying
+// them on the sweep's retained instances and assignments.
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/submodular.h"
-#include "gen/random_instances.h"
 
 namespace {
 
@@ -41,41 +41,48 @@ void run() {
 
   // --- (a) + (b): the fix and the peel refinement -------------------------
   {
-    util::Table table({"config", "runs", "mean OPT/ALG", "max OPT/ALG"});
-    const int kRuns = bench::runs(20);
-    bench::RatioStats plain, paper_fix, refined_fix;
-    std::uint64_t seed = 9000;
-    for (int run = 0; run < kRuns; ++run) {
-      gen::RandomCapConfig cfg;
-      cfg.num_streams = 14;
-      cfg.num_users = 7;
-      cfg.budget_fraction = 0.3;
-      cfg.cap_fraction = 0.4;
-      cfg.seed = seed++;
-      const model::Instance inst = gen::random_cap_instance(cfg);
-      const double opt =
-          bench::expect_ok(engine::solve(bench::request(inst, "exact")))
-              .objective;
-      const engine::SolveResult g =
-          bench::expect_ok(engine::solve(bench::request(inst, "greedy-plain")));
-      const double amax =
-          bench::expect_ok(engine::solve(bench::request(inst, "amax")))
-              .objective;
+    engine::SweepPlan plan;
+    plan.scenarios = {{.name = "cap",
+                       .params = engine::SolveOptions()
+                                     .set("streams", 14)
+                                     .set("users", 7)
+                                     .set("budget-fraction", 0.3)
+                                     .set("cap-fraction", 0.4),
+                       .seed = 9000}};
+    plan.algorithms = {{.name = "exact"},
+                       {.name = "greedy-plain"},
+                       {.name = "amax"},
+                       {.name = "greedy"}};
+    plan.replicates = bench::runs(20);
+    engine::SweepOptions options;
+    options.keep_instances = true;    // the paper-fix replay needs both
+    options.keep_assignments = true;  // the instance and the semi solution
+    const engine::SweepResult result = engine::run_sweep(plan, options);
+    bench::die_on_error(result);
 
-      plain.add(opt, g.objective);
-      paper_fix.add(opt,
-                    std::max(unconditional_split_value(inst, g.solution()),
-                             amax));
-      const engine::SolveResult refined =
-          bench::expect_ok(engine::solve(bench::request(inst, "greedy")));
-      refined_fix.add(opt, refined.objective);
+    const engine::SweepCell& exact = result.cell(0, 0);
+    const engine::SweepCell& plain_cell = result.cell(0, 1);
+    const engine::SweepCell& amax = result.cell(0, 2);
+    const engine::SweepCell& refined_cell = result.cell(0, 3);
+
+    bench::RatioStats plain = bench::paired_ratio(exact, plain_cell);
+    bench::RatioStats refined = bench::paired_ratio(exact, refined_cell);
+    bench::RatioStats paper_fix;
+    for (std::size_t rep = 0; rep < exact.runs.size(); ++rep) {
+      const double split = unconditional_split_value(
+          result.instance(0, static_cast<int>(rep)),
+          *plain_cell.runs[rep].assignment);
+      paper_fix.add(exact.runs[rep].objective,
+                    std::max(split, amax.runs[rep].objective));
     }
-    table.row().add("greedy only (semi-feasible)").add(kRuns)
+
+    util::Table table({"config", "runs", "mean OPT/ALG", "max OPT/ALG"});
+    table.row().add("greedy only (semi-feasible)").add(exact.runs.size())
         .add(plain.mean(), 3).add(plain.worst(), 3);
-    table.row().add("paper fix (unconditional peel)").add(kRuns)
+    table.row().add("paper fix (unconditional peel)").add(exact.runs.size())
         .add(paper_fix.mean(), 3).add(paper_fix.worst(), 3);
-    table.row().add("refined fix (peel saturated only)").add(kRuns)
-        .add(refined_fix.mean(), 3).add(refined_fix.worst(), 3);
+    table.row().add("refined fix (peel saturated only)").add(exact.runs.size())
+        .add(refined.mean(), 3).add(refined.worst(), 3);
     table.print_aligned(std::cout, "E12a/b: the Section 2.2 fix");
   }
 
@@ -86,12 +93,13 @@ void run() {
     const auto sizes = bench::full_or_smoke<std::vector<std::size_t>>(
         {50, 100, 200, 400}, {50, 100});
     for (std::size_t streams : sizes) {
-      gen::RandomCapConfig cfg;
-      cfg.num_streams = streams;
-      cfg.num_users = streams / 4;
-      cfg.budget_fraction = 0.3;
-      cfg.seed = 4242;
-      const model::Instance inst = gen::random_cap_instance(cfg);
+      engine::ScenarioSpec spec;
+      spec.name = "cap";
+      spec.params.set("streams", static_cast<int>(streams))
+          .set("users", static_cast<int>(streams / 4))
+          .set("budget-fraction", 0.3);
+      spec.seed = 4242;
+      const model::Instance inst = engine::build_scenario(spec);
       std::vector<double> costs(inst.num_streams());
       for (std::size_t s = 0; s < costs.size(); ++s)
         costs[s] = inst.cost(static_cast<model::StreamId>(s), 0);
@@ -116,78 +124,86 @@ void run() {
 
   // --- (d): band solver choice ---------------------------------------------
   {
+    engine::SweepPlan plan;
+    plan.scenarios = {{.name = "smd",
+                       .params = engine::SolveOptions()
+                                     .set("streams", 12)
+                                     .set("users", 6),
+                       .seed = 9900}};
+    plan.scenario_axes = {
+        {"skew", bench::axis_values(
+                     bench::full_or_smoke<std::vector<double>>({4.0, 32.0},
+                                                               {4.0}))}};
+    plan.algorithms = {
+        {.name = "bands"},
+        {.name = "bands",
+         .options = engine::SolveOptions().set("enum-bands", 1).set("depth", 2),
+         .axes = {},
+         .label = "bands-enum"}};
+    plan.replicates = bench::runs(5);
+    const engine::SweepResult result = engine::run_sweep(plan);
+    bench::die_on_error(result);
+
     util::Table table({"skew", "runs", "greedy bands util", "enum bands util",
                        "uplift %", "ms greedy", "ms enum"});
-    const int kRuns = bench::runs(5);
-    const auto skews =
-        bench::full_or_smoke<std::vector<double>>({4.0, 32.0}, {4.0});
-    std::uint64_t seed = 9900;
-    for (double skew : skews) {
-      util::RunningStats util_greedy, util_enum, ms_greedy, ms_enum;
-      for (int run = 0; run < kRuns; ++run) {
-        gen::RandomSmdConfig cfg;
-        cfg.num_streams = 12;
-        cfg.num_users = 6;
-        cfg.target_skew = skew;
-        cfg.seed = seed++;
-        const model::Instance inst = gen::random_smd_instance(cfg);
-        const engine::SolveResult plain_bands =
-            bench::expect_ok(engine::solve(bench::request(inst, "bands")));
-        ms_greedy.add(plain_bands.wall_ms);
-        util_greedy.add(plain_bands.objective);
-        const engine::SolveResult enum_bands =
-            bench::expect_ok(engine::solve(bench::request(
-                inst, "bands",
-                engine::SolveOptions().set("enum-bands", 1).set("depth", 2))));
-        ms_enum.add(enum_bands.wall_ms);
-        util_enum.add(enum_bands.objective);
-      }
+    for (std::size_t sc = 0; sc < result.num_scenario_cells; ++sc) {
+      const engine::SweepCell& plain_bands = result.cell(sc, 0);
+      const engine::SweepCell& enum_bands = result.cell(sc, 1);
       table.row()
-          .add(skew, 0)
-          .add(kRuns)
-          .add(util_greedy.mean(), 1)
-          .add(util_enum.mean(), 1)
-          .add(100.0 * (util_enum.mean() / util_greedy.mean() - 1.0), 2)
-          .add(ms_greedy.mean(), 2)
-          .add(ms_enum.mean(), 2);
+          .add(plain_bands.scenario.params.get("skew", ""))
+          .add(plain_bands.runs.size())
+          .add(plain_bands.objective.mean(), 1)
+          .add(enum_bands.objective.mean(), 1)
+          .add(100.0 * (enum_bands.objective.mean() /
+                            plain_bands.objective.mean() -
+                        1.0),
+               2)
+          .add(plain_bands.wall_ms.mean(), 2)
+          .add(enum_bands.wall_ms.mean(), 2);
     }
     table.print_aligned(std::cout, "E12d: band solver choice");
   }
 
   // --- (e): the augmentation post-pass -------------------------------------
   {
-    util::Table table({"m x mc", "runs", "bare pipeline util",
-                       "augmented util", "uplift %"});
-    const int kRuns = bench::runs(8);
     const auto combos = bench::full_or_smoke<std::vector<std::pair<int, int>>>(
         {{2, 1}, {3, 2}, {4, 2}}, {{2, 1}});
-    std::uint64_t seed = 9990;
-    for (const auto& [m, mc] : combos) {
-      util::RunningStats bare_util, aug_util;
-      for (int run = 0; run < kRuns; ++run) {
-        gen::RandomMmdConfig cfg;
-        cfg.num_streams = 30;
-        cfg.num_users = 12;
-        cfg.num_server_measures = m;
-        cfg.num_user_measures = mc;
-        cfg.budget_fraction = 0.35;
-        cfg.seed = seed++;
-        const model::Instance inst = gen::random_mmd_instance(cfg);
-        bare_util.add(bench::expect_ok(engine::solve(bench::request(
-                                           inst, "pipeline",
-                                           engine::SolveOptions().set(
-                                               "augment", "0"))))
-                          .objective);
-        aug_util.add(
-            bench::expect_ok(engine::solve(bench::request(inst, "pipeline")))
-                .objective);
-      }
+    engine::SweepPlan plan;
+    // (m, mc) moves as a *pair*, so the grid is a list of bases rather
+    // than a two-axis cross-product.
+    for (const auto& [m, mc] : combos)
+      plan.scenarios.push_back(
+          {.name = "mmd",
+           .params = engine::SolveOptions()
+                         .set("streams", 30)
+                         .set("users", 12)
+                         .set("m", m)
+                         .set("mc", mc)
+                         .set("budget-fraction", 0.35),
+           .seed = 9990,
+           .label = std::to_string(m) + "x" + std::to_string(mc)});
+    plan.algorithms = {
+        {.name = "pipeline",
+         .options = engine::SolveOptions().set("augment", "0"),
+         .axes = {},
+         .label = "bare"},
+        {.name = "pipeline", .options = {}, .axes = {}, .label = "augmented"}};
+    plan.replicates = bench::runs(8);
+    const engine::SweepResult result = engine::run_sweep(plan);
+    bench::die_on_error(result);
+
+    util::Table table({"m x mc", "runs", "bare pipeline util",
+                       "augmented util", "uplift %"});
+    for (std::size_t sc = 0; sc < result.num_scenario_cells; ++sc) {
+      const engine::SweepCell& bare = result.cell(sc, 0);
+      const engine::SweepCell& aug = result.cell(sc, 1);
       table.row()
-          .add(std::to_string(m) + "x" + std::to_string(mc))
-          .add(kRuns)
-          .add(bare_util.mean(), 1)
-          .add(aug_util.mean(), 1)
-          .add(100.0 * (aug_util.mean() / bare_util.mean() - 1.0), 1);
+          .add(bare.scenario_label)
+          .add(bare.runs.size())
+          .add(bare.objective.mean(), 1)
+          .add(aug.objective.mean(), 1)
+          .add(100.0 * (aug.objective.mean() / bare.objective.mean() - 1.0),
+               1);
     }
     table.print_aligned(std::cout, "E12e: augmentation post-pass");
   }

@@ -4,6 +4,13 @@
 // offered as SD/HD/UHD encodings; the head-end may carry at most one.
 // Reports constrained vs. unconstrained utility (an upper bound) and how
 // the selection splits across quality classes.
+//
+// This harness keeps gen::make_iptv_workload rather than the scenario
+// registry: the group constraint needs the workload's side data (channel
+// classes, variant groups), which the registry's Instance-only contract
+// does not carry, and core::solve_with_groups is likewise outside the
+// solver registry for the same reason. The loops below are over workload
+// configs, not a scenario x algorithm x seed sweep.
 #include <iostream>
 #include <vector>
 
@@ -42,8 +49,14 @@ void run() {
       // API while the unconstrained reference goes through the registry.
       const core::GroupSelectResult constrained =
           core::solve_with_groups(w.instance, w.variant_group);
-      const engine::SolveResult unconstrained = bench::expect_ok(
-          engine::solve(bench::request(w.instance, "pipeline")));
+      engine::SolveRequest req;
+      req.instance = &w.instance;
+      req.algorithm = "pipeline";
+      const engine::SolveResult unconstrained = engine::solve(req);
+      if (!unconstrained.ok) {
+        std::cerr << "bench: pipeline failed: " << unconstrained.error << "\n";
+        std::exit(1);
+      }
 
       int sd = 0, hd = 0, uhd = 0;
       for (model::StreamId s : constrained.assignment.range()) {

@@ -3,14 +3,14 @@
 // is far smaller. Sweeps instance sizes and budget/cap tightness, and
 // reports the plain greedy alongside to show the value of the fix.
 //
-// Per configuration the (exact, greedy-plain, greedy) solves for all runs
-// go through one engine::BatchRunner, which fans them out across a thread
-// pool with deterministic seeding.
+// The whole experiment is one declarative SweepPlan: scenario axes over
+// |S|, |U| and the budget fraction, three algorithm cells and the seed
+// replicates; engine::run_sweep fans the cross-product out across a
+// thread pool with deterministic seeding.
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
-#include "gen/random_instances.h"
 
 namespace {
 
@@ -22,62 +22,44 @@ void run() {
       "fixed greedy >= OPT*(e-1)/3e on unit-skew SMD (Thm 2.8); feasible");
   const double bound = 3.0 * bench::kE / (bench::kE - 1.0);
 
+  engine::SweepPlan plan;
+  plan.scenarios = {{.name = "cap",
+                     .params = engine::SolveOptions().set("cap-fraction", 0.5),
+                     .seed = 1}};
+  plan.scenario_axes = {
+      {"streams", bench::axis_values(bench::full_or_smoke<
+                      std::vector<std::size_t>>({8, 12, 16}, {8}))},
+      {"users", bench::axis_values(
+                    bench::full_or_smoke<std::vector<std::size_t>>({4, 10},
+                                                                   {4}))},
+      {"budget-fraction", {"0.25", "0.5"}}};
+  plan.algorithms = {{.name = "exact"},
+                     {.name = "greedy-plain"},
+                     {.name = "greedy"}};
+  plan.replicates = bench::runs(12);
+  const engine::SweepResult result = engine::run_sweep(plan);
+  bench::die_on_error(result);
+
   util::Table table({"|S|", "|U|", "B-frac", "W-frac", "runs",
                      "ratio(greedy)", "ratio(fixed) mean", "ratio(fixed) max",
                      "bound", "feasible"});
-  const int kRuns = bench::runs(12);
-  const auto stream_sizes =
-      bench::full_or_smoke<std::vector<std::size_t>>({8, 12, 16}, {8});
-  const auto user_sizes =
-      bench::full_or_smoke<std::vector<std::size_t>>({4, 10}, {4});
-  std::uint64_t seed = 1;
-  for (std::size_t streams : stream_sizes) {
-    for (std::size_t users : user_sizes) {
-      for (double bf : {0.25, 0.5}) {
-        const double cf = 0.5;
-        // Generate the run instances, then batch every solve of the cell.
-        std::vector<model::Instance> instances;
-        instances.reserve(static_cast<std::size_t>(kRuns));
-        for (int run = 0; run < kRuns; ++run) {
-          gen::RandomCapConfig cfg;
-          cfg.num_streams = streams;
-          cfg.num_users = users;
-          cfg.budget_fraction = bf;
-          cfg.cap_fraction = cf;
-          cfg.seed = seed++;
-          instances.push_back(gen::random_cap_instance(cfg));
-        }
-        std::vector<engine::SolveRequest> requests;
-        for (const model::Instance& inst : instances)
-          for (const char* algo : {"exact", "greedy-plain", "greedy"})
-            requests.push_back(bench::request(inst, algo));
-        const std::vector<engine::SolveResult> results =
-            engine::solve_batch(requests);
-
-        bench::RatioStats plain;
-        bench::RatioStats fixed;
-        bool all_feasible = true;
-        for (std::size_t i = 0; i < results.size(); i += 3) {
-          const double opt = bench::expect_ok(results[i]).objective;
-          const engine::SolveResult& g = bench::expect_ok(results[i + 1]);
-          const engine::SolveResult& f = bench::expect_ok(results[i + 2]);
-          plain.add(opt, g.objective);
-          fixed.add(opt, f.objective);
-          all_feasible &= f.feasible();
-        }
-        table.row()
-            .add(streams)
-            .add(users)
-            .add(bf, 2)
-            .add(cf, 2)
-            .add(kRuns)
-            .add(plain.mean(), 3)
-            .add(fixed.mean(), 3)
-            .add(fixed.worst(), 3)
-            .add(bound, 3)
-            .add(all_feasible ? "yes" : "NO");
-      }
-    }
+  for (std::size_t sc = 0; sc < result.num_scenario_cells; ++sc) {
+    const engine::SweepCell& exact = result.cell(sc, 0);
+    const engine::SweepCell& plain = result.cell(sc, 1);
+    const engine::SweepCell& fixed = result.cell(sc, 2);
+    const bench::RatioStats plain_ratio = bench::paired_ratio(exact, plain);
+    const bench::RatioStats fixed_ratio = bench::paired_ratio(exact, fixed);
+    table.row()
+        .add(exact.scenario.params.get("streams", ""))
+        .add(exact.scenario.params.get("users", ""))
+        .add(exact.scenario.params.get("budget-fraction", ""))
+        .add(exact.scenario.params.get("cap-fraction", ""))
+        .add(static_cast<std::size_t>(plan.replicates))
+        .add(plain_ratio.mean(), 3)
+        .add(fixed_ratio.mean(), 3)
+        .add(fixed_ratio.worst(), 3)
+        .add(bound, 3)
+        .add(fixed.feasible_count == fixed.runs.size() ? "yes" : "NO");
   }
   table.print_aligned(std::cout, "E1: empirical OPT/ALG, unit-skew SMD");
   bench::print_footer(

@@ -3,33 +3,19 @@
 // *reduced* budget B - cmax (Thm 2.5), and max(greedy, Amax) achieves
 // (e-1)/2e of the true optimum while over-running each user cap by at
 // most one stream (Cor 2.7).
+//
+// The reduced-budget workload is the `cap` scenario's budget-minus-cmax
+// param (a scenario registration, not bench code), so the plan carries
+// two bases — the plain instance and its Theorem 2.5 reduction — paired
+// by replicate seed.
 #include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
-#include "gen/random_instances.h"
-#include "model/factory.h"
 
 namespace {
 
 using namespace vdist;
-
-model::Instance with_budget(const model::Instance& inst, double budget) {
-  std::vector<double> costs(inst.num_streams());
-  std::vector<double> caps(inst.num_users());
-  std::vector<model::CapEdge> edges;
-  for (std::size_t s = 0; s < inst.num_streams(); ++s) {
-    const auto sid = static_cast<model::StreamId>(s);
-    costs[s] = inst.cost(sid, 0);
-    const auto users = inst.users_of(sid);
-    const auto utils = inst.utilities_of(sid);
-    for (std::size_t t = 0; t < users.size(); ++t)
-      edges.push_back({users[t], sid, utils[t]});
-  }
-  for (std::size_t u = 0; u < inst.num_users(); ++u)
-    caps[u] = inst.capacity(static_cast<model::UserId>(u), 0);
-  return model::build_cap_instance(costs, budget, caps, edges);
-}
 
 void run() {
   bench::print_header("E2",
@@ -38,59 +24,76 @@ void run() {
   const double thm25 = 1.0 - 1.0 / bench::kE;          // 0.632
   const double cor27 = (bench::kE - 1.0) / (2 * bench::kE);  // 0.316
 
+  engine::SweepPlan plan;
+  plan.scenarios = {
+      {.name = "cap",
+       .params = engine::SolveOptions().set("users", 6),
+       .seed = 2000,
+       .label = "cap"},
+      {.name = "cap",
+       .params = engine::SolveOptions().set("users", 6).set(
+           "budget-minus-cmax", 1),
+       .seed = 2000,
+       .label = "cap-reduced"}};
+  plan.scenario_axes = {
+      {"streams", bench::axis_values(bench::full_or_smoke<
+                      std::vector<std::size_t>>({10, 14}, {10}))},
+      {"budget-fraction",
+       bench::axis_values(
+           bench::full_or_smoke<std::vector<double>>({0.35, 0.6}, {0.35}))}};
+  plan.algorithms = {{.name = "exact"},
+                     {.name = "greedy-plain"},
+                     {.name = "greedy-augmented"}};
+  plan.replicates = bench::runs(12);
+  engine::SweepOptions options;
+  options.keep_instances = true;  // the Thm 2.5 guard reads B and cmax
+  const engine::SweepResult result = engine::run_sweep(plan, options);
+  bench::die_on_error(result);
+
   util::Table table({"|S|", "B-frac", "runs", "min greedy/OPT-", "bound",
                      "min aug/OPT", "bound(aug)", "semi-feasible"});
-  std::uint64_t seed = 2000;
-  const int kRuns = bench::runs(12);
-  const auto stream_sizes =
-      bench::full_or_smoke<std::vector<std::size_t>>({10, 14}, {10});
-  const auto budget_fractions =
-      bench::full_or_smoke<std::vector<double>>({0.35, 0.6}, {0.35});
-  for (std::size_t streams : stream_sizes) {
-    for (double bf : budget_fractions) {
-      double worst25 = 1e9;
-      double worst27 = 1e9;
-      bool all_semi = true;
-      for (int run = 0; run < kRuns; ++run) {
-        gen::RandomCapConfig cfg;
-        cfg.num_streams = streams;
-        cfg.num_users = 6;
-        cfg.budget_fraction = bf;
-        cfg.seed = seed++;
-        const model::Instance inst = gen::random_cap_instance(cfg);
-        double cmax = 0.0;
-        for (std::size_t s = 0; s < inst.num_streams(); ++s)
-          cmax = std::max(cmax, inst.cost(static_cast<model::StreamId>(s), 0));
-        const engine::SolveResult g =
-            bench::expect_ok(engine::solve(bench::request(inst, "greedy-plain")));
-        // Theorem 2.5: compare with OPT at budget B - cmax.
-        if (inst.budget(0) - cmax > cmax) {
-          const model::Instance reduced =
-              with_budget(inst, inst.budget(0) - cmax);
-          const double opt_minus =
-              bench::expect_ok(engine::solve(bench::request(reduced, "exact")))
-                  .objective;
-          if (opt_minus > 0) worst25 = std::min(worst25, g.objective / opt_minus);
-        }
-        // Corollary 2.7: the augmented candidate vs. the true OPT.
-        const double opt =
-            bench::expect_ok(engine::solve(bench::request(inst, "exact")))
-                .objective;
-        const engine::SolveResult aug = bench::expect_ok(
-            engine::solve(bench::request(inst, "greedy-augmented")));
-        if (opt > 0) worst27 = std::min(worst27, aug.objective / opt);
-        all_semi &= aug.feasibility != model::Feasibility::kInfeasible;
+  // Scenario cells are base-major: plain cells first, their reduced
+  // counterparts S/2 later (same axes, same seeds).
+  const std::size_t half = result.num_scenario_cells / 2;
+  for (std::size_t sc = 0; sc < half; ++sc) {
+    const engine::SweepCell& exact = result.cell(sc, 0);
+    const engine::SweepCell& plain = result.cell(sc, 1);
+    const engine::SweepCell& aug = result.cell(sc, 2);
+    const engine::SweepCell& exact_reduced = result.cell(sc + half, 0);
+
+    double worst25 = 1e9;
+    double worst27 = 1e9;
+    bool all_semi = true;
+    for (std::size_t rep = 0; rep < exact.runs.size(); ++rep) {
+      // Theorem 2.5: compare with OPT at budget B - cmax, where the
+      // comparison is meaningful (reduced budget still above cmax).
+      const model::Instance& inst = result.instance(sc, static_cast<int>(rep));
+      double cmax = 0.0;
+      for (std::size_t s = 0; s < inst.num_streams(); ++s)
+        cmax = std::max(cmax, inst.cost(static_cast<model::StreamId>(s), 0));
+      if (inst.budget(0) - cmax > cmax) {
+        const double opt_minus = exact_reduced.runs[rep].objective;
+        if (opt_minus > 0)
+          worst25 =
+              std::min(worst25, plain.runs[rep].objective / opt_minus);
       }
-      table.row()
-          .add(streams)
-          .add(bf, 2)
-          .add(kRuns)
-          .add(worst25, 3)
-          .add(thm25, 3)
-          .add(worst27, 3)
-          .add(cor27, 3)
-          .add(all_semi ? "yes" : "NO");
+      // Corollary 2.7: the augmented candidate vs. the true OPT.
+      const double opt = exact.runs[rep].objective;
+      if (opt > 0)
+        worst27 = std::min(worst27, aug.runs[rep].objective / opt);
+      all_semi &=
+          aug.runs[rep].feasibility != model::Feasibility::kInfeasible;
     }
+
+    table.row()
+        .add(exact.scenario.params.get("streams", ""))
+        .add(exact.scenario.params.get("budget-fraction", ""))
+        .add(exact.runs.size())
+        .add(worst25, 3)
+        .add(thm25, 3)
+        .add(worst27, 3)
+        .add(cor27, 3)
+        .add(all_semi ? "yes" : "NO");
   }
   table.print_aligned(std::cout, "E2: resource augmentation guarantees");
   bench::print_footer(

@@ -1,13 +1,12 @@
 // E3 — Theorems 2.9/2.10: Sviridenko partial enumeration. Sweeps the
 // enumeration depth (0 = plain fixed greedy ... 3 = the proven e/(e-1)
-// configuration) and reports quality vs. the exact optimum and running
-// time — the polynomial-but-steep trade-off the paper accepts for the
-// better constant.
+// configuration) as an algorithm-option axis and reports quality vs. the
+// exact optimum and running time — the polynomial-but-steep trade-off
+// the paper accepts for the better constant.
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
-#include "gen/random_instances.h"
 
 namespace {
 
@@ -17,41 +16,38 @@ void run() {
   bench::print_header("E3",
                       "partial enumeration reaches 2e/(e-1) feasible "
                       "(Thm 2.10); deeper seeds = better quality, more time");
-  util::Table table({"seed-depth", "runs", "mean OPT/ALG", "max OPT/ALG",
-                     "mean candidates", "mean ms"});
-  const int kRuns = bench::runs(8);
+
   const auto depths = bench::full_or_smoke<std::vector<int>>({0, 1, 2, 3},
                                                              {0, 2, 3});
-  for (int depth : depths) {
-    bench::RatioStats ratio;
-    util::RunningStats candidates;
-    util::RunningStats ms;
-    std::uint64_t seed = 3000;
-    for (int run = 0; run < kRuns; ++run) {
-      gen::RandomCapConfig cfg;
-      cfg.num_streams = 11;
-      cfg.num_users = 6;
-      cfg.budget_fraction = 0.4;
-      cfg.cap_fraction = 0.5;
-      cfg.seed = seed++;
-      const model::Instance inst = gen::random_cap_instance(cfg);
-      const double opt =
-          bench::expect_ok(engine::solve(bench::request(inst, "exact")))
-              .objective;
-      const engine::SolveResult r = bench::expect_ok(engine::solve(
-          bench::request(inst, "enum",
-                         engine::SolveOptions().set("depth", depth))));
-      ms.add(r.wall_ms);
-      ratio.add(opt, r.objective);
-      candidates.add(r.stat("candidates"));
-    }
+  engine::SweepPlan plan;
+  plan.scenarios = {{.name = "cap",
+                     .params = engine::SolveOptions()
+                                   .set("streams", 11)
+                                   .set("users", 6)
+                                   .set("budget-fraction", 0.4)
+                                   .set("cap-fraction", 0.5),
+                     .seed = 3000}};
+  engine::AlgorithmSpec enumerated;
+  enumerated.name = "enum";
+  enumerated.axes = {{"depth", bench::axis_values(depths)}};
+  plan.algorithms = {{.name = "exact"}, enumerated};
+  plan.replicates = bench::runs(8);
+  const engine::SweepResult result = engine::run_sweep(plan);
+  bench::die_on_error(result);
+
+  util::Table table({"seed-depth", "runs", "mean OPT/ALG", "max OPT/ALG",
+                     "mean candidates", "mean ms"});
+  const engine::SweepCell& exact = result.cell(0, 0);
+  for (std::size_t d = 0; d < depths.size(); ++d) {
+    const engine::SweepCell& cell = result.cell(0, 1 + d);
+    const bench::RatioStats ratio = bench::paired_ratio(exact, cell);
     table.row()
-        .add(depth)
-        .add(kRuns)
+        .add(depths[d])
+        .add(cell.runs.size())
         .add(ratio.mean(), 4)
         .add(ratio.worst(), 4)
-        .add(candidates.mean(), 0)
-        .add(ms.mean(), 2);
+        .add(cell.mean_stat("candidates"), 0)
+        .add(cell.wall_ms.mean(), 2);
   }
   table.print_aligned(std::cout, "E3: enumeration depth vs quality/time");
   bench::print_footer(

@@ -1,14 +1,14 @@
 // E4 — Theorem 3.1: classify-and-select handles arbitrary local skew with
-// an O(log 2*alpha) factor. Sweeps the target skew over powers of two and
-// reports the measured OPT/ALG ratio, the band count t = 1 + floor(log2 a),
-// and the theorem's concrete factor 2t * 3e/(e-1) — the measured ratio
-// must stay below it and should grow (at most) logarithmically.
+// an O(log 2*alpha) factor. Sweeps the target skew (a scenario axis) over
+// powers of two and reports the measured OPT/ALG ratio, the band count
+// t = 1 + floor(log2 a), and the theorem's concrete factor 2t * 3e/(e-1)
+// — the measured ratio must stay below it and should grow (at most)
+// logarithmically.
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
-#include "gen/random_instances.h"
 
 namespace {
 
@@ -17,48 +17,47 @@ using namespace vdist;
 void run() {
   bench::print_header(
       "E4", "SMD with skew alpha: ratio O(log 2*alpha) via bands (Thm 3.1)");
+
+  const auto targets = bench::full_or_smoke<std::vector<double>>(
+      {1.0, 2.0, 4.0, 16.0, 64.0, 256.0, 1024.0}, {1.0, 16.0, 256.0});
+  engine::SweepPlan plan;
+  plan.scenarios = {{.name = "smd",
+                     .params = engine::SolveOptions()
+                                   .set("streams", 12)
+                                   .set("users", 6)
+                                   .set("budget-fraction", 0.35)
+                                   .set("capacity-fraction", 0.45),
+                     .seed = 4000}};
+  plan.scenario_axes = {{"skew", bench::axis_values(targets)}};
+  plan.algorithms = {{.name = "bands"}, {.name = "exact"}};
+  plan.replicates = bench::runs(8);
+  const engine::SweepResult result = engine::run_sweep(plan);
+  bench::die_on_error(result);
+
   util::Table table({"target a", "measured a", "bands t", "runs",
                      "mean OPT/ALG", "max OPT/ALG", "bound 2t*3e/(e-1)"});
   std::vector<double> alphas;
   std::vector<double> ratios;
-  const int kRuns = bench::runs(8);
-  const auto targets = bench::full_or_smoke<std::vector<double>>(
-      {1.0, 2.0, 4.0, 16.0, 64.0, 256.0, 1024.0}, {1.0, 16.0, 256.0});
-  std::uint64_t seed = 4000;
-  for (double target : targets) {
-    bench::RatioStats ratio;
-    util::RunningStats alpha_stats;
+  for (std::size_t sc = 0; sc < result.num_scenario_cells; ++sc) {
+    const engine::SweepCell& alg = result.cell(sc, 0);
+    const engine::SweepCell& exact = result.cell(sc, 1);
+    const bench::RatioStats ratio = bench::paired_ratio(exact, alg);
+    const double mean_alpha = alg.mean_stat("alpha");
     int bands = 0;
-    for (int run = 0; run < kRuns; ++run) {
-      gen::RandomSmdConfig cfg;
-      cfg.num_streams = 12;
-      cfg.num_users = 6;
-      cfg.target_skew = target;
-      cfg.budget_fraction = 0.35;
-      cfg.capacity_fraction = 0.45;
-      cfg.seed = seed++;
-      const model::Instance inst = gen::random_smd_instance(cfg);
-      const engine::SolveResult alg =
-          bench::expect_ok(engine::solve(bench::request(inst, "bands")));
-      const double opt =
-          bench::expect_ok(engine::solve(bench::request(inst, "exact")))
-              .objective;
-      ratio.add(opt, alg.objective);
-      alpha_stats.add(alg.stat("alpha"));
-      bands = std::max(bands, static_cast<int>(alg.stat("num_bands")));
-    }
-    const double t = std::max(1.0, 1.0 + std::floor(std::log2(
-                                            std::max(alpha_stats.mean(), 1.0))));
+    for (const engine::RunRecord& run : alg.runs)
+      bands = std::max(bands, static_cast<int>(run.stat("num_bands")));
+    const double t = std::max(
+        1.0, 1.0 + std::floor(std::log2(std::max(mean_alpha, 1.0))));
     const double bound = 2.0 * t * 3.0 * bench::kE / (bench::kE - 1.0);
     table.row()
-        .add(target, 0)
-        .add(alpha_stats.mean(), 2)
+        .add(targets[sc], 0)
+        .add(mean_alpha, 2)
         .add(bands)
-        .add(kRuns)
+        .add(alg.runs.size())
         .add(ratio.mean(), 3)
         .add(ratio.worst(), 3)
         .add(bound, 1);
-    alphas.push_back(std::max(alpha_stats.mean(), 1.0));
+    alphas.push_back(std::max(mean_alpha, 1.0));
     ratios.push_back(ratio.mean());
   }
   table.print_aligned(std::cout, "E4: ratio vs local skew");

@@ -1,13 +1,13 @@
 // E5 — Theorem 4.4: the full pipeline is an O(m*mc*log(2*alpha*mc))
-// approximation. Sweeps m x mc on random MMD instances and reports the
-// measured ratio next to the concrete theorem factor — who wins and how
-// the loss scales with m*mc is the shape being regenerated.
+// approximation. Sweeps m x mc (two scenario axes) on random MMD
+// instances and reports the measured ratio next to the concrete theorem
+// factor — who wins and how the loss scales with m*mc is the shape being
+// regenerated.
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
-#include "gen/random_instances.h"
 
 namespace {
 
@@ -16,58 +16,49 @@ using namespace vdist;
 void run() {
   bench::print_header(
       "E5", "MMD ratio scales with m*mc (Thm 4.4), measured vs bound");
+
+  engine::SweepPlan plan;
+  plan.scenarios = {{.name = "mmd",
+                     .params = engine::SolveOptions()
+                                   .set("streams", 10)
+                                   .set("users", 5)
+                                   .set("budget-fraction", 0.4)
+                                   .set("capacity-fraction", 0.5),
+                     .seed = 5000}};
+  plan.scenario_axes = {
+      {"m", bench::axis_values(
+                bench::full_or_smoke<std::vector<int>>({1, 2, 4, 8}, {1, 2}))},
+      {"mc", bench::axis_values(
+                 bench::full_or_smoke<std::vector<int>>({1, 2, 4}, {1, 2}))}};
+  plan.algorithms = {{.name = "pipeline"}, {.name = "exact"}};
+  plan.replicates = bench::runs(6);
+  const engine::SweepResult result = engine::run_sweep(plan);
+  bench::die_on_error(result);
+
   util::Table table({"m", "mc", "m*mc", "runs", "mean OPT/ALG", "max OPT/ALG",
                      "bound (2m-1)(2mc-1)*2t*3e/(e-1)", "feasible"});
-  const int kRuns = bench::runs(6);
-  const auto ms = bench::full_or_smoke<std::vector<int>>({1, 2, 4, 8}, {1, 2});
-  const auto mcs = bench::full_or_smoke<std::vector<int>>({1, 2, 4}, {1, 2});
-  std::uint64_t seed = 5000;
-  for (int m : ms) {
-    for (int mc : mcs) {
-      // All of the cell's instances first, then one batch over the
-      // (pipeline, exact) pairs.
-      std::vector<model::Instance> instances;
-      for (int run = 0; run < kRuns; ++run) {
-        gen::RandomMmdConfig cfg;
-        cfg.num_streams = 10;
-        cfg.num_users = 5;
-        cfg.num_server_measures = m;
-        cfg.num_user_measures = mc;
-        cfg.budget_fraction = 0.4;
-        cfg.capacity_fraction = 0.5;
-        cfg.seed = seed++;
-        instances.push_back(gen::random_mmd_instance(cfg));
-      }
-      std::vector<engine::SolveRequest> requests;
-      for (const model::Instance& inst : instances) {
-        requests.push_back(bench::request(inst, "pipeline"));
-        requests.push_back(bench::request(inst, "exact"));
-      }
-      const std::vector<engine::SolveResult> results =
-          engine::solve_batch(requests);
-
-      bench::RatioStats ratio;
-      int bands = 1;
-      bool all_feasible = true;
-      for (std::size_t i = 0; i < results.size(); i += 2) {
-        const engine::SolveResult& alg = bench::expect_ok(results[i]);
-        const engine::SolveResult& opt = bench::expect_ok(results[i + 1]);
-        ratio.add(opt.objective, alg.objective);
-        bands = std::max(bands, static_cast<int>(alg.stat("num_bands")));
-        all_feasible &= alg.feasible();
-      }
-      const double bound = (2.0 * m - 1) * (2.0 * mc - 1) * 2.0 * bands *
-                           3.0 * bench::kE / (bench::kE - 1.0);
-      table.row()
-          .add(m)
-          .add(mc)
-          .add(m * mc)
-          .add(kRuns)
-          .add(ratio.mean(), 3)
-          .add(ratio.worst(), 3)
-          .add(bound, 1)
-          .add(all_feasible ? "yes" : "NO");
-    }
+  for (std::size_t sc = 0; sc < result.num_scenario_cells; ++sc) {
+    const engine::SweepCell& alg = result.cell(sc, 0);
+    const engine::SweepCell& exact = result.cell(sc, 1);
+    const bench::RatioStats ratio = bench::paired_ratio(exact, alg);
+    const int m = static_cast<int>(
+        alg.scenario.params.get_int("m", 1));
+    const int mc = static_cast<int>(
+        alg.scenario.params.get_int("mc", 1));
+    int bands = 1;
+    for (const engine::RunRecord& run : alg.runs)
+      bands = std::max(bands, static_cast<int>(run.stat("num_bands")));
+    const double bound = (2.0 * m - 1) * (2.0 * mc - 1) * 2.0 * bands * 3.0 *
+                         bench::kE / (bench::kE - 1.0);
+    table.row()
+        .add(m)
+        .add(mc)
+        .add(m * mc)
+        .add(alg.runs.size())
+        .add(ratio.mean(), 3)
+        .add(ratio.worst(), 3)
+        .add(bound, 1)
+        .add(alg.feasible_count == alg.runs.size() ? "yes" : "NO");
   }
   table.print_aligned(std::cout, "E5: ratio vs (m, mc)");
   bench::print_footer(

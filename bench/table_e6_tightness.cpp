@@ -9,6 +9,11 @@
 //     picks groups by utility and dodges part of the loss (still Theta(m):
 //     one unit-utility stream survives);
 //   * full pipeline — solve_mmd end to end.
+//
+// The m x mc grid and the pipeline solves are a SweepPlan over the
+// `tightness` scenario (keep_instances hands the deterministic instances
+// back); the first two columns reach below the engine on purpose — they
+// replay decomposition internals no public algorithm exposes.
 #include <iostream>
 #include <vector>
 
@@ -56,45 +61,56 @@ double adversarial_decomposition(const model::Instance& mmd, int m) {
 void run() {
   bench::print_header(
       "E6", "Section 4.2 instance: decomposition can lose Theta(m*mc)");
+
+  engine::SweepPlan plan;
+  plan.scenarios = {{.name = "tightness"}};
+  plan.scenario_axes = {
+      {"m", bench::axis_values(bench::full_or_smoke<std::vector<int>>(
+               {2, 3, 4, 6, 8}, {2, 3}))},
+      {"mc", bench::axis_values(
+                 bench::full_or_smoke<std::vector<int>>({2, 4, 8}, {2}))}};
+  plan.algorithms = {{.name = "pipeline"}};
+  plan.replicates = 1;  // the instance is deterministic
+  engine::SweepOptions options;
+  options.keep_instances = true;
+  const engine::SweepResult result = engine::run_sweep(plan, options);
+  bench::die_on_error(result);
+
   util::Table table({"m", "mc", "OPT", "adversarial util", "adv loss",
                      "best-group util", "best loss", "pipeline util",
                      "m*mc"});
-  const auto ms =
-      bench::full_or_smoke<std::vector<int>>({2, 3, 4, 6, 8}, {2, 3});
-  const auto mcs = bench::full_or_smoke<std::vector<int>>({2, 4, 8}, {2});
-  for (int m : ms) {
-    for (int mc : mcs) {
-      const gen::TightnessConfig cfg{m, mc, -1.0, -1.0};
-      const model::Instance inst = gen::tightness_instance(cfg);
-      const double opt = gen::tightness_opt(cfg);
+  for (std::size_t sc = 0; sc < result.num_scenario_cells; ++sc) {
+    const engine::SweepCell& pipeline = result.cell(sc, 0);
+    const int m =
+        static_cast<int>(pipeline.scenario.params.get_int("m", 0));
+    const int mc =
+        static_cast<int>(pipeline.scenario.params.get_int("mc", 0));
+    const model::Instance& inst = result.instance(sc, 0);
+    const double opt = gen::tightness_opt({m, mc, -1.0, -1.0});
 
-      const double adv = adversarial_decomposition(inst, m);
+    const double adv = adversarial_decomposition(inst, m);
 
-      // Production transform on the optimal SMD solution.
-      const model::Instance smd = core::reduce_to_smd(inst);
-      model::Assignment optimal_smd(smd);
-      for (std::size_t s = 0; s < smd.num_streams(); ++s)
-        optimal_smd.assign(0, static_cast<model::StreamId>(s));
-      core::OutputTransformReport report;
-      const model::Assignment best_group =
-          core::transform_output(inst, optimal_smd, &report);
-      const bool feasible = model::validate(best_group).feasible();
+    // Production transform on the optimal SMD solution.
+    const model::Instance smd = core::reduce_to_smd(inst);
+    model::Assignment optimal_smd(smd);
+    for (std::size_t s = 0; s < smd.num_streams(); ++s)
+      optimal_smd.assign(0, static_cast<model::StreamId>(s));
+    core::OutputTransformReport report;
+    const model::Assignment best_group =
+        core::transform_output(inst, optimal_smd, &report);
+    const bool feasible = model::validate(best_group).feasible();
 
-      const engine::SolveResult pipeline =
-          bench::expect_ok(engine::solve(bench::request(inst, "pipeline")));
-
-      table.row()
-          .add(m)
-          .add(mc)
-          .add(opt, 2)
-          .add(adv, 3)
-          .add(opt / std::max(adv, 1e-9), 2)
-          .add(report.final_utility, 3)
-          .add(opt / std::max(report.final_utility, 1e-9), 2)
-          .add(pipeline.objective, 3)
-          .add(m * mc);
-      if (!feasible) std::cout << "WARNING: infeasible decomposition!\n";
-    }
+    table.row()
+        .add(m)
+        .add(mc)
+        .add(opt, 2)
+        .add(adv, 3)
+        .add(opt / std::max(adv, 1e-9), 2)
+        .add(report.final_utility, 3)
+        .add(opt / std::max(report.final_utility, 1e-9), 2)
+        .add(pipeline.runs[0].objective, 3)
+        .add(m * mc);
+    if (!feasible) std::cout << "WARNING: infeasible decomposition!\n";
   }
   table.print_aligned(std::cout,
                       "E6: deterioration on the Section 4.2 instance");

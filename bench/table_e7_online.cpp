@@ -1,14 +1,15 @@
 // E7 — Theorem 5.4 / Lemma 5.1: Algorithm Allocate. On small-streams
 // instances (every cost <= bound/log2 mu) the pure online algorithm never
 // violates a budget and is (1 + 2*log2 mu)-competitive. The sweep also
-// *breaks* the premise (streams bigger than the threshold) to show where
-// feasibility is lost without the guard and recovered with it.
+// *breaks* the premise to show where feasibility is lost without the
+// guard and recovered with it — the premise-breaking budget shrink is
+// the `small` scenario's tightness < 1 regime (a scenario param, not
+// bench code), so the whole experiment is one axis of one SweepPlan.
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.h"
-#include "gen/small_streams.h"
 
 namespace {
 
@@ -19,99 +20,60 @@ void run() {
       "E7",
       "Allocate: feasible without guard iff small-streams (Lem 5.1); "
       "(1+2log2 mu)-competitive (Thm 5.4)");
+
+  const std::size_t kStreams = bench::full_or_smoke<std::size_t>(150, 40);
+  const auto tightness = bench::full_or_smoke<std::vector<double>>(
+      {1.0, 2.0, 0.35, 0.15}, {1.0, 0.35});
+
+  engine::SweepPlan plan;
+  plan.scenarios = {{.name = "small",
+                     .params = engine::SolveOptions()
+                                   .set("streams", static_cast<int>(kStreams))
+                                   .set("users", 10),
+                     .seed = 7000}};
+  plan.scenario_axes = {{"tightness", bench::axis_values(tightness)}};
+  plan.algorithms = {
+      {.name = "online",
+       .options = engine::SolveOptions().set("guard", "0"),
+       .axes = {},
+       .label = "online-unguarded"},
+      {.name = "online"},
+      {.name = "pipeline"}};
+  plan.replicates = bench::runs(6);
+  const engine::SweepResult result = engine::run_sweep(plan);
+  bench::die_on_error(result);
+
   util::Table table({"premise", "tightness", "runs", "mu", "violations",
                      "min ALG*/off", "1/(1+2log2mu)", "accept%",
                      "guard trips(on)"});
-  const int kRuns = bench::runs(6);
-  const std::size_t kStreams = bench::full_or_smoke<std::size_t>(150, 40);
-  std::uint64_t seed = 7000;
-  struct Setting {
-    const char* label;
-    double tightness;  // >= 1 keeps the premise; < 1 breaks it (we shrink
-                       // the budgets below the required log2(mu) factor)
-  };
-  const auto settings = bench::full_or_smoke<std::vector<Setting>>(
-      {Setting{"holds", 1.0}, Setting{"holds", 2.0}, Setting{"broken", 0.35},
-       Setting{"broken", 0.15}},
-      {Setting{"holds", 1.0}, Setting{"broken", 0.35}});
-  for (const Setting& setting : settings) {
+  for (std::size_t sc = 0; sc < result.num_scenario_cells; ++sc) {
+    const engine::SweepCell& unguarded = result.cell(sc, 0);
+    const engine::SweepCell& guarded = result.cell(sc, 1);
+    const engine::SweepCell& offline = result.cell(sc, 2);
+
     std::size_t violations = 0;
     std::size_t guard_trips = 0;
     double worst_competitive = 1e9;
-    util::RunningStats mu_stats;
     util::RunningStats accept;
-    for (int run = 0; run < kRuns; ++run) {
-      gen::SmallStreamsConfig cfg;
-      cfg.num_streams = kStreams;
-      cfg.num_users = 10;
-      cfg.tightness = std::max(setting.tightness, 1.0);
-      cfg.seed = seed++;
-      auto built = gen::small_streams_instance(cfg);
-      model::Instance inst = std::move(built.instance);
-      if (setting.tightness < 1.0) {
-        // Shrink the budgets below the premise by rebuilding with scaled
-        // bounds (rebuild keeps everything else identical).
-        model::InstanceBuilder b(inst.num_server_measures(),
-                                 inst.num_user_measures());
-        double max_cost = 0.0;
-        for (std::size_t s = 0; s < inst.num_streams(); ++s)
-          for (int i = 0; i < inst.num_server_measures(); ++i)
-            max_cost = std::max(max_cost,
-                                inst.cost(static_cast<model::StreamId>(s), i));
-        for (int i = 0; i < inst.num_server_measures(); ++i)
-          b.set_budget(i, std::max(inst.budget(i) * setting.tightness,
-                                   max_cost));
-        for (std::size_t s = 0; s < inst.num_streams(); ++s) {
-          std::vector<double> costs;
-          for (int i = 0; i < inst.num_server_measures(); ++i)
-            costs.push_back(inst.cost(static_cast<model::StreamId>(s), i));
-          b.add_stream(std::move(costs));
-        }
-        for (std::size_t u = 0; u < inst.num_users(); ++u) {
-          std::vector<double> caps;
-          for (int j = 0; j < inst.num_user_measures(); ++j)
-            caps.push_back(inst.capacity(static_cast<model::UserId>(u), j));
-          b.add_user(std::move(caps));
-        }
-        for (std::size_t s = 0; s < inst.num_streams(); ++s) {
-          const auto sid = static_cast<model::StreamId>(s);
-          for (model::EdgeId e = inst.first_edge(sid); e < inst.last_edge(sid);
-               ++e) {
-            std::vector<double> loads;
-            for (int j = 0; j < inst.num_user_measures(); ++j)
-              loads.push_back(inst.edge_load(e, j));
-            b.add_interest(inst.edge_user(e), sid, inst.edge_utility(e),
-                           std::move(loads));
-          }
-        }
-        inst = std::move(b).build();
-      }
-
-      const engine::SolveResult r = bench::expect_ok(engine::solve(
-          bench::request(inst, "online",
-                         engine::SolveOptions().set("guard", "0"))));
-      mu_stats.add(r.stat("mu"));
-      if (!r.feasible()) ++violations;
-      accept.add(100.0 * r.stat("accepted") /
-                 static_cast<double>(inst.num_streams()));
-
-      const engine::SolveResult offline =
-          bench::expect_ok(engine::solve(bench::request(inst, "pipeline")));
-      if (offline.objective > 0)
+    for (std::size_t rep = 0; rep < unguarded.runs.size(); ++rep) {
+      if (!unguarded.runs[rep].feasible) ++violations;
+      if (!guarded.runs[rep].feasible) ++violations;
+      guard_trips +=
+          static_cast<std::size_t>(guarded.runs[rep].stat("guard_trips"));
+      accept.add(100.0 * unguarded.runs[rep].stat("accepted") /
+                 static_cast<double>(kStreams));
+      if (offline.runs[rep].objective > 0)
         worst_competitive =
-            std::min(worst_competitive, r.objective / offline.objective);
-
-      const engine::SolveResult rg =
-          bench::expect_ok(engine::solve(bench::request(inst, "online")));
-      guard_trips += static_cast<std::size_t>(rg.stat("guard_trips"));
-      if (!rg.feasible()) ++violations;
+            std::min(worst_competitive, unguarded.runs[rep].objective /
+                                            offline.runs[rep].objective);
     }
-    const double factor = 1.0 / (1.0 + 2.0 * std::log2(mu_stats.mean()));
+    const double mu = unguarded.mean_stat("mu");
+    const double factor = 1.0 / (1.0 + 2.0 * std::log2(mu));
     table.row()
-        .add(setting.label)
-        .add(setting.tightness, 2)
-        .add(kRuns)
-        .add(mu_stats.mean(), 0)
+        .add(tightness[sc] >= 1.0 ? "holds" : "broken")
+        .add(tightness[sc], 2)
+        .add(unguarded.runs.size())
+        .add(mu, 0)
         .add(violations)
         .add(worst_competitive, 3)
         .add(factor, 3)

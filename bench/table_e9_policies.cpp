@@ -4,14 +4,14 @@
 // the online Allocate are compared against FCFS/utility-sorted/density-
 // sorted/random threshold admission.
 //
-// Every policy is an engine registry entry, so the comparison is a table
-// of (label, algorithm, options) rows — adding a policy is one line.
+// Every policy is an algorithm cell of a one-scenario SweepPlan — adding
+// a policy is one AlgorithmSpec line.
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "gen/iptv.h"
 
 namespace {
 
@@ -20,70 +20,78 @@ using namespace vdist;
 void run() {
   bench::print_header(
       "E9", "utility-aware policies beat threshold admission (paper §1)");
-  util::Table table({"policy", "utility", "vs best", "streams carried",
-                     "bw util%", "feasible"});
 
   // Adversarial regime from the paper's introduction: channel prices are
   // decorrelated from bitrates, so per-cost utilities vary wildly and
   // cost-blind admission pays for it.
-  gen::IptvConfig cfg;
-  cfg.num_channels = bench::full_or_smoke<std::size_t>(250, 60);
-  cfg.num_users = bench::full_or_smoke<std::size_t>(400, 80);
-  cfg.bandwidth_fraction = 0.3;
-  cfg.decorrelate_price = true;
-  cfg.seed = 2024;
-  const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
-  const model::Instance& inst = w.instance;
+  engine::SweepPlan plan;
+  plan.scenarios = {
+      {.name = "iptv",
+       .params =
+           engine::SolveOptions()
+               .set("streams",
+                    static_cast<int>(bench::full_or_smoke<std::size_t>(250, 60)))
+               .set("users",
+                    static_cast<int>(bench::full_or_smoke<std::size_t>(400, 80)))
+               .set("bandwidth-fraction", 0.3)
+               .set("decorrelate", 1),
+       .seed = 2024}};
+  plan.algorithms = {
+      {.name = "pipeline", .options = {}, .axes = {},
+       .label = "mmd-solver (Thm 1.1)"},
+      {.name = "online", .options = {}, .axes = {},
+       .label = "allocate (online, Thm 5.4)"},
+      {.name = "fcfs", .options = {}, .axes = {}, .label = "threshold FCFS"},
+      {.name = "threshold",
+       .options = engine::SolveOptions().set("order", "density-asc"),
+       .axes = {},
+       .label = "threshold FCFS (adversarial arrival)"},
+      {.name = "threshold",
+       .options = engine::SolveOptions().set("order", "utility"),
+       .axes = {},
+       .label = "threshold by-utility"},
+      {.name = "threshold",
+       .options = engine::SolveOptions().set("order", "density"),
+       .axes = {},
+       .label = "threshold by-density"},
+      {.name = "random", .options = {}, .axes = {}, .label = "random order"},
+      {.name = "threshold",
+       .options = engine::SolveOptions()
+                      .set("server-margin", "0.9")
+                      .set("user-margin", "0.9"),
+       .axes = {},
+       .label = "threshold 90% margin"}};
+  plan.replicates = 1;
+  engine::SweepOptions options;
+  options.keep_assignments = true;  // bandwidth utilization reads them
+  options.keep_instances = true;
+  const engine::SweepResult result = engine::run_sweep(plan, options);
+  bench::die_on_error(result);
 
-  struct Policy {
-    std::string label;
-    std::string algorithm;
-    engine::SolveOptions options;
-    std::uint64_t seed = 1;
-  };
-  const std::vector<Policy> policies = {
-      {"mmd-solver (Thm 1.1)", "pipeline", {}},
-      {"allocate (online, Thm 5.4)", "online", {}},
-      {"threshold FCFS", "fcfs", {}},
-      {"threshold FCFS (adversarial arrival)", "threshold",
-       engine::SolveOptions().set("order", "density-asc")},
-      {"threshold by-utility", "threshold",
-       engine::SolveOptions().set("order", "utility")},
-      {"threshold by-density", "threshold",
-       engine::SolveOptions().set("order", "density")},
-      {"random order", "random", {}, 99},
-      {"threshold 90% margin", "threshold",
-       engine::SolveOptions()
-           .set("server-margin", "0.9")
-           .set("user-margin", "0.9")},
-  };
-
-  std::vector<engine::SolveResult> results;
-  for (const Policy& p : policies) {
-    engine::SolveRequest req = bench::request(inst, p.algorithm, p.options);
-    req.seed = p.seed;
-    results.push_back(bench::expect_ok(engine::solve(req)));
-  }
-
+  const model::Instance& inst = result.instance(0, 0);
   double best = 0.0;
-  for (const engine::SolveResult& r : results)
-    best = std::max(best, r.raw_utility);
-  for (std::size_t i = 0; i < policies.size(); ++i) {
-    const engine::SolveResult& r = results[i];
-    const model::Assignment& a = r.solution();
+  for (std::size_t ac = 0; ac < result.num_algorithm_cells; ++ac)
+    best = std::max(best, result.cell(0, ac).runs[0].raw_utility);
+
+  util::Table table({"policy", "utility", "vs best", "streams carried",
+                     "bw util%", "feasible"});
+  for (std::size_t ac = 0; ac < result.num_algorithm_cells; ++ac) {
+    const engine::SweepCell& cell = result.cell(0, ac);
+    const engine::RunRecord& run = cell.runs[0];
+    const model::Assignment& a = *run.assignment;
     table.row()
-        .add(policies[i].label)
-        .add(r.raw_utility, 1)
-        .add(r.raw_utility / best, 3)
+        .add(cell.algorithm_label)
+        .add(run.raw_utility, 1)
+        .add(run.raw_utility / best, 3)
         .add(a.range_size())
         .add(100.0 * a.server_cost(0) / inst.budget(0), 1)
-        .add(r.feasible() ? "yes" : "NO");
+        .add(run.feasible ? "yes" : "NO");
   }
 
   table.print_aligned(std::cout, "E9: policy comparison on IPTV workload");
   std::cout << "catalog: " << inst.num_streams() << " channels, "
             << inst.num_users() << " users, " << inst.num_edges()
-            << " interests (seed " << cfg.seed << ")\n";
+            << " interests (seed " << plan.scenarios[0].seed << ")\n";
   bench::print_footer(
       "the utility-aware solver leads; blind FCFS/random trail it");
 }

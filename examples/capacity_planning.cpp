@@ -3,12 +3,16 @@
 // Theorem 1.1 solver as the planning oracle. The knee of the curve is
 // where additional bandwidth stops paying for itself.
 //
+// The what-if grid is a declarative engine::SweepPlan — one scenario
+// axis over the iptv workload's bandwidth-fraction, one algorithm cell —
+// so adding rate plans, solvers or seed replicates is a data change, and
+// the cells run concurrently on the batch runner's thread pool.
+//
 //   ./examples/capacity_planning [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/mmd_solver.h"
-#include "gen/iptv.h"
+#include "engine/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -17,31 +21,49 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
 
+  engine::SweepPlan plan;
+  plan.scenarios = {{.name = "iptv",
+                     .params = engine::SolveOptions()
+                                   .set("streams", 150)
+                                   .set("users", 250)
+                                   .set("decorrelate", 1),
+                     // same catalog/subscribers; only the budget moves
+                     .seed = seed}};
+  plan.scenario_axes = {{"bandwidth-fraction",
+                         {"0.1", "0.2", "0.3", "0.4", "0.5", "0.6", "0.8",
+                          "1"}}};
+  plan.algorithms = {{.name = "pipeline"}};
+  engine::SweepOptions options;
+  options.keep_instances = true;  // the table reports the egress budget
+  options.keep_assignments = true;
+  const engine::SweepResult sweep = engine::run_sweep(plan, options);
+  const std::string error = sweep.first_error();
+  if (!error.empty()) {
+    std::cerr << "capacity sweep failed: " << error << "\n";
+    return 1;
+  }
+
   util::Table table({"bw fraction", "egress Mbps", "utility",
                      "marginal utility / Mbps", "channels"});
   double prev_utility = 0.0;
   double prev_budget = 0.0;
   std::vector<std::pair<double, double>> curve;  // fraction -> utility
-  for (double fraction : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0}) {
-    gen::IptvConfig cfg;
-    cfg.num_channels = 150;
-    cfg.num_users = 250;
-    cfg.bandwidth_fraction = fraction;
-    cfg.decorrelate_price = true;
-    cfg.seed = seed;  // same catalog/subscribers; only the budget moves
-    const gen::IptvWorkload w = gen::make_iptv_workload(cfg);
-    const core::MmdSolveResult plan = core::solve_mmd(w.instance);
-    const double budget = w.instance.budget(0);
-    const double marginal = (plan.utility - prev_utility) /
+  for (std::size_t sc = 0; sc < sweep.num_scenario_cells; ++sc) {
+    const engine::SweepCell& cell = sweep.cell(sc, 0);
+    const engine::RunRecord& run = cell.runs[0];
+    const double fraction =
+        cell.scenario.params.get_double("bandwidth-fraction", 0.0);
+    const double budget = sweep.instance(sc, 0).budget(0);
+    const double marginal = (run.objective - prev_utility) /
                             std::max(budget - prev_budget, 1e-9);
     table.row()
         .add(fraction, 2)
         .add(budget, 0)
-        .add(plan.utility, 1)
+        .add(run.objective, 1)
         .add(prev_budget > 0 ? util::format_double(marginal, 3) : "-")
-        .add(plan.assignment.range_size());
-    curve.emplace_back(fraction, plan.utility);
-    prev_utility = plan.utility;
+        .add(run.assignment->range_size());
+    curve.emplace_back(fraction, run.objective);
+    prev_utility = run.objective;
     prev_budget = budget;
   }
   table.print_aligned(std::cout, "utility vs egress budget");

@@ -47,7 +47,8 @@ void register_baseline_solvers(SolverRegistry& r) {
              "order=arrival|utility|density|density-asc|random, "
              "server-margin, user-margin; stats: admitted, rejected",
          .form = InstanceForm::kAny,
-         .deterministic = false},
+         .deterministic = false,
+         .option_keys = {"order", "server-margin", "user-margin"}},
         [](const SolveRequest& req) {
           return run_threshold(req, parse_order(req.options));
         });
@@ -55,7 +56,8 @@ void register_baseline_solvers(SolverRegistry& r) {
          .description =
              "threshold admission in arrival (stream id) order — the FCFS "
              "policy 'most solutions in use today employ'",
-         .form = InstanceForm::kAny},
+         .form = InstanceForm::kAny,
+         .option_keys = {"server-margin", "user-margin"}},
         [](const SolveRequest& req) {
           return run_threshold(req, baseline::StreamOrder::kArrival);
         });
@@ -64,7 +66,8 @@ void register_baseline_solvers(SolverRegistry& r) {
              "threshold admission in seed-shuffled order (stats: admitted, "
              "rejected; order derived from the request seed)",
          .form = InstanceForm::kAny,
-         .deterministic = false},
+         .deterministic = false,
+         .option_keys = {"server-margin", "user-margin"}},
         [](const SolveRequest& req) {
           return run_threshold(req, baseline::StreamOrder::kRandom);
         });

@@ -144,19 +144,22 @@ void register_core_solvers(SolverRegistry& r) {
          .description =
              "Theorem 1.1 end-to-end MMD pipeline (reduce, bands, greedy, "
              "transform); options: augment, enum-bands, depth, mode",
-         .form = InstanceForm::kAny},
+         .form = InstanceForm::kAny,
+         .option_keys = {"augment", "enum-bands", "depth", "mode"}},
         run_pipeline);
   r.add({.name = "bands",
          .description =
              "Section 3 classify-and-select over skew bands; options: "
              "enum-bands, depth, mode; stats: alpha, num_bands, chosen_band",
-         .form = InstanceForm::kSmd},
+         .form = InstanceForm::kSmd,
+         .option_keys = {"enum-bands", "depth", "mode"}},
         run_bands);
   r.add({.name = "greedy",
          .description =
              "Section 2.2 fixed greedy (Thm 2.8): feasible best of A1/A2/"
              "Amax; variant reports the winner",
-         .form = InstanceForm::kUnitSkew},
+         .form = InstanceForm::kUnitSkew,
+         .option_keys = {}},
         [](const SolveRequest& req) {
           return run_fixed_greedy(req, SmdMode::kFeasible);
         });
@@ -164,7 +167,8 @@ void register_core_solvers(SolverRegistry& r) {
          .description =
              "Corollary 2.7 resource-augmented greedy: semi-feasible best "
              "of greedy/Amax (user caps may overrun by one stream)",
-         .form = InstanceForm::kUnitSkew},
+         .form = InstanceForm::kUnitSkew,
+         .option_keys = {}},
         [](const SolveRequest& req) {
           return run_fixed_greedy(req, SmdMode::kAugmented);
         });
@@ -172,25 +176,29 @@ void register_core_solvers(SolverRegistry& r) {
          .description =
              "Algorithm 1 verbatim (semi-feasible, unbounded ratio alone); "
              "stats: considered, skipped_budget",
-         .form = InstanceForm::kUnitSkew},
+         .form = InstanceForm::kUnitSkew,
+         .option_keys = {}},
         run_plain_greedy);
   r.add({.name = "amax",
          .description =
              "Lemma 2.6 best single stream assigned to all interested users",
-         .form = InstanceForm::kUnitSkew},
+         .form = InstanceForm::kUnitSkew,
+         .option_keys = {}},
         run_amax);
   r.add({.name = "enum",
          .description =
              "Section 2.3 Sviridenko partial enumeration; options: depth, "
              "mode, max-candidates; stats: candidates, truncated",
-         .form = InstanceForm::kUnitSkew},
+         .form = InstanceForm::kUnitSkew,
+         .option_keys = {"depth", "mode", "max-candidates"}},
         run_partial_enum);
   r.add({.name = "exact",
          .description =
              "branch-and-bound exact optimum (<= 62 streams; evaluation "
              "substrate, not part of the paper); options: max-nodes; stats: "
              "nodes, proven_optimal",
-         .form = InstanceForm::kAny},
+         .form = InstanceForm::kAny,
+         .option_keys = {"max-nodes"}},
         run_exact);
   r.add({.name = "online",
          .description =
@@ -198,7 +206,8 @@ void register_core_solvers(SolverRegistry& r) {
              "mu, guard, shuffle; stats: mu, gamma, accepted, rejected, "
              "guard_trips",
          .form = InstanceForm::kAny,
-         .deterministic = false},
+         .deterministic = false,
+         .option_keys = {"mu", "guard", "shuffle"}},
         run_online);
 }
 

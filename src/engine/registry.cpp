@@ -109,6 +109,24 @@ std::vector<std::string> SolverRegistry::names() const {
   return out;
 }
 
+void SolverRegistry::check_options(const std::string& name,
+                                   const SolveOptions& options) const {
+  const SolverInfo& meta = info(name);  // throws on unknown algorithm
+  for (const auto& [key, value] : options.raw()) {
+    if (std::find(meta.option_keys.begin(), meta.option_keys.end(), key) !=
+        meta.option_keys.end())
+      continue;
+    std::string declared;
+    for (const std::string& known : meta.option_keys) {
+      if (!declared.empty()) declared += ", ";
+      declared += known;
+    }
+    throw std::invalid_argument(
+        "algorithm '" + name + "' does not declare option '" + key +
+        "' (declared: " + (declared.empty() ? "none" : declared) + ")");
+  }
+}
+
 namespace {
 
 const char* form_requirement(InstanceForm form) {
@@ -160,6 +178,14 @@ SolveResult SolverRegistry::solve(const SolveRequest& req) const {
     result.error = "algorithm '" + req.algorithm + "' requires " +
                    form_requirement(entry->info.form);
     return result;
+  }
+  if (req.strict) {
+    try {
+      check_options(req.algorithm, req.options);
+    } catch (const std::exception& e) {
+      result.error = e.what();
+      return result;
+    }
   }
 
   util::Stopwatch watch;

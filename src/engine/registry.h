@@ -42,6 +42,10 @@ struct SolverInfo {
   InstanceForm form = InstanceForm::kAny;
   // False for algorithms that read SolveRequest::seed.
   bool deterministic = true;
+  // Every SolveOptions key the adapter reads. Strict mode
+  // (SolveRequest::strict, the CLI default) rejects keys outside this
+  // list, catching `--bugdet 0.3`-style typos that lenient mode ignores.
+  std::vector<std::string> option_keys;
 };
 
 class SolverRegistry {
@@ -59,6 +63,13 @@ class SolverRegistry {
   [[nodiscard]] const SolverInfo& info(const std::string& name) const;
   // Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
+
+  // Strict option validation: throws std::invalid_argument when `options`
+  // carries a key the algorithm's registration does not declare (listing
+  // the declared keys), or when the algorithm is unknown. Used by
+  // SolveRequest::strict and by strict sweeps.
+  void check_options(const std::string& name,
+                     const SolveOptions& options) const;
 
   // Dispatches the request: looks up the algorithm, checks the instance
   // form, runs it under a stopwatch, validates the output and fills a

@@ -1,0 +1,111 @@
+#include "engine/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vdist::engine {
+
+bool ScenarioInfo::declares(const std::string& key) const {
+  return find_param(key) != nullptr;
+}
+
+const ScenarioParam* ScenarioInfo::find_param(const std::string& key) const {
+  for (const ScenarioParam& p : params)
+    if (p.key == key) return &p;
+  return nullptr;
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(ScenarioInfo info, BuildFn fn) {
+  if (info.name.empty())
+    throw std::invalid_argument("scenario name must not be empty");
+  if (find(info.name) != nullptr)
+    throw std::invalid_argument("scenario '" + info.name +
+                                "' is already registered");
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), info.name,
+      [](const Entry& e, const std::string& n) { return e.info.name < n; });
+  entries_.insert(pos, Entry{std::move(info), std::move(fn)});
+}
+
+const ScenarioRegistry::Entry* ScenarioRegistry::find(
+    const std::string& name) const {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, const std::string& n) { return e.info.name < n; });
+  if (pos == entries_.end() || pos->info.name != name) return nullptr;
+  return &*pos;
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const ScenarioInfo& ScenarioRegistry::info(const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    std::string known;
+    for (const Entry& entry : entries_) {
+      if (!known.empty()) known += ", ";
+      known += entry.info.name;
+    }
+    throw std::invalid_argument("unknown scenario '" + name +
+                                "' (known: " + known + ")");
+  }
+  return e->info;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.info.name);
+  return out;
+}
+
+ScenarioSpec ScenarioRegistry::resolve(const ScenarioSpec& spec,
+                                       bool strict) const {
+  const ScenarioInfo& meta = info(spec.name);  // throws on unknown name
+  if (strict) {
+    for (const auto& [key, value] : spec.params.raw()) {
+      if (meta.declares(key)) continue;
+      std::string declared;
+      for (const ScenarioParam& p : meta.params) {
+        if (!declared.empty()) declared += ", ";
+        declared += p.key;
+      }
+      throw std::invalid_argument(
+          "scenario '" + spec.name + "' does not declare param '" + key +
+          "' (declared: " + (declared.empty() ? "none" : declared) + ")");
+    }
+  }
+  ScenarioSpec resolved = spec;
+  for (const ScenarioParam& p : meta.params)
+    if (!resolved.params.has(p.key))
+      resolved.params.set(p.key, p.default_value);
+  return resolved;
+}
+
+model::Instance ScenarioRegistry::build(const ScenarioSpec& spec,
+                                        bool strict) const {
+  const ScenarioSpec resolved = resolve(spec, strict);
+  return find(spec.name)->fn(resolved);
+}
+
+model::Instance build_scenario(const ScenarioSpec& spec, bool strict) {
+  return ScenarioRegistry::global().build(spec, strict);
+}
+
+RegisterScenario::RegisterScenario(ScenarioInfo info,
+                                   ScenarioRegistry::BuildFn fn) {
+  ScenarioRegistry::global().add(std::move(info), std::move(fn));
+}
+
+}  // namespace vdist::engine

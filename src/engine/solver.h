@@ -82,6 +82,11 @@ struct SolveRequest {
   // Skip the from-scratch feasibility validation of the output (it is
   // O(n); microbenchmarks opt out).
   bool validate = true;
+  // Reject option keys the algorithm's registration does not declare
+  // (error result naming the declared keys). Off by default so a sweep
+  // can set options only some algorithms read; the CLI turns it on to
+  // catch flag typos.
+  bool strict = false;
   // Opaque caller label, echoed back in the result (batch bookkeeping).
   std::string tag;
 };

@@ -1,0 +1,534 @@
+#include "engine/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/registry.h"
+
+namespace vdist::engine {
+
+namespace {
+
+using Assignment = std::vector<std::pair<std::string, std::string>>;
+
+// Cross-product expansion of axes, first axis slowest. No axes => one
+// empty assignment (the base point).
+std::vector<Assignment> expand_axes(const std::vector<SweepAxis>& axes) {
+  for (const SweepAxis& axis : axes) {
+    if (axis.key.empty())
+      throw std::invalid_argument("sweep axis with empty key");
+    if (axis.values.empty())
+      throw std::invalid_argument("sweep axis '" + axis.key +
+                                  "' has no values");
+  }
+  std::vector<Assignment> out{{}};
+  for (const SweepAxis& axis : axes) {
+    std::vector<Assignment> next;
+    next.reserve(out.size() * axis.values.size());
+    for (const Assignment& prefix : out)
+      for (const std::string& value : axis.values) {
+        Assignment a = prefix;
+        a.emplace_back(axis.key, value);
+        next.push_back(std::move(a));
+      }
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::string label_with_axes(const std::string& base, const Assignment& a) {
+  std::string label = base;
+  for (const auto& [key, value] : a) label += " " + key + "=" + value;
+  return label;
+}
+
+void append_axis_keys(const std::vector<SweepAxis>& axes,
+                      std::vector<std::string>& keys) {
+  for (const SweepAxis& axis : axes)
+    if (std::find(keys.begin(), keys.end(), axis.key) == keys.end())
+      keys.push_back(axis.key);
+}
+
+RunRecord to_record(SolveResult&& r, bool keep_assignment) {
+  RunRecord rec;
+  rec.ok = r.ok;
+  rec.feasible = r.feasible();
+  rec.feasibility = r.feasibility;
+  rec.timed_out = r.timed_out;
+  rec.objective = r.objective;
+  rec.raw_utility = r.raw_utility;
+  rec.upper_bound = r.upper_bound;
+  rec.wall_ms = r.wall_ms;
+  rec.seed = r.seed;
+  rec.variant = std::move(r.variant);
+  rec.error = std::move(r.error);
+  rec.stats = std::move(r.stats);
+  if (keep_assignment && r.assignment.has_value())
+    rec.assignment = std::move(r.assignment);
+  return rec;
+}
+
+}  // namespace
+
+double SweepCell::mean_stat(const std::string& key) const {
+  util::RunningStats s;
+  for (const RunRecord& run : runs)
+    if (run.ok) s.add(run.stat(key));
+  return s.mean();
+}
+
+const SweepCell& SweepResult::cell(std::size_t scenario_cell,
+                                   std::size_t algorithm_cell) const {
+  if (scenario_cell >= num_scenario_cells ||
+      algorithm_cell >= num_algorithm_cells)
+    throw std::out_of_range("SweepResult::cell(" +
+                            std::to_string(scenario_cell) + ", " +
+                            std::to_string(algorithm_cell) + "): grid is " +
+                            std::to_string(num_scenario_cells) + " x " +
+                            std::to_string(num_algorithm_cells));
+  return cells[scenario_cell * num_algorithm_cells + algorithm_cell];
+}
+
+const model::Instance& SweepResult::instance(std::size_t scenario_cell,
+                                             int rep) const {
+  const std::size_t index =
+      scenario_cell * static_cast<std::size_t>(replicates) +
+      static_cast<std::size_t>(rep);
+  if (index >= instances.size())
+    throw std::out_of_range(
+        "SweepResult::instance: not kept (set SweepOptions::keep_instances) "
+        "or out of range");
+  return instances[index];
+}
+
+std::string SweepResult::first_error() const {
+  for (const SweepCell& cell : cells)
+    for (const RunRecord& run : cell.runs)
+      if (!run.ok)
+        return cell.scenario_label + " / " + cell.algorithm_label + ": " +
+               run.error;
+  return {};
+}
+
+SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
+  if (plan.scenarios.empty())
+    throw std::invalid_argument("sweep plan has no scenarios");
+  if (plan.algorithms.empty())
+    throw std::invalid_argument("sweep plan has no algorithms");
+  if (plan.replicates < 1)
+    throw std::invalid_argument("sweep plan replicates must be >= 1");
+
+  const ScenarioRegistry& scenarios = ScenarioRegistry::global();
+  const SolverRegistry& solvers = SolverRegistry::global();
+
+  // --- Expand the scenario cells -------------------------------------------
+  struct ScenarioCell {
+    ScenarioSpec spec;  // resolved: defaults + axis values folded in
+    std::string label;
+  };
+  std::vector<ScenarioCell> scenario_cells;
+  const std::vector<Assignment> scenario_assignments =
+      expand_axes(plan.scenario_axes);
+  for (const ScenarioSpec& base : plan.scenarios) {
+    for (const Assignment& a : scenario_assignments) {
+      ScenarioSpec spec = base;
+      for (const auto& [key, value] : a) spec.params.set(key, value);
+      // Scenario params are fully declared, so resolution is always
+      // strict: a typo in a plan axis fails here, before any solve.
+      spec = scenarios.resolve(spec, /*strict=*/true);
+      scenario_cells.push_back(
+          {std::move(spec),
+           label_with_axes(base.label.empty() ? base.name : base.label, a)});
+    }
+  }
+
+  // --- Expand the algorithm cells ------------------------------------------
+  struct AlgorithmCell {
+    AlgorithmSpec spec;  // options include axis values
+    std::string label;
+  };
+  std::vector<AlgorithmCell> algorithm_cells;
+  for (const AlgorithmSpec& base : plan.algorithms) {
+    (void)solvers.info(base.name);  // unknown algorithm: throw, listing names
+    for (const Assignment& a : expand_axes(base.axes)) {
+      AlgorithmSpec spec = base;
+      for (const auto& [key, value] : a) spec.options.set(key, value);
+      if (options.strict) solvers.check_options(spec.name, spec.options);
+      algorithm_cells.push_back(
+          {std::move(spec),
+           label_with_axes(base.label.empty() ? base.name : base.label, a)});
+    }
+  }
+
+  const std::size_t S = scenario_cells.size();
+  const std::size_t A = algorithm_cells.size();
+  const auto R = static_cast<std::size_t>(plan.replicates);
+
+  // --- Build the instances (replicate r: scenario seed + r) ----------------
+  std::vector<model::Instance> instances;
+  instances.reserve(S * R);
+  for (const ScenarioCell& sc : scenario_cells)
+    for (std::size_t rep = 0; rep < R; ++rep) {
+      ScenarioSpec spec = sc.spec;
+      spec.seed = sc.spec.seed + rep;
+      instances.push_back(scenarios.build(spec, /*strict=*/true));
+    }
+
+  // --- Expand and run the requests -----------------------------------------
+  std::vector<SolveRequest> requests;
+  requests.reserve(S * R * A);
+  for (std::size_t sc = 0; sc < S; ++sc)
+    for (std::size_t rep = 0; rep < R; ++rep)
+      for (std::size_t ac = 0; ac < A; ++ac) {
+        SolveRequest req;
+        req.instance = &instances[sc * R + rep];
+        req.algorithm = algorithm_cells[ac].spec.name;
+        req.options = algorithm_cells[ac].spec.options;
+        req.seed = scenario_cells[sc].spec.seed + rep;
+        req.time_budget_ms = plan.time_budget_ms;
+        req.validate = plan.validate;
+        req.tag = scenario_cells[sc].label + " / " +
+                  algorithm_cells[ac].label + " #" + std::to_string(rep);
+        requests.push_back(std::move(req));
+      }
+  std::vector<SolveResult> solve_results =
+      solve_batch(requests, options.batch);
+
+  // --- Aggregate into cells -------------------------------------------------
+  SweepResult result;
+  result.num_scenario_cells = S;
+  result.num_algorithm_cells = A;
+  result.replicates = plan.replicates;
+  append_axis_keys(plan.scenario_axes, result.scenario_axis_keys);
+  for (const AlgorithmSpec& algo : plan.algorithms)
+    append_axis_keys(algo.axes, result.algorithm_axis_keys);
+  result.cells.resize(S * A);
+  for (std::size_t sc = 0; sc < S; ++sc)
+    for (std::size_t ac = 0; ac < A; ++ac) {
+      SweepCell& cell = result.cells[sc * A + ac];
+      cell.scenario_cell = sc;
+      cell.algorithm_cell = ac;
+      cell.scenario = scenario_cells[sc].spec;
+      cell.algorithm = algorithm_cells[ac].spec;
+      cell.scenario_label = scenario_cells[sc].label;
+      cell.algorithm_label = algorithm_cells[ac].label;
+      cell.runs.reserve(R);
+      for (std::size_t rep = 0; rep < R; ++rep) {
+        const std::size_t index = (sc * R + rep) * A + ac;
+        RunRecord rec = to_record(std::move(solve_results[index]),
+                                  options.keep_assignments);
+        if (rec.ok) {
+          ++cell.ok_count;
+          cell.objective.add(rec.objective);
+          cell.wall_ms.add(rec.wall_ms);
+          if (rec.upper_bound > 0.0)
+            cell.gap.add((rec.upper_bound - rec.objective) / rec.upper_bound);
+        }
+        if (rec.feasible) ++cell.feasible_count;
+        if (rec.timed_out) ++cell.timed_out_count;
+        cell.runs.push_back(std::move(rec));
+      }
+    }
+  // Retained assignments reference the instances they were solved on, so
+  // keep_assignments must keep the instances alive too — otherwise every
+  // kept Assignment would dangle the moment `instances` goes out of scope.
+  if (options.keep_instances || options.keep_assignments)
+    result.instances = std::move(instances);
+  return result;
+}
+
+// --- Emitters ---------------------------------------------------------------
+
+util::Table summary_table(const SweepResult& result) {
+  std::vector<std::string> columns = {"scenario", "seed"};
+  for (const std::string& key : result.scenario_axis_keys)
+    columns.push_back(key);
+  columns.push_back("algorithm");
+  for (const std::string& key : result.algorithm_axis_keys)
+    columns.push_back(key);
+  for (const char* name :
+       {"replicates", "ok", "feasible", "timed_out", "objective_mean",
+        "objective_min", "objective_max", "raw_utility_mean", "gap_mean",
+        "wall_ms_mean", "wall_ms_min", "wall_ms_max", "error"})
+    columns.emplace_back(name);
+
+  util::Table table(std::move(columns));
+  for (const SweepCell& cell : result.cells) {
+    util::RunningStats raw;
+    std::string error;
+    for (const RunRecord& run : cell.runs) {
+      if (run.ok) raw.add(run.raw_utility);
+      if (!run.ok && error.empty()) error = run.error;
+    }
+    table.row().add(cell.scenario_label).add(
+        static_cast<std::int64_t>(cell.scenario.seed));
+    for (const std::string& key : result.scenario_axis_keys)
+      table.add(cell.scenario.params.get(key, ""));
+    table.add(cell.algorithm_label);
+    for (const std::string& key : result.algorithm_axis_keys)
+      table.add(cell.algorithm.options.get(key, ""));
+    table.add(cell.runs.size())
+        .add(cell.ok_count)
+        .add(cell.feasible_count)
+        .add(cell.timed_out_count)
+        .add(cell.objective.mean(), 12)
+        .add(cell.objective.min(), 12)
+        .add(cell.objective.max(), 12)
+        .add(raw.mean(), 12)
+        .add(cell.gap.mean(), 6)
+        .add(cell.wall_ms.mean(), 3)
+        .add(cell.wall_ms.min(), 3)
+        .add(cell.wall_ms.max(), 3)
+        .add(error);
+  }
+  return table;
+}
+
+void write_csv(std::ostream& os, const SweepResult& result) {
+  summary_table(result).print_csv(os);
+}
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no inf/nan
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+
+void json_options(std::ostream& os, const SolveOptions& options) {
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : options.raw()) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, key);
+    os << ':';
+    json_string(os, value);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const SweepResult& result) {
+  os << "{\"replicates\":" << result.replicates
+     << ",\"num_scenario_cells\":" << result.num_scenario_cells
+     << ",\"num_algorithm_cells\":" << result.num_algorithm_cells
+     << ",\"cells\":[";
+  bool first_cell = true;
+  for (const SweepCell& cell : result.cells) {
+    if (!first_cell) os << ',';
+    first_cell = false;
+    os << "{\"scenario\":{\"name\":";
+    json_string(os, cell.scenario.name);
+    os << ",\"label\":";
+    json_string(os, cell.scenario_label);
+    os << ",\"seed\":" << cell.scenario.seed << ",\"params\":";
+    json_options(os, cell.scenario.params);
+    os << "},\"algorithm\":{\"name\":";
+    json_string(os, cell.algorithm.name);
+    os << ",\"label\":";
+    json_string(os, cell.algorithm_label);
+    os << ",\"options\":";
+    json_options(os, cell.algorithm.options);
+    os << "},\"aggregates\":{\"ok\":" << cell.ok_count
+       << ",\"feasible\":" << cell.feasible_count
+       << ",\"timed_out\":" << cell.timed_out_count << ",\"objective_mean\":";
+    json_number(os, cell.objective.mean());
+    os << ",\"objective_min\":";
+    json_number(os, cell.objective.min());
+    os << ",\"objective_max\":";
+    json_number(os, cell.objective.max());
+    os << ",\"gap_mean\":";
+    json_number(os, cell.gap.mean());
+    os << ",\"wall_ms_mean\":";
+    json_number(os, cell.wall_ms.mean());
+    os << "},\"runs\":[";
+    bool first_run = true;
+    for (const RunRecord& run : cell.runs) {
+      if (!first_run) os << ',';
+      first_run = false;
+      os << "{\"ok\":" << (run.ok ? "true" : "false")
+         << ",\"feasible\":" << (run.feasible ? "true" : "false")
+         << ",\"timed_out\":" << (run.timed_out ? "true" : "false")
+         << ",\"seed\":" << run.seed << ",\"objective\":";
+      json_number(os, run.objective);
+      os << ",\"raw_utility\":";
+      json_number(os, run.raw_utility);
+      os << ",\"upper_bound\":";
+      json_number(os, run.upper_bound);
+      os << ",\"wall_ms\":";
+      json_number(os, run.wall_ms);
+      os << ",\"variant\":";
+      json_string(os, run.variant);
+      os << ",\"error\":";
+      json_string(os, run.error);
+      os << ",\"stats\":{";
+      bool first_stat = true;
+      for (const auto& [key, value] : run.stats) {
+        if (!first_stat) os << ',';
+        first_stat = false;
+        json_string(os, key);
+        os << ':';
+        json_number(os, value);
+      }
+      os << "}}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+// --- Plan files -------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+[[noreturn]] void plan_error(int line_number, const std::string& message) {
+  throw std::runtime_error("plan line " + std::to_string(line_number) + ": " +
+                           message);
+}
+
+// Splits "key=value"; throws on a missing '=' or empty key.
+std::pair<std::string, std::string> split_kv(const std::string& token,
+                                             int line_number) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0)
+    plan_error(line_number, "expected key=value, got '" + token + "'");
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+}  // namespace
+
+SweepPlan parse_plan(std::istream& is) {
+  SweepPlan plan;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    if (directive == "scenario") {
+      if (tokens.size() < 2) plan_error(line_number, "scenario needs a name");
+      ScenarioSpec spec;
+      spec.name = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto [key, value] = split_kv(tokens[i], line_number);
+        if (key == "seed") {
+          try {
+            spec.seed = std::stoull(value);
+          } catch (const std::exception&) {
+            plan_error(line_number, "seed expects an integer, got '" + value +
+                                        "'");
+          }
+        } else if (key == "label") {
+          spec.label = value;
+        } else {
+          spec.params.set(key, value);
+        }
+      }
+      plan.scenarios.push_back(std::move(spec));
+    } else if (directive == "axis") {
+      if (tokens.size() < 3)
+        plan_error(line_number, "axis needs a key and at least one value");
+      plan.scenario_axes.push_back(
+          {tokens[1], {tokens.begin() + 2, tokens.end()}});
+    } else if (directive == "algo") {
+      if (tokens.size() < 2) plan_error(line_number, "algo needs a name");
+      AlgorithmSpec spec;
+      spec.name = tokens[1];
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto [key, value] = split_kv(tokens[i], line_number);
+        if (key == "label")
+          spec.label = value;
+        else
+          spec.options.set(key, value);
+      }
+      plan.algorithms.push_back(std::move(spec));
+    } else if (directive == "algo-axis") {
+      if (plan.algorithms.empty())
+        plan_error(line_number, "algo-axis before any algo line");
+      if (tokens.size() < 3)
+        plan_error(line_number,
+                   "algo-axis needs a key and at least one value");
+      plan.algorithms.back().axes.push_back(
+          {tokens[1], {tokens.begin() + 2, tokens.end()}});
+    } else if (directive == "replicates") {
+      if (tokens.size() != 2)
+        plan_error(line_number, "replicates needs one integer");
+      try {
+        plan.replicates = std::stoi(tokens[1]);
+      } catch (const std::exception&) {
+        plan_error(line_number,
+                   "replicates expects an integer, got '" + tokens[1] + "'");
+      }
+    } else if (directive == "budget-ms") {
+      if (tokens.size() != 2)
+        plan_error(line_number, "budget-ms needs one number");
+      try {
+        plan.time_budget_ms = std::stod(tokens[1]);
+      } catch (const std::exception&) {
+        plan_error(line_number,
+                   "budget-ms expects a number, got '" + tokens[1] + "'");
+      }
+    } else {
+      plan_error(line_number,
+                 "unknown directive '" + directive +
+                     "' (known: scenario, axis, algo, algo-axis, "
+                     "replicates, budget-ms)");
+    }
+  }
+  return plan;
+}
+
+SweepPlan parse_plan_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open plan file " + path);
+  return parse_plan(is);
+}
+
+}  // namespace vdist::engine

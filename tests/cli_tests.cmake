@@ -1,0 +1,119 @@
+# CLI-level round-trip tests, run by ctest as a cmake -P script:
+#
+#   cmake -DVDIST_CLI=<path> -DWORK_DIR=<dir> -P cli_tests.cmake
+#
+# Covers what the gtest suite cannot: the installed binary's argument
+# handling — gen/stats/solve round-trips through the scenario registry
+# for every family (notably `trace`, the one generator the CLI used to
+# miss), strict rejection of typo'd flags, a flags-built sweep with CSV
+# output, and the non-zero exit for unknown subcommands.
+
+if(NOT DEFINED VDIST_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DVDIST_CLI=... -DWORK_DIR=... -P cli_tests.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cli expect_code)
+  execute_process(
+    COMMAND ${VDIST_CLI} ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL expect_code)
+    message(FATAL_ERROR
+      "vdist_cli ${ARGN}: expected exit ${expect_code}, got ${code}\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(cli_out "${out}" PARENT_SCOPE)
+  set(cli_err "${err}" PARENT_SCOPE)
+endfunction()
+
+# --- every scenario family: gen -> stats -> solve round-trip ----------------
+set(kinds cap smd mmd iptv small tightness trace)
+set(small_args --streams 12 --users 6)
+foreach(kind IN LISTS kinds)
+  set(instance "${WORK_DIR}/${kind}.vd")
+  if(kind STREQUAL "tightness")
+    run_cli(0 gen --kind ${kind} --m 3 --mc 2 --out ${instance})
+  elseif(kind STREQUAL "iptv")
+    run_cli(0 gen --kind ${kind} ${small_args} --interests-per-user 4 --out ${instance})
+  elseif(kind STREQUAL "trace")
+    run_cli(0 gen --kind ${kind} ${small_args} --horizon 40 --out ${instance})
+  else()
+    run_cli(0 gen --kind ${kind} ${small_args} --out ${instance})
+  endif()
+  run_cli(0 stats ${instance})
+  if(NOT cli_out MATCHES "streams:")
+    message(FATAL_ERROR "stats ${kind}: unexpected output:\n${cli_out}")
+  endif()
+  run_cli(0 solve ${instance} --algo pipeline)
+endforeach()
+
+# trace instances are unit-skew, so the Section-2 algorithms apply too,
+# and regeneration with the same seed is bit-identical (the registry's
+# determinism contract observed end-to-end).
+run_cli(0 solve "${WORK_DIR}/trace.vd" --algo greedy)
+run_cli(0 gen --kind trace ${small_args} --horizon 40 --out "${WORK_DIR}/trace2.vd")
+file(READ "${WORK_DIR}/trace.vd" trace_a)
+file(READ "${WORK_DIR}/trace2.vd" trace_b)
+if(NOT trace_a STREQUAL trace_b)
+  message(FATAL_ERROR "trace gen is not deterministic across invocations")
+endif()
+
+# --- scenarios/algos listings ------------------------------------------------
+run_cli(0 scenarios)
+foreach(kind IN LISTS kinds)
+  if(NOT cli_out MATCHES "${kind}")
+    message(FATAL_ERROR "'vdist_cli scenarios' does not list ${kind}:\n${cli_out}")
+  endif()
+endforeach()
+run_cli(0 algos)
+if(NOT cli_out MATCHES "pipeline")
+  message(FATAL_ERROR "'vdist_cli algos' does not list pipeline")
+endif()
+
+# --- strict typo rejection ---------------------------------------------------
+run_cli(1 gen --kind cap --bugdet-fraction 0.3)
+if(NOT cli_err MATCHES "bugdet-fraction")
+  message(FATAL_ERROR "typo'd gen param not named in error:\n${cli_err}")
+endif()
+run_cli(1 solve "${WORK_DIR}/cap.vd" --algo enum --depht 2)
+if(NOT cli_err MATCHES "declared")
+  message(FATAL_ERROR "typo'd solve option not rejected strictly:\n${cli_err}")
+endif()
+run_cli(0 solve "${WORK_DIR}/cap.vd" --algo enum --depht 2 --strict 0)
+
+# --- sweep from flags with CSV/JSON emitters ---------------------------------
+run_cli(0 sweep --scenario cap --set users=5 --axis streams=8,12
+        --algos greedy,exact --replicates 2 --seed 7
+        --csv "${WORK_DIR}/sweep.csv" --json "${WORK_DIR}/sweep.json")
+file(READ "${WORK_DIR}/sweep.csv" sweep_csv)
+if(NOT sweep_csv MATCHES "scenario,seed,streams,algorithm")
+  message(FATAL_ERROR "sweep CSV missing header:\n${sweep_csv}")
+endif()
+file(READ "${WORK_DIR}/sweep.json" sweep_json)
+if(NOT sweep_json MATCHES "\"num_scenario_cells\":2")
+  message(FATAL_ERROR "sweep JSON missing cells:\n${sweep_json}")
+endif()
+
+# sweep consumes every flag itself: typos and plan/flag conflicts are
+# errors, not silently different experiments.
+run_cli(1 sweep --scenario cap --algos greedy --replicate 3)
+if(NOT cli_err MATCHES "--replicate")
+  message(FATAL_ERROR "typo'd sweep flag not rejected:\n${cli_err}")
+endif()
+file(WRITE "${WORK_DIR}/tiny.plan" "scenario cap streams=8 users=4\nalgo greedy\n")
+run_cli(1 sweep --plan "${WORK_DIR}/tiny.plan" --algos exact)
+if(NOT cli_err MATCHES "conflicts with --plan")
+  message(FATAL_ERROR "plan/flag conflict not rejected:\n${cli_err}")
+endif()
+run_cli(0 sweep --plan "${WORK_DIR}/tiny.plan" --replicates 2)
+
+# --- unknown subcommands must fail loudly ------------------------------------
+run_cli(1 frobnicate)
+if(NOT cli_err MATCHES "unknown command 'frobnicate'")
+  message(FATAL_ERROR "unknown subcommand not reported:\n${cli_err}")
+endif()
+run_cli(0 help)
+
+message(STATUS "vdist_cli round-trip tests passed")

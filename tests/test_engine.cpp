@@ -147,6 +147,40 @@ TEST(Registry, InvalidOptionValueIsAnErrorResult) {
   EXPECT_NE(r.error.find("depth"), std::string::npos);
 }
 
+TEST(Registry, EveryAlgorithmDeclaresTheOptionsItReads) {
+  // The strict-mode contract: option keys mentioned in the description
+  // must be declared, and declared keys must pass check_options.
+  const SolverRegistry& registry = SolverRegistry::global();
+  for (const std::string& name : registry.names()) {
+    const SolverInfo& info = registry.info(name);
+    SolveOptions all_declared;
+    for (const std::string& key : info.option_keys)
+      all_declared.set(key, "1");
+    EXPECT_NO_THROW(registry.check_options(name, all_declared)) << name;
+    EXPECT_THROW(
+        registry.check_options(name, SolveOptions().set("no-such-key", "1")),
+        std::invalid_argument)
+        << name;
+  }
+}
+
+TEST(Registry, StrictRequestRejectsUndeclaredOptionKeys) {
+  const model::Instance cap = small_cap_instance();
+  SolveRequest req;
+  req.instance = &cap;
+  req.algorithm = "enum";
+  req.options.set("depht", 2);  // typo'd on purpose
+  req.strict = true;
+  const SolveResult r = solve(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("depht"), std::string::npos);
+  EXPECT_NE(r.error.find("depth"), std::string::npos)
+      << "error should list the declared keys";
+  // The same request succeeds leniently (the stray key is ignored).
+  req.strict = false;
+  EXPECT_TRUE(solve(req).ok);
+}
+
 TEST(Registry, ExactReportsProvenOptimality) {
   const model::Instance cap = small_cap_instance();
   SolveRequest req;

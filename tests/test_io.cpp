@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
+#include "engine/scenario.h"
 #include "gen/iptv.h"
 #include "gen/random_instances.h"
 #include "model/factory.h"
@@ -94,6 +96,71 @@ TEST(InstanceIo, RoundTripIptvWithNames) {
   const model::Instance loaded = load_instance(ss);
   expect_instances_equal(inst, loaded);
   EXPECT_FALSE(loaded.stream_name(0).empty());
+}
+
+// Registry-driven round-trip: every registered scenario family (current
+// and future — new registrations are covered automatically) must survive
+// save/load bit-exactly, including named streams/users (iptv, trace).
+TEST(InstanceIo, RoundTripEveryRegisteredScenario) {
+  const engine::ScenarioRegistry& registry =
+      engine::ScenarioRegistry::global();
+  for (const std::string& name : registry.names()) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      engine::ScenarioSpec spec;
+      spec.name = name;
+      spec.seed = seed;
+      const engine::ScenarioInfo& info = registry.info(name);
+      if (info.declares("streams")) spec.params.set("streams", 15);
+      if (info.declares("users")) spec.params.set("users", 7);
+      if (info.declares("horizon")) spec.params.set("horizon", 80);
+      const model::Instance inst = registry.build(spec);
+      std::stringstream ss;
+      save_instance(ss, inst);
+      const model::Instance loaded = load_instance(ss);
+      expect_instances_equal(inst, loaded);
+    }
+  }
+}
+
+// Scenario instances rebuilt with unbounded budgets/caps (the kUnbounded
+// sentinel serializes as "inf") must round-trip too.
+TEST(InstanceIo, RoundTripScenarioWithUnboundedMeasures) {
+  engine::ScenarioSpec spec;
+  spec.name = "mmd";
+  spec.params.set("streams", 10).set("users", 5);
+  const model::Instance base = engine::build_scenario(spec);
+  model::InstanceBuilder b(base.num_server_measures(),
+                           base.num_user_measures());
+  for (int i = 0; i < base.num_server_measures(); ++i)
+    b.set_budget(i, i == 0 ? model::kUnbounded : base.budget(i));
+  for (std::size_t s = 0; s < base.num_streams(); ++s) {
+    std::vector<double> costs;
+    for (int i = 0; i < base.num_server_measures(); ++i)
+      costs.push_back(base.cost(static_cast<model::StreamId>(s), i));
+    b.add_stream(std::move(costs));
+  }
+  for (std::size_t u = 0; u < base.num_users(); ++u)
+    b.add_user(std::vector<double>(
+        static_cast<std::size_t>(base.num_user_measures()),
+        model::kUnbounded));
+  for (std::size_t s = 0; s < base.num_streams(); ++s) {
+    const auto sid = static_cast<model::StreamId>(s);
+    for (model::EdgeId e = base.first_edge(sid); e < base.last_edge(sid); ++e) {
+      std::vector<double> loads;
+      for (int j = 0; j < base.num_user_measures(); ++j)
+        loads.push_back(base.edge_load(e, j));
+      b.add_interest(base.edge_user(e), sid, base.edge_utility(e),
+                     std::move(loads));
+    }
+  }
+  const model::Instance inst = std::move(b).build();
+  std::stringstream ss;
+  save_instance(ss, inst);
+  EXPECT_NE(ss.str().find("inf"), std::string::npos);
+  const model::Instance loaded = load_instance(ss);
+  expect_instances_equal(inst, loaded);
+  EXPECT_TRUE(std::isinf(loaded.budget(0)));
+  EXPECT_TRUE(std::isinf(loaded.capacity(0, 0)));
 }
 
 TEST(InstanceIo, CommentsAndBlankLinesIgnored) {

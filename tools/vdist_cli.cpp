@@ -1,26 +1,34 @@
-// vdist command-line tool: generate, inspect and solve MMD instances.
+// vdist command-line tool: generate, inspect, solve and sweep MMD
+// instances.
 //
-//   vdist_cli gen   --kind cap|smd|mmd|iptv|small|tightness [options] --out F
-//   vdist_cli stats F
+//   vdist_cli gen --kind <scenario> [scenario params] [--seed S] [--out F]
+//   vdist_cli scenarios
 //   vdist_cli algos
+//   vdist_cli stats F
 //   vdist_cli solve F --algo NAME [algorithm options]
+//   vdist_cli sweep --plan FILE | [sweep flags]   [--csv F] [--json F]
+//   vdist_cli eval F --assignment FILE
 //
-// Solving dispatches through the engine::SolverRegistry: every registered
-// algorithm is available by name and unrecognized --key value pairs are
-// forwarded to it as SolveOptions, so a new algorithm needs no CLI change.
-// See `vdist_cli help` for every option. Instances use the text format of
-// src/io/instance_io.h.
+// Workloads dispatch through the engine::ScenarioRegistry and algorithms
+// through the engine::SolverRegistry, so a new generator or solver needs
+// no CLI change: `scenarios` and `algos` list every registration with its
+// declared parameters, `gen`/`solve` resolve names at runtime, and
+// `sweep` runs a declarative scenario x algorithm x seed cross-product
+// (engine/sweep.h) from flags or a plan file. Option keys are checked
+// strictly against the registrations, so a typo'd flag is an error, not
+// silence. Instances use the text format of src/io/instance_io.h.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/registry.h"
-#include "gen/iptv.h"
-#include "gen/random_instances.h"
-#include "gen/small_streams.h"
-#include "gen/tightness.h"
+#include "engine/scenario.h"
+#include "engine/sweep.h"
 #include "io/instance_io.h"
 #include "model/skew.h"
 #include "model/validate.h"
@@ -64,57 +72,25 @@ std::size_t opt_u(const Args& args, const std::string& key, std::size_t dflt) {
   return std::stoul(opt(args, key, std::to_string(dflt)));
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
 int cmd_gen(const Args& args) {
-  const std::string kind = opt(args, "kind", "mmd");
-  const auto seed = static_cast<std::uint64_t>(opt_u(args, "seed", 1));
-  model::Instance inst = [&]() -> model::Instance {
-    if (kind == "cap") {
-      gen::RandomCapConfig cfg;
-      cfg.num_streams = opt_u(args, "streams", 50);
-      cfg.num_users = opt_u(args, "users", 20);
-      cfg.seed = seed;
-      return gen::random_cap_instance(cfg);
-    }
-    if (kind == "smd") {
-      gen::RandomSmdConfig cfg;
-      cfg.num_streams = opt_u(args, "streams", 50);
-      cfg.num_users = opt_u(args, "users", 20);
-      cfg.target_skew = std::stod(opt(args, "skew", "8"));
-      cfg.seed = seed;
-      return gen::random_smd_instance(cfg);
-    }
-    if (kind == "mmd") {
-      gen::RandomMmdConfig cfg;
-      cfg.num_streams = opt_u(args, "streams", 50);
-      cfg.num_users = opt_u(args, "users", 20);
-      cfg.num_server_measures = static_cast<int>(opt_u(args, "m", 2));
-      cfg.num_user_measures = static_cast<int>(opt_u(args, "mc", 2));
-      cfg.seed = seed;
-      return gen::random_mmd_instance(cfg);
-    }
-    if (kind == "iptv") {
-      gen::IptvConfig cfg;
-      cfg.num_channels = opt_u(args, "streams", 150);
-      cfg.num_users = opt_u(args, "users", 250);
-      cfg.decorrelate_price = opt(args, "decorrelate", "0") == "1";
-      cfg.seed = seed;
-      return gen::make_iptv_workload(cfg).instance;
-    }
-    if (kind == "small") {
-      gen::SmallStreamsConfig cfg;
-      cfg.num_streams = opt_u(args, "streams", 150);
-      cfg.num_users = opt_u(args, "users", 15);
-      cfg.seed = seed;
-      return gen::small_streams_instance(cfg).instance;
-    }
-    if (kind == "tightness") {
-      gen::TightnessConfig cfg;
-      cfg.m = static_cast<int>(opt_u(args, "m", 4));
-      cfg.mc = static_cast<int>(opt_u(args, "mc", 4));
-      return gen::tightness_instance(cfg);
-    }
-    throw std::runtime_error("unknown --kind " + kind);
-  }();
+  engine::ScenarioSpec spec;
+  spec.name = opt(args, "kind", "mmd");
+  spec.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 1));
+  // Every option the CLI does not consume itself is a scenario param;
+  // strict resolution rejects params the registration does not declare.
+  for (const auto& [key, value] : args.options)
+    if (key != "kind" && key != "seed" && key != "out")
+      spec.params.set(key, value);
+  const model::Instance inst = engine::build_scenario(spec);
 
   const std::string out = opt(args, "out", "");
   if (out.empty()) {
@@ -125,6 +101,19 @@ int cmd_gen(const Args& args) {
               << inst.num_users() << " users, " << inst.num_edges()
               << " interests)\n";
   }
+  return 0;
+}
+
+int cmd_scenarios() {
+  const engine::ScenarioRegistry& registry = engine::ScenarioRegistry::global();
+  for (const std::string& name : registry.names()) {
+    const engine::ScenarioInfo& info = registry.info(name);
+    std::cout << name << "\n    " << info.description << "\n";
+    for (const engine::ScenarioParam& param : info.params)
+      std::cout << "      --" << param.key << " (default "
+                << param.default_value << "): " << param.description << "\n";
+  }
+  std::cout << "every scenario also takes --seed (default 1)\n";
   return 0;
 }
 
@@ -157,6 +146,8 @@ int cmd_solve(const Args& args) {
   req.instance = &inst;
   req.algorithm = opt(args, "algo", "pipeline");
   req.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 1));
+  // Typo'd option keys are an error unless --strict 0.
+  req.strict = opt(args, "strict", "1") == "1";
   try {
     req.time_budget_ms = std::stod(opt(args, "budget-ms", "0"));
   } catch (const std::exception&) {
@@ -166,7 +157,7 @@ int cmd_solve(const Args& args) {
   // Every option the CLI does not consume itself belongs to the algorithm.
   for (const auto& [key, value] : args.options)
     if (key != "algo" && key != "seed" && key != "budget-ms" &&
-        key != "export" && key != "verbose")
+        key != "export" && key != "verbose" && key != "strict")
       req.options.set(key, value);
 
   const engine::SolveResult r = engine::solve(req);
@@ -197,6 +188,136 @@ int cmd_algos() {
   return 0;
 }
 
+// Axis flag syntax: "key=v1,v2,v3[;key2=...]".
+std::vector<engine::SweepAxis> parse_axes(const std::string& flag,
+                                          const std::string& flag_name) {
+  std::vector<engine::SweepAxis> axes;
+  for (const std::string& part : split(flag, ';')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::runtime_error("--" + flag_name +
+                               " expects key=v1,v2,... got '" + part + "'");
+    axes.push_back({part.substr(0, eq), split(part.substr(eq + 1), ',')});
+  }
+  return axes;
+}
+
+int cmd_sweep(const Args& args) {
+  engine::SweepPlan plan;
+  const std::string plan_path = opt(args, "plan", "");
+  // Unlike solve (whose leftover flags go to the algorithm), sweep
+  // consumes every flag itself — a typo'd flag must be an error, not a
+  // silently different experiment, and plan-structure flags must not be
+  // silently discarded when --plan already defines the structure.
+  {
+    const std::vector<std::string> common = {
+        "plan", "replicates", "seed", "budget-ms", "threads",
+        "csv",  "json",       "strict"};
+    const std::vector<std::string> structure = {"scenario", "set", "axis",
+                                                "algos", "algo-axis"};
+    for (const auto& [key, value] : args.options) {
+      const bool is_common =
+          std::find(common.begin(), common.end(), key) != common.end();
+      const bool is_structure =
+          std::find(structure.begin(), structure.end(), key) !=
+          structure.end();
+      if (!is_common && !is_structure)
+        throw std::runtime_error("sweep does not take --" + key +
+                                 " (see 'vdist_cli help')");
+      if (is_structure && !plan_path.empty())
+        throw std::runtime_error(
+            "--" + key +
+            " conflicts with --plan (the plan file defines the grid)");
+    }
+  }
+  if (!plan_path.empty()) {
+    plan = engine::parse_plan_file(plan_path);
+  } else {
+    engine::ScenarioSpec spec;
+    spec.name = opt(args, "scenario", "");
+    if (spec.name.empty())
+      throw std::runtime_error(
+          "sweep needs --plan FILE or at least --scenario NAME (see "
+          "'vdist_cli help')");
+    for (const std::string& kv : split(opt(args, "set", ""), ',')) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0)
+        throw std::runtime_error("--set expects key=value[,key=value...]");
+      spec.params.set(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    plan.scenarios.push_back(std::move(spec));
+    plan.scenario_axes = parse_axes(opt(args, "axis", ""), "axis");
+    for (const std::string& name :
+         split(opt(args, "algos", "pipeline"), ',')) {
+      engine::AlgorithmSpec algo;
+      algo.name = name;
+      plan.algorithms.push_back(std::move(algo));
+    }
+    // "algo:key=v1,v2" attaches an axis to one named algorithm.
+    for (const std::string& part : split(opt(args, "algo-axis", ""), ';')) {
+      const std::size_t colon = part.find(':');
+      if (colon == std::string::npos || colon == 0)
+        throw std::runtime_error(
+            "--algo-axis expects algo:key=v1,v2,... got '" + part + "'");
+      const std::string target = part.substr(0, colon);
+      bool found = false;
+      for (engine::AlgorithmSpec& algo : plan.algorithms)
+        if (algo.name == target) {
+          const auto axes = parse_axes(part.substr(colon + 1), "algo-axis");
+          algo.axes.insert(algo.axes.end(), axes.begin(), axes.end());
+          found = true;
+        }
+      if (!found)
+        throw std::runtime_error("--algo-axis names algorithm '" + target +
+                                 "' which is not in --algos");
+    }
+  }
+  if (args.options.count("replicates") != 0u)
+    plan.replicates = static_cast<int>(opt_u(args, "replicates", 1));
+  if (args.options.count("seed") != 0u)
+    for (engine::ScenarioSpec& spec : plan.scenarios)
+      spec.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 1));
+  if (args.options.count("budget-ms") != 0u)
+    plan.time_budget_ms = std::stod(opt(args, "budget-ms", "0"));
+
+  engine::SweepOptions options;
+  options.batch.num_threads =
+      static_cast<unsigned>(opt_u(args, "threads", 0));
+  options.strict = opt(args, "strict", "0") == "1";
+  const engine::SweepResult result = engine::run_sweep(plan, options);
+
+  const std::string csv_path = opt(args, "csv", "");
+  const std::string json_path = opt(args, "json", "");
+  auto emit = [&](const std::string& path, auto writer) {
+    if (path == "-") {
+      writer(std::cout);
+      return;
+    }
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open " + path);
+    writer(os);
+    std::cerr << "wrote " << path << "\n";
+  };
+  if (!csv_path.empty())
+    emit(csv_path, [&](std::ostream& os) { engine::write_csv(os, result); });
+  if (!json_path.empty())
+    emit(json_path, [&](std::ostream& os) { engine::write_json(os, result); });
+  if (csv_path != "-" && json_path != "-")
+    engine::summary_table(result).print_aligned(
+        std::cout, "sweep: " + std::to_string(result.num_scenario_cells) +
+                       " scenario cells x " +
+                       std::to_string(result.num_algorithm_cells) +
+                       " algorithm cells x " +
+                       std::to_string(result.replicates) + " replicates");
+
+  const std::string error = result.first_error();
+  if (!error.empty()) {
+    std::cerr << "sweep had failing runs; first: " << error << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 int cmd_eval(const Args& args) {
   const model::Instance inst = io::load_instance_file(args.file);
   const std::string assignment_path = opt(args, "assignment", "");
@@ -215,24 +336,34 @@ int cmd_eval(const Args& args) {
   return report.feasible() ? 0 : 2;
 }
 
-int cmd_help() {
-  std::cout <<
+int cmd_help(std::ostream& os) {
+  os <<
       "vdist_cli — Video Distribution Under Multiple Constraints\n\n"
-      "  vdist_cli gen --kind cap|smd|mmd|iptv|small|tightness\n"
-      "            [--streams N] [--users N] [--m M] [--mc MC] [--skew A]\n"
-      "            [--decorrelate 1] [--seed S] [--out FILE]\n"
-      "  vdist_cli stats FILE\n"
+      "  vdist_cli gen --kind SCENARIO [scenario params] [--seed S]\n"
+      "            [--out FILE]\n"
+      "  vdist_cli scenarios\n"
       "  vdist_cli algos\n"
+      "  vdist_cli stats FILE\n"
       "  vdist_cli solve FILE --algo NAME [--seed S] [--budget-ms T]\n"
-      "            [--verbose 1] [--export 1] [algorithm options]\n"
+      "            [--verbose 1] [--export 1] [--strict 0] [algo options]\n"
+      "  vdist_cli sweep --plan FILE | --scenario NAME [--set k=v,...]\n"
+      "            [--axis k=v1,v2[;k2=...]] [--algos a,b,c]\n"
+      "            [--algo-axis algo:k=v1,v2[;...]] [--replicates N]\n"
+      "            [--seed S] [--threads N] [--csv FILE|-] [--json FILE|-]\n"
       "  vdist_cli eval FILE --assignment ASSIGNMENT_FILE\n\n"
-      "'solve' dispatches through the solver registry: 'vdist_cli algos'\n"
-      "lists every algorithm with its option keys, and unconsumed --key\n"
-      "value pairs are forwarded to the algorithm (e.g. --depth 2 for\n"
-      "enum, --order density for threshold). 'solve --export 1' writes\n"
-      "the assignment to stdout in the text format of src/io/\n"
-      "instance_io.h; 'eval' validates such a file against the instance\n"
-      "(exit 2 if infeasible).\n";
+      "'gen' resolves --kind through the scenario registry ('vdist_cli\n"
+      "scenarios' lists every workload family with its declared params)\n"
+      "and 'solve' through the solver registry ('vdist_cli algos');\n"
+      "unconsumed --key value pairs go to the scenario/algorithm and are\n"
+      "checked against its declared keys (disable with --strict 0 on\n"
+      "solve). 'sweep' expands a scenario x algorithm x seed cross-\n"
+      "product from a plan file or flags, runs it on a thread pool, and\n"
+      "prints per-cell aggregates (mean/min/max objective, gap vs the\n"
+      "utility upper bound, wall time); --csv/--json write the table for\n"
+      "plotting ('-' = stdout). 'solve --export 1' writes the assignment\n"
+      "to stdout in the text format of src/io/instance_io.h; 'eval'\n"
+      "validates such a file against the instance (exit 2 if\n"
+      "infeasible).\n";
   return 0;
 }
 
@@ -242,11 +373,19 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   try {
     if (args.command == "gen") return cmd_gen(args);
+    if (args.command == "scenarios") return cmd_scenarios();
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "algos") return cmd_algos();
     if (args.command == "solve") return cmd_solve(args);
+    if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "eval") return cmd_eval(args);
-    return cmd_help();
+    if (args.command.empty() || args.command == "help" ||
+        args.command == "--help" || args.command == "-h")
+      return cmd_help(std::cout);
+    // An unrecognized subcommand must not silently look like success.
+    std::cerr << "error: unknown command '" << args.command << "'\n\n";
+    cmd_help(std::cerr);
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
