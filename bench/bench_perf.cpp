@@ -1,0 +1,57 @@
+// Experiment PERF: the selection-kernel trajectory.
+//
+// claim: the lazy max-heap selection kernel (core/select.h) is equivalent
+// to the naive O(|S|) rescan pick-for-pick, and asymptotically faster —
+// at the suite's largest SMD workload it must be >= 2x faster with the
+// identical objective. Full runs rewrite BENCH_perf.json at the working
+// directory (the repo root keeps the committed trajectory); smoke runs
+// only print, so bench-smoke cannot clobber the committed numbers.
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+#include "engine/perf.h"
+
+int main() {
+  using namespace vdist;
+
+  bench::print_header("PERF",
+                      "lazy selection kernel == naive scan pick-for-pick, "
+                      ">= 2x faster at the largest SMD size");
+
+  engine::PerfOptions opts;
+  opts.smoke = bench::smoke_mode();
+  const engine::PerfReport report = engine::run_perf(opts);
+
+  const std::string error = report.first_error();
+  if (!error.empty()) {
+    std::cerr << "bench: perf suite failed: " << error << "\n";
+    return 1;
+  }
+
+  engine::perf_table(report).print_aligned(std::cout, "selection kernel");
+
+  if (!opts.smoke) {
+    const char* path = "BENCH_perf.json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench: cannot open " << path << "\n";
+      return 1;
+    }
+    engine::write_perf_json(os, report);
+    std::cout << "wrote " << path << "\n";
+  }
+
+  bool all_match = true;
+  for (const engine::PerfCase& c : report.cases)
+    all_match = all_match && c.objective_match;
+  const engine::PerfCase* largest = report.largest();
+  const bool fast_enough =
+      largest != nullptr && (opts.smoke ? largest->speedup >= 1.0
+                                        : largest->speedup >= 2.0);
+  bench::print_footer(
+      all_match && fast_enough
+          ? "PASS: objectives identical, lazy kernel fast enough"
+          : "FAIL: kernel mismatch or insufficient speedup");
+  return all_match && fast_enough ? 0 : 1;
+}

@@ -94,7 +94,7 @@ double ExponentialCostAllocator::exp_cost(double bound, double load) const {
 }
 
 ExponentialCostAllocator::Decision ExponentialCostAllocator::offer(
-    std::span<const double> costs, const std::vector<Candidate>& candidates) {
+    std::span<const double> costs, std::span<const Candidate> candidates) {
   Decision out;
 
   // Server-side term: sum over finite budgets of (c'_i/B'_i) * C(i), in
@@ -107,13 +107,11 @@ ExponentialCostAllocator::Decision ExponentialCostAllocator::offer(
                    exp_cost(budgets_[i], server_used_[i]);
   }
 
-  // Candidate users with their virtual-budget terms and ratios.
-  struct Entry {
-    std::size_t idx;     // into `candidates`
-    double term;         // sum_j (k_j/K_j) * C(u,j)
-    double ratio;        // term / w_u(S): the peeling key
-  };
-  std::vector<Entry> entries;
+  // Candidate users with their virtual-budget terms and ratios. The
+  // scratch vector lives on the allocator so a long offer sequence (the
+  // simulator's arrival stream) allocates it once.
+  std::vector<OfferEntry>& entries = entries_;
+  entries.clear();
   entries.reserve(candidates.size());
   for (std::size_t idx = 0; idx < candidates.size(); ++idx) {
     const Candidate& cand = candidates[idx];
@@ -143,7 +141,7 @@ ExponentialCostAllocator::Decision ExponentialCostAllocator::offer(
       term += cand.loads[j] / caps[j] * uscales[j] *
               exp_cost(caps[j], used[j]);
     }
-    entries.push_back(Entry{idx, term, term / cand.utility});
+    entries.push_back(OfferEntry{idx, term, term / cand.utility});
   }
   if (entries.empty()) return out;
 
@@ -164,11 +162,13 @@ ExponentialCostAllocator::Decision ExponentialCostAllocator::offer(
   // equivalently, keep the largest ascending-ratio prefix satisfying the
   // admission condition.
   std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.ratio < b.ratio; });
+            [](const OfferEntry& a, const OfferEntry& b) {
+              return a.ratio < b.ratio;
+            });
   std::size_t keep = entries.size();
   double term_sum = server_term;
   double utility_sum = 0.0;
-  for (const Entry& e : entries) {
+  for (const OfferEntry& e : entries) {
     term_sum += e.term;
     utility_sum += candidates[e.idx].utility;
   }
@@ -195,7 +195,7 @@ ExponentialCostAllocator::Decision ExponentialCostAllocator::offer(
 }
 
 void ExponentialCostAllocator::release(
-    std::span<const double> costs, const std::vector<Candidate>& candidates,
+    std::span<const double> costs, std::span<const Candidate> candidates,
     const std::vector<std::size_t>& taken) {
   for (std::size_t i = 0; i < budgets_.size(); ++i)
     server_used_[i] -= costs[i];
@@ -247,25 +247,37 @@ AllocateResult allocate_online(const Instance& inst,
   }
 
   AllocateResult out{model::Assignment(inst), 0.0, mu, gs.gamma, 0, 0, 0};
-  std::vector<double> costs(static_cast<std::size_t>(inst.num_server_measures()));
+  // Per-stream scratch, hoisted (and workspace-backed when the caller
+  // provides one) so the arrival loop performs no steady-state
+  // allocations: candidate slots keep their `loads` capacity across
+  // streams, `count` marks the live prefix.
+  SolveWorkspace local_ws;
+  SolveWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local_ws;
+  std::vector<double>& costs = ws.scratch;
+  costs.assign(static_cast<std::size_t>(inst.num_server_measures()), 0.0);
+  std::vector<ExponentialCostAllocator::Candidate> candidates;
   for (StreamId s : order) {
     for (int i = 0; i < inst.num_server_measures(); ++i)
       costs[static_cast<std::size_t>(i)] = inst.cost(s, i);
-    std::vector<ExponentialCostAllocator::Candidate> candidates;
+    const auto degree =
+        static_cast<std::size_t>(inst.last_edge(s) - inst.first_edge(s));
+    if (candidates.size() < degree) candidates.resize(degree);
+    std::size_t count = 0;
     for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
-      ExponentialCostAllocator::Candidate cand;
+      ExponentialCostAllocator::Candidate& cand = candidates[count++];
       cand.user = inst.edge_user(e);
       cand.utility = inst.edge_utility(e);
       cand.loads.resize(static_cast<std::size_t>(mc));
       for (int j = 0; j < mc; ++j)
         cand.loads[static_cast<std::size_t>(j)] = inst.edge_load(e, j);
-      candidates.push_back(std::move(cand));
     }
-    const auto decision = alloc.offer(costs, candidates);
+    const std::span<const ExponentialCostAllocator::Candidate> live(
+        candidates.data(), count);
+    const auto decision = alloc.offer(costs, live);
     if (decision.accepted) {
       ++out.accepted;
       for (std::size_t idx : decision.taken)
-        out.assignment.assign(candidates[idx].user, s);
+        out.assignment.assign(live[idx].user, s);
     } else {
       ++out.rejected;
     }

@@ -22,9 +22,11 @@
 // fires — zero trips inside the regime (bench E7 checks this).
 #pragma once
 
+#include <initializer_list>
 #include <span>
 #include <vector>
 
+#include "core/select.h"
 #include "model/assignment.h"
 #include "model/instance.h"
 #include "model/skew.h"
@@ -81,12 +83,19 @@ class ExponentialCostAllocator {
 
   // Algorithm 2's per-stream decision; commits loads on acceptance.
   [[nodiscard]] Decision offer(std::span<const double> costs,
-                               const std::vector<Candidate>& candidates);
+                               std::span<const Candidate> candidates);
+  // Brace-literal convenience (tests, examples).
+  [[nodiscard]] Decision offer(std::span<const double> costs,
+                               std::initializer_list<Candidate> candidates) {
+    return offer(costs,
+                 std::span<const Candidate>(candidates.begin(),
+                                            candidates.size()));
+  }
 
   // Reverses an earlier acceptance (stream departure): subtracts the
   // stream's server costs and the loads of the users in `taken`.
   void release(std::span<const double> costs,
-               const std::vector<Candidate>& candidates,
+               std::span<const Candidate> candidates,
                const std::vector<std::size_t>& taken);
 
   // Normalized loads (for metrics): L_A(i) for server measure i.
@@ -99,6 +108,13 @@ class ExponentialCostAllocator {
  private:
   [[nodiscard]] double exp_cost(double bound, double load) const;
 
+  // One candidate user of the stream being offered, scored for the peel.
+  struct OfferEntry {
+    std::size_t idx;  // into the candidate span
+    double term;      // sum_j (k_j/K_j) * C(u,j)
+    double ratio;     // term / w_u(S): the peeling key
+  };
+
   Config config_;
   double log_mu_;
   std::vector<double> budgets_;        // server bounds B_i
@@ -107,6 +123,7 @@ class ExponentialCostAllocator {
   std::vector<std::vector<double>> user_caps_;    // per user
   std::vector<std::vector<double>> user_scales_;  // per user, per measure
   std::vector<std::vector<double>> user_used_;    // per user, absolute loads
+  std::vector<OfferEntry> entries_;    // per-offer scratch, reused
   std::size_t guard_trips_ = 0;
 };
 
@@ -120,6 +137,8 @@ struct AllocateOptions {
   // Arrival order; empty = stream id order. Allocate is online: the order
   // is adversarial in the analysis, and benches randomize it.
   std::vector<model::StreamId> order;
+  // Reusable buffers for the per-stream cost row (core/select.h).
+  SolveWorkspace* workspace = nullptr;
 };
 
 struct AllocateResult {

@@ -14,7 +14,6 @@ using model::Instance;
 using model::StreamId;
 using model::UserId;
 using util::approx_le;
-using util::kInf;
 
 namespace {
 
@@ -27,45 +26,51 @@ void require_cap_form(const Instance& inst, const char* who) {
 
 // Shared engine for the plain and seeded greedy. Maintains, per stream,
 // the fractional residual utility w̄^A(S) of §2 ("preliminaries"), updated
-// incrementally when a user's residual cap changes — the O(|S|*n) scheme
-// of the paper's complexity analysis.
+// incrementally when a user's residual cap changes, and extracts each
+// pick through the selection kernel (core/select.h) — lazily by default,
+// by full rescan under SelectStrategy::kNaiveScan. All per-solve buffers
+// live in the caller's SolveWorkspace so batch runners reuse them.
 class GreedyEngine {
  public:
-  explicit GreedyEngine(const Instance& inst)
-      : inst_(inst),
-        result_{Assignment(inst), 0.0, {}},
-        rem_(inst.num_users()),
-        wbar_(inst.num_streams()),
-        in_pool_(inst.num_streams(), 1),
-        pool_size_(inst.num_streams()) {
-    for (std::size_t u = 0; u < rem_.size(); ++u)
-      rem_[u] = inst.capacity(static_cast<UserId>(u), 0);
-    for (std::size_t s = 0; s < wbar_.size(); ++s)
-      wbar_[s] = inst.total_utility(static_cast<StreamId>(s));
+  GreedyEngine(const Instance& inst, SolveWorkspace& ws,
+               SelectStrategy strategy)
+      : inst_(inst), ws_(ws), result_{Assignment(inst), 0.0, {}, {}} {
+    const std::size_t users = inst.num_users();
+    const std::size_t streams = inst.num_streams();
+    ws_.rem.resize(users);
+    for (std::size_t u = 0; u < users; ++u)
+      ws_.rem[u] = inst.capacity(static_cast<UserId>(u), 0);
+    ws_.wbar.resize(streams);
+    ws_.cost.resize(streams);
+    for (std::size_t s = 0; s < streams; ++s) {
+      ws_.wbar[s] = inst.total_utility(static_cast<StreamId>(s));
+      ws_.cost[s] = inst.cost(static_cast<StreamId>(s), 0);
+    }
+    selector_.reset(ws_, ws_.wbar, ws_.cost, strategy);
   }
 
   // Force-adds a stream (seed). Requires it to fit the remaining budget.
   void add_seed(StreamId s) {
     const auto ss = static_cast<std::size_t>(s);
-    if (!in_pool_[ss]) return;  // duplicate seed
-    const double c = inst_.cost(s, 0);
+    if (!selector_.contains(s)) return;  // duplicate seed
+    const double c = ws_.cost[ss];
     if (!approx_le(used_ + c, inst_.budget(0)))
       throw std::invalid_argument("greedy seed does not fit the budget");
     result_.trace.considered.push_back(s);
     result_.trace.added.push_back(1);
     add_stream(s, c);
-    remove_from_pool(ss);
+    selector_.remove(s);
   }
 
   void run() {
     const double B = inst_.budget(0);
-    while (pool_size_ > 0) {
-      const StreamId best = argmax_effectiveness();
+    for (;;) {
+      const StreamId best = selector_.pop_best();
       if (best == model::kInvalidStream) break;
       const auto bs = static_cast<std::size_t>(best);
-      if (wbar_[bs] <= util::kAbsEps) break;  // nothing left to gain
+      if (ws_.wbar[bs] <= util::kAbsEps) break;  // nothing left to gain
       result_.trace.considered.push_back(best);
-      const double c = inst_.cost(best, 0);
+      const double c = ws_.cost[bs];
       if (approx_le(used_ + c, B)) {
         result_.trace.added.push_back(1);
         add_stream(best, c);
@@ -73,31 +78,15 @@ class GreedyEngine {
         result_.trace.added.push_back(0);
         ++result_.trace.skipped_budget;
       }
-      remove_from_pool(bs);
     }
   }
 
-  GreedyResult take() && { return std::move(result_); }
+  GreedyResult take() && {
+    result_.select = selector_.stats();
+    return std::move(result_);
+  }
 
  private:
-  StreamId argmax_effectiveness() const {
-    StreamId best = model::kInvalidStream;
-    double best_eff = -1.0;
-    double best_wbar = -1.0;
-    for (std::size_t s = 0; s < wbar_.size(); ++s) {
-      if (!in_pool_[s]) continue;
-      const double c = inst_.cost(static_cast<StreamId>(s), 0);
-      const double eff =
-          c > 0.0 ? wbar_[s] / c : (wbar_[s] > 0.0 ? kInf : 0.0);
-      if (eff > best_eff || (eff == best_eff && wbar_[s] > best_wbar)) {
-        best = static_cast<StreamId>(s);
-        best_eff = eff;
-        best_wbar = wbar_[s];
-      }
-    }
-    return best;
-  }
-
   // Assigns `s` to every user with positive residual, charging its cost
   // and propagating residual changes into w̄ of the remaining streams.
   void add_stream(StreamId s, double cost) {
@@ -108,49 +97,47 @@ class GreedyEngine {
       const UserId u = inst_.edge_user(e);
       const auto uu = static_cast<std::size_t>(u);
       const double w = inst_.edge_utility(e);
-      if (rem_[uu] <= util::kAbsEps || w <= 0.0) continue;
+      if (ws_.rem[uu] <= util::kAbsEps || w <= 0.0) continue;
       result_.assignment.assign(u, s);
-      result_.capped_utility += std::min(w, rem_[uu]);
-      const double rem_old = rem_[uu];
-      rem_[uu] -= w;
-      const double rem_new = rem_[uu];
+      result_.capped_utility += std::min(w, ws_.rem[uu]);
+      const double rem_old = ws_.rem[uu];
+      ws_.rem[uu] -= w;
+      const double rem_new = ws_.rem[uu];
       const auto streams = inst_.streams_of(u);
       const auto edges = inst_.edges_of(u);
       for (std::size_t t = 0; t < edges.size(); ++t) {
         const StreamId sp = streams[t];
-        if (sp == s || !in_pool_[static_cast<std::size_t>(sp)]) continue;
+        if (sp == s || !selector_.contains(sp)) continue;
         const double we = inst_.edge_utility(edges[t]);
         const double before = std::min(we, std::max(rem_old, 0.0));
         const double after = std::min(we, std::max(rem_new, 0.0));
-        wbar_[static_cast<std::size_t>(sp)] += after - before;
+        ws_.wbar[static_cast<std::size_t>(sp)] += after - before;
       }
     }
-  }
-
-  void remove_from_pool(std::size_t s) {
-    in_pool_[s] = 0;
-    --pool_size_;
+    selector_.invalidate();  // w̄ entries may have decreased
   }
 
   const Instance& inst_;
+  SolveWorkspace& ws_;
   GreedyResult result_;
-  std::vector<double> rem_;
-  std::vector<double> wbar_;
-  std::vector<char> in_pool_;
-  std::size_t pool_size_;
+  StreamSelector selector_;
   double used_ = 0.0;
 };
 
 }  // namespace
 
-GreedyResult greedy_unit_skew(const Instance& inst) {
-  return greedy_unit_skew_seeded(inst, {});
+GreedyResult greedy_unit_skew(const Instance& inst,
+                              const GreedyOptions& opts) {
+  return greedy_unit_skew_seeded(inst, {}, opts);
 }
 
 GreedyResult greedy_unit_skew_seeded(const Instance& inst,
-                                     std::span<const StreamId> seeds) {
+                                     std::span<const StreamId> seeds,
+                                     const GreedyOptions& opts) {
   require_cap_form(inst, "greedy_unit_skew");
-  GreedyEngine engine(inst);
+  SolveWorkspace local;
+  SolveWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local;
+  GreedyEngine engine(inst, ws, opts.strategy);
   for (StreamId s : seeds) engine.add_seed(s);
   engine.run();
   return std::move(engine).take();
@@ -194,26 +181,34 @@ FeasibleSplit split_last_stream(const Instance& inst,
   return out;
 }
 
-SmdSolveResult solve_unit_skew(const Instance& inst, SmdMode mode) {
+SmdSolveResult solve_unit_skew(const Instance& inst, SmdMode mode,
+                               const GreedyOptions& opts) {
   require_cap_form(inst, "solve_unit_skew");
-  GreedyResult g = greedy_unit_skew(inst);
+  GreedyResult g = greedy_unit_skew(inst, opts);
+  const SelectStats select = g.select;
   Assignment amax = best_single_stream(inst);
   const double w_amax = amax.capped_utility();
+
+  auto finish = [&select](SmdSolveResult r) {
+    r.select = select;
+    return r;
+  };
 
   if (mode == SmdMode::kAugmented) {
     // Corollary 2.7: the semi-feasible greedy vs. the single best stream,
     // compared by capped utility.
     if (g.capped_utility >= w_amax)
-      return {std::move(g.assignment), g.capped_utility, "greedy"};
-    return {std::move(amax), w_amax, "Amax"};
+      return finish({std::move(g.assignment), g.capped_utility, "greedy", {}});
+    return finish({std::move(amax), w_amax, "Amax", {}});
   }
 
   // Theorem 2.8: peel the last stream assigned to each user.
   FeasibleSplit split = split_last_stream(inst, g.assignment);
   if (split.w1 >= split.w2 && split.w1 >= w_amax)
-    return {std::move(split.a1), split.w1, "A1"};
-  if (split.w2 >= w_amax) return {std::move(split.a2), split.w2, "A2"};
-  return {std::move(amax), w_amax, "Amax"};
+    return finish({std::move(split.a1), split.w1, "A1", {}});
+  if (split.w2 >= w_amax)
+    return finish({std::move(split.a2), split.w2, "A2", {}});
+  return finish({std::move(amax), w_amax, "Amax", {}});
 }
 
 }  // namespace vdist::core

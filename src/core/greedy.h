@@ -22,10 +22,19 @@
 #include <string>
 #include <vector>
 
+#include "core/select.h"
 #include "model/assignment.h"
 #include "model/instance.h"
 
 namespace vdist::core {
+
+// How the greedy family runs: which selection strategy extracts the
+// argmax (core/select.h; the strategies are pick-for-pick identical) and
+// which reusable buffer pack to solve on (null = allocate locally).
+struct GreedyOptions {
+  SelectStrategy strategy = SelectStrategy::kLazyHeap;
+  SolveWorkspace* workspace = nullptr;
+};
 
 struct GreedyTrace {
   // Streams in the order the algorithm considered them (seeds first, then
@@ -42,18 +51,23 @@ struct GreedyResult {
   // Paper's w(A) for semi-feasible assignments: sum_u min(W_u, w_u(A)).
   double capped_utility = 0.0;
   GreedyTrace trace;
+  // Selection-kernel counters for this run (picks, re-evaluations).
+  SelectStats select;
 };
 
 // Runs Algorithm 1 verbatim. Requires inst.is_smd() && inst.is_unit_skew()
-// (throws std::invalid_argument otherwise). O(|S| * n) time as in §2.1.
-[[nodiscard]] GreedyResult greedy_unit_skew(const model::Instance& inst);
+// (throws std::invalid_argument otherwise). O(|S| * n) with the naive
+// scan as in §2.1; the default lazy heap is equivalent and much cheaper.
+[[nodiscard]] GreedyResult greedy_unit_skew(const model::Instance& inst,
+                                            const GreedyOptions& opts = {});
 
 // Algorithm 1 started from a preassigned seed set (the §2.3 partial
 // enumeration needs this). Seeds are force-added in the given order —
 // their total cost must fit the budget — and greedy continues over the
 // remaining streams. Duplicate seeds are ignored.
 [[nodiscard]] GreedyResult greedy_unit_skew_seeded(
-    const model::Instance& inst, std::span<const model::StreamId> seeds);
+    const model::Instance& inst, std::span<const model::StreamId> seeds,
+    const GreedyOptions& opts = {});
 
 // The best single-stream assignment Amax of Lemma 2.6: the stream S
 // maximizing w(S) = sum_u w_u(S), assigned to all its interested users.
@@ -82,10 +96,13 @@ struct SmdSolveResult {
   double utility = 0.0;
   // Which candidate won: "greedy", "A1", "A2" or "Amax".
   std::string variant;
+  // Selection-kernel counters of the underlying greedy run(s).
+  SelectStats select;
 };
 
 // The fixed greedy of Section 2.2 for unit-skew SMD instances.
 [[nodiscard]] SmdSolveResult solve_unit_skew(
-    const model::Instance& inst, SmdMode mode = SmdMode::kFeasible);
+    const model::Instance& inst, SmdMode mode = SmdMode::kFeasible,
+    const GreedyOptions& opts = {});
 
 }  // namespace vdist::core

@@ -16,10 +16,12 @@ using model::UserId;
 namespace {
 
 // Drops all but the highest-realized-utility carried variant per group.
-// Returns the number of streams removed.
+// Returns the number of streams removed. `stream_value` is caller scratch
+// (one slot per stream), reused across the fixed-point iterations.
 std::size_t dedup_groups(const Instance& inst,
-                         std::span<const GroupId> group_of, Assignment& a) {
-  std::vector<double> stream_value(inst.num_streams(), 0.0);
+                         std::span<const GroupId> group_of, Assignment& a,
+                         std::vector<double>& stream_value) {
+  stream_value.assign(inst.num_streams(), 0.0);
   for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
     const auto u = static_cast<UserId>(uu);
     for (StreamId s : a.streams_of(u))
@@ -76,7 +78,14 @@ GroupSelectResult solve_with_groups(const Instance& inst,
   MmdSolveResult base = solve_mmd(inst, opts);
   GroupSelectResult out{std::move(base.assignment), 0.0, 0, 0};
 
-  out.variants_dropped = dedup_groups(inst, group_of, out.assignment);
+  // Per-stream scratch for the dedup passes, from the caller's workspace
+  // when the options carry one (core/select.h).
+  SolveWorkspace local;
+  SolveWorkspace& ws =
+      opts.bands.workspace != nullptr ? *opts.bands.workspace : local;
+
+  out.variants_dropped =
+      dedup_groups(inst, group_of, out.assignment, ws.scratch);
 
   // Fixed point: augment among allowed streams, re-deduplicate (one pass
   // may admit two variants of one group), tighten the allowed set, repeat.
@@ -85,7 +94,8 @@ GroupSelectResult solve_with_groups(const Instance& inst,
   for (;;) {
     const double before = out.assignment.utility();
     augment_assignment(inst, out.assignment, allowed);
-    out.variants_dropped += dedup_groups(inst, group_of, out.assignment);
+    out.variants_dropped +=
+        dedup_groups(inst, group_of, out.assignment, ws.scratch);
     block_used_groups(inst, group_of, out.assignment, allowed);
     if (out.assignment.utility() <= before + 1e-12) break;
   }

@@ -13,7 +13,7 @@ MmdSolveResult solve_mmd(const Instance& inst, const MmdSolverOptions& opts) {
       SkewBandsResult bands = solve_smd_any_skew(inst, opts.bands);
       return MmdSolveResult{std::move(bands.assignment), bands.utility,
                             /*reduced=*/false, bands.alpha, bands.num_bands,
-                            bands.chosen_band, {}};
+                            bands.chosen_band, {}, bands.select};
     }
     const Instance smd = reduce_to_smd(inst);
     SkewBandsResult bands = solve_smd_any_skew(smd, opts.bands);
@@ -22,7 +22,7 @@ MmdSolveResult solve_mmd(const Instance& inst, const MmdSolverOptions& opts) {
         transform_output(inst, bands.assignment, &report);
     return MmdSolveResult{std::move(final_assignment), report.final_utility,
                           /*reduced=*/true, bands.alpha, bands.num_bands,
-                          bands.chosen_band, report};
+                          bands.chosen_band, report, bands.select};
   }();
   if (opts.augment) {
     augment_assignment(inst, out.assignment);

@@ -36,6 +36,8 @@ struct MmdSolveResult {
   int num_bands = 0;
   int chosen_band = 0;
   OutputTransformReport transform;  // meaningful when reduced
+  // Selection-kernel counters from the band solves (core/select.h).
+  SelectStats select;
 };
 
 [[nodiscard]] MmdSolveResult solve_mmd(const model::Instance& inst,

@@ -19,11 +19,12 @@ namespace {
 // handed to users in the given order, each user taking a stream while its
 // residual cap is positive (the same saturation rule as Algorithm 1).
 GreedyResult assign_seed_only(const Instance& inst,
-                              std::span<const StreamId> seeds) {
-  GreedyResult out{Assignment(inst), 0.0, {}};
-  std::vector<double> rem(inst.num_users());
-  for (std::size_t u = 0; u < rem.size(); ++u)
-    rem[u] = inst.capacity(static_cast<UserId>(u), 0);
+                              std::span<const StreamId> seeds,
+                              SolveWorkspace& ws) {
+  GreedyResult out{Assignment(inst), 0.0, {}, {}};
+  ws.rem.resize(inst.num_users());
+  for (std::size_t u = 0; u < ws.rem.size(); ++u)
+    ws.rem[u] = inst.capacity(static_cast<UserId>(u), 0);
   for (StreamId s : seeds) {
     out.trace.considered.push_back(s);
     out.trace.added.push_back(1);
@@ -31,10 +32,10 @@ GreedyResult assign_seed_only(const Instance& inst,
       const UserId u = inst.edge_user(e);
       const auto uu = static_cast<std::size_t>(u);
       const double w = inst.edge_utility(e);
-      if (rem[uu] <= util::kAbsEps || w <= 0.0) continue;
+      if (ws.rem[uu] <= util::kAbsEps || w <= 0.0) continue;
       out.assignment.assign(u, s);
-      out.capped_utility += std::min(w, rem[uu]);
-      rem[uu] -= w;
+      out.capped_utility += std::min(w, ws.rem[uu]);
+      ws.rem[uu] -= w;
     }
   }
   return out;
@@ -110,12 +111,20 @@ void for_each_subset(const Instance& inst, int k, Fn&& fn,
 
 PartialEnumResult partial_enum_unit_skew(const Instance& inst,
                                          const PartialEnumOptions& opts) {
-  PartialEnumResult out{{Assignment(inst), -1.0, "none"}, 0, false};
+  PartialEnumResult out{{Assignment(inst), -1.0, "none", {}}, 0, false, {}};
   Incumbent incumbent(inst, opts.mode);
+
+  SolveWorkspace local;
+  SolveWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local;
+  const GreedyOptions greedy_opts{opts.strategy, &ws};
 
   // The plain greedy (empty seed) and the single best stream are always
   // candidates; with seed_size == 0 they are the whole algorithm.
-  incumbent.offer(greedy_unit_skew(inst));
+  {
+    GreedyResult g = greedy_unit_skew(inst, greedy_opts);
+    out.select.merge(g.select);
+    incumbent.offer(std::move(g));
+  }
   incumbent.offer_single_best();
   out.candidates_evaluated = 2;
 
@@ -127,7 +136,7 @@ PartialEnumResult partial_enum_unit_skew(const Instance& inst,
         inst, k,
         [&](std::span<const StreamId> set) {
           ++out.candidates_evaluated;
-          incumbent.offer(assign_seed_only(inst, set));
+          incumbent.offer(assign_seed_only(inst, set, ws));
         },
         candidate_budget);
   }
@@ -138,13 +147,16 @@ PartialEnumResult partial_enum_unit_skew(const Instance& inst,
         inst, opts.seed_size,
         [&](std::span<const StreamId> seed) {
           ++out.candidates_evaluated;
-          incumbent.offer(greedy_unit_skew_seeded(inst, seed));
+          GreedyResult g = greedy_unit_skew_seeded(inst, seed, greedy_opts);
+          out.select.merge(g.select);
+          incumbent.offer(std::move(g));
         },
         candidate_budget);
   }
 
   out.truncated = (candidate_budget == 0);
   out.best = std::move(incumbent).take();
+  out.best.select = out.select;
   return out;
 }
 

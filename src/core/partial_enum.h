@@ -31,6 +31,11 @@ struct PartialEnumOptions {
   SmdMode mode = SmdMode::kFeasible;
   // Safety valve: stop enumerating after this many candidate seed sets.
   std::size_t max_candidates = 5'000'000;
+  // Selection strategy and reusable buffers for every greedy completion
+  // (core/select.h); the lazy heap pays off most here because the inner
+  // greedy runs O(|S|^seed_size) times.
+  SelectStrategy strategy = SelectStrategy::kLazyHeap;
+  SolveWorkspace* workspace = nullptr;
 };
 
 struct PartialEnumResult {
@@ -39,6 +44,8 @@ struct PartialEnumResult {
   // True if max_candidates stopped the enumeration early (the guarantee
   // then no longer holds; benches report it).
   bool truncated = false;
+  // Selection-kernel counters summed over every greedy completion.
+  SelectStats select;
 };
 
 [[nodiscard]] PartialEnumResult partial_enum_unit_skew(

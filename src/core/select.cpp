@@ -1,0 +1,205 @@
+#include "core/select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vdist::core {
+
+namespace {
+
+// Max-heap order: lexicographic (eff, wbar, lowest id). Exact doubles on
+// purpose — the heap only needs *a* total order; the epsilon-aware tie
+// handling happens on the tolerance-tied candidate set after the exact
+// maximum is known, so non-transitive fuzzy comparisons never reach a
+// heap or sort.
+struct HeapLess {
+  bool operator()(const SelectHeapEntry& a,
+                  const SelectHeapEntry& b) const noexcept {
+    if (a.eff != b.eff) return a.eff < b.eff;
+    if (a.wbar != b.wbar) return a.wbar < b.wbar;
+    return a.stream > b.stream;
+  }
+};
+
+// Two effectiveness values tie when within the library tolerance.
+// Infinities (zero-cost streams with positive residual) tie only with
+// each other — approx_eq would see inf - inf = NaN.
+[[nodiscard]] bool eff_ties(double a, double b) noexcept {
+  if (std::isinf(a) || std::isinf(b)) return std::isinf(a) && std::isinf(b);
+  return util::approx_eq(a, b);
+}
+
+// Whether a *stale* effectiveness (an upper bound on the fresh value)
+// could still tie with the exact maximum `m` after a refresh.
+[[nodiscard]] bool could_tie(double stale, double m) noexcept {
+  if (std::isinf(m)) return std::isinf(stale);
+  if (std::isinf(stale)) return true;
+  return util::approx_ge(stale, m);
+}
+
+// The shared tie-break over the tolerance-tied candidates: largest w̄
+// wins; w̄ ties within tolerance keep the lowest stream id. Candidates
+// are sorted by id first so the scan order (and therefore the outcome of
+// the non-transitive fuzzy comparison) is identical for both strategies.
+[[nodiscard]] std::size_t break_ties(std::vector<SelectHeapEntry>& tied) {
+  std::sort(tied.begin(), tied.end(),
+            [](const SelectHeapEntry& a, const SelectHeapEntry& b) {
+              return a.stream < b.stream;
+            });
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < tied.size(); ++i)
+    if (util::definitely_gt(tied[i].wbar, tied[best].wbar)) best = i;
+  return best;
+}
+
+}  // namespace
+
+SelectStrategy parse_select_strategy(const std::string& name) {
+  if (name == "lazy" || name == "heap") return SelectStrategy::kLazyHeap;
+  if (name == "naive" || name == "scan") return SelectStrategy::kNaiveScan;
+  throw std::invalid_argument("option --select expects lazy|naive, got '" +
+                              name + "'");
+}
+
+const char* to_string(SelectStrategy strategy) noexcept {
+  return strategy == SelectStrategy::kLazyHeap ? "lazy" : "naive";
+}
+
+void StreamSelector::reset(SolveWorkspace& ws, std::span<const double> wbar,
+                           std::span<const double> cost,
+                           SelectStrategy strategy) {
+  ws_ = &ws;
+  wbar_ = wbar;
+  cost_ = cost;
+  strategy_ = strategy;
+  const std::size_t n = wbar.size();
+  ws.in_pool.assign(n, 1);
+  pool_size_ = n;
+  round_ = 0;
+  stats_ = {};
+  if (strategy_ == SelectStrategy::kLazyHeap) {
+    ws.heap.clear();
+    ws.heap.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      ws.heap.push_back({select_effectiveness(wbar[s], cost[s]), wbar[s],
+                         static_cast<model::StreamId>(s), 0});
+    }
+    stats_.evaluations += n;
+    std::make_heap(ws.heap.begin(), ws.heap.end(), HeapLess{});
+  } else {
+    ws.eff.assign(n, 0.0);
+  }
+}
+
+model::StreamId StreamSelector::pop_best() {
+  if (pool_size_ == 0) return model::kInvalidStream;
+  const model::StreamId chosen = strategy_ == SelectStrategy::kLazyHeap
+                                     ? pop_best_lazy()
+                                     : pop_best_naive();
+  if (chosen == model::kInvalidStream) return chosen;
+  ws_->in_pool[static_cast<std::size_t>(chosen)] = 0;
+  --pool_size_;
+  ++stats_.picks;
+  return chosen;
+}
+
+model::StreamId StreamSelector::pop_best_lazy() {
+  auto& heap = ws_->heap;
+  const auto& in_pool = ws_->in_pool;
+  const HeapLess less{};
+
+  auto refresh = [&](SelectHeapEntry& e) {
+    const auto s = static_cast<std::size_t>(e.stream);
+    e.eff = select_effectiveness(wbar_[s], cost_[s]);
+    e.wbar = wbar_[s];
+    e.stamp = round_;
+    ++stats_.evaluations;
+  };
+  auto pop_entry = [&]() {
+    std::pop_heap(heap.begin(), heap.end(), less);
+    SelectHeapEntry e = heap.back();
+    heap.pop_back();
+    return e;
+  };
+  auto push_entry = [&](const SelectHeapEntry& e) {
+    heap.push_back(e);
+    std::push_heap(heap.begin(), heap.end(), less);
+  };
+  auto drop_removed = [&]() {
+    while (!heap.empty() &&
+           !in_pool[static_cast<std::size_t>(heap.front().stream)])
+      pop_entry();
+  };
+
+  // Phase 1: the classic lazy pop. A fresh top beats every remaining
+  // stale key, and stale keys only overestimate, so it is the exact
+  // lexicographic (eff, wbar, lowest id) maximum of the pool.
+  SelectHeapEntry top;
+  for (;;) {
+    drop_removed();
+    if (heap.empty()) return model::kInvalidStream;
+    top = pop_entry();
+    if (top.stamp == round_) break;
+    refresh(top);
+    push_entry(top);
+  }
+
+  // Phase 2: gather every pool stream whose *fresh* effectiveness ties
+  // the maximum within tolerance. Anything below the tolerance band has
+  // a stale key below it too and is never touched.
+  auto& tied = ws_->tied;
+  tied.clear();
+  tied.push_back(top);
+  for (;;) {
+    drop_removed();
+    if (heap.empty() || !could_tie(heap.front().eff, top.eff)) break;
+    SelectHeapEntry e = pop_entry();
+    if (e.stamp != round_) refresh(e);
+    if (eff_ties(e.eff, top.eff))
+      tied.push_back(e);
+    else
+      push_entry(e);  // refreshed below the band; back to the heap
+  }
+
+  const std::size_t best = break_ties(tied);
+  for (std::size_t i = 0; i < tied.size(); ++i)
+    if (i != best) push_entry(tied[i]);
+  return tied[best].stream;
+}
+
+model::StreamId StreamSelector::pop_best_naive() {
+  const auto& in_pool = ws_->in_pool;
+  auto& eff = ws_->eff;
+  const std::size_t n = wbar_.size();
+
+  bool any = false;
+  double max_eff = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!in_pool[s]) continue;
+    eff[s] = select_effectiveness(wbar_[s], cost_[s]);
+    ++stats_.evaluations;
+    if (!any || eff[s] > max_eff) {
+      max_eff = eff[s];
+      any = true;
+    }
+  }
+  if (!any) return model::kInvalidStream;
+
+  auto& tied = ws_->tied;
+  tied.clear();
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!in_pool[s] || !eff_ties(eff[s], max_eff)) continue;
+    tied.push_back({eff[s], wbar_[s], static_cast<model::StreamId>(s), 0});
+  }
+  return tied[break_ties(tied)].stream;
+}
+
+void StreamSelector::remove(model::StreamId s) {
+  auto& slot = ws_->in_pool[static_cast<std::size_t>(s)];
+  if (slot == 0) return;
+  slot = 0;
+  --pool_size_;
+}
+
+}  // namespace vdist::core

@@ -1,0 +1,152 @@
+// The shared stream-selection kernel behind the Section-2 greedy family.
+//
+// Every §2-derived solver (Algorithm 1, its seeded variant, the §2.3
+// partial-enumeration completions, the §3 band solver's per-band greedy)
+// repeatedly extracts  argmax_S w̄^A(S) / c(S)  over the pool of streams
+// not yet considered. Because the fractional residual utility w̄ is
+// monotone non-increasing as streams are added (the submodular structure
+// of Lemma 2.1, the same monotonicity CELF-style lazy evaluation exploits
+// in the influence/VoD literature), a stale heap entry only ever
+// *overestimates* a stream's current effectiveness — so a lazy max-heap
+// that re-evaluates entries on demand returns exactly the stream a full
+// O(|S|) rescan would, at a fraction of the evaluations. Both strategies
+// live behind one StreamSelector interface; kNaiveScan is kept for
+// differential testing (tests/test_select.cpp) and as the perf baseline
+// (engine/perf.h, `vdist_cli perf`).
+//
+// Tie-break contract, shared verbatim by both strategies so they are
+// interchangeable pick-for-pick:
+//   1. the selected stream maximizes effectiveness w̄/c;
+//   2. among streams whose effectiveness ties within the library
+//      tolerance (util::approx_eq; infinities tie only with each other),
+//      the largest w̄ wins;
+//   3. among w̄ ties within tolerance, the lowest stream id wins.
+// The old `eff == best_eff` exact double comparison this replaces was
+// refactor-fragile: any change to evaluation order could flip a tie.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+#include "util/float_cmp.h"
+
+namespace vdist::core {
+
+enum class SelectStrategy {
+  kLazyHeap,   // lazy max-heap with stale-entry re-evaluation (default)
+  kNaiveScan,  // full O(pool) rescan per pick (differential baseline)
+};
+
+// Parses "lazy" / "naive" (the `select` option key of the registry
+// adapters); throws std::invalid_argument otherwise.
+[[nodiscard]] SelectStrategy parse_select_strategy(const std::string& name);
+[[nodiscard]] const char* to_string(SelectStrategy strategy) noexcept;
+
+// Counters both strategies report; the perf subsystem and bench E12-style
+// ablations read them off the result structs.
+struct SelectStats {
+  std::size_t picks = 0;        // streams returned by pop_best()
+  std::size_t evaluations = 0;  // effectiveness (re-)computations
+  void merge(const SelectStats& other) noexcept {
+    picks += other.picks;
+    evaluations += other.evaluations;
+  }
+};
+
+// One lazy-heap entry: the stream's effectiveness and residual utility as
+// of `stamp`; stale entries (stamp behind the selector's round) are upper
+// bounds and get refreshed on demand.
+struct SelectHeapEntry {
+  double eff = 0.0;
+  double wbar = 0.0;
+  model::StreamId stream = model::kInvalidStream;
+  std::uint32_t stamp = 0;
+};
+
+// Reusable per-thread scratch for the solver stack. One workspace per
+// thread amortizes every per-solve allocation (residual caps, w̄, costs,
+// the selection heap) across the thousands of cells a BatchRunner or
+// SweepPlan executes; SolveRequest::workspace threads it through the
+// registry. A workspace may be reused freely across sequential solves of
+// different instances and algorithms, but must never be shared by two
+// concurrent solves.
+struct SolveWorkspace {
+  // Selection kernel (StreamSelector).
+  std::vector<SelectHeapEntry> heap;
+  std::vector<char> in_pool;
+  std::vector<double> eff;               // naive-scan per-stream cache
+  std::vector<SelectHeapEntry> tied;     // tolerance-tied candidates
+  // Greedy engine (core/greedy.cpp, core/partial_enum.cpp).
+  std::vector<double> rem;
+  std::vector<double> wbar;
+  std::vector<double> cost;
+  // Generic double scratch (group dedup, allocator cost rows).
+  std::vector<double> scratch;
+};
+
+// Effectiveness of a stream: residual utility per unit cost; zero-cost
+// streams with positive residual rank first (+inf), dead zero-cost
+// streams last (0). Both strategies MUST compute effectiveness through
+// this one helper so their values are bit-identical.
+[[nodiscard]] inline double select_effectiveness(double wbar,
+                                                 double cost) noexcept {
+  return cost > 0.0 ? wbar / cost : (wbar > 0.0 ? util::kInf : 0.0);
+}
+
+// Pops the most effective stream from a shrinking pool. Usage:
+//
+//   StreamSelector sel;
+//   sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kLazyHeap);
+//   while ((s = sel.pop_best()) != model::kInvalidStream) {
+//     ...            // maybe assign s, decreasing entries of ws.wbar
+//     sel.invalidate();  // after any w̄ decrease
+//   }
+//
+// The selector borrows the caller's live w̄/cost arrays; the caller may
+// decrease w̄ entries between pops (and must call invalidate() after
+// doing so) but must never increase one — that would invalidate the
+// stale-entries-overestimate invariant the lazy heap relies on.
+class StreamSelector {
+ public:
+  StreamSelector() = default;
+
+  // Rebinds to `wbar`/`cost` (equal sizes; must not be reallocated for
+  // the selector's lifetime) and resets the pool to all streams.
+  void reset(SolveWorkspace& ws, std::span<const double> wbar,
+             std::span<const double> cost, SelectStrategy strategy);
+
+  // Removes and returns the pool stream with maximum effectiveness under
+  // the tie-break contract above, or model::kInvalidStream when the pool
+  // is empty.
+  [[nodiscard]] model::StreamId pop_best();
+
+  // Removes a stream from the pool without selecting it (seed pre-passes
+  // force-add streams outside the argmax order).
+  void remove(model::StreamId s);
+
+  // Marks every cached effectiveness stale. Call after decreasing w̄.
+  void invalidate() noexcept { ++round_; }
+
+  [[nodiscard]] bool contains(model::StreamId s) const noexcept {
+    return ws_->in_pool[static_cast<std::size_t>(s)] != 0;
+  }
+  [[nodiscard]] std::size_t pool_size() const noexcept { return pool_size_; }
+  [[nodiscard]] const SelectStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] model::StreamId pop_best_lazy();
+  [[nodiscard]] model::StreamId pop_best_naive();
+
+  SolveWorkspace* ws_ = nullptr;
+  std::span<const double> wbar_;
+  std::span<const double> cost_;
+  SelectStrategy strategy_ = SelectStrategy::kLazyHeap;
+  std::size_t pool_size_ = 0;
+  std::uint32_t round_ = 0;
+  SelectStats stats_;
+};
+
+}  // namespace vdist::core

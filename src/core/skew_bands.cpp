@@ -49,7 +49,7 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
     throw std::invalid_argument("solve_smd_any_skew: requires m = mc = 1");
 
   const model::LocalSkewInfo skew = model::local_skew(inst);
-  SkewBandsResult out{Assignment(inst), 0.0, skew.alpha, 0, 0, {}};
+  SkewBandsResult out{Assignment(inst), 0.0, skew.alpha, 0, 0, {}, {}};
 
   // t = 1 + floor(log2 alpha) bands; the epsilon guards the exact-power
   // case (alpha = 2^k must produce k+1 bands, not k+2).
@@ -103,11 +103,15 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
     const Instance band_inst = build_band_instance(inst, band, caps);
     SmdSolveResult solved =
         opts.use_partial_enum
-            ? partial_enum_unit_skew(band_inst,
-                                     {opts.seed_size, opts.mode,
-                                      PartialEnumOptions{}.max_candidates})
+            ? partial_enum_unit_skew(
+                  band_inst, {.seed_size = opts.seed_size,
+                              .mode = opts.mode,
+                              .strategy = opts.strategy,
+                              .workspace = opts.workspace})
                   .best
-            : solve_unit_skew(band_inst, opts.mode);
+            : solve_unit_skew(band_inst, opts.mode,
+                              {opts.strategy, opts.workspace});
+    out.select.merge(solved.select);
 
     // Map the band assignment back to the original instance; the pairs are
     // identical, only the utility function differs.

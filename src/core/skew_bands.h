@@ -29,6 +29,10 @@ struct SkewBandsOptions {
   bool use_partial_enum = false;
   int seed_size = 3;
   SmdMode mode = SmdMode::kFeasible;
+  // Selection strategy and reusable buffers for every per-band greedy
+  // (core/select.h).
+  SelectStrategy strategy = SelectStrategy::kLazyHeap;
+  SolveWorkspace* workspace = nullptr;
 };
 
 struct BandReport {
@@ -47,6 +51,8 @@ struct SkewBandsResult {
   int num_bands = 0;             // t (excluding the free band)
   int chosen_band = 0;           // index of the winning band (0 = free)
   std::vector<BandReport> bands;
+  // Selection-kernel counters summed over every band solve.
+  SelectStats select;
 };
 
 // Requires inst.is_smd(); handles any skew (unit skew degenerates to a

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/select.h"
 #include "engine/registry.h"
 
 namespace vdist::engine {
@@ -42,11 +43,16 @@ std::vector<SolveResult> BatchRunner::run(
   std::mutex callback_mutex;
 
   auto worker = [&]() {
+    // One reusable buffer pack per worker: every request this thread
+    // executes solves on the same workspace instead of allocating fresh
+    // per-solve vectors (a request carrying its own workspace keeps it).
+    core::SolveWorkspace workspace;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= requests.size()) return;
       SolveRequest req = requests[i];
       req.seed = derive_seed(options_.base_seed, i, requests[i].seed);
+      if (req.workspace == nullptr) req.workspace = &workspace;
       try {
         results[i] = registry.solve(req);
       } catch (const std::exception& e) {

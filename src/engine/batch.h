@@ -10,7 +10,11 @@
 //     request and its index — the same batch gives bit-identical results
 //     at any thread count (test_engine.cpp locks this in);
 //   * a failing request (unknown algorithm, wrong instance form, solver
-//     limit) yields its error SolveResult without disturbing the batch.
+//     limit) yields its error SolveResult without disturbing the batch;
+//   * each worker thread owns one core::SolveWorkspace and threads it
+//     through every request it executes (unless the request already
+//     carries one), so a large sweep performs its per-solve buffer
+//     allocations once per thread, not once per cell.
 //
 // Requests hold `const Instance*`; the caller keeps instances alive for
 // the duration of run(). Instances are immutable after build, so many

@@ -1,0 +1,122 @@
+// The perf subsystem: a registered-scenario benchmark suite comparing the
+// two selection-kernel strategies (core/select.h) at scaling instance
+// sizes, recorded as a machine-readable BENCH JSON so the repository
+// keeps a performance trajectory between PRs.
+//
+// Each case is a (scenario spec, algorithm, options) triple built through
+// the ScenarioRegistry; run_perf() solves it once per strategy
+// (select=lazy / select=naive) on one reusable SolveWorkspace, repeats
+// `repetitions` times keeping the *minimum* wall time (robust against
+// scheduler noise), and cross-checks that both strategies produced the
+// identical objective — they are pick-for-pick equivalent by
+// construction, so any mismatch is a kernel bug, not noise.
+//
+// Consumers:
+//   * `vdist_cli perf [--smoke]` — runs the suite, prints the table,
+//     writes BENCH_perf.json, and can enforce a minimum lazy-vs-naive
+//     speedup on the largest case (the CI perf-smoke gate);
+//   * bench/bench_perf.cpp — the same suite as an experiment harness
+//     under the bench-smoke target.
+//
+// BENCH_perf.json schema (one object):
+//   {
+//     "bench": "perf", "smoke": bool, "repetitions": N,
+//     "cases": [{
+//       "label": str, "scenario": str, "algorithm": str,
+//       "streams": N, "users": N, "edges": N,
+//       "lazy":  {"wall_ms": x, "objective": x, "picks": n, "evals": n},
+//       "naive": {"wall_ms": x, "objective": x, "picks": n, "evals": n},
+//       "speedup": x,            // naive.wall_ms / lazy.wall_ms
+//       "objective_match": bool  // exact equality of the two objectives
+//     }, ...],
+//     "largest": {"label": str, "streams": N, "speedup": x,
+//                 "objective_match": bool}   // case with most streams
+//   }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.h"
+#include "util/table.h"
+
+namespace vdist::engine {
+
+// One suite entry: which workload, which algorithm, which fixed options
+// (the `select` key is owned by the runner and must be left unset).
+struct PerfCaseSpec {
+  ScenarioSpec scenario;
+  std::string algorithm;
+  SolveOptions options;
+  std::string label;  // defaults to "<scenario>-<streams>/<algorithm>"
+};
+
+struct PerfOptions {
+  // Smoke mode: tiny sizes that exercise every code path in seconds (the
+  // CI perf-smoke job and the bench-smoke target run this).
+  bool smoke = false;
+  // Wall-time repetitions per (case, strategy); 0 = 3 full / 2 smoke.
+  int repetitions = 0;
+  // Scenario seed for the built-in suite (and the request seed for every
+  // solve); explicit `cases` keep their own scenario seeds.
+  std::uint64_t seed = 1;
+  // Empty = default_perf_suite(smoke).
+  std::vector<PerfCaseSpec> cases;
+};
+
+// One strategy's measurement of one case.
+struct PerfMeasurement {
+  bool ok = false;
+  std::string error;
+  double wall_ms = 0.0;  // minimum over the repetitions
+  double objective = 0.0;
+  double picks = 0.0;  // selection-kernel pop_best() count
+  double evals = 0.0;  // effectiveness (re-)evaluations
+};
+
+struct PerfCase {
+  std::string label;
+  std::string scenario;
+  std::string algorithm;
+  std::size_t streams = 0;
+  std::size_t users = 0;
+  std::size_t edges = 0;
+  PerfMeasurement lazy;
+  PerfMeasurement naive;
+  double speedup = 0.0;  // naive.wall_ms / lazy.wall_ms (0 when not ok)
+  bool objective_match = false;
+
+  [[nodiscard]] bool ok() const { return lazy.ok && naive.ok; }
+};
+
+struct PerfReport {
+  bool smoke = false;
+  int repetitions = 0;
+  std::vector<PerfCase> cases;
+
+  // The case with the most streams (ties: most edges); nullptr when the
+  // suite is empty. The CI speedup gate applies to this case.
+  [[nodiscard]] const PerfCase* largest() const;
+  // First per-case error across the suite; empty when every run worked.
+  [[nodiscard]] std::string first_error() const;
+};
+
+// The built-in scaling suite over registered scenarios. Full mode tops
+// out at a |S| >= 5000 SMD workload (the trajectory's headline number);
+// smoke mode shrinks every size but keeps the shape.
+[[nodiscard]] std::vector<PerfCaseSpec> default_perf_suite(bool smoke);
+
+// Runs the suite. Throws std::invalid_argument on bad specs (unknown
+// scenario/algorithm names); per-run solver errors are recorded in the
+// measurements instead.
+[[nodiscard]] PerfReport run_perf(const PerfOptions& opts = {});
+
+// One row per case: sizes, per-strategy wall/evals, speedup, match.
+[[nodiscard]] util::Table perf_table(const PerfReport& report);
+
+// The BENCH_perf.json document described above.
+void write_perf_json(std::ostream& os, const PerfReport& report);
+
+}  // namespace vdist::engine

@@ -9,6 +9,7 @@
 #include "core/greedy.h"
 #include "core/mmd_solver.h"
 #include "core/partial_enum.h"
+#include "core/select.h"
 #include "core/skew_bands.h"
 #include "engine/builtin_solvers.h"
 #include "engine/registry.h"
@@ -24,21 +25,38 @@ SmdMode parse_mode(const SolveOptions& opts) {
   const std::string mode = opts.get("mode", "feasible");
   if (mode == "feasible") return SmdMode::kFeasible;
   if (mode == "augmented") return SmdMode::kAugmented;
-  throw std::invalid_argument("option --mode expects feasible|augmented, got '" +
-                              mode + "'");
+  throw std::invalid_argument(
+      "option --mode expects feasible|augmented, got '" + mode + "'");
 }
 
-core::SkewBandsOptions band_options(const SolveOptions& opts) {
+// The `select` option every greedy-family adapter reads: which selection
+// kernel strategy runs the argmax (core/select.h). Default lazy; `naive`
+// is the differential-testing / perf baseline.
+core::GreedyOptions greedy_options(const SolveRequest& req) {
+  return {core::parse_select_strategy(req.options.get("select", "lazy")),
+          req.workspace};
+}
+
+core::SkewBandsOptions band_options(const SolveRequest& req) {
+  const SolveOptions& opts = req.options;
   core::SkewBandsOptions bands;
   bands.use_partial_enum = opts.get_bool("enum-bands", false);
   bands.seed_size = static_cast<int>(opts.get_int("depth", bands.seed_size));
   bands.mode = parse_mode(opts);
+  const core::GreedyOptions greedy = greedy_options(req);
+  bands.strategy = greedy.strategy;
+  bands.workspace = greedy.workspace;
   return bands;
+}
+
+void report_select(SolveOutcome& out, const core::SelectStats& select) {
+  out.stats["select_picks"] = static_cast<double>(select.picks);
+  out.stats["select_evals"] = static_cast<double>(select.evaluations);
 }
 
 SolveOutcome run_pipeline(const SolveRequest& req) {
   core::MmdSolverOptions opts;
-  opts.bands = band_options(req.options);
+  opts.bands = band_options(req);
   opts.augment = req.options.get_bool("augment", true);
   core::MmdSolveResult r = core::solve_mmd(*req.instance, opts);
   SolveOutcome out{std::move(r.assignment)};
@@ -49,34 +67,40 @@ SolveOutcome run_pipeline(const SolveRequest& req) {
   out.stats["chosen_band"] = static_cast<double>(r.chosen_band);
   if (r.reduced)
     out.stats["transform_input_utility"] = r.transform.input_utility;
+  report_select(out, r.select);
   return out;
 }
 
 SolveOutcome run_bands(const SolveRequest& req) {
   core::SkewBandsResult r =
-      core::solve_smd_any_skew(*req.instance, band_options(req.options));
+      core::solve_smd_any_skew(*req.instance, band_options(req));
   SolveOutcome out{std::move(r.assignment)};
   out.objective = r.utility;
   out.stats["alpha"] = r.alpha;
   out.stats["num_bands"] = static_cast<double>(r.num_bands);
   out.stats["chosen_band"] = static_cast<double>(r.chosen_band);
+  report_select(out, r.select);
   return out;
 }
 
 SolveOutcome run_fixed_greedy(const SolveRequest& req, SmdMode mode) {
-  core::SmdSolveResult r = core::solve_unit_skew(*req.instance, mode);
+  core::SmdSolveResult r =
+      core::solve_unit_skew(*req.instance, mode, greedy_options(req));
   SolveOutcome out{std::move(r.assignment)};
   out.objective = r.utility;
   out.variant = std::move(r.variant);
+  report_select(out, r.select);
   return out;
 }
 
 SolveOutcome run_plain_greedy(const SolveRequest& req) {
-  core::GreedyResult r = core::greedy_unit_skew(*req.instance);
+  core::GreedyResult r =
+      core::greedy_unit_skew(*req.instance, greedy_options(req));
   SolveOutcome out{std::move(r.assignment)};
   out.objective = r.capped_utility;
   out.stats["considered"] = static_cast<double>(r.trace.considered.size());
   out.stats["skipped_budget"] = static_cast<double>(r.trace.skipped_budget);
+  report_select(out, r.select);
   return out;
 }
 
@@ -88,16 +112,21 @@ SolveOutcome run_amax(const SolveRequest& req) {
 
 SolveOutcome run_partial_enum(const SolveRequest& req) {
   core::PartialEnumOptions opts;
-  opts.seed_size = static_cast<int>(req.options.get_int("depth", opts.seed_size));
+  opts.seed_size =
+      static_cast<int>(req.options.get_int("depth", opts.seed_size));
   opts.mode = parse_mode(req.options);
   opts.max_candidates = static_cast<std::size_t>(req.options.get_int(
       "max-candidates", static_cast<std::int64_t>(opts.max_candidates)));
+  const core::GreedyOptions greedy = greedy_options(req);
+  opts.strategy = greedy.strategy;
+  opts.workspace = greedy.workspace;
   core::PartialEnumResult r = core::partial_enum_unit_skew(*req.instance, opts);
   SolveOutcome out{std::move(r.best.assignment)};
   out.objective = r.best.utility;
   out.variant = std::move(r.best.variant);
   out.stats["candidates"] = static_cast<double>(r.candidates_evaluated);
   out.stats["truncated"] = r.truncated ? 1.0 : 0.0;
+  report_select(out, r.select);
   return out;
 }
 
@@ -117,6 +146,7 @@ SolveOutcome run_online(const SolveRequest& req) {
   core::AllocateOptions opts;
   opts.mu = req.options.get_double("mu", 0.0);
   opts.guard_feasibility = req.options.get_bool("guard", true);
+  opts.workspace = req.workspace;
   if (req.options.get_bool("shuffle", false)) {
     // Randomized arrival order, derived from the request seed so batch
     // sweeps are reproducible per request.
@@ -143,41 +173,45 @@ void register_core_solvers(SolverRegistry& r) {
   r.add({.name = "pipeline",
          .description =
              "Theorem 1.1 end-to-end MMD pipeline (reduce, bands, greedy, "
-             "transform); options: augment, enum-bands, depth, mode",
+             "transform); options: augment, enum-bands, depth, mode, select",
          .form = InstanceForm::kAny,
-         .option_keys = {"augment", "enum-bands", "depth", "mode"}},
+         .option_keys = {"augment", "enum-bands", "depth", "mode", "select"}},
         run_pipeline);
   r.add({.name = "bands",
          .description =
              "Section 3 classify-and-select over skew bands; options: "
-             "enum-bands, depth, mode; stats: alpha, num_bands, chosen_band",
+             "enum-bands, depth, mode, select; stats: alpha, num_bands, "
+             "chosen_band, select_picks, select_evals",
          .form = InstanceForm::kSmd,
-         .option_keys = {"enum-bands", "depth", "mode"}},
+         .option_keys = {"enum-bands", "depth", "mode", "select"}},
         run_bands);
   r.add({.name = "greedy",
          .description =
              "Section 2.2 fixed greedy (Thm 2.8): feasible best of A1/A2/"
-             "Amax; variant reports the winner",
+             "Amax; variant reports the winner; options: select (lazy|naive "
+             "argmax kernel)",
          .form = InstanceForm::kUnitSkew,
-         .option_keys = {}},
+         .option_keys = {"select"}},
         [](const SolveRequest& req) {
           return run_fixed_greedy(req, SmdMode::kFeasible);
         });
   r.add({.name = "greedy-augmented",
          .description =
              "Corollary 2.7 resource-augmented greedy: semi-feasible best "
-             "of greedy/Amax (user caps may overrun by one stream)",
+             "of greedy/Amax (user caps may overrun by one stream); "
+             "options: select",
          .form = InstanceForm::kUnitSkew,
-         .option_keys = {}},
+         .option_keys = {"select"}},
         [](const SolveRequest& req) {
           return run_fixed_greedy(req, SmdMode::kAugmented);
         });
   r.add({.name = "greedy-plain",
          .description =
              "Algorithm 1 verbatim (semi-feasible, unbounded ratio alone); "
-             "stats: considered, skipped_budget",
+             "options: select; stats: considered, skipped_budget, "
+             "select_picks, select_evals",
          .form = InstanceForm::kUnitSkew,
-         .option_keys = {}},
+         .option_keys = {"select"}},
         run_plain_greedy);
   r.add({.name = "amax",
          .description =
@@ -188,9 +222,9 @@ void register_core_solvers(SolverRegistry& r) {
   r.add({.name = "enum",
          .description =
              "Section 2.3 Sviridenko partial enumeration; options: depth, "
-             "mode, max-candidates; stats: candidates, truncated",
+             "mode, max-candidates, select; stats: candidates, truncated",
          .form = InstanceForm::kUnitSkew,
-         .option_keys = {"depth", "mode", "max-candidates"}},
+         .option_keys = {"depth", "mode", "max-candidates", "select"}},
         run_partial_enum);
   r.add({.name = "exact",
          .description =

@@ -24,6 +24,10 @@
 #include "model/instance.h"
 #include "model/validate.h"
 
+namespace vdist::core {
+struct SolveWorkspace;
+}  // namespace vdist::core
+
 namespace vdist::engine {
 
 // String-keyed per-algorithm options with typed accessors. Keys are
@@ -87,6 +91,12 @@ struct SolveRequest {
   // can set options only some algorithms read; the CLI turns it on to
   // catch flag typos.
   bool strict = false;
+  // Optional reusable scratch buffers (core/select.h). Algorithms that
+  // support it solve on these instead of allocating fresh vectors;
+  // BatchRunner supplies one workspace per worker thread when a request
+  // leaves this null. Must outlive the solve and must never be shared by
+  // two concurrent solves.
+  core::SolveWorkspace* workspace = nullptr;
   // Opaque caller label, echoed back in the result (batch bookkeeping).
   std::string tag;
 };

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "engine/registry.h"
+#include "util/json.h"
 
 namespace vdist::engine {
 
@@ -295,38 +296,8 @@ void write_csv(std::ostream& os, const SweepResult& result) {
 
 namespace {
 
-void json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-void json_number(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";  // JSON has no inf/nan
-    return;
-  }
-  std::ostringstream tmp;
-  tmp.precision(17);
-  tmp << v;
-  os << tmp.str();
-}
+using util::json_number;
+using util::json_string;
 
 void json_options(std::ostream& os, const SolveOptions& options) {
   os << '{';

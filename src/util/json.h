@@ -1,0 +1,20 @@
+// Minimal JSON emission helpers shared by the machine-readable writers
+// (engine/sweep.cpp's --json dump, engine/perf.cpp's BENCH_perf.json).
+// Only scalars — the document structure stays at the call sites, but the
+// escaping rules live here exactly once.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace vdist::util {
+
+// Writes `s` as a double-quoted JSON string, escaping quotes,
+// backslashes and every control character (\n, \r, \t, \u00XX).
+void json_string(std::ostream& os, const std::string& s);
+
+// Writes a finite double at round-trip precision; non-finite values
+// (JSON has no inf/nan) become null.
+void json_number(std::ostream& os, double v);
+
+}  // namespace vdist::util

@@ -109,6 +109,23 @@ if(NOT cli_err MATCHES "conflicts with --plan")
 endif()
 run_cli(0 sweep --plan "${WORK_DIR}/tiny.plan" --replicates 2)
 
+# --- perf: smoke suite, BENCH JSON, speedup gate, flag strictness ------------
+run_cli(0 perf --smoke 1 --reps 1 --out "${WORK_DIR}/perf.json")
+file(READ "${WORK_DIR}/perf.json" perf_json)
+if(NOT perf_json MATCHES "\"bench\":\"perf\"")
+  message(FATAL_ERROR "perf JSON missing bench id:\n${perf_json}")
+endif()
+if(NOT perf_json MATCHES "\"objective_match\":true")
+  message(FATAL_ERROR "perf JSON reports no matching objectives:\n${perf_json}")
+endif()
+# --min-speedup 0 disables the gate; an absurd requirement trips it.
+run_cli(0 perf --smoke 1 --reps 1 --out "${WORK_DIR}/perf2.json" --min-speedup 0)
+run_cli(3 perf --smoke 1 --reps 1 --out "${WORK_DIR}/perf3.json" --min-speedup 100000)
+run_cli(1 perf --smoek 1)
+if(NOT cli_err MATCHES "--smoek")
+  message(FATAL_ERROR "typo'd perf flag not rejected:\n${cli_err}")
+endif()
+
 # --- unknown subcommands must fail loudly ------------------------------------
 run_cli(1 frobnicate)
 if(NOT cli_err MATCHES "unknown command 'frobnicate'")

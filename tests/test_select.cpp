@@ -1,0 +1,324 @@
+// The selection kernel (core/select.h): differential equivalence of the
+// lazy-heap and naive-scan strategies, the deterministic tie-break
+// contract, and SolveWorkspace reuse.
+#include "core/select.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/partial_enum.h"
+#include "engine/registry.h"
+#include "engine/scenario.h"
+#include "model/factory.h"
+#include "model/instance.h"
+
+namespace vdist::core {
+namespace {
+
+using engine::ScenarioRegistry;
+using engine::ScenarioSpec;
+using engine::SolveRequest;
+using engine::SolveResult;
+using model::Instance;
+using model::StreamId;
+using model::UserId;
+
+std::vector<std::pair<UserId, StreamId>> pairs(const model::Assignment& a) {
+  std::vector<std::pair<UserId, StreamId>> out;
+  for (std::size_t u = 0; u < a.instance().num_users(); ++u)
+    for (StreamId s : a.streams_of(static_cast<UserId>(u)))
+      out.emplace_back(static_cast<UserId>(u), s);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SolveResult solve_with(const Instance& inst, const std::string& algorithm,
+                       const char* select, SolveWorkspace* ws = nullptr) {
+  SolveRequest req;
+  req.instance = &inst;
+  req.algorithm = algorithm;
+  req.options.set("select", select);
+  if (algorithm == "enum") req.options.set("depth", 2);
+  req.strict = true;
+  req.workspace = ws;
+  return engine::solve(req);
+}
+
+// Every algorithm that funnels through the kernel, applicable to `inst`.
+std::vector<std::string> kernel_algorithms(const Instance& inst) {
+  std::vector<std::string> algos = {"pipeline"};
+  if (inst.is_smd()) algos.push_back("bands");
+  if (inst.is_smd() && inst.is_unit_skew()) {
+    algos.push_back("greedy");
+    algos.push_back("greedy-plain");
+    algos.push_back("greedy-augmented");
+    algos.push_back("enum");
+  }
+  return algos;
+}
+
+// The headline differential guarantee: on every registered scenario, for
+// several seeds, every kernel-backed algorithm produces the identical
+// assignment, objective, variant and pick count under both strategies.
+TEST(SelectKernel, LazyMatchesNaiveOnEveryRegisteredScenario) {
+  const ScenarioRegistry& registry = ScenarioRegistry::global();
+  for (const std::string& name : registry.names()) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      ScenarioSpec spec;
+      spec.name = name;
+      spec.seed = seed;
+      const Instance inst = engine::build_scenario(spec);
+      for (const std::string& algo : kernel_algorithms(inst)) {
+        const SolveResult lazy = solve_with(inst, algo, "lazy");
+        const SolveResult naive = solve_with(inst, algo, "naive");
+        ASSERT_TRUE(lazy.ok) << name << "/" << algo << ": " << lazy.error;
+        ASSERT_TRUE(naive.ok) << name << "/" << algo << ": " << naive.error;
+        EXPECT_EQ(lazy.objective, naive.objective)
+            << name << "/" << algo << " seed " << seed;
+        EXPECT_EQ(lazy.variant, naive.variant)
+            << name << "/" << algo << " seed " << seed;
+        EXPECT_EQ(lazy.stat("select_picks"), naive.stat("select_picks"))
+            << name << "/" << algo << " seed " << seed;
+        EXPECT_EQ(pairs(lazy.solution()), pairs(naive.solution()))
+            << name << "/" << algo << " seed " << seed;
+      }
+    }
+  }
+}
+
+// Traces — the exact stream consideration order — must match too, not
+// just the final assignment.
+TEST(SelectKernel, GreedyTracesIdenticalAcrossStrategies) {
+  for (const char* scenario : {"cap", "trace"}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      ScenarioSpec spec;
+      spec.name = scenario;
+      spec.seed = seed;
+      const Instance inst = engine::build_scenario(spec);
+      const GreedyResult lazy =
+          greedy_unit_skew(inst, {SelectStrategy::kLazyHeap, nullptr});
+      const GreedyResult naive =
+          greedy_unit_skew(inst, {SelectStrategy::kNaiveScan, nullptr});
+      EXPECT_EQ(lazy.trace.considered, naive.trace.considered)
+          << scenario << " seed " << seed;
+      EXPECT_EQ(lazy.trace.added, naive.trace.added)
+          << scenario << " seed " << seed;
+      EXPECT_EQ(lazy.trace.skipped_budget, naive.trace.skipped_budget);
+      EXPECT_EQ(lazy.capped_utility, naive.capped_utility);
+      EXPECT_EQ(lazy.select.picks, naive.select.picks);
+    }
+  }
+}
+
+// The lazy heap must be equivalent *and* cheaper: far fewer
+// effectiveness evaluations on a nontrivial instance.
+TEST(SelectKernel, LazyEvaluatesFarLessThanNaive) {
+  ScenarioSpec spec;
+  spec.name = "cap";
+  spec.params.set("streams", 300).set("users", 80);
+  spec.seed = 7;
+  const Instance inst = engine::build_scenario(spec);
+  const GreedyResult lazy =
+      greedy_unit_skew(inst, {SelectStrategy::kLazyHeap, nullptr});
+  const GreedyResult naive =
+      greedy_unit_skew(inst, {SelectStrategy::kNaiveScan, nullptr});
+  EXPECT_EQ(lazy.capped_utility, naive.capped_utility);
+  EXPECT_LT(lazy.select.evaluations * 10, naive.select.evaluations);
+}
+
+// Exact effectiveness tie: the larger residual utility w̄ wins.
+TEST(SelectKernel, TieBreakPrefersLargerResidual) {
+  // eff(s0) = 4/2 = 2, eff(s1) = 6/3 = 2 (tie), eff(s2) = 1.
+  const Instance inst = model::build_cap_instance(
+      {2.0, 3.0, 1.0}, 100.0, {100.0},
+      {{0, 0, 4.0}, {0, 1, 6.0}, {0, 2, 1.0}});
+  for (const SelectStrategy strategy :
+       {SelectStrategy::kLazyHeap, SelectStrategy::kNaiveScan}) {
+    const GreedyResult g = greedy_unit_skew(inst, {strategy, nullptr});
+    ASSERT_GE(g.trace.considered.size(), 2u) << to_string(strategy);
+    EXPECT_EQ(g.trace.considered[0], 1) << to_string(strategy);
+    EXPECT_EQ(g.trace.considered[1], 0) << to_string(strategy);
+  }
+}
+
+// Near-tie (within the library tolerance): both effectiveness values and
+// residuals count as tied, so the lowest stream id wins — even though
+// stream 1's effectiveness is bit-wise larger. An exact `==` tie-break
+// would pick stream 1 here.
+TEST(SelectKernel, NearTieFallsBackToLowestStreamId) {
+  const double w0 = 5.0;
+  const double w1 = 5.0 + 5e-12;  // relative difference 1e-12 << 1e-9
+  const Instance inst = model::build_cap_instance(
+      {1.0, 1.0}, 100.0, {100.0}, {{0, 0, w0}, {0, 1, w1}});
+  for (const SelectStrategy strategy :
+       {SelectStrategy::kLazyHeap, SelectStrategy::kNaiveScan}) {
+    const GreedyResult g = greedy_unit_skew(inst, {strategy, nullptr});
+    ASSERT_FALSE(g.trace.considered.empty());
+    EXPECT_EQ(g.trace.considered[0], 0) << to_string(strategy);
+  }
+}
+
+// Zero-cost streams have infinite effectiveness; infinities tie only
+// with each other and then fall back to w̄ and id like everything else.
+TEST(SelectKernel, ZeroCostStreamsRankFirstUnderBothStrategies) {
+  const Instance inst = model::build_cap_instance(
+      {0.0, 0.0, 1.0}, 1.0, {100.0},
+      {{0, 0, 0.5}, {0, 1, 2.0}, {0, 2, 50.0}});
+  for (const SelectStrategy strategy :
+       {SelectStrategy::kLazyHeap, SelectStrategy::kNaiveScan}) {
+    const GreedyResult g = greedy_unit_skew(inst, {strategy, nullptr});
+    ASSERT_GE(g.trace.considered.size(), 3u);
+    EXPECT_EQ(g.trace.considered[0], 1) << "larger w̄ among the two infs";
+    EXPECT_EQ(g.trace.considered[1], 0);
+    EXPECT_EQ(g.trace.considered[2], 2);
+  }
+}
+
+// The StreamSelector itself: pops drain the pool in effectiveness order,
+// remove() excludes streams, stats count picks.
+TEST(StreamSelector, PopsInEffectivenessOrderAndHonorsRemove) {
+  SolveWorkspace ws;
+  ws.wbar = {10.0, 30.0, 20.0, 5.0};
+  ws.cost = {1.0, 1.0, 1.0, 1.0};
+  for (const SelectStrategy strategy :
+       {SelectStrategy::kLazyHeap, SelectStrategy::kNaiveScan}) {
+    StreamSelector sel;
+    sel.reset(ws, ws.wbar, ws.cost, strategy);
+    EXPECT_EQ(sel.pool_size(), 4u);
+    sel.remove(2);
+    EXPECT_FALSE(sel.contains(2));
+    EXPECT_EQ(sel.pop_best(), 1);
+    EXPECT_EQ(sel.pop_best(), 0);
+    EXPECT_EQ(sel.pop_best(), 3);
+    EXPECT_EQ(sel.pop_best(), model::kInvalidStream);
+    EXPECT_EQ(sel.stats().picks, 3u);
+  }
+}
+
+// Lazy re-evaluation: decreasing w̄ between pops (with invalidate())
+// must demote a stream exactly like a fresh rescan would.
+TEST(StreamSelector, StaleEntriesAreReevaluatedAfterInvalidate) {
+  SolveWorkspace ws;
+  ws.wbar = {8.0, 10.0, 6.0};
+  ws.cost = {1.0, 1.0, 1.0};
+  StreamSelector sel;
+  sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kLazyHeap);
+  EXPECT_EQ(sel.pop_best(), 1);
+  ws.wbar[0] = 0.5;  // stream 0's stale entry (8.0) now overestimates
+  sel.invalidate();
+  EXPECT_EQ(sel.pop_best(), 2);
+  EXPECT_EQ(sel.pop_best(), 0);
+}
+
+// Two sequential solves on one workspace must equal two fresh solves —
+// across different instances, sizes, and algorithms.
+TEST(SolveWorkspace, SequentialSolvesMatchFreshSolves) {
+  ScenarioSpec big;
+  big.name = "cap";
+  big.params.set("streams", 60).set("users", 20);
+  big.seed = 11;
+  ScenarioSpec small;
+  small.name = "cap";
+  small.params.set("streams", 25).set("users", 8);
+  small.seed = 12;
+  const Instance inst_big = engine::build_scenario(big);
+  const Instance inst_small = engine::build_scenario(small);
+
+  SolveWorkspace ws;
+  // Big then small: shrinking buffers must not leak state.
+  const GreedyResult reused_big =
+      greedy_unit_skew(inst_big, {SelectStrategy::kLazyHeap, &ws});
+  const GreedyResult reused_small =
+      greedy_unit_skew(inst_small, {SelectStrategy::kLazyHeap, &ws});
+  const GreedyResult fresh_big = greedy_unit_skew(inst_big);
+  const GreedyResult fresh_small = greedy_unit_skew(inst_small);
+
+  EXPECT_EQ(reused_big.capped_utility, fresh_big.capped_utility);
+  EXPECT_EQ(reused_big.trace.considered, fresh_big.trace.considered);
+  EXPECT_EQ(pairs(reused_big.assignment), pairs(fresh_big.assignment));
+  EXPECT_EQ(reused_small.capped_utility, fresh_small.capped_utility);
+  EXPECT_EQ(reused_small.trace.considered, fresh_small.trace.considered);
+  EXPECT_EQ(pairs(reused_small.assignment), pairs(fresh_small.assignment));
+
+  // And across algorithms: an enum solve after the greedy ones.
+  PartialEnumOptions opts;
+  opts.seed_size = 2;
+  opts.workspace = &ws;
+  const PartialEnumResult reused_enum =
+      partial_enum_unit_skew(inst_small, opts);
+  opts.workspace = nullptr;
+  const PartialEnumResult fresh_enum =
+      partial_enum_unit_skew(inst_small, opts);
+  EXPECT_EQ(reused_enum.best.utility, fresh_enum.best.utility);
+  EXPECT_EQ(pairs(reused_enum.best.assignment),
+            pairs(fresh_enum.best.assignment));
+}
+
+// The registry path: an explicit workspace on the request changes
+// nothing about the result.
+TEST(SolveWorkspace, RegistrySolvesAreWorkspaceInvariant) {
+  ScenarioSpec spec;
+  spec.name = "mmd";
+  spec.seed = 3;
+  const Instance inst = engine::build_scenario(spec);
+  SolveWorkspace ws;
+  const SolveResult with_ws = solve_with(inst, "pipeline", "lazy", &ws);
+  const SolveResult fresh = solve_with(inst, "pipeline", "lazy");
+  ASSERT_TRUE(with_ws.ok) << with_ws.error;
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  EXPECT_EQ(with_ws.objective, fresh.objective);
+  EXPECT_EQ(pairs(with_ws.solution()), pairs(fresh.solution()));
+}
+
+// Option plumbing: `select` is declared (strict mode accepts it) and
+// validated (a bogus value is an error result, not silence).
+TEST(SelectKernel, SelectOptionIsDeclaredAndValidated) {
+  ScenarioSpec spec;
+  spec.name = "cap";
+  spec.seed = 1;
+  const Instance inst = engine::build_scenario(spec);
+  for (const char* algo :
+       {"greedy", "greedy-plain", "greedy-augmented", "enum", "bands",
+        "pipeline"}) {
+    const SolveResult ok = solve_with(inst, algo, "naive");
+    EXPECT_TRUE(ok.ok) << algo << ": " << ok.error;
+    const SolveResult bad = solve_with(inst, algo, "bogus");
+    EXPECT_FALSE(bad.ok) << algo;
+    EXPECT_NE(bad.error.find("select"), std::string::npos) << bad.error;
+  }
+  EXPECT_THROW(parse_select_strategy("fastest"), std::invalid_argument);
+  EXPECT_EQ(parse_select_strategy("lazy"), SelectStrategy::kLazyHeap);
+  EXPECT_EQ(parse_select_strategy("naive"), SelectStrategy::kNaiveScan);
+}
+
+// Seeded greedy through the kernel: seeds leave the pool, duplicates are
+// ignored, and both strategies continue identically after the seeds.
+TEST(SelectKernel, SeededGreedyIdenticalAcrossStrategies) {
+  ScenarioSpec spec;
+  spec.name = "cap";
+  spec.params.set("streams", 40).set("users", 12)
+      .set("budget-fraction", 0.5);
+  spec.seed = 21;
+  const Instance inst = engine::build_scenario(spec);
+  const StreamId seeds[] = {3, 7, 3};  // duplicate on purpose
+  const GreedyResult lazy = greedy_unit_skew_seeded(
+      inst, seeds, {SelectStrategy::kLazyHeap, nullptr});
+  const GreedyResult naive = greedy_unit_skew_seeded(
+      inst, seeds, {SelectStrategy::kNaiveScan, nullptr});
+  EXPECT_EQ(lazy.trace.considered, naive.trace.considered);
+  EXPECT_EQ(lazy.capped_utility, naive.capped_utility);
+  ASSERT_GE(lazy.trace.considered.size(), 2u);
+  EXPECT_EQ(lazy.trace.considered[0], 3);
+  EXPECT_EQ(lazy.trace.considered[1], 7);
+  // The duplicate seed was dropped: stream 3 appears exactly once.
+  EXPECT_EQ(std::count(lazy.trace.considered.begin(),
+                       lazy.trace.considered.end(), StreamId{3}),
+            1);
+}
+
+}  // namespace
+}  // namespace vdist::core

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/perf.h"
 #include "engine/registry.h"
 #include "engine/scenario.h"
 #include "engine/sweep.h"
@@ -318,6 +319,79 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_perf(const Args& args) {
+  // Like sweep, perf consumes every flag itself: a typo'd flag must be an
+  // error, not a silently different benchmark.
+  {
+    const std::vector<std::string> known = {"smoke", "out", "reps", "seed",
+                                            "min-speedup"};
+    for (const auto& [key, value] : args.options)
+      if (std::find(known.begin(), known.end(), key) == known.end())
+        throw std::runtime_error("perf does not take --" + key +
+                                 " (see 'vdist_cli help')");
+  }
+  // Validate the gate threshold before spending minutes benchmarking: a
+  // partial parse ("2x") must be an error, not a silently different gate.
+  double min_speedup = 0.0;
+  {
+    const std::string raw = opt(args, "min-speedup", "1");
+    std::size_t parsed = 0;
+    try {
+      min_speedup = std::stod(raw, &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    if (parsed != raw.size())
+      throw std::runtime_error(
+          "option --min-speedup expects a number, got '" + raw + "'");
+  }
+
+  engine::PerfOptions options;
+  options.smoke = opt(args, "smoke", "0") == "1";
+  options.repetitions = static_cast<int>(opt_u(args, "reps", 0));
+  options.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 1));
+  const engine::PerfReport report = engine::run_perf(options);
+
+  const std::string out_path = opt(args, "out", "BENCH_perf.json");
+  // Like sweep's '-' emitters: keep stdout machine-parseable when the
+  // JSON goes there, printing the table only otherwise.
+  if (out_path != "-")
+    engine::perf_table(report).print_aligned(
+        std::cout, std::string("perf: selection kernel, ") +
+                       (report.smoke ? "smoke sizes" : "full sizes"));
+  if (out_path == "-") {
+    engine::write_perf_json(std::cout, report);
+  } else {
+    std::ofstream os(out_path);
+    if (!os) throw std::runtime_error("cannot open " + out_path);
+    engine::write_perf_json(os, report);
+    std::cerr << "wrote " << out_path << "\n";
+  }
+
+  const std::string error = report.first_error();
+  if (!error.empty()) {
+    std::cerr << "perf had failing runs; first: " << error << "\n";
+    return 2;
+  }
+  for (const engine::PerfCase& c : report.cases)
+    if (!c.objective_match) {
+      std::cerr << "perf: lazy and naive objectives differ on " << c.label
+                << " — selection kernel bug\n";
+      return 3;
+    }
+  // The CI gate: the lazy kernel must beat the naive scan on the largest
+  // case by at least --min-speedup (default 1; 0 disables).
+  const engine::PerfCase* largest = report.largest();
+  if (min_speedup > 0.0 && largest != nullptr &&
+      largest->speedup < min_speedup) {
+    std::cerr << "perf: lazy kernel speedup " << largest->speedup << " on "
+              << largest->label << " is below the required " << min_speedup
+              << "\n";
+    return 3;
+  }
+  return 0;
+}
+
 int cmd_eval(const Args& args) {
   const model::Instance inst = io::load_instance_file(args.file);
   const std::string assignment_path = opt(args, "assignment", "");
@@ -350,6 +424,8 @@ int cmd_help(std::ostream& os) {
       "            [--axis k=v1,v2[;k2=...]] [--algos a,b,c]\n"
       "            [--algo-axis algo:k=v1,v2[;...]] [--replicates N]\n"
       "            [--seed S] [--threads N] [--csv FILE|-] [--json FILE|-]\n"
+      "  vdist_cli perf [--smoke 1] [--out FILE|-] [--reps N] [--seed S]\n"
+      "            [--min-speedup X]\n"
       "  vdist_cli eval FILE --assignment ASSIGNMENT_FILE\n\n"
       "'gen' resolves --kind through the scenario registry ('vdist_cli\n"
       "scenarios' lists every workload family with its declared params)\n"
@@ -360,10 +436,13 @@ int cmd_help(std::ostream& os) {
       "product from a plan file or flags, runs it on a thread pool, and\n"
       "prints per-cell aggregates (mean/min/max objective, gap vs the\n"
       "utility upper bound, wall time); --csv/--json write the table for\n"
-      "plotting ('-' = stdout). 'solve --export 1' writes the assignment\n"
-      "to stdout in the text format of src/io/instance_io.h; 'eval'\n"
-      "validates such a file against the instance (exit 2 if\n"
-      "infeasible).\n";
+      "plotting ('-' = stdout). 'perf' benchmarks the lazy selection\n"
+      "kernel against the naive rescan on scaling registered scenarios\n"
+      "and writes BENCH_perf.json (exit 3 when the objectives diverge or\n"
+      "the largest case's speedup falls below --min-speedup). 'solve\n"
+      "--export 1' writes the assignment to stdout in the text format of\n"
+      "src/io/instance_io.h; 'eval' validates such a file against the\n"
+      "instance (exit 2 if infeasible).\n";
   return 0;
 }
 
@@ -378,6 +457,7 @@ int main(int argc, char** argv) {
     if (args.command == "algos") return cmd_algos();
     if (args.command == "solve") return cmd_solve(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "perf") return cmd_perf(args);
     if (args.command == "eval") return cmd_eval(args);
     if (args.command.empty() || args.command == "help" ||
         args.command == "--help" || args.command == "-h")
