@@ -11,183 +11,460 @@ namespace vdist::core {
 using model::Assignment;
 using model::EdgeId;
 using model::Instance;
+using model::InstanceView;
 using model::StreamId;
 using model::UserId;
 using util::approx_le;
 
 namespace {
 
-void require_cap_form(const Instance& inst, const char* who) {
-  if (!inst.is_smd() || !inst.is_unit_skew())
-    throw std::invalid_argument(std::string(who) +
-                                ": requires a unit-skew SMD (cap-form) "
-                                "instance; see model::build_cap_instance");
+// Per-user peel decision shared by the materializing and values-only
+// split paths: how many leading streams stay in A1.
+[[nodiscard]] std::size_t a1_keep_count(const InstanceView& view, UserId u,
+                                        std::span<const StreamId> streams) {
+  // Only users the greedy saturated past W_u need the last stream peeled
+  // (the paper peels unconditionally; keeping the full assignment when
+  // it already fits is a strict improvement with the same guarantee).
+  double w = 0.0;
+  for (StreamId s : streams) w += view.pair_utility(u, s);
+  const bool over_cap = !approx_le(w, view.capacity(u));
+  return streams.size() - (over_cap ? 1 : 0);
 }
 
-// Shared engine for the plain and seeded greedy. Maintains, per stream,
-// the fractional residual utility w̄^A(S) of §2 ("preliminaries"), updated
-// incrementally when a user's residual cap changes, and extracts each
-// pick through the selection kernel (core/select.h) — lazily by default,
-// by full rescan under SelectStrategy::kNaiveScan. All per-solve buffers
-// live in the caller's SolveWorkspace so batch runners reuse them.
-class GreedyEngine {
- public:
-  GreedyEngine(const Instance& inst, SolveWorkspace& ws,
-               SelectStrategy strategy)
-      : inst_(inst), ws_(ws), result_{Assignment(inst), 0.0, {}, {}} {
-    const std::size_t users = inst.num_users();
-    const std::size_t streams = inst.num_streams();
-    ws_.rem.resize(users);
-    for (std::size_t u = 0; u < users; ++u)
-      ws_.rem[u] = inst.capacity(static_cast<UserId>(u), 0);
-    ws_.wbar.resize(streams);
-    ws_.cost.resize(streams);
-    for (std::size_t s = 0; s < streams; ++s) {
-      ws_.wbar[s] = inst.total_utility(static_cast<StreamId>(s));
-      ws_.cost[s] = inst.cost(static_cast<StreamId>(s), 0);
-    }
-    selector_.reset(ws_, ws_.wbar, ws_.cost, strategy);
-  }
-
-  // Force-adds a stream (seed). Requires it to fit the remaining budget.
-  void add_seed(StreamId s) {
-    const auto ss = static_cast<std::size_t>(s);
-    if (!selector_.contains(s)) return;  // duplicate seed
-    const double c = ws_.cost[ss];
-    if (!approx_le(used_ + c, inst_.budget(0)))
-      throw std::invalid_argument("greedy seed does not fit the budget");
-    result_.trace.considered.push_back(s);
-    result_.trace.added.push_back(1);
-    add_stream(s, c);
-    selector_.remove(s);
-  }
-
-  void run() {
-    const double B = inst_.budget(0);
-    for (;;) {
-      const StreamId best = selector_.pop_best();
-      if (best == model::kInvalidStream) break;
-      const auto bs = static_cast<std::size_t>(best);
-      if (ws_.wbar[bs] <= util::kAbsEps) break;  // nothing left to gain
-      result_.trace.considered.push_back(best);
-      const double c = ws_.cost[bs];
-      if (approx_le(used_ + c, B)) {
-        result_.trace.added.push_back(1);
-        add_stream(best, c);
-      } else {
-        result_.trace.added.push_back(0);
-        ++result_.trace.skipped_budget;
-      }
+// The one Theorem 2.8 peel loop both materializing paths share; only the
+// per-user over-cap decision differs (recomputed pair sums for the free
+// function, the engine's running accumulator for scoring mode).
+template <typename OverCapFn>
+[[nodiscard]] Assignment peel_split(const InstanceView& view,
+                                    const Assignment& semi, bool keep_rest,
+                                    OverCapFn&& over_cap) {
+  Assignment out(view.base());
+  for (std::size_t uu = 0; uu < view.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    const auto streams = semi.streams_of(u);
+    if (streams.empty()) continue;
+    if (keep_rest) {
+      const std::size_t keep = streams.size() - (over_cap(u, streams) ? 1 : 0);
+      for (std::size_t t = 0; t < keep; ++t) out.assign(u, streams[t]);
+    } else {
+      out.assign(u, streams.back());
     }
   }
-
-  GreedyResult take() && {
-    result_.select = selector_.stats();
-    return std::move(result_);
-  }
-
- private:
-  // Assigns `s` to every user with positive residual, charging its cost
-  // and propagating residual changes into w̄ of the remaining streams.
-  void add_stream(StreamId s, double cost) {
-    used_ += cost;
-    const EdgeId lo = inst_.first_edge(s);
-    const EdgeId hi = inst_.last_edge(s);
-    for (EdgeId e = lo; e < hi; ++e) {
-      const UserId u = inst_.edge_user(e);
-      const auto uu = static_cast<std::size_t>(u);
-      const double w = inst_.edge_utility(e);
-      if (ws_.rem[uu] <= util::kAbsEps || w <= 0.0) continue;
-      result_.assignment.assign(u, s);
-      result_.capped_utility += std::min(w, ws_.rem[uu]);
-      const double rem_old = ws_.rem[uu];
-      ws_.rem[uu] -= w;
-      const double rem_new = ws_.rem[uu];
-      const auto streams = inst_.streams_of(u);
-      const auto edges = inst_.edges_of(u);
-      for (std::size_t t = 0; t < edges.size(); ++t) {
-        const StreamId sp = streams[t];
-        if (sp == s || !selector_.contains(sp)) continue;
-        const double we = inst_.edge_utility(edges[t]);
-        const double before = std::min(we, std::max(rem_old, 0.0));
-        const double after = std::min(we, std::max(rem_new, 0.0));
-        ws_.wbar[static_cast<std::size_t>(sp)] += after - before;
-      }
-    }
-    selector_.invalidate();  // w̄ entries may have decreased
-  }
-
-  const Instance& inst_;
-  SolveWorkspace& ws_;
-  GreedyResult result_;
-  StreamSelector selector_;
-  double used_ = 0.0;
-};
+  return out;
+}
 
 }  // namespace
 
-GreedyResult greedy_unit_skew(const Instance& inst,
-                              const GreedyOptions& opts) {
-  return greedy_unit_skew_seeded(inst, {}, opts);
+GreedyEngine::GreedyEngine(InstanceView view, SolveWorkspace& ws,
+                           const GreedyOptions& opts)
+    : view_(view),
+      ws_(ws),
+      record_trace_(opts.record_trace),
+      build_assignment_(opts.build_assignment),
+      result_{Assignment(view.base()), 0.0, {}, {}} {
+  const std::size_t users = view_.num_users();
+  const std::size_t streams = view_.num_streams();
+  ws_.taken.assign(streams, 0);
+  ws_.rem.resize(users);
+  for (std::size_t u = 0; u < users; ++u)
+    ws_.rem[u] = view_.capacity(static_cast<UserId>(u));
+  ws_.user_w.assign(users, 0.0);
+  ws_.user_last_w.assign(users, 0.0);
+  ws_.wbar.resize(streams);
+  ws_.cost.resize(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    ws_.wbar[s] = view_.total_utility(static_cast<StreamId>(s));
+    ws_.cost[s] = view_.cost(static_cast<StreamId>(s));
+  }
+  // User-major copy of the (surrogate) utilities, each user's adjacency
+  // sorted by DESCENDING utility with the stream ids in parallel. The w̄
+  // propagation of add_stream only has to touch pairs whose fractional
+  // contribution min(w, rem) actually changed — with the row sorted, the
+  // first pair with w <= rem ends the scan (everything after it is
+  // unchanged too). Reordering is exact: each pair's delta lands in its
+  // own stream accumulator, so per-user visit order never affects a
+  // single floating-point sum. Built once per engine, read-only after.
+  ws_.user_edge_w.resize(view_.num_edges());
+  ws_.user_edge_s.resize(view_.num_edges());
+  {
+    std::vector<std::pair<double, StreamId>> row;
+    std::size_t pos = 0;
+    for (std::size_t u = 0; u < users; ++u) {
+      const auto edges = view_.edges_of(static_cast<UserId>(u));
+      const auto streams_of_u = view_.streams_of(static_cast<UserId>(u));
+      row.clear();
+      for (std::size_t t = 0; t < edges.size(); ++t)
+        row.emplace_back(view_.edge_utility(edges[t]), streams_of_u[t]);
+      std::sort(row.begin(), row.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;  // deterministic on w ties
+                });
+      for (const auto& [w, sp] : row) {
+        ws_.user_edge_w[pos] = w;
+        ws_.user_edge_s[pos] = sp;
+        ++pos;
+      }
+    }
+  }
+  // Streams by ascending cost: run()'s budget cutoff reads the cheapest
+  // stream still in the pool off this order.
+  ws_.cost_order.resize(streams);
+  for (std::size_t s = 0; s < streams; ++s)
+    ws_.cost_order[s] = static_cast<StreamId>(s);
+  std::sort(ws_.cost_order.begin(), ws_.cost_order.end(),
+            [&](StreamId a, StreamId b) {
+              const double ca = ws_.cost[static_cast<std::size_t>(a)];
+              const double cb = ws_.cost[static_cast<std::size_t>(b)];
+              if (ca != cb) return ca < cb;
+              return a < b;
+            });
+  selector_.reset(ws_, ws_.wbar, ws_.cost, opts.strategy);
+  // Streams with no extractable utility are dead on arrival: drop them
+  // from the pool now so the selection kernel never spends tie-breaking
+  // work on the zero-effectiveness drain tail. (The run loop's
+  // wbar <= kAbsEps break made them unreachable anyway.)
+  for (std::size_t s = 0; s < streams; ++s)
+    if (ws_.wbar[s] <= util::kAbsEps)
+      selector_.remove(static_cast<StreamId>(s));
 }
 
-GreedyResult greedy_unit_skew_seeded(const Instance& inst,
+void GreedyEngine::add_seed(StreamId s) {
+  const auto ss = static_cast<std::size_t>(s);
+  // Duplicate detection is NOT pool membership: a zero-utility stream
+  // leaves the pool at construction (dead-stream removal) yet a seed
+  // naming it must still be force-added and charged, exactly as before
+  // the pool pruning existed.
+  if (ws_.taken[ss]) return;  // duplicate seed (or already considered)
+  const double c = ws_.cost[ss];
+  if (!approx_le(used_ + c, view_.budget()))
+    throw std::invalid_argument("greedy seed does not fit the budget");
+  ++result_.trace.num_considered;
+  if (record_trace_) {
+    result_.trace.considered.push_back(s);
+    result_.trace.added.push_back(1);
+  }
+  add_stream(s, c);
+  ws_.taken[ss] = 1;
+  selector_.remove(s);
+}
+
+void GreedyEngine::run() {
+  const double B = view_.budget();
+  for (;;) {
+    // Budget cutoff: eager dead-stream removal keeps only wbar > eps
+    // streams in the pool, so the moment the cheapest of them stops
+    // fitting, every remaining pop would be a considered-and-skipped
+    // row. Untraced runs account for them in bulk instead of draining
+    // the heap one sift at a time.
+    if (!record_trace_) {
+      while (cost_cursor_ < ws_.cost_order.size() &&
+             !selector_.contains(ws_.cost_order[cost_cursor_]))
+        ++cost_cursor_;
+      if (cost_cursor_ >= ws_.cost_order.size()) break;  // pool empty
+      const double cheapest =
+          ws_.cost[static_cast<std::size_t>(ws_.cost_order[cost_cursor_])];
+      if (!approx_le(used_ + cheapest, B)) {
+        result_.trace.num_considered += selector_.pool_size();
+        result_.trace.skipped_budget += selector_.pool_size();
+        for (std::size_t s = 0; s < ws_.taken.size(); ++s)
+          if (selector_.contains(static_cast<StreamId>(s))) ws_.taken[s] = 1;
+        break;
+      }
+    }
+    const StreamId best = selector_.pop_best();
+    if (best == model::kInvalidStream) break;
+    const auto bs = static_cast<std::size_t>(best);
+    ws_.taken[bs] = 1;
+    if (ws_.wbar[bs] <= util::kAbsEps) break;  // nothing left to gain
+    ++result_.trace.num_considered;
+    const double c = ws_.cost[bs];
+    const bool fits = approx_le(used_ + c, B);
+    if (record_trace_) {
+      result_.trace.considered.push_back(best);
+      result_.trace.added.push_back(fits ? 1 : 0);
+    }
+    if (fits)
+      add_stream(best, c);
+    else
+      ++result_.trace.skipped_budget;
+  }
+}
+
+// Assigns `s` to every user with positive residual, charging its cost
+// and propagating each exact residual change into w̄ of the remaining
+// streams (and, per change, into the selection kernel).
+void GreedyEngine::add_stream(StreamId s, double cost) {
+  used_ += cost;
+  added_streams_.push_back(s);
+  double* const rem = ws_.rem.data();
+  double* const wbar = ws_.wbar.data();
+  const char* const in_pool = ws_.in_pool.data();
+  const double* const user_edge_w = ws_.user_edge_w.data();
+  const EdgeId lo = view_.first_edge(s);
+  const EdgeId hi = view_.last_edge(s);
+  for (EdgeId e = lo; e < hi; ++e) {
+    const UserId u = view_.edge_user(e);
+    const auto uu = static_cast<std::size_t>(u);
+    const double w = view_.edge_utility(e);
+    if (rem[uu] <= util::kAbsEps || w <= 0.0) continue;
+    if (build_assignment_) result_.assignment.assign_edge(u, s, e);
+    ws_.user_w[uu] += w;
+    ws_.user_last_w[uu] = w;
+    const double rem_old = rem[uu];
+    result_.capped_utility += std::min(w, rem_old);
+    rem[uu] -= w;
+    const double rem_new = rem[uu];
+    // rem_old > 0 here, so the old contribution min(we, max(rem_old, 0))
+    // is min(we, rem_old); the clamped new residual covers the rest.
+    const double rem_new_clamped = rem_new > 0.0 ? rem_new : 0.0;
+    const std::size_t row_begin = view_.user_edge_begin(u);
+    const double* const we_row = user_edge_w + row_begin;
+    const StreamId* const sp_row = ws_.user_edge_s.data() + row_begin;
+    const std::size_t deg = view_.streams_of(u).size();
+    for (std::size_t t = 0; t < deg; ++t) {
+      const double we = we_row[t];
+      // Rows are sorted by descending w: the first pair whose
+      // contribution min(w, rem) is unchanged (w <= clamped residual,
+      // including every zero-surrogate pair) ends the scan.
+      if (we <= rem_new_clamped) break;
+      const StreamId sp = sp_row[t];
+      if (sp == s || !in_pool[static_cast<std::size_t>(sp)]) continue;
+      // w > clamped residual and rem_old > clamped residual, so the
+      // contribution dropped from min(w, rem_old) to the clamp: always
+      // a real delta.
+      const double before = we < rem_old ? we : rem_old;
+      const double after = rem_new_clamped;
+      const auto sps = static_cast<std::size_t>(sp);
+      wbar[sps] += after - before;
+      // A stream whose residual utility just died can never be picked
+      // (the run loop breaks on it); dropping it here keeps the heap's
+      // near-zero tie band empty instead of re-sifting dead entries.
+      if (wbar[sps] <= util::kAbsEps)
+        selector_.remove(sp);
+      else
+        selector_.update(sp, wbar[sps]);
+    }
+  }
+}
+
+const GreedyResult& GreedyEngine::result() {
+  result_.select = selector_.stats();
+  return result_;
+}
+
+GreedyResult GreedyEngine::take() && {
+  result_.select = selector_.stats();
+  return std::move(result_);
+}
+
+void GreedyEngine::save(GreedyCheckpoint& out) const {
+  out.rem.assign(ws_.rem.begin(), ws_.rem.end());
+  out.wbar.assign(ws_.wbar.begin(), ws_.wbar.end());
+  out.taken.assign(ws_.taken.begin(), ws_.taken.end());
+  out.user_w.assign(ws_.user_w.begin(), ws_.user_w.end());
+  out.user_last_w.assign(ws_.user_last_w.begin(), ws_.user_last_w.end());
+  out.added_streams.assign(added_streams_.begin(), added_streams_.end());
+  selector_.save(out.selector);
+  out.used = used_;
+  out.capped_utility = result_.capped_utility;
+  out.cost_cursor = cost_cursor_;
+  out.num_considered = result_.trace.num_considered;
+  out.skipped_budget = result_.trace.skipped_budget;
+  if (record_trace_) {
+    out.considered.assign(result_.trace.considered.begin(),
+                          result_.trace.considered.end());
+    out.added.assign(result_.trace.added.begin(), result_.trace.added.end());
+  }
+  if (build_assignment_) out.assignment = result_.assignment;
+}
+
+void GreedyEngine::restore(const GreedyCheckpoint& in) {
+  std::copy(in.rem.begin(), in.rem.end(), ws_.rem.begin());
+  std::copy(in.wbar.begin(), in.wbar.end(), ws_.wbar.begin());
+  std::copy(in.taken.begin(), in.taken.end(), ws_.taken.begin());
+  std::copy(in.user_w.begin(), in.user_w.end(), ws_.user_w.begin());
+  std::copy(in.user_last_w.begin(), in.user_last_w.end(),
+            ws_.user_last_w.begin());
+  added_streams_.assign(in.added_streams.begin(), in.added_streams.end());
+  selector_.restore(in.selector);
+  cost_cursor_ = in.cost_cursor;
+  used_ = in.used;
+  result_.capped_utility = in.capped_utility;
+  result_.trace.num_considered = in.num_considered;
+  result_.trace.skipped_budget = in.skipped_budget;
+  if (record_trace_) {
+    result_.trace.considered.assign(in.considered.begin(),
+                                    in.considered.end());
+    result_.trace.added.assign(in.added.begin(), in.added.end());
+  }
+  if (build_assignment_) result_.assignment = *in.assignment;
+}
+
+SplitValues GreedyEngine::split_values() const {
+  SplitValues out;
+  const std::size_t users = view_.num_users();
+  for (std::size_t u = 0; u < users; ++u) {
+    const double last = ws_.user_last_w[u];
+    if (last <= 0.0) continue;  // never assigned (the engine skips w <= 0)
+    const double w = ws_.user_w[u];
+    out.w2 += last;
+    const bool over_cap =
+        !approx_le(w, view_.capacity(static_cast<UserId>(u)));
+    out.w1 += over_cap ? w - last : w;
+  }
+  return out;
+}
+
+Assignment GreedyEngine::materialize_assignment() const {
+  Assignment out(view_.base());
+  // Replay against fresh caps on the generic scratch (ws_.rem is live
+  // engine state): the pair set only depends on the added-stream order
+  // and the residual trajectory, which this reproduces exactly.
+  auto& rem = ws_.scratch;
+  rem.resize(view_.num_users());
+  for (std::size_t u = 0; u < rem.size(); ++u)
+    rem[u] = view_.capacity(static_cast<UserId>(u));
+  for (const StreamId s : added_streams_) {
+    for (EdgeId e = view_.first_edge(s); e < view_.last_edge(s); ++e) {
+      const UserId u = view_.edge_user(e);
+      const auto uu = static_cast<std::size_t>(u);
+      const double w = view_.edge_utility(e);
+      if (rem[uu] <= util::kAbsEps || w <= 0.0) continue;
+      out.assign_edge(u, s, e);
+      rem[uu] -= w;
+    }
+  }
+  return out;
+}
+
+Assignment GreedyEngine::materialize_split(bool keep_rest) const {
+  const Assignment semi = materialize_assignment();
+  // The same over-cap decision split_values() scored with.
+  return peel_split(view_, semi, keep_rest,
+                    [&](UserId u, std::span<const StreamId>) {
+                      return !approx_le(ws_.user_w[static_cast<std::size_t>(u)],
+                                        view_.capacity(u));
+                    });
+}
+
+GreedyResult greedy_unit_skew(const InstanceView& view,
+                              const GreedyOptions& opts) {
+  return greedy_unit_skew_seeded(view, {}, opts);
+}
+
+GreedyResult greedy_unit_skew(const Instance& inst,
+                              const GreedyOptions& opts) {
+  return greedy_unit_skew_seeded(InstanceView::cap_form(inst), {}, opts);
+}
+
+GreedyResult greedy_unit_skew_seeded(const InstanceView& view,
                                      std::span<const StreamId> seeds,
                                      const GreedyOptions& opts) {
-  require_cap_form(inst, "greedy_unit_skew");
   SolveWorkspace local;
   SolveWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local;
-  GreedyEngine engine(inst, ws, opts.strategy);
+  GreedyOptions engine_opts = opts;
+  engine_opts.workspace = &ws;
+  engine_opts.build_assignment = true;  // the assignment IS the result
+  GreedyEngine engine(view, ws, engine_opts);
   for (StreamId s : seeds) engine.add_seed(s);
   engine.run();
   return std::move(engine).take();
 }
 
-Assignment best_single_stream(const Instance& inst) {
-  require_cap_form(inst, "best_single_stream");
+GreedyResult greedy_unit_skew_seeded(const Instance& inst,
+                                     std::span<const StreamId> seeds,
+                                     const GreedyOptions& opts) {
+  return greedy_unit_skew_seeded(InstanceView::cap_form(inst), seeds, opts);
+}
+
+Assignment best_single_stream(const InstanceView& view) {
   StreamId best = model::kInvalidStream;
   double best_w = -1.0;
-  for (std::size_t s = 0; s < inst.num_streams(); ++s) {
-    const double w = inst.total_utility(static_cast<StreamId>(s));
+  for (std::size_t s = 0; s < view.num_streams(); ++s) {
+    const double w = view.total_utility(static_cast<StreamId>(s));
     if (w > best_w) {
       best_w = w;
       best = static_cast<StreamId>(s);
     }
   }
-  Assignment a(inst);
+  Assignment a(view.base());
   if (best != model::kInvalidStream && best_w > 0.0)
-    for (UserId u : inst.users_of(best)) a.assign(u, best);
+    for (EdgeId e = view.first_edge(best); e < view.last_edge(best); ++e)
+      if (view.edge_utility(e) > 0.0) a.assign(view.edge_user(e), best);
   return a;
 }
 
-FeasibleSplit split_last_stream(const Instance& inst,
+Assignment best_single_stream(const Instance& inst) {
+  return best_single_stream(InstanceView::cap_form(inst));
+}
+
+double view_capped_utility(const InstanceView& view, const Assignment& a) {
+  double total = 0.0;
+  for (std::size_t uu = 0; uu < view.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    const auto streams = a.streams_of(u);
+    if (streams.empty()) continue;
+    double w = 0.0;
+    for (StreamId s : streams) w += view.pair_utility(u, s);
+    total += std::min(view.capacity(u), w);
+  }
+  return total;
+}
+
+
+FeasibleSplit split_last_stream(const InstanceView& view,
                                 const Assignment& semi) {
-  FeasibleSplit out{Assignment(inst), Assignment(inst), 0.0, 0.0};
-  for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
+  FeasibleSplit out{Assignment(view.base()), Assignment(view.base()), 0.0,
+                    0.0};
+  for (std::size_t uu = 0; uu < view.num_users(); ++uu) {
     const auto u = static_cast<UserId>(uu);
     const auto streams = semi.streams_of(u);
     if (streams.empty()) continue;
-    // Only users the greedy saturated past W_u need the last stream peeled
-    // (the paper peels unconditionally; keeping the full assignment when
-    // it already fits is a strict improvement with the same guarantee).
-    const bool over_cap =
-        !approx_le(semi.user_utility(u), inst.capacity(u, 0));
-    const std::size_t keep_in_a1 = streams.size() - (over_cap ? 1 : 0);
-    for (std::size_t t = 0; t < keep_in_a1; ++t) out.a1.assign(u, streams[t]);
+    const std::size_t keep = a1_keep_count(view, u, streams);
+    for (std::size_t t = 0; t < keep; ++t) {
+      out.a1.assign(u, streams[t]);
+      out.w1 += view.pair_utility(u, streams[t]);
+    }
     out.a2.assign(u, streams.back());
+    out.w2 += view.pair_utility(u, streams.back());
   }
-  out.w1 = out.a1.utility();
-  out.w2 = out.a2.utility();
   return out;
 }
 
-SmdSolveResult solve_unit_skew(const Instance& inst, SmdMode mode,
+FeasibleSplit split_last_stream(const Instance& inst, const Assignment& semi) {
+  return split_last_stream(InstanceView::cap_form(inst), semi);
+}
+
+SplitValues split_last_stream_values(const InstanceView& view,
+                                     const Assignment& semi) {
+  SplitValues out;
+  for (std::size_t uu = 0; uu < view.num_users(); ++uu) {
+    const auto u = static_cast<UserId>(uu);
+    const auto streams = semi.streams_of(u);
+    if (streams.empty()) continue;
+    const std::size_t keep = a1_keep_count(view, u, streams);
+    for (std::size_t t = 0; t < keep; ++t)
+      out.w1 += view.pair_utility(u, streams[t]);
+    out.w2 += view.pair_utility(u, streams.back());
+  }
+  return out;
+}
+
+Assignment materialize_split(const InstanceView& view, const Assignment& semi,
+                             bool keep_rest) {
+  return peel_split(view, semi, keep_rest,
+                    [&](UserId u, std::span<const StreamId> streams) {
+                      return a1_keep_count(view, u, streams) < streams.size();
+                    });
+}
+
+SmdSolveResult solve_unit_skew(const InstanceView& view, SmdMode mode,
                                const GreedyOptions& opts) {
-  require_cap_form(inst, "solve_unit_skew");
-  GreedyResult g = greedy_unit_skew(inst, opts);
+  GreedyResult g = greedy_unit_skew(view, opts);
   const SelectStats select = g.select;
-  Assignment amax = best_single_stream(inst);
-  const double w_amax = amax.capped_utility();
+  Assignment amax = best_single_stream(view);
+  const double w_amax = view_capped_utility(view, amax);
 
   auto finish = [&select](SmdSolveResult r) {
     r.select = select;
@@ -203,12 +480,17 @@ SmdSolveResult solve_unit_skew(const Instance& inst, SmdMode mode,
   }
 
   // Theorem 2.8: peel the last stream assigned to each user.
-  FeasibleSplit split = split_last_stream(inst, g.assignment);
+  FeasibleSplit split = split_last_stream(view, g.assignment);
   if (split.w1 >= split.w2 && split.w1 >= w_amax)
     return finish({std::move(split.a1), split.w1, "A1", {}});
   if (split.w2 >= w_amax)
     return finish({std::move(split.a2), split.w2, "A2", {}});
   return finish({std::move(amax), w_amax, "Amax", {}});
+}
+
+SmdSolveResult solve_unit_skew(const Instance& inst, SmdMode mode,
+                               const GreedyOptions& opts) {
+  return solve_unit_skew(InstanceView::cap_form(inst), mode, opts);
 }
 
 }  // namespace vdist::core

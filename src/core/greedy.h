@@ -7,6 +7,15 @@
 // per unit cost — assigning it to every user with positive residual, which
 // may saturate a user past W_u once (a *semi-feasible* assignment).
 //
+// The whole family operates on model::InstanceView — a copy-free lens
+// over a parent Instance's CSR (model/view.h) — so the §3 band solver can
+// hand it surrogate-utility sub-problems without materializing per-band
+// instances. The Instance overloads below are thin wrappers over
+// InstanceView::cap_form(). Assignments are always built on the view's
+// *parent* instance (shared stream/user ids), while every solver-side
+// comparison (w̄, capped utility, the A1/A2/Amax race) runs on the view's
+// surrogate utilities and caps.
+//
 // The plain greedy alone has unbounded ratio (Section 2.2's S1-blocks-S2
 // example); the fixes are:
 //   * kAugmented (Cor. 2.7): return max(greedy, best-single-stream), a
@@ -18,6 +27,7 @@
 //     in O(n^2) time.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,39 +35,171 @@
 #include "core/select.h"
 #include "model/assignment.h"
 #include "model/instance.h"
+#include "model/view.h"
 
 namespace vdist::core {
 
 // How the greedy family runs: which selection strategy extracts the
-// argmax (core/select.h; the strategies are pick-for-pick identical) and
-// which reusable buffer pack to solve on (null = allocate locally).
+// argmax (core/select.h; the strategies are pick-for-pick identical),
+// which reusable buffer pack to solve on (null = allocate locally), and
+// whether the per-pick trace vectors are recorded (pure overhead in
+// batch sweeps and enumeration inner loops; scalar counters stay on).
 struct GreedyOptions {
-  SelectStrategy strategy = SelectStrategy::kLazyHeap;
+  SelectStrategy strategy = SelectStrategy::kDeltaHeap;
   SolveWorkspace* workspace = nullptr;
+  bool record_trace = true;
+  // When false, the engine skips per-pair Assignment bookkeeping entirely
+  // and GreedyResult::assignment stays EMPTY — the caller scores through
+  // capped_utility()/split_values() and materializes a winner on demand
+  // (GreedyEngine::materialize_assignment / materialize_split). This is
+  // the §2.3 enumeration's inner-loop mode: thousands of candidate
+  // completions are scored, a handful are ever materialized. The
+  // Instance/view free functions force this back on — the assignment is
+  // their whole return value.
+  bool build_assignment = true;
 };
 
 struct GreedyTrace {
   // Streams in the order the algorithm considered them (seeds first, then
-  // argmax order).
+  // argmax order). Only filled when GreedyOptions::record_trace.
   std::vector<model::StreamId> considered;
   // Parallel to `considered`: true if the stream was added to the solution.
   std::vector<char> added;
+  // Scalar counters, maintained regardless of record_trace.
+  std::size_t num_considered = 0;
   // Streams skipped because c(A) + c(S) > B.
   std::size_t skipped_budget = 0;
 };
 
 struct GreedyResult {
   model::Assignment assignment;  // semi-feasible (server budget holds)
-  // Paper's w(A) for semi-feasible assignments: sum_u min(W_u, w_u(A)).
+  // Paper's w(A) for semi-feasible assignments: sum_u min(W_u, w_u(A)),
+  // valued by the view's (surrogate) utilities.
   double capped_utility = 0.0;
   GreedyTrace trace;
   // Selection-kernel counters for this run (picks, re-evaluations).
   SelectStats select;
 };
 
-// Runs Algorithm 1 verbatim. Requires inst.is_smd() && inst.is_unit_skew()
-// (throws std::invalid_argument otherwise). O(|S| * n) with the naive
-// scan as in §2.1; the default lazy heap is equivalent and much cheaper.
+// A saved GreedyEngine state: residual caps, residual utilities, selector
+// pool/heap, spent budget and the partial assignment. Owned by the
+// CheckpointArena of the caller's SolveWorkspace so the §2.3 enumeration
+// reuses one frame per depth across all seed sets (no per-candidate
+// allocation after the first).
+struct GreedyCheckpoint {
+  std::vector<double> rem;
+  std::vector<double> wbar;
+  std::vector<char> taken;
+  std::vector<double> user_w;
+  std::vector<double> user_last_w;
+  std::vector<model::StreamId> added_streams;
+  SelectorCheckpoint selector;
+  std::size_t cost_cursor = 0;
+  double used = 0.0;
+  double capped_utility = 0.0;
+  std::size_t num_considered = 0;
+  std::size_t skipped_budget = 0;
+  std::vector<model::StreamId> considered;
+  std::vector<char> added;
+  // Engaged only when the engine builds assignments.
+  std::optional<model::Assignment> assignment;
+};
+
+// The reusable checkpoint frames living in SolveWorkspace (one per
+// enumeration depth; see core/partial_enum.cpp).
+struct CheckpointArena {
+  std::vector<GreedyCheckpoint> frames;
+};
+
+// The Theorem 2.8 split's utilities alone (no Assignment built): w1 is
+// the "all but each user's last stream" side, w2 the "only the last
+// stream" side.
+struct SplitValues {
+  double w1 = 0.0;
+  double w2 = 0.0;
+};
+
+// The engine behind the plain and seeded greedy (public since PR 4 so the
+// §2.3 partial enumeration can snapshot/restore it instead of re-solving
+// from scratch). Maintains, per stream, the fractional residual utility
+// w̄^A(S) of §2 ("preliminaries"), updated incrementally when a user's
+// residual cap changes — pushing each exact w̄ delta into the selection
+// kernel (core/select.h) — and extracts each pick through the kernel. All
+// per-solve buffers live in the caller's SolveWorkspace.
+//
+// Checkpoint contract: save() copies the full solve state into a frame;
+// restore() rewinds to it. Restores must target a frame saved by *this*
+// engine since its construction (same view, same workspace). The
+// selection-kernel counters keep accumulating across restores — a
+// checkpointed enumeration reports total work, not last-leaf work.
+class GreedyEngine {
+ public:
+  // The view (cheap, borrowed spans) is copied; `ws` must outlive the
+  // engine and not be shared with a concurrent solve.
+  GreedyEngine(model::InstanceView view, SolveWorkspace& ws,
+               const GreedyOptions& opts);
+
+  // Force-adds a stream (seed). Requires it to fit the remaining budget
+  // (throws std::invalid_argument otherwise); duplicates are ignored.
+  void add_seed(model::StreamId s);
+
+  // Runs the argmax loop to completion.
+  void run();
+
+  // The current result; select counters are synced on access. With
+  // build_assignment = false the result's assignment is empty — use the
+  // accessors and materializers below instead.
+  [[nodiscard]] const GreedyResult& result();
+  // Moves the result out (terminal).
+  [[nodiscard]] GreedyResult take() &&;
+
+  // The paper's capped utility of the current (partial) solution, under
+  // the view's utilities. Maintained incrementally; valid in any mode.
+  [[nodiscard]] double capped_utility() const noexcept {
+    return result_.capped_utility;
+  }
+
+  // Theorem 2.8 split scores of the current solution, from the engine's
+  // per-user accumulators: O(num_users), no edge lookups, no Assignment.
+  [[nodiscard]] SplitValues split_values() const;
+
+  // Rebuilds the current (semi-feasible) assignment by replaying the
+  // added streams against fresh residual caps — exact same pair set the
+  // incremental bookkeeping would have produced. O(picks + pairs); meant
+  // for scoring-mode callers materializing an incumbent.
+  [[nodiscard]] model::Assignment materialize_assignment() const;
+  // Materializes one side of the Theorem 2.8 split (keep_rest = A1, else
+  // A2), peeling with the same per-user over-cap decisions as
+  // split_values().
+  [[nodiscard]] model::Assignment materialize_split(bool keep_rest) const;
+
+  void save(GreedyCheckpoint& out) const;
+  void restore(const GreedyCheckpoint& in);
+
+ private:
+  void add_stream(model::StreamId s, double cost);
+
+  model::InstanceView view_;
+  SolveWorkspace& ws_;
+  bool record_trace_ = true;
+  bool build_assignment_ = true;
+  GreedyResult result_;
+  StreamSelector selector_;
+  std::vector<model::StreamId> added_streams_;
+  // Cursor into ws_.cost_order: streams before it have left the pool.
+  // The cheapest pool stream bounds every future pick's cost, so once it
+  // stops fitting the budget the whole remaining pool is one bulk skip
+  // (untraced runs only — traces need the per-stream pop order).
+  std::size_t cost_cursor_ = 0;
+  double used_ = 0.0;
+};
+
+// Runs Algorithm 1 verbatim. The Instance overload requires
+// inst.is_smd() && inst.is_unit_skew() (throws std::invalid_argument
+// otherwise). O(|S| * n) with the naive scan as in §2.1; the default
+// delta heap is equivalent and much cheaper.
+[[nodiscard]] GreedyResult greedy_unit_skew(const model::InstanceView& view,
+                                            const GreedyOptions& opts = {});
 [[nodiscard]] GreedyResult greedy_unit_skew(const model::Instance& inst,
                                             const GreedyOptions& opts = {});
 
@@ -66,24 +208,50 @@ struct GreedyResult {
 // their total cost must fit the budget — and greedy continues over the
 // remaining streams. Duplicate seeds are ignored.
 [[nodiscard]] GreedyResult greedy_unit_skew_seeded(
+    const model::InstanceView& view, std::span<const model::StreamId> seeds,
+    const GreedyOptions& opts = {});
+[[nodiscard]] GreedyResult greedy_unit_skew_seeded(
     const model::Instance& inst, std::span<const model::StreamId> seeds,
     const GreedyOptions& opts = {});
 
 // The best single-stream assignment Amax of Lemma 2.6: the stream S
-// maximizing w(S) = sum_u w_u(S), assigned to all its interested users.
-[[nodiscard]] model::Assignment best_single_stream(const model::Instance& inst);
+// maximizing w(S) = sum_u w_u(S) under the view's utilities, assigned to
+// every user the view gives it positive utility for.
+[[nodiscard]] model::Assignment best_single_stream(
+    const model::InstanceView& view);
+[[nodiscard]] model::Assignment best_single_stream(
+    const model::Instance& inst);
+
+// Capped (surrogate) utility of `a` under the view: sum_u min(W_u, w_u)
+// with both W and w read from the view. Per-user sums run in assignment
+// order so the arithmetic is bit-identical to an incrementally maintained
+// accumulator.
+[[nodiscard]] double view_capped_utility(const model::InstanceView& view,
+                                         const model::Assignment& a);
 
 // Theorem 2.8's per-user peel of a semi-feasible assignment: A1(u) drops
 // the *last* stream assigned to u, A2(u) keeps only that stream. Both are
-// feasible and w(A1) + w(A2) >= w(A).
+// feasible and w(A1) + w(A2) >= w(A). Utilities are the view's.
 struct FeasibleSplit {
   model::Assignment a1;
   model::Assignment a2;
   double w1 = 0.0;
   double w2 = 0.0;
 };
+[[nodiscard]] FeasibleSplit split_last_stream(const model::InstanceView& view,
+                                              const model::Assignment& semi);
 [[nodiscard]] FeasibleSplit split_last_stream(const model::Instance& inst,
                                               const model::Assignment& semi);
+
+// The split's utilities for an explicit assignment — same decisions, no
+// Assignment materialization. The §2.3 enumeration scores its
+// directly-evaluated (seed-only) candidates with this.
+[[nodiscard]] SplitValues split_last_stream_values(
+    const model::InstanceView& view, const model::Assignment& semi);
+// Materializes one side of the split (keep_rest = A1, else A2).
+[[nodiscard]] model::Assignment materialize_split(
+    const model::InstanceView& view, const model::Assignment& semi,
+    bool keep_rest);
 
 enum class SmdMode {
   kFeasible,   // Theorem 2.8: feasible output, ratio 3e/(e-1)
@@ -92,7 +260,8 @@ enum class SmdMode {
 
 struct SmdSolveResult {
   model::Assignment assignment;
-  // Capped utility (== raw utility when the assignment is feasible).
+  // Capped utility (== raw utility when the assignment is feasible),
+  // valued by the view's (surrogate) utilities.
   double utility = 0.0;
   // Which candidate won: "greedy", "A1", "A2" or "Amax".
   std::string variant;
@@ -100,7 +269,10 @@ struct SmdSolveResult {
   SelectStats select;
 };
 
-// The fixed greedy of Section 2.2 for unit-skew SMD instances.
+// The fixed greedy of Section 2.2 for unit-skew SMD instances / views.
+[[nodiscard]] SmdSolveResult solve_unit_skew(
+    const model::InstanceView& view, SmdMode mode = SmdMode::kFeasible,
+    const GreedyOptions& opts = {});
 [[nodiscard]] SmdSolveResult solve_unit_skew(
     const model::Instance& inst, SmdMode mode = SmdMode::kFeasible,
     const GreedyOptions& opts = {});

@@ -75,6 +75,9 @@ GroupSelectResult solve_with_groups(const Instance& inst,
     throw std::invalid_argument(
         "solve_with_groups: group_of must have one entry per stream");
 
+  // The unconstrained solve runs the full pipeline — since PR 4 its band
+  // sub-problems are copy-free InstanceViews over the (possibly reduced)
+  // parent, so this call builds no per-band instances either.
   MmdSolveResult base = solve_mmd(inst, opts);
   GroupSelectResult out{std::move(base.assignment), 0.0, 0, 0};
 

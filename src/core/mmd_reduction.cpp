@@ -61,9 +61,12 @@ Instance reduce_to_smd(const Instance& mmd) {
 
 Assignment transform_output(const Instance& mmd,
                             const Assignment& smd_assignment,
-                            OutputTransformReport* report) {
+                            OutputTransformReport* report,
+                            SolveWorkspace* workspace) {
   OutputTransformReport rep;
   rep.input_utility = smd_assignment.utility();
+  SolveWorkspace local;
+  SolveWorkspace& ws = workspace != nullptr ? *workspace : local;
 
   // --- Server-side decomposition (<= 2m-1 candidate groups) -------------
   // Collect the range and split into S1 (combined cost >= 1) and S2.
@@ -82,8 +85,11 @@ Assignment transform_output(const Instance& mmd,
   rep.range_size = s1.size() + s2.size();
   rep.s1_size = s1.size();
 
-  // Utility each stream contributes under the current assignment.
-  std::vector<double> stream_value(mmd.num_streams(), 0.0);
+  // Utility each stream contributes under the current assignment (on the
+  // workspace's generic scratch — the pipeline calls this once per solve
+  // and the batch runner reuses the buffer across cells).
+  std::vector<double>& stream_value = ws.scratch;
+  stream_value.assign(mmd.num_streams(), 0.0);
   for (std::size_t uu = 0; uu < mmd.num_users(); ++uu) {
     const auto u = static_cast<UserId>(uu);
     for (StreamId s : smd_assignment.streams_of(u))

@@ -18,6 +18,7 @@
 // constant (Section 4.2).
 #pragma once
 
+#include "core/select.h"
 #include "model/assignment.h"
 #include "model/instance.h"
 
@@ -40,8 +41,11 @@ struct OutputTransformReport {
 // Applies Theorem 4.3's output transformation: `smd_assignment` is a
 // (feasible) assignment of the *reduced* instance — identified with the
 // MMD instance by stream/user ids — and the result is feasible for `mmd`.
+// A workspace (core/select.h) provides the per-stream value scratch so
+// batch pipelines allocate nothing here; null allocates locally.
 [[nodiscard]] model::Assignment transform_output(
     const model::Instance& mmd, const model::Assignment& smd_assignment,
-    OutputTransformReport* report = nullptr);
+    OutputTransformReport* report = nullptr,
+    SolveWorkspace* workspace = nullptr);
 
 }  // namespace vdist::core

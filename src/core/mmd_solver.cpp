@@ -18,8 +18,8 @@ MmdSolveResult solve_mmd(const Instance& inst, const MmdSolverOptions& opts) {
     const Instance smd = reduce_to_smd(inst);
     SkewBandsResult bands = solve_smd_any_skew(smd, opts.bands);
     OutputTransformReport report;
-    Assignment final_assignment =
-        transform_output(inst, bands.assignment, &report);
+    Assignment final_assignment = transform_output(
+        inst, bands.assignment, &report, opts.bands.workspace);
     return MmdSolveResult{std::move(final_assignment), report.final_utility,
                           /*reduced=*/true, bands.alpha, bands.num_bands,
                           bands.chosen_band, report, bands.select};

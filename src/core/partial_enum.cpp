@@ -1,6 +1,7 @@
 #include "core/partial_enum.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "util/float_cmp.h"
@@ -8,83 +9,116 @@
 namespace vdist::core {
 
 using model::Assignment;
+using model::EdgeId;
 using model::Instance;
+using model::InstanceView;
 using model::StreamId;
 using model::UserId;
 using util::approx_le;
 
 namespace {
 
-// Builds the semi-feasible assignment for a fixed stream set: streams are
-// handed to users in the given order, each user taking a stream while its
-// residual cap is positive (the same saturation rule as Algorithm 1).
-GreedyResult assign_seed_only(const Instance& inst,
-                              std::span<const StreamId> seeds,
-                              SolveWorkspace& ws) {
-  GreedyResult out{Assignment(inst), 0.0, {}, {}};
-  ws.rem.resize(inst.num_users());
+// Builds the semi-feasible assignment for a fixed stream set into `out`
+// (cleared first): streams are handed to users in the given order, each
+// user taking a stream while its residual cap is positive (the same
+// saturation rule as Algorithm 1). Returns the capped (surrogate)
+// utility.
+double assign_seed_only(const InstanceView& view,
+                        std::span<const StreamId> seeds, SolveWorkspace& ws,
+                        Assignment& out) {
+  out.clear();
+  double capped = 0.0;
+  ws.rem.resize(view.num_users());
   for (std::size_t u = 0; u < ws.rem.size(); ++u)
-    ws.rem[u] = inst.capacity(static_cast<UserId>(u), 0);
+    ws.rem[u] = view.capacity(static_cast<UserId>(u));
   for (StreamId s : seeds) {
-    out.trace.considered.push_back(s);
-    out.trace.added.push_back(1);
-    for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
-      const UserId u = inst.edge_user(e);
+    for (EdgeId e = view.first_edge(s); e < view.last_edge(s); ++e) {
+      const UserId u = view.edge_user(e);
       const auto uu = static_cast<std::size_t>(u);
-      const double w = inst.edge_utility(e);
+      const double w = view.edge_utility(e);
       if (ws.rem[uu] <= util::kAbsEps || w <= 0.0) continue;
-      out.assignment.assign(u, s);
-      out.capped_utility += std::min(w, ws.rem[uu]);
+      out.assign(u, s);
+      capped += std::min(w, ws.rem[uu]);
       ws.rem[uu] -= w;
     }
   }
-  return out;
+  return capped;
 }
 
 // Scores one candidate semi-feasible assignment under the requested mode
-// and keeps it if it beats the incumbent.
+// and keeps it if it beats the incumbent. Candidates are scored through
+// the values-only split first; an Assignment is materialized (copied)
+// only for a new incumbent.
 class Incumbent {
  public:
-  Incumbent(const Instance& inst, SmdMode mode)
-      : inst_(inst), mode_(mode), best_{Assignment(inst), -1.0, "none"} {}
+  Incumbent(const InstanceView& view, SmdMode mode)
+      : view_(view),
+        mode_(mode),
+        best_{Assignment(view.base()), -1.0, "none", {}} {}
 
-  void offer(GreedyResult&& g) {
+  void offer(const Assignment& semi, double capped_utility) {
     if (mode_ == SmdMode::kAugmented) {
-      consider({std::move(g.assignment), g.capped_utility, "greedy"});
+      if (capped_utility > best_.utility)
+        best_ = {semi, capped_utility, "greedy", {}};
       return;
     }
-    FeasibleSplit split = split_last_stream(inst_, g.assignment);
-    if (split.w1 >= split.w2)
-      consider({std::move(split.a1), split.w1, "A1"});
-    else
-      consider({std::move(split.a2), split.w2, "A2"});
+    const SplitValues v = split_last_stream_values(view_, semi);
+    if (v.w1 >= v.w2) {
+      if (v.w1 > best_.utility)
+        best_ = {materialize_split(view_, semi, /*keep_rest=*/true), v.w1,
+                 "A1",
+                 {}};
+    } else if (v.w2 > best_.utility) {
+      best_ = {materialize_split(view_, semi, /*keep_rest=*/false), v.w2,
+               "A2",
+               {}};
+    }
+  }
+
+  // The hot path: scores the engine's current completion through its
+  // O(num_users) accumulators and only materializes (replays) a new
+  // incumbent — no per-candidate Assignment is ever built.
+  void offer_engine(const GreedyEngine& engine) {
+    if (mode_ == SmdMode::kAugmented) {
+      const double capped = engine.capped_utility();
+      if (capped > best_.utility)
+        best_ = {engine.materialize_assignment(), capped, "greedy", {}};
+      return;
+    }
+    const SplitValues v = engine.split_values();
+    if (v.w1 >= v.w2) {
+      if (v.w1 > best_.utility)
+        best_ = {engine.materialize_split(/*keep_rest=*/true), v.w1, "A1",
+                 {}};
+    } else if (v.w2 > best_.utility) {
+      best_ = {engine.materialize_split(/*keep_rest=*/false), v.w2, "A2",
+               {}};
+    }
   }
 
   void offer_single_best() {
-    Assignment amax = best_single_stream(inst_);
-    const double w = amax.capped_utility();
-    consider({std::move(amax), w, "Amax"});
+    Assignment amax = best_single_stream(view_);
+    const double w = view_capped_utility(view_, amax);
+    if (w > best_.utility) best_ = {std::move(amax), w, "Amax", {}};
   }
 
   SmdSolveResult take() && { return std::move(best_); }
 
  private:
-  void consider(SmdSolveResult&& cand) {
-    if (cand.utility > best_.utility) best_ = std::move(cand);
-  }
-
-  const Instance& inst_;
+  const InstanceView& view_;
   SmdMode mode_;
   SmdSolveResult best_;
 };
 
 // Enumerates all subsets of size exactly `k` whose total cost fits the
-// budget, invoking `fn` on each. Prunes on cost as it recurses.
+// budget, invoking `fn` on each. Prunes on cost as it recurses. Used for
+// the directly-evaluated cardinality-(< seed_size) sets; the seed_size
+// level runs through the checkpointed engine walk instead.
 template <typename Fn>
-void for_each_subset(const Instance& inst, int k, Fn&& fn,
+void for_each_subset(const InstanceView& view, int k, Fn&& fn,
                      std::size_t& budget_left_candidates) {
-  const auto S = static_cast<StreamId>(inst.num_streams());
-  const double B = inst.budget(0);
+  const auto S = static_cast<StreamId>(view.num_streams());
+  const double B = view.budget();
   std::vector<StreamId> current;
   current.reserve(static_cast<std::size_t>(k));
   auto rec = [&](auto&& self, StreamId start, double cost) -> bool {
@@ -95,7 +129,7 @@ void for_each_subset(const Instance& inst, int k, Fn&& fn,
       return true;
     }
     for (StreamId s = start; s < S; ++s) {
-      const double c = inst.cost(s, 0);
+      const double c = view.cost(s);
       if (!approx_le(cost + c, B)) continue;
       current.push_back(s);
       const bool keep_going = self(self, s + 1, cost + c);
@@ -109,55 +143,102 @@ void for_each_subset(const Instance& inst, int k, Fn&& fn,
 
 }  // namespace
 
-PartialEnumResult partial_enum_unit_skew(const Instance& inst,
+PartialEnumResult partial_enum_unit_skew(const InstanceView& view,
                                          const PartialEnumOptions& opts) {
-  PartialEnumResult out{{Assignment(inst), -1.0, "none", {}}, 0, false, {}};
-  Incumbent incumbent(inst, opts.mode);
+  PartialEnumResult out{{Assignment(view.base()), -1.0, "none", {}},
+                       0,
+                       false,
+                       {}};
+  Incumbent incumbent(view, opts.mode);
 
   SolveWorkspace local;
   SolveWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local;
-  const GreedyOptions greedy_opts{opts.strategy, &ws};
+  // Inner runs never expose traces or build per-candidate assignments;
+  // candidates are scored through the engine accumulators and only an
+  // improving incumbent is materialized.
+  const GreedyOptions greedy_opts{opts.strategy, &ws,
+                                  /*record_trace=*/false,
+                                  /*build_assignment=*/false};
+
+  // One engine for the whole enumeration; its selection counters keep
+  // accumulating across restores, so they report the solve's total work.
+  GreedyEngine engine(view, ws, greedy_opts);
+
+  // The checkpoint arena: frame f holds the engine state with f seeds
+  // added. Frames live in the workspace and are reused across seed sets
+  // and across solves.
+  if (ws.checkpoint_arena == nullptr)
+    ws.checkpoint_arena = std::make_shared<CheckpointArena>();
+  auto& frames = ws.checkpoint_arena->frames;
+  const std::size_t depth = static_cast<std::size_t>(
+      std::max(opts.seed_size, 0));
+  if (frames.size() < depth + 1) frames.resize(depth + 1);
+  engine.save(frames[0]);
 
   // The plain greedy (empty seed) and the single best stream are always
   // candidates; with seed_size == 0 they are the whole algorithm.
-  {
-    GreedyResult g = greedy_unit_skew(inst, greedy_opts);
-    out.select.merge(g.select);
-    incumbent.offer(std::move(g));
-  }
+  engine.run();
+  incumbent.offer_engine(engine);
   incumbent.offer_single_best();
   out.candidates_evaluated = 2;
 
   std::size_t candidate_budget = opts.max_candidates;
 
   // Cardinality-(< seed_size) sets, evaluated directly (no completion).
+  Assignment seed_scratch(view.base());
   for (int k = 1; k < opts.seed_size; ++k) {
     for_each_subset(
-        inst, k,
+        view, k,
         [&](std::span<const StreamId> set) {
           ++out.candidates_evaluated;
-          incumbent.offer(assign_seed_only(inst, set, ws));
+          const double capped = assign_seed_only(view, set, ws, seed_scratch);
+          incumbent.offer(seed_scratch, capped);
         },
         candidate_budget);
   }
 
-  // Cardinality-(== seed_size) seeds with greedy completion.
+  // Cardinality-(== seed_size) seeds with greedy completion: a
+  // depth-first walk that restores the parent frame instead of
+  // re-solving from zero, so a candidate pays exactly one add_seed and
+  // one greedy completion.
   if (opts.seed_size >= 1) {
-    for_each_subset(
-        inst, opts.seed_size,
-        [&](std::span<const StreamId> seed) {
+    const auto S = static_cast<StreamId>(view.num_streams());
+    const double B = view.budget();
+    auto dfs = [&](auto&& self, int level, StreamId start,
+                   double cost) -> bool {
+      for (StreamId s = start; s < S; ++s) {
+        const double c = view.cost(s);
+        if (!approx_le(cost + c, B)) continue;
+        if (level + 1 == opts.seed_size) {
+          if (candidate_budget == 0) return false;
+          --candidate_budget;
           ++out.candidates_evaluated;
-          GreedyResult g = greedy_unit_skew_seeded(inst, seed, greedy_opts);
-          out.select.merge(g.select);
-          incumbent.offer(std::move(g));
-        },
-        candidate_budget);
+          engine.restore(frames[static_cast<std::size_t>(level)]);
+          engine.add_seed(s);
+          engine.run();
+          incumbent.offer_engine(engine);
+        } else {
+          engine.restore(frames[static_cast<std::size_t>(level)]);
+          engine.add_seed(s);
+          engine.save(frames[static_cast<std::size_t>(level) + 1]);
+          if (!self(self, level + 1, s + 1, cost + c)) return false;
+        }
+      }
+      return true;
+    };
+    dfs(dfs, 0, 0, 0.0);
   }
 
   out.truncated = (candidate_budget == 0);
+  out.select = engine.result().select;
   out.best = std::move(incumbent).take();
   out.best.select = out.select;
   return out;
+}
+
+PartialEnumResult partial_enum_unit_skew(const Instance& inst,
+                                         const PartialEnumOptions& opts) {
+  return partial_enum_unit_skew(InstanceView::cap_form(inst), opts);
 }
 
 }  // namespace vdist::core

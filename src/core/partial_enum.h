@@ -13,9 +13,22 @@
 // (Theorem 2.9) and 2e/(e-1) without (Theorem 2.10, via the same
 // last-stream split as Theorem 2.8).
 //
-// Running time is O(|S|^seed_size) greedy runs — polynomial but heavy;
-// intended for moderate instance sizes (the paper's point is the existence
-// of the ratio, and bench E3 measures the quality/time trade-off).
+// Since PR 4 the enumeration is *checkpointed*: one GreedyEngine is
+// constructed per solve, its pristine state is snapshotted into the
+// workspace's CheckpointArena, and the depth-first walk over seed sets
+// saves one frame per enumeration level — a candidate {s1, s2, s3}
+// restores the {s1, s2} frame and only pays add_seed(s3) plus its own
+// greedy completion, instead of rebuilding the engine and re-adding every
+// seed from zero. Candidates are further scored through the
+// values-only last-stream split (core/greedy.h), materializing an
+// assignment only when it beats the incumbent. The enumeration order and
+// every comparison are unchanged from the from-scratch formulation, so
+// results are pick-for-pick identical; only the work is shared.
+//
+// Running time is O(|S|^seed_size) greedy completions — polynomial but
+// heavy; intended for moderate instance sizes (the paper's point is the
+// existence of the ratio, and bench E3 measures the quality/time
+// trade-off).
 #pragma once
 
 #include <cstddef>
@@ -32,9 +45,9 @@ struct PartialEnumOptions {
   // Safety valve: stop enumerating after this many candidate seed sets.
   std::size_t max_candidates = 5'000'000;
   // Selection strategy and reusable buffers for every greedy completion
-  // (core/select.h); the lazy heap pays off most here because the inner
-  // greedy runs O(|S|^seed_size) times.
-  SelectStrategy strategy = SelectStrategy::kLazyHeap;
+  // (core/select.h); the delta heap pays off most here because the inner
+  // greedy runs O(|S|^seed_size) times on checkpoint-restored state.
+  SelectStrategy strategy = SelectStrategy::kDeltaHeap;
   SolveWorkspace* workspace = nullptr;
 };
 
@@ -48,6 +61,8 @@ struct PartialEnumResult {
   SelectStats select;
 };
 
+[[nodiscard]] PartialEnumResult partial_enum_unit_skew(
+    const model::InstanceView& view, const PartialEnumOptions& opts = {});
 [[nodiscard]] PartialEnumResult partial_enum_unit_skew(
     const model::Instance& inst, const PartialEnumOptions& opts = {});
 

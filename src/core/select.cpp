@@ -38,11 +38,58 @@ struct HeapLess {
   return util::approx_ge(stale, m);
 }
 
+// 4-ary max-heap primitives over the workspace entry array, replacing
+// std::pop_heap/push_heap: the tree is half as deep, sift-down exits
+// early (a refreshed entry usually stays near the top), and a stale
+// refresh is one in-place sift instead of a full pop + push round-trip.
+// The heap's internal layout never affects picks — phase 1 extracts the
+// exact HeapLess maximum and phase 2 gathers the full tolerance-tied set
+// whatever the organization.
+constexpr std::size_t kHeapArity = 4;
+
+void heap_sift_down(std::vector<SelectHeapEntry>& heap, std::size_t i,
+                    SelectHeapEntry value) {
+  const HeapLess less{};
+  const std::size_t n = heap.size();
+  for (;;) {
+    const std::size_t first_child = kHeapArity * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child =
+        std::min(first_child + kHeapArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c)
+      if (less(heap[best], heap[c])) best = c;
+    if (!less(value, heap[best])) break;
+    heap[i] = heap[best];
+    i = best;
+  }
+  heap[i] = value;
+}
+
+void heap_sift_up(std::vector<SelectHeapEntry>& heap, std::size_t i,
+                  SelectHeapEntry value) {
+  const HeapLess less{};
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!less(heap[parent], value)) break;
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = value;
+}
+
+void heap_build(std::vector<SelectHeapEntry>& heap) {
+  if (heap.size() <= 1) return;
+  for (std::size_t i = (heap.size() - 2) / kHeapArity + 1; i-- > 0;)
+    heap_sift_down(heap, i, heap[i]);
+}
+
 // The shared tie-break over the tolerance-tied candidates: largest w̄
 // wins; w̄ ties within tolerance keep the lowest stream id. Candidates
 // are sorted by id first so the scan order (and therefore the outcome of
-// the non-transitive fuzzy comparison) is identical for both strategies.
+// the non-transitive fuzzy comparison) is identical for all strategies.
 [[nodiscard]] std::size_t break_ties(std::vector<SelectHeapEntry>& tied) {
+  if (tied.size() == 1) return 0;  // no tolerance tie: the common case
   std::sort(tied.begin(), tied.end(),
             [](const SelectHeapEntry& a, const SelectHeapEntry& b) {
               return a.stream < b.stream;
@@ -56,14 +103,28 @@ struct HeapLess {
 }  // namespace
 
 SelectStrategy parse_select_strategy(const std::string& name) {
+  if (name == "delta") return SelectStrategy::kDeltaHeap;
   if (name == "lazy" || name == "heap") return SelectStrategy::kLazyHeap;
   if (name == "naive" || name == "scan") return SelectStrategy::kNaiveScan;
-  throw std::invalid_argument("option --select expects lazy|naive, got '" +
-                              name + "'");
+  throw std::invalid_argument(
+      "option --select expects delta|lazy|naive, got '" + name + "'");
 }
 
 const char* to_string(SelectStrategy strategy) noexcept {
-  return strategy == SelectStrategy::kLazyHeap ? "lazy" : "naive";
+  switch (strategy) {
+    case SelectStrategy::kDeltaHeap:
+      return "delta";
+    case SelectStrategy::kLazyHeap:
+      return "lazy";
+    default:
+      return "naive";
+  }
+}
+
+bool StreamSelector::entry_fresh(const SelectHeapEntry& e) const noexcept {
+  if (strategy_ == SelectStrategy::kDeltaHeap)
+    return e.stamp == ws_->version[static_cast<std::size_t>(e.stream)];
+  return e.stamp == round_;
 }
 
 void StreamSelector::reset(SolveWorkspace& ws, std::span<const double> wbar,
@@ -78,25 +139,52 @@ void StreamSelector::reset(SolveWorkspace& ws, std::span<const double> wbar,
   pool_size_ = n;
   round_ = 0;
   stats_ = {};
-  if (strategy_ == SelectStrategy::kLazyHeap) {
-    ws.heap.clear();
-    ws.heap.reserve(n);
-    for (std::size_t s = 0; s < n; ++s) {
-      ws.heap.push_back({select_effectiveness(wbar[s], cost[s]), wbar[s],
-                         static_cast<model::StreamId>(s), 0});
-    }
-    stats_.evaluations += n;
-    std::make_heap(ws.heap.begin(), ws.heap.end(), HeapLess{});
-  } else {
+  if (strategy_ == SelectStrategy::kNaiveScan) {
     ws.eff.assign(n, 0.0);
+    return;
   }
+  if (strategy_ == SelectStrategy::kDeltaHeap) ws.version.assign(n, 0);
+  ws.heap.clear();
+  ws.heap.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    ws.heap.push_back({select_effectiveness(wbar[s], cost[s]), wbar[s],
+                       static_cast<model::StreamId>(s), 0});
+  }
+  stats_.evaluations += n;
+  heap_build(ws.heap);
+}
+
+void StreamSelector::invalidate() noexcept {
+  if (strategy_ == SelectStrategy::kDeltaHeap) {
+    // No global round under delta stamps: conservatively age every
+    // stream's version so every entry re-evaluates once.
+    for (auto& v : ws_->version) ++v;
+    return;
+  }
+  ++round_;
+}
+
+void StreamSelector::save(SelectorCheckpoint& out) const {
+  out.heap.assign(ws_->heap.begin(), ws_->heap.end());
+  out.in_pool.assign(ws_->in_pool.begin(), ws_->in_pool.end());
+  out.version.assign(ws_->version.begin(), ws_->version.end());
+  out.pool_size = pool_size_;
+  out.round = round_;
+}
+
+void StreamSelector::restore(const SelectorCheckpoint& in) {
+  ws_->heap.assign(in.heap.begin(), in.heap.end());
+  ws_->in_pool.assign(in.in_pool.begin(), in.in_pool.end());
+  ws_->version.assign(in.version.begin(), in.version.end());
+  pool_size_ = in.pool_size;
+  round_ = in.round;
 }
 
 model::StreamId StreamSelector::pop_best() {
   if (pool_size_ == 0) return model::kInvalidStream;
-  const model::StreamId chosen = strategy_ == SelectStrategy::kLazyHeap
-                                     ? pop_best_lazy()
-                                     : pop_best_naive();
+  const model::StreamId chosen = strategy_ == SelectStrategy::kNaiveScan
+                                     ? pop_best_naive()
+                                     : pop_best_heap();
   if (chosen == model::kInvalidStream) return chosen;
   ws_->in_pool[static_cast<std::size_t>(chosen)] = 0;
   --pool_size_;
@@ -104,62 +192,79 @@ model::StreamId StreamSelector::pop_best() {
   return chosen;
 }
 
-model::StreamId StreamSelector::pop_best_lazy() {
+model::StreamId StreamSelector::pop_best_heap() {
   auto& heap = ws_->heap;
   const auto& in_pool = ws_->in_pool;
-  const HeapLess less{};
 
   auto refresh = [&](SelectHeapEntry& e) {
     const auto s = static_cast<std::size_t>(e.stream);
     e.eff = select_effectiveness(wbar_[s], cost_[s]);
     e.wbar = wbar_[s];
-    e.stamp = round_;
+    e.stamp = strategy_ == SelectStrategy::kDeltaHeap ? ws_->version[s]
+                                                      : round_;
     ++stats_.evaluations;
   };
   auto pop_entry = [&]() {
-    std::pop_heap(heap.begin(), heap.end(), less);
-    SelectHeapEntry e = heap.back();
+    SelectHeapEntry e = heap.front();
+    SelectHeapEntry last = heap.back();
     heap.pop_back();
+    if (!heap.empty()) heap_sift_down(heap, 0, last);
     return e;
   };
   auto push_entry = [&](const SelectHeapEntry& e) {
     heap.push_back(e);
-    std::push_heap(heap.begin(), heap.end(), less);
+    heap_sift_up(heap, heap.size() - 1, e);
   };
   auto drop_removed = [&]() {
     while (!heap.empty() &&
            !in_pool[static_cast<std::size_t>(heap.front().stream)])
-      pop_entry();
+      (void)pop_entry();
   };
 
   // Phase 1: the classic lazy pop. A fresh top beats every remaining
   // stale key, and stale keys only overestimate, so it is the exact
-  // lexicographic (eff, wbar, lowest id) maximum of the pool.
+  // lexicographic (eff, wbar, lowest id) maximum of the pool. Under
+  // kDeltaHeap freshness is per-stream — entries whose w̄ was never
+  // update()d since their last evaluation are fresh by construction and
+  // cost nothing here; under kLazyHeap any entry behind the global round
+  // re-evaluates. A stale top refreshes in place (one sift-down), not
+  // via a pop + push round-trip.
   SelectHeapEntry top;
   for (;;) {
     drop_removed();
     if (heap.empty()) return model::kInvalidStream;
-    top = pop_entry();
-    if (top.stamp == round_) break;
-    refresh(top);
-    push_entry(top);
+    const SelectHeapEntry front = heap.front();
+    if (entry_fresh(front)) {
+      top = pop_entry();
+      break;
+    }
+    SelectHeapEntry e = front;
+    refresh(e);
+    heap_sift_down(heap, 0, e);
   }
 
   // Phase 2: gather every pool stream whose *fresh* effectiveness ties
   // the maximum within tolerance. Anything below the tolerance band has
-  // a stale key below it too and is never touched.
+  // a stale key below it too and is never touched. A stale entry inside
+  // the band refreshes at the root in place (its new, lower key sifts
+  // down with early exit) instead of a pop + push round-trip; a fresh
+  // in-band entry is a genuine tolerance tie.
   auto& tied = ws_->tied;
   tied.clear();
   tied.push_back(top);
   for (;;) {
     drop_removed();
-    if (heap.empty() || !could_tie(heap.front().eff, top.eff)) break;
-    SelectHeapEntry e = pop_entry();
-    if (e.stamp != round_) refresh(e);
-    if (eff_ties(e.eff, top.eff))
-      tied.push_back(e);
-    else
-      push_entry(e);  // refreshed below the band; back to the heap
+    if (heap.empty()) break;
+    const SelectHeapEntry front = heap.front();
+    if (!could_tie(front.eff, top.eff)) break;
+    if (!entry_fresh(front)) {
+      SelectHeapEntry e = front;
+      refresh(e);
+      heap_sift_down(heap, 0, e);
+      continue;
+    }
+    if (!eff_ties(front.eff, top.eff)) break;  // approx_ge yet not approx_eq
+    tied.push_back(pop_entry());
   }
 
   const std::size_t best = break_ties(tied);

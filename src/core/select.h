@@ -7,25 +7,35 @@
 // monotone non-increasing as streams are added (the submodular structure
 // of Lemma 2.1, the same monotonicity CELF-style lazy evaluation exploits
 // in the influence/VoD literature), a stale heap entry only ever
-// *overestimates* a stream's current effectiveness — so a lazy max-heap
-// that re-evaluates entries on demand returns exactly the stream a full
-// O(|S|) rescan would, at a fraction of the evaluations. Both strategies
-// live behind one StreamSelector interface; kNaiveScan is kept for
-// differential testing (tests/test_select.cpp) and as the perf baseline
-// (engine/perf.h, `vdist_cli perf`).
+// *overestimates* a stream's current effectiveness — so a max-heap that
+// re-evaluates entries on demand returns exactly the stream a full
+// O(|S|) rescan would, at a fraction of the evaluations.
 //
-// Tie-break contract, shared verbatim by both strategies so they are
+// Three strategies live behind one StreamSelector interface:
+//   * kDeltaHeap (default): exact delta propagation. The caller reports
+//     every w̄ decrease through update(stream, new_wbar); only that
+//     stream's per-entry stamp goes stale, so entries of *untouched*
+//     streams stay fresh forever and are never re-evaluated. Evaluations
+//     are a strict subset of kLazyHeap's.
+//   * kLazyHeap: the PR-3 global round-bump. invalidate() marks every
+//     cached effectiveness stale; a popped entry re-evaluates whenever
+//     its stamp is behind the round, touched or not. Kept as the
+//     differential middle ground between delta and naive.
+//   * kNaiveScan: full O(pool) rescan per pick — the §2.1 baseline for
+//     differential testing (tests/test_select.cpp) and perf
+//     (engine/perf.h, `vdist_cli perf`).
+//
+// Tie-break contract, shared verbatim by all strategies so they are
 // interchangeable pick-for-pick:
 //   1. the selected stream maximizes effectiveness w̄/c;
 //   2. among streams whose effectiveness ties within the library
 //      tolerance (util::approx_eq; infinities tie only with each other),
 //      the largest w̄ wins;
 //   3. among w̄ ties within tolerance, the lowest stream id wins.
-// The old `eff == best_eff` exact double comparison this replaces was
-// refactor-fragile: any change to evaluation order could flip a tie.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,16 +46,17 @@
 namespace vdist::core {
 
 enum class SelectStrategy {
-  kLazyHeap,   // lazy max-heap with stale-entry re-evaluation (default)
+  kDeltaHeap,  // exact per-stream delta propagation (default)
+  kLazyHeap,   // lazy max-heap with global-round stale re-evaluation
   kNaiveScan,  // full O(pool) rescan per pick (differential baseline)
 };
 
-// Parses "lazy" / "naive" (the `select` option key of the registry
-// adapters); throws std::invalid_argument otherwise.
+// Parses "delta" / "lazy" / "naive" (the `select` option key of the
+// registry adapters); throws std::invalid_argument otherwise.
 [[nodiscard]] SelectStrategy parse_select_strategy(const std::string& name);
 [[nodiscard]] const char* to_string(SelectStrategy strategy) noexcept;
 
-// Counters both strategies report; the perf subsystem and bench E12-style
+// Counters all strategies report; the perf subsystem and bench E12-style
 // ablations read them off the result structs.
 struct SelectStats {
   std::size_t picks = 0;        // streams returned by pop_best()
@@ -56,9 +67,11 @@ struct SelectStats {
   }
 };
 
-// One lazy-heap entry: the stream's effectiveness and residual utility as
-// of `stamp`; stale entries (stamp behind the selector's round) are upper
-// bounds and get refreshed on demand.
+// One heap entry: the stream's effectiveness and residual utility as of
+// `stamp`. Under kLazyHeap the stamp is the selector's global round;
+// under kDeltaHeap it is the stream's own version counter. A stale entry
+// (stamp behind its reference) is an upper bound and gets refreshed on
+// demand.
 struct SelectHeapEntry {
   double eff = 0.0;
   double wbar = 0.0;
@@ -66,30 +79,62 @@ struct SelectHeapEntry {
   std::uint32_t stamp = 0;
 };
 
+// A saved selector state (pool membership, heap, per-stream versions).
+// Part of core::GreedyCheckpoint (core/greedy.h); SelectStats counters
+// are deliberately NOT checkpointed — they keep counting monotonically
+// across restores so a checkpointed enumeration reports its true total
+// work.
+struct SelectorCheckpoint {
+  std::vector<SelectHeapEntry> heap;
+  std::vector<char> in_pool;
+  std::vector<std::uint32_t> version;
+  std::size_t pool_size = 0;
+  std::uint32_t round = 0;
+};
+
+struct CheckpointArena;  // core/greedy.h: reusable GreedyCheckpoint frames
+
 // Reusable per-thread scratch for the solver stack. One workspace per
 // thread amortizes every per-solve allocation (residual caps, w̄, costs,
-// the selection heap) across the thousands of cells a BatchRunner or
-// SweepPlan executes; SolveRequest::workspace threads it through the
-// registry. A workspace may be reused freely across sequential solves of
-// different instances and algorithms, but must never be shared by two
-// concurrent solves.
+// the selection heap, band-view surrogates, enumeration checkpoints)
+// across the thousands of cells a BatchRunner or SweepPlan executes;
+// SolveRequest::workspace threads it through the registry. A workspace
+// may be reused freely across sequential solves of different instances
+// and algorithms, but must never be shared by two concurrent solves.
 struct SolveWorkspace {
   // Selection kernel (StreamSelector).
   std::vector<SelectHeapEntry> heap;
   std::vector<char> in_pool;
-  std::vector<double> eff;               // naive-scan per-stream cache
-  std::vector<SelectHeapEntry> tied;     // tolerance-tied candidates
+  std::vector<std::uint32_t> version;  // kDeltaHeap per-stream stamps
+  std::vector<double> eff;             // naive-scan per-stream cache
+  std::vector<SelectHeapEntry> tied;   // tolerance-tied candidates
   // Greedy engine (core/greedy.cpp, core/partial_enum.cpp).
   std::vector<double> rem;
   std::vector<double> wbar;
   std::vector<double> cost;
+  std::vector<double> user_w;       // per-user assigned (surrogate) utility
+  std::vector<double> user_last_w;  // last assigned pair's utility per user
+  std::vector<char> taken;          // greedy: seeded-or-considered marks
+  std::vector<double> user_edge_w;  // user-major utilities, sorted desc
+  std::vector<model::StreamId> user_edge_s;  // streams parallel to the above
+  std::vector<model::StreamId> cost_order;   // streams by ascending cost
+  // Band views (core/skew_bands.cpp): per-edge surrogate utilities,
+  // per-stream totals, per-user caps, per-edge band tags.
+  std::vector<double> view_utility;
+  std::vector<double> view_totals;
+  std::vector<double> view_caps;
+  std::vector<std::int32_t> edge_band;
+  // Checkpointed enumeration (core/partial_enum.cpp): lazily created
+  // arena of GreedyCheckpoint frames, one per enumeration depth, reused
+  // across seed sets and across solves on this workspace.
+  std::shared_ptr<CheckpointArena> checkpoint_arena;
   // Generic double scratch (group dedup, allocator cost rows).
   std::vector<double> scratch;
 };
 
 // Effectiveness of a stream: residual utility per unit cost; zero-cost
 // streams with positive residual rank first (+inf), dead zero-cost
-// streams last (0). Both strategies MUST compute effectiveness through
+// streams last (0). All strategies MUST compute effectiveness through
 // this one helper so their values are bit-identical.
 [[nodiscard]] inline double select_effectiveness(double wbar,
                                                  double cost) noexcept {
@@ -99,16 +144,16 @@ struct SolveWorkspace {
 // Pops the most effective stream from a shrinking pool. Usage:
 //
 //   StreamSelector sel;
-//   sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kLazyHeap);
+//   sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kDeltaHeap);
 //   while ((s = sel.pop_best()) != model::kInvalidStream) {
-//     ...            // maybe assign s, decreasing entries of ws.wbar
-//     sel.invalidate();  // after any w̄ decrease
+//     ...                      // maybe assign s, decreasing ws.wbar[t]
+//     sel.update(t, ws.wbar[t]);  // after EACH w̄ decrease
 //   }
 //
 // The selector borrows the caller's live w̄/cost arrays; the caller may
-// decrease w̄ entries between pops (and must call invalidate() after
-// doing so) but must never increase one — that would invalidate the
-// stale-entries-overestimate invariant the lazy heap relies on.
+// decrease w̄ entries between pops — reporting each change through
+// update() — but must never increase one: that would invalidate the
+// stale-entries-overestimate invariant both heap strategies rely on.
 class StreamSelector {
  public:
   StreamSelector() = default;
@@ -127,8 +172,29 @@ class StreamSelector {
   // force-add streams outside the argmax order).
   void remove(model::StreamId s);
 
-  // Marks every cached effectiveness stale. Call after decreasing w̄.
-  void invalidate() noexcept { ++round_; }
+  // Tells the selector that ws.wbar[s] just decreased to `new_wbar`.
+  //   * kDeltaHeap: bumps only stream s's version — the exact delta
+  //     path; every other cached effectiveness stays fresh.
+  //   * kLazyHeap: degenerates to invalidate() (the global round-bump).
+  //   * kNaiveScan: no-op (the rescan reads live values anyway).
+  // Inline: this sits in the greedy's w̄-propagation inner loop.
+  void update(model::StreamId s, double /*new_wbar*/) noexcept {
+    if (strategy_ == SelectStrategy::kDeltaHeap)
+      ++ws_->version[static_cast<std::size_t>(s)];
+    else if (strategy_ == SelectStrategy::kLazyHeap)
+      ++round_;
+  }
+
+  // Marks every cached effectiveness stale (the kLazyHeap path; under
+  // kDeltaHeap prefer the exact update() above). Call after decreasing
+  // w̄ without per-stream attribution.
+  void invalidate() noexcept;
+
+  // Copies the selector's pool/heap/version state out (in); the stats
+  // counters keep running monotonically across restores. The checkpoint
+  // must come from a save() on this selector since its last reset().
+  void save(SelectorCheckpoint& out) const;
+  void restore(const SelectorCheckpoint& in);
 
   [[nodiscard]] bool contains(model::StreamId s) const noexcept {
     return ws_->in_pool[static_cast<std::size_t>(s)] != 0;
@@ -137,13 +203,14 @@ class StreamSelector {
   [[nodiscard]] const SelectStats& stats() const noexcept { return stats_; }
 
  private:
-  [[nodiscard]] model::StreamId pop_best_lazy();
+  [[nodiscard]] model::StreamId pop_best_heap();
   [[nodiscard]] model::StreamId pop_best_naive();
+  [[nodiscard]] bool entry_fresh(const SelectHeapEntry& e) const noexcept;
 
   SolveWorkspace* ws_ = nullptr;
   std::span<const double> wbar_;
   std::span<const double> cost_;
-  SelectStrategy strategy_ = SelectStrategy::kLazyHeap;
+  SelectStrategy strategy_ = SelectStrategy::kDeltaHeap;
   std::size_t pool_size_ = 0;
   std::uint32_t round_ = 0;
   SelectStats stats_;

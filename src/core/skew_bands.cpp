@@ -6,6 +6,7 @@
 
 #include "core/partial_enum.h"
 #include "model/skew.h"
+#include "model/view.h"
 #include "util/float_cmp.h"
 
 namespace vdist::core {
@@ -13,35 +14,9 @@ namespace vdist::core {
 using model::Assignment;
 using model::EdgeId;
 using model::Instance;
-using model::InstanceBuilder;
+using model::InstanceView;
 using model::StreamId;
 using model::UserId;
-
-namespace {
-
-// One band's edge list, as (user, stream, surrogate utility) triples.
-struct BandEdges {
-  std::vector<model::UserId> users;
-  std::vector<model::StreamId> streams;
-  std::vector<double> surrogate;
-};
-
-// Builds the band's unit-skew cap-form instance: same streams and costs,
-// caps from `caps`, edges from `band`.
-Instance build_band_instance(const Instance& orig, const BandEdges& band,
-                             const std::vector<double>& caps) {
-  InstanceBuilder b(1, 1);
-  b.set_budget(0, orig.budget(0));
-  for (std::size_t s = 0; s < orig.num_streams(); ++s)
-    b.add_stream({orig.cost(static_cast<StreamId>(s), 0)});
-  for (double cap : caps) b.add_user({cap});
-  for (std::size_t e = 0; e < band.users.size(); ++e)
-    b.add_interest_unit_skew(band.users[e], band.streams[e],
-                             band.surrogate[e]);
-  return std::move(b).build();
-}
-
-}  // namespace
 
 SkewBandsResult solve_smd_any_skew(const Instance& inst,
                                    const SkewBandsOptions& opts) {
@@ -57,9 +32,16 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
       1, 1 + static_cast<int>(std::floor(std::log2(skew.alpha) + 1e-9)));
   out.num_bands = t;
 
-  std::vector<BandEdges> bands(static_cast<std::size_t>(t));
-  BandEdges free_band;
+  SolveWorkspace local;
+  SolveWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local;
 
+  // One classification pass: band index per edge (1..t, 0 = free band,
+  // -1 = dead edge), plus per-band edge counts. No per-band instance is
+  // ever materialized — each band becomes an InstanceView over the
+  // parent CSR with a surrogate utility array (0 disables the pair).
+  const std::size_t num_edges = inst.num_edges();
+  ws.edge_band.assign(num_edges, -1);
+  std::vector<std::size_t> band_edges(static_cast<std::size_t>(t) + 1, 0);
   for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
     const auto s = static_cast<StreamId>(ss);
     for (EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
@@ -67,11 +49,11 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
       const double w = inst.edge_utility(e);
       const double k = inst.edge_load(e, 0);
       if (w <= 0.0) continue;
+      const auto ee = static_cast<std::size_t>(e);
       if (k <= 0.0) {
         // Free pair: no load, surrogate = the true utility, no cap needed.
-        free_band.users.push_back(u);
-        free_band.streams.push_back(s);
-        free_band.surrogate.push_back(w);
+        ws.edge_band[ee] = 0;
+        ++band_edges[0];
         continue;
       }
       // Normalized ratio is w / (k * scale_u) in [1, alpha]; band index
@@ -80,64 +62,89 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
       const double ratio = w / (k * scale);
       int idx = 1 + static_cast<int>(std::floor(std::log2(ratio) + 1e-9));
       idx = std::clamp(idx, 1, t);
-      auto& band = bands[static_cast<std::size_t>(idx - 1)];
-      band.users.push_back(u);
-      band.streams.push_back(s);
-      // Surrogate utility = normalized load (the paper's w_u^i = k_u).
-      band.surrogate.push_back(k * scale);
+      ws.edge_band[ee] = idx;
+      ++band_edges[static_cast<std::size_t>(idx)];
     }
   }
 
-  // Normalized caps W_u^i = K_u (scaled consistently with the loads).
-  std::vector<double> scaled_caps(inst.num_users());
-  for (std::size_t u = 0; u < scaled_caps.size(); ++u) {
+  // Normalized caps W_u^i = K_u (scaled consistently with the loads) for
+  // the ratio bands; the free band is uncapped.
+  const std::size_t num_users = inst.num_users();
+  ws.view_caps.resize(2 * num_users);
+  const std::span<double> scaled_caps(ws.view_caps.data(), num_users);
+  const std::span<double> no_caps(ws.view_caps.data() + num_users, num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
     const double cap = inst.capacity(static_cast<UserId>(u), 0);
     scaled_caps[u] = util::is_unbounded(cap) ? model::kUnbounded
                                              : cap * skew.scale[u];
+    no_caps[u] = model::kUnbounded;
   }
-  const std::vector<double> no_caps(inst.num_users(), model::kUnbounded);
 
-  auto solve_band = [&](const BandEdges& band, const std::vector<double>& caps,
-                        int index, double lo, double hi) {
-    if (band.users.empty()) return;
-    const Instance band_inst = build_band_instance(inst, band, caps);
+  ws.view_utility.resize(num_edges);
+  ws.view_totals.resize(inst.num_streams());
+
+  auto solve_band = [&](int band, std::span<const double> caps, int index,
+                        double lo, double hi) {
+    const std::size_t edges_in_band =
+        band_edges[static_cast<std::size_t>(band)];
+    if (edges_in_band == 0) return;
+
+    // The band's surrogate utilities over the parent CSR: the normalized
+    // load for ratio bands (the paper's w_u^i = k_u), the true utility
+    // for the free band; 0 for every out-of-band pair.
+    for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
+      const auto s = static_cast<StreamId>(ss);
+      double total = 0.0;
+      for (EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
+        const auto ee = static_cast<std::size_t>(e);
+        double surrogate = 0.0;
+        if (ws.edge_band[ee] == band) {
+          surrogate =
+              band == 0
+                  ? inst.edge_utility(e)
+                  : inst.edge_load(e, 0) *
+                        skew.scale[static_cast<std::size_t>(
+                            inst.edge_user(e))];
+        }
+        ws.view_utility[ee] = surrogate;
+        total += surrogate;
+      }
+      ws.view_totals[ss] = total;
+    }
+
+    const InstanceView band_view(inst, ws.view_utility, ws.view_totals, caps);
     SmdSolveResult solved =
         opts.use_partial_enum
             ? partial_enum_unit_skew(
-                  band_inst, {.seed_size = opts.seed_size,
+                  band_view, {.seed_size = opts.seed_size,
                               .mode = opts.mode,
                               .strategy = opts.strategy,
-                              .workspace = opts.workspace})
+                              .workspace = &ws})
                   .best
-            : solve_unit_skew(band_inst, opts.mode,
-                              {opts.strategy, opts.workspace});
+            : solve_unit_skew(band_view, opts.mode,
+                              {opts.strategy, &ws, /*record_trace=*/false});
     out.select.merge(solved.select);
 
-    // Map the band assignment back to the original instance; the pairs are
-    // identical, only the utility function differs.
-    Assignment mapped(inst);
-    for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
-      const auto u = static_cast<UserId>(uu);
-      for (StreamId s : solved.assignment.streams_of(u)) mapped.assign(u, s);
-    }
-    const double original_utility = mapped.utility();
+    // The band assignment lives directly on the parent instance (views
+    // share stream/user ids), so its accounting already carries the
+    // original utilities — no mapping pass.
+    const double original_utility = solved.assignment.utility();
 
-    out.bands.push_back(BandReport{index, lo, hi, band.users.size(),
+    out.bands.push_back(BandReport{index, lo, hi, edges_in_band,
                                    solved.utility, original_utility});
     // "Choosing the one with maximum utility" (Thm 3.1); we compare by
     // original utility, which can only improve on the paper's surrogate
     // comparison.
     if (original_utility > out.utility) {
       out.utility = original_utility;
-      out.assignment = std::move(mapped);
+      out.assignment = std::move(solved.assignment);
       out.chosen_band = index;
     }
   };
 
   for (int i = 1; i <= t; ++i)
-    solve_band(bands[static_cast<std::size_t>(i - 1)], scaled_caps, i,
-               std::exp2(i - 1), std::exp2(i));
-  solve_band(free_band, no_caps, 0, util::kInf, util::kInf);
+    solve_band(i, scaled_caps, i, std::exp2(i - 1), std::exp2(i));
+  solve_band(0, no_caps, 0, util::kInf, util::kInf);
 
   return out;
 }

@@ -30,8 +30,10 @@ struct SkewBandsOptions {
   int seed_size = 3;
   SmdMode mode = SmdMode::kFeasible;
   // Selection strategy and reusable buffers for every per-band greedy
-  // (core/select.h).
-  SelectStrategy strategy = SelectStrategy::kLazyHeap;
+  // (core/select.h). Bands are solved through copy-free InstanceViews
+  // over the parent CSR (model/view.h) — no per-band instance is built,
+  // and the per-band surrogate/cap arrays live in the workspace.
+  SelectStrategy strategy = SelectStrategy::kDeltaHeap;
   SolveWorkspace* workspace = nullptr;
 };
 

@@ -53,6 +53,9 @@ std::vector<SolveResult> BatchRunner::run(
       SolveRequest req = requests[i];
       req.seed = derive_seed(options_.base_seed, i, requests[i].seed);
       if (req.workspace == nullptr) req.workspace = &workspace;
+      // Batch cells never read per-pick traces; recording them across a
+      // 10k-cell sweep is pure allocation overhead.
+      req.record_trace = false;
       try {
         results[i] = registry.solve(req);
       } catch (const std::exception& e) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <ostream>
+#include <stdexcept>
+#include <thread>
 
 #include "core/select.h"
 #include "engine/registry.h"
@@ -33,6 +35,7 @@ PerfMeasurement measure(const model::Instance& inst,
   req.options.set("select", core::to_string(strategy));
   req.seed = seed;
   req.validate = false;  // time the solve, not the O(n) validation
+  req.record_trace = false;  // trace vectors are not part of the hot path
   req.workspace = &ws;
 
   PerfMeasurement out;
@@ -69,7 +72,36 @@ void json_measurement(std::ostream& os, const PerfMeasurement& m) {
   os << '}';
 }
 
+double ratio_of(double naive_wall, double fast_wall) {
+  if (fast_wall > 0.0) return naive_wall / fast_wall;
+  return naive_wall > 0.0 ? util::kInf : 1.0;
+}
+
 }  // namespace
+
+PerfProvenance collect_provenance() {
+  PerfProvenance p;
+#ifdef VDIST_GIT_SHA
+  p.git_sha = VDIST_GIT_SHA;
+#else
+  p.git_sha = "unknown";
+#endif
+#if defined(__clang__)
+  p.compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+  p.compiler = "gcc " __VERSION__;
+#else
+  p.compiler = "unknown";
+#endif
+#ifdef VDIST_BUILD_FLAGS
+  p.flags = VDIST_BUILD_FLAGS;
+#endif
+#ifdef VDIST_BUILD_TYPE
+  p.build_type = VDIST_BUILD_TYPE;
+#endif
+  p.hardware_concurrency = std::thread::hardware_concurrency();
+  return p;
+}
 
 const PerfCase* PerfReport::largest() const {
   const PerfCase* best = nullptr;
@@ -83,6 +115,7 @@ const PerfCase* PerfReport::largest() const {
 
 std::string PerfReport::first_error() const {
   for (const PerfCase& c : cases) {
+    if (!c.delta.error.empty()) return c.label + ": " + c.delta.error;
     if (!c.lazy.error.empty()) return c.label + ": " + c.lazy.error;
     if (!c.naive.error.empty()) return c.label + ": " + c.naive.error;
   }
@@ -93,7 +126,8 @@ std::vector<PerfCaseSpec> default_perf_suite(bool smoke) {
   std::vector<PerfCaseSpec> suite;
   if (smoke) {
     // Tiny shapes, same coverage: the argmax-heavy plain greedy at two
-    // sizes, the fixed greedy, the band solver, one enum completion.
+    // sizes, the fixed greedy, the band-view solver, one checkpointed
+    // enum completion at each depth.
     suite.push_back(make_case("cap", 200, 50, "greedy-plain"));
     suite.push_back(make_case("cap", 800, 200, "greedy-plain"));
     suite.push_back(make_case("cap", 800, 200, "greedy"));
@@ -101,13 +135,17 @@ std::vector<PerfCaseSpec> default_perf_suite(bool smoke) {
     suite.back().scenario.params.set("skew", 8);
     suite.push_back(make_case("cap", 120, 30, "enum"));
     suite.back().options.set("depth", 1);
+    suite.push_back(make_case("cap", 40, 10, "enum"));
+    suite.back().options.set("depth", 2);
+    suite.back().label = "cap-40/enum-d2";
     return suite;
   }
   // Full suite: the plain greedy scaling to |S| = 8000 (the naive scan is
-  // O(|S|^2) here, the headline lazy-vs-naive gap), the Theorem 2.8
-  // greedy at the top size, the Section-3 band solver on a skewed SMD
-  // workload at |S| = 5000, and a depth-1 enumeration (|S| seeded greedy
-  // completions — the kernel's worst client before the lazy heap).
+  // O(|S|^2) here, the headline delta-vs-naive gap), the Theorem 2.8
+  // greedy at the top size, the Section-3 band-view solver on a skewed
+  // SMD workload at |S| = 5000, and the checkpointed §2.3 enumeration at
+  // depth 1 (|S| restored completions) and depth 2 (O(|S|^2) completions
+  // sharing first-seed frames).
   suite.push_back(make_case("cap", 1000, 250, "greedy-plain"));
   suite.push_back(make_case("cap", 3000, 750, "greedy-plain"));
   suite.push_back(make_case("cap", 8000, 2000, "greedy-plain"));
@@ -118,6 +156,9 @@ std::vector<PerfCaseSpec> default_perf_suite(bool smoke) {
   suite.back().scenario.params.set("skew", 8);
   suite.push_back(make_case("cap", 400, 100, "enum"));
   suite.back().options.set("depth", 1);
+  suite.push_back(make_case("cap", 120, 30, "enum"));
+  suite.back().options.set("depth", 2);
+  suite.back().label = "cap-120/enum-d2";
   return suite;
 }
 
@@ -126,6 +167,7 @@ PerfReport run_perf(const PerfOptions& opts) {
   report.smoke = opts.smoke;
   report.repetitions =
       opts.repetitions > 0 ? opts.repetitions : (opts.smoke ? 2 : 3);
+  report.provenance = collect_provenance();
   // opts.seed re-seeds the built-in suite; explicit case lists carry
   // their own scenario seeds verbatim (no sentinel value is reserved).
   const bool builtin = opts.cases.empty();
@@ -147,18 +189,20 @@ PerfReport run_perf(const PerfOptions& opts) {
     result.streams = inst.num_streams();
     result.users = inst.num_users();
     result.edges = inst.num_edges();
+    result.delta = measure(inst, spec, core::SelectStrategy::kDeltaHeap,
+                           report.repetitions, opts.seed, ws);
     result.lazy = measure(inst, spec, core::SelectStrategy::kLazyHeap,
                           report.repetitions, opts.seed, ws);
     result.naive = measure(inst, spec, core::SelectStrategy::kNaiveScan,
                            report.repetitions, opts.seed, ws);
     if (result.ok()) {
-      result.speedup =
-          result.lazy.wall_ms > 0.0
-              ? result.naive.wall_ms / result.lazy.wall_ms
-              : (result.naive.wall_ms > 0.0 ? util::kInf : 1.0);
+      result.speedup = ratio_of(result.naive.wall_ms, result.delta.wall_ms);
+      result.speedup_lazy =
+          ratio_of(result.naive.wall_ms, result.lazy.wall_ms);
       // The strategies are pick-for-pick equivalent, so the objectives
       // must be bit-identical — any drift is a kernel bug.
       result.objective_match =
+          result.delta.objective == result.naive.objective &&
           result.lazy.objective == result.naive.objective;
     }
     report.cases.push_back(std::move(result));
@@ -167,21 +211,21 @@ PerfReport run_perf(const PerfOptions& opts) {
 }
 
 util::Table perf_table(const PerfReport& report) {
-  util::Table table({"case", "streams", "users", "edges", "lazy_ms",
-                     "naive_ms", "speedup", "lazy_evals", "naive_evals",
+  util::Table table({"case", "streams", "edges", "delta_ms", "lazy_ms",
+                     "naive_ms", "speedup", "delta_evals", "lazy_evals",
                      "objective", "match"});
   for (const PerfCase& c : report.cases) {
     table.row()
         .add(c.label)
         .add(c.streams)
-        .add(c.users)
         .add(c.edges)
+        .add(c.delta.wall_ms, 3)
         .add(c.lazy.wall_ms, 3)
         .add(c.naive.wall_ms, 3)
         .add(c.speedup, 2)
+        .add(c.delta.evals, 0)
         .add(c.lazy.evals, 0)
-        .add(c.naive.evals, 0)
-        .add(c.lazy.objective, 4)
+        .add(c.delta.objective, 4)
         .add(std::string(c.ok() ? (c.objective_match ? "yes" : "NO")
                                 : "ERROR"));
   }
@@ -190,7 +234,17 @@ util::Table perf_table(const PerfReport& report) {
 
 void write_perf_json(std::ostream& os, const PerfReport& report) {
   os << "{\"bench\":\"perf\",\"smoke\":" << (report.smoke ? "true" : "false")
-     << ",\"repetitions\":" << report.repetitions << ",\"cases\":[";
+     << ",\"repetitions\":" << report.repetitions << ",\"provenance\":{";
+  os << "\"git_sha\":";
+  json_string(os, report.provenance.git_sha);
+  os << ",\"compiler\":";
+  json_string(os, report.provenance.compiler);
+  os << ",\"flags\":";
+  json_string(os, report.provenance.flags);
+  os << ",\"build_type\":";
+  json_string(os, report.provenance.build_type);
+  os << ",\"hardware_concurrency\":" << report.provenance.hardware_concurrency
+     << "},\"cases\":[";
   bool first = true;
   for (const PerfCase& c : report.cases) {
     if (!first) os << ',';
@@ -202,12 +256,16 @@ void write_perf_json(std::ostream& os, const PerfReport& report) {
     os << ",\"algorithm\":";
     json_string(os, c.algorithm);
     os << ",\"streams\":" << c.streams << ",\"users\":" << c.users
-       << ",\"edges\":" << c.edges << ",\"lazy\":";
+       << ",\"edges\":" << c.edges << ",\"delta\":";
+    json_measurement(os, c.delta);
+    os << ",\"lazy\":";
     json_measurement(os, c.lazy);
     os << ",\"naive\":";
     json_measurement(os, c.naive);
     os << ",\"speedup\":";
     json_number(os, c.speedup);
+    os << ",\"speedup_lazy\":";
+    json_number(os, c.speedup_lazy);
     os << ",\"objective_match\":" << (c.objective_match ? "true" : "false")
        << '}';
   }
@@ -224,6 +282,96 @@ void write_perf_json(std::ostream& os, const PerfReport& report) {
        << (largest->objective_match ? "true" : "false") << '}';
   }
   os << "}\n";
+}
+
+const PerfBaselineEntry* PerfBaselineDiff::worst() const {
+  const PerfBaselineEntry* out = nullptr;
+  for (const PerfBaselineEntry& e : entries)
+    if (out == nullptr || e.wall_ratio > out->wall_ratio) out = &e;
+  return out;
+}
+
+bool PerfBaselineDiff::regressed(double max_regress, bool wall,
+                                 bool evals) const {
+  for (const PerfBaselineEntry& e : entries) {
+    if (wall && e.wall_ratio > max_regress) return true;
+    if (evals && e.evals_ratio > max_regress) return true;
+  }
+  return false;
+}
+
+PerfBaselineDiff diff_perf_baseline(const PerfReport& current,
+                                    const util::JsonValue& baseline) {
+  if (baseline.string_or("bench", "") != "perf")
+    throw std::runtime_error(
+        "baseline is not a BENCH perf document (missing \"bench\":\"perf\")");
+  const util::JsonValue* cases = baseline.find("cases");
+  if (cases == nullptr || !cases->is_array())
+    throw std::runtime_error("baseline perf document has no cases array");
+
+  PerfBaselineDiff diff;
+  for (const PerfCase& cur : current.cases) {
+    const util::JsonValue* match = nullptr;
+    for (const util::JsonValue& cand : cases->array)
+      if (cand.string_or("label", "") == cur.label) {
+        match = &cand;
+        break;
+      }
+    if (match == nullptr) {
+      diff.only_current.push_back(cur.label);
+      continue;
+    }
+    // Primary measurement: the baseline's delta entry when present and
+    // ok, else its lazy entry (pre-PR-4 schema).
+    const util::JsonValue* base = match->find("delta");
+    std::string strategy = "delta";
+    if (base == nullptr || !base->bool_or("ok", false)) {
+      base = match->find("lazy");
+      strategy = "lazy";
+    }
+    if (base == nullptr || !base->bool_or("ok", false) || !cur.delta.ok)
+      continue;  // nothing comparable on one side
+
+    PerfBaselineEntry entry;
+    entry.label = cur.label;
+    entry.baseline_strategy = strategy;
+    entry.baseline_wall_ms = base->number_or("wall_ms", 0.0);
+    entry.current_wall_ms = cur.delta.wall_ms;
+    entry.wall_ratio = entry.baseline_wall_ms > 0.0
+                           ? entry.current_wall_ms / entry.baseline_wall_ms
+                           : (entry.current_wall_ms > 0.0 ? util::kInf : 1.0);
+    entry.baseline_evals = base->number_or("evals", 0.0);
+    entry.current_evals = cur.delta.evals;
+    entry.evals_ratio = entry.baseline_evals > 0.0
+                            ? entry.current_evals / entry.baseline_evals
+                            : (entry.current_evals > 0.0 ? util::kInf : 1.0);
+    diff.entries.push_back(std::move(entry));
+  }
+  for (const util::JsonValue& cand : cases->array) {
+    const std::string label = cand.string_or("label", "");
+    const bool present = std::any_of(
+        current.cases.begin(), current.cases.end(),
+        [&](const PerfCase& c) { return c.label == label; });
+    if (!present) diff.only_baseline.push_back(label);
+  }
+  return diff;
+}
+
+util::Table baseline_table(const PerfBaselineDiff& diff) {
+  util::Table table({"case", "base_strategy", "base_ms", "now_ms",
+                     "wall_ratio", "base_evals", "now_evals", "evals_ratio"});
+  for (const PerfBaselineEntry& e : diff.entries) {
+    table.row()
+        .add(e.label)
+        .add(e.baseline_strategy)
+        .add(e.baseline_wall_ms, 3)
+        .add(e.current_wall_ms, 3)
+        .add(e.wall_ratio, 3)
+        .add(e.baseline_evals, 0)
+        .add(e.current_evals, 0)
+        .add(e.evals_ratio, 3);
+  }
+  return table;
 }
 
 }  // namespace vdist::engine

@@ -1,37 +1,43 @@
 // The perf subsystem: a registered-scenario benchmark suite comparing the
-// two selection-kernel strategies (core/select.h) at scaling instance
-// sizes, recorded as a machine-readable BENCH JSON so the repository
-// keeps a performance trajectory between PRs.
+// selection-kernel strategies (core/select.h) at scaling instance sizes,
+// recorded as a machine-readable BENCH JSON so the repository keeps a
+// performance trajectory between PRs.
 //
 // Each case is a (scenario spec, algorithm, options) triple built through
 // the ScenarioRegistry; run_perf() solves it once per strategy
-// (select=lazy / select=naive) on one reusable SolveWorkspace, repeats
+// (select=delta / lazy / naive) on one reusable SolveWorkspace, repeats
 // `repetitions` times keeping the *minimum* wall time (robust against
-// scheduler noise), and cross-checks that both strategies produced the
+// scheduler noise), and cross-checks that all strategies produced the
 // identical objective — they are pick-for-pick equivalent by
 // construction, so any mismatch is a kernel bug, not noise.
 //
 // Consumers:
-//   * `vdist_cli perf [--smoke]` — runs the suite, prints the table,
-//     writes BENCH_perf.json, and can enforce a minimum lazy-vs-naive
-//     speedup on the largest case (the CI perf-smoke gate);
+//   * `vdist_cli perf [--smoke] [--baseline FILE]` — runs the suite,
+//     prints the table, writes BENCH_perf.json, can enforce a minimum
+//     delta-vs-naive speedup on the largest case, and can diff the run
+//     against a committed BENCH JSON (exit 3 past --max-regress);
 //   * bench/bench_perf.cpp — the same suite as an experiment harness
 //     under the bench-smoke target.
 //
 // BENCH_perf.json schema (one object):
 //   {
 //     "bench": "perf", "smoke": bool, "repetitions": N,
+//     "provenance": {"git_sha": str, "compiler": str, "flags": str,
+//                    "build_type": str, "hardware_concurrency": N},
 //     "cases": [{
 //       "label": str, "scenario": str, "algorithm": str,
 //       "streams": N, "users": N, "edges": N,
-//       "lazy":  {"wall_ms": x, "objective": x, "picks": n, "evals": n},
-//       "naive": {"wall_ms": x, "objective": x, "picks": n, "evals": n},
-//       "speedup": x,            // naive.wall_ms / lazy.wall_ms
-//       "objective_match": bool  // exact equality of the two objectives
+//       "delta": {"wall_ms": x, "objective": x, "picks": n, "evals": n},
+//       "lazy":  {...}, "naive": {...},
+//       "speedup": x,        // naive.wall_ms / delta.wall_ms
+//       "speedup_lazy": x,   // naive.wall_ms / lazy.wall_ms
+//       "objective_match": bool  // exact equality across all strategies
 //     }, ...],
 //     "largest": {"label": str, "streams": N, "speedup": x,
 //                 "objective_match": bool}   // case with most streams
 //   }
+// Pre-PR-4 documents lack "delta"/"provenance"; the baseline differ
+// falls back to "lazy" as the primary measurement for those.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +46,7 @@
 #include <vector>
 
 #include "engine/scenario.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace vdist::engine {
@@ -83,17 +90,33 @@ struct PerfCase {
   std::size_t streams = 0;
   std::size_t users = 0;
   std::size_t edges = 0;
+  PerfMeasurement delta;
   PerfMeasurement lazy;
   PerfMeasurement naive;
-  double speedup = 0.0;  // naive.wall_ms / lazy.wall_ms (0 when not ok)
+  double speedup = 0.0;       // naive.wall_ms / delta.wall_ms (0 if !ok)
+  double speedup_lazy = 0.0;  // naive.wall_ms / lazy.wall_ms (0 if !ok)
   bool objective_match = false;
 
-  [[nodiscard]] bool ok() const { return lazy.ok && naive.ok; }
+  [[nodiscard]] bool ok() const { return delta.ok && lazy.ok && naive.ok; }
 };
+
+// Where this run came from: stamped into the BENCH JSON so entries are
+// comparable across the trajectory (a wall-ms delta from a different
+// compiler or machine is a different conversation than one from a code
+// change).
+struct PerfProvenance {
+  std::string git_sha;     // configure-time HEAD ("unknown" outside git)
+  std::string compiler;    // from the compiler's own version macros
+  std::string flags;       // CMAKE_CXX_FLAGS + per-config flags
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  unsigned hardware_concurrency = 0;
+};
+[[nodiscard]] PerfProvenance collect_provenance();
 
 struct PerfReport {
   bool smoke = false;
   int repetitions = 0;
+  PerfProvenance provenance;
   std::vector<PerfCase> cases;
 
   // The case with the most streams (ties: most edges); nullptr when the
@@ -105,7 +128,8 @@ struct PerfReport {
 
 // The built-in scaling suite over registered scenarios. Full mode tops
 // out at a |S| >= 5000 SMD workload (the trajectory's headline number);
-// smoke mode shrinks every size but keeps the shape.
+// smoke mode shrinks every size but keeps the shape. Includes the
+// checkpointed-enumeration cases (depth 1 and 2) and the band-view case.
 [[nodiscard]] std::vector<PerfCaseSpec> default_perf_suite(bool smoke);
 
 // Runs the suite. Throws std::invalid_argument on bad specs (unknown
@@ -118,5 +142,45 @@ struct PerfReport {
 
 // The BENCH_perf.json document described above.
 void write_perf_json(std::ostream& os, const PerfReport& report);
+
+// --- Baseline regression diff (`vdist_cli perf --baseline FILE`) -------
+
+// One label present in both the current report and the baseline JSON.
+struct PerfBaselineEntry {
+  std::string label;
+  std::string baseline_strategy;  // measurement key compared ("delta"/"lazy")
+  double baseline_wall_ms = 0.0;
+  double current_wall_ms = 0.0;
+  double wall_ratio = 0.0;  // current / baseline (> 1 = regression)
+  double baseline_evals = 0.0;
+  double current_evals = 0.0;
+  double evals_ratio = 0.0;  // current / baseline (machine-independent)
+};
+
+struct PerfBaselineDiff {
+  std::vector<PerfBaselineEntry> entries;
+  std::vector<std::string> only_current;   // new cases, not gated
+  std::vector<std::string> only_baseline;  // retired cases, not gated
+  // The entry with the worst (largest) wall ratio; nullptr when empty.
+  [[nodiscard]] const PerfBaselineEntry* worst() const;
+  // True when any entry's gated ratio exceeds `max_regress`. `wall` and
+  // `evals` select which ratios participate: evals are deterministic and
+  // machine-independent (the right CI gate against a baseline produced
+  // elsewhere); wall ratios compare wall clocks and only make sense on
+  // comparable hardware.
+  [[nodiscard]] bool regressed(double max_regress, bool wall = true,
+                               bool evals = true) const;
+};
+
+// Matches current cases against a parsed BENCH JSON by label. The
+// baseline's primary measurement is its "delta" entry when present and
+// ok, else "lazy" (pre-PR-4 documents); the current side always uses
+// delta. Throws std::runtime_error when `baseline` is not a perf
+// document.
+[[nodiscard]] PerfBaselineDiff diff_perf_baseline(
+    const PerfReport& current, const util::JsonValue& baseline);
+
+// One row per matched label: walls, wall ratio, evals ratio.
+[[nodiscard]] util::Table baseline_table(const PerfBaselineDiff& diff);
 
 }  // namespace vdist::engine

@@ -30,11 +30,12 @@ SmdMode parse_mode(const SolveOptions& opts) {
 }
 
 // The `select` option every greedy-family adapter reads: which selection
-// kernel strategy runs the argmax (core/select.h). Default lazy; `naive`
-// is the differential-testing / perf baseline.
+// kernel strategy runs the argmax (core/select.h). Default delta (exact
+// per-stream invalidation); `lazy` is the global-round middle ground and
+// `naive` the differential-testing / perf baseline.
 core::GreedyOptions greedy_options(const SolveRequest& req) {
-  return {core::parse_select_strategy(req.options.get("select", "lazy")),
-          req.workspace};
+  return {core::parse_select_strategy(req.options.get("select", "delta")),
+          req.workspace, req.record_trace};
 }
 
 core::SkewBandsOptions band_options(const SolveRequest& req) {
@@ -98,7 +99,8 @@ SolveOutcome run_plain_greedy(const SolveRequest& req) {
       core::greedy_unit_skew(*req.instance, greedy_options(req));
   SolveOutcome out{std::move(r.assignment)};
   out.objective = r.capped_utility;
-  out.stats["considered"] = static_cast<double>(r.trace.considered.size());
+  // Scalar trace counters survive record_trace = false (batch runs).
+  out.stats["considered"] = static_cast<double>(r.trace.num_considered);
   out.stats["skipped_budget"] = static_cast<double>(r.trace.skipped_budget);
   report_select(out, r.select);
   return out;
@@ -188,8 +190,8 @@ void register_core_solvers(SolverRegistry& r) {
   r.add({.name = "greedy",
          .description =
              "Section 2.2 fixed greedy (Thm 2.8): feasible best of A1/A2/"
-             "Amax; variant reports the winner; options: select (lazy|naive "
-             "argmax kernel)",
+             "Amax; variant reports the winner; options: select "
+             "(delta|lazy|naive argmax kernel)",
          .form = InstanceForm::kUnitSkew,
          .option_keys = {"select"}},
         [](const SolveRequest& req) {

@@ -1,6 +1,7 @@
 #include "model/assignment.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace vdist::model {
@@ -37,6 +38,24 @@ bool Assignment::assign(UserId u, StreamId s) {
           inst_->edge_load(*e, static_cast<int>(j));
   }
   return true;
+}
+
+void Assignment::assign_edge(UserId u, StreamId s, EdgeId e) {
+  assert(!has(u, s));
+  assert(inst_->find_edge(u, s) && *inst_->find_edge(u, s) == e);
+  assigned_[static_cast<std::size_t>(u)].push_back(s);
+  ++num_pairs_;
+  if (stream_user_count_[static_cast<std::size_t>(s)]++ == 0) {
+    ++range_size_;
+    for (int i = 0; i < inst_->num_server_measures(); ++i)
+      server_cost_[static_cast<std::size_t>(i)] += inst_->cost(s, i);
+  }
+  const double w = inst_->edge_utility(e);
+  user_utility_[static_cast<std::size_t>(u)] += w;
+  total_utility_ += w;
+  for (std::size_t j = 0; j < mc_; ++j)
+    user_load_[static_cast<std::size_t>(u) * mc_ + j] +=
+        inst_->edge_load(e, static_cast<int>(j));
 }
 
 bool Assignment::unassign(UserId u, StreamId s) {

@@ -28,6 +28,10 @@ class Assignment {
   // Adds stream s to A(u). Returns false (and does nothing) if already
   // assigned. The pair need not be an interest edge; utility 0 then.
   bool assign(UserId u, StreamId s);
+  // Solver fast path: adds a pair KNOWN to be unassigned whose interest
+  // edge is `e` (must be the (u, s) edge). Skips assign()'s duplicate
+  // scan and O(log) edge lookup; accounting is identical.
+  void assign_edge(UserId u, StreamId s, EdgeId e);
   // Removes stream s from A(u). Returns false if not assigned.
   bool unassign(UserId u, StreamId s);
   [[nodiscard]] bool has(UserId u, StreamId s) const noexcept;

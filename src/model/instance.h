@@ -109,6 +109,43 @@ class Instance {
             user_edge_idx_.data() + user_offsets_[static_cast<std::size_t>(u) + 1]};
   }
 
+  // --- Raw CSR spans (model::InstanceView borrows these) ----------------
+  [[nodiscard]] std::span<const EdgeId> stream_offsets() const noexcept {
+    return stream_offsets_;
+  }
+  [[nodiscard]] std::span<const UserId> edge_users() const noexcept {
+    return edge_user_;
+  }
+  [[nodiscard]] std::span<const double> edge_utilities() const noexcept {
+    return edge_utility_;
+  }
+  [[nodiscard]] std::span<const EdgeId> user_offsets() const noexcept {
+    return user_offsets_;
+  }
+  [[nodiscard]] std::span<const EdgeId> user_edge_indices() const noexcept {
+    return user_edge_idx_;
+  }
+  [[nodiscard]] std::span<const StreamId> user_edge_streams() const noexcept {
+    return user_edge_stream_;
+  }
+  [[nodiscard]] std::span<const double> stream_total_utilities()
+      const noexcept {
+    return stream_total_utility_;
+  }
+  // The contiguous per-stream cost row of measure i (costs_ is
+  // measure-major, so each measure is one |S|-long slice).
+  [[nodiscard]] std::span<const double> costs_of_measure(int i) const noexcept {
+    return {costs_.data() + static_cast<std::size_t>(i) * num_streams(),
+            num_streams()};
+  }
+  // The per-user capacity column; contiguous only for mc == 1 (the SMD /
+  // cap form every view-based solver operates on).
+  [[nodiscard]] std::span<const double> capacities_single_measure()
+      const noexcept {
+    assert(mc_ == 1);
+    return capacities_;
+  }
+
   // w_u(S); 0 when the pair is not in the interest graph. O(log deg(S)).
   [[nodiscard]] double utility(UserId u, StreamId s) const noexcept;
   // Edge id for the pair, if present.

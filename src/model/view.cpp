@@ -1,0 +1,52 @@
+#include "model/view.h"
+
+#include <stdexcept>
+
+namespace vdist::model {
+
+namespace {
+
+void require_smd(const Instance& inst, const char* who) {
+  if (!inst.is_smd())
+    throw std::invalid_argument(std::string(who) +
+                                ": requires an SMD instance (m = mc = 1)");
+}
+
+}  // namespace
+
+InstanceView InstanceView::cap_form(const Instance& inst) {
+  require_smd(inst, "InstanceView::cap_form");
+  if (!inst.is_unit_skew())
+    throw std::invalid_argument(
+        "InstanceView::cap_form: requires a unit-skew (cap-form) instance; "
+        "see model::build_cap_instance");
+  return InstanceView(inst, inst.edge_utilities(),
+                      inst.stream_total_utilities(),
+                      inst.capacities_single_measure());
+}
+
+InstanceView::InstanceView(const Instance& base,
+                           std::span<const double> edge_utility,
+                           std::span<const double> total_utility,
+                           std::span<const double> capacity)
+    : base_(&base),
+      budget_(base.budget(0)),
+      cost_(base.costs_of_measure(0)),
+      capacity_(capacity),
+      edge_utility_(edge_utility),
+      total_utility_(total_utility),
+      stream_offsets_(base.stream_offsets()),
+      edge_user_(base.edge_users()),
+      user_offsets_(base.user_offsets()),
+      user_edge_idx_(base.user_edge_indices()),
+      user_edge_stream_(base.user_edge_streams()) {
+  require_smd(base, "InstanceView");
+  if (edge_utility.size() != base.num_edges() ||
+      total_utility.size() != base.num_streams() ||
+      capacity.size() != base.num_users())
+    throw std::invalid_argument(
+        "InstanceView: override spans must match the parent's edge, stream "
+        "and user counts");
+}
+
+}  // namespace vdist::model

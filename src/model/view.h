@@ -1,0 +1,127 @@
+// InstanceView: a copy-free cap-form lens over a parent Instance's CSR.
+//
+// The Section-3 band solver (core/skew_bands.h) repeatedly solves
+// *derived* unit-skew instances that share the parent's streams, costs,
+// budget and interest topology and differ only in edge utilities (the
+// band surrogate w_u^i = k_u, or zero for pairs outside the band) and
+// user caps (the normalized W_u^i, or no cap for the free band). PR 3
+// materialized each of those through an InstanceBuilder round-trip —
+// O(nnz) allocations and copies per band per solve. An InstanceView is
+// the same instance-shaped object as borrowed spans: the parent CSR plus
+// an overridden edge-utility array (entries <= 0 disable the pair, which
+// is exactly how the greedy family already skips dead edges), a
+// consistent per-stream total, and an overridden capacity array.
+//
+// Views are the native input of the §2 solver family (core/greedy.h,
+// core/partial_enum.h): the Instance overloads are thin wrappers over
+// cap_form(). Assignments produced against a view are built on the
+// *parent* instance — stream and user ids are shared — so band solutions
+// need no mapping step and Assignment accounting (utility(), loads)
+// reports parent-truth values while the solver's own objective arithmetic
+// runs on the surrogate spans.
+//
+// A view borrows everything: the parent instance and every span must
+// outlive it and must not be reallocated while it is in use.
+#pragma once
+
+#include <span>
+
+#include "model/instance.h"
+
+namespace vdist::model {
+
+class InstanceView {
+ public:
+  // The whole-instance view: utilities, totals and caps straight from the
+  // parent. Requires inst.is_smd() && inst.is_unit_skew() (throws
+  // std::invalid_argument otherwise) — this is the cap form the §2
+  // algorithms are defined on.
+  [[nodiscard]] static InstanceView cap_form(const Instance& inst);
+
+  // A surrogate view over `base` (requires base.is_smd(); throws
+  // otherwise): same streams, costs, budget and CSR topology, with
+  //   * edge_utility[e] replacing w of edge e (<= 0 disables the pair),
+  //   * total_utility[s] = sum of edge_utility over s's edges,
+  //   * capacity[u] replacing the user cap W_u.
+  // In cap-form semantics the load of a pair equals its (surrogate)
+  // utility, so any surrogate view is unit-skew by construction.
+  InstanceView(const Instance& base, std::span<const double> edge_utility,
+               std::span<const double> total_utility,
+               std::span<const double> capacity);
+
+  [[nodiscard]] const Instance& base() const noexcept { return *base_; }
+
+  [[nodiscard]] std::size_t num_streams() const noexcept {
+    return stream_offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_users() const noexcept {
+    return capacity_.size();
+  }
+  [[nodiscard]] double budget() const noexcept { return budget_; }
+  [[nodiscard]] double cost(StreamId s) const noexcept {
+    return cost_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double capacity(UserId u) const noexcept {
+    return capacity_[static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] double total_utility(StreamId s) const noexcept {
+    return total_utility_[static_cast<std::size_t>(s)];
+  }
+
+  // --- Interest graph (parent topology, surrogate utilities) ------------
+  [[nodiscard]] EdgeId first_edge(StreamId s) const noexcept {
+    return stream_offsets_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] EdgeId last_edge(StreamId s) const noexcept {
+    return stream_offsets_[static_cast<std::size_t>(s) + 1];
+  }
+  [[nodiscard]] UserId edge_user(EdgeId e) const noexcept {
+    return edge_user_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] double edge_utility(EdgeId e) const noexcept {
+    return edge_utility_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] std::span<const StreamId> streams_of(UserId u) const noexcept {
+    return user_edge_stream_.subspan(
+        user_offsets_[static_cast<std::size_t>(u)],
+        user_offsets_[static_cast<std::size_t>(u) + 1] -
+            user_offsets_[static_cast<std::size_t>(u)]);
+  }
+  [[nodiscard]] std::span<const EdgeId> edges_of(UserId u) const noexcept {
+    return user_edge_idx_.subspan(
+        user_offsets_[static_cast<std::size_t>(u)],
+        user_offsets_[static_cast<std::size_t>(u) + 1] -
+            user_offsets_[static_cast<std::size_t>(u)]);
+  }
+  // Flat position of user u's first entry in the user-major CSR arrays
+  // (solver caches index their own user-major scratch with this).
+  [[nodiscard]] std::size_t user_edge_begin(UserId u) const noexcept {
+    return static_cast<std::size_t>(
+        user_offsets_[static_cast<std::size_t>(u)]);
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edge_user_.size();
+  }
+
+  // Surrogate utility of the (u, s) pair; 0 when the parent has no such
+  // edge. O(log deg(S)) through the parent's edge index.
+  [[nodiscard]] double pair_utility(UserId u, StreamId s) const noexcept {
+    const auto e = base_->find_edge(u, s);
+    return e ? edge_utility_[static_cast<std::size_t>(*e)] : 0.0;
+  }
+
+ private:
+  const Instance* base_ = nullptr;
+  double budget_ = 0.0;
+  std::span<const double> cost_;           // per stream (parent, measure 0)
+  std::span<const double> capacity_;       // per user (override)
+  std::span<const double> edge_utility_;   // per edge (override)
+  std::span<const double> total_utility_;  // per stream (override)
+  std::span<const EdgeId> stream_offsets_;
+  std::span<const UserId> edge_user_;
+  std::span<const EdgeId> user_offsets_;
+  std::span<const EdgeId> user_edge_idx_;
+  std::span<const StreamId> user_edge_stream_;
+};
+
+}  // namespace vdist::model

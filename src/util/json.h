@@ -1,11 +1,20 @@
-// Minimal JSON emission helpers shared by the machine-readable writers
-// (engine/sweep.cpp's --json dump, engine/perf.cpp's BENCH_perf.json).
-// Only scalars — the document structure stays at the call sites, but the
-// escaping rules live here exactly once.
+// Minimal JSON support shared by the machine-readable writers and
+// readers (engine/sweep.cpp's --json dump, engine/perf.cpp's
+// BENCH_perf.json emitter and its --baseline diff).
+//
+// Emission: scalar helpers only — the document structure stays at the
+// call sites, but the escaping rules live here exactly once.
+//
+// Parsing: a small recursive-descent parser into JsonValue, sufficient
+// for the library's own documents (objects, arrays, strings, finite
+// numbers, booleans, null). Not a streaming parser; intended for
+// KB-sized benchmark and sweep artifacts.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace vdist::util {
 
@@ -16,5 +25,39 @@ void json_string(std::ostream& os, const std::string& s);
 // Writes a finite double at round-trip precision; non-finite values
 // (JSON has no inf/nan) become null.
 void json_number(std::ostream& os, double v);
+
+// A parsed JSON document node. Object members keep source order (the
+// library's own emitters are deterministic, so diffs stay stable).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const noexcept;
+  // Typed member accessors with fallbacks (absent / wrong kind).
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const noexcept;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key,
+                             bool fallback) const noexcept;
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing
+// garbage is an error). Throws std::runtime_error with a byte offset on
+// malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+[[nodiscard]] JsonValue parse_json(std::istream& is);
 
 }  // namespace vdist::util

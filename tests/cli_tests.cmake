@@ -118,12 +118,49 @@ endif()
 if(NOT perf_json MATCHES "\"objective_match\":true")
   message(FATAL_ERROR "perf JSON reports no matching objectives:\n${perf_json}")
 endif()
+if(NOT perf_json MATCHES "\"provenance\"")
+  message(FATAL_ERROR "perf JSON missing provenance block:\n${perf_json}")
+endif()
+if(NOT perf_json MATCHES "\"delta\"")
+  message(FATAL_ERROR "perf JSON missing delta measurements:\n${perf_json}")
+endif()
 # --min-speedup 0 disables the gate; an absurd requirement trips it.
 run_cli(0 perf --smoke 1 --reps 1 --out "${WORK_DIR}/perf2.json" --min-speedup 0)
 run_cli(3 perf --smoke 1 --reps 1 --out "${WORK_DIR}/perf3.json" --min-speedup 100000)
 run_cli(1 perf --smoek 1)
 if(NOT cli_err MATCHES "--smoek")
   message(FATAL_ERROR "typo'd perf flag not rejected:\n${cli_err}")
+endif()
+
+# --- perf --baseline: regression diff against a committed BENCH JSON --------
+# Self-diff with a huge allowance passes; a sub-unity allowance trips the
+# gate deterministically (every ratio is positive).
+run_cli(0 perf --smoke 1 --reps 1 --out "${WORK_DIR}/perf4.json"
+        --baseline "${WORK_DIR}/perf.json" --max-regress 1000)
+if(NOT cli_out MATCHES "wall_ratio")
+  message(FATAL_ERROR "perf --baseline printed no diff table:\n${cli_out}")
+endif()
+run_cli(3 perf --smoke 1 --reps 1 --out "${WORK_DIR}/perf5.json"
+        --baseline "${WORK_DIR}/perf.json" --max-regress 0.000001)
+if(NOT cli_err MATCHES "regression past --max-regress")
+  message(FATAL_ERROR "perf baseline gate did not trip:\n${cli_err}")
+endif()
+# A malformed baseline or threshold is rejected before benchmarking.
+run_cli(1 perf --smoke 1 --baseline "${WORK_DIR}/does-not-exist.json")
+file(WRITE "${WORK_DIR}/not-json.json" "this is not json")
+run_cli(1 perf --smoke 1 --baseline "${WORK_DIR}/not-json.json")
+run_cli(1 perf --smoke 1 --max-regress 2x)
+if(NOT cli_err MATCHES "max-regress")
+  message(FATAL_ERROR "partial --max-regress parse not rejected:\n${cli_err}")
+endif()
+# The machine-independent gate: identical evals self-diff under a tight
+# threshold passes even when wall clocks are noisy.
+run_cli(0 perf --smoke 1 --reps 1 --out "${WORK_DIR}/perf6.json"
+        --baseline "${WORK_DIR}/perf.json" --max-regress 1.05
+        --regress-metric evals)
+run_cli(1 perf --smoke 1 --regress-metric fastest)
+if(NOT cli_err MATCHES "regress-metric")
+  message(FATAL_ERROR "bad --regress-metric value not rejected:\n${cli_err}")
 endif()
 
 # --- unknown subcommands must fail loudly ------------------------------------

@@ -202,6 +202,24 @@ TEST(GreedySeeded, SeedsAreForceAssignedFirst) {
   EXPECT_EQ(g.trace.considered[0], 0);
 }
 
+// A seed with zero total utility never enters the selection pool (dead-
+// stream pruning), but seeding it must still force-add and charge it —
+// pool membership is not the duplicate check.
+TEST(GreedySeeded, ZeroUtilitySeedIsStillChargedOnce) {
+  // Stream 0 has no interested users; cost 5 of budget 6.
+  const Instance inst = build_cap_instance(
+      {5.0, 1.0, 1.0}, 6.0, {10.0}, {{0, 1, 4.0}, {0, 2, 3.0}});
+  const model::StreamId seeds[] = {0, 0};  // duplicate dead seed
+  const GreedyResult g = greedy_unit_skew_seeded(inst, seeds);
+  // The charge leaves room for exactly one of streams 1/2: the greedy
+  // adds stream 1 (higher effectiveness) and budget-skips stream 2.
+  EXPECT_EQ(g.trace.num_considered, 3u);
+  EXPECT_EQ(g.trace.skipped_budget, 1u);
+  EXPECT_EQ(g.capped_utility, 4.0);
+  EXPECT_EQ(g.assignment.range_size(), 1u);
+  EXPECT_TRUE(g.assignment.has(0, 1));
+}
+
 TEST(GreedySeeded, OversizedSeedThrows) {
   const Instance inst = build_cap_instance(
       {5.0, 6.0}, 6.0, {100.0}, {{0, 0, 1.0}, {0, 1, 3.0}});

@@ -1,9 +1,12 @@
 // The selection kernel (core/select.h): differential equivalence of the
-// lazy-heap and naive-scan strategies, the deterministic tie-break
-// contract, and SolveWorkspace reuse.
+// delta-heap, lazy-heap and naive-scan strategies, the deterministic
+// tie-break contract, exact delta propagation via update(), and
+// SolveWorkspace reuse.
 #include "core/select.h"
 
 #include <gtest/gtest.h>
+
+#include "assignment_pairs.h"
 
 #include <algorithm>
 #include <utility>
@@ -27,14 +30,7 @@ using model::Instance;
 using model::StreamId;
 using model::UserId;
 
-std::vector<std::pair<UserId, StreamId>> pairs(const model::Assignment& a) {
-  std::vector<std::pair<UserId, StreamId>> out;
-  for (std::size_t u = 0; u < a.instance().num_users(); ++u)
-    for (StreamId s : a.streams_of(static_cast<UserId>(u)))
-      out.emplace_back(static_cast<UserId>(u), s);
-  std::sort(out.begin(), out.end());
-  return out;
-}
+using vdist::testing::pairs;
 
 SolveResult solve_with(const Instance& inst, const std::string& algorithm,
                        const char* select, SolveWorkspace* ws = nullptr) {
@@ -63,8 +59,9 @@ std::vector<std::string> kernel_algorithms(const Instance& inst) {
 
 // The headline differential guarantee: on every registered scenario, for
 // several seeds, every kernel-backed algorithm produces the identical
-// assignment, objective, variant and pick count under both strategies.
-TEST(SelectKernel, LazyMatchesNaiveOnEveryRegisteredScenario) {
+// assignment, objective, variant and pick count under all three
+// strategies (exact delta propagation, global-round lazy, naive rescan).
+TEST(SelectKernel, AllStrategiesMatchOnEveryRegisteredScenario) {
   const ScenarioRegistry& registry = ScenarioRegistry::global();
   for (const std::string& name : registry.names()) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
@@ -73,18 +70,21 @@ TEST(SelectKernel, LazyMatchesNaiveOnEveryRegisteredScenario) {
       spec.seed = seed;
       const Instance inst = engine::build_scenario(spec);
       for (const std::string& algo : kernel_algorithms(inst)) {
-        const SolveResult lazy = solve_with(inst, algo, "lazy");
         const SolveResult naive = solve_with(inst, algo, "naive");
-        ASSERT_TRUE(lazy.ok) << name << "/" << algo << ": " << lazy.error;
         ASSERT_TRUE(naive.ok) << name << "/" << algo << ": " << naive.error;
-        EXPECT_EQ(lazy.objective, naive.objective)
-            << name << "/" << algo << " seed " << seed;
-        EXPECT_EQ(lazy.variant, naive.variant)
-            << name << "/" << algo << " seed " << seed;
-        EXPECT_EQ(lazy.stat("select_picks"), naive.stat("select_picks"))
-            << name << "/" << algo << " seed " << seed;
-        EXPECT_EQ(pairs(lazy.solution()), pairs(naive.solution()))
-            << name << "/" << algo << " seed " << seed;
+        for (const char* strategy : {"delta", "lazy"}) {
+          const SolveResult fast = solve_with(inst, algo, strategy);
+          ASSERT_TRUE(fast.ok)
+              << name << "/" << algo << ": " << fast.error;
+          EXPECT_EQ(fast.objective, naive.objective)
+              << name << "/" << algo << "/" << strategy << " seed " << seed;
+          EXPECT_EQ(fast.variant, naive.variant)
+              << name << "/" << algo << "/" << strategy << " seed " << seed;
+          EXPECT_EQ(fast.stat("select_picks"), naive.stat("select_picks"))
+              << name << "/" << algo << "/" << strategy << " seed " << seed;
+          EXPECT_EQ(pairs(fast.solution()), pairs(naive.solution()))
+              << name << "/" << algo << "/" << strategy << " seed " << seed;
+        }
       }
     }
   }
@@ -99,35 +99,44 @@ TEST(SelectKernel, GreedyTracesIdenticalAcrossStrategies) {
       spec.name = scenario;
       spec.seed = seed;
       const Instance inst = engine::build_scenario(spec);
-      const GreedyResult lazy =
-          greedy_unit_skew(inst, {SelectStrategy::kLazyHeap, nullptr});
       const GreedyResult naive =
           greedy_unit_skew(inst, {SelectStrategy::kNaiveScan, nullptr});
-      EXPECT_EQ(lazy.trace.considered, naive.trace.considered)
-          << scenario << " seed " << seed;
-      EXPECT_EQ(lazy.trace.added, naive.trace.added)
-          << scenario << " seed " << seed;
-      EXPECT_EQ(lazy.trace.skipped_budget, naive.trace.skipped_budget);
-      EXPECT_EQ(lazy.capped_utility, naive.capped_utility);
-      EXPECT_EQ(lazy.select.picks, naive.select.picks);
+      for (const SelectStrategy strategy :
+           {SelectStrategy::kDeltaHeap, SelectStrategy::kLazyHeap}) {
+        const GreedyResult fast = greedy_unit_skew(inst, {strategy, nullptr});
+        EXPECT_EQ(fast.trace.considered, naive.trace.considered)
+            << scenario << "/" << to_string(strategy) << " seed " << seed;
+        EXPECT_EQ(fast.trace.added, naive.trace.added)
+            << scenario << "/" << to_string(strategy) << " seed " << seed;
+        EXPECT_EQ(fast.trace.skipped_budget, naive.trace.skipped_budget);
+        EXPECT_EQ(fast.capped_utility, naive.capped_utility);
+        EXPECT_EQ(fast.select.picks, naive.select.picks);
+      }
     }
   }
 }
 
-// The lazy heap must be equivalent *and* cheaper: far fewer
-// effectiveness evaluations on a nontrivial instance.
-TEST(SelectKernel, LazyEvaluatesFarLessThanNaive) {
+// The heap strategies must be equivalent *and* cheaper: far fewer
+// effectiveness evaluations than the rescan, and the exact delta path
+// must never evaluate more than the global round-bump.
+TEST(SelectKernel, DeltaAndLazyEvaluateFarLessThanNaive) {
   ScenarioSpec spec;
   spec.name = "cap";
   spec.params.set("streams", 300).set("users", 80);
   spec.seed = 7;
   const Instance inst = engine::build_scenario(spec);
+  const GreedyResult delta =
+      greedy_unit_skew(inst, {SelectStrategy::kDeltaHeap, nullptr});
   const GreedyResult lazy =
       greedy_unit_skew(inst, {SelectStrategy::kLazyHeap, nullptr});
   const GreedyResult naive =
       greedy_unit_skew(inst, {SelectStrategy::kNaiveScan, nullptr});
+  EXPECT_EQ(delta.capped_utility, naive.capped_utility);
   EXPECT_EQ(lazy.capped_utility, naive.capped_utility);
   EXPECT_LT(lazy.select.evaluations * 10, naive.select.evaluations);
+  // Untouched entries never re-evaluate under delta stamps, so delta's
+  // evaluation count is bounded by lazy's.
+  EXPECT_LE(delta.select.evaluations, lazy.select.evaluations);
 }
 
 // Exact effectiveness tie: the larger residual utility w̄ wins.
@@ -137,7 +146,8 @@ TEST(SelectKernel, TieBreakPrefersLargerResidual) {
       {2.0, 3.0, 1.0}, 100.0, {100.0},
       {{0, 0, 4.0}, {0, 1, 6.0}, {0, 2, 1.0}});
   for (const SelectStrategy strategy :
-       {SelectStrategy::kLazyHeap, SelectStrategy::kNaiveScan}) {
+       {SelectStrategy::kDeltaHeap, SelectStrategy::kLazyHeap,
+        SelectStrategy::kNaiveScan}) {
     const GreedyResult g = greedy_unit_skew(inst, {strategy, nullptr});
     ASSERT_GE(g.trace.considered.size(), 2u) << to_string(strategy);
     EXPECT_EQ(g.trace.considered[0], 1) << to_string(strategy);
@@ -155,7 +165,8 @@ TEST(SelectKernel, NearTieFallsBackToLowestStreamId) {
   const Instance inst = model::build_cap_instance(
       {1.0, 1.0}, 100.0, {100.0}, {{0, 0, w0}, {0, 1, w1}});
   for (const SelectStrategy strategy :
-       {SelectStrategy::kLazyHeap, SelectStrategy::kNaiveScan}) {
+       {SelectStrategy::kDeltaHeap, SelectStrategy::kLazyHeap,
+        SelectStrategy::kNaiveScan}) {
     const GreedyResult g = greedy_unit_skew(inst, {strategy, nullptr});
     ASSERT_FALSE(g.trace.considered.empty());
     EXPECT_EQ(g.trace.considered[0], 0) << to_string(strategy);
@@ -169,7 +180,8 @@ TEST(SelectKernel, ZeroCostStreamsRankFirstUnderBothStrategies) {
       {0.0, 0.0, 1.0}, 1.0, {100.0},
       {{0, 0, 0.5}, {0, 1, 2.0}, {0, 2, 50.0}});
   for (const SelectStrategy strategy :
-       {SelectStrategy::kLazyHeap, SelectStrategy::kNaiveScan}) {
+       {SelectStrategy::kDeltaHeap, SelectStrategy::kLazyHeap,
+        SelectStrategy::kNaiveScan}) {
     const GreedyResult g = greedy_unit_skew(inst, {strategy, nullptr});
     ASSERT_GE(g.trace.considered.size(), 3u);
     EXPECT_EQ(g.trace.considered[0], 1) << "larger w̄ among the two infs";
@@ -185,7 +197,8 @@ TEST(StreamSelector, PopsInEffectivenessOrderAndHonorsRemove) {
   ws.wbar = {10.0, 30.0, 20.0, 5.0};
   ws.cost = {1.0, 1.0, 1.0, 1.0};
   for (const SelectStrategy strategy :
-       {SelectStrategy::kLazyHeap, SelectStrategy::kNaiveScan}) {
+       {SelectStrategy::kDeltaHeap, SelectStrategy::kLazyHeap,
+        SelectStrategy::kNaiveScan}) {
     StreamSelector sel;
     sel.reset(ws, ws.wbar, ws.cost, strategy);
     EXPECT_EQ(sel.pool_size(), 4u);
@@ -205,13 +218,59 @@ TEST(StreamSelector, StaleEntriesAreReevaluatedAfterInvalidate) {
   SolveWorkspace ws;
   ws.wbar = {8.0, 10.0, 6.0};
   ws.cost = {1.0, 1.0, 1.0};
+  for (const SelectStrategy strategy :
+       {SelectStrategy::kDeltaHeap, SelectStrategy::kLazyHeap}) {
+    ws.wbar = {8.0, 10.0, 6.0};
+    StreamSelector sel;
+    sel.reset(ws, ws.wbar, ws.cost, strategy);
+    EXPECT_EQ(sel.pop_best(), 1) << to_string(strategy);
+    ws.wbar[0] = 0.5;  // stream 0's stale entry (8.0) now overestimates
+    sel.invalidate();
+    EXPECT_EQ(sel.pop_best(), 2) << to_string(strategy);
+    EXPECT_EQ(sel.pop_best(), 0) << to_string(strategy);
+  }
+}
+
+// Exact delta propagation: update(s, w̄) demotes exactly the touched
+// stream; untouched entries stay fresh and are never re-evaluated.
+TEST(StreamSelector, DeltaUpdateDemotesExactlyLikeARescan) {
+  SolveWorkspace ws;
+  ws.wbar = {8.0, 10.0, 6.0, 7.0};
+  ws.cost = {1.0, 1.0, 1.0, 1.0};
   StreamSelector sel;
-  sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kLazyHeap);
+  sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kDeltaHeap);
+  const std::size_t evals_after_reset = sel.stats().evaluations;
   EXPECT_EQ(sel.pop_best(), 1);
-  ws.wbar[0] = 0.5;  // stream 0's stale entry (8.0) now overestimates
-  sel.invalidate();
+  // Demote stream 0 below everything; streams 2 and 3 stay fresh.
+  ws.wbar[0] = 0.5;
+  sel.update(0, ws.wbar[0]);
+  EXPECT_EQ(sel.pop_best(), 3);
   EXPECT_EQ(sel.pop_best(), 2);
   EXPECT_EQ(sel.pop_best(), 0);
+  EXPECT_EQ(sel.pop_best(), model::kInvalidStream);
+  // Only the one touched stream ever re-evaluated.
+  EXPECT_EQ(sel.stats().evaluations, evals_after_reset + 1);
+}
+
+// Selector checkpointing: save/restore rewinds the pool and heap so the
+// same pops replay identically; the stats keep counting monotonically.
+TEST(StreamSelector, SaveRestoreReplaysPops) {
+  SolveWorkspace ws;
+  ws.wbar = {8.0, 10.0, 6.0};
+  ws.cost = {1.0, 1.0, 1.0};
+  StreamSelector sel;
+  sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kDeltaHeap);
+  SelectorCheckpoint cp;
+  sel.save(cp);
+  EXPECT_EQ(sel.pop_best(), 1);
+  EXPECT_EQ(sel.pop_best(), 0);
+  const std::size_t picks_before = sel.stats().picks;
+  sel.restore(cp);
+  EXPECT_EQ(sel.pool_size(), 3u);
+  EXPECT_EQ(sel.pop_best(), 1);
+  EXPECT_EQ(sel.pop_best(), 0);
+  EXPECT_EQ(sel.pop_best(), 2);
+  EXPECT_EQ(sel.stats().picks, picks_before + 3);
 }
 
 // Two sequential solves on one workspace must equal two fresh solves —
@@ -231,9 +290,9 @@ TEST(SolveWorkspace, SequentialSolvesMatchFreshSolves) {
   SolveWorkspace ws;
   // Big then small: shrinking buffers must not leak state.
   const GreedyResult reused_big =
-      greedy_unit_skew(inst_big, {SelectStrategy::kLazyHeap, &ws});
+      greedy_unit_skew(inst_big, {SelectStrategy::kDeltaHeap, &ws});
   const GreedyResult reused_small =
-      greedy_unit_skew(inst_small, {SelectStrategy::kLazyHeap, &ws});
+      greedy_unit_skew(inst_small, {SelectStrategy::kDeltaHeap, &ws});
   const GreedyResult fresh_big = greedy_unit_skew(inst_big);
   const GreedyResult fresh_small = greedy_unit_skew(inst_small);
 
@@ -266,8 +325,8 @@ TEST(SolveWorkspace, RegistrySolvesAreWorkspaceInvariant) {
   spec.seed = 3;
   const Instance inst = engine::build_scenario(spec);
   SolveWorkspace ws;
-  const SolveResult with_ws = solve_with(inst, "pipeline", "lazy", &ws);
-  const SolveResult fresh = solve_with(inst, "pipeline", "lazy");
+  const SolveResult with_ws = solve_with(inst, "pipeline", "delta", &ws);
+  const SolveResult fresh = solve_with(inst, "pipeline", "delta");
   ASSERT_TRUE(with_ws.ok) << with_ws.error;
   ASSERT_TRUE(fresh.ok) << fresh.error;
   EXPECT_EQ(with_ws.objective, fresh.objective);
@@ -291,6 +350,7 @@ TEST(SelectKernel, SelectOptionIsDeclaredAndValidated) {
     EXPECT_NE(bad.error.find("select"), std::string::npos) << bad.error;
   }
   EXPECT_THROW(parse_select_strategy("fastest"), std::invalid_argument);
+  EXPECT_EQ(parse_select_strategy("delta"), SelectStrategy::kDeltaHeap);
   EXPECT_EQ(parse_select_strategy("lazy"), SelectStrategy::kLazyHeap);
   EXPECT_EQ(parse_select_strategy("naive"), SelectStrategy::kNaiveScan);
 }
@@ -305,18 +365,21 @@ TEST(SelectKernel, SeededGreedyIdenticalAcrossStrategies) {
   spec.seed = 21;
   const Instance inst = engine::build_scenario(spec);
   const StreamId seeds[] = {3, 7, 3};  // duplicate on purpose
-  const GreedyResult lazy = greedy_unit_skew_seeded(
-      inst, seeds, {SelectStrategy::kLazyHeap, nullptr});
   const GreedyResult naive = greedy_unit_skew_seeded(
       inst, seeds, {SelectStrategy::kNaiveScan, nullptr});
-  EXPECT_EQ(lazy.trace.considered, naive.trace.considered);
-  EXPECT_EQ(lazy.capped_utility, naive.capped_utility);
-  ASSERT_GE(lazy.trace.considered.size(), 2u);
-  EXPECT_EQ(lazy.trace.considered[0], 3);
-  EXPECT_EQ(lazy.trace.considered[1], 7);
+  for (const SelectStrategy strategy :
+       {SelectStrategy::kDeltaHeap, SelectStrategy::kLazyHeap}) {
+    const GreedyResult fast =
+        greedy_unit_skew_seeded(inst, seeds, {strategy, nullptr});
+    EXPECT_EQ(fast.trace.considered, naive.trace.considered);
+    EXPECT_EQ(fast.capped_utility, naive.capped_utility);
+  }
+  ASSERT_GE(naive.trace.considered.size(), 2u);
+  EXPECT_EQ(naive.trace.considered[0], 3);
+  EXPECT_EQ(naive.trace.considered[1], 7);
   // The duplicate seed was dropped: stream 3 appears exactly once.
-  EXPECT_EQ(std::count(lazy.trace.considered.begin(),
-                       lazy.trace.considered.end(), StreamId{3}),
+  EXPECT_EQ(std::count(naive.trace.considered.begin(),
+                       naive.trace.considered.end(), StreamId{3}),
             1);
 }
 

@@ -22,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "io/instance_io.h"
 #include "model/skew.h"
 #include "model/validate.h"
+#include "util/json.h"
 
 namespace {
 
@@ -323,27 +325,55 @@ int cmd_perf(const Args& args) {
   // Like sweep, perf consumes every flag itself: a typo'd flag must be an
   // error, not a silently different benchmark.
   {
-    const std::vector<std::string> known = {"smoke", "out", "reps", "seed",
-                                            "min-speedup"};
+    const std::vector<std::string> known = {
+        "smoke", "out",      "reps",        "seed",
+        "min-speedup", "baseline", "max-regress", "regress-metric"};
     for (const auto& [key, value] : args.options)
       if (std::find(known.begin(), known.end(), key) == known.end())
         throw std::runtime_error("perf does not take --" + key +
                                  " (see 'vdist_cli help')");
   }
-  // Validate the gate threshold before spending minutes benchmarking: a
+  // Validate the gate thresholds before spending minutes benchmarking: a
   // partial parse ("2x") must be an error, not a silently different gate.
-  double min_speedup = 0.0;
-  {
-    const std::string raw = opt(args, "min-speedup", "1");
+  const auto parse_gate = [&](const char* key, const char* dflt) {
+    const std::string raw = opt(args, key, dflt);
+    double value = 0.0;
     std::size_t parsed = 0;
     try {
-      min_speedup = std::stod(raw, &parsed);
+      value = std::stod(raw, &parsed);
     } catch (const std::exception&) {
       parsed = 0;
     }
     if (parsed != raw.size())
+      throw std::runtime_error(std::string("option --") + key +
+                               " expects a number, got '" + raw + "'");
+    return value;
+  };
+  const double min_speedup = parse_gate("min-speedup", "1");
+  const double max_regress = parse_gate("max-regress", "2");
+  // Which ratios the baseline gate inspects: `evals` is deterministic
+  // and machine-independent (CI compares against a BENCH produced on
+  // different hardware); `wall` only makes sense on comparable machines.
+  const std::string regress_metric = opt(args, "regress-metric", "both");
+  if (regress_metric != "both" && regress_metric != "wall" &&
+      regress_metric != "evals")
+    throw std::runtime_error(
+        "option --regress-metric expects both|wall|evals, got '" +
+        regress_metric + "'");
+  const bool gate_wall = regress_metric != "evals";
+  const bool gate_evals = regress_metric != "wall";
+  const std::string baseline_path = opt(args, "baseline", "");
+  // Parse (and validate) the baseline before benchmarking too: a wrong
+  // file must fail in milliseconds, not after the full suite ran.
+  std::optional<util::JsonValue> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream is(baseline_path);
+    if (!is) throw std::runtime_error("cannot open " + baseline_path);
+    baseline = util::parse_json(is);
+    if (baseline->string_or("bench", "") != "perf")
       throw std::runtime_error(
-          "option --min-speedup expects a number, got '" + raw + "'");
+          baseline_path +
+          " is not a BENCH perf document (missing \"bench\":\"perf\")");
   }
 
   engine::PerfOptions options;
@@ -375,19 +405,41 @@ int cmd_perf(const Args& args) {
   }
   for (const engine::PerfCase& c : report.cases)
     if (!c.objective_match) {
-      std::cerr << "perf: lazy and naive objectives differ on " << c.label
-                << " — selection kernel bug\n";
+      std::cerr << "perf: selection strategies disagree on the objective of "
+                << c.label << " — selection kernel bug\n";
       return 3;
     }
-  // The CI gate: the lazy kernel must beat the naive scan on the largest
+  // The CI gate: the delta kernel must beat the naive scan on the largest
   // case by at least --min-speedup (default 1; 0 disables).
   const engine::PerfCase* largest = report.largest();
   if (min_speedup > 0.0 && largest != nullptr &&
       largest->speedup < min_speedup) {
-    std::cerr << "perf: lazy kernel speedup " << largest->speedup << " on "
+    std::cerr << "perf: delta kernel speedup " << largest->speedup << " on "
               << largest->label << " is below the required " << min_speedup
               << "\n";
     return 3;
+  }
+  // The regression gate: diff wall/evals against the committed baseline
+  // JSON per matching label; any ratio past --max-regress fails.
+  if (baseline.has_value()) {
+    const engine::PerfBaselineDiff diff =
+        engine::diff_perf_baseline(report, *baseline);
+    if (out_path != "-")
+      engine::baseline_table(diff).print_aligned(
+          std::cout, "perf vs baseline " + baseline_path +
+                         " (gate: ratio <= " + std::to_string(max_regress) +
+                         ")");
+    for (const std::string& label : diff.only_current)
+      std::cerr << "perf: case " << label << " has no baseline entry\n";
+    if (diff.regressed(max_regress, gate_wall, gate_evals)) {
+      const engine::PerfBaselineEntry* worst = diff.worst();
+      std::cerr << "perf: regression past --max-regress " << max_regress;
+      if (worst != nullptr)
+        std::cerr << " (worst wall ratio " << worst->wall_ratio << " on "
+                  << worst->label << ")";
+      std::cerr << "\n";
+      return 3;
+    }
   }
   return 0;
 }
@@ -425,7 +477,8 @@ int cmd_help(std::ostream& os) {
       "            [--algo-axis algo:k=v1,v2[;...]] [--replicates N]\n"
       "            [--seed S] [--threads N] [--csv FILE|-] [--json FILE|-]\n"
       "  vdist_cli perf [--smoke 1] [--out FILE|-] [--reps N] [--seed S]\n"
-      "            [--min-speedup X]\n"
+      "            [--min-speedup X] [--baseline FILE] [--max-regress R]\n"
+      "            [--regress-metric both|wall|evals]\n"
       "  vdist_cli eval FILE --assignment ASSIGNMENT_FILE\n\n"
       "'gen' resolves --kind through the scenario registry ('vdist_cli\n"
       "scenarios' lists every workload family with its declared params)\n"
@@ -436,10 +489,13 @@ int cmd_help(std::ostream& os) {
       "product from a plan file or flags, runs it on a thread pool, and\n"
       "prints per-cell aggregates (mean/min/max objective, gap vs the\n"
       "utility upper bound, wall time); --csv/--json write the table for\n"
-      "plotting ('-' = stdout). 'perf' benchmarks the lazy selection\n"
-      "kernel against the naive rescan on scaling registered scenarios\n"
-      "and writes BENCH_perf.json (exit 3 when the objectives diverge or\n"
-      "the largest case's speedup falls below --min-speedup). 'solve\n"
+      "plotting ('-' = stdout). 'perf' benchmarks the selection-kernel\n"
+      "strategies (delta/lazy/naive) on scaling registered scenarios and\n"
+      "writes BENCH_perf.json with build provenance (exit 3 when the\n"
+      "objectives diverge, the largest case's delta-vs-naive speedup\n"
+      "falls below --min-speedup, or — with --baseline FILE — any\n"
+      "matching case's wall or evals ratio against the committed BENCH\n"
+      "JSON exceeds --max-regress, default 2). 'solve\n"
       "--export 1' writes the assignment to stdout in the text format of\n"
       "src/io/instance_io.h; 'eval' validates such a file against the\n"
       "instance (exit 2 if infeasible).\n";
