@@ -136,11 +136,20 @@ ExponentialCostAllocator::Decision ExponentialCostAllocator::offer(
     }
     const auto& uscales = user_scales_[static_cast<std::size_t>(cand.user)];
     double term = 0.0;
+    bool dead_cap = false;
     for (std::size_t j = 0; j < caps.size(); ++j) {
       if (is_unbounded(caps[j]) || cand.loads[j] <= 0.0) continue;
+      if (caps[j] <= 0.0) {
+        // A zeroed cap (serving session: departed user) admits nothing
+        // and its normalized load is undefined — skip the candidate
+        // outright so the peel sums stay finite even with the guard off.
+        dead_cap = true;
+        break;
+      }
       term += cand.loads[j] / caps[j] * uscales[j] *
               exp_cost(caps[j], used[j]);
     }
+    if (dead_cap) continue;
     entries.push_back(OfferEntry{idx, term, term / cand.utility});
   }
   if (entries.empty()) return out;
@@ -206,6 +215,17 @@ void ExponentialCostAllocator::release(
   }
 }
 
+void ExponentialCostAllocator::set_user_capacity(model::UserId u, int j,
+                                                 double capacity) {
+  const auto uu = static_cast<std::size_t>(u);
+  const auto jj = static_cast<std::size_t>(j);
+  if (uu >= user_caps_.size() || jj >= user_caps_[uu].size())
+    throw std::invalid_argument("set_user_capacity: unknown user/measure");
+  if (!(capacity >= 0.0) && !is_unbounded(capacity))
+    throw std::invalid_argument("set_user_capacity: capacity must be >= 0");
+  user_caps_[uu][jj] = capacity;
+}
+
 double ExponentialCostAllocator::server_load(int i) const {
   const auto ii = static_cast<std::size_t>(i);
   if (is_unbounded(budgets_[ii])) return 0.0;
@@ -221,15 +241,13 @@ double ExponentialCostAllocator::user_load(UserId u, int j) const {
 
 double mu_for(const Instance& inst) { return model::global_skew(inst).mu; }
 
-AllocateResult allocate_online(const Instance& inst,
-                               const AllocateOptions& opts) {
-  const model::GlobalSkewInfo gs = model::global_skew(inst);
-  const double mu = opts.mu > 0.0 ? opts.mu : gs.mu;
+namespace {
 
+ExponentialCostAllocator make_allocator(const Instance& inst, double mu,
+                                        bool guard,
+                                        AllocatorScales&& scales) {
   std::vector<double> budgets(inst.budgets().begin(), inst.budgets().end());
-  AllocatorScales scales = compute_scales(inst);
-  ExponentialCostAllocator alloc(std::move(budgets),
-                                 {mu, opts.guard_feasibility},
+  ExponentialCostAllocator alloc(std::move(budgets), {mu, guard},
                                  std::move(scales.server));
   const int mc = inst.num_user_measures();
   for (std::size_t uu = 0; uu < inst.num_users(); ++uu) {
@@ -239,6 +257,61 @@ AllocateResult allocate_online(const Instance& inst,
           inst.capacity(static_cast<UserId>(uu), j);
     alloc.add_user(std::move(caps), std::move(scales.user[uu]));
   }
+  return alloc;
+}
+
+}  // namespace
+
+OnlineDriver::OnlineDriver(const Instance& inst, double mu, bool guard)
+    : OnlineDriver(inst, mu, guard, model::global_skew(inst)) {}
+
+OnlineDriver::OnlineDriver(const Instance& inst, double mu, bool guard,
+                           const model::GlobalSkewInfo& skew)
+    : inst_(&inst),
+      mu_(mu > 0.0 ? mu : skew.mu),
+      gamma_(skew.gamma),
+      allocator_(make_allocator(inst, mu_, guard, compute_scales(inst))) {}
+
+void OnlineDriver::build_offer(StreamId s, Offer& out) const {
+  const Instance& inst = *inst_;
+  const int mc = inst.num_user_measures();
+  out.costs.assign(static_cast<std::size_t>(inst.num_server_measures()), 0.0);
+  for (int i = 0; i < inst.num_server_measures(); ++i)
+    out.costs[static_cast<std::size_t>(i)] = inst.cost(s, i);
+  const auto degree =
+      static_cast<std::size_t>(inst.last_edge(s) - inst.first_edge(s));
+  if (out.candidates.size() < degree) out.candidates.resize(degree);
+  out.count = 0;
+  for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
+    ExponentialCostAllocator::Candidate& cand = out.candidates[out.count++];
+    cand.user = inst.edge_user(e);
+    cand.utility = inst.edge_utility(e);
+    cand.loads.resize(static_cast<std::size_t>(mc));
+    for (int j = 0; j < mc; ++j)
+      cand.loads[static_cast<std::size_t>(j)] = inst.edge_load(e, j);
+  }
+}
+
+void OnlineDriver::build_offer(const model::InstanceView& view, StreamId s,
+                               Offer& out) const {
+  out.costs.assign(1, view.cost(s));
+  const auto degree =
+      static_cast<std::size_t>(view.last_edge(s) - view.first_edge(s));
+  if (out.candidates.size() < degree) out.candidates.resize(degree);
+  out.count = 0;
+  for (model::EdgeId e = view.first_edge(s); e < view.last_edge(s); ++e) {
+    const double w = view.edge_utility(e);
+    if (w <= 0.0) continue;  // tombstoned / disabled pair
+    ExponentialCostAllocator::Candidate& cand = out.candidates[out.count++];
+    cand.user = view.edge_user(e);
+    cand.utility = w;
+    cand.loads.assign(1, w);  // cap form: load == utility
+  }
+}
+
+AllocateResult allocate_online(const Instance& inst,
+                               const AllocateOptions& opts) {
+  OnlineDriver driver(inst, opts.mu, opts.guard_feasibility);
 
   std::vector<StreamId> order = opts.order;
   if (order.empty()) {
@@ -246,44 +319,33 @@ AllocateResult allocate_online(const Instance& inst,
     std::iota(order.begin(), order.end(), 0);
   }
 
-  AllocateResult out{model::Assignment(inst), 0.0, mu, gs.gamma, 0, 0, 0};
-  // Per-stream scratch, hoisted (and workspace-backed when the caller
-  // provides one) so the arrival loop performs no steady-state
-  // allocations: candidate slots keep their `loads` capacity across
-  // streams, `count` marks the live prefix.
+  AllocateResult out{model::Assignment(inst), 0.0,
+                     driver.mu(),             driver.gamma(),
+                     0,                       0,
+                     0};
+  // One reused offer: candidate slots keep their `loads` capacity across
+  // streams, `count` marks the live prefix (no steady-state allocations).
+  // A caller-provided workspace additionally backs the cost row, so
+  // BatchRunner sweeps keep reusing one buffer across cells as PR 3
+  // established.
+  OnlineDriver::Offer offer;
   SolveWorkspace local_ws;
   SolveWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local_ws;
-  std::vector<double>& costs = ws.scratch;
-  costs.assign(static_cast<std::size_t>(inst.num_server_measures()), 0.0);
-  std::vector<ExponentialCostAllocator::Candidate> candidates;
+  offer.costs = std::move(ws.scratch);
   for (StreamId s : order) {
-    for (int i = 0; i < inst.num_server_measures(); ++i)
-      costs[static_cast<std::size_t>(i)] = inst.cost(s, i);
-    const auto degree =
-        static_cast<std::size_t>(inst.last_edge(s) - inst.first_edge(s));
-    if (candidates.size() < degree) candidates.resize(degree);
-    std::size_t count = 0;
-    for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
-      ExponentialCostAllocator::Candidate& cand = candidates[count++];
-      cand.user = inst.edge_user(e);
-      cand.utility = inst.edge_utility(e);
-      cand.loads.resize(static_cast<std::size_t>(mc));
-      for (int j = 0; j < mc; ++j)
-        cand.loads[static_cast<std::size_t>(j)] = inst.edge_load(e, j);
-    }
-    const std::span<const ExponentialCostAllocator::Candidate> live(
-        candidates.data(), count);
-    const auto decision = alloc.offer(costs, live);
+    driver.build_offer(s, offer);
+    const auto decision = driver.allocator().offer(offer.costs, offer.live());
     if (decision.accepted) {
       ++out.accepted;
       for (std::size_t idx : decision.taken)
-        out.assignment.assign(live[idx].user, s);
+        out.assignment.assign(offer.live()[idx].user, s);
     } else {
       ++out.rejected;
     }
   }
+  ws.scratch = std::move(offer.costs);
   out.utility = out.assignment.utility();
-  out.guard_trips = alloc.guard_trips();
+  out.guard_trips = driver.allocator().guard_trips();
   return out;
 }
 

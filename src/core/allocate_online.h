@@ -30,6 +30,7 @@
 #include "model/assignment.h"
 #include "model/instance.h"
 #include "model/skew.h"
+#include "model/view.h"
 
 namespace vdist::core {
 
@@ -105,6 +106,12 @@ class ExponentialCostAllocator {
     return guard_trips_;
   }
 
+  // Serving-session support: replaces user u's capacity in measure j.
+  // Committed loads are untouched (decisions are never revoked); future
+  // offers see the new bound, so the guard starts refusing a user whose
+  // cap dropped to 0 (a departure) and re-admits one whose cap returned.
+  void set_user_capacity(model::UserId u, int j, double capacity);
+
  private:
   [[nodiscard]] double exp_cost(double bound, double load) const;
 
@@ -151,8 +158,61 @@ struct AllocateResult {
   std::size_t guard_trips = 0;
 };
 
+// The reusable Algorithm-2 driver behind both allocate_online() and the
+// serving session's `online` policy (engine/session.h): one allocator
+// configured from an instance (mu, eq.-(1) scales, registered users) plus
+// offer construction — from the instance's own values (the offline
+// whole-instance loop) or from a cap-form view's *current* values (the
+// session's overlay, where utilities and caps move between offers).
+class OnlineDriver {
+ public:
+  // mu <= 0 derives the paper's mu from the instance's global skew.
+  OnlineDriver(const model::Instance& inst, double mu, bool guard);
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+  [[nodiscard]] ExponentialCostAllocator& allocator() noexcept {
+    return allocator_;
+  }
+  // The instance the driver (and its scales) were built from.
+  [[nodiscard]] const model::Instance& instance() const noexcept {
+    return *inst_;
+  }
+
+  // One stream's offer, reusable across calls without reallocating the
+  // per-candidate load vectors: `count` marks the live prefix.
+  struct Offer {
+    std::vector<double> costs;
+    std::vector<ExponentialCostAllocator::Candidate> candidates;
+    std::size_t count = 0;
+    [[nodiscard]] std::span<const ExponentialCostAllocator::Candidate> live()
+        const noexcept {
+      return {candidates.data(), count};
+    }
+  };
+
+  // Fills `out` from the driver's instance (all measures).
+  void build_offer(model::StreamId s, Offer& out) const;
+  // Fills `out` from a cap-form view's current surrogate values (one cost
+  // measure, load == utility; pairs with w <= 0 are skipped). The view
+  // must share the driver instance's stream/user id space.
+  void build_offer(const model::InstanceView& view, model::StreamId s,
+                   Offer& out) const;
+
+ private:
+  // Delegation target: global_skew is O(nnz), computed exactly once.
+  OnlineDriver(const model::Instance& inst, double mu, bool guard,
+               const model::GlobalSkewInfo& skew);
+
+  const model::Instance* inst_;
+  double mu_ = 0.0;
+  double gamma_ = 0.0;
+  ExponentialCostAllocator allocator_;
+};
+
 // Runs Algorithm 2 over a whole instance (offline driver for the online
-// algorithm; used by tests and benches E7/E9).
+// algorithm; used by tests and benches E7/E9). A thin client of
+// OnlineDriver since the serving-session refactor.
 [[nodiscard]] AllocateResult allocate_online(const model::Instance& inst,
                                              const AllocateOptions& opts = {});
 

@@ -119,11 +119,16 @@ struct SolveWorkspace {
   std::vector<model::StreamId> user_edge_s;  // streams parallel to the above
   std::vector<model::StreamId> cost_order;   // streams by ascending cost
   // Band views (core/skew_bands.cpp): per-edge surrogate utilities,
-  // per-stream totals, per-user caps, per-edge band tags.
+  // per-stream totals, per-user caps, per-edge band tags, plus the
+  // band-major edge partition (edge ids grouped by band, ascending
+  // within each band) and the edge -> stream map the grouped fill and
+  // the event-trace generator (gen/events.cpp) share.
   std::vector<double> view_utility;
   std::vector<double> view_totals;
   std::vector<double> view_caps;
   std::vector<std::int32_t> edge_band;
+  std::vector<model::EdgeId> band_edge_ids;
+  std::vector<model::StreamId> edge_stream;
   // Checkpointed enumeration (core/partial_enum.cpp): lazily created
   // arena of GreedyCheckpoint frames, one per enumeration depth, reused
   // across seed sets and across solves on this workspace.

@@ -24,7 +24,7 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
     throw std::invalid_argument("solve_smd_any_skew: requires m = mc = 1");
 
   const model::LocalSkewInfo skew = model::local_skew(inst);
-  SkewBandsResult out{Assignment(inst), 0.0, skew.alpha, 0, 0, {}, {}};
+  SkewBandsResult out{Assignment(inst), 0.0, skew.alpha, 0, 0, {}, {}, 0};
 
   // t = 1 + floor(log2 alpha) bands; the epsilon guards the exact-power
   // case (alpha = 2^k must produce k+1 bands, not k+2).
@@ -36,11 +36,13 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
   SolveWorkspace& ws = opts.workspace != nullptr ? *opts.workspace : local;
 
   // One classification pass: band index per edge (1..t, 0 = free band,
-  // -1 = dead edge), plus per-band edge counts. No per-band instance is
-  // ever materialized — each band becomes an InstanceView over the
-  // parent CSR with a surrogate utility array (0 disables the pair).
+  // -1 = dead edge), plus per-band edge counts and an edge -> stream map
+  // for the band-major fill below. No per-band instance is ever
+  // materialized — each band becomes an InstanceView over the parent CSR
+  // with a surrogate utility array (0 disables the pair).
   const std::size_t num_edges = inst.num_edges();
   ws.edge_band.assign(num_edges, -1);
+  ws.edge_stream.resize(num_edges);
   std::vector<std::size_t> band_edges(static_cast<std::size_t>(t) + 1, 0);
   for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
     const auto s = static_cast<StreamId>(ss);
@@ -48,6 +50,7 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
       const UserId u = inst.edge_user(e);
       const double w = inst.edge_utility(e);
       const double k = inst.edge_load(e, 0);
+      ws.edge_stream[static_cast<std::size_t>(e)] = s;
       if (w <= 0.0) continue;
       const auto ee = static_cast<std::size_t>(e);
       if (k <= 0.0) {
@@ -67,6 +70,26 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
     }
   }
 
+  // Band-major edge partition: group the live edges by band, ascending
+  // edge id within each band (a stable counting sort), so every band
+  // fill touches exactly its own edges. Per-band work drops from
+  // O(t * nnz) (rescanning the whole CSR per band) to O(nnz) total —
+  // the PR-4 ROADMAP "next cliff" for bands at smd-5000.
+  std::vector<std::size_t> band_cursor(static_cast<std::size_t>(t) + 2, 0);
+  for (int b = 0; b <= t; ++b)
+    band_cursor[static_cast<std::size_t>(b) + 1] =
+        band_cursor[static_cast<std::size_t>(b)] +
+        band_edges[static_cast<std::size_t>(b)];
+  const std::vector<std::size_t> band_offsets(band_cursor.begin(),
+                                              band_cursor.end());
+  ws.band_edge_ids.resize(band_offsets.back());
+  for (std::size_t ee = 0; ee < num_edges; ++ee) {
+    const int b = ws.edge_band[ee];
+    if (b < 0) continue;
+    ws.band_edge_ids[band_cursor[static_cast<std::size_t>(b)]++] =
+        static_cast<EdgeId>(ee);
+  }
+
   // Normalized caps W_u^i = K_u (scaled consistently with the loads) for
   // the ratio bands; the free band is uncapped.
   const std::size_t num_users = inst.num_users();
@@ -80,8 +103,12 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
     no_caps[u] = model::kUnbounded;
   }
 
-  ws.view_utility.resize(num_edges);
-  ws.view_totals.resize(inst.num_streams());
+  // Surrogate arrays start all-zero; each band writes and then clears
+  // only its own edge positions, so a stream's total is summed over its
+  // in-band edges in ascending edge-id order — bit-identical to the old
+  // full-CSR scan (the skipped terms were exact zeros).
+  ws.view_utility.assign(num_edges, 0.0);
+  ws.view_totals.assign(inst.num_streams(), 0.0);
 
   auto solve_band = [&](int band, std::span<const double> caps, int index,
                         double lo, double hi) {
@@ -91,26 +118,22 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
 
     // The band's surrogate utilities over the parent CSR: the normalized
     // load for ratio bands (the paper's w_u^i = k_u), the true utility
-    // for the free band; 0 for every out-of-band pair.
-    for (std::size_t ss = 0; ss < inst.num_streams(); ++ss) {
-      const auto s = static_cast<StreamId>(ss);
-      double total = 0.0;
-      for (EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
-        const auto ee = static_cast<std::size_t>(e);
-        double surrogate = 0.0;
-        if (ws.edge_band[ee] == band) {
-          surrogate =
-              band == 0
-                  ? inst.edge_utility(e)
-                  : inst.edge_load(e, 0) *
-                        skew.scale[static_cast<std::size_t>(
-                            inst.edge_user(e))];
-        }
-        ws.view_utility[ee] = surrogate;
-        total += surrogate;
-      }
-      ws.view_totals[ss] = total;
+    // for the free band; every out-of-band pair is already 0.
+    const std::size_t begin = band_offsets[static_cast<std::size_t>(band)];
+    const std::size_t end = band_offsets[static_cast<std::size_t>(band) + 1];
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const EdgeId e = ws.band_edge_ids[idx];
+      const auto ee = static_cast<std::size_t>(e);
+      const double surrogate =
+          band == 0 ? inst.edge_utility(e)
+                    : inst.edge_load(e, 0) *
+                          skew.scale[static_cast<std::size_t>(
+                              inst.edge_user(e))];
+      ws.view_utility[ee] = surrogate;
+      ws.view_totals[static_cast<std::size_t>(ws.edge_stream[ee])] +=
+          surrogate;
     }
+    out.fill_edges += 2 * edges_in_band;  // fill now + clear below
 
     const InstanceView band_view(inst, ws.view_utility, ws.view_totals, caps);
     SmdSolveResult solved =
@@ -139,6 +162,14 @@ SkewBandsResult solve_smd_any_skew(const Instance& inst,
       out.utility = original_utility;
       out.assignment = std::move(solved.assignment);
       out.chosen_band = index;
+    }
+
+    // Clear this band's positions so the arrays are all-zero again for
+    // the next band — the other half of the O(nnz)-total fill budget.
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const auto ee = static_cast<std::size_t>(ws.band_edge_ids[idx]);
+      ws.view_utility[ee] = 0.0;
+      ws.view_totals[static_cast<std::size_t>(ws.edge_stream[ee])] = 0.0;
     }
   };
 

@@ -55,6 +55,11 @@ struct SkewBandsResult {
   std::vector<BandReport> bands;
   // Selection-kernel counters summed over every band solve.
   SelectStats select;
+  // Per-edge surrogate writes performed by the band fills. The edges are
+  // partitioned by band once per solve, so each in-band edge is written
+  // exactly twice (fill + clear): <= 2 * nnz total, independent of the
+  // band count t (PR 4 filled O(t * nnz)).
+  std::size_t fill_edges = 0;
 };
 
 // Requires inst.is_smd(); handles any skew (unit skew degenerates to a

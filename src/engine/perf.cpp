@@ -138,6 +138,12 @@ std::vector<PerfCaseSpec> default_perf_suite(bool smoke) {
     suite.push_back(make_case("cap", 40, 10, "enum"));
     suite.back().options.set("depth", 2);
     suite.back().label = "cap-40/enum-d2";
+    suite.push_back(make_case("cap", 60, 20, "serve"));
+    suite.back().options.set("policy", "repair").set("events", 300);
+    suite.back().label = "serve-300/repair";
+    suite.push_back(make_case("cap", 60, 20, "serve"));
+    suite.back().options.set("policy", "resolve").set("events", 300);
+    suite.back().label = "serve-300/resolve";
     return suite;
   }
   // Full suite: the plain greedy scaling to |S| = 8000 (the naive scan is
@@ -159,6 +165,17 @@ std::vector<PerfCaseSpec> default_perf_suite(bool smoke) {
   suite.push_back(make_case("cap", 120, 30, "enum"));
   suite.back().options.set("depth", 2);
   suite.back().label = "cap-120/enum-d2";
+  // The serving session on a 10k-event churn trace: incremental repair
+  // vs per-event from-scratch re-solves over the same events. The two
+  // labels share the instance and trace, so their delta wall ratio IS
+  // the session's repair speedup (BENCH commits it); the per-case
+  // objective cross-check still runs across the kernel strategies.
+  suite.push_back(make_case("cap", 400, 100, "serve"));
+  suite.back().options.set("policy", "repair").set("events", 10000);
+  suite.back().label = "serve-10k/repair";
+  suite.push_back(make_case("cap", 400, 100, "serve"));
+  suite.back().options.set("policy", "resolve").set("events", 10000);
+  suite.back().label = "serve-10k/resolve";
   return suite;
 }
 
@@ -178,12 +195,17 @@ PerfReport run_perf(const PerfOptions& opts) {
   for (const PerfCaseSpec& spec : suite) {
     ScenarioSpec scenario = spec.scenario;
     if (builtin) scenario.seed = opts.seed;
+    const std::string label = spec.label.empty()
+                                  ? scenario.name + "/" + spec.algorithm
+                                  : spec.label;
+    // Label filter: resolved before the instance is built, so a filtered
+    // run skips the excluded cases' generation cost too.
+    if (!opts.filter.empty() && label.find(opts.filter) == std::string::npos)
+      continue;
     const model::Instance inst = build_scenario(scenario);
 
     PerfCase result;
-    result.label = spec.label.empty()
-                       ? scenario.name + "/" + spec.algorithm
-                       : spec.label;
+    result.label = label;
     result.scenario = scenario.name;
     result.algorithm = spec.algorithm;
     result.streams = inst.num_streams();

@@ -69,6 +69,9 @@ struct PerfOptions {
   // Scenario seed for the built-in suite (and the request seed for every
   // solve); explicit `cases` keep their own scenario seeds.
   std::uint64_t seed = 1;
+  // Case-label substring filter; empty runs everything. `vdist_cli perf
+  // --filter enum` reruns just the enumeration cases while iterating.
+  std::string filter;
   // Empty = default_perf_suite(smoke).
   std::vector<PerfCaseSpec> cases;
 };

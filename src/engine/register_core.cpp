@@ -13,6 +13,8 @@
 #include "core/skew_bands.h"
 #include "engine/builtin_solvers.h"
 #include "engine/registry.h"
+#include "engine/session.h"
+#include "gen/events.h"
 #include "util/rng.h"
 
 namespace vdist::engine {
@@ -80,6 +82,7 @@ SolveOutcome run_bands(const SolveRequest& req) {
   out.stats["alpha"] = r.alpha;
   out.stats["num_bands"] = static_cast<double>(r.num_bands);
   out.stats["chosen_band"] = static_cast<double>(r.chosen_band);
+  out.stats["fill_edges"] = static_cast<double>(r.fill_edges);
   report_select(out, r.select);
   return out;
 }
@@ -169,6 +172,76 @@ SolveOutcome run_online(const SolveRequest& req) {
   return out;
 }
 
+// The serving session as a sweepable solver: derive a deterministic churn
+// trace from (instance, seed), replay it through an engine::Session under
+// the requested repair policy, and report the end-state solution plus the
+// session's repair accounting. This is how BatchRunner sweeps exercise
+// the dynamic setting without a side-channel event file.
+SolveOutcome run_serve(const SolveRequest& req) {
+  SessionOptions sopts;
+  sopts.policy = parse_serve_policy(req.options.get("policy", "repair"));
+  sopts.quality_bound =
+      req.options.get_double("bound", sopts.quality_bound);
+  sopts.refresh_interval = static_cast<int>(
+      req.options.get_int("refresh", sopts.refresh_interval));
+  sopts.mode = parse_mode(req.options);
+  const core::GreedyOptions greedy = greedy_options(req);
+  sopts.strategy = greedy.strategy;
+  sopts.workspace = greedy.workspace;
+  sopts.mu = req.options.get_double("mu", 0.0);
+  sopts.guard = req.options.get_bool("guard", true);
+
+  gen::EventTraceConfig ecfg;
+  ecfg.num_events = static_cast<std::size_t>(
+      req.options.get_int("events", 200));
+  ecfg.seed = req.seed;
+  const std::vector<model::InstanceEvent> trace =
+      gen::make_event_trace(*req.instance, ecfg);
+
+  Session session(*req.instance, sopts);
+  double objective_sum = 0.0;
+  double repair_wall_ms = 0.0;
+  for (const model::InstanceEvent& event : trace) {
+    const RepairStats stats = session.apply(event);
+    objective_sum += stats.objective;
+    repair_wall_ms += stats.wall_ms;
+  }
+
+  SolveOutcome out{session.assignment()};
+  out.objective = session.objective();
+  out.variant = session.variant();
+  if (req.validate) {
+    // Judge feasibility against the world the session actually serves —
+    // the event-churned overlay — not the pre-churn parent, whose caps
+    // and utilities the trace has since moved.
+    const model::Instance snapshot = session.overlay().materialize();
+    model::Assignment on_snapshot(snapshot);
+    for (std::size_t u = 0; u < snapshot.num_users(); ++u)
+      for (const model::StreamId s :
+           out.assignment.streams_of(static_cast<model::UserId>(u)))
+        on_snapshot.assign(static_cast<model::UserId>(u), s);
+    const model::ValidationReport report = model::validate(on_snapshot);
+    out.feasibility = report.feasibility;
+    out.stats["violations"] =
+        static_cast<double>(report.violations.size());
+  }
+  const SessionCounters& counters = session.counters();
+  out.stats["events"] = static_cast<double>(counters.events);
+  out.stats["local_repairs"] = static_cast<double>(counters.local_repairs);
+  out.stats["full_resolves"] = static_cast<double>(counters.full_resolves);
+  out.stats["drift_checks"] = static_cast<double>(counters.drift_checks);
+  out.stats["online_accepts"] =
+      static_cast<double>(counters.online_accepts);
+  out.stats["online_rejects"] =
+      static_cast<double>(counters.online_rejects);
+  out.stats["repair_wall_ms"] = repair_wall_ms;
+  if (!trace.empty())
+    out.stats["objective_mean"] =
+        objective_sum / static_cast<double>(trace.size());
+  report_select(out, session.select_stats());
+  return out;
+}
+
 }  // namespace
 
 void register_core_solvers(SolverRegistry& r) {
@@ -236,6 +309,18 @@ void register_core_solvers(SolverRegistry& r) {
          .form = InstanceForm::kAny,
          .option_keys = {"max-nodes"}},
         run_exact);
+  r.add({.name = "serve",
+         .description =
+             "serving session (engine/session.h): replay a seed-derived "
+             "churn trace through the repair|resolve|online policy; "
+             "options: policy, events, bound, refresh, mode, select, mu, "
+             "guard; stats: events, local_repairs, full_resolves, "
+             "drift_checks, repair_wall_ms, objective_mean",
+         .form = InstanceForm::kUnitSkew,
+         .deterministic = false,
+         .option_keys = {"policy", "events", "bound", "refresh", "mode",
+                         "select", "mu", "guard"}},
+        run_serve);
   r.add({.name = "online",
          .description =
              "Section 5 Algorithm Allocate (exponential costs); options: "

@@ -11,12 +11,14 @@
 #include <vector>
 
 #include "engine/scenario.h"
+#include "gen/events.h"
 #include "gen/iptv.h"
 #include "gen/random_instances.h"
 #include "gen/small_streams.h"
 #include "gen/tightness.h"
 #include "gen/trace.h"
 #include "model/instance.h"
+#include "model/overlay.h"
 
 namespace vdist::engine {
 
@@ -276,6 +278,59 @@ model::Instance build_trace(const ScenarioSpec& spec) {
   return std::move(b).build();
 }
 
+// --- churn -------------------------------------------------------------
+
+// Event-churned snapshot of any unit-skew generator family: build the
+// base scenario, replay a deterministic event trace (gen/events.h) over
+// an InstanceOverlay, and materialize the end state. Layers the serving
+// session's arrival/departure processes over every existing workload, so
+// offline solvers and sweeps face the world a session would have been
+// serving after `events` changes.
+model::Instance build_churn(const ScenarioSpec& spec) {
+  ScenarioSpec base;
+  base.name = spec.params.get("base", "cap");
+  if (base.name == "churn")
+    throw std::invalid_argument("churn scenario cannot nest itself");
+  base.seed = spec.seed;
+  // `set` forwards comma-separated key=value pairs to the base scenario
+  // (strictly resolved there, so typos still fail loudly); "-" = none.
+  std::string set = spec.params.get("set", "-");
+  if (set == "-") set.clear();
+  std::size_t pos = 0;
+  while (pos < set.size()) {
+    std::size_t comma = set.find(',', pos);
+    if (comma == std::string::npos) comma = set.size();
+    const std::string kv = set.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument(
+          "churn param set expects key=value[,key=value...], got '" + kv +
+          "'");
+    base.params.set(kv.substr(0, eq), kv.substr(eq + 1));
+  }
+  // Common knobs declared directly (so sweep axes can drive them without
+  // the `set` syntax); "-" = leave the base default.
+  for (const char* key : {"streams", "users", "budget-fraction"}) {
+    const std::string value = spec.params.get(key, "-");
+    if (value != "-") base.params.set(key, value);
+  }
+  const model::Instance inst = build_scenario(base);
+  if (!inst.is_smd() || !inst.is_unit_skew())
+    throw std::invalid_argument(
+        "churn base scenario '" + base.name +
+        "' must build a unit-skew cap-form instance (try cap or trace)");
+
+  gen::EventTraceConfig cfg;
+  cfg.num_events = get_size(spec.params, "events");
+  cfg.seed = spec.seed;
+  model::InstanceOverlay overlay(inst);
+  for (const model::InstanceEvent& event : gen::make_event_trace(inst, cfg))
+    overlay.apply(event);
+  return overlay.materialize();
+}
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& r) {
@@ -402,6 +457,26 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
               {"eps-prime", "-1",
                "load perturbation; <= 0 uses the paper's 1/mc^2"}}},
         build_tightness);
+  r.add({.name = "churn",
+         .description =
+             "event-churned snapshot of a unit-skew base scenario: replay "
+             "a deterministic join/leave/add/remove/capacity/utility trace "
+             "(gen/events.h) over an InstanceOverlay and materialize the "
+             "end state",
+         .params =
+             {{"base", "cap",
+               "base scenario family (must build a unit-skew cap form)"},
+              {"set", "-",
+               "comma-separated key=value params forwarded to the base "
+               "scenario (\"-\" = none)"},
+              {"streams", "-",
+               "forwarded to the base scenario (\"-\" = base default)"},
+              {"users", "-",
+               "forwarded to the base scenario (\"-\" = base default)"},
+              {"budget-fraction", "-",
+               "forwarded to the base scenario (\"-\" = base default)"},
+              {"events", "60", "number of churn events to replay"}}},
+        build_churn);
   r.add({.name = "trace",
          .description =
              "session-expanded dynamic workload (Section 5 footnote 1): a "

@@ -197,7 +197,10 @@ SolveResult SolverRegistry::solve(const SolveRequest& req) const {
         outcome.objective >= 0.0 ? outcome.objective : result.raw_utility;
     result.variant = std::move(outcome.variant);
     result.stats = std::move(outcome.stats);
-    if (req.validate) {
+    if (outcome.feasibility.has_value()) {
+      // The adapter validated against its own (mutated) world.
+      result.feasibility = *outcome.feasibility;
+    } else if (req.validate) {
       const model::ValidationReport report =
           model::validate(outcome.assignment);
       result.feasibility = report.feasibility;

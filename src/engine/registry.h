@@ -33,6 +33,12 @@ struct SolveOutcome {
   double objective = -1.0;
   std::string variant;
   std::map<std::string, double> stats;
+  // When set, the registry reports this classification instead of
+  // validating against the request instance. For adapters whose output
+  // is defined over a *different* world than the input — the `serve`
+  // session solves the event-churned overlay, so its end state must be
+  // judged against the materialized overlay, not the pre-churn parent.
+  std::optional<model::Feasibility> feasibility;
 };
 
 struct SolverInfo {

@@ -1,0 +1,196 @@
+#include "gen/events.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/float_cmp.h"
+#include "util/rng.h"
+
+namespace vdist::gen {
+
+using model::EventType;
+using model::InstanceEvent;
+using model::StreamId;
+using model::UserId;
+
+namespace {
+
+// Index of the r-th set flag (r < count). O(n); trace generation is not a
+// hot path and the scan keeps the draw independent of container churn.
+std::size_t nth_alive(const std::vector<char>& alive, std::size_t r) {
+  for (std::size_t i = 0; i < alive.size(); ++i)
+    if (alive[i] != 0 && r-- == 0) return i;
+  return alive.size();  // unreachable when count was right
+}
+
+std::size_t nth_dead(const std::vector<char>& alive, std::size_t r) {
+  for (std::size_t i = 0; i < alive.size(); ++i)
+    if (alive[i] == 0 && r-- == 0) return i;
+  return alive.size();
+}
+
+}  // namespace
+
+std::vector<InstanceEvent> make_event_trace(const model::Instance& inst,
+                                            const EventTraceConfig& cfg) {
+  if (inst.num_users() == 0 || inst.num_streams() == 0)
+    throw std::invalid_argument(
+        "make_event_trace: instance needs at least one user and one stream");
+  if (inst.num_edges() == 0)
+    throw std::invalid_argument(
+        "make_event_trace: instance has no interest pairs to churn");
+
+  const std::size_t U = inst.num_users();
+  const std::size_t S = inst.num_streams();
+  util::Rng rng(cfg.seed);
+
+  // Simulated overlay state: alive flags and current declared caps.
+  std::vector<char> user_alive(U, 1);
+  std::vector<char> stream_alive(S, 1);
+  std::size_t users_alive = U;
+  std::size_t streams_alive = S;
+  std::vector<double> cur_cap(U);
+  std::vector<double> max_w(U, 0.0);  // largest declared pair utility
+  for (std::size_t u = 0; u < U; ++u)
+    cur_cap[u] = inst.capacity(static_cast<UserId>(u), 0);
+  for (std::size_t e = 0; e < inst.num_edges(); ++e)
+    max_w[static_cast<std::size_t>(
+        inst.edge_user(static_cast<model::EdgeId>(e)))] =
+        std::max(max_w[static_cast<std::size_t>(
+                     inst.edge_user(static_cast<model::EdgeId>(e)))],
+                 inst.edge_utility(static_cast<model::EdgeId>(e)));
+
+  // Edge -> stream map for uniform pair draws (the same derivation the
+  // band partition keeps in SolveWorkspace::edge_stream; a shared
+  // Instance-level accessor is future work so the seed-era CSR header
+  // stays untouched).
+  std::vector<StreamId> edge_stream(inst.num_edges());
+  for (std::size_t ss = 0; ss < S; ++ss)
+    for (model::EdgeId e = inst.first_edge(static_cast<StreamId>(ss));
+         e < inst.last_edge(static_cast<StreamId>(ss)); ++e)
+      edge_stream[static_cast<std::size_t>(e)] = static_cast<StreamId>(ss);
+
+  const double weights[6] = {cfg.w_user_leave,    cfg.w_user_join,
+                             cfg.w_stream_remove, cfg.w_stream_add,
+                             cfg.w_capacity,      cfg.w_utility};
+  double total_weight = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("make_event_trace: weights must be >= 0");
+    total_weight += w;
+  }
+  if (total_weight <= 0.0)
+    throw std::invalid_argument("make_event_trace: all weights are zero");
+
+  std::vector<InstanceEvent> trace;
+  trace.reserve(cfg.num_events);
+  while (trace.size() < cfg.num_events) {
+    double draw = rng.uniform(0.0, total_weight);
+    int type = 0;
+    while (type < 5 && draw >= weights[type]) draw -= weights[type++];
+
+    InstanceEvent ev;
+    bool emitted = true;
+    switch (type) {
+      case 0:  // user leave (always keep one user alive)
+        if (users_alive < 2) {
+          emitted = false;
+          break;
+        }
+        ev.type = EventType::kUserLeave;
+        ev.user = static_cast<UserId>(nth_alive(
+            user_alive,
+            static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(users_alive) - 1))));
+        user_alive[static_cast<std::size_t>(ev.user)] = 0;
+        --users_alive;
+        break;
+      case 1:  // user rejoin
+        if (users_alive == U) {
+          emitted = false;
+          break;
+        }
+        ev.type = EventType::kUserJoin;
+        ev.user = static_cast<UserId>(nth_dead(
+            user_alive,
+            static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(U - users_alive) - 1))));
+        ev.value = 0.0;  // keep the declared cap
+        user_alive[static_cast<std::size_t>(ev.user)] = 1;
+        ++users_alive;
+        break;
+      case 2:  // stream removal (always keep one stream alive)
+        if (streams_alive < 2) {
+          emitted = false;
+          break;
+        }
+        ev.type = EventType::kStreamRemove;
+        ev.stream = static_cast<StreamId>(nth_alive(
+            stream_alive,
+            static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(streams_alive) - 1))));
+        stream_alive[static_cast<std::size_t>(ev.stream)] = 0;
+        --streams_alive;
+        break;
+      case 3:  // stream restore
+        if (streams_alive == S) {
+          emitted = false;
+          break;
+        }
+        ev.type = EventType::kStreamAdd;
+        ev.stream = static_cast<StreamId>(nth_dead(
+            stream_alive,
+            static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(S - streams_alive) - 1))));
+        stream_alive[static_cast<std::size_t>(ev.stream)] = 1;
+        ++streams_alive;
+        break;
+      default:
+        emitted = false;
+        break;
+    }
+
+    if (!emitted && type <= 4) {
+      // Fallback: capacity change on a random alive user with a bounded
+      // cap; keeps the trace length exact without biasing the RNG stream
+      // (each attempt consumes fresh draws).
+      const auto uu = static_cast<std::size_t>(nth_alive(
+          user_alive, static_cast<std::size_t>(rng.uniform_int(
+                          0, static_cast<std::int64_t>(users_alive) - 1))));
+      if (!util::is_unbounded(cur_cap[uu])) {
+        ev.type = EventType::kCapacityChange;
+        ev.user = static_cast<UserId>(uu);
+        ev.value = std::max(
+            cur_cap[uu] * rng.uniform(cfg.cap_scale_min, cfg.cap_scale_max),
+            max_w[uu]);
+        cur_cap[uu] = ev.value;
+        emitted = true;
+      }
+    }
+    if (!emitted || type == 5) {
+      // Utility change on a uniformly drawn pair with both ends alive
+      // (retry a few draws, then take any pair — dead-pair changes are
+      // legal overlay events, just invisible until a restore).
+      model::EdgeId e = 0;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        e = static_cast<model::EdgeId>(rng.uniform_int(
+            0, static_cast<std::int64_t>(inst.num_edges()) - 1));
+        const UserId u = inst.edge_user(e);
+        const StreamId s = edge_stream[static_cast<std::size_t>(e)];
+        if (user_alive[static_cast<std::size_t>(u)] != 0 &&
+            stream_alive[static_cast<std::size_t>(s)] != 0)
+          break;
+      }
+      ev = InstanceEvent{};
+      ev.type = EventType::kUtilityChange;
+      ev.user = inst.edge_user(e);
+      ev.stream = edge_stream[static_cast<std::size_t>(e)];
+      ev.value = inst.edge_utility(e) *
+                 rng.uniform(cfg.utility_scale_min, cfg.utility_scale_max);
+    }
+    trace.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+}  // namespace vdist::gen

@@ -1,0 +1,54 @@
+// Deterministic churn traces for serving sessions: arrival/departure and
+// value-change processes layered over ANY built instance, so every
+// generator family in the scenario registry doubles as a dynamic
+// workload. The trace operates on the instance's own universe — users
+// leave and rejoin, streams are pulled and restored, caps and utilities
+// drift — which keeps ids stable and every prefix solvable from scratch
+// (the parity contract engine::Session tests rely on).
+//
+// Parity safety: generated capacities never drop below the user's largest
+// declared pair utility and generated utilities never rise above the
+// declared value, so the paper's standing assumption w_u(S) <= W_u keeps
+// holding at every prefix and InstanceOverlay::materialize() stays
+// bit-compatible with the overlay view.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/events.h"
+#include "model/instance.h"
+
+namespace vdist::gen {
+
+struct EventTraceConfig {
+  std::size_t num_events = 200;
+  // Relative mix weights; a weight of 0 disables the event type. When a
+  // drawn type has no legal target (no departed user to rejoin, only one
+  // stream left...) the generator falls back to a capacity change, then
+  // to a utility change, so the trace always reaches num_events.
+  double w_user_leave = 2.0;
+  double w_user_join = 2.0;
+  double w_stream_remove = 1.0;
+  double w_stream_add = 1.0;
+  double w_capacity = 2.0;
+  double w_utility = 2.0;
+  // Capacity changes scale the user's current declared cap by a uniform
+  // factor in [cap_scale_min, cap_scale_max], floored at the user's
+  // largest declared pair utility.
+  double cap_scale_min = 0.7;
+  double cap_scale_max = 1.3;
+  // Utility changes scale the pair's declared utility by a uniform factor
+  // in [utility_scale_min, utility_scale_max] (<= 1 keeps w <= W_u).
+  double utility_scale_min = 0.4;
+  double utility_scale_max = 1.0;
+  std::uint64_t seed = 7;
+};
+
+// Draws a deterministic event trace over the instance's universe. At
+// least one user and one stream always stay alive; requires the instance
+// to have both (throws std::invalid_argument otherwise).
+[[nodiscard]] std::vector<model::InstanceEvent> make_event_trace(
+    const model::Instance& inst, const EventTraceConfig& cfg);
+
+}  // namespace vdist::gen

@@ -29,6 +29,39 @@ std::vector<std::vector<double>> caps_of(const Instance& catalog) {
 
 }  // namespace
 
+// --- SessionPolicy ----------------------------------------------------------
+
+SessionPolicy::SessionPolicy(const Instance& catalog,
+                             engine::SessionOptions opts)
+    : session_(catalog, force_empty(std::move(opts))),
+      refcount_(catalog.num_streams(), 0) {}
+
+std::vector<std::size_t> SessionPolicy::on_arrival(const StreamOffer& offer) {
+  const model::StreamId s = offer.stream;
+  if (refcount_[static_cast<std::size_t>(s)]++ == 0) {
+    model::InstanceEvent event;
+    event.type = model::EventType::kStreamAdd;
+    event.stream = s;
+    session_.apply(event);
+  }
+  const model::Assignment& a = session_.assignment();
+  std::vector<std::size_t> taken;
+  for (std::size_t idx = 0; idx < offer.candidates.size(); ++idx)
+    if (a.has(offer.candidates[idx].user, s)) taken.push_back(idx);
+  return taken;
+}
+
+void SessionPolicy::on_departure(const StreamOffer& offer,
+                                 const std::vector<std::size_t>& /*taken*/) {
+  const model::StreamId s = offer.stream;
+  if (--refcount_[static_cast<std::size_t>(s)] == 0) {
+    model::InstanceEvent event;
+    event.type = model::EventType::kStreamRemove;
+    event.stream = s;
+    session_.apply(event);
+  }
+}
+
 // --- OnlineAllocatePolicy --------------------------------------------------
 
 OnlineAllocatePolicy::OnlineAllocatePolicy(const Instance& catalog, double mu,

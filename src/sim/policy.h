@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/allocate_online.h"
+#include "engine/session.h"
 #include "model/instance.h"
 
 namespace vdist::sim {
@@ -50,6 +51,40 @@ class OnlineAllocatePolicy final : public AdmissionPolicy {
 
  private:
   core::ExponentialCostAllocator allocator_;
+};
+
+// The serving session as an admission policy: the simulator becomes a
+// thin client of engine::Session. The session opens empty over the
+// catalog (every stream tombstoned); an arriving stream session becomes a
+// kStreamAdd event, the last departure of a stream a kStreamRemove, and
+// the decision for an offer is whatever user set the session's maintained
+// assignment gives that stream right after the repair. Concurrent
+// sessions of the same catalog stream share one decision (the session
+// models the stream's presence, not its multiplicity), and — as the
+// AdmissionPolicy contract requires — a decision handed to the plant is
+// never revised mid-session even if later repairs reassign internally.
+// Requires a unit-skew cap-form catalog (the session's form).
+class SessionPolicy final : public AdmissionPolicy {
+ public:
+  // `opts.open_empty` is forced on; other options (policy, bound,
+  // refresh, strategy, workspace) pass through to the session.
+  explicit SessionPolicy(const model::Instance& catalog,
+                         engine::SessionOptions opts = {});
+  [[nodiscard]] std::string name() const override {
+    return std::string("session-") + engine::to_string(session_.policy());
+  }
+  std::vector<std::size_t> on_arrival(const StreamOffer& offer) override;
+  void on_departure(const StreamOffer& offer,
+                    const std::vector<std::size_t>& taken) override;
+  [[nodiscard]] const engine::Session& session() const { return session_; }
+
+ private:
+  static engine::SessionOptions force_empty(engine::SessionOptions opts) {
+    opts.open_empty = true;
+    return opts;
+  }
+  engine::Session session_;
+  std::vector<int> refcount_;  // concurrent plant sessions per stream
 };
 
 // The naive threshold policy of the paper's introduction: admit while all

@@ -163,6 +163,69 @@ if(NOT cli_err MATCHES "regress-metric")
   message(FATAL_ERROR "bad --regress-metric value not rejected:\n${cli_err}")
 endif()
 
+# --- serving sessions: gen-events -> serve round-trip ------------------------
+run_cli(0 gen-events "${WORK_DIR}/cap.vd" --events 50 --seed 9
+        --out "${WORK_DIR}/cap.events")
+file(READ "${WORK_DIR}/cap.events" events_text)
+if(NOT events_text MATCHES "vdist-events 1")
+  message(FATAL_ERROR "gen-events missing header:\n${events_text}")
+endif()
+# Event traces are deterministic functions of (instance, seed).
+run_cli(0 gen-events "${WORK_DIR}/cap.vd" --events 50 --seed 9
+        --out "${WORK_DIR}/cap2.events")
+file(READ "${WORK_DIR}/cap2.events" events_text2)
+if(NOT events_text STREQUAL events_text2)
+  message(FATAL_ERROR "gen-events is not deterministic across invocations")
+endif()
+run_cli(1 gen-events "${WORK_DIR}/cap.vd" --sede 9)
+if(NOT cli_err MATCHES "--sede")
+  message(FATAL_ERROR "typo'd gen-events flag not rejected:\n${cli_err}")
+endif()
+# All three policies replay the trace with per-event parity checks:
+# resolve must be bit-identical to a from-scratch solve of the
+# materialized overlay, repair must stay within the quality bound.
+foreach(policy repair resolve online)
+  run_cli(0 serve "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/cap.events"
+          --policy ${policy} --check 1 --json "${WORK_DIR}/serve-${policy}.json")
+  file(READ "${WORK_DIR}/serve-${policy}.json" serve_json)
+  if(NOT serve_json MATCHES "\"serve\":\"${policy}\"")
+    message(FATAL_ERROR "serve JSON missing policy id:\n${serve_json}")
+  endif()
+  if(NOT serve_json MATCHES "\"timeline\"")
+    message(FATAL_ERROR "serve JSON missing timeline:\n${serve_json}")
+  endif()
+endforeach()
+# serve consumes every flag itself and needs its inputs.
+run_cli(1 serve "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/cap.events"
+        --polcy repair)
+if(NOT cli_err MATCHES "--polcy")
+  message(FATAL_ERROR "typo'd serve flag not rejected:\n${cli_err}")
+endif()
+run_cli(1 serve "${WORK_DIR}/cap.vd")
+if(NOT cli_err MATCHES "--events")
+  message(FATAL_ERROR "serve without --events not rejected:\n${cli_err}")
+endif()
+run_cli(1 serve "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/cap.events"
+        --policy fastest)
+if(NOT cli_err MATCHES "repair|resolve|online")
+  message(FATAL_ERROR "bad --policy value not rejected:\n${cli_err}")
+endif()
+
+# --- perf --filter: label-subset runs ----------------------------------------
+run_cli(0 perf --smoke 1 --reps 1 --filter greedy
+        --out "${WORK_DIR}/perf-filter.json")
+file(READ "${WORK_DIR}/perf-filter.json" perf_filter)
+if(NOT perf_filter MATCHES "greedy-plain")
+  message(FATAL_ERROR "perf --filter dropped matching cases:\n${perf_filter}")
+endif()
+if(perf_filter MATCHES "bands" OR perf_filter MATCHES "serve-")
+  message(FATAL_ERROR "perf --filter kept non-matching cases:\n${perf_filter}")
+endif()
+run_cli(1 perf --smoke 1 --reps 1 --filter no-such-case)
+if(NOT cli_err MATCHES "no-such-case")
+  message(FATAL_ERROR "unmatched perf --filter not rejected:\n${cli_err}")
+endif()
+
 # --- unknown subcommands must fail loudly ------------------------------------
 run_cli(1 frobnicate)
 if(NOT cli_err MATCHES "unknown command 'frobnicate'")

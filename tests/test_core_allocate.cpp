@@ -83,6 +83,25 @@ TEST(Allocator, ReleaseRestoresLoads) {
   EXPECT_NEAR(alloc.user_load(u, 0), 0.0, 1e-12);
 }
 
+TEST(Allocator, ZeroedCapUserIsSkippedEvenWithoutTheGuard) {
+  // Serving sessions zero a departed user's cap via set_user_capacity.
+  // With the guard off, the dead candidate must be skipped outright —
+  // not priced at infinity, which would poison the peel sums with
+  // inf - inf = NaN and reject the healthy candidates too.
+  ExponentialCostAllocator alloc({10.0}, {16.0, /*guard=*/false});
+  const auto alive = alloc.add_user({5.0});
+  const auto departed = alloc.add_user({5.0});
+  alloc.set_user_capacity(departed, 0, 0.0);
+  const std::vector<double> costs{1.0};
+  const auto decision =
+      alloc.offer(costs, {{alive, 2.0, {1.0}}, {departed, 2.0, {1.0}}});
+  EXPECT_TRUE(decision.accepted);
+  ASSERT_EQ(decision.taken.size(), 1u);
+  EXPECT_EQ(decision.taken[0], 0u);  // the alive candidate
+  EXPECT_NEAR(alloc.user_load(alive, 0), 0.2, 1e-12);
+  EXPECT_THROW(alloc.set_user_capacity(99, 0, 1.0), std::invalid_argument);
+}
+
 TEST(Allocator, GuardBlocksRealViolations) {
   // mu far too small for the load regime: the raw algorithm would
   // overshoot; the guard must prevent it.

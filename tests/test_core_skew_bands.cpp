@@ -44,6 +44,24 @@ TEST(SkewBands, BandCountFollowsAlpha) {
   EXPECT_EQ(bands.num_bands, 4);
 }
 
+TEST(SkewBands, BandMajorFillTouchesEachEdgeTwiceTotal) {
+  // The PR-4 fill rescanned the whole CSR once per band: O(t * nnz)
+  // surrogate writes. The band-major partition writes each live edge
+  // exactly twice (fill + clear) regardless of the band count.
+  gen::RandomSmdConfig cfg;
+  cfg.num_streams = 40;
+  cfg.num_users = 12;
+  cfg.target_skew = 64.0;  // many bands, so the old bound would be ~7x nnz
+  cfg.seed = 9;
+  const Instance inst = gen::random_smd_instance(cfg);
+  const SkewBandsResult bands = solve_smd_any_skew(inst);
+  ASSERT_GE(bands.num_bands, 4);
+  std::size_t live_edges = 0;
+  for (const BandReport& band : bands.bands) live_edges += band.num_edges;
+  EXPECT_EQ(bands.fill_edges, 2 * live_edges);
+  EXPECT_LE(bands.fill_edges, 2 * inst.num_edges());
+}
+
 TEST(SkewBands, EdgesArePartitionedAcrossBands) {
   gen::RandomSmdConfig cfg;
   cfg.num_streams = 20;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/iptv.h"
+#include "gen/random_instances.h"
 #include "model/skew.h"
 
 namespace vdist::sim {
@@ -25,6 +26,40 @@ std::vector<gen::Session> small_trace(const model::Instance& inst,
   tc.horizon = 200.0;
   tc.seed = seed;
   return gen::make_trace(inst, tc);
+}
+
+// The simulator as a thin client of the serving session: arrivals and
+// departures become StreamAdd/StreamRemove events and decisions come
+// from the session's maintained assignment.
+TEST(Engine, SessionPolicyDrivesTheSimulator) {
+  gen::RandomCapConfig cfg;
+  cfg.num_streams = 25;
+  cfg.num_users = 12;
+  cfg.seed = 4;
+  const model::Instance catalog = gen::random_cap_instance(cfg);
+  const auto trace = small_trace(catalog, 8);
+  for (const engine::ServePolicy policy :
+       {engine::ServePolicy::kRepair, engine::ServePolicy::kResolve}) {
+    engine::SessionOptions opts;
+    opts.policy = policy;
+    SessionPolicy session_policy(catalog, opts);
+    const SimResult r = run_simulation(catalog, trace, session_policy);
+    EXPECT_EQ(r.totals.sessions, trace.size());
+    EXPECT_GT(r.totals.accepted, 0u);
+    EXPECT_GT(r.totals.utility_time, 0.0);
+    // The underlying session saw stream lifecycle events.
+    EXPECT_GT(session_policy.session().counters().events, 0u);
+  }
+  // Determinism: same catalog + trace + policy config => same totals.
+  SessionPolicy a(catalog), b(catalog);
+  const SimResult ra = run_simulation(catalog, trace, a);
+  const SimResult rb = run_simulation(catalog, trace, b);
+  EXPECT_EQ(ra.totals.utility_time, rb.totals.utility_time);
+  EXPECT_EQ(ra.totals.accepted, rb.totals.accepted);
+  // Requires the session's cap form.
+  const auto mmd = small_workload().instance;
+  if (!mmd.is_unit_skew())
+    EXPECT_THROW(SessionPolicy{mmd}, std::invalid_argument);
 }
 
 TEST(Engine, TotalsAreConsistent) {

@@ -30,10 +30,14 @@
 #include "engine/perf.h"
 #include "engine/registry.h"
 #include "engine/scenario.h"
+#include "engine/session.h"
 #include "engine/sweep.h"
+#include "gen/events.h"
+#include "io/event_io.h"
 #include "io/instance_io.h"
 #include "model/skew.h"
 #include "model/validate.h"
+#include "util/float_cmp.h"
 #include "util/json.h"
 
 namespace {
@@ -321,13 +325,174 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+// Draws a deterministic churn trace over an instance and writes it in the
+// event text format — the input of `vdist_cli serve --events`.
+int cmd_gen_events(const Args& args) {
+  // A typo'd flag must be an error, not a silently different trace.
+  {
+    const std::vector<std::string> known = {"events", "seed", "out"};
+    for (const auto& [key, value] : args.options)
+      if (std::find(known.begin(), known.end(), key) == known.end())
+        throw std::runtime_error("gen-events does not take --" + key +
+                                 " (see 'vdist_cli help')");
+  }
+  const model::Instance inst = io::load_instance_file(args.file);
+  gen::EventTraceConfig cfg;
+  cfg.num_events = opt_u(args, "events", cfg.num_events);
+  cfg.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 7));
+  const std::vector<model::InstanceEvent> trace =
+      gen::make_event_trace(inst, cfg);
+  const std::string out = opt(args, "out", "");
+  if (out.empty()) {
+    io::save_events(std::cout, trace);
+  } else {
+    io::save_events_file(out, trace);
+    std::cerr << "wrote " << out << " (" << trace.size() << " events)\n";
+  }
+  return 0;
+}
+
+// Replays an event trace through an engine::Session and reports
+// objective-over-time as JSON. --check N compares the session against a
+// from-scratch solve every N events: the resolve policy must match the
+// fresh objective bit-exactly, the repair policy must stay within
+// --bound; a violation exits 4.
+int cmd_serve(const Args& args) {
+  {
+    const std::vector<std::string> known = {"events", "policy", "bound",
+                                            "refresh", "check", "json",
+                                            "select"};
+    for (const auto& [key, value] : args.options)
+      if (std::find(known.begin(), known.end(), key) == known.end())
+        throw std::runtime_error("serve does not take --" + key +
+                                 " (see 'vdist_cli help')");
+  }
+  const model::Instance inst = io::load_instance_file(args.file);
+  const std::string events_path = opt(args, "events", "");
+  if (events_path.empty())
+    throw std::runtime_error("serve requires --events FILE");
+  const std::vector<model::InstanceEvent> trace =
+      io::load_events_file(events_path);
+
+  engine::SessionOptions sopts;
+  sopts.policy = engine::parse_serve_policy(opt(args, "policy", "repair"));
+  sopts.quality_bound = std::stod(opt(args, "bound", "0.05"));
+  sopts.refresh_interval =
+      static_cast<int>(opt_u(args, "refresh", 64));
+  sopts.strategy = core::parse_select_strategy(opt(args, "select", "delta"));
+  const std::size_t check_every = opt_u(args, "check", 0);
+  // The repair bound is guaranteed at the session's own drift
+  // checkpoints; align them with the external gate so every checked
+  // prefix has had its chance to self-correct. A refresh interval that
+  // divides the check interval already lands a self-correction on every
+  // gated event; anything else is replaced by the check interval itself.
+  if (check_every > 0 && sopts.policy == engine::ServePolicy::kRepair) {
+    const auto check_int = static_cast<int>(check_every);
+    if (sopts.refresh_interval <= 0 ||
+        check_int % sopts.refresh_interval != 0)
+      sopts.refresh_interval = check_int;
+  }
+
+  engine::Session session(inst, sopts);
+  std::ostringstream timeline;
+  timeline.precision(17);
+  bool parity_failed = false;
+  std::size_t applied = 0;
+  // The differential anchor: bake the overlay into a standalone instance
+  // and solve it from scratch — the resolve policy must match that solve
+  // bit-exactly, the repair policy must stay within the quality bound.
+  auto parity_check = [&]() {
+    if (sopts.policy == engine::ServePolicy::kOnline) return true;
+    const model::Instance snap = session.overlay().materialize();
+    core::GreedyOptions gopts;
+    gopts.strategy = sopts.strategy;
+    const core::SmdSolveResult fresh =
+        core::solve_unit_skew(snap, sopts.mode, gopts);
+    const double current = session.objective();
+    if (sopts.policy == engine::ServePolicy::kResolve)
+      return current == fresh.utility;
+    const double drift =
+        (fresh.utility - current) / std::max(fresh.utility, 1.0);
+    return drift <= sopts.quality_bound + 1e-9;
+  };
+  for (const model::InstanceEvent& event : trace) {
+    const engine::RepairStats stats = session.apply(event);
+    ++applied;
+    if (applied > 1) timeline << ',';
+    timeline << "{\"event\":" << applied << ",\"objective\":"
+             << stats.objective << ",\"wall_ms\":" << stats.wall_ms
+             << ",\"action\":\""
+             << (stats.action == engine::RepairAction::kLocalRepair
+                     ? "repair"
+                     : stats.action == engine::RepairAction::kFullResolve
+                           ? "resolve"
+                           : "online")
+             << "\"}";
+    if (check_every > 0 && applied % check_every == 0 && !parity_check()) {
+      parity_failed = true;
+      std::cerr << "serve: parity violated after event " << applied << "\n";
+      break;
+    }
+  }
+  // Feasibility is judged against the world the session actually serves:
+  // the assignment's pairs re-accounted on the materialized overlay
+  // (caps and utilities as of now, not as of the parent instance).
+  const model::Instance snapshot = session.overlay().materialize();
+  model::Assignment snapshot_assignment(snapshot);
+  for (std::size_t u = 0; u < snapshot.num_users(); ++u)
+    for (const model::StreamId s :
+         session.assignment().streams_of(static_cast<model::UserId>(u)))
+      snapshot_assignment.assign(static_cast<model::UserId>(u), s);
+  // The online policy never revokes commitments, so a capacity decrease
+  // can legitimately leave user caps exceeded on the current world —
+  // only a server-budget violation is a bug there; the greedy policies
+  // must be exactly feasible.
+  const auto report = model::validate(snapshot_assignment);
+  const bool feasibility_ok =
+      sopts.policy == engine::ServePolicy::kOnline ? report.server_feasible()
+                                                   : report.feasible();
+  if (check_every > 0 && !feasibility_ok) {
+    parity_failed = true;
+    std::cerr << "serve: session assignment is infeasible\n";
+  }
+
+  const engine::SessionCounters& counters = session.counters();
+  std::ostringstream doc;
+  doc.precision(17);
+  doc << "{\"serve\":\"" << engine::to_string(sopts.policy)
+      << "\",\"events\":" << counters.events
+      << ",\"objective\":" << session.objective()
+      << ",\"variant\":\"" << session.variant()
+      << "\",\"local_repairs\":" << counters.local_repairs
+      << ",\"full_resolves\":" << counters.full_resolves
+      << ",\"drift_checks\":" << counters.drift_checks
+      << ",\"feasible\":" << (report.feasible() ? "true" : "false")
+      << ",\"timeline\":[" << timeline.str() << "]}\n";
+  const std::string json_path = opt(args, "json", "-");
+  if (json_path == "-") {
+    std::cout << doc.str();
+  } else {
+    std::ofstream os(json_path);
+    if (!os) throw std::runtime_error("cannot open " + json_path);
+    os << doc.str();
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  std::cerr << "serve: policy=" << engine::to_string(sopts.policy)
+            << " events=" << counters.events
+            << " objective=" << session.objective()
+            << " repairs=" << counters.local_repairs
+            << " resolves=" << counters.full_resolves << "\n";
+  return parity_failed ? 4 : 0;
+}
+
 int cmd_perf(const Args& args) {
   // Like sweep, perf consumes every flag itself: a typo'd flag must be an
   // error, not a silently different benchmark.
   {
     const std::vector<std::string> known = {
         "smoke", "out",      "reps",        "seed",
-        "min-speedup", "baseline", "max-regress", "regress-metric"};
+        "min-speedup", "baseline", "max-regress", "regress-metric",
+        "filter"};
     for (const auto& [key, value] : args.options)
       if (std::find(known.begin(), known.end(), key) == known.end())
         throw std::runtime_error("perf does not take --" + key +
@@ -380,7 +545,11 @@ int cmd_perf(const Args& args) {
   options.smoke = opt(args, "smoke", "0") == "1";
   options.repetitions = static_cast<int>(opt_u(args, "reps", 0));
   options.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 1));
+  options.filter = opt(args, "filter", "");
   const engine::PerfReport report = engine::run_perf(options);
+  if (!options.filter.empty() && report.cases.empty())
+    throw std::runtime_error("perf --filter '" + options.filter +
+                             "' matches no case label");
 
   const std::string out_path = opt(args, "out", "BENCH_perf.json");
   // Like sweep's '-' emitters: keep stdout machine-parseable when the
@@ -467,18 +636,22 @@ int cmd_help(std::ostream& os) {
       "vdist_cli — Video Distribution Under Multiple Constraints\n\n"
       "  vdist_cli gen --kind SCENARIO [scenario params] [--seed S]\n"
       "            [--out FILE]\n"
+      "  vdist_cli gen-events FILE [--events N] [--seed S] [--out FILE]\n"
       "  vdist_cli scenarios\n"
       "  vdist_cli algos\n"
       "  vdist_cli stats FILE\n"
       "  vdist_cli solve FILE --algo NAME [--seed S] [--budget-ms T]\n"
       "            [--verbose 1] [--export 1] [--strict 0] [algo options]\n"
+      "  vdist_cli serve FILE --events EVENTS_FILE\n"
+      "            [--policy repair|resolve|online] [--bound X]\n"
+      "            [--refresh N] [--check N] [--select S] [--json FILE|-]\n"
       "  vdist_cli sweep --plan FILE | --scenario NAME [--set k=v,...]\n"
       "            [--axis k=v1,v2[;k2=...]] [--algos a,b,c]\n"
       "            [--algo-axis algo:k=v1,v2[;...]] [--replicates N]\n"
       "            [--seed S] [--threads N] [--csv FILE|-] [--json FILE|-]\n"
       "  vdist_cli perf [--smoke 1] [--out FILE|-] [--reps N] [--seed S]\n"
-      "            [--min-speedup X] [--baseline FILE] [--max-regress R]\n"
-      "            [--regress-metric both|wall|evals]\n"
+      "            [--filter SUBSTR] [--min-speedup X] [--baseline FILE]\n"
+      "            [--max-regress R] [--regress-metric both|wall|evals]\n"
       "  vdist_cli eval FILE --assignment ASSIGNMENT_FILE\n\n"
       "'gen' resolves --kind through the scenario registry ('vdist_cli\n"
       "scenarios' lists every workload family with its declared params)\n"
@@ -489,13 +662,21 @@ int cmd_help(std::ostream& os) {
       "product from a plan file or flags, runs it on a thread pool, and\n"
       "prints per-cell aggregates (mean/min/max objective, gap vs the\n"
       "utility upper bound, wall time); --csv/--json write the table for\n"
-      "plotting ('-' = stdout). 'perf' benchmarks the selection-kernel\n"
+      "plotting ('-' = stdout). 'gen-events' draws a deterministic churn\n"
+      "trace (joins, leaves, stream add/remove, capacity and utility\n"
+      "moves) over an instance; 'serve' replays such a trace through the\n"
+      "serving-session API (engine/session.h) under one of three repair\n"
+      "policies and emits objective-over-time JSON — with --check N the\n"
+      "session is compared against a from-scratch solve every N events\n"
+      "(resolve must match bit-exactly, repair must stay within --bound;\n"
+      "exit 4 on violation). 'perf' benchmarks the selection-kernel\n"
       "strategies (delta/lazy/naive) on scaling registered scenarios and\n"
       "writes BENCH_perf.json with build provenance (exit 3 when the\n"
       "objectives diverge, the largest case's delta-vs-naive speedup\n"
       "falls below --min-speedup, or — with --baseline FILE — any\n"
       "matching case's wall or evals ratio against the committed BENCH\n"
-      "JSON exceeds --max-regress, default 2). 'solve\n"
+      "JSON exceeds --max-regress, default 2); --filter SUBSTR runs the\n"
+      "matching subset of case labels. 'solve\n"
       "--export 1' writes the assignment to stdout in the text format of\n"
       "src/io/instance_io.h; 'eval' validates such a file against the\n"
       "instance (exit 2 if infeasible).\n";
@@ -508,10 +689,12 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   try {
     if (args.command == "gen") return cmd_gen(args);
+    if (args.command == "gen-events") return cmd_gen_events(args);
     if (args.command == "scenarios") return cmd_scenarios();
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "algos") return cmd_algos();
     if (args.command == "solve") return cmd_solve(args);
+    if (args.command == "serve") return cmd_serve(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "perf") return cmd_perf(args);
     if (args.command == "eval") return cmd_eval(args);
