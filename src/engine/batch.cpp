@@ -51,6 +51,8 @@ std::vector<SolveResult> BatchRunner::run(
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= requests.size()) return;
       SolveRequest req = requests[i];
+      // Only `seed` is decorrelated; `workload_seed` passes through so
+      // paired cells replay identical generated workloads (solver.h).
       req.seed = derive_seed(options_.base_seed, i, requests[i].seed);
       if (req.workspace == nullptr) req.workspace = &workspace;
       // Batch cells never read per-pick traces; recording them across a

@@ -27,7 +27,17 @@
 //     "cases": [{
 //       "label": str, "scenario": str, "algorithm": str,
 //       "streams": N, "users": N, "edges": N,
-//       "delta": {"wall_ms": x, "objective": x, "picks": n, "evals": n},
+//       "threads": N,        // worker threads the case runs on: the
+//                            // serve cases' shards option (1 = the
+//                            // single-session engine); always 1 for the
+//                            // offline solvers. Recorded per case so a
+//                            // wall-ms delta against a baseline entry
+//                            // with a different thread count is visibly
+//                            // not a like-for-like comparison.
+//       "delta": {"wall_ms": x, "objective": x, "picks": n, "evals": n,
+//                 "events_per_sec": x},  // serve cases: events stat /
+//                                        // event-apply seconds
+//                                        // (repair_wall_ms); 0 elsewhere
 //       "lazy":  {...}, "naive": {...},
 //       "speedup": x,        // naive.wall_ms / delta.wall_ms
 //       "speedup_lazy": x,   // naive.wall_ms / lazy.wall_ms
@@ -36,8 +46,10 @@
 //     "largest": {"label": str, "streams": N, "speedup": x,
 //                 "objective_match": bool}   // case with most streams
 //   }
-// Pre-PR-4 documents lack "delta"/"provenance"; the baseline differ
-// falls back to "lazy" as the primary measurement for those.
+// Pre-PR-4 documents lack "delta"/"provenance"; pre-PR-6 documents lack
+// "threads"/"events_per_sec"; the baseline differ falls back to "lazy"
+// as the primary measurement for the former and never gates on the
+// latter (throughput is reported, not diffed).
 #pragma once
 
 #include <cstdint>
@@ -84,6 +96,10 @@ struct PerfMeasurement {
   double objective = 0.0;
   double picks = 0.0;  // selection-kernel pop_best() count
   double evals = 0.0;  // effectiveness (re-)evaluations
+  // Serve cases: events applied per second of event-apply wall time
+  // (the "events" stat over "repair_wall_ms"; best repetition). 0 for
+  // algorithms without an event loop.
+  double events_per_sec = 0.0;
 };
 
 struct PerfCase {
@@ -93,6 +109,11 @@ struct PerfCase {
   std::size_t streams = 0;
   std::size_t users = 0;
   std::size_t edges = 0;
+  // Worker threads the case solves on (the serve cases' `shards`
+  // option; 1 everywhere else). Bugfix: earlier BENCH documents never
+  // recorded this, leaving multi-threaded and single-threaded walls
+  // indistinguishable in the trajectory.
+  unsigned threads = 1;
   PerfMeasurement delta;
   PerfMeasurement lazy;
   PerfMeasurement naive;

@@ -2,6 +2,7 @@
 // SolveOptions keys onto the algorithm's native option struct and folds
 // its native result into a SolveOutcome; nothing here contains algorithm
 // logic.
+#include <memory>
 #include <utility>
 
 #include "core/allocate_online.h"
@@ -13,7 +14,7 @@
 #include "core/skew_bands.h"
 #include "engine/builtin_solvers.h"
 #include "engine/registry.h"
-#include "engine/session.h"
+#include "engine/serving.h"
 #include "gen/events.h"
 #include "util/rng.h"
 
@@ -172,49 +173,47 @@ SolveOutcome run_online(const SolveRequest& req) {
   return out;
 }
 
-// The serving session as a sweepable solver: derive a deterministic churn
-// trace from (instance, seed), replay it through an engine::Session under
-// the requested repair policy, and report the end-state solution plus the
-// session's repair accounting. This is how BatchRunner sweeps exercise
-// the dynamic setting without a side-channel event file.
+// The serving backend as a sweepable solver: derive a deterministic churn
+// trace from (instance, seed, trace overrides), replay it through a
+// make_backend() ServingBackend under the requested repair policy and
+// shard count, and report the end-state solution plus the backend's
+// repair accounting. This is how BatchRunner sweeps exercise the dynamic
+// setting without a side-channel event file.
 SolveOutcome run_serve(const SolveRequest& req) {
-  SessionOptions sopts;
-  sopts.policy = parse_serve_policy(req.options.get("policy", "repair"));
-  sopts.quality_bound =
-      req.options.get_double("bound", sopts.quality_bound);
-  sopts.refresh_interval = static_cast<int>(
-      req.options.get_int("refresh", sopts.refresh_interval));
-  sopts.mode = parse_mode(req.options);
-  const core::GreedyOptions greedy = greedy_options(req);
-  sopts.strategy = greedy.strategy;
-  sopts.workspace = greedy.workspace;
-  sopts.mu = req.options.get_double("mu", 0.0);
-  sopts.guard = req.options.get_bool("guard", true);
+  ServeConfig cfg = ServeConfig::from_options(req.options);
+  // Share the batch runner's per-thread workspace like every adapter.
+  cfg.workspace = greedy_options(req).workspace;
 
   gen::EventTraceConfig ecfg;
-  ecfg.num_events = static_cast<std::size_t>(
-      req.options.get_int("events", 200));
-  ecfg.seed = req.seed;
+  ecfg.num_events = cfg.events;
+  // The trace is the workload, not solver randomness: prefer the paired
+  // workload_seed (sweeps set it per replicate, batch-index-stable) so
+  // every algorithm cell of a replicate churns the identical trace.
+  ecfg.seed = req.workload_seed != 0 ? req.workload_seed : req.seed;
+  // --trace key=value,... overrides any trace knob, including events and
+  // seed — a plan line reproduces the exact workload.
+  gen::apply_event_trace_overrides(ecfg, cfg.trace);
   const std::vector<model::InstanceEvent> trace =
       gen::make_event_trace(*req.instance, ecfg);
 
-  Session session(*req.instance, sopts);
+  const std::unique_ptr<ServingBackend> backend =
+      make_backend(*req.instance, cfg);
   double objective_sum = 0.0;
   double repair_wall_ms = 0.0;
   for (const model::InstanceEvent& event : trace) {
-    const RepairStats stats = session.apply(event);
+    const RepairStats stats = backend->apply(event);
     objective_sum += stats.objective;
     repair_wall_ms += stats.wall_ms;
   }
 
-  SolveOutcome out{session.assignment()};
-  out.objective = session.objective();
-  out.variant = session.variant();
+  SolveOutcome out{backend->assignment()};
+  out.objective = backend->objective();
+  out.variant = backend->variant();
   if (req.validate) {
-    // Judge feasibility against the world the session actually serves —
-    // the event-churned overlay — not the pre-churn parent, whose caps
+    // Judge feasibility against the world the backend actually serves —
+    // the event-churned state — not the pre-churn parent, whose caps
     // and utilities the trace has since moved.
-    const model::Instance snapshot = session.overlay().materialize();
+    const model::Instance snapshot = backend->snapshot();
     model::Assignment on_snapshot(snapshot);
     for (std::size_t u = 0; u < snapshot.num_users(); ++u)
       for (const model::StreamId s :
@@ -225,7 +224,7 @@ SolveOutcome run_serve(const SolveRequest& req) {
     out.stats["violations"] =
         static_cast<double>(report.violations.size());
   }
-  const SessionCounters& counters = session.counters();
+  const SessionCounters& counters = backend->counters();
   out.stats["events"] = static_cast<double>(counters.events);
   out.stats["local_repairs"] = static_cast<double>(counters.local_repairs);
   out.stats["full_resolves"] = static_cast<double>(counters.full_resolves);
@@ -234,11 +233,12 @@ SolveOutcome run_serve(const SolveRequest& req) {
       static_cast<double>(counters.online_accepts);
   out.stats["online_rejects"] =
       static_cast<double>(counters.online_rejects);
+  out.stats["shards"] = static_cast<double>(backend->num_shards());
   out.stats["repair_wall_ms"] = repair_wall_ms;
   if (!trace.empty())
     out.stats["objective_mean"] =
         objective_sum / static_cast<double>(trace.size());
-  report_select(out, session.select_stats());
+  report_select(out, backend->select_stats());
   return out;
 }
 
@@ -311,15 +311,15 @@ void register_core_solvers(SolverRegistry& r) {
         run_exact);
   r.add({.name = "serve",
          .description =
-             "serving session (engine/session.h): replay a seed-derived "
-             "churn trace through the repair|resolve|online policy; "
-             "options: policy, events, bound, refresh, mode, select, mu, "
-             "guard; stats: events, local_repairs, full_resolves, "
-             "drift_checks, repair_wall_ms, objective_mean",
+             "serving backend (engine/serving.h): replay a seed-derived "
+             "churn trace through the repair|resolve|online policy, "
+             "sharded when --shards > 1; options: policy, events, bound, "
+             "refresh, mode, select, mu, guard, shards, queue, trace; "
+             "stats: events, local_repairs, full_resolves, drift_checks, "
+             "shards, repair_wall_ms, objective_mean",
          .form = InstanceForm::kUnitSkew,
          .deterministic = false,
-         .option_keys = {"policy", "events", "bound", "refresh", "mode",
-                         "select", "mu", "guard"}},
+         .option_keys = ServeConfig::option_keys()},
         run_serve);
   r.add({.name = "online",
          .description =

@@ -325,6 +325,12 @@ model::Instance build_churn(const ScenarioSpec& spec) {
   gen::EventTraceConfig cfg;
   cfg.num_events = get_size(spec.params, "events");
   cfg.seed = spec.seed;
+  // `trace` reuses the declared gen-events param surface (event-mix
+  // weights, scale ranges, events/seed), so a plan can reshape the churn
+  // the same way the CLI's gen-events flags and the serve solver's
+  // `trace` option do. Overrides win over the scenario-level knobs.
+  const std::string trace = spec.params.get("trace", "-");
+  if (trace != "-") gen::apply_event_trace_overrides(cfg, trace);
   model::InstanceOverlay overlay(inst);
   for (const model::InstanceEvent& event : gen::make_event_trace(inst, cfg))
     overlay.apply(event);
@@ -475,7 +481,11 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
                "forwarded to the base scenario (\"-\" = base default)"},
               {"budget-fraction", "-",
                "forwarded to the base scenario (\"-\" = base default)"},
-              {"events", "60", "number of churn events to replay"}}},
+              {"events", "60", "number of churn events to replay"},
+              {"trace", "-",
+               "comma-separated gen-events key=value overrides (event-mix "
+               "weights, scale ranges, events/seed; see 'vdist_cli "
+               "gen-events'); \"-\" = defaults"}}},
         build_churn);
   r.add({.name = "trace",
          .description =

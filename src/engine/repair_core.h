@@ -1,0 +1,169 @@
+// The §2 greedy's live repair state, extracted from engine::Session so
+// the sharded coordinator (engine/sharded_session.h) can run the
+// *identical* arithmetic over its gathered arrays.
+//
+// WorldRef is the seam: a read-only binding of the serving world — the
+// structural base plus the four effective arrays an InstanceOverlay (or
+// the sharded gather) maintains. RepairCore holds everything the
+// incremental repair needs between events (per-user residuals, the added
+// sequence, pool residual utilities w̄, budget accounting) and exposes the
+// event lifecycle as pre_event / post_event around the caller's world
+// mutation. Keeping the arithmetic in one class is what makes the
+// single-shard and sharded repair paths bit-identical per shard count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/select.h"
+#include "engine/serving.h"
+#include "model/events.h"
+#include "model/instance.h"
+#include "model/view.h"
+
+namespace vdist::engine {
+
+// Read-only view of the live serving world: the structural base plus the
+// effective per-entity arrays (what InstanceOverlay::view() binds, and
+// what the sharded coordinator gathers from the shard owners).
+struct WorldRef {
+  const model::Instance* base = nullptr;
+  std::span<const double> edge_utility;   // effective, per base edge
+  std::span<const double> total_utility;  // effective, per stream
+  std::span<const double> capacity;       // effective, per user
+  std::span<const char> stream_alive;
+
+  [[nodiscard]] std::size_t num_users() const noexcept {
+    return capacity.size();
+  }
+  [[nodiscard]] std::size_t num_streams() const noexcept {
+    return total_utility.size();
+  }
+  [[nodiscard]] double budget() const noexcept { return base->budget(0); }
+  [[nodiscard]] bool alive(model::StreamId s) const noexcept {
+    return stream_alive[static_cast<std::size_t>(s)] != 0;
+  }
+  // Effective utility of the (u, s) pair; 0 when absent.
+  [[nodiscard]] double pair_utility(model::UserId u,
+                                    model::StreamId s) const noexcept;
+  [[nodiscard]] model::InstanceView view() const noexcept {
+    return model::InstanceView(*base, edge_utility, total_utility, capacity);
+  }
+};
+
+class RepairCore {
+ public:
+  // Per-call solve context (the owner's knobs; never stored).
+  struct Context {
+    core::SolveWorkspace* workspace = nullptr;
+    core::SelectStrategy strategy = core::SelectStrategy::kDeltaHeap;
+    core::SmdMode mode = core::SmdMode::kFeasible;
+  };
+
+  // Pre-mutation snapshot for one event. The caller must have validated
+  // the event's ids against the world first; pre_event() reads them.
+  struct PreEvent {
+    bool user_event = false;
+    bool appends_user = false;
+    bool appends_stream = false;
+    std::size_t old_num_users = 0;
+    double old_clamp = 0.0;   // touched user's clamped residual
+    double old_cap = 0.0;     // touched user's effective cap
+    double old_pair_w = 0.0;  // kUtilityChange: the pair's old value
+  };
+
+  // Per-user terms of the Theorem 2.8 race, summed over [u_begin, u_end)
+  // in user order — the sharded winner reduction's partial.
+  struct WinnerPartial {
+    double capped = 0.0;  // greedy capped utility
+    core::SplitValues split;
+  };
+  // First-max argmax of the (effective) stream totals over a range.
+  struct AmaxPartial {
+    model::StreamId best = model::kInvalidStream;
+    double total = -1.0;
+  };
+
+  // From-scratch rebuild: engine-identical init (pool w̄ = effective
+  // totals, tombstoned streams start dead at 0) + greedy completion.
+  void resolve(const WorldRef& w, const Context& ctx,
+               core::SelectStats& select);
+
+  [[nodiscard]] PreEvent pre_event(const WorldRef& w,
+                                   const model::InstanceEvent& event);
+  // Finishes the incremental repair after the caller mutated the world
+  // (and, on appends, rebound `w` to the rebuilt base). Fills
+  // stats.users_refreshed / streams_released / streams_added.
+  void post_event(const WorldRef& w, const model::InstanceEvent& event,
+                  const PreEvent& pre, const Context& ctx,
+                  core::SelectStats& select, RepairStats& stats);
+
+  // The race value of the maintained state; sets *variant to the winner.
+  [[nodiscard]] double winner_objective(const WorldRef& w, core::SmdMode mode,
+                                        const char** variant) const;
+
+  // The race, in parallel-reducible pieces. Chunked partials combined in
+  // chunk order reproduce the serial winner_objective() exactly when the
+  // chunks tile the ranges in order (and bit-identically for one chunk).
+  [[nodiscard]] WinnerPartial winner_partial(const WorldRef& w,
+                                             std::size_t u_begin,
+                                             std::size_t u_end) const noexcept;
+  [[nodiscard]] static AmaxPartial amax_partial(const WorldRef& w,
+                                                std::size_t s_begin,
+                                                std::size_t s_end) noexcept;
+  // Values the Amax candidate: sum_u min(W_u, w_us) over the best
+  // stream's live pairs.
+  [[nodiscard]] static double amax_value(const WorldRef& w,
+                                         const AmaxPartial& best) noexcept;
+  [[nodiscard]] static double race(const WinnerPartial& acc, double w_amax,
+                                   core::SmdMode mode,
+                                   const char** variant) noexcept;
+
+  // The maintained semi-feasible assignment (the race's greedy input).
+  [[nodiscard]] model::Assignment build_semi(const WorldRef& w) const;
+
+ private:
+  [[nodiscard]] std::size_t run_completion(const WorldRef& w,
+                                           const Context& ctx,
+                                           core::SelectStats& select);
+  void reset(const WorldRef& w);
+  void rebind(const WorldRef& w);
+  void refresh_cost_arrays(const WorldRef& w);
+  void refresh_user(const WorldRef& w, model::UserId u, double old_clamp,
+                    const double* old_w);
+  void add_stream_state(const WorldRef& w, model::StreamId s, double cost,
+                        core::StreamSelector* selector);
+
+  // Mirrors GreedyEngine's invariants, owner-held so fresh scoring solves
+  // can share the workspace without clobbering it.
+  std::vector<double> rem_;          // per user: cap - assigned w
+  std::vector<double> user_w_;       // per user: assigned (current) w
+  std::vector<double> user_last_w_;  // per user: last assigned pair's w
+  std::vector<std::vector<model::StreamId>> assigned_;  // per user, in order
+  std::vector<double> wbar_;                 // per stream (pool streams live)
+  std::vector<double> cost_;                 // per stream
+  std::vector<model::StreamId> cost_order_;  // ascending cost
+  std::vector<std::int32_t> added_seq_;      // per stream: add order, -1 = pool
+  std::int32_t next_seq_ = 0;
+  double used_ = 0.0;
+  // Per-event scratch: the touched user's pre-event pair utilities and
+  // the (add-sequence, adjacency-position) replay keys.
+  std::vector<double> snap_w_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> replay_;
+};
+
+// From-scratch §2.2 winner value of the world (scoring mode, no
+// assignment build) — the drift-check yardstick.
+[[nodiscard]] double fresh_winner_objective(const WorldRef& w,
+                                            const RepairCore::Context& ctx,
+                                            core::SelectStats& select);
+
+// The race winner as a concrete Assignment: the semi-feasible greedy
+// solution itself, one side of the Theorem 2.8 split, or Amax.
+[[nodiscard]] model::Assignment materialize_winner(
+    const model::InstanceView& view, model::Assignment semi,
+    const char* variant);
+
+}  // namespace vdist::engine

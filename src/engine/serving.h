@@ -1,0 +1,201 @@
+// The serving backend API: one interface over every engine that consumes
+// model::InstanceEvents and maintains a live Section-2 solution.
+//
+// PR 5's engine::Session is the single-shard implementation; this header
+// is the seam that makes horizontal scale a pure config flip. A
+// ServeConfig is the one typed home of every serve option — the solver
+// registry's `serve` adapter, `vdist_cli serve`, and sweep plan lines all
+// parse through ServeConfig::from_options(), so a typo'd key or a bad
+// value is rejected identically everywhere. make_backend() then returns
+//
+//   * engine::Session        when cfg.shards == 1 (engine/session.h), or
+//   * engine::ShardedSession when cfg.shards  > 1 (engine/sharded_session.h):
+//     users and streams hash-partitioned across N worker shards, events
+//     routed by entity id over bounded per-shard queues.
+//
+// The parity contract callers rely on: under ServePolicy::kResolve the
+// objective and pair set are bit-identical for every shard count at every
+// event prefix (the sharded coordinator re-solves the same gathered
+// arrays a single overlay would hold). Under kRepair each fixed shard
+// count is deterministic and drift-bounded, but float summation order —
+// and therefore the exact bits — may differ across shard counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/select.h"
+#include "engine/solver.h"
+#include "model/assignment.h"
+#include "model/events.h"
+#include "model/instance.h"
+
+namespace vdist::engine {
+
+enum class ServePolicy {
+  kRepair,   // incremental repair + drift-bounded resolves (default)
+  kResolve,  // from-scratch solve per event (differential baseline)
+  kOnline,   // §5 Allocate as the repair policy (never revokes)
+};
+
+// Parses "repair" / "resolve" / "online"; throws std::invalid_argument.
+[[nodiscard]] ServePolicy parse_serve_policy(const std::string& name);
+[[nodiscard]] const char* to_string(ServePolicy policy) noexcept;
+
+struct SessionOptions {
+  ServePolicy policy = ServePolicy::kRepair;
+  // kRepair: relative drift (fresh - current) / max(fresh, 1) tolerated
+  // before a drift check escalates to a full resolve.
+  double quality_bound = 0.05;
+  // kRepair: events between drift checks; 1 checks after every event
+  // (the parity-test setting), 0 never checks.
+  int refresh_interval = 64;
+  // Which §2.2 winner the session maintains: kFeasible races A1/A2/Amax,
+  // kAugmented races the semi-feasible greedy against Amax.
+  core::SmdMode mode = core::SmdMode::kFeasible;
+  core::SelectStrategy strategy = core::SelectStrategy::kDeltaHeap;
+  // Reusable scratch (one per thread, as everywhere); null = the session
+  // owns a private workspace. Must outlive the session.
+  core::SolveWorkspace* workspace = nullptr;
+  // kOnline knobs (Section 5): mu <= 0 derives the paper's value.
+  double mu = 0.0;
+  bool guard = true;
+  // Open with every stream tombstoned — admission-style serving where
+  // streams arrive through kStreamAdd events (the sim policy adapter).
+  bool open_empty = false;
+};
+
+enum class RepairAction {
+  kLocalRepair,  // touched users released + replayed, completion run
+  kFullResolve,  // from-scratch solve (kResolve always; kRepair on drift)
+  kOnlineStep,   // allocator offer/release/bookkeeping
+};
+
+// What one event cost and did.
+struct RepairStats {
+  RepairAction action = RepairAction::kLocalRepair;
+  double objective = 0.0;  // backend objective after the event
+  double wall_ms = 0.0;
+  std::size_t users_refreshed = 0;   // users released and replayed
+  std::size_t streams_released = 0;  // added streams given back
+  std::size_t streams_added = 0;     // streams admitted by the completion
+  bool drift_checked = false;
+  double drift = 0.0;  // meaningful when drift_checked
+};
+
+struct SessionCounters {
+  std::size_t events = 0;
+  std::size_t local_repairs = 0;
+  std::size_t full_resolves = 0;  // includes the opening solve
+  std::size_t drift_checks = 0;
+  std::size_t online_accepts = 0;
+  std::size_t online_rejects = 0;
+};
+
+// One declared serve option: the single source the registry's
+// option_keys, the CLI's known-flag set, and the help text derive from.
+struct ServeOptionSpec {
+  const char* key;
+  const char* fallback;
+  const char* description;
+};
+
+// Every serve knob, typed and validated in one place.
+struct ServeConfig {
+  ServePolicy policy = ServePolicy::kRepair;
+  double bound = 0.05;  // kRepair relative drift tolerance
+  int refresh = 64;     // kRepair events between drift checks (0 = never)
+  core::SmdMode mode = core::SmdMode::kFeasible;
+  core::SelectStrategy strategy = core::SelectStrategy::kDeltaHeap;
+  double mu = 0.0;   // kOnline learning rate (<= 0 derives the paper's)
+  bool guard = true;  // kOnline feasibility guard
+  // Shard count: 1 = single Session; > 1 = ShardedSession with one
+  // worker thread + overlay replica + workspace per shard.
+  int shards = 1;
+  // Bounded per-shard event-queue capacity (the router blocks when full).
+  std::size_t queue = 256;
+  // Registry-adapter knobs (`serve` derives a churn trace per request;
+  // the CLI replays an event file instead and ignores these).
+  std::size_t events = 200;
+  std::string trace;  // comma-separated gen-events key=value overrides
+
+  // Not option keys: adapter-level wiring.
+  core::SolveWorkspace* workspace = nullptr;
+  bool open_empty = false;
+
+  // The declared option surface, in help order.
+  [[nodiscard]] static std::span<const ServeOptionSpec> declared();
+  [[nodiscard]] static std::vector<std::string> option_keys();
+  // Parses + validates every declared key (unknown keys are the
+  // registry's / CLI's strict-mode concern; bad values throw
+  // std::invalid_argument here, with the same message everywhere).
+  [[nodiscard]] static ServeConfig from_options(const SolveOptions& opts);
+  // The single-shard engine's native option struct.
+  [[nodiscard]] SessionOptions session_options() const;
+};
+
+// What check_parity() found: the backend's maintained objective vs a
+// from-scratch solve of the materialized current world.
+struct ParityReport {
+  bool ok = true;
+  double current = 0.0;  // backend objective
+  double fresh = 0.0;    // from-scratch solve of snapshot()
+  double drift = 0.0;    // (fresh - current) / max(fresh, 1)
+  std::string detail;    // set when !ok
+};
+
+// The backend interface every serving engine implements. Lifetime and
+// threading contract: one logical caller (apply/assignment/check_parity
+// are not concurrently callable); implementations may own worker threads
+// internally.
+class ServingBackend {
+ public:
+  virtual ~ServingBackend() = default;
+
+  // Applies one event and repairs per the policy. Invalid ids throw
+  // std::invalid_argument with the backend state unchanged.
+  virtual RepairStats apply(const model::InstanceEvent& event) = 0;
+
+  // The maintained objective under the current world (see session.h for
+  // the per-policy definition).
+  [[nodiscard]] virtual double objective() const = 0;
+  // The maintained assignment, materialized lazily against instance().
+  // Valid until the next apply().
+  [[nodiscard]] virtual const model::Assignment& assignment() = 0;
+  // The current structural base (stable entity ids; rebuilt on appends).
+  [[nodiscard]] virtual const model::Instance& instance() const = 0;
+  [[nodiscard]] virtual ServePolicy policy() const = 0;
+  [[nodiscard]] virtual const SessionCounters& counters() const = 0;
+  [[nodiscard]] virtual const core::SelectStats& select_stats() const = 0;
+  // Which race candidate objective() reflects ("greedy", "A1", "A2",
+  // "Amax", or "online").
+  [[nodiscard]] virtual const char* variant() const = 0;
+  // From-scratch §2.2 winner value of the current world (scoring mode).
+  [[nodiscard]] virtual double fresh_objective() = 0;
+  [[nodiscard]] virtual int num_shards() const = 0;
+  // Bakes the current world into a standalone Instance (the validation /
+  // parity snapshot; bit-compatible with the live view while no live
+  // pair exceeds its cap — the event generator's guarantee).
+  [[nodiscard]] virtual model::Instance snapshot() const = 0;
+  // Solves snapshot() from scratch and compares: kResolve demands
+  // bit-equality, kRepair drift within bound (+1e-9 slack), kOnline is
+  // trivially ok (Allocate's competitiveness is not a per-event bound).
+  [[nodiscard]] virtual ParityReport check_parity() = 0;
+};
+
+// The config flip: Session for shards == 1, ShardedSession for > 1.
+// Requires a unit-skew cap-form parent that outlives the backend.
+[[nodiscard]] std::unique_ptr<ServingBackend> make_backend(
+    const model::Instance& parent, const ServeConfig& cfg);
+
+// Shared implementation of ServingBackend::check_parity().
+[[nodiscard]] ParityReport check_parity_against(
+    const model::Instance& snapshot, double current, ServePolicy policy,
+    core::SmdMode mode, core::SelectStrategy strategy,
+    core::SolveWorkspace* workspace, double bound);
+
+}  // namespace vdist::engine

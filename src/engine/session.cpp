@@ -12,59 +12,6 @@ using model::EventType;
 using model::InstanceEvent;
 using model::StreamId;
 using model::UserId;
-using util::approx_le;
-using util::kAbsEps;
-
-namespace {
-
-[[nodiscard]] double clamp0(double x) noexcept { return x > 0.0 ? x : 0.0; }
-
-// Values-only Amax of the solve_unit_skew race: the stream with the
-// largest (effective) total, valued as sum_u min(W_u, w_us) over its
-// live pairs — the same quantity core::best_single_stream +
-// view_capped_utility compute, without materializing an Assignment
-// (this runs once per event).
-[[nodiscard]] double amax_value(const model::InstanceView& view) {
-  StreamId best = model::kInvalidStream;
-  double best_total = -1.0;
-  for (std::size_t ss = 0; ss < view.num_streams(); ++ss) {
-    const double total = view.total_utility(static_cast<StreamId>(ss));
-    if (total > best_total) {
-      best_total = total;
-      best = static_cast<StreamId>(ss);
-    }
-  }
-  double w_amax = 0.0;
-  if (best != model::kInvalidStream && best_total > 0.0) {
-    for (model::EdgeId e = view.first_edge(best); e < view.last_edge(best);
-         ++e) {
-      const double w = view.edge_utility(e);
-      if (w > 0.0) w_amax += std::min(view.capacity(view.edge_user(e)), w);
-    }
-  }
-  return w_amax;
-}
-
-}  // namespace
-
-ServePolicy parse_serve_policy(const std::string& name) {
-  if (name == "repair") return ServePolicy::kRepair;
-  if (name == "resolve") return ServePolicy::kResolve;
-  if (name == "online") return ServePolicy::kOnline;
-  throw std::invalid_argument(
-      "option --policy expects repair|resolve|online, got '" + name + "'");
-}
-
-const char* to_string(ServePolicy policy) noexcept {
-  switch (policy) {
-    case ServePolicy::kRepair:
-      return "repair";
-    case ServePolicy::kResolve:
-      return "resolve";
-    default:
-      return "online";
-  }
-}
 
 Session::Session(const model::Instance& parent, SessionOptions opts)
     : opts_(opts), overlay_(parent) {
@@ -122,6 +69,12 @@ RepairStats Session::apply(const InstanceEvent& event) {
   return stats;
 }
 
+ParityReport Session::check_parity() {
+  return check_parity_against(overlay_.materialize(), objective_,
+                              opts_.policy, opts_.mode, opts_.strategy, ws_,
+                              opts_.quality_bound);
+}
+
 // --- kResolve ---------------------------------------------------------------
 
 void Session::resolve_apply() {
@@ -142,265 +95,17 @@ void Session::resolve_apply() {
 
 // --- kRepair ----------------------------------------------------------------
 
-void Session::refresh_cost_arrays() {
-  const model::Instance& inst = overlay_.instance();
-  const std::size_t S = overlay_.num_streams();
-  cost_.resize(S);
-  for (std::size_t s = 0; s < S; ++s)
-    cost_[s] = inst.cost(static_cast<StreamId>(s), 0);
-  cost_order_.resize(S);
-  for (std::size_t s = 0; s < S; ++s)
-    cost_order_[s] = static_cast<StreamId>(s);
-  std::sort(cost_order_.begin(), cost_order_.end(),
-            [&](StreamId a, StreamId b) {
-              const double ca = cost_[static_cast<std::size_t>(a)];
-              const double cb = cost_[static_cast<std::size_t>(b)];
-              if (ca != cb) return ca < cb;
-              return a < b;
-            });
-}
-
-void Session::reset_repair_arrays() {
-  const std::size_t U = overlay_.num_users();
-  const std::size_t S = overlay_.num_streams();
-  rem_.resize(U);
-  for (std::size_t u = 0; u < U; ++u)
-    rem_[u] = overlay_.capacity(static_cast<UserId>(u));
-  user_w_.assign(U, 0.0);
-  user_last_w_.assign(U, 0.0);
-  assigned_.resize(U);
-  for (auto& list : assigned_) list.clear();
-  // Engine-identical init: a pool stream's residual utility starts at its
-  // (effective) total — tombstoned streams start dead at 0.
-  wbar_.resize(S);
-  for (std::size_t s = 0; s < S; ++s)
-    wbar_[s] = overlay_.total_utility(static_cast<StreamId>(s));
-  refresh_cost_arrays();
-  added_seq_.assign(S, -1);
-  next_seq_ = 0;
-  used_ = 0.0;
-}
-
 void Session::full_resolve_repair() {
-  reset_repair_arrays();
-  run_completion();
-  objective_ = winner_objective();
+  repair_.resolve(world(), repair_context(), select_);
+  objective_ = repair_.winner_objective(world(), opts_.mode, &variant_);
   ++counters_.full_resolves;
 }
 
-// Re-derives every per-entity array after an overlay rebuild (append).
-// Entity ids are stable, so the assigned lists survive; the accounting
-// and the pool residuals are recomputed against the new edge-id space.
-void Session::rebind_after_rebuild() {
-  const model::Instance& inst = overlay_.instance();
-  const std::size_t U = overlay_.num_users();
-  const std::size_t S = overlay_.num_streams();
-  rem_.resize(U);
-  user_w_.resize(U);
-  user_last_w_.resize(U);
-  assigned_.resize(U);
-  const std::size_t old_S = added_seq_.size();
-  added_seq_.resize(S);
-  for (std::size_t s = old_S; s < S; ++s) added_seq_[s] = -1;
-  refresh_cost_arrays();
-  for (std::size_t uu = 0; uu < U; ++uu) {
-    const auto u = static_cast<UserId>(uu);
-    rem_[uu] = overlay_.capacity(u);
-    user_w_[uu] = 0.0;
-    user_last_w_[uu] = 0.0;
-    for (const StreamId s : assigned_[uu]) {
-      const double w = overlay_.pair_utility(u, s);
-      user_w_[uu] += w;
-      user_last_w_[uu] = w;
-      rem_[uu] -= w;
-    }
-  }
-  wbar_.assign(S, 0.0);
-  for (std::size_t ss = 0; ss < S; ++ss) {
-    const auto s = static_cast<StreamId>(ss);
-    if (added_seq_[ss] >= 0) continue;
-    double total = 0.0;
-    for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
-      const double w = overlay_.edge_utility(e);
-      if (w <= 0.0) continue;
-      const double c =
-          clamp0(rem_[static_cast<std::size_t>(inst.edge_user(e))]);
-      total += w < c ? w : c;
-    }
-    wbar_[ss] = total;
-  }
-}
-
-void Session::refresh_user(UserId u, double old_clamp, const double* old_w) {
-  const model::Instance& inst = overlay_.instance();
-  const auto uu = static_cast<std::size_t>(u);
-  const auto edges = inst.edges_of(u);
-  const auto streams = inst.streams_of(u);
-
-  // Release and replay the added sequence for this user alone.
-  assigned_[uu].clear();
-  user_w_[uu] = 0.0;
-  user_last_w_[uu] = 0.0;
-  rem_[uu] = overlay_.capacity(u);
-  replay_.clear();
-  for (std::size_t t = 0; t < edges.size(); ++t) {
-    const auto ss = static_cast<std::size_t>(streams[t]);
-    if (added_seq_[ss] >= 0 && overlay_.edge_utility(edges[t]) > 0.0)
-      replay_.emplace_back(added_seq_[ss], static_cast<std::int32_t>(t));
-  }
-  std::sort(replay_.begin(), replay_.end());
-  for (const auto& [seq, t] : replay_) {
-    if (rem_[uu] <= kAbsEps) break;
-    const double w = overlay_.edge_utility(edges[static_cast<std::size_t>(t)]);
-    assigned_[uu].push_back(streams[static_cast<std::size_t>(t)]);
-    user_w_[uu] += w;
-    user_last_w_[uu] = w;
-    rem_[uu] -= w;
-  }
-
-  // Exact w̄ deltas for the user's pool streams: contribution moved from
-  // min(w_old, old_clamp) to min(w_new, new_clamp).
-  const double new_clamp = clamp0(rem_[uu]);
-  for (std::size_t t = 0; t < edges.size(); ++t) {
-    const auto ss = static_cast<std::size_t>(streams[t]);
-    if (added_seq_[ss] >= 0 || !overlay_.stream_alive(streams[t])) continue;
-    const double w_new = overlay_.edge_utility(edges[t]);
-    const double w_old = old_w != nullptr ? old_w[t] : w_new;
-    const double contrib_new = w_new > 0.0 ? std::min(w_new, new_clamp) : 0.0;
-    const double contrib_old = w_old > 0.0 ? std::min(w_old, old_clamp) : 0.0;
-    const double delta = contrib_new - contrib_old;
-    if (delta != 0.0) wbar_[ss] += delta;
-  }
-}
-
-void Session::add_stream_state(StreamId s, double cost,
-                               core::StreamSelector* selector) {
-  const model::Instance& inst = overlay_.instance();
-  used_ += cost;
-  added_seq_[static_cast<std::size_t>(s)] = next_seq_++;
-  for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
-    const UserId u = inst.edge_user(e);
-    const auto uu = static_cast<std::size_t>(u);
-    const double w = overlay_.edge_utility(e);
-    if (rem_[uu] <= kAbsEps || w <= 0.0) continue;
-    assigned_[uu].push_back(s);
-    user_w_[uu] += w;
-    user_last_w_[uu] = w;
-    const double rem_old = rem_[uu];
-    rem_[uu] -= w;
-    const double rem_new_clamped = clamp0(rem_[uu]);
-    // The same per-pair delta arithmetic as GreedyEngine::add_stream —
-    // only pairs whose contribution actually changed are touched.
-    const auto adj_edges = inst.edges_of(u);
-    const auto adj_streams = inst.streams_of(u);
-    for (std::size_t t = 0; t < adj_edges.size(); ++t) {
-      const StreamId sp = adj_streams[t];
-      const auto sps = static_cast<std::size_t>(sp);
-      if (sp == s || added_seq_[sps] >= 0) continue;
-      const double we = overlay_.edge_utility(adj_edges[t]);
-      if (we <= rem_new_clamped) continue;  // contribution unchanged
-      const double before = we < rem_old ? we : rem_old;
-      wbar_[sps] += rem_new_clamped - before;
-      if (selector != nullptr && selector->contains(sp)) {
-        if (wbar_[sps] <= kAbsEps)
-          selector->remove(sp);
-        else
-          selector->update(sp, wbar_[sps]);
-      }
-    }
-  }
-  wbar_[static_cast<std::size_t>(s)] = 0.0;
-}
-
-std::size_t Session::run_completion() {
-  const std::size_t S = wbar_.size();
-  core::StreamSelector selector;
-  selector.reset(*ws_, wbar_, cost_, opts_.strategy);
-  for (std::size_t s = 0; s < S; ++s)
-    if (added_seq_[s] >= 0 || wbar_[s] <= kAbsEps)
-      selector.remove(static_cast<StreamId>(s));
-
-  const double B = overlay_.budget();
-  std::size_t added = 0;
-  std::size_t cursor = 0;
-  for (;;) {
-    // Bulk budget cutoff, as in the untraced GreedyEngine::run(): once
-    // the cheapest pool stream no longer fits, nothing ever will.
-    while (cursor < cost_order_.size() &&
-           !selector.contains(cost_order_[cursor]))
-      ++cursor;
-    if (cursor >= cost_order_.size()) break;
-    if (!approx_le(
-            used_ + cost_[static_cast<std::size_t>(cost_order_[cursor])], B))
-      break;
-    const StreamId best = selector.pop_best();
-    if (best == model::kInvalidStream) break;
-    if (wbar_[static_cast<std::size_t>(best)] <= kAbsEps) break;
-    if (!approx_le(used_ + cost_[static_cast<std::size_t>(best)], B))
-      continue;  // skipped this round; future events may readmit it
-    add_stream_state(best, cost_[static_cast<std::size_t>(best)], &selector);
-    ++added;
-  }
-  select_.merge(selector.stats());
-  return added;
-}
-
-double Session::winner_objective() {
-  const std::size_t U = overlay_.num_users();
-  // Greedy capped utility and the Theorem 2.8 split, from the session's
-  // accumulators (the same race solve_unit_skew runs).
-  double capped = 0.0;
-  core::SplitValues split;
-  for (std::size_t uu = 0; uu < U; ++uu) {
-    const double w = user_w_[uu];
-    if (w <= 0.0) continue;
-    const double cap = overlay_.capacity(static_cast<UserId>(uu));
-    capped += std::min(cap, w);
-    const double last = user_last_w_[uu];
-    if (last <= 0.0) continue;
-    split.w2 += last;
-    split.w1 += !approx_le(w, cap) ? w - last : w;
-  }
-  const double w_amax = amax_value(overlay_.view());
-  if (opts_.mode == core::SmdMode::kAugmented) {
-    if (capped >= w_amax) {
-      variant_ = "greedy";
-      return capped;
-    }
-    variant_ = "Amax";
-    return w_amax;
-  }
-  if (split.w1 >= split.w2 && split.w1 >= w_amax) {
-    variant_ = "A1";
-    return split.w1;
-  }
-  if (split.w2 >= w_amax) {
-    variant_ = "A2";
-    return split.w2;
-  }
-  variant_ = "Amax";
-  return w_amax;
-}
-
 double Session::fresh_objective() {
-  const model::InstanceView view = overlay_.view();
-  core::GreedyOptions gopts;
-  gopts.strategy = opts_.strategy;
-  gopts.workspace = ws_;
-  gopts.record_trace = false;
-  gopts.build_assignment = false;  // scoring mode: values only
-  core::GreedyEngine engine(view, *ws_, gopts);
-  engine.run();
-  select_.merge(engine.result().select);
-  const core::SplitValues split = engine.split_values();
-  const double w_amax = amax_value(view);
-  if (opts_.mode == core::SmdMode::kAugmented)
-    return std::max(engine.capped_utility(), w_amax);
-  return std::max({split.w1, split.w2, w_amax});
+  return fresh_winner_objective(world(), repair_context(), select_);
 }
 
 void Session::repair_apply(const InstanceEvent& event, RepairStats& stats) {
-  const model::Instance& inst = overlay_.instance();
   const std::size_t U = overlay_.num_users();
   const std::size_t S = overlay_.num_streams();
   const EventType type = event.type;
@@ -430,103 +135,13 @@ void Session::repair_apply(const InstanceEvent& event, RepairStats& stats) {
     throw std::logic_error("Session: overlay accepted an out-of-range id");
   }
 
-  bool needs_completion = false;
+  const RepairCore::PreEvent pre = repair_.pre_event(world(), event);
+  overlay_.apply(event);
+  repair_.post_event(world(), event, pre, repair_context(), select_, stats);
 
-  if (appends_user || appends_stream) {
-    overlay_.apply(event);
-    rebind_after_rebuild();
-    if (appends_user) {
-      const auto u = static_cast<UserId>(U);
-      refresh_user(u, clamp0(rem_[U]), nullptr);
-      stats.users_refreshed = 1;
-    }
-    needs_completion = true;
-  } else if (user_event) {
-    const auto u = event.user;
-    const auto uu = static_cast<std::size_t>(u);
-    // Pre-event snapshot: clamped residual and per-adjacency utilities.
-    const double old_clamp = clamp0(rem_[uu]);
-    const double old_cap = overlay_.capacity(u);
-    const auto edges = inst.edges_of(u);
-    snap_w_.resize(edges.size());
-    for (std::size_t t = 0; t < edges.size(); ++t)
-      snap_w_[t] = overlay_.edge_utility(edges[t]);
-    double old_pair_w = 0.0;
-    if (type == EventType::kUtilityChange)
-      old_pair_w = overlay_.pair_utility(u, event.stream);
-
-    overlay_.apply(event);
-
-    refresh_user(u, old_clamp, snap_w_.data());
-    stats.users_refreshed = 1;
-    switch (type) {
-      case EventType::kUserJoin:
-        needs_completion = true;
-        break;
-      case EventType::kUserLeave:
-        needs_completion = false;  // w̄ only decreased, budget unchanged
-        break;
-      case EventType::kCapacityChange:
-        needs_completion = overlay_.capacity(u) > old_cap;
-        break;
-      case EventType::kUtilityChange: {
-        const double new_w = event.value;
-        const bool on_added =
-            added_seq_[static_cast<std::size_t>(event.stream)] >= 0;
-        // More room appears when an assigned pair shrinks (capacity is
-        // freed) or a pool pair grows (the pool stream got stronger).
-        needs_completion = on_added ? new_w < old_pair_w
-                                    : new_w > old_pair_w;
-        break;
-      }
-      default:
-        break;
-    }
-  } else if (type == EventType::kStreamRemove) {
-    const StreamId s = event.stream;
-    const auto ss = static_cast<std::size_t>(s);
-    overlay_.apply(event);
-    if (added_seq_[ss] >= 0) {
-      // Release: give the stream back, refresh every user it served.
-      // Pool deltas only depend on each user's residual change (the
-      // other pairs' utilities are untouched), so no utility snapshot.
-      added_seq_[ss] = -1;
-      used_ -= cost_[ss];
-      stats.streams_released = 1;
-      for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s);
-           ++e) {
-        const UserId u = inst.edge_user(e);
-        const auto uu = static_cast<std::size_t>(u);
-        const auto& list = assigned_[uu];
-        if (std::find(list.begin(), list.end(), s) == list.end()) continue;
-        refresh_user(u, clamp0(rem_[uu]), nullptr);
-        ++stats.users_refreshed;
-      }
-      needs_completion = true;  // budget and capacity were freed
-    }
-    wbar_[ss] = 0.0;
-  } else {  // kStreamAdd restore
-    const StreamId s = event.stream;
-    const auto ss = static_cast<std::size_t>(s);
-    overlay_.apply(event);
-    // The restored stream re-enters the pool mid-solve: its residual is
-    // what the current residual caps leave it.
-    double total = 0.0;
-    for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
-      const double w = overlay_.edge_utility(e);
-      if (w <= 0.0) continue;
-      const double c =
-          clamp0(rem_[static_cast<std::size_t>(inst.edge_user(e))]);
-      total += w < c ? w : c;
-    }
-    wbar_[ss] = total;
-    needs_completion = true;
-  }
-
-  if (needs_completion) stats.streams_added = run_completion();
   stats.action = RepairAction::kLocalRepair;
   ++counters_.local_repairs;
-  objective_ = winner_objective();
+  objective_ = repair_.winner_objective(world(), opts_.mode, &variant_);
 
   if (opts_.refresh_interval > 0 &&
       counters_.events % static_cast<std::size_t>(opts_.refresh_interval) ==
@@ -687,21 +302,8 @@ const model::Assignment& Session::assignment() {
   }
   // kRepair: build the maintained semi-feasible assignment, then hand
   // back the same race winner objective() reflects.
-  model::Assignment semi(overlay_.instance());
-  for (std::size_t uu = 0; uu < assigned_.size(); ++uu)
-    for (const StreamId s : assigned_[uu])
-      semi.assign(static_cast<UserId>(uu), s);
-  const model::InstanceView view = overlay_.view();
-  const std::string variant = variant_;
-  if (variant == "greedy") {
-    assignment_ = std::move(semi);
-  } else if (variant == "A1") {
-    assignment_ = core::materialize_split(view, semi, /*keep_rest=*/true);
-  } else if (variant == "A2") {
-    assignment_ = core::materialize_split(view, semi, /*keep_rest=*/false);
-  } else {
-    assignment_ = core::best_single_stream(view);
-  }
+  assignment_ = materialize_winner(overlay_.view(),
+                                   repair_.build_semi(world()), variant_);
   return *assignment_;
 }
 

@@ -8,16 +8,17 @@
 //
 //   * kRepair (default) — incremental repair. The session keeps the §2
 //     greedy's live state (per-user residual caps, per-stream residual
-//     utility w̄, the added-stream sequence) and reacts to an event by
-//     releasing only the touched users/streams: the affected user's pairs
-//     are replayed against the unchanged added sequence (O(deg)), each w̄
-//     delta is propagated exactly (the same arithmetic as
-//     GreedyEngine::add_stream, reported through StreamSelector::update),
-//     and a greedy *completion* reconsiders the pool only when the event
-//     could have opened room (joins, restores, freed budget/capacity).
-//     Every `refresh_interval` events the session scores a from-scratch
-//     greedy (scoring mode, no assignment build); relative drift beyond
-//     `quality_bound` triggers a full resolve that rebuilds the state.
+//     utility w̄, the added-stream sequence — engine/repair_core.h) and
+//     reacts to an event by releasing only the touched users/streams: the
+//     affected user's pairs are replayed against the unchanged added
+//     sequence (O(deg)), each w̄ delta is propagated exactly (the same
+//     arithmetic as GreedyEngine::add_stream, reported through
+//     StreamSelector::update), and a greedy *completion* reconsiders the
+//     pool only when the event could have opened room (joins, restores,
+//     freed budget/capacity). Every `refresh_interval` events the session
+//     scores a from-scratch greedy (scoring mode, no assignment build);
+//     relative drift beyond `quality_bound` triggers a full resolve that
+//     rebuilds the state.
 //   * kResolve — per-event from-scratch solve_unit_skew on the overlay
 //     view: bit-identical to a one-shot `greedy` solve of the overlay's
 //     materialized instance after every event (the differential anchor,
@@ -32,6 +33,10 @@
 // the *current* overlay: for kRepair/kResolve the Theorem 2.8 feasible
 // winner (or the Corollary 2.7 semi-feasible one under kAugmented); for
 // kOnline the capped utility of the accepted pairs.
+//
+// Session is the single-shard engine::ServingBackend (engine/serving.h);
+// engine::ShardedSession is the N-shard one. Construct through
+// make_backend() unless the concrete type is needed.
 #pragma once
 
 #include <cstdint>
@@ -43,72 +48,14 @@
 #include "core/allocate_online.h"
 #include "core/greedy.h"
 #include "core/select.h"
+#include "engine/repair_core.h"
+#include "engine/serving.h"
 #include "model/events.h"
 #include "model/overlay.h"
 
 namespace vdist::engine {
 
-enum class ServePolicy {
-  kRepair,   // incremental repair + drift-bounded resolves (default)
-  kResolve,  // from-scratch solve per event (differential baseline)
-  kOnline,   // §5 Allocate as the repair policy (never revokes)
-};
-
-// Parses "repair" / "resolve" / "online"; throws std::invalid_argument.
-[[nodiscard]] ServePolicy parse_serve_policy(const std::string& name);
-[[nodiscard]] const char* to_string(ServePolicy policy) noexcept;
-
-struct SessionOptions {
-  ServePolicy policy = ServePolicy::kRepair;
-  // kRepair: relative drift (fresh - current) / max(fresh, 1) tolerated
-  // before a drift check escalates to a full resolve.
-  double quality_bound = 0.05;
-  // kRepair: events between drift checks; 1 checks after every event
-  // (the parity-test setting), 0 never checks.
-  int refresh_interval = 64;
-  // Which §2.2 winner the session maintains: kFeasible races A1/A2/Amax,
-  // kAugmented races the semi-feasible greedy against Amax.
-  core::SmdMode mode = core::SmdMode::kFeasible;
-  core::SelectStrategy strategy = core::SelectStrategy::kDeltaHeap;
-  // Reusable scratch (one per thread, as everywhere); null = the session
-  // owns a private workspace. Must outlive the session.
-  core::SolveWorkspace* workspace = nullptr;
-  // kOnline knobs (Section 5): mu <= 0 derives the paper's value.
-  double mu = 0.0;
-  bool guard = true;
-  // Open with every stream tombstoned — admission-style serving where
-  // streams arrive through kStreamAdd events (the sim policy adapter).
-  bool open_empty = false;
-};
-
-enum class RepairAction {
-  kLocalRepair,  // touched users released + replayed, completion run
-  kFullResolve,  // from-scratch solve (kResolve always; kRepair on drift)
-  kOnlineStep,   // allocator offer/release/bookkeeping
-};
-
-// What one event cost and did.
-struct RepairStats {
-  RepairAction action = RepairAction::kLocalRepair;
-  double objective = 0.0;  // session objective after the event
-  double wall_ms = 0.0;
-  std::size_t users_refreshed = 0;   // users released and replayed
-  std::size_t streams_released = 0;  // added streams given back
-  std::size_t streams_added = 0;     // streams admitted by the completion
-  bool drift_checked = false;
-  double drift = 0.0;  // meaningful when drift_checked
-};
-
-struct SessionCounters {
-  std::size_t events = 0;
-  std::size_t local_repairs = 0;
-  std::size_t full_resolves = 0;  // includes the opening solve
-  std::size_t drift_checks = 0;
-  std::size_t online_accepts = 0;
-  std::size_t online_rejects = 0;
-};
-
-class Session {
+class Session final : public ServingBackend {
  public:
   // Requires parent.is_smd() && parent.is_unit_skew() (throws
   // std::invalid_argument otherwise). The parent must outlive the
@@ -121,39 +68,52 @@ class Session {
   // Applies one event and repairs per the policy. Invalid ids throw
   // std::invalid_argument (the overlay's validation) with the session
   // state unchanged.
-  RepairStats apply(const model::InstanceEvent& event);
+  RepairStats apply(const model::InstanceEvent& event) override;
 
   // The session objective under the current overlay (see the header
   // comment); maintained by apply().
-  [[nodiscard]] double objective() const noexcept { return objective_; }
+  [[nodiscard]] double objective() const noexcept override {
+    return objective_;
+  }
 
   // The maintained assignment, materialized lazily against instance().
   // Valid until the next apply().
-  [[nodiscard]] const model::Assignment& assignment();
+  [[nodiscard]] const model::Assignment& assignment() override;
 
   // The overlay's current base (stable entity ids; rebuilt on appends).
-  [[nodiscard]] const model::Instance& instance() const noexcept {
+  [[nodiscard]] const model::Instance& instance() const noexcept override {
     return overlay_.instance();
   }
   [[nodiscard]] const model::InstanceOverlay& overlay() const noexcept {
     return overlay_;
   }
-  [[nodiscard]] ServePolicy policy() const noexcept { return opts_.policy; }
-  [[nodiscard]] const SessionCounters& counters() const noexcept {
+  [[nodiscard]] ServePolicy policy() const noexcept override {
+    return opts_.policy;
+  }
+  [[nodiscard]] const SessionCounters& counters() const noexcept override {
     return counters_;
   }
   // Selection-kernel work accumulated across every repair/resolve.
-  [[nodiscard]] const core::SelectStats& select_stats() const noexcept {
+  [[nodiscard]] const core::SelectStats& select_stats()
+      const noexcept override {
     return select_;
   }
   // Which race candidate objective() reflects ("greedy", "A1", "A2",
   // "Amax", or "online").
-  [[nodiscard]] const char* variant() const noexcept { return variant_; }
+  [[nodiscard]] const char* variant() const noexcept override {
+    return variant_;
+  }
 
   // From-scratch §2.2 winner value of the *current* overlay state
   // (scoring mode, no assignment). The parity yardstick for any policy,
   // and what drift checks compare against.
-  [[nodiscard]] double fresh_objective();
+  [[nodiscard]] double fresh_objective() override;
+
+  [[nodiscard]] int num_shards() const noexcept override { return 1; }
+  [[nodiscard]] model::Instance snapshot() const override {
+    return overlay_.materialize();
+  }
+  [[nodiscard]] ParityReport check_parity() override;
 
  private:
   struct AcceptedStream {  // kOnline bookkeeping, per stream
@@ -163,24 +123,19 @@ class Session {
   };
 
   void open();
+  // The overlay's current state as the repair core's world binding.
+  // Rebind after every mutation — appends move the arrays.
+  [[nodiscard]] WorldRef world() const noexcept {
+    return WorldRef{&overlay_.instance(), overlay_.edge_utilities(),
+                    overlay_.total_utilities(), overlay_.capacities(),
+                    overlay_.stream_alive_flags()};
+  }
+  [[nodiscard]] RepairCore::Context repair_context() const noexcept {
+    return RepairCore::Context{ws_, opts_.strategy, opts_.mode};
+  }
   // --- kRepair internals -------------------------------------------------
   void repair_apply(const model::InstanceEvent& event, RepairStats& stats);
-  void reset_repair_arrays();
-  void rebind_after_rebuild();
-  // Refills cost_ from the current base and re-sorts cost_order_.
-  void refresh_cost_arrays();
-  // Releases u's pairs and replays the added sequence for u alone;
-  // propagates every pool-w̄ delta. `old_clamp` is the user's pre-event
-  // clamped residual; `old_w` the pre-event utility per adjacency
-  // position (null = utilities unchanged by the event).
-  void refresh_user(model::UserId u, double old_clamp, const double* old_w);
-  // Commits stream s (cost already checked) exactly as the greedy would.
-  void add_stream_state(model::StreamId s, double cost,
-                        core::StreamSelector* selector);
-  // Greedy completion over the current pool; returns streams added.
-  std::size_t run_completion();
   void full_resolve_repair();
-  [[nodiscard]] double winner_objective();  // A1/A2/Amax race value
   // --- kResolve internals ------------------------------------------------
   void resolve_apply();
   // --- kOnline internals -------------------------------------------------
@@ -198,22 +153,9 @@ class Session {
   core::SelectStats select_;
   double objective_ = 0.0;
 
-  // kRepair state (mirrors GreedyEngine's invariants, session-owned so
-  // fresh scoring solves can share the workspace without clobbering it).
-  std::vector<double> rem_;          // per user: cap - assigned w
-  std::vector<double> user_w_;       // per user: assigned (current) w
-  std::vector<double> user_last_w_;  // per user: last assigned pair's w
-  std::vector<std::vector<model::StreamId>> assigned_;  // per user, in order
-  std::vector<double> wbar_;             // per stream (pool streams live)
-  std::vector<double> cost_;             // per stream
-  std::vector<model::StreamId> cost_order_;  // ascending cost
-  std::vector<std::int32_t> added_seq_;  // per stream: add order, -1 = pool
-  std::int32_t next_seq_ = 0;
-  double used_ = 0.0;
-  // Per-event scratch: the touched user's pre-event pair utilities and
-  // the (add-sequence, adjacency-position) replay keys.
-  std::vector<double> snap_w_;
-  std::vector<std::pair<std::int32_t, std::int32_t>> replay_;
+  // kRepair state (engine/repair_core.h), session-owned so fresh scoring
+  // solves can share the workspace without clobbering it.
+  RepairCore repair_;
   const char* variant_ = "";  // which race candidate objective_ reflects
 
   // kResolve state.

@@ -1,0 +1,228 @@
+// ShardedSession: the N-shard ServingBackend — the million-user serving
+// story behind the same engine/serving.h interface as engine::Session.
+//
+// Topology. Users and streams are hash-partitioned (splitmix64 on the
+// entity id) across N shards; each shard owns one worker thread, one
+// bounded FIFO command queue, one model::InstanceOverlay replica of the
+// serving world, and one core::SolveWorkspace. The coordinator (the
+// caller's thread) routes every InstanceEvent to the shards that *own* an
+// entity it touches:
+//
+//   user leave/join u      -> shard(u) and shard(s) of every interested s
+//   capacity change u      -> shard(u)
+//   stream remove/add s    -> shard(s) and shard(u) of every interested u
+//   utility change (u, s)  -> shard(u) and shard(s)
+//   appends                -> broadcast (every replica rebuilds its base)
+//
+// Each routed copy carries a global sequence number; a shard's FIFO keeps
+// its replay order identical to the coordinator's event order (workers
+// verify monotonicity), which makes every replica deterministic. An event
+// touching entities on several shards is replayed on each owner — that is
+// the cross-shard case, counted in RoutingCounters.
+//
+// Authority + gather. After the per-event barrier (the router drains all
+// queues), the coordinator re-reads exactly the entries the event could
+// have moved from the entity's *owner* — capacity[u] and the effective
+// utilities of u's edges from shard(u), total_utility[s] and s's edges
+// from shard(s) — into its gathered arrays. The routing rules above are
+// precisely what make the owner exact for those entries; a missed route
+// would surface as stale gathered values and break the parity gate.
+//
+// Solving. The gathered arrays are bit-identical to the arrays a single
+// InstanceOverlay would hold after the same events (replicas apply the
+// same mutations in the same order; appends rebuild identical bases on
+// every shard). kResolve therefore re-solves the same world a single
+// Session would — objective and pair set bit-identical for every shard
+// count at every prefix. kRepair runs the identical RepairCore arithmetic
+// coordinator-side, with the per-event O(U) winner race and O(S) Amax
+// argmax computed as per-shard partial reductions over fixed contiguous
+// chunks (combined in shard order: deterministic per shard count, and
+// bit-identical to the serial scan when N == 1); drift-check scoring
+// solves run on a shard's own workspace. kOnline is rejected — the §5
+// allocator is a single sequential decision process (ServeConfig
+// validates this).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/greedy.h"
+#include "core/select.h"
+#include "engine/repair_core.h"
+#include "engine/serving.h"
+#include "model/events.h"
+#include "model/instance.h"
+#include "model/overlay.h"
+
+namespace vdist::engine {
+
+class ShardedSession final : public ServingBackend {
+ public:
+  // Requires cfg.shards >= 2 and cfg.policy != kOnline (make_backend
+  // hands shards == 1 to Session). The parent must outlive the session.
+  ShardedSession(const model::Instance& parent, ServeConfig cfg);
+  ShardedSession(model::Instance&&, ServeConfig) = delete;
+  ShardedSession(const ShardedSession&) = delete;
+  ShardedSession& operator=(const ShardedSession&) = delete;
+  ~ShardedSession() override;
+
+  RepairStats apply(const model::InstanceEvent& event) override;
+  [[nodiscard]] double objective() const noexcept override {
+    return objective_;
+  }
+  [[nodiscard]] const model::Assignment& assignment() override;
+  [[nodiscard]] const model::Instance& instance() const noexcept override {
+    return *base_;
+  }
+  [[nodiscard]] ServePolicy policy() const noexcept override {
+    return cfg_.policy;
+  }
+  [[nodiscard]] const SessionCounters& counters() const noexcept override {
+    return counters_;
+  }
+  [[nodiscard]] const core::SelectStats& select_stats()
+      const noexcept override {
+    return select_;
+  }
+  [[nodiscard]] const char* variant() const noexcept override {
+    return variant_;
+  }
+  [[nodiscard]] double fresh_objective() override;
+  [[nodiscard]] int num_shards() const noexcept override {
+    return cfg_.shards;
+  }
+  [[nodiscard]] model::Instance snapshot() const override;
+  [[nodiscard]] ParityReport check_parity() override;
+
+  // The partition: a pure function of the entity id (and the shard
+  // count), so placement is trivially stable under joins/leaves.
+  [[nodiscard]] static int shard_of_user(model::UserId u,
+                                         int shards) noexcept;
+  [[nodiscard]] static int shard_of_stream(model::StreamId s,
+                                           int shards) noexcept;
+
+  struct RoutingCounters {
+    std::size_t routed_copies = 0;       // shard-queue deliveries
+    std::size_t cross_shard_events = 0;  // events replayed on > 1 shard
+    std::size_t broadcasts = 0;          // appends (every shard rebuilds)
+  };
+  [[nodiscard]] const RoutingCounters& routing() const noexcept {
+    return routing_;
+  }
+
+ private:
+  struct Command {
+    enum class Kind {
+      kApply,   // replay `event` on the shard's overlay replica
+      kReduce,  // winner/Amax partials over the shard's fixed chunks
+      kScore,   // from-scratch scoring solve on the shard's workspace
+    };
+    Kind kind = Kind::kApply;
+    model::InstanceEvent event;
+    std::uint64_t seq = 0;
+  };
+
+  struct Shard {
+    explicit Shard(const model::Instance& parent) : overlay(parent) {}
+    model::InstanceOverlay overlay;  // deterministic replica
+    core::SolveWorkspace workspace;  // shard-local solve scratch (kScore)
+    std::uint64_t last_seq = 0;      // replay-order check (worker only)
+    // kReduce slots: ranges set by the coordinator before posting,
+    // partials written by the worker, read back after the barrier.
+    std::size_t u_begin = 0, u_end = 0, s_begin = 0, s_end = 0;
+    RepairCore::WinnerPartial winner;
+    RepairCore::AmaxPartial amax;
+    // kScore slots.
+    double fresh = 0.0;
+    core::SelectStats score_select;
+    std::string error;  // first worker-side failure (fatal)
+    bool stop = false;
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Command> queue;
+    std::thread worker;
+  };
+
+  [[nodiscard]] std::size_t num_users() const noexcept {
+    return capacity_.size();
+  }
+  [[nodiscard]] std::size_t num_streams() const noexcept {
+    return total_utility_.size();
+  }
+  [[nodiscard]] WorldRef world() const noexcept {
+    return WorldRef{base_, edge_utility_, total_utility_, capacity_,
+                    stream_alive_};
+  }
+  [[nodiscard]] RepairCore::Context repair_context() const noexcept {
+    return RepairCore::Context{ws_, cfg_.strategy, cfg_.mode};
+  }
+
+  void worker_loop(Shard& shard);
+  void post(Shard& shard, Command cmd);
+  void pending_add(std::size_t n);
+  void mark_done();
+  void drain();
+  void rethrow_shard_error();
+
+  // Mirrors InstanceOverlay's validation against the gathered state, so
+  // an invalid event throws before any replica mutates (a mid-route throw
+  // would desynchronize the shards).
+  void validate_event(const model::InstanceEvent& event) const;
+  void compute_owners(const model::InstanceEvent& event);
+  // Route (stamped), barrier, then gather the dirty authoritative
+  // entries; appends refresh the base and regather everything.
+  void replicate_and_gather(const model::InstanceEvent& event);
+  void gather(const model::InstanceEvent& event);
+  void refresh_base();
+  void full_regather();
+
+  void repair_apply(const model::InstanceEvent& event, RepairStats& stats);
+  void full_resolve_repair();
+  [[nodiscard]] double sharded_winner();
+  [[nodiscard]] double scored_fresh();
+  void resolve_solve();
+
+  ServeConfig cfg_;
+  std::unique_ptr<core::SolveWorkspace> owned_ws_;
+  core::SolveWorkspace* ws_ = nullptr;  // coordinator solves
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // The gathered world: written only from owner-shard reads (plus the
+  // coordinator-maintained alive flags), never mutated directly.
+  // base_ points at shard 0's overlay base after the first append. All
+  // replicas rebuild bit-identical bases (same structure, same builder
+  // sort), so one shard's edge ids address every shard's arrays —
+  // verified after each rebuild.
+  const model::Instance* base_ = nullptr;
+  std::vector<double> edge_utility_;
+  std::vector<double> total_utility_;
+  std::vector<double> capacity_;
+  std::vector<char> user_alive_;
+  std::vector<char> stream_alive_;
+
+  std::uint64_t seq_ = 0;  // global event sequence (stamped per copy)
+  std::vector<int> owners_;  // routing scratch
+  RoutingCounters routing_;
+
+  SessionCounters counters_;
+  core::SelectStats select_;
+  double objective_ = 0.0;
+  const char* variant_ = "";
+  RepairCore repair_;
+  std::optional<core::SmdSolveResult> resolved_;
+  std::optional<model::Assignment> assignment_;
+
+  // Barrier: outstanding routed/reduce commands across all shards.
+  std::size_t pending_ = 0;
+  std::mutex done_m_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace vdist::engine

@@ -79,6 +79,14 @@ struct SolveRequest {
   // RNG seed for randomized algorithms (ordering shuffles, tie-breaks).
   // Deterministic algorithms ignore it; equal seeds give equal results.
   std::uint64_t seed = 1;
+  // Seed for adapters that *generate* their own workload (the serve
+  // adapter's event trace). Unlike `seed` — which BatchRunner decorrelates
+  // per request index so equal-seeded cells don't accidentally share RNG
+  // streams — this passes through the batch runner untouched, so sweep
+  // cells paired on the same instance replay the identical workload (the
+  // shards axis of a serve sweep must compare objectives on one trace).
+  // 0 = fall back to `seed`.
+  std::uint64_t workload_seed = 0;
   // Advisory wall-clock budget; 0 = unlimited. Algorithms with an
   // iteration cap derive it where possible, and the runner always reports
   // `timed_out` when the budget was exceeded after the fact.

@@ -170,6 +170,33 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   const std::size_t A = algorithm_cells.size();
   const auto R = static_cast<std::size_t>(plan.replicates);
 
+  // --- Resolve the algo-only restrictions ----------------------------------
+  // include[sc * A + ac]: does algorithm cell ac run on scenario cell sc?
+  std::vector<char> include(S * A, 1);
+  for (std::size_t ac = 0; ac < A; ++ac) {
+    const std::vector<std::string>& only = algorithm_cells[ac].spec.only;
+    if (only.empty()) continue;
+    for (const std::string& name : only) {
+      const bool known = std::any_of(
+          scenario_cells.begin(), scenario_cells.end(),
+          [&](const ScenarioCell& sc) {
+            return sc.spec.name == name || sc.label == name;
+          });
+      if (!known)
+        throw std::invalid_argument(
+            "sweep plan: algo-only scenario '" + name + "' (on algo '" +
+            algorithm_cells[ac].spec.name + "') matches no scenario line");
+    }
+    for (std::size_t sc = 0; sc < S; ++sc) {
+      const bool match = std::any_of(
+          only.begin(), only.end(), [&](const std::string& name) {
+            return scenario_cells[sc].spec.name == name ||
+                   scenario_cells[sc].label == name;
+          });
+      if (!match) include[sc * A + ac] = 0;
+    }
+  }
+
   // --- Build the instances (replicate r: scenario seed + r) ----------------
   std::vector<model::Instance> instances;
   instances.reserve(S * R);
@@ -183,14 +210,25 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
   // --- Expand and run the requests -----------------------------------------
   std::vector<SolveRequest> requests;
   requests.reserve(S * R * A);
+  // slot[(sc * R + rep) * A + ac] -> index into requests/solve_results;
+  // npos for grid points an algo-only restriction excluded.
+  constexpr std::size_t kSkippedSlot = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> slot(S * R * A, kSkippedSlot);
   for (std::size_t sc = 0; sc < S; ++sc)
     for (std::size_t rep = 0; rep < R; ++rep)
       for (std::size_t ac = 0; ac < A; ++ac) {
+        if (include[sc * A + ac] == 0) continue;
+        slot[(sc * R + rep) * A + ac] = requests.size();
         SolveRequest req;
         req.instance = &instances[sc * R + rep];
         req.algorithm = algorithm_cells[ac].spec.name;
         req.options = algorithm_cells[ac].spec.options;
         req.seed = scenario_cells[sc].spec.seed + rep;
+        // Pair generated workloads (serve traces) across algorithm cells
+        // the same way instances are paired: replicate r of every cell
+        // replays the same trace, so a shards or policy axis compares
+        // algorithms on one workload instead of one workload each.
+        req.workload_seed = req.seed;
         req.time_budget_ms = plan.time_budget_ms;
         req.validate = plan.validate;
         req.tag = scenario_cells[sc].label + " / " +
@@ -218,9 +256,13 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
       cell.algorithm = algorithm_cells[ac].spec;
       cell.scenario_label = scenario_cells[sc].label;
       cell.algorithm_label = algorithm_cells[ac].label;
+      if (include[sc * A + ac] == 0) {
+        cell.skipped = true;
+        continue;
+      }
       cell.runs.reserve(R);
       for (std::size_t rep = 0; rep < R; ++rep) {
-        const std::size_t index = (sc * R + rep) * A + ac;
+        const std::size_t index = slot[(sc * R + rep) * A + ac];
         RunRecord rec = to_record(std::move(solve_results[index]),
                                   options.keep_assignments);
         if (rec.ok) {
@@ -260,6 +302,7 @@ util::Table summary_table(const SweepResult& result) {
 
   util::Table table(std::move(columns));
   for (const SweepCell& cell : result.cells) {
+    if (cell.skipped) continue;
     util::RunningStats raw;
     std::string error;
     for (const RunRecord& run : cell.runs) {
@@ -321,6 +364,7 @@ void write_json(std::ostream& os, const SweepResult& result) {
      << ",\"cells\":[";
   bool first_cell = true;
   for (const SweepCell& cell : result.cells) {
+    if (cell.skipped) continue;
     if (!first_cell) os << ',';
     first_cell = false;
     os << "{\"scenario\":{\"name\":";
@@ -468,6 +512,13 @@ SweepPlan parse_plan(std::istream& is) {
                    "algo-axis needs a key and at least one value");
       plan.algorithms.back().axes.push_back(
           {tokens[1], {tokens.begin() + 2, tokens.end()}});
+    } else if (directive == "algo-only") {
+      if (plan.algorithms.empty())
+        plan_error(line_number, "algo-only before any algo line");
+      if (tokens.size() < 2)
+        plan_error(line_number, "algo-only needs at least one scenario name");
+      std::vector<std::string>& only = plan.algorithms.back().only;
+      only.insert(only.end(), tokens.begin() + 1, tokens.end());
     } else if (directive == "replicates") {
       if (tokens.size() != 2)
         plan_error(line_number, "replicates needs one integer");
@@ -490,7 +541,7 @@ SweepPlan parse_plan(std::istream& is) {
       plan_error(line_number,
                  "unknown directive '" + directive +
                      "' (known: scenario, axis, algo, algo-axis, "
-                     "replicates, budget-ms)");
+                     "algo-only, replicates, budget-ms)");
     }
   }
   return plan;

@@ -53,6 +53,13 @@ struct AlgorithmSpec {
   std::vector<SweepAxis> axes;
   // Display label; defaults to the name (plus axis values when swept).
   std::string label;
+  // Scenario restriction: when non-empty, this algorithm only runs on
+  // scenario cells whose base name (or explicit label) is listed here —
+  // the other grid cells are marked skipped, not solved. Lets one plan
+  // mix form-restricted algorithms (e.g. the unit-skew-only `serve`)
+  // with general scenarios. Every entry must match at least one
+  // scenario line or run_sweep throws (typos fail loudly).
+  std::vector<std::string> only;
 };
 
 struct SweepPlan {
@@ -118,6 +125,9 @@ struct SweepCell {
   std::size_t ok_count = 0;
   std::size_t feasible_count = 0;
   std::size_t timed_out_count = 0;
+  // True when the algorithm's `only` restriction excludes this scenario
+  // cell: no runs were attempted and the emitters omit the row.
+  bool skipped = false;
 
   // Mean of a per-run stat over the ok runs (0 when absent everywhere).
   [[nodiscard]] double mean_stat(const std::string& key) const;
@@ -185,6 +195,8 @@ void write_json(std::ostream& os, const SweepResult& result);
 //   axis KEY V1 V2 ...                       # scenario axis (all bases)
 //   algo NAME [key=value ...]                # repeatable
 //   algo-axis KEY V1 V2 ...                  # axis on the preceding algo
+//   algo-only SCENARIO ...                   # restrict the preceding algo
+//                                            # to the named scenario lines
 //   replicates N
 //   budget-ms X
 //

@@ -1,6 +1,10 @@
 #include "gen/events.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/float_cmp.h"
@@ -12,6 +16,119 @@ using model::EventType;
 using model::InstanceEvent;
 using model::StreamId;
 using model::UserId;
+
+namespace {
+
+constexpr std::array<EventParamSpec, 12> kEventParams = {{
+    {"events", "200", "trace length"},
+    {"seed", "7", "RNG seed"},
+    {"w-user-leave", "2", "mix weight: user departures"},
+    {"w-user-join", "2", "mix weight: user rejoins"},
+    {"w-stream-remove", "1", "mix weight: stream removals"},
+    {"w-stream-add", "1", "mix weight: stream restores"},
+    {"w-capacity", "2", "mix weight: capacity changes"},
+    {"w-utility", "2", "mix weight: utility changes"},
+    {"cap-scale-min", "0.7", "capacity scale factor, lower bound"},
+    {"cap-scale-max", "1.3", "capacity scale factor, upper bound"},
+    {"utility-scale-min", "0.4", "utility scale factor, lower bound"},
+    {"utility-scale-max", "1", "utility scale factor, upper bound (<= 1 "
+                               "keeps w <= W_u)"},
+}};
+
+double parse_trace_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !std::isfinite(v))
+    throw std::invalid_argument("event trace param " + key +
+                                " expects a finite number, got '" + value +
+                                "'");
+  return v;
+}
+
+std::uint64_t parse_trace_count(const std::string& key,
+                                const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' ||
+      value.find('-') != std::string::npos)
+    throw std::invalid_argument("event trace param " + key +
+                                " expects a non-negative integer, got '" +
+                                value + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::span<const EventParamSpec> event_trace_params() { return kEventParams; }
+
+void set_event_trace_param(EventTraceConfig& cfg, const std::string& key,
+                           const std::string& value) {
+  if (key == "events") {
+    cfg.num_events = static_cast<std::size_t>(parse_trace_count(key, value));
+  } else if (key == "seed") {
+    cfg.seed = parse_trace_count(key, value);
+  } else if (key == "w-user-leave") {
+    cfg.w_user_leave = parse_trace_double(key, value);
+  } else if (key == "w-user-join") {
+    cfg.w_user_join = parse_trace_double(key, value);
+  } else if (key == "w-stream-remove") {
+    cfg.w_stream_remove = parse_trace_double(key, value);
+  } else if (key == "w-stream-add") {
+    cfg.w_stream_add = parse_trace_double(key, value);
+  } else if (key == "w-capacity") {
+    cfg.w_capacity = parse_trace_double(key, value);
+  } else if (key == "w-utility") {
+    cfg.w_utility = parse_trace_double(key, value);
+  } else if (key == "cap-scale-min") {
+    cfg.cap_scale_min = parse_trace_double(key, value);
+  } else if (key == "cap-scale-max") {
+    cfg.cap_scale_max = parse_trace_double(key, value);
+  } else if (key == "utility-scale-min") {
+    cfg.utility_scale_min = parse_trace_double(key, value);
+  } else if (key == "utility-scale-max") {
+    cfg.utility_scale_max = parse_trace_double(key, value);
+  } else {
+    throw std::invalid_argument("event trace: unknown param '" + key + "'");
+  }
+}
+
+void apply_event_trace_overrides(EventTraceConfig& cfg,
+                                 const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument(
+          "event trace: expected key=value, got '" + item + "'");
+    set_event_trace_param(cfg, item.substr(0, eq), item.substr(eq + 1));
+  }
+}
+
+std::string event_trace_param_line(const EventTraceConfig& cfg) {
+  std::ostringstream out;
+  const auto num = [](double v) {
+    std::ostringstream o;
+    o << v;
+    return o.str();
+  };
+  out << "events=" << cfg.num_events << ",seed=" << cfg.seed
+      << ",w-user-leave=" << num(cfg.w_user_leave)
+      << ",w-user-join=" << num(cfg.w_user_join)
+      << ",w-stream-remove=" << num(cfg.w_stream_remove)
+      << ",w-stream-add=" << num(cfg.w_stream_add)
+      << ",w-capacity=" << num(cfg.w_capacity)
+      << ",w-utility=" << num(cfg.w_utility)
+      << ",cap-scale-min=" << num(cfg.cap_scale_min)
+      << ",cap-scale-max=" << num(cfg.cap_scale_max)
+      << ",utility-scale-min=" << num(cfg.utility_scale_min)
+      << ",utility-scale-max=" << num(cfg.utility_scale_max);
+  return out.str();
+}
 
 namespace {
 

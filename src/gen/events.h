@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "model/events.h"
@@ -44,6 +46,32 @@ struct EventTraceConfig {
   double utility_scale_max = 1.0;
   std::uint64_t seed = 7;
 };
+
+// One declared trace parameter — the single source the gen-events CLI
+// flags, the churn scenario's `trace` param, and the serve solver's
+// `trace` option derive from, scenario-registry style: a trace is
+// reproducible from one `key=value,...` line in a plan or report.
+struct EventParamSpec {
+  const char* key;
+  const char* fallback;
+  const char* description;
+};
+
+// The declared parameter surface, in help order.
+[[nodiscard]] std::span<const EventParamSpec> event_trace_params();
+
+// Sets one declared parameter from its string form. Unknown keys and
+// malformed values throw std::invalid_argument (same message everywhere).
+void set_event_trace_param(EventTraceConfig& cfg, const std::string& key,
+                           const std::string& value);
+
+// Applies a comma-separated "key=value,..." override list (empty = none).
+void apply_event_trace_overrides(EventTraceConfig& cfg,
+                                 const std::string& spec);
+
+// The config's current values as the canonical "key=value,..." line
+// (every declared key, in declared order) — the reproduction handle.
+[[nodiscard]] std::string event_trace_param_line(const EventTraceConfig& cfg);
 
 // Draws a deterministic event trace over the instance's universe. At
 // least one user and one stream always stay alive; requires the instance

@@ -103,6 +103,25 @@ class InstanceOverlay {
     return InstanceView(instance(), edge_utility_, total_utility_, capacity_);
   }
 
+  // Spans over the effective arrays (engine::WorldRef binds these). Same
+  // validity rule as view(): any mutation may move values, an append
+  // reallocates the arrays themselves.
+  [[nodiscard]] std::span<const double> edge_utilities() const noexcept {
+    return edge_utility_;
+  }
+  [[nodiscard]] std::span<const double> total_utilities() const noexcept {
+    return total_utility_;
+  }
+  [[nodiscard]] std::span<const double> capacities() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] std::span<const char> user_alive_flags() const noexcept {
+    return user_alive_;
+  }
+  [[nodiscard]] std::span<const char> stream_alive_flags() const noexcept {
+    return stream_alive_;
+  }
+
   // --- Mutations ---------------------------------------------------------
   // Tombstone user u: effective cap and every pair -> 0. Returns false
   // (no-op) when already departed.

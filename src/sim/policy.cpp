@@ -31,10 +31,11 @@ std::vector<std::vector<double>> caps_of(const Instance& catalog) {
 
 // --- SessionPolicy ----------------------------------------------------------
 
-SessionPolicy::SessionPolicy(const Instance& catalog,
-                             engine::SessionOptions opts)
-    : session_(catalog, force_empty(std::move(opts))),
-      refcount_(catalog.num_streams(), 0) {}
+SessionPolicy::SessionPolicy(const Instance& catalog, engine::ServeConfig cfg)
+    : refcount_(catalog.num_streams(), 0) {
+  cfg.open_empty = true;
+  backend_ = engine::make_backend(catalog, cfg);
+}
 
 std::vector<std::size_t> SessionPolicy::on_arrival(const StreamOffer& offer) {
   const model::StreamId s = offer.stream;
@@ -42,9 +43,9 @@ std::vector<std::size_t> SessionPolicy::on_arrival(const StreamOffer& offer) {
     model::InstanceEvent event;
     event.type = model::EventType::kStreamAdd;
     event.stream = s;
-    session_.apply(event);
+    backend_->apply(event);
   }
-  const model::Assignment& a = session_.assignment();
+  const model::Assignment& a = backend_->assignment();
   std::vector<std::size_t> taken;
   for (std::size_t idx = 0; idx < offer.candidates.size(); ++idx)
     if (a.has(offer.candidates[idx].user, s)) taken.push_back(idx);
@@ -58,7 +59,7 @@ void SessionPolicy::on_departure(const StreamOffer& offer,
     model::InstanceEvent event;
     event.type = model::EventType::kStreamRemove;
     event.stream = s;
-    session_.apply(event);
+    backend_->apply(event);
   }
 }
 

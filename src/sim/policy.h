@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/allocate_online.h"
-#include "engine/session.h"
+#include "engine/serving.h"
 #include "model/instance.h"
 
 namespace vdist::sim {
@@ -53,37 +53,38 @@ class OnlineAllocatePolicy final : public AdmissionPolicy {
   core::ExponentialCostAllocator allocator_;
 };
 
-// The serving session as an admission policy: the simulator becomes a
-// thin client of engine::Session. The session opens empty over the
-// catalog (every stream tombstoned); an arriving stream session becomes a
-// kStreamAdd event, the last departure of a stream a kStreamRemove, and
-// the decision for an offer is whatever user set the session's maintained
-// assignment gives that stream right after the repair. Concurrent
-// sessions of the same catalog stream share one decision (the session
-// models the stream's presence, not its multiplicity), and — as the
-// AdmissionPolicy contract requires — a decision handed to the plant is
-// never revised mid-session even if later repairs reassign internally.
-// Requires a unit-skew cap-form catalog (the session's form).
+// The serving backend as an admission policy: the simulator becomes a
+// thin client of engine::ServingBackend (engine/serving.h). The backend
+// opens empty over the catalog (every stream tombstoned); an arriving
+// stream session becomes a kStreamAdd event, the last departure of a
+// stream a kStreamRemove, and the decision for an offer is whatever user
+// set the backend's maintained assignment gives that stream right after
+// the repair. Concurrent sessions of the same catalog stream share one
+// decision (the backend models the stream's presence, not its
+// multiplicity), and — as the AdmissionPolicy contract requires — a
+// decision handed to the plant is never revised mid-session even if
+// later repairs reassign internally. Requires a unit-skew cap-form
+// catalog (the backend's form). cfg.shards > 1 serves through the
+// sharded engine — a pure config flip.
 class SessionPolicy final : public AdmissionPolicy {
  public:
-  // `opts.open_empty` is forced on; other options (policy, bound,
-  // refresh, strategy, workspace) pass through to the session.
+  // `cfg.open_empty` is forced on; every other knob (policy, bound,
+  // refresh, select, shards, queue, workspace) passes through
+  // engine::make_backend().
   explicit SessionPolicy(const model::Instance& catalog,
-                         engine::SessionOptions opts = {});
+                         engine::ServeConfig cfg = {});
   [[nodiscard]] std::string name() const override {
-    return std::string("session-") + engine::to_string(session_.policy());
+    return std::string("session-") + engine::to_string(backend_->policy());
   }
   std::vector<std::size_t> on_arrival(const StreamOffer& offer) override;
   void on_departure(const StreamOffer& offer,
                     const std::vector<std::size_t>& taken) override;
-  [[nodiscard]] const engine::Session& session() const { return session_; }
+  [[nodiscard]] const engine::ServingBackend& backend() const {
+    return *backend_;
+  }
 
  private:
-  static engine::SessionOptions force_empty(engine::SessionOptions opts) {
-    opts.open_empty = true;
-    return opts;
-  }
-  engine::Session session_;
+  std::unique_ptr<engine::ServingBackend> backend_;
   std::vector<int> refcount_;  // concurrent plant sessions per stream
 };
 

@@ -211,6 +211,53 @@ if(NOT cli_err MATCHES "repair|resolve|online")
   message(FATAL_ERROR "bad --policy value not rejected:\n${cli_err}")
 endif()
 
+# --- sharded serving: --shards is a pure config flip -------------------------
+# Replaying one trace under resolve with 1 and 4 shards must report the
+# bit-identical end-state objective (the ShardedSession parity contract,
+# checked per event by --check 1 on the sharded run too).
+run_cli(0 serve "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/cap.events"
+        --policy resolve --shards 1 --json "${WORK_DIR}/serve-s1.json")
+run_cli(0 serve "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/cap.events"
+        --policy resolve --shards 4 --check 1 --json "${WORK_DIR}/serve-s4.json")
+file(READ "${WORK_DIR}/serve-s1.json" serve_s1)
+file(READ "${WORK_DIR}/serve-s4.json" serve_s4)
+if(NOT serve_s4 MATCHES "\"shards\":4")
+  message(FATAL_ERROR "sharded serve JSON missing shard count:\n${serve_s4}")
+endif()
+string(REGEX MATCH "\"objective\":[^,]*" obj_s1 "${serve_s1}")
+string(REGEX MATCH "\"objective\":[^,]*" obj_s4 "${serve_s4}")
+if(NOT obj_s1 STREQUAL obj_s4 OR obj_s1 STREQUAL "")
+  message(FATAL_ERROR
+    "sharded serve objective diverged: '${obj_s1}' vs '${obj_s4}'")
+endif()
+# ServeConfig validation reaches the CLI: out-of-range shard counts and
+# the online-policy restriction (Section 5's allocator is sequential) are
+# rejected before any event is applied.
+run_cli(1 serve "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/cap.events"
+        --shards 0)
+if(NOT cli_err MATCHES "shards")
+  message(FATAL_ERROR "bad --shards value not rejected:\n${cli_err}")
+endif()
+run_cli(1 serve "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/cap.events"
+        --policy online --shards 2)
+if(NOT cli_err MATCHES "online")
+  message(FATAL_ERROR "online+shards not rejected:\n${cli_err}")
+endif()
+
+# --- gen-events declared params: every knob is a flag ------------------------
+# The event-mix weights and scale ranges gen/events.h declares are CLI
+# flags; the summary line echoes the resolved configuration.
+run_cli(0 gen-events "${WORK_DIR}/cap.vd" --events 30 --seed 5
+        --w-stream-add 0 --w-capacity 4 --cap-scale-min 0.9
+        --cap-scale-max 1.1 --out "${WORK_DIR}/mix.events")
+if(NOT cli_err MATCHES "w-capacity=4")
+  message(FATAL_ERROR "gen-events summary missing override:\n${cli_err}")
+endif()
+run_cli(1 gen-events "${WORK_DIR}/cap.vd" --events 30 --w-utility abc)
+if(NOT cli_err MATCHES "w-utility")
+  message(FATAL_ERROR "bad gen-events weight not rejected:\n${cli_err}")
+endif()
+
 # --- perf --filter: label-subset runs ----------------------------------------
 run_cli(0 perf --smoke 1 --reps 1 --filter greedy
         --out "${WORK_DIR}/perf-filter.json")

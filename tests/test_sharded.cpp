@@ -1,0 +1,381 @@
+// Property suite for the sharded serving engine (engine::ShardedSession
+// behind engine::ServingBackend): placement stability, replay
+// determinism, and — the backbone guarantee — bit-identical resolve
+// objectives and pair sets against the single-shard Session at every
+// event prefix, for several shard counts and seeds.
+#include "engine/sharded_session.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/serving.h"
+#include "engine/session.h"
+#include "gen/events.h"
+#include "gen/random_instances.h"
+#include "model/validate.h"
+
+namespace vdist::engine {
+namespace {
+
+model::Instance cap_instance(std::uint64_t seed, std::int64_t streams = 25,
+                             std::int64_t users = 12) {
+  gen::RandomCapConfig cfg;
+  cfg.num_streams = static_cast<std::size_t>(streams);
+  cfg.num_users = static_cast<std::size_t>(users);
+  cfg.seed = seed;
+  return gen::random_cap_instance(cfg);
+}
+
+std::vector<model::InstanceEvent> churn(const model::Instance& inst,
+                                        std::uint64_t seed,
+                                        std::size_t events = 40) {
+  gen::EventTraceConfig cfg;
+  cfg.num_events = events;
+  cfg.seed = seed;
+  return gen::make_event_trace(inst, cfg);
+}
+
+ServeConfig resolve_config(int shards) {
+  ServeConfig cfg;
+  cfg.policy = ServePolicy::kResolve;
+  cfg.shards = shards;
+  return cfg;
+}
+
+// The full pair set of the maintained assignment, as comparable data.
+std::set<std::pair<model::UserId, model::StreamId>> pair_set(
+    ServingBackend& backend) {
+  std::set<std::pair<model::UserId, model::StreamId>> pairs;
+  const model::Assignment& a = backend.assignment();
+  const std::size_t users = backend.instance().num_users();
+  for (std::size_t u = 0; u < users; ++u)
+    for (const model::StreamId s :
+         a.streams_of(static_cast<model::UserId>(u)))
+      pairs.emplace(static_cast<model::UserId>(u), s);
+  return pairs;
+}
+
+// --- Placement ---------------------------------------------------------
+
+TEST(Sharded, ShardOfIsAStablePureFunction) {
+  for (const int shards : {2, 3, 8}) {
+    for (model::UserId u = 0; u < 200; ++u) {
+      const int owner = ShardedSession::shard_of_user(u, shards);
+      EXPECT_GE(owner, 0);
+      EXPECT_LT(owner, shards);
+      // Pure function of (id, shards): placement cannot move under any
+      // sequence of joins/leaves, so re-asking must agree forever.
+      EXPECT_EQ(owner, ShardedSession::shard_of_user(u, shards));
+    }
+    // Every shard owns someone (the hash does not collapse).
+    std::set<int> user_owners, stream_owners;
+    for (std::int32_t id = 0; id < 200; ++id) {
+      user_owners.insert(ShardedSession::shard_of_user(id, shards));
+      stream_owners.insert(ShardedSession::shard_of_stream(id, shards));
+    }
+    EXPECT_EQ(user_owners.size(), static_cast<std::size_t>(shards));
+    EXPECT_EQ(stream_owners.size(), static_cast<std::size_t>(shards));
+  }
+  // Users and streams hash with different salts: id collisions between
+  // the two universes must not force co-location systematically.
+  int diverged = 0;
+  for (std::int32_t id = 0; id < 64; ++id)
+    if (ShardedSession::shard_of_user(id, 4) !=
+        ShardedSession::shard_of_stream(id, 4))
+      ++diverged;
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(Sharded, PlacementIsStableUnderJoinsAndLeaves) {
+  const model::Instance inst = cap_instance(11);
+  ServeConfig cfg = resolve_config(3);
+  ShardedSession session(inst, cfg);
+  std::vector<int> before;
+  for (std::size_t u = 0; u < inst.num_users(); ++u)
+    before.push_back(
+        ShardedSession::shard_of_user(static_cast<model::UserId>(u), 3));
+  for (const model::InstanceEvent& event : churn(inst, 5, 30))
+    session.apply(event);
+  for (std::size_t u = 0; u < inst.num_users(); ++u)
+    EXPECT_EQ(before[u], ShardedSession::shard_of_user(
+                             static_cast<model::UserId>(u), 3));
+}
+
+// --- The parity backbone -----------------------------------------------
+
+TEST(Sharded, ResolveBitIdenticalToSingleSessionAtEveryPrefix) {
+  for (const std::uint64_t seed : {3ull, 17ull, 29ull}) {
+    const model::Instance inst = cap_instance(seed);
+    const std::vector<model::InstanceEvent> trace = churn(inst, seed + 1);
+    for (const int shards : {2, 5}) {
+      const auto single = make_backend(inst, resolve_config(1));
+      const auto sharded = make_backend(inst, resolve_config(shards));
+      ASSERT_EQ(sharded->num_shards(), shards);
+      EXPECT_EQ(single->objective(), sharded->objective());
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        single->apply(trace[i]);
+        sharded->apply(trace[i]);
+        // Bit-identical objective at EVERY prefix — the correctness gate
+        // that makes --shards a pure config flip.
+        ASSERT_EQ(single->objective(), sharded->objective())
+            << "seed " << seed << " shards " << shards << " event " << i;
+        ASSERT_EQ(pair_set(*single), pair_set(*sharded))
+            << "seed " << seed << " shards " << shards << " event " << i;
+      }
+      EXPECT_EQ(single->counters().events, trace.size());
+      EXPECT_EQ(sharded->counters().events, trace.size());
+      EXPECT_STREQ(single->variant(), sharded->variant());
+    }
+  }
+}
+
+TEST(Sharded, CrossShardReplayIsDeterministic) {
+  const model::Instance inst = cap_instance(23);
+  const std::vector<model::InstanceEvent> trace = churn(inst, 7, 60);
+  ShardedSession a(inst, resolve_config(3));
+  ShardedSession b(inst, resolve_config(3));
+  for (const model::InstanceEvent& event : trace) {
+    a.apply(event);
+    b.apply(event);
+    ASSERT_EQ(a.objective(), b.objective());
+  }
+  // Identical routing too: same events, same owner sets, same order.
+  EXPECT_EQ(a.routing().routed_copies, b.routing().routed_copies);
+  EXPECT_EQ(a.routing().cross_shard_events, b.routing().cross_shard_events);
+  EXPECT_EQ(a.routing().broadcasts, b.routing().broadcasts);
+  // A 60-event churn over a 25x12 world must exercise the cross-shard
+  // path (leaves/removes touch the peer owners), or the routing rules
+  // are not being tested at all.
+  EXPECT_GT(a.routing().cross_shard_events, 0u);
+  EXPECT_GE(a.routing().routed_copies, trace.size());
+}
+
+TEST(Sharded, CheckParityHoldsAfterEveryEvent) {
+  const model::Instance inst = cap_instance(31);
+  const auto backend = make_backend(inst, resolve_config(4));
+  for (const model::InstanceEvent& event : churn(inst, 13, 25)) {
+    backend->apply(event);
+    const ParityReport parity = backend->check_parity();
+    EXPECT_TRUE(parity.ok) << parity.detail;
+    EXPECT_EQ(parity.current, parity.fresh);
+  }
+  // The snapshot the parity gate solves is a feasible world.
+  const model::Instance snap = backend->snapshot();
+  EXPECT_EQ(snap.num_users(), inst.num_users());
+  EXPECT_EQ(snap.num_streams(), inst.num_streams());
+}
+
+TEST(Sharded, RepairStaysWithinTheQualityBound) {
+  const model::Instance inst = cap_instance(41);
+  ServeConfig cfg;
+  cfg.policy = ServePolicy::kRepair;
+  cfg.shards = 3;
+  cfg.refresh = 1;  // self-correct at every event
+  cfg.bound = 0.05;
+  const auto backend = make_backend(inst, cfg);
+  for (const model::InstanceEvent& event : churn(inst, 19, 30)) {
+    backend->apply(event);
+    const ParityReport parity = backend->check_parity();
+    EXPECT_TRUE(parity.ok) << parity.detail;
+  }
+  EXPECT_GT(backend->counters().drift_checks, 0u);
+  // The repair engine's maintained assignment is feasible on the
+  // maintained world.
+  const model::Instance snap = backend->snapshot();
+  model::Assignment on_snapshot(snap);
+  const model::Assignment& live = backend->assignment();
+  for (std::size_t u = 0; u < snap.num_users(); ++u)
+    for (const model::StreamId s :
+         live.streams_of(static_cast<model::UserId>(u)))
+      on_snapshot.assign(static_cast<model::UserId>(u), s);
+  EXPECT_TRUE(model::validate(on_snapshot).feasible());
+}
+
+// --- Appends ----------------------------------------------------------
+
+TEST(Sharded, AppendsRebaseEveryShardAndKeepParity) {
+  const model::Instance inst = cap_instance(53, 15, 8);
+  const auto single = make_backend(inst, resolve_config(1));
+  const auto sharded = make_backend(inst, resolve_config(3));
+
+  // Append a brand-new user interested in two existing streams.
+  model::InstanceEvent user_append;
+  user_append.type = model::EventType::kUserJoin;
+  user_append.user = static_cast<model::UserId>(inst.num_users());
+  user_append.value = 12.0;
+  user_append.interests = {{.stream = 0, .utility = 3.0},
+                           {.stream = 4, .utility = 2.5}};
+  // Append a brand-new stream with two interested users (including the
+  // freshly appended one).
+  model::InstanceEvent stream_append;
+  stream_append.type = model::EventType::kStreamAdd;
+  stream_append.stream = static_cast<model::StreamId>(inst.num_streams());
+  stream_append.value = 4.0;
+  stream_append.interests = {{.user = 1, .utility = 2.0},
+                             {.user = user_append.user, .utility = 1.5}};
+
+  for (const model::InstanceEvent& event : {user_append, stream_append}) {
+    single->apply(event);
+    sharded->apply(event);
+    ASSERT_EQ(single->objective(), sharded->objective());
+    ASSERT_EQ(pair_set(*single), pair_set(*sharded));
+  }
+  EXPECT_EQ(sharded->instance().num_users(), inst.num_users() + 1);
+  EXPECT_EQ(sharded->instance().num_streams(), inst.num_streams() + 1);
+  const auto& routing =
+      dynamic_cast<ShardedSession&>(*sharded).routing();
+  EXPECT_EQ(routing.broadcasts, 2u);
+  // Churn on top of the appended world stays in lockstep too.
+  const model::Instance grown = sharded->snapshot();
+  for (const model::InstanceEvent& event : churn(grown, 61, 20)) {
+    single->apply(event);
+    sharded->apply(event);
+    ASSERT_EQ(single->objective(), sharded->objective());
+  }
+  EXPECT_TRUE(sharded->check_parity().ok);
+}
+
+// --- Validation --------------------------------------------------------
+
+TEST(Sharded, InvalidEventsThrowBeforeAnyShardMutates) {
+  const model::Instance inst = cap_instance(71);
+  const auto backend = make_backend(inst, resolve_config(3));
+  const double objective = backend->objective();
+
+  model::InstanceEvent bad;
+  bad.type = model::EventType::kUserLeave;
+  bad.user = 999;
+  try {
+    backend->apply(bad);
+    FAIL() << "unknown user must throw";
+  } catch (const std::invalid_argument& e) {
+    // The canonical overlay message, mirrored coordinator-side.
+    EXPECT_NE(std::string(e.what()).find("user_leave: unknown user 999"),
+              std::string::npos)
+        << e.what();
+  }
+  bad.type = model::EventType::kStreamRemove;
+  bad.stream = -1;
+  EXPECT_THROW(backend->apply(bad), std::invalid_argument);
+  model::InstanceEvent bad_cap;
+  bad_cap.type = model::EventType::kCapacityChange;
+  bad_cap.user = 0;
+  bad_cap.value = -2.0;
+  EXPECT_THROW(backend->apply(bad_cap), std::invalid_argument);
+
+  // Rejected before routing: no event counted, nothing moved, and the
+  // engine still serves.
+  EXPECT_EQ(backend->counters().events, 0u);
+  EXPECT_EQ(backend->objective(), objective);
+  model::InstanceEvent ok;
+  ok.type = model::EventType::kUserLeave;
+  ok.user = 0;
+  backend->apply(ok);
+  EXPECT_TRUE(backend->check_parity().ok);
+}
+
+TEST(Sharded, ConstructorRejectsTheWrongShapes) {
+  const model::Instance inst = cap_instance(73);
+  ServeConfig cfg = resolve_config(2);
+  cfg.policy = ServePolicy::kOnline;
+  EXPECT_THROW(ShardedSession(inst, cfg), std::invalid_argument);
+  cfg.policy = ServePolicy::kResolve;
+  cfg.shards = 1;
+  EXPECT_THROW(ShardedSession(inst, cfg), std::invalid_argument);
+  cfg.shards = 2;
+  cfg.queue = 0;
+  EXPECT_THROW(ShardedSession(inst, cfg), std::invalid_argument);
+}
+
+// --- ServeConfig -------------------------------------------------------
+
+TEST(Sharded, ServeConfigValidatesEveryDeclaredOption) {
+  EXPECT_EQ(ServeConfig::declared().size(), 11u);
+  // Defaults round-trip through from_options.
+  const ServeConfig defaults = ServeConfig::from_options({});
+  EXPECT_EQ(defaults.policy, ServePolicy::kRepair);
+  EXPECT_EQ(defaults.shards, 1);
+  EXPECT_EQ(defaults.queue, 256u);
+
+  const auto from = [](const std::string& key, const std::string& value) {
+    SolveOptions opts;
+    opts.set(key, value);
+    return ServeConfig::from_options(opts);
+  };
+  EXPECT_EQ(from("shards", "8").shards, 8);
+  EXPECT_THROW(from("shards", "0"), std::invalid_argument);
+  EXPECT_THROW(from("shards", "65"), std::invalid_argument);
+  EXPECT_THROW(from("queue", "0"), std::invalid_argument);
+  EXPECT_THROW(from("bound", "-0.1"), std::invalid_argument);
+  EXPECT_THROW(from("policy", "rapair"), std::invalid_argument);
+
+  // The §5 allocator is one sequential decision process: sharding it is
+  // a config contradiction, named as such.
+  SolveOptions online;
+  online.set("policy", "online").set("shards", "2");
+  try {
+    (void)ServeConfig::from_options(online);
+    FAIL() << "online + shards must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--policy online"),
+              std::string::npos);
+  }
+
+  // make_backend is the config flip.
+  const model::Instance inst = cap_instance(79);
+  EXPECT_EQ(make_backend(inst, resolve_config(1))->num_shards(), 1);
+  EXPECT_EQ(make_backend(inst, resolve_config(3))->num_shards(), 3);
+  EXPECT_NE(dynamic_cast<Session*>(make_backend(inst, resolve_config(1)).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<ShardedSession*>(
+                make_backend(inst, resolve_config(3)).get()),
+            nullptr);
+}
+
+// --- Declared event-trace params ---------------------------------------
+
+TEST(Sharded, EventTraceParamsRoundTrip) {
+  EXPECT_EQ(gen::event_trace_params().size(), 12u);
+  gen::EventTraceConfig cfg;
+  // The canonical line reproduces the defaults.
+  const std::string defaults = gen::event_trace_param_line(cfg);
+  for (const gen::EventParamSpec& spec : gen::event_trace_params())
+    EXPECT_NE(defaults.find(std::string(spec.key) + "="), std::string::npos)
+        << spec.key;
+
+  gen::apply_event_trace_overrides(
+      cfg, "events=42,seed=5,w-user-leave=3,cap-scale-min=0.5");
+  EXPECT_EQ(cfg.num_events, 42u);
+  EXPECT_EQ(cfg.seed, 5u);
+  EXPECT_EQ(cfg.w_user_leave, 3.0);
+  EXPECT_EQ(cfg.cap_scale_min, 0.5);
+  const std::string line = gen::event_trace_param_line(cfg);
+  EXPECT_NE(line.find("events=42"), std::string::npos);
+  EXPECT_NE(line.find("w-user-leave=3"), std::string::npos);
+  // Feeding the line back reproduces the config (the reproduction
+  // handle a BENCH report or plan cell carries).
+  gen::EventTraceConfig replay;
+  gen::apply_event_trace_overrides(replay, line);
+  EXPECT_EQ(gen::event_trace_param_line(replay), line);
+
+  EXPECT_THROW(gen::apply_event_trace_overrides(cfg, "bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(gen::apply_event_trace_overrides(cfg, "events=-3"),
+               std::invalid_argument);
+  EXPECT_THROW(gen::apply_event_trace_overrides(cfg, "w-utility=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(gen::apply_event_trace_overrides(cfg, "events"),
+               std::invalid_argument);
+  // A failed override leaves the config unchanged enough to keep its
+  // line stable (strong guarantee not required; the line must parse).
+  gen::EventTraceConfig after;
+  gen::apply_event_trace_overrides(after, gen::event_trace_param_line(cfg));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vdist::engine

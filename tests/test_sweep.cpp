@@ -280,5 +280,88 @@ TEST(Sweep, ParsePlanRejectsMalformedInputWithLineNumbers) {
   }
 }
 
+TEST(Sweep, AlgoOnlyRestrictsTheGrid) {
+  // A plan mixing a general scenario with a form-restricted algorithm:
+  // `serve` requires the unit-skew cap form, so algo-only keeps it off
+  // the mmd cells instead of recording a per-run failure there.
+  std::istringstream is(
+      "scenario cap streams=8 users=5 seed=1\n"
+      "scenario mmd streams=8 users=5 m=2 mc=2 seed=2\n"
+      "algo pipeline\n"
+      "algo serve events=10 policy=resolve shards=2\n"
+      "algo-only cap\n"
+      "replicates 2\n");
+  const SweepPlan plan = parse_plan(is);
+  ASSERT_EQ(plan.algorithms.size(), 2u);
+  EXPECT_EQ(plan.algorithms[1].only, std::vector<std::string>{"cap"});
+  const SweepResult r = run_sweep(plan);
+  EXPECT_TRUE(r.first_error().empty());
+  ASSERT_EQ(r.cells.size(), 4u);
+  // The cap cells ran both algorithms; the mmd x serve cell is skipped
+  // with no runs attempted.
+  EXPECT_EQ(r.cell(0, 1).runs.size(), 2u);
+  EXPECT_FALSE(r.cell(0, 1).skipped);
+  EXPECT_TRUE(r.cell(1, 1).skipped);
+  EXPECT_TRUE(r.cell(1, 1).runs.empty());
+  EXPECT_EQ(r.cell(1, 0).runs.size(), 2u);
+  // The sharded serve cell really served (objective > 0 on this seed).
+  EXPECT_GT(r.cell(0, 1).objective.mean(), 0.0);
+  // Emitters omit the skipped row: 3 cells + header.
+  std::ostringstream csv;
+  write_csv(csv, r);
+  const std::string csv_text = csv.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv_text.begin(), csv_text.end(), '\n')),
+            4u);
+  std::ostringstream json;
+  write_json(json, r);
+  const std::string json_text = json.str();
+  std::size_t aggregates = 0;
+  for (std::size_t pos = 0;
+       (pos = json_text.find("\"aggregates\"", pos)) != std::string::npos;
+       ++pos)
+    ++aggregates;
+  EXPECT_EQ(aggregates, 3u);
+
+  // An only-entry matching no scenario line is a plan error, thrown
+  // before any solve.
+  SweepPlan typo = plan;
+  typo.algorithms[1].only = {"cpa"};
+  EXPECT_THROW((void)run_sweep(typo), std::invalid_argument);
+
+  // algo-only before any algo line is a parse error with a line number.
+  std::istringstream orphan("algo-only cap\n");
+  EXPECT_THROW((void)parse_plan(orphan), std::runtime_error);
+}
+
+TEST(Sweep, ServeCellsArePairedAcrossTheShardsAxis) {
+  // run_sweep pairs generated workloads across algorithm cells via
+  // SolveRequest::workload_seed: replicate r of every serve cell replays
+  // the identical event trace, so under the resolve policy the shards
+  // axis must produce bit-equal objectives (the sharded engine's parity
+  // guarantee, observable through the sweep surface).
+  std::istringstream is(
+      "scenario cap streams=12 users=6 seed=4\n"
+      "algo serve events=40 policy=resolve\n"
+      "algo-axis shards 1 3\n"
+      "replicates 2\n");
+  const SweepResult r = run_sweep(parse_plan(is));
+  EXPECT_TRUE(r.first_error().empty());
+  ASSERT_EQ(r.cells.size(), 2u);
+  const SweepCell& single = r.cell(0, 0);
+  const SweepCell& sharded = r.cell(0, 1);
+  ASSERT_EQ(single.runs.size(), 2u);
+  ASSERT_EQ(sharded.runs.size(), 2u);
+  for (std::size_t rep = 0; rep < 2; ++rep) {
+    EXPECT_EQ(single.runs[rep].objective, sharded.runs[rep].objective);
+    EXPECT_EQ(single.runs[rep].stat("events"),
+              sharded.runs[rep].stat("events"));
+  }
+  EXPECT_EQ(single.runs[0].stat("shards"), 1.0);
+  EXPECT_EQ(sharded.runs[0].stat("shards"), 3.0);
+  // The two replicates still see different traces (seed + rep pairing).
+  EXPECT_NE(single.runs[0].objective, single.runs[1].objective);
+}
+
 }  // namespace
 }  // namespace vdist::engine

@@ -328,9 +328,14 @@ int cmd_sweep(const Args& args) {
 // Draws a deterministic churn trace over an instance and writes it in the
 // event text format — the input of `vdist_cli serve --events`.
 int cmd_gen_events(const Args& args) {
-  // A typo'd flag must be an error, not a silently different trace.
+  // Flags are gen::event_trace_params() — the declared-parameter surface
+  // shared with the churn scenario's `trace` param and the serve solver's
+  // --trace option — plus --out. A typo'd flag must be an error, not a
+  // silently different trace.
   {
-    const std::vector<std::string> known = {"events", "seed", "out"};
+    std::vector<std::string> known = {"out"};
+    for (const gen::EventParamSpec& spec : gen::event_trace_params())
+      known.emplace_back(spec.key);
     for (const auto& [key, value] : args.options)
       if (std::find(known.begin(), known.end(), key) == known.end())
         throw std::runtime_error("gen-events does not take --" + key +
@@ -338,10 +343,11 @@ int cmd_gen_events(const Args& args) {
   }
   const model::Instance inst = io::load_instance_file(args.file);
   gen::EventTraceConfig cfg;
-  cfg.num_events = opt_u(args, "events", cfg.num_events);
-  cfg.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 7));
+  for (const auto& [key, value] : args.options)
+    if (key != "out") gen::set_event_trace_param(cfg, key, value);
   const std::vector<model::InstanceEvent> trace =
       gen::make_event_trace(inst, cfg);
+  std::cerr << "gen-events: " << gen::event_trace_param_line(cfg) << "\n";
   const std::string out = opt(args, "out", "");
   if (out.empty()) {
     io::save_events(std::cout, trace);
@@ -352,16 +358,23 @@ int cmd_gen_events(const Args& args) {
   return 0;
 }
 
-// Replays an event trace through an engine::Session and reports
-// objective-over-time as JSON. --check N compares the session against a
-// from-scratch solve every N events: the resolve policy must match the
-// fresh objective bit-exactly, the repair policy must stay within
-// --bound; a violation exits 4.
+// Replays an event trace through a make_backend() serving backend
+// (engine::Session, or engine::ShardedSession under --shards N) and
+// reports objective-over-time as JSON. --check N compares the backend
+// against a from-scratch solve every N events: the resolve policy must
+// match the fresh objective bit-exactly, the repair policy must stay
+// within --bound; a violation exits 4.
 int cmd_serve(const Args& args) {
+  // Flags are ServeConfig's declared keys — minus the registry-only
+  // trace-derivation knobs (events here names the event FILE; trace is
+  // meaningless when one is given) — plus check/json.
   {
-    const std::vector<std::string> known = {"events", "policy", "bound",
-                                            "refresh", "check", "json",
-                                            "select"};
+    std::vector<std::string> known = {"events", "check", "json"};
+    for (const engine::ServeOptionSpec& spec :
+         engine::ServeConfig::declared()) {
+      const std::string key = spec.key;
+      if (key != "events" && key != "trace") known.push_back(key);
+    }
     for (const auto& [key, value] : args.options)
       if (std::find(known.begin(), known.end(), key) == known.end())
         throw std::runtime_error("serve does not take --" + key +
@@ -374,49 +387,34 @@ int cmd_serve(const Args& args) {
   const std::vector<model::InstanceEvent> trace =
       io::load_events_file(events_path);
 
-  engine::SessionOptions sopts;
-  sopts.policy = engine::parse_serve_policy(opt(args, "policy", "repair"));
-  sopts.quality_bound = std::stod(opt(args, "bound", "0.05"));
-  sopts.refresh_interval =
-      static_cast<int>(opt_u(args, "refresh", 64));
-  sopts.strategy = core::parse_select_strategy(opt(args, "select", "delta"));
+  // One typed config, one validator: the same ServeConfig::from_options
+  // the registry's `serve` adapter and sweep plan lines go through, so a
+  // bad value is rejected with the same message everywhere.
+  engine::SolveOptions raw;
+  for (const auto& [key, value] : args.options)
+    if (key != "events" && key != "check" && key != "json")
+      raw.set(key, value);
+  engine::ServeConfig cfg = engine::ServeConfig::from_options(raw);
   const std::size_t check_every = opt_u(args, "check", 0);
-  // The repair bound is guaranteed at the session's own drift
+  // The repair bound is guaranteed at the backend's own drift
   // checkpoints; align them with the external gate so every checked
   // prefix has had its chance to self-correct. A refresh interval that
   // divides the check interval already lands a self-correction on every
   // gated event; anything else is replaced by the check interval itself.
-  if (check_every > 0 && sopts.policy == engine::ServePolicy::kRepair) {
+  if (check_every > 0 && cfg.policy == engine::ServePolicy::kRepair) {
     const auto check_int = static_cast<int>(check_every);
-    if (sopts.refresh_interval <= 0 ||
-        check_int % sopts.refresh_interval != 0)
-      sopts.refresh_interval = check_int;
+    if (cfg.refresh <= 0 || check_int % cfg.refresh != 0)
+      cfg.refresh = check_int;
   }
 
-  engine::Session session(inst, sopts);
+  const std::unique_ptr<engine::ServingBackend> backend =
+      engine::make_backend(inst, cfg);
   std::ostringstream timeline;
   timeline.precision(17);
   bool parity_failed = false;
   std::size_t applied = 0;
-  // The differential anchor: bake the overlay into a standalone instance
-  // and solve it from scratch — the resolve policy must match that solve
-  // bit-exactly, the repair policy must stay within the quality bound.
-  auto parity_check = [&]() {
-    if (sopts.policy == engine::ServePolicy::kOnline) return true;
-    const model::Instance snap = session.overlay().materialize();
-    core::GreedyOptions gopts;
-    gopts.strategy = sopts.strategy;
-    const core::SmdSolveResult fresh =
-        core::solve_unit_skew(snap, sopts.mode, gopts);
-    const double current = session.objective();
-    if (sopts.policy == engine::ServePolicy::kResolve)
-      return current == fresh.utility;
-    const double drift =
-        (fresh.utility - current) / std::max(fresh.utility, 1.0);
-    return drift <= sopts.quality_bound + 1e-9;
-  };
   for (const model::InstanceEvent& event : trace) {
-    const engine::RepairStats stats = session.apply(event);
+    const engine::RepairStats stats = backend->apply(event);
     ++applied;
     if (applied > 1) timeline << ',';
     timeline << "{\"event\":" << applied << ",\"objective\":"
@@ -428,20 +426,26 @@ int cmd_serve(const Args& args) {
                            ? "resolve"
                            : "online")
              << "\"}";
-    if (check_every > 0 && applied % check_every == 0 && !parity_check()) {
-      parity_failed = true;
-      std::cerr << "serve: parity violated after event " << applied << "\n";
-      break;
+    // The differential anchor: bake the current world into a standalone
+    // instance and solve it from scratch (ServingBackend::check_parity).
+    if (check_every > 0 && applied % check_every == 0) {
+      const engine::ParityReport parity = backend->check_parity();
+      if (!parity.ok) {
+        parity_failed = true;
+        std::cerr << "serve: parity violated after event " << applied
+                  << " (" << parity.detail << ")\n";
+        break;
+      }
     }
   }
-  // Feasibility is judged against the world the session actually serves:
-  // the assignment's pairs re-accounted on the materialized overlay
-  // (caps and utilities as of now, not as of the parent instance).
-  const model::Instance snapshot = session.overlay().materialize();
+  // Feasibility is judged against the world the backend actually serves:
+  // the assignment's pairs re-accounted on the baked snapshot (caps and
+  // utilities as of now, not as of the parent instance).
+  const model::Instance snapshot = backend->snapshot();
   model::Assignment snapshot_assignment(snapshot);
   for (std::size_t u = 0; u < snapshot.num_users(); ++u)
     for (const model::StreamId s :
-         session.assignment().streams_of(static_cast<model::UserId>(u)))
+         backend->assignment().streams_of(static_cast<model::UserId>(u)))
       snapshot_assignment.assign(static_cast<model::UserId>(u), s);
   // The online policy never revokes commitments, so a capacity decrease
   // can legitimately leave user caps exceeded on the current world —
@@ -449,20 +453,21 @@ int cmd_serve(const Args& args) {
   // must be exactly feasible.
   const auto report = model::validate(snapshot_assignment);
   const bool feasibility_ok =
-      sopts.policy == engine::ServePolicy::kOnline ? report.server_feasible()
-                                                   : report.feasible();
+      cfg.policy == engine::ServePolicy::kOnline ? report.server_feasible()
+                                                 : report.feasible();
   if (check_every > 0 && !feasibility_ok) {
     parity_failed = true;
-    std::cerr << "serve: session assignment is infeasible\n";
+    std::cerr << "serve: backend assignment is infeasible\n";
   }
 
-  const engine::SessionCounters& counters = session.counters();
+  const engine::SessionCounters& counters = backend->counters();
   std::ostringstream doc;
   doc.precision(17);
-  doc << "{\"serve\":\"" << engine::to_string(sopts.policy)
-      << "\",\"events\":" << counters.events
-      << ",\"objective\":" << session.objective()
-      << ",\"variant\":\"" << session.variant()
+  doc << "{\"serve\":\"" << engine::to_string(cfg.policy)
+      << "\",\"shards\":" << backend->num_shards()
+      << ",\"events\":" << counters.events
+      << ",\"objective\":" << backend->objective()
+      << ",\"variant\":\"" << backend->variant()
       << "\",\"local_repairs\":" << counters.local_repairs
       << ",\"full_resolves\":" << counters.full_resolves
       << ",\"drift_checks\":" << counters.drift_checks
@@ -477,9 +482,10 @@ int cmd_serve(const Args& args) {
     os << doc.str();
     std::cerr << "wrote " << json_path << "\n";
   }
-  std::cerr << "serve: policy=" << engine::to_string(sopts.policy)
+  std::cerr << "serve: policy=" << engine::to_string(cfg.policy)
+            << " shards=" << backend->num_shards()
             << " events=" << counters.events
-            << " objective=" << session.objective()
+            << " objective=" << backend->objective()
             << " repairs=" << counters.local_repairs
             << " resolves=" << counters.full_resolves << "\n";
   return parity_failed ? 4 : 0;
@@ -636,7 +642,9 @@ int cmd_help(std::ostream& os) {
       "vdist_cli — Video Distribution Under Multiple Constraints\n\n"
       "  vdist_cli gen --kind SCENARIO [scenario params] [--seed S]\n"
       "            [--out FILE]\n"
-      "  vdist_cli gen-events FILE [--events N] [--seed S] [--out FILE]\n"
+      "  vdist_cli gen-events FILE [--events N] [--seed S] [--w-* W]\n"
+      "            [--cap-scale-min/max X] [--utility-scale-min/max X]\n"
+      "            [--out FILE]\n"
       "  vdist_cli scenarios\n"
       "  vdist_cli algos\n"
       "  vdist_cli stats FILE\n"
@@ -644,7 +652,9 @@ int cmd_help(std::ostream& os) {
       "            [--verbose 1] [--export 1] [--strict 0] [algo options]\n"
       "  vdist_cli serve FILE --events EVENTS_FILE\n"
       "            [--policy repair|resolve|online] [--bound X]\n"
-      "            [--refresh N] [--check N] [--select S] [--json FILE|-]\n"
+      "            [--refresh N] [--mode M] [--select S] [--mu X]\n"
+      "            [--guard 0|1] [--shards N] [--queue N] [--check N]\n"
+      "            [--json FILE|-]\n"
       "  vdist_cli sweep --plan FILE | --scenario NAME [--set k=v,...]\n"
       "            [--axis k=v1,v2[;k2=...]] [--algos a,b,c]\n"
       "            [--algo-axis algo:k=v1,v2[;...]] [--replicates N]\n"
@@ -664,12 +674,18 @@ int cmd_help(std::ostream& os) {
       "utility upper bound, wall time); --csv/--json write the table for\n"
       "plotting ('-' = stdout). 'gen-events' draws a deterministic churn\n"
       "trace (joins, leaves, stream add/remove, capacity and utility\n"
-      "moves) over an instance; 'serve' replays such a trace through the\n"
-      "serving-session API (engine/session.h) under one of three repair\n"
-      "policies and emits objective-over-time JSON — with --check N the\n"
-      "session is compared against a from-scratch solve every N events\n"
-      "(resolve must match bit-exactly, repair must stay within --bound;\n"
-      "exit 4 on violation). 'perf' benchmarks the selection-kernel\n"
+      "moves) over an instance; its --w-EVENT weights and scale ranges\n"
+      "are the declared params of gen/events.h (shared verbatim with the\n"
+      "churn scenario's and serve solver's 'trace' option). 'serve'\n"
+      "replays such a trace through the ServingBackend API\n"
+      "(engine/serving.h) under one of three repair policies and emits\n"
+      "objective-over-time JSON; --shards N (> 1) serves through the\n"
+      "sharded engine — N overlay replicas, worker threads and bounded\n"
+      "queues behind the same API, bit-identical objectives under\n"
+      "--policy resolve. With --check N the backend is compared against\n"
+      "a from-scratch solve every N events (resolve must match\n"
+      "bit-exactly, repair must stay within --bound; exit 4 on\n"
+      "violation). 'perf' benchmarks the selection-kernel\n"
       "strategies (delta/lazy/naive) on scaling registered scenarios and\n"
       "writes BENCH_perf.json with build provenance (exit 3 when the\n"
       "objectives diverge, the largest case's delta-vs-naive speedup\n"
