@@ -1,0 +1,189 @@
+#include "dist/cache.h"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vdist::dist {
+
+namespace {
+
+// --- SHA-256 (FIPS 180-4) ---------------------------------------------------
+
+constexpr std::array<std::uint32_t, 64> kRound = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+struct Sha256 {
+  std::array<std::uint32_t, 8> h = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+  std::array<unsigned char, 64> block{};
+  std::size_t block_len = 0;
+  std::uint64_t total_bits = 0;
+
+  void compress() {
+    std::array<std::uint32_t, 64> w{};
+    for (int i = 0; i < 16; ++i)
+      w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(block[4 * i + 3]);
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    auto [a, b, c, d, e, f, g, hh] = h;
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = hh + s1 + ch + kRound[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  void update(const unsigned char* data, std::size_t size) {
+    total_bits += static_cast<std::uint64_t>(size) * 8;
+    while (size > 0) {
+      const std::size_t take =
+          size < block.size() - block_len ? size : block.size() - block_len;
+      std::copy(data, data + take, block.begin() + block_len);
+      block_len += take;
+      data += take;
+      size -= take;
+      if (block_len == block.size()) {
+        compress();
+        block_len = 0;
+      }
+    }
+  }
+
+  std::string hex_digest() {
+    const std::uint64_t bits = total_bits;
+    const unsigned char pad = 0x80;
+    update(&pad, 1);
+    const unsigned char zero = 0x00;
+    while (block_len != 56) update(&zero, 1);
+    unsigned char len_bytes[8];
+    for (int i = 0; i < 8; ++i)
+      len_bytes[i] = static_cast<unsigned char>(bits >> (56 - 8 * i));
+    update(len_bytes, 8);
+    std::string out;
+    out.reserve(64);
+    static const char* hex = "0123456789abcdef";
+    for (const std::uint32_t word : h)
+      for (int shift = 28; shift >= 0; shift -= 4)
+        out.push_back(hex[(word >> shift) & 0xF]);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string sha256_hex(std::string_view data) {
+  Sha256 state;
+  state.update(reinterpret_cast<const unsigned char*>(data.data()),
+               data.size());
+  return state.hex_digest();
+}
+
+std::string cell_cache_key(const CellJob& job, const std::string& build_sha) {
+  // The version tag makes every historical cache stale the moment the
+  // key recipe changes; the build SHA does the same for code changes
+  // that the job text can't see.
+  std::string material = "vdist-cell v1\nbuild " + build_sha + "\n";
+  material += serialize_cell_job(job);
+  return sha256_hex(material);
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty())
+    throw std::runtime_error("ResultCache: empty cache directory");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    throw std::runtime_error("ResultCache: cannot create '" + dir_ +
+                             "': " + ec.message());
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  return dir_ + "/" + key + ".json";
+}
+
+bool ResultCache::contains(const std::string& key) const {
+  std::error_code ec;
+  return std::filesystem::exists(path_for(key), ec);
+}
+
+std::optional<std::vector<engine::RunRecord>> ResultCache::load(
+    const std::string& key) const {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_run_records(buffer.str());
+  } catch (const ProtocolError& e) {
+    throw std::runtime_error("cache entry '" + path_for(key) +
+                             "' is corrupt: " + e.what());
+  }
+}
+
+void ResultCache::store(const std::string& key,
+                        const std::vector<engine::RunRecord>& records) const {
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("cache: cannot write '" + tmp + "'");
+    out << serialize_run_records(records);
+    if (!out)
+      throw std::runtime_error("cache: short write to '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("cache: rename '" + tmp + "' -> '" + path +
+                             "': " + ec.message());
+}
+
+}  // namespace vdist::dist

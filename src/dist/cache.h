@@ -1,0 +1,58 @@
+// Content-addressed on-disk cache of cell results.
+//
+// The key is a SHA-256 over the canonical cell-job text
+// (dist/protocol.h: resolved scenario spec, resolved algorithm options,
+// replicate count, budget, base seed, per-replicate request indices)
+// plus the build's git SHA — everything that determines the solve
+// output, and nothing that doesn't. A cache hit therefore replays the
+// exact records the cell would produce, which keeps the merged sweep
+// artifacts byte-identical whether a cell was solved or recalled.
+//
+// Storage is one file per key, `<dir>/<hex-key>.json`, holding the
+// serialize_run_records() payload — raw (un-redacted) records, so one
+// cache serves both timed and --deterministic sweeps. Writes go through
+// a temp file + rename so a killed worker never leaves a half-written
+// entry behind.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+
+namespace vdist::dist {
+
+// Self-contained SHA-256 (FIPS 180-4); lowercase hex digest. The
+// library has no crypto dependency and doesn't want one for a cache
+// key.
+[[nodiscard]] std::string sha256_hex(std::string_view data);
+
+// The cache key of one cell under one build.
+[[nodiscard]] std::string cell_cache_key(const CellJob& job,
+                                         const std::string& build_sha);
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) if missing; throws std::runtime_error
+  // when that fails.
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  // The cached records, or std::nullopt on miss. A present-but-corrupt
+  // entry throws (a damaged cache must not silently change results).
+  [[nodiscard]] std::optional<std::vector<engine::RunRecord>> load(
+      const std::string& key) const;
+
+  // Atomically persists the records under `key`.
+  void store(const std::string& key,
+             const std::vector<engine::RunRecord>& records) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace vdist::dist

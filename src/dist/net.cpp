@@ -1,0 +1,173 @@
+#include "dist/net.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vdist::dist {
+
+namespace {
+
+[[noreturn]] void die(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const char* data, std::size_t size) {
+  if (fd_ < 0) throw NetError("send on a closed socket");
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer is a NetError here, not a SIGPIPE that
+    // kills the scheduler.
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(char* data, std::size_t size) {
+  if (fd_ < 0) throw NetError("recv on a closed socket");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      die("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0)
+    throw NetError("resolve " + host + ": " + ::gai_strerror(rc));
+  Socket sock;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      sock = Socket(fd);
+      break;
+    }
+    last_error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  if (!sock.valid())
+    throw NetError("connect to " + host + ":" + std::to_string(port) + ": " +
+                   last_error);
+  return sock;
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) die("socket");
+  Socket guard(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    die("bind port " + std::to_string(port));
+  if (::listen(fd, 16) != 0) die("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    die("getsockname");
+  port_ = ntohs(addr.sin_port);
+  sock_ = std::move(guard);
+}
+
+Socket Listener::accept() {
+  if (!sock_.valid()) throw NetError("accept on a closed listener");
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      die("accept");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Socket(fd);
+  }
+}
+
+void Listener::close() noexcept {
+  if (sock_.valid()) {
+    // shutdown() wakes a thread blocked in accept() before the fd goes.
+    ::shutdown(sock_.fd(), SHUT_RDWR);
+    sock_.close();
+  }
+}
+
+void send_frame(Socket& sock, const Frame& frame) {
+  const std::string bytes = encode_frame(frame);
+  sock.send_all(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> FrameReader::recv_frame(Socket& sock) {
+  for (;;) {
+    std::size_t consumed = 0;
+    if (auto frame = try_decode_frame(buffer_, &consumed)) {
+      buffer_.erase(0, consumed);
+      return frame;
+    }
+    char chunk[16 * 1024];
+    const std::size_t n = sock.recv_some(chunk, sizeof chunk);
+    if (n == 0) {
+      if (!buffer_.empty())
+        throw ProtocolError(ProtocolErrorKind::kTruncated,
+                            "connection closed mid-frame with " +
+                                std::to_string(buffer_.size()) +
+                                " buffered bytes");
+      return std::nullopt;
+    }
+    buffer_.append(chunk, n);
+  }
+}
+
+}  // namespace vdist::dist

@@ -1,0 +1,86 @@
+// Minimal POSIX TCP plumbing for the distributed sweep executor: RAII
+// sockets, a listener, and frame transport on top of dist/protocol.h.
+//
+// This is deliberately tiny — blocking sockets, IPv4, no TLS — because
+// the executor targets a trusted cluster (or loopback CI). Everything
+// protocol-shaped lives in protocol.h where it unit-tests without a
+// network; this file only moves bytes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dist/protocol.h"
+
+namespace vdist::dist {
+
+// Socket-level failure (connect refused, peer reset, bind in use).
+// Distinct from ProtocolError: a NetError is about the transport, a
+// ProtocolError about the bytes.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// An owned, connected stream socket. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  // Blocking full write; throws NetError when the peer is gone.
+  void send_all(const char* data, std::size_t size);
+  // Blocking read of up to `size` bytes; returns 0 on orderly EOF,
+  // throws NetError on transport errors.
+  std::size_t recv_some(char* data, std::size_t size);
+
+ private:
+  int fd_ = -1;
+};
+
+// Connects to host:port (numeric IPv4 or a resolvable name).
+[[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port);
+
+// A bound, listening IPv4 socket. Port 0 binds an ephemeral port;
+// port() reports the effective one (tests use this to avoid races on
+// fixed port numbers).
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  // Blocks for the next connection; throws NetError when the listening
+  // socket was shut down (see close()).
+  [[nodiscard]] Socket accept();
+  // Unblocks a concurrent accept() and invalidates the listener.
+  void close() noexcept;
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+// Writes one frame (header + payload) to the socket.
+void send_frame(Socket& sock, const Frame& frame);
+
+// A per-connection receive buffer: recv_frame() reads until one full
+// frame is decodable. EOF mid-frame throws ProtocolError(kTruncated);
+// EOF on a frame boundary returns std::nullopt (orderly close).
+class FrameReader {
+ public:
+  [[nodiscard]] std::optional<Frame> recv_frame(Socket& sock);
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace vdist::dist

@@ -1,0 +1,568 @@
+#include "dist/protocol.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace vdist::dist {
+
+namespace {
+
+// --- Binary payload helpers (big-endian, length-prefixed strings) -----------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void put_string(std::string& out, const std::string& s) {
+  if (s.size() > kMaxFrameBytes)
+    throw ProtocolError(ProtocolErrorKind::kOversized,
+                        "string field of " + std::to_string(s.size()) +
+                            " bytes exceeds the frame budget");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+// Strict payload reader: underflow is kTruncated, leftover bytes after a
+// full message are kBadPayload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v = (v << 8) | static_cast<std::uint8_t>(data_[pos_++]);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v = (v << 8) | static_cast<std::uint8_t>(data_[pos_++]);
+    return v;
+  }
+  std::string string() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  void finish() const {
+    if (pos_ != data_.size())
+      throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                          "message payload has " +
+                              std::to_string(data_.size() - pos_) +
+                              " trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw ProtocolError(ProtocolErrorKind::kTruncated,
+                          "message payload ends " + std::to_string(n) +
+                              " bytes short at offset " +
+                              std::to_string(pos_));
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+const char* type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kCellAssign: return "cell-assign";
+    case MsgType::kCellResult: return "cell-result";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+void expect_type(const Frame& frame, MsgType type) {
+  if (frame.type != type)
+    throw ProtocolError(ProtocolErrorKind::kBadType,
+                        std::string("expected a ") + type_name(type) +
+                            " frame, got " + type_name(frame.type));
+}
+
+}  // namespace
+
+// --- Framing ----------------------------------------------------------------
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFrameBytes)
+    throw ProtocolError(ProtocolErrorKind::kOversized,
+                        "frame payload of " +
+                            std::to_string(frame.payload.size()) +
+                            " bytes exceeds kMaxFrameBytes");
+  std::string out;
+  out.reserve(5 + frame.payload.size());
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u8(out, static_cast<std::uint8_t>(frame.type));
+  out += frame.payload;
+  return out;
+}
+
+std::optional<Frame> try_decode_frame(std::string_view buffer,
+                                      std::size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < 5) return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i)
+    length = (length << 8) | static_cast<std::uint8_t>(buffer[i]);
+  // Header sanity comes before completeness: a garbage header must be an
+  // error now, not an invitation to wait for 4 GiB that never arrives.
+  if (length > kMaxFrameBytes)
+    throw ProtocolError(ProtocolErrorKind::kOversized,
+                        "frame declares a " + std::to_string(length) +
+                            "-byte payload (max " +
+                            std::to_string(kMaxFrameBytes) + ")");
+  const auto type_byte = static_cast<std::uint8_t>(buffer[4]);
+  if (type_byte < static_cast<std::uint8_t>(MsgType::kHello) ||
+      type_byte > static_cast<std::uint8_t>(MsgType::kError))
+    throw ProtocolError(ProtocolErrorKind::kBadType,
+                        "unknown frame type byte " +
+                            std::to_string(type_byte));
+  if (buffer.size() < 5 + static_cast<std::size_t>(length))
+    return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<MsgType>(type_byte);
+  frame.payload.assign(buffer.substr(5, length));
+  *consumed = 5 + static_cast<std::size_t>(length);
+  return frame;
+}
+
+// --- Message codecs ---------------------------------------------------------
+
+Frame encode(const HelloMsg& msg) {
+  Frame frame;
+  frame.type = MsgType::kHello;
+  put_u32(frame.payload, msg.version);
+  put_u32(frame.payload, msg.capacity);
+  return frame;
+}
+
+HelloMsg decode_hello(const Frame& frame) {
+  expect_type(frame, MsgType::kHello);
+  Reader r(frame.payload);
+  HelloMsg msg;
+  msg.version = r.u32();
+  msg.capacity = r.u32();
+  r.finish();
+  return msg;
+}
+
+Frame encode(const CellAssignMsg& msg) {
+  Frame frame;
+  frame.type = MsgType::kCellAssign;
+  put_u64(frame.payload, msg.job_id);
+  put_string(frame.payload, msg.job);
+  return frame;
+}
+
+CellAssignMsg decode_cell_assign(const Frame& frame) {
+  expect_type(frame, MsgType::kCellAssign);
+  Reader r(frame.payload);
+  CellAssignMsg msg;
+  msg.job_id = r.u64();
+  msg.job = r.string();
+  r.finish();
+  return msg;
+}
+
+Frame encode(const CellResultMsg& msg) {
+  Frame frame;
+  frame.type = MsgType::kCellResult;
+  put_u64(frame.payload, msg.job_id);
+  put_u8(frame.payload, msg.ok ? 1 : 0);
+  put_string(frame.payload, msg.payload);
+  return frame;
+}
+
+CellResultMsg decode_cell_result(const Frame& frame) {
+  expect_type(frame, MsgType::kCellResult);
+  Reader r(frame.payload);
+  CellResultMsg msg;
+  msg.job_id = r.u64();
+  const std::uint8_t ok = r.u8();
+  if (ok > 1)
+    throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                        "cell-result ok flag must be 0 or 1, got " +
+                            std::to_string(ok));
+  msg.ok = ok == 1;
+  msg.payload = r.string();
+  r.finish();
+  return msg;
+}
+
+Frame encode(const HeartbeatMsg& msg) {
+  Frame frame;
+  frame.type = MsgType::kHeartbeat;
+  put_u64(frame.payload, msg.token);
+  return frame;
+}
+
+HeartbeatMsg decode_heartbeat(const Frame& frame) {
+  expect_type(frame, MsgType::kHeartbeat);
+  Reader r(frame.payload);
+  HeartbeatMsg msg;
+  msg.token = r.u64();
+  r.finish();
+  return msg;
+}
+
+Frame encode_shutdown() {
+  Frame frame;
+  frame.type = MsgType::kShutdown;
+  return frame;
+}
+
+void decode_shutdown(const Frame& frame) {
+  expect_type(frame, MsgType::kShutdown);
+  Reader r(frame.payload);
+  r.finish();
+}
+
+Frame encode(const ErrorMsg& msg) {
+  Frame frame;
+  frame.type = MsgType::kError;
+  put_string(frame.payload, msg.message);
+  return frame;
+}
+
+ErrorMsg decode_error(const Frame& frame) {
+  expect_type(frame, MsgType::kError);
+  Reader r(frame.payload);
+  ErrorMsg msg;
+  msg.message = r.string();
+  r.finish();
+  return msg;
+}
+
+void check_hello_version(const HelloMsg& hello) {
+  if (hello.version != kProtocolVersion)
+    throw ProtocolError(ProtocolErrorKind::kVersionMismatch,
+                        "peer speaks protocol version " +
+                            std::to_string(hello.version) + ", this build " +
+                            std::to_string(kProtocolVersion));
+}
+
+// --- Cell jobs --------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_job(const std::string& what) {
+  throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                      "cell job: " + what);
+}
+
+void check_word(const std::string& value, const char* what) {
+  if (value.empty())
+    throw std::invalid_argument(std::string("cell job: empty ") + what);
+  if (value.find_first_of(" \t\n\r") != std::string::npos)
+    throw std::invalid_argument(std::string("cell job: ") + what + " '" +
+                                value + "' contains whitespace");
+}
+
+void check_line(const std::string& value, const char* what) {
+  if (value.find_first_of("\n\r") != std::string::npos)
+    throw std::invalid_argument(std::string("cell job: ") + what + " '" +
+                                value + "' contains a newline");
+}
+
+// "directive key rest-of-line" values: everything after the second token.
+void emit_kv_lines(std::ostream& os, const char* directive,
+                   const std::map<std::string, std::string>& kv,
+                   const char* what) {
+  for (const auto& [key, value] : kv) {
+    check_word(key, what);
+    check_line(value, what);
+    os << directive << ' ' << key << ' ' << value << '\n';
+  }
+}
+
+std::uint64_t parse_u64_token(const std::string& token, const char* what) {
+  try {
+    std::size_t parsed = 0;
+    const std::uint64_t v = std::stoull(token, &parsed);
+    if (parsed != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    bad_job(std::string(what) + " expects an integer, got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+CellJob make_cell_job(const engine::ExpandedSweep& expanded, std::size_t sc,
+                      std::size_t ac, std::uint64_t base_seed) {
+  if (!expanded.included(sc, ac))
+    throw std::invalid_argument("make_cell_job: grid cell (" +
+                                std::to_string(sc) + ", " +
+                                std::to_string(ac) + ") is skipped");
+  CellJob job;
+  job.scenario = expanded.scenario_cells[sc].spec;
+  job.algorithm = expanded.algorithm_cells[ac].spec;
+  job.scenario_label = expanded.scenario_cells[sc].label;
+  job.algorithm_label = expanded.algorithm_cells[ac].label;
+  job.replicates = expanded.replicates;
+  job.time_budget_ms = expanded.time_budget_ms;
+  job.validate = expanded.validate;
+  job.base_seed = base_seed;
+  job.request_indices.reserve(static_cast<std::size_t>(expanded.replicates));
+  for (std::size_t rep = 0;
+       rep < static_cast<std::size_t>(expanded.replicates); ++rep)
+    job.request_indices.push_back(
+        static_cast<std::uint64_t>(expanded.request_index(sc, rep, ac)));
+  return job;
+}
+
+std::string serialize_cell_job(const CellJob& job) {
+  check_word(job.scenario.name, "scenario name");
+  check_word(job.algorithm.name, "algorithm name");
+  check_line(job.scenario_label, "scenario label");
+  check_line(job.algorithm_label, "algorithm label");
+  if (job.replicates < 1)
+    throw std::invalid_argument("cell job: replicates must be >= 1");
+  if (job.request_indices.size() !=
+      static_cast<std::size_t>(job.replicates))
+    throw std::invalid_argument(
+        "cell job: " + std::to_string(job.request_indices.size()) +
+        " request indices for " + std::to_string(job.replicates) +
+        " replicates");
+  std::ostringstream os;
+  os << "cell-job v1\n";
+  os << "scenario " << job.scenario.name << '\n';
+  os << "scenario-seed " << job.scenario.seed << '\n';
+  if (!job.scenario_label.empty())
+    os << "scenario-label " << job.scenario_label << '\n';
+  emit_kv_lines(os, "param", job.scenario.params.raw(), "scenario param");
+  os << "algorithm " << job.algorithm.name << '\n';
+  if (!job.algorithm_label.empty())
+    os << "algorithm-label " << job.algorithm_label << '\n';
+  emit_kv_lines(os, "option", job.algorithm.options.raw(),
+                "algorithm option");
+  os << "replicates " << job.replicates << '\n';
+  os << "budget-ms " << util::json_number_string(job.time_budget_ms) << '\n';
+  os << "validate " << (job.validate ? 1 : 0) << '\n';
+  os << "base-seed " << job.base_seed << '\n';
+  os << "request-indices";
+  for (const std::uint64_t index : job.request_indices) os << ' ' << index;
+  os << "\nend\n";
+  return os.str();
+}
+
+CellJob parse_cell_job(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "cell-job v1")
+    bad_job("missing 'cell-job v1' header");
+  CellJob job;
+  job.replicates = 0;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line == "end") {
+      saw_end = true;
+      // Strict: nothing may follow the terminator.
+      if (std::getline(is, line)) bad_job("content after 'end'");
+      break;
+    }
+    std::istringstream ls(line);
+    std::string directive;
+    ls >> directive;
+    // The value is everything after "directive" (scalars) or after
+    // "directive key" (kv lines): single getline tail, spaces preserved.
+    auto tail = [&ls]() {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      return rest;
+    };
+    auto word = [&]() {
+      std::string token;
+      if (!(ls >> token)) bad_job("'" + directive + "' line needs a value");
+      return token;
+    };
+    if (directive == "scenario") {
+      job.scenario.name = word();
+    } else if (directive == "scenario-seed") {
+      job.scenario.seed = parse_u64_token(word(), "scenario-seed");
+    } else if (directive == "scenario-label") {
+      job.scenario_label = tail();
+    } else if (directive == "param") {
+      const std::string key = word();
+      job.scenario.params.set(key, tail());
+    } else if (directive == "algorithm") {
+      job.algorithm.name = word();
+    } else if (directive == "algorithm-label") {
+      job.algorithm_label = tail();
+    } else if (directive == "option") {
+      const std::string key = word();
+      job.algorithm.options.set(key, tail());
+    } else if (directive == "replicates") {
+      job.replicates =
+          static_cast<int>(parse_u64_token(word(), "replicates"));
+    } else if (directive == "budget-ms") {
+      const std::string token = word();
+      char* end = nullptr;
+      job.time_budget_ms = std::strtod(token.c_str(), &end);
+      if (end == nullptr || *end != '\0')
+        bad_job("budget-ms expects a number, got '" + token + "'");
+    } else if (directive == "validate") {
+      const std::string token = word();
+      if (token != "0" && token != "1")
+        bad_job("validate expects 0 or 1, got '" + token + "'");
+      job.validate = token == "1";
+    } else if (directive == "base-seed") {
+      job.base_seed = parse_u64_token(word(), "base-seed");
+    } else if (directive == "request-indices") {
+      std::string token;
+      while (ls >> token)
+        job.request_indices.push_back(
+            parse_u64_token(token, "request-indices"));
+    } else if (directive.empty()) {
+      bad_job("blank line inside job");
+    } else {
+      bad_job("unknown directive '" + directive + "'");
+    }
+  }
+  if (!saw_end) bad_job("missing 'end' terminator");
+  if (job.scenario.name.empty()) bad_job("missing scenario line");
+  if (job.algorithm.name.empty()) bad_job("missing algorithm line");
+  if (job.replicates < 1) bad_job("missing or invalid replicates line");
+  if (job.request_indices.size() !=
+      static_cast<std::size_t>(job.replicates))
+    bad_job(std::to_string(job.request_indices.size()) +
+            " request indices for " + std::to_string(job.replicates) +
+            " replicates");
+  return job;
+}
+
+// --- Run records ------------------------------------------------------------
+
+std::string serialize_run_records(
+    const std::vector<engine::RunRecord>& records) {
+  std::ostringstream os;
+  os << "{\"records\":[";
+  bool first = true;
+  for (const engine::RunRecord& rec : records) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ok\":" << (rec.ok ? "true" : "false")
+       << ",\"feasible\":" << (rec.feasible ? "true" : "false")
+       << ",\"feasibility\":" << static_cast<int>(rec.feasibility)
+       << ",\"timed_out\":" << (rec.timed_out ? "true" : "false")
+       << ",\"objective\":";
+    util::json_number(os, rec.objective);
+    os << ",\"raw_utility\":";
+    util::json_number(os, rec.raw_utility);
+    os << ",\"upper_bound\":";
+    util::json_number(os, rec.upper_bound);
+    os << ",\"wall_ms\":";
+    util::json_number(os, rec.wall_ms);
+    // Seeds are full 64-bit words; a JSON double would corrupt anything
+    // past 2^53, so they travel as decimal strings.
+    os << ",\"seed\":\"" << rec.seed << "\",\"variant\":";
+    util::json_string(os, rec.variant);
+    os << ",\"error\":";
+    util::json_string(os, rec.error);
+    os << ",\"stats\":{";
+    bool first_stat = true;
+    for (const auto& [key, value] : rec.stats) {
+      if (!first_stat) os << ',';
+      first_stat = false;
+      util::json_string(os, key);
+      os << ':';
+      util::json_number(os, value);
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::vector<engine::RunRecord> parse_run_records(const std::string& text) {
+  util::JsonValue doc;
+  try {
+    doc = util::parse_json(text);
+  } catch (const std::exception& e) {
+    throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                        std::string("run records: ") + e.what());
+  }
+  const util::JsonValue* records = doc.find("records");
+  if (records == nullptr || !records->is_array())
+    throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                        "run records: missing \"records\" array");
+  std::vector<engine::RunRecord> out;
+  out.reserve(records->array.size());
+  for (const util::JsonValue& entry : records->array) {
+    if (!entry.is_object())
+      throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                          "run records: entry is not an object");
+    engine::RunRecord rec;
+    rec.ok = entry.bool_or("ok", false);
+    rec.feasible = entry.bool_or("feasible", false);
+    const int feasibility =
+        static_cast<int>(entry.number_or("feasibility", 0.0));
+    if (feasibility < 0 ||
+        feasibility > static_cast<int>(model::Feasibility::kInfeasible))
+      throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                          "run records: feasibility value " +
+                              std::to_string(feasibility) +
+                              " out of range");
+    rec.feasibility = static_cast<model::Feasibility>(feasibility);
+    rec.timed_out = entry.bool_or("timed_out", false);
+    rec.objective = entry.number_or("objective", 0.0);
+    rec.raw_utility = entry.number_or("raw_utility", 0.0);
+    rec.upper_bound = entry.number_or("upper_bound", 0.0);
+    rec.wall_ms = entry.number_or("wall_ms", 0.0);
+    const std::string seed = entry.string_or("seed", "");
+    if (seed.empty())
+      throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                          "run records: missing seed string");
+    try {
+      rec.seed = std::stoull(seed);
+    } catch (const std::exception&) {
+      throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                          "run records: bad seed '" + seed + "'");
+    }
+    rec.variant = entry.string_or("variant", "");
+    rec.error = entry.string_or("error", "");
+    const util::JsonValue* stats = entry.find("stats");
+    if (stats != nullptr) {
+      if (!stats->is_object())
+        throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                            "run records: stats is not an object");
+      for (const auto& [key, value] : stats->object) {
+        if (value.kind != util::JsonValue::Kind::kNumber)
+          throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                              "run records: stat '" + key +
+                                  "' is not a number");
+        rec.stats[key] = value.number;
+      }
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace vdist::dist

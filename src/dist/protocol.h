@@ -1,0 +1,181 @@
+// The wire protocol of the distributed sweep executor: length-prefixed
+// frames over TCP, a small versioned message vocabulary, and the
+// canonical text codecs for the payloads (cell jobs out, run records
+// back).
+//
+// Framing: every message is
+//
+//   u32  payload length (big-endian)
+//   u8   message type (MsgType)
+//   ...  payload bytes
+//
+// Decoding is strict: an unknown type byte, a declared length past
+// kMaxFrameBytes, a payload that is too short, or trailing bytes after a
+// message all raise ProtocolError with a typed kind — a malformed peer
+// is a loud error, never a silently different sweep. The protocol is
+// versioned through the hello exchange; a scheduler and worker with
+// different kProtocolVersion refuse each other.
+//
+// The byte-level layer here is socket-free (frames in, frames out of
+// std::string buffers) so the whole vocabulary unit-tests without a
+// network; dist/net.h carries frames over real sockets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/sweep.h"
+
+namespace vdist::dist {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+// Upper bound on a frame payload; a declared length past this is decoded
+// as kOversized instead of trusting the peer with a 4 GiB allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,       // both directions: version + capacity handshake
+  kCellAssign = 2,  // scheduler -> worker: one serialized CellJob
+  kCellResult = 3,  // worker -> scheduler: the job's run records (or error)
+  kHeartbeat = 4,   // scheduler -> worker, echoed back verbatim
+  kShutdown = 5,    // scheduler -> worker: exit cleanly after this session
+  kError = 6,       // either side: human-readable refusal, then close
+};
+
+enum class ProtocolErrorKind {
+  kTruncated,        // frame or payload ends before its declared length
+  kOversized,        // declared payload length exceeds kMaxFrameBytes
+  kBadType,          // unknown type byte, or decoding the wrong message
+  kBadPayload,       // payload malformed for the declared type
+  kVersionMismatch,  // hello with a different kProtocolVersion
+};
+
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(ProtocolErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  [[nodiscard]] ProtocolErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ProtocolErrorKind kind_;
+};
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+// Serializes one frame (header + payload). Throws kOversized when the
+// payload does not fit the length prefix budget.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+// Incremental decode from the front of `buffer`: std::nullopt when the
+// buffer holds less than one complete frame (read more), otherwise the
+// frame, with *consumed set to the bytes it occupied. Throws
+// ProtocolError (kOversized, kBadType) as soon as a malformed header is
+// visible, before waiting for its payload.
+[[nodiscard]] std::optional<Frame> try_decode_frame(std::string_view buffer,
+                                                    std::size_t* consumed);
+
+// --- Messages ---------------------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  // How many cells the sender is willing to hold in flight (worker: its
+  // executor thread count).
+  std::uint32_t capacity = 1;
+};
+
+struct CellAssignMsg {
+  std::uint64_t job_id = 0;
+  std::string job;  // serialize_cell_job() text
+};
+
+struct CellResultMsg {
+  std::uint64_t job_id = 0;
+  // True: payload is serialize_run_records() JSON. False: payload is the
+  // worker-side error message (bad job text, scenario build failure).
+  bool ok = false;
+  std::string payload;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t token = 0;
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+[[nodiscard]] Frame encode(const HelloMsg& msg);
+[[nodiscard]] Frame encode(const CellAssignMsg& msg);
+[[nodiscard]] Frame encode(const CellResultMsg& msg);
+[[nodiscard]] Frame encode(const HeartbeatMsg& msg);
+[[nodiscard]] Frame encode_shutdown();
+[[nodiscard]] Frame encode(const ErrorMsg& msg);
+
+// Strict decoders: the frame must carry the matching type (kBadType
+// otherwise) and the payload must parse with no bytes left over
+// (kTruncated / kBadPayload otherwise).
+[[nodiscard]] HelloMsg decode_hello(const Frame& frame);
+[[nodiscard]] CellAssignMsg decode_cell_assign(const Frame& frame);
+[[nodiscard]] CellResultMsg decode_cell_result(const Frame& frame);
+[[nodiscard]] HeartbeatMsg decode_heartbeat(const Frame& frame);
+void decode_shutdown(const Frame& frame);  // payload must be empty
+[[nodiscard]] ErrorMsg decode_error(const Frame& frame);
+
+// Refuses a hello whose version differs from ours (kVersionMismatch).
+void check_hello_version(const HelloMsg& hello);
+
+// --- Cell jobs --------------------------------------------------------------
+
+// One dispatchable unit: a (scenario cell, algorithm cell) of an
+// ExpandedSweep with everything a worker needs to reproduce the
+// single-process solves bit-for-bit — the resolved specs, the replicate
+// count, and each replicate's global request index (BatchRunner derives
+// per-solve seeds from base_seed and that index, so the indices are part
+// of the cell's identity, and of its cache key).
+struct CellJob {
+  engine::ScenarioSpec scenario;    // resolved: defaults folded in
+  engine::AlgorithmSpec algorithm;  // options include axis values
+  std::string scenario_label;
+  std::string algorithm_label;
+  int replicates = 1;
+  double time_budget_ms = 0.0;
+  bool validate = true;
+  std::uint64_t base_seed = 0;
+  std::vector<std::uint64_t> request_indices;  // one per replicate
+};
+
+// Builds the job for an included grid cell of the expansion.
+[[nodiscard]] CellJob make_cell_job(const engine::ExpandedSweep& expanded,
+                                    std::size_t sc, std::size_t ac,
+                                    std::uint64_t base_seed);
+
+// Canonical line-based text form: the CellAssign payload AND the input
+// of the content-addressed cache key, so "same bytes" means "same
+// solves". Keys and labels must be single-line and space-free where the
+// format requires it; serialize throws std::invalid_argument otherwise.
+[[nodiscard]] std::string serialize_cell_job(const CellJob& job);
+// Throws ProtocolError (kBadPayload) on malformed text.
+[[nodiscard]] CellJob parse_cell_job(const std::string& text);
+
+// --- Run records ------------------------------------------------------------
+
+// JSON codec for a cell's replicate records (the CellResult payload and
+// the cache file content). Doubles are emitted at shortest round-trip
+// precision and seeds as decimal strings, so a record survives any
+// number of serialize/parse cycles bit-for-bit — the property the
+// byte-identical distributed CSV/JSON guarantee rests on. Assignments
+// are never shipped.
+[[nodiscard]] std::string serialize_run_records(
+    const std::vector<engine::RunRecord>& records);
+// Throws ProtocolError (kBadPayload) on malformed or non-record JSON.
+[[nodiscard]] std::vector<engine::RunRecord> parse_run_records(
+    const std::string& text);
+
+}  // namespace vdist::dist

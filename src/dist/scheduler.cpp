@@ -1,0 +1,429 @@
+#include "dist/scheduler.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "core/select.h"
+#include "dist/cache.h"
+#include "dist/net.h"
+#include "dist/worker.h"
+#include "engine/perf.h"
+
+namespace vdist::dist {
+
+namespace {
+
+// One dispatchable cell: the parsed job (for request-index placement and
+// local execution), its wire text, and its cache key.
+struct PendingCell {
+  CellJob job;
+  std::string text;
+  std::string key;  // empty when no cache is configured
+  std::size_t ordinal = 0;
+};
+
+// Scheduler-wide state every worker thread shares.
+struct Shared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<PendingCell> queue;
+  // Cells not yet merged (queued + in flight anywhere). The termination
+  // condition: unfinished == 0.
+  std::size_t unfinished = 0;
+  std::size_t live_workers = 0;
+  std::vector<engine::RunRecord> records;
+  std::string fatal;  // first unrecoverable error; empty = healthy
+  DistStats stats;
+  const ResultCache* cache = nullptr;
+  bool log = false;
+};
+
+void merge_records_locked(Shared& shared, const CellJob& job,
+                          std::vector<engine::RunRecord>&& records) {
+  for (std::size_t rep = 0; rep < records.size(); ++rep)
+    shared.records[static_cast<std::size_t>(job.request_indices[rep])] =
+        std::move(records[rep]);
+}
+
+void set_fatal_locked(Shared& shared, const std::string& what) {
+  if (shared.fatal.empty()) shared.fatal = what;
+}
+
+// Serves one worker connection until the sweep drains or the worker
+// dies. Any cell in flight on a dying worker goes back on the queue.
+void drive_worker(const WorkerSpec& spec, const DistOptions& dist,
+                  Shared& shared) {
+  Socket sock;
+  FrameReader reader;
+  unsigned capacity = spec.capacity;
+  const std::string who = spec.host + ":" + std::to_string(spec.port);
+  try {
+    sock = connect_to(spec.host, spec.port);
+    send_frame(sock, encode(HelloMsg{kProtocolVersion, 0}));
+    const auto reply = reader.recv_frame(sock);
+    if (!reply.has_value())
+      throw NetError("worker closed during handshake");
+    if (reply->type == MsgType::kError)
+      throw NetError("worker refused: " + decode_error(*reply).message);
+    const HelloMsg hello = decode_hello(*reply);
+    check_hello_version(hello);
+    if (capacity == 0) capacity = hello.capacity;
+    if (capacity == 0) capacity = 1;
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    ++shared.stats.worker_failures;
+    --shared.live_workers;
+    if (shared.live_workers == 0 && shared.unfinished > 0)
+      set_fatal_locked(shared, "no workers left (" + who + ": " + e.what() +
+                                   ") with " +
+                                   std::to_string(shared.unfinished) +
+                                   " cells unfinished");
+    shared.cv.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    ++shared.stats.workers;
+    if (shared.log)
+      std::fprintf(stderr, "dist: %s up (capacity %u)\n", who.c_str(),
+                   capacity);
+  }
+
+  std::unordered_map<std::uint64_t, PendingCell> outstanding;
+  std::uint64_t next_id = 1;
+  bool worker_dead = false;
+  try {
+    for (;;) {
+      // Top up to capacity, or learn that the sweep is over.
+      std::vector<CellAssignMsg> to_send;
+      {
+        std::unique_lock<std::mutex> lock(shared.mutex);
+        shared.cv.wait(lock, [&] {
+          return !shared.fatal.empty() || shared.unfinished == 0 ||
+                 !shared.queue.empty() || !outstanding.empty();
+        });
+        if (!shared.fatal.empty() ||
+            (shared.unfinished == 0 && outstanding.empty()))
+          break;
+        while (outstanding.size() < capacity && !shared.queue.empty()) {
+          PendingCell cell = std::move(shared.queue.front());
+          shared.queue.pop_front();
+          const std::uint64_t id = next_id++;
+          to_send.push_back(CellAssignMsg{id, cell.text});
+          outstanding.emplace(id, std::move(cell));
+        }
+      }
+      for (const CellAssignMsg& assign : to_send)
+        send_frame(sock, encode(assign));
+      if (outstanding.empty()) continue;  // woken with nothing to do
+
+      const auto frame = reader.recv_frame(sock);
+      if (!frame.has_value())
+        throw NetError("worker closed with " +
+                       std::to_string(outstanding.size()) +
+                       " cells in flight");
+      if (frame->type == MsgType::kError)
+        throw NetError("worker error: " + decode_error(*frame).message);
+      const CellResultMsg result = decode_cell_result(*frame);
+      const auto it = outstanding.find(result.job_id);
+      if (it == outstanding.end())
+        throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                            "result for unknown job id " +
+                                std::to_string(result.job_id));
+      PendingCell cell = std::move(it->second);
+      outstanding.erase(it);
+      if (!result.ok) {
+        // Job-level failures (bad scenario, unknown algorithm) are
+        // deterministic: another worker would fail identically, so this
+        // is fatal, not retried.
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        set_fatal_locked(shared, "cell '" + cell.job.scenario_label + " / " +
+                                     cell.job.algorithm_label +
+                                     "' failed on " + who + ": " +
+                                     result.payload);
+        shared.cv.notify_all();
+        break;
+      }
+      std::vector<engine::RunRecord> records =
+          parse_run_records(result.payload);
+      if (records.size() != cell.job.request_indices.size())
+        throw ProtocolError(ProtocolErrorKind::kBadPayload,
+                            "cell returned " +
+                                std::to_string(records.size()) +
+                                " records for " +
+                                std::to_string(
+                                    cell.job.request_indices.size()) +
+                                " replicates");
+      if (shared.cache != nullptr && !cell.key.empty())
+        shared.cache->store(cell.key, records);
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        merge_records_locked(shared, cell.job, std::move(records));
+        ++shared.stats.executed;
+        --shared.unfinished;
+        if (shared.log)
+          std::fprintf(stderr, "dist: %s solved %s / %s\n", who.c_str(),
+                       cell.job.scenario_label.c_str(),
+                       cell.job.algorithm_label.c_str());
+        shared.cv.notify_all();
+      }
+    }
+  } catch (const std::exception& e) {
+    worker_dead = true;
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    ++shared.stats.worker_failures;
+    shared.stats.retried += outstanding.size();
+    for (auto& [id, cell] : outstanding) shared.queue.push_back(
+        std::move(cell));
+    outstanding.clear();
+    if (shared.log)
+      std::fprintf(stderr, "dist: %s died (%s); requeued its cells\n",
+                   who.c_str(), e.what());
+    --shared.live_workers;
+    if (shared.live_workers == 0 && shared.unfinished > 0)
+      set_fatal_locked(shared, "no workers left (" + who + ": " + e.what() +
+                                   ") with " +
+                                   std::to_string(shared.unfinished) +
+                                   " cells unfinished");
+    shared.cv.notify_all();
+  }
+  if (!worker_dead) {
+    {
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      --shared.live_workers;
+    }
+    if (dist.shutdown_workers) {
+      try {
+        send_frame(sock, encode_shutdown());
+      } catch (const std::exception&) {
+        // Best-effort: a worker that died after its last result is fine.
+      }
+    }
+  }
+}
+
+// Worker-less mode: solve the queue in-process, through the exact same
+// execute_cell_job path a remote worker runs.
+void drive_local(unsigned threads, Shared& shared) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  auto executor = [&]() {
+    core::SolveWorkspace workspace;
+    for (;;) {
+      PendingCell cell;
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        if (shared.queue.empty() || !shared.fatal.empty()) return;
+        cell = std::move(shared.queue.front());
+        shared.queue.pop_front();
+      }
+      try {
+        std::vector<engine::RunRecord> records =
+            execute_cell_job(cell.job, workspace);
+        if (shared.cache != nullptr && !cell.key.empty())
+          shared.cache->store(cell.key, records);
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        merge_records_locked(shared, cell.job, std::move(records));
+        ++shared.stats.executed;
+        --shared.unfinished;
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        set_fatal_locked(shared, "cell '" + cell.job.scenario_label + " / " +
+                                     cell.job.algorithm_label +
+                                     "' failed: " + e.what());
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::size_t spawn = std::min<std::size_t>(threads,
+                                                  shared.queue.size());
+  if (spawn <= 1) {
+    executor();
+    return;
+  }
+  pool.reserve(spawn);
+  for (std::size_t t = 0; t < spawn; ++t) pool.emplace_back(executor);
+  for (std::thread& t : pool) t.join();
+}
+
+std::vector<PendingCell> make_pending_cells(
+    const engine::ExpandedSweep& expanded, std::uint64_t base_seed,
+    bool with_keys, const std::string& build_sha) {
+  std::vector<PendingCell> cells;
+  for (std::size_t sc = 0; sc < expanded.num_scenario_cells(); ++sc)
+    for (std::size_t ac = 0; ac < expanded.num_algorithm_cells(); ++ac) {
+      if (!expanded.included(sc, ac)) continue;
+      PendingCell cell;
+      cell.job = make_cell_job(expanded, sc, ac, base_seed);
+      cell.text = serialize_cell_job(cell.job);
+      if (with_keys) cell.key = cell_cache_key(cell.job, build_sha);
+      cell.ordinal = cells.size();
+      cells.push_back(std::move(cell));
+    }
+  return cells;
+}
+
+}  // namespace
+
+std::vector<WorkerSpec> parse_workers(std::istream& is) {
+  std::vector<WorkerSpec> workers;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string host;
+    if (!(ls >> host)) continue;  // blank / comment-only
+    WorkerSpec spec;
+    spec.host = host;
+    long port = 0;
+    if (!(ls >> port) || port < 1 || port > 65535)
+      throw std::runtime_error("workers file line " +
+                               std::to_string(line_no) +
+                               ": expected 'HOST PORT [CAPACITY]'");
+    spec.port = static_cast<std::uint16_t>(port);
+    long capacity = 0;
+    if (ls >> capacity) {
+      if (capacity < 0)
+        throw std::runtime_error("workers file line " +
+                                 std::to_string(line_no) +
+                                 ": capacity must be >= 0");
+      spec.capacity = static_cast<unsigned>(capacity);
+    }
+    std::string extra;
+    if (ls >> extra)
+      throw std::runtime_error("workers file line " +
+                               std::to_string(line_no) +
+                               ": trailing token '" + extra + "'");
+    workers.push_back(std::move(spec));
+  }
+  return workers;
+}
+
+std::vector<WorkerSpec> parse_worker_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("cannot open workers file '" + path + "'");
+  return parse_workers(in);
+}
+
+engine::SweepResult run_distributed_sweep(
+    const engine::SweepPlan& plan, const std::vector<WorkerSpec>& workers,
+    const engine::SweepOptions& options, const DistOptions& dist,
+    DistStats* stats) {
+  if (options.keep_instances || options.keep_assignments)
+    throw std::invalid_argument(
+        "run_distributed_sweep: keep_instances/keep_assignments are not "
+        "supported (run records never carry assignments)");
+
+  const engine::ExpandedSweep expanded = plan.expand(options.strict);
+  std::unique_ptr<ResultCache> cache;
+  if (!dist.cache_dir.empty())
+    cache = std::make_unique<ResultCache>(dist.cache_dir);
+  const std::string build_sha = engine::collect_provenance().git_sha;
+
+  std::vector<PendingCell> cells = make_pending_cells(
+      expanded, options.batch.base_seed, cache != nullptr, build_sha);
+
+  Shared shared;
+  shared.records.resize(expanded.num_requests);
+  shared.cache = cache.get();
+  shared.log = dist.log;
+  shared.stats.cells = cells.size();
+
+  // Cache pass: recall every hit before anything touches the network.
+  for (PendingCell& cell : cells) {
+    if (cache != nullptr) {
+      if (auto hit = cache->load(cell.key)) {
+        if (hit->size() != cell.job.request_indices.size())
+          throw std::runtime_error("cache entry '" +
+                                   cache->path_for(cell.key) +
+                                   "' has the wrong replicate count");
+        merge_records_locked(shared, cell.job, std::move(*hit));
+        ++shared.stats.cached;
+        continue;
+      }
+    }
+    shared.queue.push_back(std::move(cell));
+  }
+  shared.unfinished = shared.queue.size();
+
+  if (shared.unfinished > 0) {
+    if (workers.empty()) {
+      drive_local(dist.local_threads, shared);
+    } else {
+      shared.live_workers = workers.size();
+      std::vector<std::thread> pool;
+      pool.reserve(workers.size());
+      for (const WorkerSpec& spec : workers)
+        pool.emplace_back(
+            [&spec, &dist, &shared]() { drive_worker(spec, dist, shared); });
+      for (std::thread& t : pool) t.join();
+    }
+  } else if (!workers.empty() && dist.shutdown_workers) {
+    // Fully cached sweep: nothing to dispatch, but the caller still
+    // wants its workers reaped.
+    for (const WorkerSpec& spec : workers) {
+      try {
+        Socket sock = connect_to(spec.host, spec.port);
+        send_frame(sock, encode(HelloMsg{kProtocolVersion, 0}));
+        FrameReader reader;
+        (void)reader.recv_frame(sock);
+        send_frame(sock, encode_shutdown());
+      } catch (const std::exception&) {
+        // Best-effort.
+      }
+    }
+  }
+
+  if (!shared.fatal.empty())
+    throw std::runtime_error("distributed sweep failed: " + shared.fatal);
+  if (shared.unfinished != 0)
+    throw std::runtime_error("distributed sweep: " +
+                             std::to_string(shared.unfinished) +
+                             " cells never completed");
+
+  if (stats != nullptr) *stats = shared.stats;
+  return engine::assemble_sweep_result(expanded, std::move(shared.records),
+                                       options.deterministic);
+}
+
+std::vector<CellStatus> list_cells(const engine::SweepPlan& plan,
+                                   const engine::SweepOptions& options,
+                                   const std::string& cache_dir) {
+  const engine::ExpandedSweep expanded = plan.expand(options.strict);
+  std::unique_ptr<ResultCache> cache;
+  if (!cache_dir.empty()) cache = std::make_unique<ResultCache>(cache_dir);
+  const std::string build_sha = engine::collect_provenance().git_sha;
+
+  std::vector<CellStatus> rows;
+  for (std::size_t sc = 0; sc < expanded.num_scenario_cells(); ++sc)
+    for (std::size_t ac = 0; ac < expanded.num_algorithm_cells(); ++ac) {
+      if (!expanded.included(sc, ac)) continue;
+      const CellJob job =
+          make_cell_job(expanded, sc, ac, options.batch.base_seed);
+      CellStatus row;
+      row.scenario_cell = sc;
+      row.algorithm_cell = ac;
+      row.scenario_label = expanded.scenario_cells[sc].label;
+      row.algorithm_label = expanded.algorithm_cells[ac].label;
+      row.key = cell_cache_key(job, build_sha);
+      row.cached = cache != nullptr && cache->contains(row.key);
+      rows.push_back(std::move(row));
+    }
+  return rows;
+}
+
+}  // namespace vdist::dist

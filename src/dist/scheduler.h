@@ -1,0 +1,100 @@
+// The scheduler half of the distributed sweep executor: expands a
+// SweepPlan (engine/sweep.h), dispatches its grid cells to a pool of
+// workers (dist/worker.h) with capacity-aware fan-out and
+// retry-on-worker-death, consults the content-addressed result cache
+// (dist/cache.h), and merges everything back through the same
+// assemble_sweep_result() path run_sweep() uses — so the merged
+// CSV/JSON artifacts are byte-identical to a single-process sweep of
+// the same plan (under SweepOptions::deterministic, which removes the
+// only run-dependent fields: wall-clock times).
+//
+//   auto workers = parse_worker_file("workers.txt");  // "host port [cap]"
+//   DistStats stats;
+//   SweepResult r = run_distributed_sweep(plan, workers, {}, {}, &stats);
+//
+// With an empty worker list the scheduler executes cells in-process
+// (worker-less mode) — the way to get cache-aware sweeps without any
+// network, and the reference the distributed tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "engine/sweep.h"
+
+namespace vdist::dist {
+
+struct WorkerSpec {
+  std::string host;
+  std::uint16_t port = 0;
+  // Max cells in flight on this worker; 0 = whatever capacity the
+  // worker advertises in its hello.
+  unsigned capacity = 0;
+};
+
+// Worker config format, one worker per line:
+//
+//   # comment
+//   HOST PORT [CAPACITY]
+//
+// Throws std::runtime_error with a line number on malformed input.
+[[nodiscard]] std::vector<WorkerSpec> parse_workers(std::istream& is);
+[[nodiscard]] std::vector<WorkerSpec> parse_worker_file(
+    const std::string& path);
+
+struct DistOptions {
+  // Cache directory; empty = no cache.
+  std::string cache_dir;
+  // Worker-less mode only: in-process executor threads
+  // (0 = hardware_concurrency).
+  unsigned local_threads = 0;
+  // Send shutdown to every surviving worker when the sweep completes
+  // (CI uses this to reap its worker processes).
+  bool shutdown_workers = false;
+  // Per-cell progress lines on stderr.
+  bool log = false;
+};
+
+// What the sweep cost: reported in the CLI summary line
+//   dist: cells=N cached=H executed=M retried=R workers=W
+struct DistStats {
+  std::size_t cells = 0;     // included grid cells
+  std::size_t cached = 0;    // satisfied from the result cache
+  std::size_t executed = 0;  // solved (remotely or in-process)
+  std::size_t retried = 0;   // re-dispatched after a worker died
+  std::size_t workers = 0;   // workers that completed the handshake
+  std::size_t worker_failures = 0;  // connect/handshake/mid-run deaths
+};
+
+// Runs the plan distributed (or in-process when `workers` is empty).
+// Throws std::invalid_argument on plan errors and unsupported options
+// (keep_instances/keep_assignments — records never ship assignments),
+// std::runtime_error when every worker died with cells unfinished or a
+// worker reported a deterministic job failure.
+[[nodiscard]] engine::SweepResult run_distributed_sweep(
+    const engine::SweepPlan& plan, const std::vector<WorkerSpec>& workers,
+    const engine::SweepOptions& options = {}, const DistOptions& dist = {},
+    DistStats* stats = nullptr);
+
+// One row of `vdist_cli sweep --list-cells`: the cell's labels, its
+// canonical cache key under this build, and whether the cache holds it.
+struct CellStatus {
+  std::size_t scenario_cell = 0;
+  std::size_t algorithm_cell = 0;
+  std::string scenario_label;
+  std::string algorithm_label;
+  std::string key;
+  bool cached = false;
+};
+
+// Dry run: expands the plan and keys every included cell without
+// solving anything. With an empty cache_dir all `cached` flags are
+// false.
+[[nodiscard]] std::vector<CellStatus> list_cells(
+    const engine::SweepPlan& plan, const engine::SweepOptions& options = {},
+    const std::string& cache_dir = {});
+
+}  // namespace vdist::dist

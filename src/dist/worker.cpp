@@ -1,0 +1,219 @@
+#include "dist/worker.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/select.h"
+#include "engine/batch.h"
+#include "engine/registry.h"
+#include "engine/scenario.h"
+#include "engine/sweep.h"
+
+namespace vdist::dist {
+
+std::vector<engine::RunRecord> execute_cell_job(
+    const CellJob& job, core::SolveWorkspace& workspace) {
+  const engine::ScenarioRegistry& scenarios =
+      engine::ScenarioRegistry::global();
+  const engine::SolverRegistry& registry = engine::SolverRegistry::global();
+  std::vector<engine::RunRecord> records;
+  records.reserve(static_cast<std::size_t>(job.replicates));
+  for (std::size_t rep = 0; rep < static_cast<std::size_t>(job.replicates);
+       ++rep) {
+    engine::ScenarioSpec spec = job.scenario;
+    spec.seed = job.scenario.seed + rep;
+    const model::Instance instance = scenarios.build(spec, /*strict=*/true);
+
+    // Mirror ExpandedSweep::make_request + BatchRunner::run exactly:
+    // same options, same tag, same trace/workspace policy, and the seed
+    // derived from this replicate's *global* request index — the part of
+    // the single-process batch a remote worker cannot see locally.
+    engine::SolveRequest req;
+    req.instance = &instance;
+    req.algorithm = job.algorithm.name;
+    req.options = job.algorithm.options;
+    const std::uint64_t request_seed = job.scenario.seed + rep;
+    req.seed = engine::BatchRunner::derive_seed(
+        job.base_seed,
+        static_cast<std::size_t>(job.request_indices[rep]), request_seed);
+    req.workload_seed = request_seed;
+    req.time_budget_ms = job.time_budget_ms;
+    req.validate = job.validate;
+    req.tag = job.scenario_label + " / " + job.algorithm_label + " #" +
+              std::to_string(rep);
+    req.workspace = &workspace;
+    req.record_trace = false;
+
+    engine::SolveResult result;
+    try {
+      result = registry.solve(req);
+    } catch (const std::exception& e) {
+      result.algorithm = req.algorithm;
+      result.tag = req.tag;
+      result.error = e.what();
+    }
+    records.push_back(engine::to_run_record(std::move(result),
+                                            /*keep_assignment=*/false));
+  }
+  return records;
+}
+
+Worker::Worker(const WorkerOptions& options)
+    : listener_(options.port), capacity_(options.capacity) {
+  if (capacity_ == 0) {
+    capacity_ = std::thread::hardware_concurrency();
+    if (capacity_ == 0) capacity_ = 1;
+  }
+}
+
+void Worker::stop() noexcept {
+  stopping_.store(true);
+  listener_.close();
+}
+
+void Worker::serve() {
+  for (;;) {
+    Socket sock;
+    try {
+      sock = listener_.accept();
+    } catch (const NetError&) {
+      if (stopping_.load()) return;
+      throw;
+    }
+    try {
+      if (serve_connection(std::move(sock))) return;
+    } catch (const std::exception& e) {
+      // A misbehaving scheduler ends its connection, not the worker.
+      std::fprintf(stderr, "worker: connection error: %s\n", e.what());
+    }
+    if (stopping_.load()) return;
+  }
+}
+
+bool Worker::serve_connection(Socket sock) {
+  FrameReader reader;
+
+  // Handshake: the scheduler speaks first; refuse a version skew before
+  // accepting any work.
+  const auto first = reader.recv_frame(sock);
+  if (!first.has_value()) return false;  // connected and left
+  const HelloMsg hello = decode_hello(*first);
+  try {
+    check_hello_version(hello);
+  } catch (const ProtocolError& e) {
+    send_frame(sock, encode(ErrorMsg{e.what()}));
+    return false;
+  }
+  send_frame(sock, encode(HelloMsg{kProtocolVersion, capacity_}));
+
+  // Executor pool: `capacity_` threads pull assignments from a queue and
+  // stream results back. One mutex serializes frame writes (results from
+  // executors, heartbeat echoes from this thread).
+  std::mutex write_mutex;
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<CellAssignMsg> queue;
+  bool done = false;
+
+  auto executor = [&]() {
+    core::SolveWorkspace workspace;
+    for (;;) {
+      CellAssignMsg assign;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [&] { return done || !queue.empty(); });
+        if (queue.empty()) return;
+        assign = std::move(queue.front());
+        queue.pop_front();
+      }
+      CellResultMsg result;
+      result.job_id = assign.job_id;
+      try {
+        const CellJob job = parse_cell_job(assign.job);
+        core::SolveWorkspace* ws = &workspace;
+        result.payload = serialize_run_records(execute_cell_job(job, *ws));
+        result.ok = true;
+      } catch (const std::exception& e) {
+        result.ok = false;
+        result.payload = e.what();
+      }
+      const std::lock_guard<std::mutex> lock(write_mutex);
+      try {
+        send_frame(sock, encode(result));
+      } catch (const NetError&) {
+        // Scheduler went away mid-result; the read loop will see EOF.
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(capacity_);
+  for (unsigned t = 0; t < capacity_; ++t) pool.emplace_back(executor);
+
+  auto finish = [&](bool shutdown) {
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      done = true;
+      if (!shutdown) queue.clear();  // a dead scheduler's jobs are moot
+    }
+    queue_cv.notify_all();
+    for (std::thread& t : pool) t.join();
+    return shutdown;
+  };
+
+  try {
+    for (;;) {
+      const auto frame = reader.recv_frame(sock);
+      if (!frame.has_value()) return finish(false);
+      switch (frame->type) {
+        case MsgType::kCellAssign: {
+          {
+            const std::lock_guard<std::mutex> lock(queue_mutex);
+            queue.push_back(decode_cell_assign(*frame));
+          }
+          queue_cv.notify_one();
+          break;
+        }
+        case MsgType::kHeartbeat: {
+          const HeartbeatMsg beat = decode_heartbeat(*frame);
+          const std::lock_guard<std::mutex> lock(write_mutex);
+          send_frame(sock, encode(beat));
+          break;
+        }
+        case MsgType::kShutdown:
+          decode_shutdown(*frame);
+          return finish(true);  // drain in-flight jobs, then exit
+        case MsgType::kError: {
+          const ErrorMsg err = decode_error(*frame);
+          std::fprintf(stderr, "worker: scheduler error: %s\n",
+                       err.message.c_str());
+          return finish(false);
+        }
+        default:
+          throw ProtocolError(ProtocolErrorKind::kBadType,
+                              "unexpected frame type on a worker");
+      }
+    }
+  } catch (...) {
+    finish(false);
+    throw;
+  }
+}
+
+int run_worker(const WorkerOptions& options) {
+  try {
+    Worker worker(options);
+    std::fprintf(stderr, "worker: listening on port %u (capacity %u)\n",
+                 static_cast<unsigned>(worker.port()), worker.capacity());
+    worker.serve();
+    std::fprintf(stderr, "worker: shutdown received, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: fatal: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace vdist::dist

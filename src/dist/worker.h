@@ -1,0 +1,80 @@
+// The worker half of the distributed sweep executor: a process that
+// listens on a TCP port, handshakes with a scheduler, and solves the
+// cell jobs it is assigned through the same registry + BatchRunner seed
+// derivation as a single-process sweep — so a cell computed here is
+// bit-identical to the one run_sweep() would have produced.
+//
+//   Worker worker({.port = 9090});     // port 0 = ephemeral, see port()
+//   worker.serve();                    // until a scheduler sends shutdown
+//
+// One scheduler connection is served at a time (the scheduler opens
+// exactly one per worker); `capacity` executor threads solve assigned
+// cells concurrently, each with its own core::SolveWorkspace. When the
+// scheduler disconnects without shutdown, the worker loops back to
+// accept() — a restarted scheduler can reuse it. A shutdown message
+// drains in-flight jobs and returns from serve().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "dist/net.h"
+#include "dist/protocol.h"
+
+namespace vdist::core {
+struct SolveWorkspace;
+}  // namespace vdist::core
+
+namespace vdist::dist {
+
+struct WorkerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral (tests); port() has the result
+  // Executor threads = advertised hello capacity.
+  // 0 = hardware_concurrency (at least 1).
+  unsigned capacity = 0;
+};
+
+// Solves one cell job locally: builds each replicate's instance
+// (scenario seed + rep), issues the request exactly as
+// ExpandedSweep::make_request does, derives the per-solve seed from the
+// job's global request indices, and projects results through
+// engine::to_run_record. The shared core of the worker and of the
+// scheduler's worker-less local mode. Solver failures come back as
+// error records; scenario build failures throw std::invalid_argument.
+[[nodiscard]] std::vector<engine::RunRecord> execute_cell_job(
+    const CellJob& job, core::SolveWorkspace& workspace);
+
+class Worker {
+ public:
+  // Binds the port immediately (so callers can read port() before
+  // serve() runs); throws NetError when the bind fails.
+  explicit Worker(const WorkerOptions& options);
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+  [[nodiscard]] unsigned capacity() const noexcept { return capacity_; }
+
+  // Accept/serve loop; returns after a scheduler's shutdown message (or
+  // after stop()). Protocol violations terminate the offending
+  // connection with an error frame, not the worker.
+  void serve();
+
+  // Thread-safe: unblocks serve() and makes it return.
+  void stop() noexcept;
+
+ private:
+  // Serves one scheduler connection; returns true when a shutdown
+  // message asked the worker to exit.
+  bool serve_connection(Socket sock);
+
+  Listener listener_;
+  unsigned capacity_ = 1;
+  std::atomic<bool> stopping_{false};
+};
+
+// CLI entry: serve until shutdown, logging assignments to stderr.
+int run_worker(const WorkerOptions& options);
+
+}  // namespace vdist::dist

@@ -55,7 +55,9 @@ void append_axis_keys(const std::vector<SweepAxis>& axes,
       keys.push_back(axis.key);
 }
 
-RunRecord to_record(SolveResult&& r, bool keep_assignment) {
+}  // namespace
+
+RunRecord to_run_record(SolveResult&& r, bool keep_assignment) {
   RunRecord rec;
   rec.ok = r.ok;
   rec.feasible = r.feasible();
@@ -73,8 +75,6 @@ RunRecord to_record(SolveResult&& r, bool keep_assignment) {
     rec.assignment = std::move(r.assignment);
   return rec;
 }
-
-}  // namespace
 
 double SweepCell::mean_stat(const std::string& key) const {
   util::RunningStats s;
@@ -116,155 +116,167 @@ std::string SweepResult::first_error() const {
   return {};
 }
 
-SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
-  if (plan.scenarios.empty())
+ScenarioSpec ExpandedSweep::replicate_spec(std::size_t sc,
+                                           std::size_t rep) const {
+  ScenarioSpec spec = scenario_cells[sc].spec;
+  spec.seed = scenario_cells[sc].spec.seed + rep;
+  return spec;
+}
+
+SolveRequest ExpandedSweep::make_request(std::size_t sc, std::size_t rep,
+                                         std::size_t ac) const {
+  SolveRequest req;
+  req.algorithm = algorithm_cells[ac].spec.name;
+  req.options = algorithm_cells[ac].spec.options;
+  req.seed = scenario_cells[sc].spec.seed + rep;
+  // Pair generated workloads (serve traces) across algorithm cells
+  // the same way instances are paired: replicate r of every cell
+  // replays the same trace, so a shards or policy axis compares
+  // algorithms on one workload instead of one workload each.
+  req.workload_seed = req.seed;
+  req.time_budget_ms = time_budget_ms;
+  req.validate = validate;
+  req.tag = scenario_cells[sc].label + " / " + algorithm_cells[ac].label +
+            " #" + std::to_string(rep);
+  return req;
+}
+
+ExpandedSweep SweepPlan::expand(bool strict) const {
+  if (scenarios.empty())
     throw std::invalid_argument("sweep plan has no scenarios");
-  if (plan.algorithms.empty())
+  if (algorithms.empty())
     throw std::invalid_argument("sweep plan has no algorithms");
-  if (plan.replicates < 1)
+  if (replicates < 1)
     throw std::invalid_argument("sweep plan replicates must be >= 1");
 
-  const ScenarioRegistry& scenarios = ScenarioRegistry::global();
+  const ScenarioRegistry& scenario_registry = ScenarioRegistry::global();
   const SolverRegistry& solvers = SolverRegistry::global();
 
+  ExpandedSweep ex;
+  ex.replicates = replicates;
+  ex.time_budget_ms = time_budget_ms;
+  ex.validate = validate;
+
   // --- Expand the scenario cells -------------------------------------------
-  struct ScenarioCell {
-    ScenarioSpec spec;  // resolved: defaults + axis values folded in
-    std::string label;
-  };
-  std::vector<ScenarioCell> scenario_cells;
   const std::vector<Assignment> scenario_assignments =
-      expand_axes(plan.scenario_axes);
-  for (const ScenarioSpec& base : plan.scenarios) {
+      expand_axes(scenario_axes);
+  for (const ScenarioSpec& base : scenarios) {
     for (const Assignment& a : scenario_assignments) {
       ScenarioSpec spec = base;
       for (const auto& [key, value] : a) spec.params.set(key, value);
       // Scenario params are fully declared, so resolution is always
       // strict: a typo in a plan axis fails here, before any solve.
-      spec = scenarios.resolve(spec, /*strict=*/true);
-      scenario_cells.push_back(
+      spec = scenario_registry.resolve(spec, /*strict=*/true);
+      ex.scenario_cells.push_back(
           {std::move(spec),
            label_with_axes(base.label.empty() ? base.name : base.label, a)});
     }
   }
 
   // --- Expand the algorithm cells ------------------------------------------
-  struct AlgorithmCell {
-    AlgorithmSpec spec;  // options include axis values
-    std::string label;
-  };
-  std::vector<AlgorithmCell> algorithm_cells;
-  for (const AlgorithmSpec& base : plan.algorithms) {
+  for (const AlgorithmSpec& base : algorithms) {
     (void)solvers.info(base.name);  // unknown algorithm: throw, listing names
     for (const Assignment& a : expand_axes(base.axes)) {
       AlgorithmSpec spec = base;
       for (const auto& [key, value] : a) spec.options.set(key, value);
-      if (options.strict) solvers.check_options(spec.name, spec.options);
-      algorithm_cells.push_back(
+      if (strict) solvers.check_options(spec.name, spec.options);
+      ex.algorithm_cells.push_back(
           {std::move(spec),
            label_with_axes(base.label.empty() ? base.name : base.label, a)});
     }
   }
 
-  const std::size_t S = scenario_cells.size();
-  const std::size_t A = algorithm_cells.size();
-  const auto R = static_cast<std::size_t>(plan.replicates);
+  const std::size_t S = ex.scenario_cells.size();
+  const std::size_t A = ex.algorithm_cells.size();
+  const auto R = static_cast<std::size_t>(replicates);
 
   // --- Resolve the algo-only restrictions ----------------------------------
-  // include[sc * A + ac]: does algorithm cell ac run on scenario cell sc?
-  std::vector<char> include(S * A, 1);
+  ex.include.assign(S * A, 1);
   for (std::size_t ac = 0; ac < A; ++ac) {
-    const std::vector<std::string>& only = algorithm_cells[ac].spec.only;
+    const std::vector<std::string>& only = ex.algorithm_cells[ac].spec.only;
     if (only.empty()) continue;
     for (const std::string& name : only) {
       const bool known = std::any_of(
-          scenario_cells.begin(), scenario_cells.end(),
-          [&](const ScenarioCell& sc) {
+          ex.scenario_cells.begin(), ex.scenario_cells.end(),
+          [&](const ExpandedSweep::ScenarioCell& sc) {
             return sc.spec.name == name || sc.label == name;
           });
       if (!known)
         throw std::invalid_argument(
             "sweep plan: algo-only scenario '" + name + "' (on algo '" +
-            algorithm_cells[ac].spec.name + "') matches no scenario line");
+            ex.algorithm_cells[ac].spec.name + "') matches no scenario line");
     }
     for (std::size_t sc = 0; sc < S; ++sc) {
       const bool match = std::any_of(
           only.begin(), only.end(), [&](const std::string& name) {
-            return scenario_cells[sc].spec.name == name ||
-                   scenario_cells[sc].label == name;
+            return ex.scenario_cells[sc].spec.name == name ||
+                   ex.scenario_cells[sc].label == name;
           });
-      if (!match) include[sc * A + ac] = 0;
+      if (!match) ex.include[sc * A + ac] = 0;
     }
   }
 
-  // --- Build the instances (replicate r: scenario seed + r) ----------------
-  std::vector<model::Instance> instances;
-  instances.reserve(S * R);
-  for (const ScenarioCell& sc : scenario_cells)
-    for (std::size_t rep = 0; rep < R; ++rep) {
-      ScenarioSpec spec = sc.spec;
-      spec.seed = sc.spec.seed + rep;
-      instances.push_back(scenarios.build(spec, /*strict=*/true));
-    }
-
-  // --- Expand and run the requests -----------------------------------------
-  std::vector<SolveRequest> requests;
-  requests.reserve(S * R * A);
-  // slot[(sc * R + rep) * A + ac] -> index into requests/solve_results;
-  // npos for grid points an algo-only restriction excluded.
-  constexpr std::size_t kSkippedSlot = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> slot(S * R * A, kSkippedSlot);
+  // --- Assign the global request indices -----------------------------------
+  // This order (scenario cell -> replicate -> algorithm cell) is load-
+  // bearing: BatchRunner derives per-request seeds from these indices, so
+  // any executor reproducing a cell must use the same numbering.
+  ex.slot.assign(S * R * A, ExpandedSweep::kSkippedSlot);
   for (std::size_t sc = 0; sc < S; ++sc)
     for (std::size_t rep = 0; rep < R; ++rep)
       for (std::size_t ac = 0; ac < A; ++ac) {
-        if (include[sc * A + ac] == 0) continue;
-        slot[(sc * R + rep) * A + ac] = requests.size();
-        SolveRequest req;
-        req.instance = &instances[sc * R + rep];
-        req.algorithm = algorithm_cells[ac].spec.name;
-        req.options = algorithm_cells[ac].spec.options;
-        req.seed = scenario_cells[sc].spec.seed + rep;
-        // Pair generated workloads (serve traces) across algorithm cells
-        // the same way instances are paired: replicate r of every cell
-        // replays the same trace, so a shards or policy axis compares
-        // algorithms on one workload instead of one workload each.
-        req.workload_seed = req.seed;
-        req.time_budget_ms = plan.time_budget_ms;
-        req.validate = plan.validate;
-        req.tag = scenario_cells[sc].label + " / " +
-                  algorithm_cells[ac].label + " #" + std::to_string(rep);
-        requests.push_back(std::move(req));
+        if (ex.include[sc * A + ac] == 0) continue;
+        ex.slot[(sc * R + rep) * A + ac] = ex.num_requests++;
       }
-  std::vector<SolveResult> solve_results =
-      solve_batch(requests, options.batch);
 
-  // --- Aggregate into cells -------------------------------------------------
+  append_axis_keys(scenario_axes, ex.scenario_axis_keys);
+  for (const AlgorithmSpec& algo : algorithms)
+    append_axis_keys(algo.axes, ex.algorithm_axis_keys);
+  return ex;
+}
+
+void redact_timing(RunRecord& record) {
+  record.wall_ms = 0.0;
+  for (auto& [key, value] : record.stats)
+    if (key.find("wall_ms") != std::string::npos) value = 0.0;
+}
+
+SweepResult assemble_sweep_result(const ExpandedSweep& expanded,
+                                  std::vector<RunRecord> records,
+                                  bool deterministic) {
+  const std::size_t S = expanded.num_scenario_cells();
+  const std::size_t A = expanded.num_algorithm_cells();
+  const auto R = static_cast<std::size_t>(expanded.replicates);
+  if (records.size() != expanded.num_requests)
+    throw std::invalid_argument(
+        "assemble_sweep_result: " + std::to_string(records.size()) +
+        " records for " + std::to_string(expanded.num_requests) +
+        " requests");
+  if (deterministic)
+    for (RunRecord& record : records) redact_timing(record);
+
   SweepResult result;
   result.num_scenario_cells = S;
   result.num_algorithm_cells = A;
-  result.replicates = plan.replicates;
-  append_axis_keys(plan.scenario_axes, result.scenario_axis_keys);
-  for (const AlgorithmSpec& algo : plan.algorithms)
-    append_axis_keys(algo.axes, result.algorithm_axis_keys);
+  result.replicates = expanded.replicates;
+  result.scenario_axis_keys = expanded.scenario_axis_keys;
+  result.algorithm_axis_keys = expanded.algorithm_axis_keys;
   result.cells.resize(S * A);
   for (std::size_t sc = 0; sc < S; ++sc)
     for (std::size_t ac = 0; ac < A; ++ac) {
       SweepCell& cell = result.cells[sc * A + ac];
       cell.scenario_cell = sc;
       cell.algorithm_cell = ac;
-      cell.scenario = scenario_cells[sc].spec;
-      cell.algorithm = algorithm_cells[ac].spec;
-      cell.scenario_label = scenario_cells[sc].label;
-      cell.algorithm_label = algorithm_cells[ac].label;
-      if (include[sc * A + ac] == 0) {
+      cell.scenario = expanded.scenario_cells[sc].spec;
+      cell.algorithm = expanded.algorithm_cells[ac].spec;
+      cell.scenario_label = expanded.scenario_cells[sc].label;
+      cell.algorithm_label = expanded.algorithm_cells[ac].label;
+      if (!expanded.included(sc, ac)) {
         cell.skipped = true;
         continue;
       }
       cell.runs.reserve(R);
       for (std::size_t rep = 0; rep < R; ++rep) {
-        const std::size_t index = slot[(sc * R + rep) * A + ac];
-        RunRecord rec = to_record(std::move(solve_results[index]),
-                                  options.keep_assignments);
+        RunRecord rec = std::move(records[expanded.request_index(sc, rep, ac)]);
         if (rec.ok) {
           ++cell.ok_count;
           cell.objective.add(rec.objective);
@@ -277,6 +289,44 @@ SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
         cell.runs.push_back(std::move(rec));
       }
     }
+  return result;
+}
+
+SweepResult run_sweep(const SweepPlan& plan, const SweepOptions& options) {
+  const ExpandedSweep ex = plan.expand(options.strict);
+  const ScenarioRegistry& scenarios = ScenarioRegistry::global();
+  const std::size_t S = ex.num_scenario_cells();
+  const std::size_t A = ex.num_algorithm_cells();
+  const auto R = static_cast<std::size_t>(ex.replicates);
+
+  // --- Build the instances (replicate r: scenario seed + r) ----------------
+  std::vector<model::Instance> instances;
+  instances.reserve(S * R);
+  for (std::size_t sc = 0; sc < S; ++sc)
+    for (std::size_t rep = 0; rep < R; ++rep)
+      instances.push_back(scenarios.build(ex.replicate_spec(sc, rep),
+                                          /*strict=*/true));
+
+  // --- Expand and run the requests -----------------------------------------
+  std::vector<SolveRequest> requests(ex.num_requests);
+  for (std::size_t sc = 0; sc < S; ++sc)
+    for (std::size_t rep = 0; rep < R; ++rep)
+      for (std::size_t ac = 0; ac < A; ++ac) {
+        const std::size_t index = ex.request_index(sc, rep, ac);
+        if (index == ExpandedSweep::kSkippedSlot) continue;
+        requests[index] = ex.make_request(sc, rep, ac);
+        requests[index].instance = &instances[sc * R + rep];
+      }
+  std::vector<SolveResult> solve_results =
+      solve_batch(requests, options.batch);
+
+  std::vector<RunRecord> records;
+  records.reserve(solve_results.size());
+  for (SolveResult& r : solve_results)
+    records.push_back(
+        to_run_record(std::move(r), options.keep_assignments));
+  SweepResult result = assemble_sweep_result(ex, std::move(records),
+                                             options.deterministic);
   // Retained assignments reference the instances they were solved on, so
   // keep_assignments must keep the instances alive too — otherwise every
   // kept Assignment would dangle the moment `instances` goes out of scope.

@@ -33,16 +33,22 @@ void json_string(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
-void json_number(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";  // JSON has no inf/nan
-    return;
+std::string json_number_string(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  // Shortest exact round-trip: the fewest significant digits whose
+  // strtod re-parse is bit-identical. Most doubles in the library are
+  // short decimals or small integers, so this usually stops early; the
+  // 17-digit form is exact for every double, so the loop always ends on
+  // a round-tripping representation.
+  char buf[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
   }
-  std::ostringstream tmp;
-  tmp.precision(17);
-  tmp << v;
-  os << tmp.str();
+  return buf;
 }
+
+void json_number(std::ostream& os, double v) { os << json_number_string(v); }
 
 const JsonValue* JsonValue::find(const std::string& key) const noexcept {
   if (kind != Kind::kObject) return nullptr;

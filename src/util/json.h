@@ -22,9 +22,15 @@ namespace vdist::util {
 // backslashes and every control character (\n, \r, \t, \u00XX).
 void json_string(std::ostream& os, const std::string& s);
 
-// Writes a finite double at round-trip precision; non-finite values
-// (JSON has no inf/nan) become null.
+// Writes a finite double at shortest round-trip precision; non-finite
+// values (JSON has no inf/nan) become null.
 void json_number(std::ostream& os, double v);
+
+// The shortest decimal string whose strtod re-parse is bit-identical to
+// `v` ("0.1", not "0.10000000000000001"); "%.17g" as the last resort.
+// Shared by every writer that must survive re-serialization byte-for-byte
+// (cached sweep results, BENCH diffs). Non-finite values return "null".
+[[nodiscard]] std::string json_number_string(double v);
 
 // A parsed JSON document node. Object members keep source order (the
 // library's own emitters are deterministic, so diffs stay stable).

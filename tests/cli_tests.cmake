@@ -273,6 +273,47 @@ if(NOT cli_err MATCHES "no-such-case")
   message(FATAL_ERROR "unmatched perf --filter not rejected:\n${cli_err}")
 endif()
 
+# --- distributed sweep: cache round-trip and --list-cells dry run ------------
+# Worker-less --cache runs exercise the content-addressed cache without a
+# network: the first run executes every cell, the second recalls all of
+# them, and the deterministic CSVs are byte-identical.
+set(cache_dir "${WORK_DIR}/cell-cache")
+file(REMOVE_RECURSE "${cache_dir}")
+run_cli(0 sweep --scenario cap --set users=5 --axis streams=8,12
+        --algos greedy,pipeline --replicates 2 --deterministic 1
+        --cache "${cache_dir}" --csv "${WORK_DIR}/dist1.csv")
+if(NOT cli_err MATCHES "dist: cells=4 cached=0 executed=4")
+  message(FATAL_ERROR "first cached sweep did not execute all cells:\n${cli_err}")
+endif()
+run_cli(0 sweep --scenario cap --set users=5 --axis streams=8,12
+        --algos greedy,pipeline --replicates 2 --deterministic 1
+        --cache "${cache_dir}" --csv "${WORK_DIR}/dist2.csv")
+if(NOT cli_err MATCHES "dist: cells=4 cached=4 executed=0")
+  message(FATAL_ERROR "second cached sweep re-executed cells:\n${cli_err}")
+endif()
+file(READ "${WORK_DIR}/dist1.csv" dist1_csv)
+file(READ "${WORK_DIR}/dist2.csv" dist2_csv)
+if(NOT dist1_csv STREQUAL dist2_csv)
+  message(FATAL_ERROR "cached sweep CSV differs from the executed one")
+endif()
+# The dry run prints one keyed row per cell, all cached by now.
+run_cli(0 sweep --scenario cap --set users=5 --axis streams=8,12
+        --algos greedy,pipeline --replicates 2 --deterministic 1
+        --cache "${cache_dir}" --list-cells 1)
+if(NOT cli_out MATCHES "list-cells: 4 cells, 4 cached")
+  message(FATAL_ERROR "--list-cells missed cached cells:\n${cli_out}")
+endif()
+if(cli_out MATCHES "miss")
+  message(FATAL_ERROR "--list-cells reported misses on a full cache:\n${cli_out}")
+endif()
+# A malformed workers file is rejected with its line number.
+file(WRITE "${WORK_DIR}/bad-workers.txt" "localhost notaport\n")
+run_cli(1 sweep --scenario cap --algos greedy
+        --workers "${WORK_DIR}/bad-workers.txt")
+if(NOT cli_err MATCHES "workers file line 1")
+  message(FATAL_ERROR "bad workers file not rejected:\n${cli_err}")
+endif()
+
 # --- unknown subcommands must fail loudly ------------------------------------
 run_cli(1 frobnicate)
 if(NOT cli_err MATCHES "unknown command 'frobnicate'")

@@ -1,0 +1,266 @@
+// End-to-end tests of the distributed sweep executor over loopback
+// sockets: worker handshake, byte-identical merged artifacts, the
+// content-addressed cache, and retry on worker death.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "dist/cache.h"
+#include "dist/net.h"
+#include "dist/scheduler.h"
+#include "dist/worker.h"
+#include "engine/sweep.h"
+
+namespace vdist::dist {
+namespace {
+
+// 2 scenario cells x 2 algorithm cells x 2 replicates = 4 cells.
+engine::SweepPlan tiny_plan() {
+  engine::SweepPlan plan;
+  engine::ScenarioSpec base;
+  base.name = "cap";
+  base.params.set("users", 5);
+  base.seed = 100;
+  plan.scenarios = {base};
+  plan.scenario_axes = {{"streams", {"8", "12"}}};
+  plan.algorithms = {{.name = "greedy"}, {.name = "pipeline"}};
+  plan.replicates = 2;
+  return plan;
+}
+
+engine::SweepOptions det_options() {
+  engine::SweepOptions options;
+  options.deterministic = true;  // wall clocks are the only run-variant
+  return options;
+}
+
+std::string csv_of(const engine::SweepResult& result) {
+  std::ostringstream os;
+  engine::write_csv(os, result);
+  return os.str();
+}
+
+std::string json_of(const engine::SweepResult& result) {
+  std::ostringstream os;
+  engine::write_json(os, result);
+  return os.str();
+}
+
+// A scratch cache directory, wiped at both ends of the test.
+struct TempCacheDir {
+  explicit TempCacheDir(const char* name)
+      : path(::testing::TempDir() + name) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempCacheDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+TEST(Dist, ParseWorkersAcceptsCommentsAndCapacities) {
+  std::istringstream is(
+      "# my cluster\n"
+      "127.0.0.1 9090 4\n"
+      "\n"
+      "10.0.0.2 9091   # advertised capacity\n");
+  const std::vector<WorkerSpec> workers = parse_workers(is);
+  ASSERT_EQ(workers.size(), 2u);
+  EXPECT_EQ(workers[0].host, "127.0.0.1");
+  EXPECT_EQ(workers[0].port, 9090);
+  EXPECT_EQ(workers[0].capacity, 4u);
+  EXPECT_EQ(workers[1].host, "10.0.0.2");
+  EXPECT_EQ(workers[1].capacity, 0u);
+
+  std::istringstream bad_port("localhost notaport\n");
+  EXPECT_THROW((void)parse_workers(bad_port), std::runtime_error);
+  std::istringstream trailing("localhost 9090 2 surprise\n");
+  EXPECT_THROW((void)parse_workers(trailing), std::runtime_error);
+}
+
+TEST(Dist, WorkerlessModeMatchesRunSweepByteForByte) {
+  const engine::SweepPlan plan = tiny_plan();
+  const engine::SweepResult reference = run_sweep(plan, det_options());
+  DistStats stats;
+  const engine::SweepResult local =
+      run_distributed_sweep(plan, {}, det_options(), {}, &stats);
+  EXPECT_EQ(csv_of(local), csv_of(reference));
+  EXPECT_EQ(json_of(local), json_of(reference));
+  EXPECT_EQ(stats.cells, 4u);
+  EXPECT_EQ(stats.executed, 4u);
+  EXPECT_EQ(stats.cached, 0u);
+}
+
+TEST(Dist, TwoWorkersProduceByteIdenticalArtifacts) {
+  const engine::SweepPlan plan = tiny_plan();
+  const engine::SweepResult reference = run_sweep(plan, det_options());
+
+  Worker w1({.port = 0, .capacity = 2});
+  Worker w2({.port = 0, .capacity = 2});
+  std::thread t1([&] { w1.serve(); });
+  std::thread t2([&] { w2.serve(); });
+
+  DistOptions dist;
+  dist.shutdown_workers = true;  // serve() returns after the sweep
+  DistStats stats;
+  const engine::SweepResult merged = run_distributed_sweep(
+      plan, {{"127.0.0.1", w1.port()}, {"127.0.0.1", w2.port()}},
+      det_options(), dist, &stats);
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(csv_of(merged), csv_of(reference));
+  EXPECT_EQ(json_of(merged), json_of(reference));
+  EXPECT_EQ(stats.cells, 4u);
+  EXPECT_EQ(stats.executed, 4u);
+  EXPECT_EQ(stats.workers, 2u);
+  EXPECT_EQ(stats.retried, 0u);
+}
+
+TEST(Dist, SecondRunIsServedEntirelyFromTheCache) {
+  const engine::SweepPlan plan = tiny_plan();
+  TempCacheDir cache("vdist_dist_cache_test");
+
+  DistOptions dist;
+  dist.cache_dir = cache.path;
+  DistStats first_stats;
+  const engine::SweepResult first =
+      run_distributed_sweep(plan, {}, det_options(), dist, &first_stats);
+  EXPECT_EQ(first_stats.executed, 4u);
+  EXPECT_EQ(first_stats.cached, 0u);
+
+  DistStats second_stats;
+  const engine::SweepResult second =
+      run_distributed_sweep(plan, {}, det_options(), dist, &second_stats);
+  EXPECT_EQ(second_stats.executed, 0u);  // 0 cells re-solved
+  EXPECT_EQ(second_stats.cached, 4u);
+  EXPECT_EQ(csv_of(second), csv_of(first));
+  EXPECT_EQ(json_of(second), json_of(first));
+
+  // A different base seed is a different cell identity: full miss.
+  engine::SweepOptions reseeded = det_options();
+  reseeded.batch.base_seed = 99;
+  DistStats third_stats;
+  (void)run_distributed_sweep(plan, {}, reseeded, dist, &third_stats);
+  EXPECT_EQ(third_stats.cached, 0u);
+  EXPECT_EQ(third_stats.executed, 4u);
+}
+
+TEST(Dist, ListCellsReportsKeysAndCacheStatus) {
+  const engine::SweepPlan plan = tiny_plan();
+  TempCacheDir cache("vdist_dist_list_test");
+
+  std::vector<CellStatus> rows = list_cells(plan, det_options(), cache.path);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const CellStatus& row : rows) {
+    EXPECT_EQ(row.key.size(), 64u);
+    EXPECT_FALSE(row.cached);
+  }
+
+  DistOptions dist;
+  dist.cache_dir = cache.path;
+  (void)run_distributed_sweep(plan, {}, det_options(), dist, nullptr);
+  rows = list_cells(plan, det_options(), cache.path);
+  for (const CellStatus& row : rows) EXPECT_TRUE(row.cached);
+}
+
+TEST(Dist, KeptInstancesAreRejected) {
+  engine::SweepOptions options = det_options();
+  options.keep_instances = true;
+  EXPECT_THROW((void)run_distributed_sweep(tiny_plan(), {}, options, {},
+                                           nullptr),
+               std::invalid_argument);
+}
+
+TEST(Dist, WorkerRefusesAVersionMismatchAndSurvivesIt) {
+  Worker worker({.port = 0, .capacity = 1});
+  std::thread serving([&] { worker.serve(); });
+
+  {
+    Socket sock = connect_to("127.0.0.1", worker.port());
+    send_frame(sock, encode(HelloMsg{kProtocolVersion + 1, 0}));
+    FrameReader reader;
+    const auto reply = reader.recv_frame(sock);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MsgType::kError);
+  }
+
+  // The worker must still serve a well-versioned scheduler afterwards.
+  {
+    Socket sock = connect_to("127.0.0.1", worker.port());
+    send_frame(sock, encode(HelloMsg{kProtocolVersion, 0}));
+    FrameReader reader;
+    const auto reply = reader.recv_frame(sock);
+    ASSERT_TRUE(reply.has_value());
+    const HelloMsg hello = decode_hello(*reply);
+    EXPECT_EQ(hello.version, kProtocolVersion);
+    EXPECT_EQ(hello.capacity, 1u);
+    // Heartbeats echo verbatim.
+    send_frame(sock, encode(HeartbeatMsg{12345}));
+    const auto echo = reader.recv_frame(sock);
+    ASSERT_TRUE(echo.has_value());
+    EXPECT_EQ(decode_heartbeat(*echo).token, 12345u);
+    send_frame(sock, encode_shutdown());
+  }
+  serving.join();
+}
+
+TEST(Dist, CellsOnADeadWorkerAreRetriedElsewhere) {
+  const engine::SweepPlan plan = tiny_plan();
+  const engine::SweepResult reference = run_sweep(plan, det_options());
+
+  // The fake worker: handshakes, takes one assignment, drops the
+  // connection. The real worker is bound (connections queue in its
+  // backlog) but not serving yet, so the fake is guaranteed to be the
+  // one that receives work first — no race on who gets assigned.
+  Listener fake(0);
+  Worker real({.port = 0, .capacity = 1});
+  std::thread dying([&] {
+    Socket sock = fake.accept();
+    FrameReader reader;
+    const auto hello = reader.recv_frame(sock);
+    ASSERT_TRUE(hello.has_value());
+    send_frame(sock, encode(HelloMsg{kProtocolVersion, 1}));
+    const auto assign = reader.recv_frame(sock);
+    ASSERT_TRUE(assign.has_value());
+    EXPECT_EQ(assign->type, MsgType::kCellAssign);
+    // Die mid-job.
+  });
+
+  DistOptions dist;
+  dist.shutdown_workers = true;
+  DistStats stats;
+  engine::SweepResult merged;
+  std::thread scheduling([&] {
+    merged = run_distributed_sweep(
+        plan,
+        {{"127.0.0.1", fake.port(), 1}, {"127.0.0.1", real.port(), 1}},
+        det_options(), dist, &stats);
+  });
+  dying.join();  // the fake has taken (and dropped) its cell
+  std::thread serving([&] { real.serve(); });
+  scheduling.join();
+  serving.join();
+
+  EXPECT_GE(stats.retried, 1u);
+  EXPECT_EQ(stats.worker_failures, 1u);
+  EXPECT_EQ(stats.executed, 4u);  // every cell still solved exactly once
+  EXPECT_EQ(csv_of(merged), csv_of(reference));
+}
+
+TEST(Dist, AllWorkersDeadIsALoudError) {
+  Listener doomed(0);
+  std::thread dying([&] {
+    Socket sock = doomed.accept();
+    FrameReader reader;
+    (void)reader.recv_frame(sock);  // hello, never answered
+  });
+  EXPECT_THROW((void)run_distributed_sweep(
+                   tiny_plan(), {{"127.0.0.1", doomed.port(), 1}},
+                   det_options(), {}, nullptr),
+               std::runtime_error);
+  dying.join();
+}
+
+}  // namespace
+}  // namespace vdist::dist

@@ -1,0 +1,325 @@
+#include "dist/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "dist/cache.h"
+
+namespace vdist::dist {
+namespace {
+
+// Runs `fn`, which must throw ProtocolError, and returns the kind.
+template <typename Fn>
+ProtocolErrorKind kind_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ProtocolError& e) {
+    return e.kind();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "threw non-ProtocolError: " << e.what();
+    return ProtocolErrorKind::kBadPayload;
+  }
+  ADD_FAILURE() << "no ProtocolError thrown";
+  return ProtocolErrorKind::kBadPayload;
+}
+
+Frame round_trip(const Frame& frame) {
+  const std::string bytes = encode_frame(frame);
+  std::size_t consumed = 0;
+  const auto decoded = try_decode_frame(bytes, &consumed);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  return *decoded;
+}
+
+// --- Framing ----------------------------------------------------------------
+
+TEST(Protocol, FrameRoundTripPreservesTypeAndPayload) {
+  Frame frame;
+  frame.type = MsgType::kCellAssign;
+  frame.payload = std::string("hello\0world", 11);  // embedded NUL survives
+  const Frame decoded = round_trip(frame);
+  EXPECT_EQ(decoded.type, MsgType::kCellAssign);
+  EXPECT_EQ(decoded.payload, frame.payload);
+}
+
+TEST(Protocol, PartialFramesDecodeToNullopt) {
+  const std::string bytes = encode_frame(encode(HelloMsg{1, 4}));
+  std::size_t consumed = 1;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        try_decode_frame(bytes.substr(0, cut), &consumed).has_value());
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(Protocol, BackToBackFramesDecodeInOrder) {
+  const std::string bytes = encode_frame(encode(HeartbeatMsg{7})) +
+                            encode_frame(encode_shutdown());
+  std::size_t consumed = 0;
+  const auto first = try_decode_frame(bytes, &consumed);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, MsgType::kHeartbeat);
+  const auto second =
+      try_decode_frame(std::string_view(bytes).substr(consumed), &consumed);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, MsgType::kShutdown);
+}
+
+TEST(Protocol, OversizedDeclaredLengthIsRejectedBeforeThePayloadArrives) {
+  // Header declares 4 GiB-ish; only 5 header bytes are present — the
+  // decoder must error now rather than wait for a payload that big.
+  std::string bytes = {'\xff', '\xff', '\xff', '\xff',
+                       static_cast<char>(MsgType::kHello)};
+  std::size_t consumed = 0;
+  EXPECT_EQ(kind_of([&] { (void)try_decode_frame(bytes, &consumed); }),
+            ProtocolErrorKind::kOversized);
+}
+
+TEST(Protocol, GarbageTypeByteIsRejected) {
+  std::string bytes = {'\0', '\0', '\0', '\0', '\x63'};  // type 99
+  std::size_t consumed = 0;
+  EXPECT_EQ(kind_of([&] { (void)try_decode_frame(bytes, &consumed); }),
+            ProtocolErrorKind::kBadType);
+}
+
+TEST(Protocol, EncodingAnOversizedPayloadThrows) {
+  Frame frame;
+  frame.type = MsgType::kCellResult;
+  frame.payload.resize(kMaxFrameBytes + 1);
+  EXPECT_EQ(kind_of([&] { (void)encode_frame(frame); }),
+            ProtocolErrorKind::kOversized);
+}
+
+// --- Message codecs ---------------------------------------------------------
+
+TEST(Protocol, EveryMessageTypeRoundTrips) {
+  const HelloMsg hello = decode_hello(round_trip(encode(HelloMsg{3, 17})));
+  EXPECT_EQ(hello.version, 3u);
+  EXPECT_EQ(hello.capacity, 17u);
+
+  const CellAssignMsg assign = decode_cell_assign(
+      round_trip(encode(CellAssignMsg{42, "cell text\nwith lines"})));
+  EXPECT_EQ(assign.job_id, 42u);
+  EXPECT_EQ(assign.job, "cell text\nwith lines");
+
+  const CellResultMsg ok_result = decode_cell_result(
+      round_trip(encode(CellResultMsg{42, true, "{\"records\":[]}"})));
+  EXPECT_EQ(ok_result.job_id, 42u);
+  EXPECT_TRUE(ok_result.ok);
+  EXPECT_EQ(ok_result.payload, "{\"records\":[]}");
+
+  const CellResultMsg err_result = decode_cell_result(
+      round_trip(encode(CellResultMsg{7, false, "unknown algorithm"})));
+  EXPECT_FALSE(err_result.ok);
+  EXPECT_EQ(err_result.payload, "unknown algorithm");
+
+  const HeartbeatMsg beat = decode_heartbeat(
+      round_trip(encode(HeartbeatMsg{0xDEADBEEFCAFEF00DULL})));
+  EXPECT_EQ(beat.token, 0xDEADBEEFCAFEF00DULL);
+
+  decode_shutdown(round_trip(encode_shutdown()));  // must not throw
+
+  const ErrorMsg error =
+      decode_error(round_trip(encode(ErrorMsg{"nope"})));
+  EXPECT_EQ(error.message, "nope");
+}
+
+TEST(Protocol, DecodingTheWrongTypeIsBadType) {
+  const Frame hello = encode(HelloMsg{});
+  EXPECT_EQ(kind_of([&] { (void)decode_cell_assign(hello); }),
+            ProtocolErrorKind::kBadType);
+}
+
+TEST(Protocol, TruncatedPayloadIsTruncated) {
+  Frame frame = encode(HelloMsg{1, 4});
+  frame.payload.resize(frame.payload.size() - 1);
+  EXPECT_EQ(kind_of([&] { (void)decode_hello(frame); }),
+            ProtocolErrorKind::kTruncated);
+  // A string field whose declared length overruns the payload too.
+  Frame assign = encode(CellAssignMsg{1, "abcdef"});
+  assign.payload.resize(assign.payload.size() - 2);
+  EXPECT_EQ(kind_of([&] { (void)decode_cell_assign(assign); }),
+            ProtocolErrorKind::kTruncated);
+}
+
+TEST(Protocol, TrailingBytesAreBadPayload) {
+  Frame frame = encode(HelloMsg{1, 4});
+  frame.payload.push_back('\0');
+  EXPECT_EQ(kind_of([&] { (void)decode_hello(frame); }),
+            ProtocolErrorKind::kBadPayload);
+  Frame shutdown = encode_shutdown();
+  shutdown.payload = "x";
+  EXPECT_EQ(kind_of([&] { decode_shutdown(shutdown); }),
+            ProtocolErrorKind::kBadPayload);
+}
+
+TEST(Protocol, HelloVersionMismatchIsRefused) {
+  check_hello_version(HelloMsg{kProtocolVersion, 1});  // must not throw
+  EXPECT_EQ(
+      kind_of([&] { check_hello_version(HelloMsg{kProtocolVersion + 1, 1}); }),
+      ProtocolErrorKind::kVersionMismatch);
+}
+
+// --- Cell jobs --------------------------------------------------------------
+
+CellJob sample_job() {
+  CellJob job;
+  job.scenario.name = "cap";
+  job.scenario.seed = 100;
+  job.scenario.params.set("streams", 12).set("users", 5);
+  job.scenario_label = "cap streams=12";
+  job.algorithm.name = "enum";
+  job.algorithm.options.set("depth", 2).set("order", "ratio desc");
+  job.algorithm_label = "enum depth=2";
+  job.replicates = 3;
+  job.time_budget_ms = 12.5;
+  job.validate = true;
+  job.base_seed = 0xFEEDFACE12345678ULL;  // > 2^53: must survive as text
+  job.request_indices = {4, 10, 16};
+  return job;
+}
+
+TEST(Protocol, CellJobRoundTripsExactly) {
+  const CellJob job = sample_job();
+  const std::string text = serialize_cell_job(job);
+  const CellJob back = parse_cell_job(text);
+  EXPECT_EQ(back.scenario.name, job.scenario.name);
+  EXPECT_EQ(back.scenario.seed, job.scenario.seed);
+  EXPECT_EQ(back.scenario.params.raw(), job.scenario.params.raw());
+  EXPECT_EQ(back.scenario_label, job.scenario_label);
+  EXPECT_EQ(back.algorithm.name, job.algorithm.name);
+  EXPECT_EQ(back.algorithm.options.raw(), job.algorithm.options.raw());
+  EXPECT_EQ(back.algorithm_label, job.algorithm_label);
+  EXPECT_EQ(back.replicates, job.replicates);
+  EXPECT_EQ(back.time_budget_ms, job.time_budget_ms);
+  EXPECT_EQ(back.validate, job.validate);
+  EXPECT_EQ(back.base_seed, job.base_seed);
+  EXPECT_EQ(back.request_indices, job.request_indices);
+  // Canonical: re-serialization is byte-identical (the cache key needs
+  // this).
+  EXPECT_EQ(serialize_cell_job(back), text);
+}
+
+TEST(Protocol, CellJobSerializationRejectsUnrepresentableFields) {
+  CellJob job = sample_job();
+  job.scenario_label = "two\nlines";
+  EXPECT_THROW((void)serialize_cell_job(job), std::invalid_argument);
+  job = sample_job();
+  job.scenario.name = "has space";
+  EXPECT_THROW((void)serialize_cell_job(job), std::invalid_argument);
+  job = sample_job();
+  job.request_indices.pop_back();  // 2 indices for 3 replicates
+  EXPECT_THROW((void)serialize_cell_job(job), std::invalid_argument);
+}
+
+TEST(Protocol, MalformedCellJobTextIsBadPayload) {
+  const std::string good = serialize_cell_job(sample_job());
+  EXPECT_EQ(kind_of([&] { (void)parse_cell_job("not a job\n"); }),
+            ProtocolErrorKind::kBadPayload);
+  // Missing the end terminator.
+  EXPECT_EQ(kind_of([&] {
+              (void)parse_cell_job(good.substr(0, good.size() - 4));
+            }),
+            ProtocolErrorKind::kBadPayload);
+  // Unknown directive.
+  EXPECT_EQ(kind_of([&] {
+              (void)parse_cell_job("cell-job v1\nfrobnicate yes\nend\n");
+            }),
+            ProtocolErrorKind::kBadPayload);
+  // Content after end.
+  EXPECT_EQ(kind_of([&] { (void)parse_cell_job(good + "extra\n"); }),
+            ProtocolErrorKind::kBadPayload);
+}
+
+// --- Run records ------------------------------------------------------------
+
+TEST(Protocol, RunRecordsRoundTripBitForBit) {
+  std::vector<engine::RunRecord> records(2);
+  records[0].ok = true;
+  records[0].feasible = true;
+  records[0].feasibility = model::Feasibility::kFeasible;
+  records[0].objective = 1.0 / 3.0;  // needs all 17 digits
+  records[0].raw_utility = 0.1;
+  records[0].upper_bound = 1e300;
+  records[0].wall_ms = 12.375;
+  records[0].seed = (1ULL << 63) + 12345;  // far past 2^53
+  records[0].variant = "A2";
+  records[0].stats = {{"evals", 12345.0}, {"ratio", 2.2250738585072014e-308}};
+  records[1].ok = false;
+  records[1].feasibility = model::Feasibility::kInfeasible;
+  records[1].error = "solver limit \"exceeded\"\n(line two)";
+
+  const std::string text = serialize_run_records(records);
+  const std::vector<engine::RunRecord> back = parse_run_records(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].ok);
+  EXPECT_TRUE(back[0].feasible);
+  EXPECT_EQ(back[0].objective, records[0].objective);
+  EXPECT_EQ(back[0].raw_utility, records[0].raw_utility);
+  EXPECT_EQ(back[0].upper_bound, records[0].upper_bound);
+  EXPECT_EQ(back[0].wall_ms, records[0].wall_ms);
+  EXPECT_EQ(back[0].seed, records[0].seed);
+  EXPECT_EQ(back[0].variant, "A2");
+  EXPECT_EQ(back[0].stats, records[0].stats);
+  EXPECT_FALSE(back[1].ok);
+  EXPECT_EQ(back[1].feasibility, model::Feasibility::kInfeasible);
+  EXPECT_EQ(back[1].error, records[1].error);
+  // The stability the cache rests on: serialize(parse(x)) == x.
+  EXPECT_EQ(serialize_run_records(back), text);
+}
+
+TEST(Protocol, MalformedRunRecordsAreBadPayload) {
+  EXPECT_EQ(kind_of([&] { (void)parse_run_records("not json"); }),
+            ProtocolErrorKind::kBadPayload);
+  EXPECT_EQ(kind_of([&] { (void)parse_run_records("{\"rows\":[]}"); }),
+            ProtocolErrorKind::kBadPayload);
+  EXPECT_EQ(kind_of([&] {
+              (void)parse_run_records("{\"records\":[{\"ok\":true}]}");
+            }),
+            ProtocolErrorKind::kBadPayload);  // missing seed
+}
+
+// --- Cache keys -------------------------------------------------------------
+
+TEST(Protocol, Sha256MatchesKnownVectors) {
+  EXPECT_EQ(
+      sha256_hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      sha256_hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // A >1 block message (448-bit padding edge).
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Protocol, CacheKeyDependsOnEverySolveInput) {
+  const CellJob job = sample_job();
+  const std::string key = cell_cache_key(job, "build-a");
+  EXPECT_EQ(key.size(), 64u);
+  EXPECT_EQ(cell_cache_key(job, "build-a"), key);  // deterministic
+
+  EXPECT_NE(cell_cache_key(job, "build-b"), key);  // new build, new key
+
+  CellJob tweaked = job;
+  tweaked.scenario.params.set("streams", 13);
+  EXPECT_NE(cell_cache_key(tweaked, "build-a"), key);
+
+  tweaked = job;
+  tweaked.base_seed += 1;
+  EXPECT_NE(cell_cache_key(tweaked, "build-a"), key);
+
+  // The global request indices feed the per-solve seed derivation, so
+  // they are part of the cell's identity too.
+  tweaked = job;
+  tweaked.request_indices[1] += 1;
+  EXPECT_NE(cell_cache_key(tweaked, "build-a"), key);
+}
+
+}  // namespace
+}  // namespace vdist::dist

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/scheduler.h"
+#include "dist/worker.h"
 #include "engine/perf.h"
 #include "engine/registry.h"
 #include "engine/scenario.h"
@@ -218,8 +220,10 @@ int cmd_sweep(const Args& args) {
   // silently discarded when --plan already defines the structure.
   {
     const std::vector<std::string> common = {
-        "plan", "replicates", "seed", "budget-ms", "threads",
-        "csv",  "json",       "strict"};
+        "plan",          "replicates", "seed",    "budget-ms",
+        "threads",       "csv",        "json",    "strict",
+        "workers",       "cache",      "list-cells", "deterministic",
+        "shutdown-workers", "verbose"};
     const std::vector<std::string> structure = {"scenario", "set", "axis",
                                                 "algos", "algo-axis"};
     for (const auto& [key, value] : args.options) {
@@ -291,7 +295,51 @@ int cmd_sweep(const Args& args) {
   options.batch.num_threads =
       static_cast<unsigned>(opt_u(args, "threads", 0));
   options.strict = opt(args, "strict", "0") == "1";
-  const engine::SweepResult result = engine::run_sweep(plan, options);
+  options.deterministic = opt(args, "deterministic", "0") == "1";
+
+  const std::string workers_path = opt(args, "workers", "");
+  const std::string cache_dir = opt(args, "cache", "");
+
+  // Dry run: expand the grid and key every cell without solving.
+  if (opt(args, "list-cells", "0") == "1") {
+    const std::vector<dist::CellStatus> rows =
+        dist::list_cells(plan, options, cache_dir);
+    std::size_t cached = 0;
+    for (const dist::CellStatus& row : rows) {
+      std::cout << (cache_dir.empty() ? "  -   "
+                    : row.cached       ? "cached"
+                                       : "miss  ")
+                << "  " << row.key << "  " << row.scenario_label << " / "
+                << row.algorithm_label << "\n";
+      if (row.cached) ++cached;
+    }
+    std::cout << "list-cells: " << rows.size() << " cells";
+    if (!cache_dir.empty())
+      std::cout << ", " << cached << " cached in " << cache_dir;
+    std::cout << "\n";
+    return 0;
+  }
+
+  engine::SweepResult result;
+  if (!workers_path.empty() || !cache_dir.empty()) {
+    std::vector<dist::WorkerSpec> workers;
+    if (!workers_path.empty())
+      workers = dist::parse_worker_file(workers_path);
+    dist::DistOptions dopt;
+    dopt.cache_dir = cache_dir;
+    dopt.local_threads = options.batch.num_threads;
+    dopt.shutdown_workers = opt(args, "shutdown-workers", "0") == "1";
+    dopt.log = opt(args, "verbose", "0") == "1";
+    dist::DistStats stats;
+    result = dist::run_distributed_sweep(plan, workers, options, dopt,
+                                         &stats);
+    std::cerr << "dist: cells=" << stats.cells << " cached=" << stats.cached
+              << " executed=" << stats.executed
+              << " retried=" << stats.retried
+              << " workers=" << stats.workers << "\n";
+  } else {
+    result = engine::run_sweep(plan, options);
+  }
 
   const std::string csv_path = opt(args, "csv", "");
   const std::string json_path = opt(args, "json", "");
@@ -323,6 +371,22 @@ int cmd_sweep(const Args& args) {
     return 2;
   }
   return 0;
+}
+
+// A distributed-sweep worker process: listens for a scheduler, solves
+// the cells it is assigned, exits on the scheduler's shutdown message.
+int cmd_worker(const Args& args) {
+  {
+    const std::vector<std::string> known = {"port", "capacity"};
+    for (const auto& [key, value] : args.options)
+      if (std::find(known.begin(), known.end(), key) == known.end())
+        throw std::runtime_error("worker does not take --" + key +
+                                 " (see 'vdist_cli help')");
+  }
+  dist::WorkerOptions options;
+  options.port = static_cast<std::uint16_t>(opt_u(args, "port", 0));
+  options.capacity = static_cast<unsigned>(opt_u(args, "capacity", 0));
+  return dist::run_worker(options);
 }
 
 // Draws a deterministic churn trace over an instance and writes it in the
@@ -659,6 +723,9 @@ int cmd_help(std::ostream& os) {
       "            [--axis k=v1,v2[;k2=...]] [--algos a,b,c]\n"
       "            [--algo-axis algo:k=v1,v2[;...]] [--replicates N]\n"
       "            [--seed S] [--threads N] [--csv FILE|-] [--json FILE|-]\n"
+      "            [--workers FILE] [--cache DIR] [--deterministic 1]\n"
+      "            [--list-cells 1] [--shutdown-workers 1] [--verbose 1]\n"
+      "  vdist_cli worker [--port P] [--capacity N]\n"
       "  vdist_cli perf [--smoke 1] [--out FILE|-] [--reps N] [--seed S]\n"
       "            [--filter SUBSTR] [--min-speedup X] [--baseline FILE]\n"
       "            [--max-regress R] [--regress-metric both|wall|evals]\n"
@@ -672,7 +739,16 @@ int cmd_help(std::ostream& os) {
       "product from a plan file or flags, runs it on a thread pool, and\n"
       "prints per-cell aggregates (mean/min/max objective, gap vs the\n"
       "utility upper bound, wall time); --csv/--json write the table for\n"
-      "plotting ('-' = stdout). 'gen-events' draws a deterministic churn\n"
+      "plotting ('-' = stdout). With --workers FILE (lines: HOST PORT\n"
+      "[CAPACITY]) the grid cells are dispatched to 'vdist_cli worker'\n"
+      "processes with capacity-aware fan-out and retry on worker death;\n"
+      "--cache DIR recalls cells from a content-addressed result cache\n"
+      "keyed on the cell's parameters and the build's git SHA (works\n"
+      "without --workers too); --deterministic 1 zeroes wall-clock fields\n"
+      "so the merged CSV/JSON is byte-identical across runs and\n"
+      "executors; --list-cells 1 prints each cell's cache key and status\n"
+      "without solving; --shutdown-workers 1 tells surviving workers to\n"
+      "exit afterwards. 'gen-events' draws a deterministic churn\n"
       "trace (joins, leaves, stream add/remove, capacity and utility\n"
       "moves) over an instance; its --w-EVENT weights and scale ranges\n"
       "are the declared params of gen/events.h (shared verbatim with the\n"
@@ -712,6 +788,7 @@ int main(int argc, char** argv) {
     if (args.command == "solve") return cmd_solve(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "worker") return cmd_worker(args);
     if (args.command == "perf") return cmd_perf(args);
     if (args.command == "eval") return cmd_eval(args);
     if (args.command.empty() || args.command == "help" ||
