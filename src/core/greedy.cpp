@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "util/float_cmp.h"
+#include "util/hotpath.h"
+#include "util/radix.h"
 
 namespace vdist::core {
 
@@ -87,38 +90,77 @@ GreedyEngine::GreedyEngine(InstanceView view, SolveWorkspace& ws,
   ws_.user_edge_w.resize(view_.num_edges());
   ws_.user_edge_s.resize(view_.num_edges());
   {
-    std::vector<std::pair<double, StreamId>> row;
-    std::size_t pos = 0;
+    // Each row is sorted in place in the destination arrays by an
+    // in-tandem insertion sort — rows are short on every registered
+    // scenario, and skipping the build-pairs / sort / copy-back round
+    // trip halves this loop's share of the constructor. The order
+    // (w desc, stream asc on ties) is a unique total order per row
+    // (within-user CSR streams are strictly ascending), so the big-row
+    // std::sort spill below produces the bit-identical arrays.
+    constexpr std::size_t kInsertionSortMaxDeg = 48;
+    std::vector<std::pair<double, StreamId>> spill;
     for (std::size_t u = 0; u < users; ++u) {
       const auto edges = view_.edges_of(static_cast<UserId>(u));
       const auto streams_of_u = view_.streams_of(static_cast<UserId>(u));
-      row.clear();
-      for (std::size_t t = 0; t < edges.size(); ++t)
-        row.emplace_back(view_.edge_utility(edges[t]), streams_of_u[t]);
-      std::sort(row.begin(), row.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.first != b.first) return a.first > b.first;
-                  return a.second < b.second;  // deterministic on w ties
-                });
-      for (const auto& [w, sp] : row) {
-        ws_.user_edge_w[pos] = w;
-        ws_.user_edge_s[pos] = sp;
-        ++pos;
+      const std::size_t deg = edges.size();
+      const std::size_t begin = view_.user_edge_begin(static_cast<UserId>(u));
+      double* const w_row = ws_.user_edge_w.data() + begin;
+      StreamId* const s_row = ws_.user_edge_s.data() + begin;
+      if (deg <= kInsertionSortMaxDeg) {
+        // Gather first — the utility reads are a random-index gather
+        // over the per-edge span, kept out of the shift loop — then
+        // stable-insertion-sort the row in place. Stability makes the
+        // stream tie-break free: equal-w pairs keep their input order,
+        // which is ascending stream (within-user CSR order).
+        for (std::size_t t = 0; t < deg; ++t)
+          w_row[t] = view_.edge_utility(edges[t]);
+        std::copy(streams_of_u.begin(), streams_of_u.end(), s_row);
+        for (std::size_t t = 1; t < deg; ++t) {
+          const double w = w_row[t];
+          const StreamId sp = s_row[t];
+          std::size_t j = t;
+          while (j > 0 && w_row[j - 1] < w) {
+            w_row[j] = w_row[j - 1];
+            s_row[j] = s_row[j - 1];
+            --j;
+          }
+          w_row[j] = w;
+          s_row[j] = sp;
+        }
+      } else {
+        spill.clear();
+        for (std::size_t t = 0; t < deg; ++t)
+          spill.emplace_back(view_.edge_utility(edges[t]), streams_of_u[t]);
+        std::sort(spill.begin(), spill.end(), [](const auto& a,
+                                                 const auto& b) {
+          if (a.first != b.first) return a.first > b.first;
+          return a.second < b.second;  // deterministic on w ties
+        });
+        for (std::size_t t = 0; t < deg; ++t) {
+          w_row[t] = spill[t].first;
+          s_row[t] = spill[t].second;
+        }
       }
     }
   }
   // Streams by ascending cost: run()'s budget cutoff reads the cheapest
-  // stream still in the pool off this order.
+  // stream still in the pool off this order. Stable LSD radix on the
+  // order-preserving key keeps cost ties in ascending-id input order —
+  // exactly the old (cost, id) comparator's tie rule, a fraction of the
+  // branches.
   ws_.cost_order.resize(streams);
-  for (std::size_t s = 0; s < streams; ++s)
+  ws_.radix_keys.resize(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
     ws_.cost_order[s] = static_cast<StreamId>(s);
-  std::sort(ws_.cost_order.begin(), ws_.cost_order.end(),
-            [&](StreamId a, StreamId b) {
-              const double ca = ws_.cost[static_cast<std::size_t>(a)];
-              const double cb = ws_.cost[static_cast<std::size_t>(b)];
-              if (ca != cb) return ca < cb;
-              return a < b;
-            });
+    ws_.radix_keys[s] = util::radix_key_from_double(ws_.cost[s]);
+  }
+  util::radix_sort_pairs(ws_.radix_keys, ws_.cost_order,
+                         ws_.radix_key_scratch, ws_.radix_val_scratch);
+  // Propagation-batching scratch: the mark array stays all-zero between
+  // picks (add_stream clears the marks it set).
+  ws_.touched.clear();
+  ws_.touch_mark.assign(streams, 0);
+  ws_.pair_log.clear();
   selector_.reset(ws_, ws_.wbar, ws_.cost, opts.strategy);
   // Streams with no extractable utility are dead on arrival: drop them
   // from the pool now so the selection kernel never spends tie-breaking
@@ -193,7 +235,14 @@ void GreedyEngine::run() {
 
 // Assigns `s` to every user with positive residual, charging its cost
 // and propagating each exact residual change into w̄ of the remaining
-// streams (and, per change, into the selection kernel).
+// streams. Selector bookkeeping is batched: the edge loop only gathers
+// the set of touched streams (deduplicated through the mark array) while
+// applying each exact per-pair w̄ delta, and one pass afterwards pushes
+// remove/update per touched stream. Equivalent pick-for-pick: staleness
+// is binary (any bump between two pops invalidates the same entries), a
+// dead stream never rejoins the pool, and an out-of-pool stream's w̄ —
+// which the old per-pair in_pool check froze — is never read again, so
+// every live stream sees the identical delta sequence.
 void GreedyEngine::add_stream(StreamId s, double cost) {
   used_ += cost;
   added_streams_.push_back(s);
@@ -201,14 +250,31 @@ void GreedyEngine::add_stream(StreamId s, double cost) {
   double* const wbar = ws_.wbar.data();
   const char* const in_pool = ws_.in_pool.data();
   const double* const user_edge_w = ws_.user_edge_w.data();
+  const StreamId* const user_edge_s = ws_.user_edge_s.data();
+  char* const touch_mark = ws_.touch_mark.data();
+  auto& touched = ws_.touched;
+  touched.clear();
+  std::size_t rows = 0;
+  std::size_t pairs = 0;
   const EdgeId lo = view_.first_edge(s);
   const EdgeId hi = view_.last_edge(s);
   for (EdgeId e = lo; e < hi; ++e) {
     const UserId u = view_.edge_user(e);
     const auto uu = static_cast<std::size_t>(u);
+    if (e + 1 < hi) {
+      // The stream's user list is sparse and effectively random in user
+      // space: pull the next user's residual and the head of its sorted
+      // row while this row is being walked.
+      const UserId un = view_.edge_user(e + 1);
+      VDIST_PREFETCH(rem + static_cast<std::size_t>(un));
+      VDIST_PREFETCH(user_edge_w + view_.user_edge_begin(un));
+    }
     const double w = view_.edge_utility(e);
     if (rem[uu] <= util::kAbsEps || w <= 0.0) continue;
-    if (build_assignment_) result_.assignment.assign_edge(u, s, e);
+    if (build_assignment_) {
+      ws_.pair_log.push_back({u, s, e});
+      assignment_dirty_ = true;
+    }
     ws_.user_w[uu] += w;
     ws_.user_last_w[uu] = w;
     const double rem_old = rem[uu];
@@ -220,8 +286,9 @@ void GreedyEngine::add_stream(StreamId s, double cost) {
     const double rem_new_clamped = rem_new > 0.0 ? rem_new : 0.0;
     const std::size_t row_begin = view_.user_edge_begin(u);
     const double* const we_row = user_edge_w + row_begin;
-    const StreamId* const sp_row = ws_.user_edge_s.data() + row_begin;
+    const StreamId* const sp_row = user_edge_s + row_begin;
     const std::size_t deg = view_.streams_of(u).size();
+    ++rows;
     for (std::size_t t = 0; t < deg; ++t) {
       const double we = we_row[t];
       // Rows are sorted by descending w: the first pair whose
@@ -229,31 +296,61 @@ void GreedyEngine::add_stream(StreamId s, double cost) {
       // including every zero-surrogate pair) ends the scan.
       if (we <= rem_new_clamped) break;
       const StreamId sp = sp_row[t];
-      if (sp == s || !in_pool[static_cast<std::size_t>(sp)]) continue;
+      if (sp == s) continue;
       // w > clamped residual and rem_old > clamped residual, so the
-      // contribution dropped from min(w, rem_old) to the clamp: always
+      // contribution dropped from min(we, rem_old) to the clamp: always
       // a real delta.
       const double before = we < rem_old ? we : rem_old;
-      const double after = rem_new_clamped;
       const auto sps = static_cast<std::size_t>(sp);
-      wbar[sps] += after - before;
-      // A stream whose residual utility just died can never be picked
-      // (the run loop breaks on it); dropping it here keeps the heap's
-      // near-zero tie band empty instead of re-sifting dead entries.
-      if (wbar[sps] <= util::kAbsEps)
-        selector_.remove(sp);
-      else
-        selector_.update(sp, wbar[sps]);
+      wbar[sps] += rem_new_clamped - before;
+      ++pairs;
+      if (touch_mark[sps] == 0) {
+        touch_mark[sps] = 1;
+        touched.push_back(sp);
+      }
     }
   }
+  for (const StreamId sp : touched) {
+    const auto sps = static_cast<std::size_t>(sp);
+    touch_mark[sps] = 0;
+    if (!in_pool[sps]) continue;  // left the pool before this pick
+    // A stream whose residual utility just died can never be picked
+    // (the run loop breaks on it); dropping it here keeps the heap's
+    // near-zero tie band empty instead of re-sifting dead entries.
+    if (wbar[sps] <= util::kAbsEps)
+      selector_.remove(sp);
+    else
+      selector_.update(sp, wbar[sps]);
+  }
+  selector_.note_propagation(rows, pairs);
+}
+
+void GreedyEngine::sync_assignment() {
+  if (!assignment_dirty_) return;
+  result_.assignment.clear();
+  // Count each user's pairs first so every per-user stream list
+  // allocates exactly once instead of doubling through the replay.
+  auto& counts = ws_.user_pair_count;
+  counts.assign(view_.num_users(), 0);
+  for (const AssignedPair& p : ws_.pair_log)
+    ++counts[static_cast<std::size_t>(p.user)];
+  for (std::size_t u = 0; u < counts.size(); ++u)
+    if (counts[u] > 0)
+      result_.assignment.reserve_streams(static_cast<UserId>(u),
+                                         static_cast<std::size_t>(counts[u]));
+  for (const AssignedPair& p : ws_.pair_log)
+    result_.assignment.assign_edge(p.user, p.stream, p.edge);
+  assignment_dirty_ = false;
 }
 
 const GreedyResult& GreedyEngine::result() {
+  sync_assignment();
   result_.select = selector_.stats();
   return result_;
 }
 
 GreedyResult GreedyEngine::take() && {
+  sync_assignment();
   result_.select = selector_.stats();
   return std::move(result_);
 }
@@ -276,7 +373,8 @@ void GreedyEngine::save(GreedyCheckpoint& out) const {
                           result_.trace.considered.end());
     out.added.assign(result_.trace.added.begin(), result_.trace.added.end());
   }
-  if (build_assignment_) out.assignment = result_.assignment;
+  if (build_assignment_)
+    out.pair_log.assign(ws_.pair_log.begin(), ws_.pair_log.end());
 }
 
 void GreedyEngine::restore(const GreedyCheckpoint& in) {
@@ -298,7 +396,10 @@ void GreedyEngine::restore(const GreedyCheckpoint& in) {
                                     in.considered.end());
     result_.trace.added.assign(in.added.begin(), in.added.end());
   }
-  if (build_assignment_) result_.assignment = *in.assignment;
+  if (build_assignment_) {
+    ws_.pair_log.assign(in.pair_log.begin(), in.pair_log.end());
+    assignment_dirty_ = true;  // lazily rebuilt on the next result()
+  }
 }
 
 SplitValues GreedyEngine::split_values() const {

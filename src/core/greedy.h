@@ -27,7 +27,6 @@
 //     in O(n^2) time.
 #pragma once
 
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -101,8 +100,11 @@ struct GreedyCheckpoint {
   std::size_t skipped_budget = 0;
   std::vector<model::StreamId> considered;
   std::vector<char> added;
-  // Engaged only when the engine builds assignments.
-  std::optional<model::Assignment> assignment;
+  // Filled only when the engine builds assignments: the (user, stream,
+  // edge) pairs assigned so far, in assignment order. Restoring replays
+  // them through sync_assignment() — copying the flat log is far cheaper
+  // than copying a per-user vector-of-vectors Assignment per frame.
+  std::vector<AssignedPair> pair_log;
 };
 
 // The reusable checkpoint frames living in SolveWorkspace (one per
@@ -178,6 +180,10 @@ class GreedyEngine {
 
  private:
   void add_stream(model::StreamId s, double cost);
+  // Rebuilds result_.assignment from the workspace pair log (replaying
+  // assign_edge in the identical order — bit-identical accounting) when
+  // picks landed since the last sync. No-op in scoring mode.
+  void sync_assignment();
 
   model::InstanceView view_;
   SolveWorkspace& ws_;
@@ -192,6 +198,8 @@ class GreedyEngine {
   // (untraced runs only — traces need the per-stream pop order).
   std::size_t cost_cursor_ = 0;
   double used_ = 0.0;
+  // True when ws_.pair_log holds pairs result_.assignment doesn't.
+  bool assignment_dirty_ = false;
 };
 
 // Runs Algorithm 1 verbatim. The Instance overload requires

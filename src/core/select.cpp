@@ -1,26 +1,18 @@
 #include "core/select.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#if VDIST_SIMD_AVX2
+#include <immintrin.h>
+#endif
 
 namespace vdist::core {
 
 namespace {
-
-// Max-heap order: lexicographic (eff, wbar, lowest id). Exact doubles on
-// purpose — the heap only needs *a* total order; the epsilon-aware tie
-// handling happens on the tolerance-tied candidate set after the exact
-// maximum is known, so non-transitive fuzzy comparisons never reach a
-// heap or sort.
-struct HeapLess {
-  bool operator()(const SelectHeapEntry& a,
-                  const SelectHeapEntry& b) const noexcept {
-    if (a.eff != b.eff) return a.eff < b.eff;
-    if (a.wbar != b.wbar) return a.wbar < b.wbar;
-    return a.stream > b.stream;
-  }
-};
 
 // Two effectiveness values tie when within the library tolerance.
 // Infinities (zero-cost streams with positive residual) tie only with
@@ -38,50 +30,212 @@ struct HeapLess {
   return util::approx_ge(stale, m);
 }
 
-// 4-ary max-heap primitives over the workspace entry array, replacing
-// std::pop_heap/push_heap: the tree is half as deep, sift-down exits
-// early (a refreshed entry usually stays near the top), and a stale
-// refresh is one in-place sift instead of a full pop + push round-trip.
-// The heap's internal layout never affects picks — phase 1 extracts the
-// exact HeapLess maximum and phase 2 gathers the full tolerance-tied set
-// whatever the organization.
+// 4-ary max-heap primitives over the workspace SoA arrays. The tree is
+// half as deep as a binary heap, sift-down exits early (a refreshed
+// entry usually stays near the top), and a stale refresh is one in-place
+// sift instead of a full pop + push round-trip. With the keys split into
+// parallel arrays, the child-max probe reads one contiguous block of
+// four eff doubles; wbar/stream load only on exact eff ties and the
+// stamp only moves with its entry. The heap's internal layout never
+// affects picks — phase 1 extracts the exact lexicographic
+// (eff, wbar, lowest id) maximum and phase 2 gathers the full
+// tolerance-tied set whatever the organization.
 constexpr std::size_t kHeapArity = 4;
 
-void heap_sift_down(std::vector<SelectHeapEntry>& heap, std::size_t i,
-                    SelectHeapEntry value) {
-  const HeapLess less{};
-  const std::size_t n = heap.size();
+// Borrowed view of the live heap prefix in a SolveWorkspace.
+struct SoaHeap {
+  double* eff;
+  double* wbar;
+  model::StreamId* stream;
+  std::uint32_t* stamp;
+  std::size_t size;
+};
+
+[[nodiscard]] SoaHeap heap_of(SolveWorkspace& ws, std::size_t size) noexcept {
+  return {ws.heap_eff.data(), ws.heap_wbar.data(), ws.heap_stream.data(),
+          ws.heap_stamp.data(), size};
+}
+
+// heap[j] < (eff, wbar, stream) under the exact lexicographic max-heap
+// order (exact doubles on purpose: the heap only needs *a* total order;
+// the epsilon-aware tie handling happens on the tolerance-tied candidate
+// set after the exact maximum is known, so non-transitive fuzzy
+// comparisons never reach a heap or sort). Sift-up's test.
+[[nodiscard]] bool entry_less_value(const SoaHeap& h, std::size_t j,
+                                    double eff, double wbar,
+                                    model::StreamId stream) noexcept {
+  if (h.eff[j] != eff) return h.eff[j] < eff;
+  if (h.wbar[j] != wbar) return h.wbar[j] < wbar;
+  return h.stream[j] > stream;
+}
+
+void heap_sift_down(SoaHeap& h, std::size_t i, double eff, double wbar,
+                    model::StreamId stream, std::uint32_t stamp,
+                    SelectStats& stats) {
+  ++stats.heap_sifts;
+  const std::size_t n = h.size;
   for (;;) {
-    const std::size_t first_child = kHeapArity * i + 1;
-    if (first_child >= n) break;
-    const std::size_t last_child =
-        std::min(first_child + kHeapArity, n);
-    std::size_t best = first_child;
-    for (std::size_t c = first_child + 1; c < last_child; ++c)
-      if (less(heap[best], heap[c])) best = c;
-    if (!less(value, heap[best])) break;
-    heap[i] = heap[best];
+    const std::size_t first = kHeapArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    // Branch-free max probe on the contiguous eff block (lowers to
+    // maxsd/cmov — the child keys are data-dependent, so a predicted
+    // branch per child would miss constantly). Exact eff ties — rare —
+    // fall back to the full lexicographic compare below; `tie` resets
+    // whenever a strictly larger key takes over, so it is set iff some
+    // other child exactly equals the final best_eff.
+    std::size_t best = first;
+    double best_eff = h.eff[first];
+    bool tie = false;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      const double ce = h.eff[c];
+      tie = tie | (ce == best_eff);
+      if (ce > best_eff) {
+        best_eff = ce;
+        best = c;
+        tie = false;
+      }
+    }
+    if (tie) {
+      // best currently holds the lowest-index max; resolve the exact
+      // ties on (wbar desc, stream asc).
+      for (std::size_t c = best + 1; c < last; ++c) {
+        if (h.eff[c] != best_eff) continue;
+        if (h.wbar[c] != h.wbar[best]) {
+          if (h.wbar[c] > h.wbar[best]) best = c;
+        } else if (h.stream[c] < h.stream[best]) {
+          best = c;
+        }
+      }
+    }
+    // Descend while the hole value is lexicographically below the best
+    // child; eff alone decides except on an exact eff tie.
+    const bool descend =
+        eff < best_eff ||
+        (eff == best_eff &&
+         (wbar < h.wbar[best] ||
+          (wbar == h.wbar[best] && stream > h.stream[best])));
+    if (!descend) break;
+    h.eff[i] = h.eff[best];
+    h.wbar[i] = h.wbar[best];
+    h.stream[i] = h.stream[best];
+    h.stamp[i] = h.stamp[best];
     i = best;
   }
-  heap[i] = value;
+  h.eff[i] = eff;
+  h.wbar[i] = wbar;
+  h.stream[i] = stream;
+  h.stamp[i] = stamp;
 }
 
-void heap_sift_up(std::vector<SelectHeapEntry>& heap, std::size_t i,
-                  SelectHeapEntry value) {
-  const HeapLess less{};
+void heap_sift_up(SoaHeap& h, std::size_t i, double eff, double wbar,
+                  model::StreamId stream, std::uint32_t stamp,
+                  SelectStats& stats) {
+  ++stats.heap_sifts;
   while (i > 0) {
     const std::size_t parent = (i - 1) / kHeapArity;
-    if (!less(heap[parent], value)) break;
-    heap[i] = heap[parent];
+    if (!entry_less_value(h, parent, eff, wbar, stream)) break;
+    h.eff[i] = h.eff[parent];
+    h.wbar[i] = h.wbar[parent];
+    h.stream[i] = h.stream[parent];
+    h.stamp[i] = h.stamp[parent];
     i = parent;
   }
-  heap[i] = value;
+  h.eff[i] = eff;
+  h.wbar[i] = wbar;
+  h.stream[i] = stream;
+  h.stamp[i] = stamp;
 }
 
-void heap_build(std::vector<SelectHeapEntry>& heap) {
-  if (heap.size() <= 1) return;
-  for (std::size_t i = (heap.size() - 2) / kHeapArity + 1; i-- > 0;)
-    heap_sift_down(heap, i, heap[i]);
+void heap_build(SoaHeap& h, SelectStats& stats) {
+  if (h.size <= 1) return;
+  for (std::size_t i = (h.size - 2) / kHeapArity + 1; i-- > 0;)
+    heap_sift_down(h, i, h.eff[i], h.wbar[i], h.stream[i], h.stamp[i],
+                   stats);
+}
+
+// Bulk effectiveness for streams [0, n) — the reset()-time evaluation.
+// The AVX2 body computes four lanes per iteration with per-lane IEEE
+// division and the same cost>0 / wbar>0 selects as the scalar helper, so
+// every lane is bit-identical to select_effectiveness; the division
+// result of a masked-out zero-cost lane is discarded before it escapes.
+void fill_effectiveness(const double* wbar, const double* cost, double* eff,
+                        std::size_t n) {
+  std::size_t s = 0;
+#if VDIST_SIMD_AVX2
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d inf = _mm256_set1_pd(util::kInf);
+  for (; s + 4 <= n; s += 4) {
+    const __m256d w = _mm256_loadu_pd(wbar + s);
+    const __m256d c = _mm256_loadu_pd(cost + s);
+    const __m256d div = _mm256_div_pd(w, c);
+    const __m256d cost_pos = _mm256_cmp_pd(c, zero, _CMP_GT_OQ);
+    const __m256d wbar_pos = _mm256_cmp_pd(w, zero, _CMP_GT_OQ);
+    const __m256d zero_cost = _mm256_and_pd(wbar_pos, inf);
+    _mm256_storeu_pd(eff + s, _mm256_blendv_pd(zero_cost, div, cost_pos));
+  }
+#endif
+  for (; s < n; ++s) eff[s] = select_effectiveness(wbar[s], cost[s]);
+}
+
+// The naive rescan's bulk phase: recompute eff[s] for every pool stream,
+// return the in-pool maximum, and count one evaluation per pool stream.
+// The epsilon-aware tie-break stays hoisted out of the lane loop — the
+// caller gathers the tolerance-tied set from eff[] scalar-side. Lanes of
+// out-of-pool streams still store (their slots are never read; the tie
+// gather checks in_pool first) but are masked out of the maximum and the
+// evaluation count, so the count matches the scalar loop exactly.
+[[nodiscard]] double scan_effectiveness(const double* wbar,
+                                        const double* cost,
+                                        const char* in_pool, double* eff,
+                                        std::size_t n, std::size_t& evals,
+                                        bool& any) {
+  double max_eff = 0.0;
+  std::size_t s = 0;
+#if VDIST_SIMD_AVX2
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d inf = _mm256_set1_pd(util::kInf);
+  const __m256d neg_inf = _mm256_set1_pd(-util::kInf);
+  __m256d vmax = neg_inf;
+  std::size_t in_pool_lanes = 0;
+  for (; s + 4 <= n; s += 4) {
+    std::int32_t pool_bytes;
+    std::memcpy(&pool_bytes, in_pool + s, 4);
+    const __m256i pool =
+        _mm256_cvtepi8_epi64(_mm_cvtsi32_si128(pool_bytes));
+    const __m256d mask = _mm256_castsi256_pd(
+        _mm256_cmpgt_epi64(pool, _mm256_setzero_si256()));
+    const __m256d w = _mm256_loadu_pd(wbar + s);
+    const __m256d c = _mm256_loadu_pd(cost + s);
+    const __m256d div = _mm256_div_pd(w, c);
+    const __m256d cost_pos = _mm256_cmp_pd(c, zero, _CMP_GT_OQ);
+    const __m256d wbar_pos = _mm256_cmp_pd(w, zero, _CMP_GT_OQ);
+    const __m256d e =
+        _mm256_blendv_pd(_mm256_and_pd(wbar_pos, inf), div, cost_pos);
+    _mm256_storeu_pd(eff + s, e);
+    in_pool_lanes += static_cast<std::size_t>(std::popcount(
+        static_cast<unsigned>(_mm256_movemask_pd(mask))));
+    vmax = _mm256_max_pd(vmax, _mm256_blendv_pd(neg_inf, e, mask));
+  }
+  evals += in_pool_lanes;
+  if (in_pool_lanes > 0) {
+    any = true;
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, vmax);
+    max_eff = std::max(std::max(lane[0], lane[1]),
+                       std::max(lane[2], lane[3]));
+  }
+#endif
+  for (; s < n; ++s) {
+    if (!in_pool[s]) continue;
+    eff[s] = select_effectiveness(wbar[s], cost[s]);
+    ++evals;
+    if (!any || eff[s] > max_eff) {
+      max_eff = eff[s];
+      any = true;
+    }
+  }
+  return max_eff;
 }
 
 // The shared tie-break over the tolerance-tied candidates: largest w̄
@@ -121,10 +275,11 @@ const char* to_string(SelectStrategy strategy) noexcept {
   }
 }
 
-bool StreamSelector::entry_fresh(const SelectHeapEntry& e) const noexcept {
+bool StreamSelector::entry_fresh(model::StreamId stream,
+                                 std::uint32_t stamp) const noexcept {
   if (strategy_ == SelectStrategy::kDeltaHeap)
-    return e.stamp == ws_->version[static_cast<std::size_t>(e.stream)];
-  return e.stamp == round_;
+    return stamp == ws_->version[static_cast<std::size_t>(stream)];
+  return stamp == round_;
 }
 
 void StreamSelector::reset(SolveWorkspace& ws, std::span<const double> wbar,
@@ -138,20 +293,26 @@ void StreamSelector::reset(SolveWorkspace& ws, std::span<const double> wbar,
   ws.in_pool.assign(n, 1);
   pool_size_ = n;
   round_ = 0;
+  heap_size_ = 0;
   stats_ = {};
   if (strategy_ == SelectStrategy::kNaiveScan) {
     ws.eff.assign(n, 0.0);
     return;
   }
   if (strategy_ == SelectStrategy::kDeltaHeap) ws.version.assign(n, 0);
-  ws.heap.clear();
-  ws.heap.reserve(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    ws.heap.push_back({select_effectiveness(wbar[s], cost[s]), wbar[s],
-                       static_cast<model::StreamId>(s), 0});
-  }
+  ws.heap_eff.resize(n);
+  ws.heap_wbar.resize(n);
+  ws.heap_stream.resize(n);
+  ws.heap_stamp.resize(n);
+  fill_effectiveness(wbar.data(), cost.data(), ws.heap_eff.data(), n);
+  std::copy(wbar.begin(), wbar.end(), ws.heap_wbar.begin());
+  for (std::size_t s = 0; s < n; ++s)
+    ws.heap_stream[s] = static_cast<model::StreamId>(s);
+  std::fill(ws.heap_stamp.begin(), ws.heap_stamp.end(), 0u);
+  heap_size_ = n;
   stats_.evaluations += n;
-  heap_build(ws.heap);
+  SoaHeap h = heap_of(ws, heap_size_);
+  heap_build(h, stats_);
 }
 
 void StreamSelector::invalidate() noexcept {
@@ -165,17 +326,32 @@ void StreamSelector::invalidate() noexcept {
 }
 
 void StreamSelector::save(SelectorCheckpoint& out) const {
-  out.heap.assign(ws_->heap.begin(), ws_->heap.end());
+  const auto live = static_cast<std::ptrdiff_t>(heap_size_);
+  out.heap_eff.assign(ws_->heap_eff.begin(), ws_->heap_eff.begin() + live);
+  out.heap_wbar.assign(ws_->heap_wbar.begin(),
+                       ws_->heap_wbar.begin() + live);
+  out.heap_stream.assign(ws_->heap_stream.begin(),
+                         ws_->heap_stream.begin() + live);
+  out.heap_stamp.assign(ws_->heap_stamp.begin(),
+                        ws_->heap_stamp.begin() + live);
   out.in_pool.assign(ws_->in_pool.begin(), ws_->in_pool.end());
   out.version.assign(ws_->version.begin(), ws_->version.end());
+  out.heap_size = heap_size_;
   out.pool_size = pool_size_;
   out.round = round_;
 }
 
 void StreamSelector::restore(const SelectorCheckpoint& in) {
-  ws_->heap.assign(in.heap.begin(), in.heap.end());
+  std::copy(in.heap_eff.begin(), in.heap_eff.end(), ws_->heap_eff.begin());
+  std::copy(in.heap_wbar.begin(), in.heap_wbar.end(),
+            ws_->heap_wbar.begin());
+  std::copy(in.heap_stream.begin(), in.heap_stream.end(),
+            ws_->heap_stream.begin());
+  std::copy(in.heap_stamp.begin(), in.heap_stamp.end(),
+            ws_->heap_stamp.begin());
   ws_->in_pool.assign(in.in_pool.begin(), in.in_pool.end());
   ws_->version.assign(in.version.begin(), in.version.end());
+  heap_size_ = in.heap_size;
   pool_size_ = in.pool_size;
   round_ = in.round;
 }
@@ -193,8 +369,8 @@ model::StreamId StreamSelector::pop_best() {
 }
 
 model::StreamId StreamSelector::pop_best_heap() {
-  auto& heap = ws_->heap;
-  const auto& in_pool = ws_->in_pool;
+  SoaHeap h = heap_of(*ws_, heap_size_);
+  const char* const in_pool = ws_->in_pool.data();
 
   auto refresh = [&](SelectHeapEntry& e) {
     const auto s = static_cast<std::size_t>(e.stream);
@@ -204,20 +380,23 @@ model::StreamId StreamSelector::pop_best_heap() {
                                                       : round_;
     ++stats_.evaluations;
   };
+  auto front_entry = [&]() {
+    return SelectHeapEntry{h.eff[0], h.wbar[0], h.stream[0], h.stamp[0]};
+  };
   auto pop_entry = [&]() {
-    SelectHeapEntry e = heap.front();
-    SelectHeapEntry last = heap.back();
-    heap.pop_back();
-    if (!heap.empty()) heap_sift_down(heap, 0, last);
+    const SelectHeapEntry e = front_entry();
+    --h.size;
+    if (h.size > 0)
+      heap_sift_down(h, 0, h.eff[h.size], h.wbar[h.size], h.stream[h.size],
+                     h.stamp[h.size], stats_);
     return e;
   };
   auto push_entry = [&](const SelectHeapEntry& e) {
-    heap.push_back(e);
-    heap_sift_up(heap, heap.size() - 1, e);
+    const std::size_t i = h.size++;
+    heap_sift_up(h, i, e.eff, e.wbar, e.stream, e.stamp, stats_);
   };
   auto drop_removed = [&]() {
-    while (!heap.empty() &&
-           !in_pool[static_cast<std::size_t>(heap.front().stream)])
+    while (h.size > 0 && !in_pool[static_cast<std::size_t>(h.stream[0])])
       (void)pop_entry();
   };
 
@@ -232,15 +411,18 @@ model::StreamId StreamSelector::pop_best_heap() {
   SelectHeapEntry top;
   for (;;) {
     drop_removed();
-    if (heap.empty()) return model::kInvalidStream;
-    const SelectHeapEntry front = heap.front();
-    if (entry_fresh(front)) {
+    if (h.size == 0) {
+      heap_size_ = 0;
+      return model::kInvalidStream;
+    }
+    const SelectHeapEntry front = front_entry();
+    if (entry_fresh(front.stream, front.stamp)) {
       top = pop_entry();
       break;
     }
     SelectHeapEntry e = front;
     refresh(e);
-    heap_sift_down(heap, 0, e);
+    heap_sift_down(h, 0, e.eff, e.wbar, e.stream, e.stamp, stats_);
   }
 
   // Phase 2: gather every pool stream whose *fresh* effectiveness ties
@@ -254,13 +436,13 @@ model::StreamId StreamSelector::pop_best_heap() {
   tied.push_back(top);
   for (;;) {
     drop_removed();
-    if (heap.empty()) break;
-    const SelectHeapEntry front = heap.front();
+    if (h.size == 0) break;
+    const SelectHeapEntry front = front_entry();
     if (!could_tie(front.eff, top.eff)) break;
-    if (!entry_fresh(front)) {
+    if (!entry_fresh(front.stream, front.stamp)) {
       SelectHeapEntry e = front;
       refresh(e);
-      heap_sift_down(heap, 0, e);
+      heap_sift_down(h, 0, e.eff, e.wbar, e.stream, e.stamp, stats_);
       continue;
     }
     if (!eff_ties(front.eff, top.eff)) break;  // approx_ge yet not approx_eq
@@ -270,25 +452,19 @@ model::StreamId StreamSelector::pop_best_heap() {
   const std::size_t best = break_ties(tied);
   for (std::size_t i = 0; i < tied.size(); ++i)
     if (i != best) push_entry(tied[i]);
+  heap_size_ = h.size;
   return tied[best].stream;
 }
 
 model::StreamId StreamSelector::pop_best_naive() {
-  const auto& in_pool = ws_->in_pool;
-  auto& eff = ws_->eff;
+  const char* const in_pool = ws_->in_pool.data();
+  double* const eff = ws_->eff.data();
   const std::size_t n = wbar_.size();
 
   bool any = false;
-  double max_eff = 0.0;
-  for (std::size_t s = 0; s < n; ++s) {
-    if (!in_pool[s]) continue;
-    eff[s] = select_effectiveness(wbar_[s], cost_[s]);
-    ++stats_.evaluations;
-    if (!any || eff[s] > max_eff) {
-      max_eff = eff[s];
-      any = true;
-    }
-  }
+  const double max_eff =
+      scan_effectiveness(wbar_.data(), cost_.data(), in_pool, eff, n,
+                         stats_.evaluations, any);
   if (!any) return model::kInvalidStream;
 
   auto& tied = ws_->tied;

@@ -25,6 +25,16 @@
 //     differential testing (tests/test_select.cpp) and perf
 //     (engine/perf.h, `vdist_cli perf`).
 //
+// Data layout: the heap is stored as four parallel cache-line-aligned
+// arrays (eff / wbar / stream / stamp) in SolveWorkspace rather than an
+// array of 24-byte entry structs. A 4-ary sift-down compares almost
+// exclusively on eff, so the SoA split turns each child-block probe into
+// one contiguous 32-byte key read; wbar/stream load only on exact eff
+// ties and stamp only at the root freshness check. The heap's internal
+// layout never affects picks — the front is the unique maximum under the
+// exact lexicographic order below — so AoS→SoA is invisible to every
+// differential test, objective and evaluation count.
+//
 // Tie-break contract, shared verbatim by all strategies so they are
 // interchangeable pick-for-pick:
 //   1. the selected stream maximizes effectiveness w̄/c;
@@ -42,6 +52,7 @@
 
 #include "model/types.h"
 #include "util/float_cmp.h"
+#include "util/hotpath.h"
 
 namespace vdist::core {
 
@@ -57,21 +68,36 @@ enum class SelectStrategy {
 [[nodiscard]] const char* to_string(SelectStrategy strategy) noexcept;
 
 // Counters all strategies report; the perf subsystem and bench E12-style
-// ablations read them off the result structs.
+// ablations read them off the result structs. picks/evaluations measure
+// the selection work itself; the phase counters below attribute the rest
+// of the hot path: rows_walked/pairs_touched are the w̄ propagation's
+// volume (user rows entered, per-pair residual deltas applied — reported
+// by the greedy through note_propagation()), heap_sifts counts sift
+// operations (down or up) on the selection heap. All of them are
+// deterministic functions of the pick sequence, so like evaluations they
+// are machine-independent and diffable across BENCH baselines.
 struct SelectStats {
-  std::size_t picks = 0;        // streams returned by pop_best()
-  std::size_t evaluations = 0;  // effectiveness (re-)computations
+  std::size_t picks = 0;         // streams returned by pop_best()
+  std::size_t evaluations = 0;   // effectiveness (re-)computations
+  std::size_t pairs_touched = 0;  // w̄ propagation: per-pair deltas applied
+  std::size_t rows_walked = 0;    // w̄ propagation: user rows entered
+  std::size_t heap_sifts = 0;     // heap sift-down/up operations
   void merge(const SelectStats& other) noexcept {
     picks += other.picks;
     evaluations += other.evaluations;
+    pairs_touched += other.pairs_touched;
+    rows_walked += other.rows_walked;
+    heap_sifts += other.heap_sifts;
   }
 };
 
-// One heap entry: the stream's effectiveness and residual utility as of
-// `stamp`. Under kLazyHeap the stamp is the selector's global round;
-// under kDeltaHeap it is the stream's own version counter. A stale entry
-// (stamp behind its reference) is an upper bound and gets refreshed on
-// demand.
+// One materialized heap entry: the stream's effectiveness and residual
+// utility as of `stamp`. Under kLazyHeap the stamp is the selector's
+// global round; under kDeltaHeap it is the stream's own version counter.
+// A stale entry (stamp behind its reference) is an upper bound and gets
+// refreshed on demand. The live heap stores these fields as the SoA
+// arrays in SolveWorkspace; this struct remains the currency of the
+// small tolerance-tied candidate set and the naive scan.
 struct SelectHeapEntry {
   double eff = 0.0;
   double wbar = 0.0;
@@ -79,20 +105,36 @@ struct SelectHeapEntry {
   std::uint32_t stamp = 0;
 };
 
-// A saved selector state (pool membership, heap, per-stream versions).
-// Part of core::GreedyCheckpoint (core/greedy.h); SelectStats counters
-// are deliberately NOT checkpointed — they keep counting monotonically
-// across restores so a checkpointed enumeration reports its true total
-// work.
+// A saved selector state (pool membership, the SoA heap prefix, per-
+// stream versions). Part of core::GreedyCheckpoint (core/greedy.h);
+// SelectStats counters are deliberately NOT checkpointed — they keep
+// counting monotonically across restores so a checkpointed enumeration
+// reports its true total work.
 struct SelectorCheckpoint {
-  std::vector<SelectHeapEntry> heap;
+  std::vector<double> heap_eff;
+  std::vector<double> heap_wbar;
+  std::vector<model::StreamId> heap_stream;
+  std::vector<std::uint32_t> heap_stamp;
   std::vector<char> in_pool;
   std::vector<std::uint32_t> version;
+  std::size_t heap_size = 0;
   std::size_t pool_size = 0;
   std::uint32_t round = 0;
 };
 
 struct CheckpointArena;  // core/greedy.h: reusable GreedyCheckpoint frames
+
+// One (user, stream, edge) pair the greedy assigned, in assignment
+// order. The engine logs pairs here during the run and materializes the
+// model::Assignment once at result()/take() time — the flat append beats
+// per-pair vector-of-vectors bookkeeping in the inner loop, and the
+// replay applies the identical accounting arithmetic in the identical
+// order.
+struct AssignedPair {
+  model::UserId user;
+  model::StreamId stream;
+  model::EdgeId edge;
+};
 
 // Reusable per-thread scratch for the solver stack. One workspace per
 // thread amortizes every per-solve allocation (residual caps, w̄, costs,
@@ -102,12 +144,18 @@ struct CheckpointArena;  // core/greedy.h: reusable GreedyCheckpoint frames
 // may be reused freely across sequential solves of different instances
 // and algorithms, but must never be shared by two concurrent solves.
 struct SolveWorkspace {
-  // Selection kernel (StreamSelector).
-  std::vector<SelectHeapEntry> heap;
+  // Selection kernel (StreamSelector): the SoA heap — four parallel
+  // cache-line-aligned arrays, entry i of the 4-ary max-heap at index i
+  // of each. Sized to the stream count at reset(); the live prefix
+  // length is the selector's heap size.
+  util::AlignedVector<double> heap_eff;
+  util::AlignedVector<double> heap_wbar;
+  util::AlignedVector<model::StreamId> heap_stream;
+  util::AlignedVector<std::uint32_t> heap_stamp;
   std::vector<char> in_pool;
-  std::vector<std::uint32_t> version;  // kDeltaHeap per-stream stamps
-  std::vector<double> eff;             // naive-scan per-stream cache
-  std::vector<SelectHeapEntry> tied;   // tolerance-tied candidates
+  std::vector<std::uint32_t> version;   // kDeltaHeap per-stream stamps
+  util::AlignedVector<double> eff;      // naive-scan per-stream cache
+  std::vector<SelectHeapEntry> tied;    // tolerance-tied candidates
   // Greedy engine (core/greedy.cpp, core/partial_enum.cpp).
   std::vector<double> rem;
   std::vector<double> wbar;
@@ -118,6 +166,22 @@ struct SolveWorkspace {
   std::vector<double> user_edge_w;  // user-major utilities, sorted desc
   std::vector<model::StreamId> user_edge_s;  // streams parallel to the above
   std::vector<model::StreamId> cost_order;   // streams by ascending cost
+  // w̄ propagation batching (GreedyEngine::add_stream): the streams whose
+  // residual utility changed during the current pick, deduplicated via
+  // the parallel mark array (all-zero between picks), so the selector
+  // bookkeeping runs once per touched stream in one pass after the edge
+  // loop instead of once per touched pair inside it.
+  std::vector<model::StreamId> touched;
+  std::vector<char> touch_mark;
+  // Deferred assignment materialization (build_assignment mode): the
+  // flat pair log plus the per-user counts sync_assignment() sizes the
+  // per-user stream lists from.
+  std::vector<AssignedPair> pair_log;
+  std::vector<std::int32_t> user_pair_count;
+  // Radix-sort ping-pong buffers (the constructor's cost-order build).
+  std::vector<std::uint64_t> radix_keys;
+  std::vector<std::uint64_t> radix_key_scratch;
+  std::vector<model::StreamId> radix_val_scratch;
   // Band views (core/skew_bands.cpp): per-edge surrogate utilities,
   // per-stream totals, per-user caps, per-edge band tags, plus the
   // band-major edge partition (edge ids grouped by band, ascending
@@ -140,7 +204,9 @@ struct SolveWorkspace {
 // Effectiveness of a stream: residual utility per unit cost; zero-cost
 // streams with positive residual rank first (+inf), dead zero-cost
 // streams last (0). All strategies MUST compute effectiveness through
-// this one helper so their values are bit-identical.
+// this one helper so their values are bit-identical (the vectorized
+// fills in select.cpp replicate it lane-wise with per-lane IEEE division
+// — bit-identical by construction).
 [[nodiscard]] inline double select_effectiveness(double wbar,
                                                  double cost) noexcept {
   return cost > 0.0 ? wbar / cost : (wbar > 0.0 ? util::kInf : 0.0);
@@ -182,12 +248,23 @@ class StreamSelector {
   //     path; every other cached effectiveness stays fresh.
   //   * kLazyHeap: degenerates to invalidate() (the global round-bump).
   //   * kNaiveScan: no-op (the rescan reads live values anyway).
-  // Inline: this sits in the greedy's w̄-propagation inner loop.
+  // Inline: this sits in the greedy's w̄-propagation batch pass. Calling
+  // it once per touched stream at the end of a pick is equivalent to
+  // once per touched pair inside it — staleness is binary, so any bump
+  // between two pops invalidates exactly the same entries.
   void update(model::StreamId s, double /*new_wbar*/) noexcept {
     if (strategy_ == SelectStrategy::kDeltaHeap)
       ++ws_->version[static_cast<std::size_t>(s)];
     else if (strategy_ == SelectStrategy::kLazyHeap)
       ++round_;
+  }
+
+  // Phase accounting hook for the propagation loops (GreedyEngine::
+  // add_stream, engine/repair_core.cpp): credits this selector's stats
+  // with the rows walked and per-pair deltas applied for one pick.
+  void note_propagation(std::size_t rows, std::size_t pairs) noexcept {
+    stats_.rows_walked += rows;
+    stats_.pairs_touched += pairs;
   }
 
   // Marks every cached effectiveness stale (the kLazyHeap path; under
@@ -210,13 +287,15 @@ class StreamSelector {
  private:
   [[nodiscard]] model::StreamId pop_best_heap();
   [[nodiscard]] model::StreamId pop_best_naive();
-  [[nodiscard]] bool entry_fresh(const SelectHeapEntry& e) const noexcept;
+  [[nodiscard]] bool entry_fresh(model::StreamId stream,
+                                 std::uint32_t stamp) const noexcept;
 
   SolveWorkspace* ws_ = nullptr;
   std::span<const double> wbar_;
   std::span<const double> cost_;
   SelectStrategy strategy_ = SelectStrategy::kDeltaHeap;
   std::size_t pool_size_ = 0;
+  std::size_t heap_size_ = 0;  // live prefix of the workspace SoA arrays
   std::uint32_t round_ = 0;
   SelectStats stats_;
 };

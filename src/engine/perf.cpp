@@ -50,12 +50,22 @@ PerfMeasurement measure(const model::Instance& inst,
     out.objective = r.objective;
     out.picks = r.stat("select_picks");
     out.evals = r.stat("select_evals");
+    out.pairs_touched = r.stat("select_pairs_touched");
+    out.rows_walked = r.stat("select_rows_walked");
+    out.heap_sifts = r.stat("select_heap_sifts");
     // Serve cases: throughput over the event-apply time alone (the
     // repair_wall_ms stat excludes instance generation and the opening
-    // solve). Best repetition, consistent with the minimum wall.
+    // solve). Best repetition, consistent with the minimum wall. Only
+    // recorded when the case's worker threads fit the box — oversubscribed
+    // shards timeslice on one core and the quotient measures the
+    // scheduler, not the engine (hardware_concurrency() of 0 means
+    // "unknown", which records rather than discards).
+    const unsigned threads =
+        static_cast<unsigned>(spec.options.get_int("shards", 1));
+    const unsigned hc = std::thread::hardware_concurrency();
     const double events = r.stat("events");
     const double repair_s = r.stat("repair_wall_ms") / 1000.0;
-    if (events > 0.0 && repair_s > 0.0)
+    if ((hc == 0 || threads <= hc) && events > 0.0 && repair_s > 0.0)
       out.events_per_sec = std::max(out.events_per_sec, events / repair_s);
     out.ok = true;
   }
@@ -76,6 +86,12 @@ void json_measurement(std::ostream& os, const PerfMeasurement& m) {
   json_number(os, m.picks);
   os << ",\"evals\":";
   json_number(os, m.evals);
+  os << ",\"pairs_touched\":";
+  json_number(os, m.pairs_touched);
+  os << ",\"rows_walked\":";
+  json_number(os, m.rows_walked);
+  os << ",\"heap_sifts\":";
+  json_number(os, m.heap_sifts);
   os << ",\"events_per_sec\":";
   json_number(os, m.events_per_sec);
   os << '}';
@@ -401,6 +417,15 @@ PerfBaselineDiff diff_perf_baseline(const PerfReport& current,
     entry.evals_ratio = entry.baseline_evals > 0.0
                             ? entry.current_evals / entry.baseline_evals
                             : (entry.current_evals > 0.0 ? util::kInf : 1.0);
+    // Phase counters: -1 marks a baseline document predating the
+    // counters (pre-PR-8 schema) so the table can print "-" instead of
+    // a misleading 0.
+    entry.baseline_pairs_touched = base->number_or("pairs_touched", -1.0);
+    entry.current_pairs_touched = cur.delta.pairs_touched;
+    entry.baseline_rows_walked = base->number_or("rows_walked", -1.0);
+    entry.current_rows_walked = cur.delta.rows_walked;
+    entry.baseline_heap_sifts = base->number_or("heap_sifts", -1.0);
+    entry.current_heap_sifts = cur.delta.heap_sifts;
     diff.entries.push_back(std::move(entry));
   }
   for (const util::JsonValue& cand : cases->array) {
@@ -413,9 +438,22 @@ PerfBaselineDiff diff_perf_baseline(const PerfReport& current,
   return diff;
 }
 
+namespace {
+
+// "base->now" for one phase counter; "-" on the baseline side when the
+// baseline document predates the counters (marked -1 by the differ).
+std::string counter_cell(double base, double now) {
+  const std::string cur = std::to_string(static_cast<long long>(now));
+  if (base < 0.0) return "-/" + cur;
+  return std::to_string(static_cast<long long>(base)) + "/" + cur;
+}
+
+}  // namespace
+
 util::Table baseline_table(const PerfBaselineDiff& diff) {
   util::Table table({"case", "base_strategy", "base_ms", "now_ms",
-                     "wall_ratio", "base_evals", "now_evals", "evals_ratio"});
+                     "wall_ratio", "base_evals", "now_evals", "evals_ratio",
+                     "pairs(b/n)", "rows(b/n)", "sifts(b/n)"});
   for (const PerfBaselineEntry& e : diff.entries) {
     table.row()
         .add(e.label)
@@ -425,7 +463,10 @@ util::Table baseline_table(const PerfBaselineDiff& diff) {
         .add(e.wall_ratio, 3)
         .add(e.baseline_evals, 0)
         .add(e.current_evals, 0)
-        .add(e.evals_ratio, 3);
+        .add(e.evals_ratio, 3)
+        .add(counter_cell(e.baseline_pairs_touched, e.current_pairs_touched))
+        .add(counter_cell(e.baseline_rows_walked, e.current_rows_walked))
+        .add(counter_cell(e.baseline_heap_sifts, e.current_heap_sifts));
   }
   return table;
 }

@@ -35,9 +35,16 @@
 //                            // with a different thread count is visibly
 //                            // not a like-for-like comparison.
 //       "delta": {"wall_ms": x, "objective": x, "picks": n, "evals": n,
+//                 "pairs_touched": n,  // w-bar propagation deltas applied
+//                 "rows_walked": n,    // user adjacency rows entered
+//                 "heap_sifts": n,     // heap sift passes (build + repair)
 //                 "events_per_sec": x},  // serve cases: events stat /
 //                                        // event-apply seconds
-//                                        // (repair_wall_ms); 0 elsewhere
+//                                        // (repair_wall_ms); 0 elsewhere,
+//                                        // and 0 when the case's threads
+//                                        // exceed hardware_concurrency
+//                                        // (timesliced shards measure the
+//                                        // scheduler, not the engine)
 //       "lazy":  {...}, "naive": {...},
 //       "speedup": x,        // naive.wall_ms / delta.wall_ms
 //       "speedup_lazy": x,   // naive.wall_ms / lazy.wall_ms
@@ -47,9 +54,12 @@
 //                 "objective_match": bool}   // case with most streams
 //   }
 // Pre-PR-4 documents lack "delta"/"provenance"; pre-PR-6 documents lack
-// "threads"/"events_per_sec"; the baseline differ falls back to "lazy"
-// as the primary measurement for the former and never gates on the
-// latter (throughput is reported, not diffed).
+// "threads"/"events_per_sec"; pre-PR-8 documents lack the phase counters
+// ("pairs_touched"/"rows_walked"/"heap_sifts"). The baseline differ
+// falls back to "lazy" as the primary measurement for the first, never
+// gates on throughput (reported, not diffed), and prints "-" for phase
+// counters a baseline does not carry; phase counters are shown to make
+// regressions attributable but never gate.
 #pragma once
 
 #include <cstdint>
@@ -96,9 +106,18 @@ struct PerfMeasurement {
   double objective = 0.0;
   double picks = 0.0;  // selection-kernel pop_best() count
   double evals = 0.0;  // effectiveness (re-)evaluations
+  // Per-phase hot-path counters (SelectStats): w-bar deltas applied,
+  // user adjacency rows entered, and heap sift passes. Deterministic
+  // like evals, so a wall regression can be attributed to a phase.
+  double pairs_touched = 0.0;
+  double rows_walked = 0.0;
+  double heap_sifts = 0.0;
   // Serve cases: events applied per second of event-apply wall time
   // (the "events" stat over "repair_wall_ms"; best repetition). 0 for
-  // algorithms without an event loop.
+  // algorithms without an event loop, and 0 when the case asks for
+  // more worker threads than the box has cores — timesliced shards
+  // produce a scheduler number, not an engine number (the ROADMAP's
+  // serve-1M artifact).
   double events_per_sec = 0.0;
 };
 
@@ -179,6 +198,15 @@ struct PerfBaselineEntry {
   double baseline_evals = 0.0;
   double current_evals = 0.0;
   double evals_ratio = 0.0;  // current / baseline (machine-independent)
+  // Phase counters on both sides. Baselines predating the counters
+  // (pre-PR-8 schema) report -1 on the baseline side; the table prints
+  // "-" there. Informational only — regressed() never gates on these.
+  double baseline_pairs_touched = -1.0;
+  double current_pairs_touched = 0.0;
+  double baseline_rows_walked = -1.0;
+  double current_rows_walked = 0.0;
+  double baseline_heap_sifts = -1.0;
+  double current_heap_sifts = 0.0;
 };
 
 struct PerfBaselineDiff {

@@ -56,6 +56,13 @@ core::SkewBandsOptions band_options(const SolveRequest& req) {
 void report_select(SolveOutcome& out, const core::SelectStats& select) {
   out.stats["select_picks"] = static_cast<double>(select.picks);
   out.stats["select_evals"] = static_cast<double>(select.evaluations);
+  // Per-phase hot-path counters: w-bar propagation deltas applied,
+  // adjacency rows entered, heap sift passes. Deterministic, so the
+  // perf suite can attribute a wall change to a phase.
+  out.stats["select_pairs_touched"] =
+      static_cast<double>(select.pairs_touched);
+  out.stats["select_rows_walked"] = static_cast<double>(select.rows_walked);
+  out.stats["select_heap_sifts"] = static_cast<double>(select.heap_sifts);
 }
 
 SolveOutcome run_pipeline(const SolveRequest& req) {
@@ -256,7 +263,8 @@ void register_core_solvers(SolverRegistry& r) {
          .description =
              "Section 3 classify-and-select over skew bands; options: "
              "enum-bands, depth, mode, select; stats: alpha, num_bands, "
-             "chosen_band, select_picks, select_evals",
+             "chosen_band, select_picks, select_evals, "
+             "select_pairs_touched, select_rows_walked, select_heap_sifts",
          .form = InstanceForm::kSmd,
          .option_keys = {"enum-bands", "depth", "mode", "select"}},
         run_bands);
@@ -284,7 +292,8 @@ void register_core_solvers(SolverRegistry& r) {
          .description =
              "Algorithm 1 verbatim (semi-feasible, unbounded ratio alone); "
              "options: select; stats: considered, skipped_budget, "
-             "select_picks, select_evals",
+             "select_picks, select_evals, select_pairs_touched, "
+             "select_rows_walked, select_heap_sifts",
          .form = InstanceForm::kUnitSkew,
          .option_keys = {"select"}},
         run_plain_greedy);

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/float_cmp.h"
+#include "util/hotpath.h"
 
 namespace vdist::engine {
 
@@ -161,9 +162,20 @@ void RepairCore::add_stream_state(const WorldRef& w, StreamId s, double cost,
   const model::Instance& inst = *w.base;
   used_ += cost;
   added_seq_[static_cast<std::size_t>(s)] = next_seq_++;
-  for (model::EdgeId e = inst.first_edge(s); e < inst.last_edge(s); ++e) {
+  std::size_t rows = 0;
+  std::size_t pairs = 0;
+  const model::EdgeId lo = inst.first_edge(s);
+  const model::EdgeId hi = inst.last_edge(s);
+  for (model::EdgeId e = lo; e < hi; ++e) {
     const UserId u = inst.edge_user(e);
     const auto uu = static_cast<std::size_t>(u);
+    if (e + 1 < hi) {
+      // As in GreedyEngine::add_stream: the stream's users are sparse in
+      // user space, so pull the next residual and adjacency row early.
+      const UserId un = inst.edge_user(e + 1);
+      VDIST_PREFETCH(rem_.data() + static_cast<std::size_t>(un));
+      VDIST_PREFETCH(inst.edges_of(un).data());
+    }
     const double wv = w.edge_utility[static_cast<std::size_t>(e)];
     if (rem_[uu] <= kAbsEps || wv <= 0.0) continue;
     assigned_[uu].push_back(s);
@@ -173,9 +185,12 @@ void RepairCore::add_stream_state(const WorldRef& w, StreamId s, double cost,
     rem_[uu] -= wv;
     const double rem_new_clamped = clamp0(rem_[uu]);
     // The same per-pair delta arithmetic as GreedyEngine::add_stream —
-    // only pairs whose contribution actually changed are touched.
+    // only pairs whose contribution actually changed are touched. (The
+    // instance CSR is unsorted here, so the scan can't early-break like
+    // the greedy's descending-w rows; it still skips unchanged pairs.)
     const auto adj_edges = inst.edges_of(u);
     const auto adj_streams = inst.streams_of(u);
+    ++rows;
     for (std::size_t t = 0; t < adj_edges.size(); ++t) {
       const StreamId sp = adj_streams[t];
       const auto sps = static_cast<std::size_t>(sp);
@@ -185,6 +200,7 @@ void RepairCore::add_stream_state(const WorldRef& w, StreamId s, double cost,
       if (we <= rem_new_clamped) continue;  // contribution unchanged
       const double before = we < rem_old ? we : rem_old;
       wbar_[sps] += rem_new_clamped - before;
+      ++pairs;
       if (selector != nullptr && selector->contains(sp)) {
         if (wbar_[sps] <= kAbsEps)
           selector->remove(sp);
@@ -194,6 +210,7 @@ void RepairCore::add_stream_state(const WorldRef& w, StreamId s, double cost,
     }
   }
   wbar_[static_cast<std::size_t>(s)] = 0.0;
+  if (selector != nullptr) selector->note_propagation(rows, pairs);
 }
 
 std::size_t RepairCore::run_completion(const WorldRef& w, const Context& ctx,

@@ -48,6 +48,12 @@ class Assignment {
   [[nodiscard]] std::span<const StreamId> streams_of(UserId u) const noexcept {
     return assigned_[static_cast<std::size_t>(u)];
   }
+  // Pre-sizes A(u)'s stream list. Replay paths that know each user's
+  // final pair count up front (GreedyEngine::sync_assignment) avoid the
+  // per-push reallocation churn of 2000-user rebuilds.
+  void reserve_streams(UserId u, std::size_t n) {
+    assigned_[static_cast<std::size_t>(u)].reserve(n);
+  }
   [[nodiscard]] std::size_t num_assigned_pairs() const noexcept {
     return num_pairs_;
   }

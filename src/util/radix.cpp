@@ -1,0 +1,62 @@
+#include "util/radix.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace vdist::util {
+
+void radix_sort_pairs(std::span<std::uint64_t> keys,
+                      std::span<std::int32_t> values,
+                      std::vector<std::uint64_t>& key_scratch,
+                      std::vector<std::int32_t>& value_scratch) {
+  const std::size_t n = keys.size();
+  if (n <= 1) return;
+  key_scratch.resize(n);
+  value_scratch.resize(n);
+
+  // All eight digit histograms in one read pass.
+  std::array<std::array<std::uint32_t, 256>, 8> hist{};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t k = keys[i];
+    for (std::size_t d = 0; d < 8; ++d) {
+      ++hist[d][k & 0xff];
+      k >>= 8;
+    }
+  }
+
+  std::uint64_t* src_k = keys.data();
+  std::int32_t* src_v = values.data();
+  std::uint64_t* dst_k = key_scratch.data();
+  std::int32_t* dst_v = value_scratch.data();
+  for (std::size_t d = 0; d < 8; ++d) {
+    const auto& h = hist[d];
+    // Degenerate digit: one byte value covers every key — the scatter
+    // would be the identity permutation, skip it.
+    if (std::any_of(h.begin(), h.end(),
+                    [n](std::uint32_t c) { return c == n; }))
+      continue;
+    std::array<std::uint32_t, 256> offset;
+    std::uint32_t sum = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      offset[b] = sum;
+      sum += h[b];
+    }
+    const unsigned shift = static_cast<unsigned>(8 * d);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t b =
+          static_cast<std::size_t>((src_k[i] >> shift) & 0xff);
+      const std::uint32_t o = offset[b]++;
+      dst_k[o] = src_k[i];
+      dst_v[o] = src_v[i];
+    }
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+  }
+  if (src_k != keys.data()) {
+    std::memcpy(keys.data(), src_k, n * sizeof(std::uint64_t));
+    std::memcpy(values.data(), src_v, n * sizeof(std::int32_t));
+  }
+}
+
+}  // namespace vdist::util

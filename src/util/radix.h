@@ -1,0 +1,36 @@
+// LSD radix sort for (uint64 key, int32 payload) pairs — the
+// GreedyEngine constructor's cost-order build. A comparator std::sort of
+// 8000 stream ids by cost was one of the two big constructor line items
+// on the perf suite's cap-8000 case; byte-wise counting sort does the
+// same work in a fraction of the branches and, being stable, preserves
+// the ascending-id input order on cost ties — exactly the (cost, id)
+// comparator's tie rule, so the output permutation is bit-identical.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vdist::util {
+
+// Maps a double onto a uint64 whose unsigned order equals the double's
+// ascending order (finite values and infinities; no NaNs expected).
+[[nodiscard]] inline std::uint64_t radix_key_from_double(double d) noexcept {
+  const auto b = std::bit_cast<std::uint64_t>(d);
+  return b ^ ((b >> 63) != 0 ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << 63));
+}
+
+// Stable ascending sort of `values` by `keys` (parallel arrays, equal
+// lengths), byte-wise LSD. Degenerate digits — every key sharing one
+// byte value — are detected from a single histogram pass and skipped,
+// so near-uniform key distributions pay only for the bytes that vary.
+// `key_scratch`/`value_scratch` are caller-owned ping-pong buffers
+// (resized as needed) so workspace reuse amortizes the allocation.
+void radix_sort_pairs(std::span<std::uint64_t> keys,
+                      std::span<std::int32_t> values,
+                      std::vector<std::uint64_t>& key_scratch,
+                      std::vector<std::int32_t>& value_scratch);
+
+}  // namespace vdist::util

@@ -273,6 +273,60 @@ TEST(StreamSelector, SaveRestoreReplaysPops) {
   EXPECT_EQ(sel.stats().picks, picks_before + 3);
 }
 
+// A checkpoint taken AFTER updates must carry the SoA heap verbatim —
+// including the stale entry left by update() (the delta strategy defers
+// the re-evaluation to pop time, so the saved eff[]/stamp[] prefix holds
+// a lazy entry whose refresh must replay identically after restore).
+TEST(StreamSelector, SaveAfterUpdatesRestoresStaleState) {
+  SolveWorkspace ws;
+  ws.wbar = {8.0, 10.0, 6.0, 4.0};
+  ws.cost = {1.0, 1.0, 1.0, 1.0};
+  StreamSelector sel;
+  sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kDeltaHeap);
+  EXPECT_EQ(sel.pop_best(), 1);
+  // Demote stream 0 below 2 and 3 without touching the heap: the stale
+  // key 8.0 still sits at the top until a pop refreshes it.
+  ws.wbar[0] = 0.5;
+  sel.update(0, ws.wbar[0]);
+  SelectorCheckpoint cp;
+  sel.save(cp);
+  EXPECT_EQ(sel.pop_best(), 2);
+  EXPECT_EQ(sel.pop_best(), 3);
+  EXPECT_EQ(sel.pop_best(), 0);
+  const std::size_t evals_first_drain = sel.stats().evaluations;
+  sel.restore(cp);
+  EXPECT_EQ(sel.pool_size(), 3u);
+  EXPECT_EQ(sel.pop_best(), 2);
+  EXPECT_EQ(sel.pop_best(), 3);
+  EXPECT_EQ(sel.pop_best(), 0);
+  EXPECT_EQ(sel.pop_best(), model::kInvalidStream);
+  // The replay re-evaluates exactly what the first drain did: one lazy
+  // refresh of the demoted stream 0.
+  EXPECT_EQ(sel.stats().evaluations, evals_first_drain + 1);
+}
+
+// The naive strategy's checkpoint is just the pool: save/restore must
+// replay the scan picks (and their evaluation counts) identically.
+TEST(StreamSelector, NaiveSaveRestoreReplaysScans) {
+  SolveWorkspace ws;
+  ws.wbar = {8.0, 10.0, 6.0};
+  ws.cost = {1.0, 1.0, 1.0};
+  StreamSelector sel;
+  sel.reset(ws, ws.wbar, ws.cost, SelectStrategy::kNaiveScan);
+  EXPECT_EQ(sel.pop_best(), 1);
+  SelectorCheckpoint cp;
+  sel.save(cp);
+  EXPECT_EQ(sel.pop_best(), 0);
+  const std::size_t evals_before = sel.stats().evaluations;
+  sel.restore(cp);
+  EXPECT_EQ(sel.pool_size(), 2u);
+  EXPECT_EQ(sel.pop_best(), 0);
+  EXPECT_EQ(sel.pop_best(), 2);
+  EXPECT_EQ(sel.pop_best(), model::kInvalidStream);
+  // Two scans over a 2- then 1-entry pool.
+  EXPECT_EQ(sel.stats().evaluations, evals_before + 3);
+}
+
 // Two sequential solves on one workspace must equal two fresh solves —
 // across different instances, sizes, and algorithms.
 TEST(SolveWorkspace, SequentialSolvesMatchFreshSolves) {
