@@ -58,6 +58,82 @@ template <typename OverCapFn>
 
 }  // namespace
 
+void CompletionTrace::clear() {
+  ++revision;
+  pick.clear();
+  applied.clear();
+  runner_up.clear();
+  pick_eff.clear();
+  margin_clear.clear();
+  final_w1_add.clear();
+  final_w2_add.clear();
+  tie_begin.clear();
+  tie_member.clear();
+  assign_begin.clear();
+  assign_user.clear();
+  assign_w.clear();
+  assign_umask.clear();
+  touch_begin.clear();
+  touch_stream.clear();
+  touch_wbar.clear();
+  death_begin.clear();
+  death_stream.clear();
+  ended_on_budget = false;
+  end_used = 0.0;
+  final_user_w.clear();
+  final_user_last_w.clear();
+  user_tl_begin.clear();
+  tl_pick.clear();
+  tl_w.clear();
+}
+
+void CompletionTrace::finalize(const model::InstanceView& view,
+                               std::span<const double> user_w,
+                               std::span<const double> user_last_w) {
+  const std::size_t num_users = view.num_users();
+  // CSR sentinels (the recording loop pushed one begin per pick).
+  tie_begin.push_back(static_cast<std::uint32_t>(tie_member.size()));
+  assign_begin.push_back(static_cast<std::uint32_t>(assign_user.size()));
+  touch_begin.push_back(static_cast<std::uint32_t>(touch_stream.size()));
+  death_begin.push_back(static_cast<std::uint32_t>(death_stream.size()));
+  final_user_w.assign(user_w.begin(), user_w.end());
+  final_user_last_w.assign(user_last_w.begin(), user_last_w.end());
+  // Per-user split contributions at completion end, the same arithmetic
+  // the replay's scoring epilogue performs (core/replay.cpp): a clean
+  // user in a full-consume replay contributes exactly these two adds.
+  final_w1_add.assign(num_users, 0.0);
+  final_w2_add.assign(num_users, 0.0);
+  for (std::size_t uu = 0; uu < num_users; ++uu) {
+    const double w = final_user_w[uu];
+    const double last = final_user_last_w[uu];
+    if (last <= 0.0) continue;
+    final_w2_add[uu] = last;
+    const bool over_cap =
+        !util::approx_le(w, view.capacity(static_cast<model::UserId>(uu)));
+    final_w1_add[uu] = over_cap ? w - last : w;
+  }
+  // Invert the per-pick assign CSR into per-user timelines (pick order is
+  // preserved within each user: picks are scanned in order).
+  user_tl_begin.assign(num_users + 1, 0);
+  for (const model::UserId u : assign_user)
+    ++user_tl_begin[static_cast<std::size_t>(u) + 1];
+  for (std::size_t u = 1; u <= num_users; ++u)
+    user_tl_begin[u] += user_tl_begin[u - 1];
+  tl_pick.resize(assign_user.size());
+  tl_w.resize(assign_user.size());
+  std::vector<std::uint32_t> cursor(user_tl_begin.begin(),
+                                    user_tl_begin.end() - 1);
+  const std::size_t picks = pick.size();
+  for (std::size_t i = 0; i < picks; ++i) {
+    for (std::uint32_t j = assign_begin[i]; j < assign_begin[i + 1]; ++j) {
+      const auto u = static_cast<std::size_t>(assign_user[j]);
+      const std::uint32_t at = cursor[u]++;
+      tl_pick[at] = static_cast<std::uint32_t>(i);
+      tl_w[at] = assign_w[j];
+    }
+  }
+}
+
 GreedyEngine::GreedyEngine(InstanceView view, SolveWorkspace& ws,
                            const GreedyOptions& opts)
     : view_(view),
@@ -191,7 +267,18 @@ void GreedyEngine::add_seed(StreamId s) {
   selector_.remove(s);
 }
 
-void GreedyEngine::run() {
+void GreedyEngine::run() { run_loop(); }
+
+void GreedyEngine::run(CompletionTrace& rec) {
+  rec.clear();
+  rec_ = &rec;
+  run_loop();
+  rec.end_used = used_;
+  rec.finalize(view_, ws_.user_w, ws_.user_last_w);
+  rec_ = nullptr;
+}
+
+void GreedyEngine::run_loop() {
   const double B = view_.budget();
   for (;;) {
     // Budget cutoff: eager dead-stream removal keeps only wbar > eps
@@ -211,6 +298,7 @@ void GreedyEngine::run() {
         result_.trace.skipped_budget += selector_.pool_size();
         for (std::size_t s = 0; s < ws_.taken.size(); ++s)
           if (selector_.contains(static_cast<StreamId>(s))) ws_.taken[s] = 1;
+        if (rec_ != nullptr) rec_->ended_on_budget = true;
         break;
       }
     }
@@ -226,10 +314,43 @@ void GreedyEngine::run() {
       result_.trace.considered.push_back(best);
       result_.trace.added.push_back(fits ? 1 : 0);
     }
+    if (rec_ != nullptr) {
+      rec_->pick.push_back(best);
+      rec_->applied.push_back(fits ? 1 : 0);
+      // Tolerance-tied candidates from this pop (heap strategies leave
+      // them in ws_.tied). An empty range means a singleton tie set.
+      rec_->tie_begin.push_back(
+          static_cast<std::uint32_t>(rec_->tie_member.size()));
+      if (ws_.tied.size() > 1)
+        for (const SelectHeapEntry& e : ws_.tied)
+          rec_->tie_member.push_back(e.stream);
+      // Settle the heap before propagation: the exact best effectiveness
+      // among the remaining pool at this step.
+      rec_->runner_up.push_back(selector_.settle_top_eff());
+      rec_->pick_eff.push_back(select_effectiveness(ws_.wbar[bs], c));
+      rec_->margin_clear.push_back(
+          util::margin_gt(rec_->pick_eff.back(), rec_->runner_up.back()) ? 1
+                                                                         : 0);
+      rec_->assign_begin.push_back(
+          static_cast<std::uint32_t>(rec_->assign_user.size()));
+      rec_->touch_begin.push_back(
+          static_cast<std::uint32_t>(rec_->touch_stream.size()));
+      rec_->death_begin.push_back(
+          static_cast<std::uint32_t>(rec_->death_stream.size()));
+    }
     if (fits)
       add_stream(best, c);
     else
       ++result_.trace.skipped_budget;
+    if (rec_ != nullptr) {
+      std::uint64_t um = 0;
+      if (view_.num_users() <= 64)
+        for (std::uint32_t j = rec_->assign_begin.back();
+             j < rec_->assign_user.size(); ++j)
+          um |= std::uint64_t{1}
+                << static_cast<std::size_t>(rec_->assign_user[j]);
+      rec_->assign_umask.push_back(um);
+    }
   }
 }
 
@@ -275,6 +396,10 @@ void GreedyEngine::add_stream(StreamId s, double cost) {
       ws_.pair_log.push_back({u, s, e});
       assignment_dirty_ = true;
     }
+    if (rec_ != nullptr) {
+      rec_->assign_user.push_back(u);
+      rec_->assign_w.push_back(w);
+    }
     ws_.user_w[uu] += w;
     ws_.user_last_w[uu] = w;
     const double rem_old = rem[uu];
@@ -314,12 +439,22 @@ void GreedyEngine::add_stream(StreamId s, double cost) {
     const auto sps = static_cast<std::size_t>(sp);
     touch_mark[sps] = 0;
     if (!in_pool[sps]) continue;  // left the pool before this pick
+    // Record pool members only (pre-removal, so a stream dying at this
+    // pick still gets its final value): a replay keeps no stream alive
+    // past its parent's death — clean copies die with the parent's
+    // recorded decision, dirty survivors bail — so out-of-pool streams'
+    // w̄, which the engine itself never reads again, need no image.
+    if (rec_ != nullptr) {
+      rec_->touch_stream.push_back(sp);
+      rec_->touch_wbar.push_back(wbar[sps]);
+    }
     // A stream whose residual utility just died can never be picked
     // (the run loop breaks on it); dropping it here keeps the heap's
     // near-zero tie band empty instead of re-sifting dead entries.
-    if (wbar[sps] <= util::kAbsEps)
+    if (wbar[sps] <= util::kAbsEps) {
       selector_.remove(sp);
-    else
+      if (rec_ != nullptr) rec_->death_stream.push_back(sp);
+    } else
       selector_.update(sp, wbar[sps]);
   }
   selector_.note_propagation(rows, pairs);

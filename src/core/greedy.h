@@ -113,6 +113,90 @@ struct CheckpointArena {
   std::vector<GreedyCheckpoint> frames;
 };
 
+// A recorded greedy completion: everything a sibling leaf needs to replay
+// the run pick-for-pick in "replay space" (core/replay.cpp) instead of
+// re-running the completion heap. Recorded by GreedyEngine::run(trace)
+// starting from the engine's current state (a checkpoint frame plus its
+// seeds); the per-pick payloads are CSR-packed so one trace is a handful
+// of flat vectors reused across recordings.
+//
+// Per pop i, in pop order:
+//   * pick/applied:   the stream and whether it fit the budget;
+//   * runner_up:      the *exact* maximum effectiveness over the pool
+//                     right after the pop and before its propagation
+//                     (StreamSelector::settle_top_eff) — the value a
+//                     perturbed sibling stream must clearly beat to
+//                     change this pick;
+//   * tie_*:          the tolerance-tied candidate set the selector
+//                     gathered (singleton for a clear winner);
+//   * assign_*:       the (user, utility) pairs the pick assigned;
+//   * touch_*:        every stream whose w̄ the pick's propagation
+//                     changed, with its exact post-pick w̄.
+// The end state carries the engine's final budget/accumulators plus
+// per-user assignment timelines (CSR by user, entries in pick order) so
+// a replayed sibling can cut any user's accumulator at an arbitrary
+// replay stop point with bit-exact arithmetic.
+struct CompletionTrace {
+  std::vector<model::StreamId> pick;
+  std::vector<char> applied;
+  std::vector<double> runner_up;
+  std::vector<std::uint32_t> tie_begin;     // size picks+1
+  std::vector<model::StreamId> tie_member;  // includes the winner
+  std::vector<std::uint32_t> assign_begin;  // size picks+1
+  std::vector<model::UserId> assign_user;
+  std::vector<double> assign_w;
+  // Bitmask of the users this pick assigned (instances with <= 64
+  // users; all-zero otherwise) — lets a replay intersect with its dirty
+  // set instead of walking the assign list.
+  std::vector<std::uint64_t> assign_umask;  // size picks
+  std::vector<std::uint32_t> touch_begin;  // size picks+1
+  std::vector<model::StreamId> touch_stream;
+  std::vector<double> touch_wbar;  // w̄ after the pick's propagation
+  // Streams the pick's propagation killed (w̄ fell to <= kAbsEps while
+  // pooled). A replay kills its clean copies at the same pick without
+  // value checks — the decision is the parent's own exact test.
+  std::vector<std::uint32_t> death_begin;  // size picks+1
+  std::vector<model::StreamId> death_stream;
+  // End-of-run state: true when the run ended on the bulk budget cutoff
+  // (cheapest pooled stream no longer fits) rather than a drained pool.
+  bool ended_on_budget = false;
+  double end_used = 0.0;
+  // Replay accelerators, recorded at pop time:
+  //   * pick_eff:     the winner's exact effectiveness at its pop — the
+  //                   bits a clean-stream replay would recompute from
+  //                   its image, so validation loads instead of divides;
+  //   * margin_clear: pick_eff beats runner_up by the replay margin
+  //                   (util::margin_gt), precomputed so the common-case
+  //                   per-pick validation is two loads and a compare.
+  std::vector<double> pick_eff;
+  std::vector<char> margin_clear;
+  // Bumped by clear(): lets a replay context detect that a reused trace
+  // object (and its paired checkpoint frame) holds a new recording.
+  std::uint64_t revision = 0;
+  // The engine's per-user accumulators at completion end (the fast exact
+  // scoring path when a replay consumes the whole trace).
+  std::vector<double> final_user_w;
+  std::vector<double> final_user_last_w;
+  // Per-user contributions to the Theorem 2.8 split at completion end
+  // (both zero for never-assigned users): w1_add is the capped-or-full
+  // assigned utility, w2_add the last assigned utility. A full-consume
+  // replay sums these for clean users instead of re-deriving them.
+  std::vector<double> final_w1_add;
+  std::vector<double> final_w2_add;
+  // Per-user assignment timelines: user_tl_begin is CSR over users into
+  // (tl_pick, tl_w), entries in pick order.
+  std::vector<std::uint32_t> user_tl_begin;  // size users+1
+  std::vector<std::uint32_t> tl_pick;
+  std::vector<double> tl_w;
+
+  [[nodiscard]] std::size_t num_picks() const noexcept { return pick.size(); }
+  void clear();
+  // Builds the per-user timelines from the assign CSR and snapshots the
+  // final accumulators. Called by the recording run() at completion.
+  void finalize(const model::InstanceView& view, std::span<const double> user_w,
+                std::span<const double> user_last_w);
+};
+
 // The Theorem 2.8 split's utilities alone (no Assignment built): w1 is
 // the "all but each user's last stream" side, w2 the "only the last
 // stream" side.
@@ -147,6 +231,12 @@ class GreedyEngine {
 
   // Runs the argmax loop to completion.
   void run();
+  // Runs the argmax loop to completion while recording a CompletionTrace
+  // (cleared first) for the §2.3 shared-prefix replay. Requires a heap
+  // strategy (the recorder settles the heap top for exact runner-up
+  // values) and untraced mode; behaviour and picks are identical to
+  // run(), with extra per-pick evaluations from the settles.
+  void run(CompletionTrace& rec);
 
   // The current result; select counters are synced on access. With
   // build_assignment = false the result's assignment is empty — use the
@@ -178,8 +268,13 @@ class GreedyEngine {
   void save(GreedyCheckpoint& out) const;
   void restore(const GreedyCheckpoint& in);
 
+  [[nodiscard]] const model::InstanceView& view() const noexcept {
+    return view_;
+  }
+
  private:
   void add_stream(model::StreamId s, double cost);
+  void run_loop();
   // Rebuilds result_.assignment from the workspace pair log (replaying
   // assign_edge in the identical order — bit-identical accounting) when
   // picks landed since the last sync. No-op in scoring mode.
@@ -198,6 +293,9 @@ class GreedyEngine {
   // (untraced runs only — traces need the per-stream pop order).
   std::size_t cost_cursor_ = 0;
   double used_ = 0.0;
+  // Non-null while a recording run() is in flight: add_stream appends the
+  // pick's assignment and touch payloads to it.
+  CompletionTrace* rec_ = nullptr;
   // True when ws_.pair_log holds pairs result_.assignment doesn't.
   bool assignment_dirty_ = false;
 };

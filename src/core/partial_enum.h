@@ -29,6 +29,22 @@
 // heavy; intended for moderate instance sizes (the paper's point is the
 // existence of the ratio, and bench E3 measures the quality/time
 // trade-off).
+//
+// Since PR 9 the cardinality-seed_size level is further accelerated two
+// ways, both bit-transparent:
+//   * Shared-prefix completion replay (core/replay.h): sibling leaves
+//     differ by one seed, so each parent frame's completion is recorded
+//     once (GreedyEngine::run(CompletionTrace&)) and every child is
+//     scored by replaying the parent's pick sequence, falling back to a
+//     real engine completion only when the replay cannot prove itself
+//     exact. Enabled for kFeasible + kDeltaHeap; other modes/strategies
+//     keep the per-leaf engine loop, which doubles as a replay-free
+//     differential reference on every perf run.
+//   * Parallel DFS (PartialEnumOptions::threads): workers claim
+//     first-seed subtrees off an atomic cursor, each on a private
+//     workspace/engine, and the incumbent is reduced deterministically
+//     by (objective, seed-set lexicographic) order — results and every
+//     reported counter are bit-identical across thread counts.
 #pragma once
 
 #include <cstddef>
@@ -49,6 +65,11 @@ struct PartialEnumOptions {
   // greedy runs O(|S|^seed_size) times on checkpoint-restored state.
   SelectStrategy strategy = SelectStrategy::kDeltaHeap;
   SolveWorkspace* workspace = nullptr;
+  // Worker threads for the seed_size-level DFS (<= 1 = sequential).
+  // Bit-identical results and counters at any value; when a run would be
+  // truncated by max_candidates the walk stays sequential so truncation
+  // keeps its exact enumeration-order semantics.
+  int threads = 1;
 };
 
 struct PartialEnumResult {
@@ -59,6 +80,12 @@ struct PartialEnumResult {
   bool truncated = false;
   // Selection-kernel counters summed over every greedy completion.
   SelectStats select;
+  // Shared-prefix replay counters (zero when replay is off): leaves that
+  // pulled a recorded parent frame + trace, and the subset of them that
+  // were scored entirely in replay space (no engine completion). The
+  // difference is the bail count.
+  std::size_t frames_reused = 0;
+  std::size_t completions_replayed = 0;
 };
 
 [[nodiscard]] PartialEnumResult partial_enum_unit_skew(

@@ -256,6 +256,10 @@ void fill_effectiveness(const double* wbar, const double* cost, double* eff,
 
 }  // namespace
 
+std::size_t select_break_ties(std::vector<SelectHeapEntry>& tied) {
+  return break_ties(tied);
+}
+
 SelectStrategy parse_select_strategy(const std::string& name) {
   if (name == "delta") return SelectStrategy::kDeltaHeap;
   if (name == "lazy" || name == "heap") return SelectStrategy::kLazyHeap;
@@ -294,6 +298,7 @@ void StreamSelector::reset(SolveWorkspace& ws, std::span<const double> wbar,
   pool_size_ = n;
   round_ = 0;
   heap_size_ = 0;
+  ++mutation_count_;
   stats_ = {};
   if (strategy_ == SelectStrategy::kNaiveScan) {
     ws.eff.assign(n, 0.0);
@@ -316,6 +321,7 @@ void StreamSelector::reset(SolveWorkspace& ws, std::span<const double> wbar,
 }
 
 void StreamSelector::invalidate() noexcept {
+  ++mutation_count_;
   if (strategy_ == SelectStrategy::kDeltaHeap) {
     // No global round under delta stamps: conservatively age every
     // stream's version so every entry re-evaluates once.
@@ -326,6 +332,9 @@ void StreamSelector::invalidate() noexcept {
 }
 
 void StreamSelector::save(SelectorCheckpoint& out) const {
+  // Bump-then-record: the stored counter value is unique to this save, so
+  // a later restore() matching it proves nothing mutated in between.
+  out.mutation_count = ++mutation_count_;
   const auto live = static_cast<std::ptrdiff_t>(heap_size_);
   out.heap_eff.assign(ws_->heap_eff.begin(), ws_->heap_eff.begin() + live);
   out.heap_wbar.assign(ws_->heap_wbar.begin(),
@@ -342,6 +351,11 @@ void StreamSelector::save(SelectorCheckpoint& out) const {
 }
 
 void StreamSelector::restore(const SelectorCheckpoint& in) {
+  // Fast path: the live counter still equals the one this save() stamped,
+  // so not a single pop/remove/update/invalidate has happened since — the
+  // selector *is* the checkpoint and every copy below would be a no-op.
+  if (mutation_count_ == in.mutation_count) return;
+  ++mutation_count_;
   std::copy(in.heap_eff.begin(), in.heap_eff.end(), ws_->heap_eff.begin());
   std::copy(in.heap_wbar.begin(), in.heap_wbar.end(),
             ws_->heap_wbar.begin());
@@ -358,6 +372,7 @@ void StreamSelector::restore(const SelectorCheckpoint& in) {
 
 model::StreamId StreamSelector::pop_best() {
   if (pool_size_ == 0) return model::kInvalidStream;
+  ++mutation_count_;
   const model::StreamId chosen = strategy_ == SelectStrategy::kNaiveScan
                                      ? pop_best_naive()
                                      : pop_best_heap();
@@ -366,6 +381,35 @@ model::StreamId StreamSelector::pop_best() {
   --pool_size_;
   ++stats_.picks;
   return chosen;
+}
+
+double StreamSelector::settle_top_eff() {
+  if (pool_size_ == 0) return -util::kInf;
+  ++mutation_count_;
+  SoaHeap h = heap_of(*ws_, heap_size_);
+  const char* const in_pool = ws_->in_pool.data();
+  for (;;) {
+    while (h.size > 0 && !in_pool[static_cast<std::size_t>(h.stream[0])]) {
+      --h.size;
+      if (h.size > 0)
+        heap_sift_down(h, 0, h.eff[h.size], h.wbar[h.size], h.stream[h.size],
+                       h.stamp[h.size], stats_);
+    }
+    if (h.size == 0) {
+      heap_size_ = 0;
+      return -util::kInf;
+    }
+    if (entry_fresh(h.stream[0], h.stamp[0])) {
+      heap_size_ = h.size;
+      return h.eff[0];
+    }
+    const auto s = static_cast<std::size_t>(h.stream[0]);
+    const double eff = select_effectiveness(wbar_[s], cost_[s]);
+    const std::uint32_t stamp =
+        strategy_ == SelectStrategy::kDeltaHeap ? ws_->version[s] : round_;
+    ++stats_.evaluations;
+    heap_sift_down(h, 0, eff, wbar_[s], h.stream[0], stamp, stats_);
+  }
 }
 
 model::StreamId StreamSelector::pop_best_heap() {
@@ -479,6 +523,7 @@ model::StreamId StreamSelector::pop_best_naive() {
 void StreamSelector::remove(model::StreamId s) {
   auto& slot = ws_->in_pool[static_cast<std::size_t>(s)];
   if (slot == 0) return;
+  ++mutation_count_;
   slot = 0;
   --pool_size_;
 }

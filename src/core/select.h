@@ -120,6 +120,11 @@ struct SelectorCheckpoint {
   std::size_t heap_size = 0;
   std::size_t pool_size = 0;
   std::uint32_t round = 0;
+  // The selector's mutation counter at save() time. restore() compares it
+  // against the live counter and returns without touching a byte when the
+  // selector has not mutated since this very save — the checkpoint-restore
+  // fast path for back-to-back restores of the same frame.
+  std::uint64_t mutation_count = 0;
 };
 
 struct CheckpointArena;  // core/greedy.h: reusable GreedyCheckpoint frames
@@ -239,6 +244,15 @@ class StreamSelector {
   // is empty.
   [[nodiscard]] model::StreamId pop_best();
 
+  // Heap strategies only: refreshes the heap front until it is fresh and
+  // returns its effectiveness — the *exact* maximum effectiveness over the
+  // current pool, without popping anything (the settle is the next pop's
+  // phase 1 done early; refreshed entries stay refreshed). Returns -inf on
+  // an empty pool. The §2.3 trace recorder calls this right after each
+  // pop, before propagation, so every recorded pick carries the exact
+  // runner-up value a replayed sibling must beat to diverge.
+  [[nodiscard]] double settle_top_eff();
+
   // Removes a stream from the pool without selecting it (seed pre-passes
   // force-add streams outside the argmax order).
   void remove(model::StreamId s);
@@ -253,6 +267,7 @@ class StreamSelector {
   // once per touched pair inside it — staleness is binary, so any bump
   // between two pops invalidates exactly the same entries.
   void update(model::StreamId s, double /*new_wbar*/) noexcept {
+    ++mutation_count_;
     if (strategy_ == SelectStrategy::kDeltaHeap)
       ++ws_->version[static_cast<std::size_t>(s)];
     else if (strategy_ == SelectStrategy::kLazyHeap)
@@ -297,7 +312,23 @@ class StreamSelector {
   std::size_t pool_size_ = 0;
   std::size_t heap_size_ = 0;  // live prefix of the workspace SoA arrays
   std::uint32_t round_ = 0;
+  // Monotone count of state mutations (pops, removes, updates,
+  // invalidates) since reset(). save() bumps then records it (mutable:
+  // the bump-then-record scheme makes each saved value unique without
+  // changing observable selector state); restore() no-ops when the live
+  // counter still equals the checkpoint's — the selector provably has
+  // not moved since that save. Never rewound, so a stale frame can never
+  // alias a newer state.
+  mutable std::uint64_t mutation_count_ = 0;
   SelectStats stats_;
 };
+
+// The shared epsilon-aware tie-break over a tolerance-tied candidate set
+// (largest w̄ wins, then lowest stream id; candidates are id-sorted first
+// so the non-transitive fuzzy scan is order-deterministic). Exposed so
+// the §2.3 replay fast path (core/replay.cpp) resolves a recorded tie
+// set with bit-identical logic to the live selector. Returns the index
+// of the winner in `tied` (which is reordered).
+[[nodiscard]] std::size_t select_break_ties(std::vector<SelectHeapEntry>& tied);
 
 }  // namespace vdist::core

@@ -53,6 +53,8 @@ PerfMeasurement measure(const model::Instance& inst,
     out.pairs_touched = r.stat("select_pairs_touched");
     out.rows_walked = r.stat("select_rows_walked");
     out.heap_sifts = r.stat("select_heap_sifts");
+    out.frames_reused = r.stat("frames_reused");
+    out.completions_replayed = r.stat("completions_replayed");
     // Serve cases: throughput over the event-apply time alone (the
     // repair_wall_ms stat excludes instance generation and the opening
     // solve). Best repetition, consistent with the minimum wall. Only
@@ -60,8 +62,9 @@ PerfMeasurement measure(const model::Instance& inst,
     // shards timeslice on one core and the quotient measures the
     // scheduler, not the engine (hardware_concurrency() of 0 means
     // "unknown", which records rather than discards).
-    const unsigned threads =
-        static_cast<unsigned>(spec.options.get_int("shards", 1));
+    const unsigned threads = static_cast<unsigned>(
+        std::max(spec.options.get_int("shards", 1),
+                 spec.options.get_int("threads", 1)));
     const unsigned hc = std::thread::hardware_concurrency();
     const double events = r.stat("events");
     const double repair_s = r.stat("repair_wall_ms") / 1000.0;
@@ -92,6 +95,10 @@ void json_measurement(std::ostream& os, const PerfMeasurement& m) {
   json_number(os, m.rows_walked);
   os << ",\"heap_sifts\":";
   json_number(os, m.heap_sifts);
+  os << ",\"frames_reused\":";
+  json_number(os, m.frames_reused);
+  os << ",\"completions_replayed\":";
+  json_number(os, m.completions_replayed);
   os << ",\"events_per_sec\":";
   json_number(os, m.events_per_sec);
   os << '}';
@@ -238,7 +245,14 @@ PerfReport run_perf(const PerfOptions& opts) {
       builtin ? default_perf_suite(opts.smoke) : opts.cases;
 
   core::SolveWorkspace ws;
-  for (const PerfCaseSpec& spec : suite) {
+  for (const PerfCaseSpec& suite_spec : suite) {
+    PerfCaseSpec spec = suite_spec;
+    // --threads: the enumeration solver's parallel DFS. Results are
+    // bit-identical at any thread count, so the measurement is still
+    // comparable; the per-case `threads` field records the divergence
+    // from a single-threaded baseline.
+    if (opts.threads > 1 && spec.algorithm == "enum")
+      spec.options.set("threads", opts.threads);
     ScenarioSpec scenario = spec.scenario;
     if (builtin) scenario.seed = opts.seed;
     const std::string label = spec.label.empty()
@@ -257,8 +271,9 @@ PerfReport run_perf(const PerfOptions& opts) {
     result.streams = inst.num_streams();
     result.users = inst.num_users();
     result.edges = inst.num_edges();
-    result.threads =
-        static_cast<unsigned>(spec.options.get_int("shards", 1));
+    result.threads = static_cast<unsigned>(
+        std::max(spec.options.get_int("shards", 1),
+                 spec.options.get_int("threads", 1)));
     result.delta = measure(inst, spec, core::SelectStrategy::kDeltaHeap,
                            report.repetitions, opts.seed, ws);
     result.lazy = measure(inst, spec, core::SelectStrategy::kLazyHeap,

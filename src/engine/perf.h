@@ -29,15 +29,22 @@
 //       "streams": N, "users": N, "edges": N,
 //       "threads": N,        // worker threads the case runs on: the
 //                            // serve cases' shards option (1 = the
-//                            // single-session engine); always 1 for the
-//                            // offline solvers. Recorded per case so a
-//                            // wall-ms delta against a baseline entry
-//                            // with a different thread count is visibly
-//                            // not a like-for-like comparison.
+//                            // single-session engine) or the enum
+//                            // cases' DFS threads (--threads); 1 for
+//                            // the other offline solvers. Recorded per
+//                            // case so a wall-ms delta against a
+//                            // baseline entry with a different thread
+//                            // count is visibly not a like-for-like
+//                            // comparison.
 //       "delta": {"wall_ms": x, "objective": x, "picks": n, "evals": n,
 //                 "pairs_touched": n,  // w-bar propagation deltas applied
 //                 "rows_walked": n,    // user adjacency rows entered
 //                 "heap_sifts": n,     // heap sift passes (build + repair)
+//                 "frames_reused": n,  // enum cases: leaves scored off a
+//                                      // recorded parent frame + trace
+//                 "completions_replayed": n,  // ... of those, scored
+//                                      // entirely in replay space (no
+//                                      // engine completion); 0 elsewhere
 //                 "events_per_sec": x},  // serve cases: events stat /
 //                                        // event-apply seconds
 //                                        // (repair_wall_ms); 0 elsewhere,
@@ -55,7 +62,9 @@
 //   }
 // Pre-PR-4 documents lack "delta"/"provenance"; pre-PR-6 documents lack
 // "threads"/"events_per_sec"; pre-PR-8 documents lack the phase counters
-// ("pairs_touched"/"rows_walked"/"heap_sifts"). The baseline differ
+// ("pairs_touched"/"rows_walked"/"heap_sifts"); pre-PR-9 documents lack
+// the replay counters ("frames_reused"/"completions_replayed",
+// informational, never gated). The baseline differ
 // falls back to "lazy" as the primary measurement for the first, never
 // gates on throughput (reported, not diffed), and prints "-" for phase
 // counters a baseline does not carry; phase counters are shown to make
@@ -94,6 +103,11 @@ struct PerfOptions {
   // Case-label substring filter; empty runs everything. `vdist_cli perf
   // --filter enum` reruns just the enumeration cases while iterating.
   std::string filter;
+  // Worker threads for the enumeration cases (`vdist_cli perf --threads
+  // N` -> the enum solver's "threads" option). Recorded in each affected
+  // case's `threads` field; results are bit-identical at any value, so
+  // only the wall changes. Leaves the serve cases' shards untouched.
+  int threads = 1;
   // Empty = default_perf_suite(smoke).
   std::vector<PerfCaseSpec> cases;
 };
@@ -112,6 +126,11 @@ struct PerfMeasurement {
   double pairs_touched = 0.0;
   double rows_walked = 0.0;
   double heap_sifts = 0.0;
+  // Enumeration cases: shared-prefix replay counters (core/replay.h) —
+  // leaves that pulled a recorded parent frame, and those scored without
+  // any engine completion. 0 for the other algorithms.
+  double frames_reused = 0.0;
+  double completions_replayed = 0.0;
   // Serve cases: events applied per second of event-apply wall time
   // (the "events" stat over "repair_wall_ms"; best repetition). 0 for
   // algorithms without an event loop, and 0 when the case asks for

@@ -130,6 +130,8 @@ SolveOutcome run_partial_enum(const SolveRequest& req) {
   opts.mode = parse_mode(req.options);
   opts.max_candidates = static_cast<std::size_t>(req.options.get_int(
       "max-candidates", static_cast<std::int64_t>(opts.max_candidates)));
+  opts.threads = static_cast<int>(
+      req.options.get_int("threads", static_cast<std::int64_t>(opts.threads)));
   const core::GreedyOptions greedy = greedy_options(req);
   opts.strategy = greedy.strategy;
   opts.workspace = greedy.workspace;
@@ -139,6 +141,9 @@ SolveOutcome run_partial_enum(const SolveRequest& req) {
   out.variant = std::move(r.best.variant);
   out.stats["candidates"] = static_cast<double>(r.candidates_evaluated);
   out.stats["truncated"] = r.truncated ? 1.0 : 0.0;
+  out.stats["frames_reused"] = static_cast<double>(r.frames_reused);
+  out.stats["completions_replayed"] =
+      static_cast<double>(r.completions_replayed);
   report_select(out, r.select);
   return out;
 }
@@ -305,10 +310,13 @@ void register_core_solvers(SolverRegistry& r) {
         run_amax);
   r.add({.name = "enum",
          .description =
-             "Section 2.3 Sviridenko partial enumeration; options: depth, "
-             "mode, max-candidates, select; stats: candidates, truncated",
+             "Section 2.3 Sviridenko partial enumeration (shared-prefix "
+             "replay + parallel DFS); options: depth, mode, max-candidates, "
+             "select, threads; stats: candidates, truncated, frames_reused, "
+             "completions_replayed",
          .form = InstanceForm::kUnitSkew,
-         .option_keys = {"depth", "mode", "max-candidates", "select"}},
+         .option_keys = {"depth", "mode", "max-candidates", "select",
+                         "threads"}},
         run_partial_enum);
   r.add({.name = "exact",
          .description =

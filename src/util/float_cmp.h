@@ -55,6 +55,18 @@ inline constexpr double kAbsEps = 1e-12;
   return !approx_ge(a, b, rel, abs);
 }
 
+// Margin comparison for replay-space decisions (core/replay.h): a must
+// exceed b by a margin wide enough to dominate both the selection tie
+// tolerance above and the replay's accumulated rounding dust, so a
+// margin winner is provably outside the tolerance-tied band. Shared
+// with the completion-trace recorder (core/greedy.cpp), which
+// precomputes per-pick margin flags with the identical predicate.
+[[nodiscard]] inline bool margin_gt(double a, double b) noexcept {
+  if (std::isinf(a) || std::isinf(b)) return a > b;
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return a - b > 64.0 * std::max(kAbsEps, kRelEps * scale);
+}
+
 // True iff x is a finite, non-negative real. Used by input validation.
 [[nodiscard]] inline bool is_finite_nonneg(double x) noexcept {
   return std::isfinite(x) && x >= 0.0;

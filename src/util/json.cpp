@@ -35,6 +35,15 @@ void json_string(std::ostream& os, const std::string& s) {
 
 std::string json_number_string(double v) {
   if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  // Integral values within the double-exact range print as plain
+  // integers: %g would switch counters like 415316 * 24 repetitions to
+  // scientific notation ("9.96758e+06"), which downstream tooling (jq
+  // comparisons, the CI baseline gate) reads as a float, not a count.
+  if (v == std::floor(v) && std::fabs(v) <= 9007199254740992.0) {  // 2^53
+    char ibuf[32];
+    std::snprintf(ibuf, sizeof ibuf, "%.0f", v);
+    return ibuf;
+  }
   // Shortest exact round-trip: the fewest significant digits whose
   // strtod re-parse is bit-identical. Most doubles in the library are
   // short decimals or small integers, so this usually stops early; the

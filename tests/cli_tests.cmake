@@ -163,6 +163,38 @@ if(NOT cli_err MATCHES "regress-metric")
   message(FATAL_ERROR "bad --regress-metric value not rejected:\n${cli_err}")
 endif()
 
+# --- enumeration: perf --threads and the committed frontier plan -------------
+# --threads routes to the enum cases' parallel DFS and is recorded in the
+# per-case "threads" field; replay counters ride the same JSON.
+run_cli(0 perf --smoke 1 --reps 1 --filter enum --threads 2
+        --out "${WORK_DIR}/perf-enum-t2.json")
+file(READ "${WORK_DIR}/perf-enum-t2.json" perf_t2_json)
+if(NOT perf_t2_json MATCHES "\"threads\":2")
+  message(FATAL_ERROR "perf --threads 2 not recorded per case:\n${perf_t2_json}")
+endif()
+if(NOT perf_t2_json MATCHES "\"frames_reused\":")
+  message(FATAL_ERROR "perf JSON missing replay counters:\n${perf_t2_json}")
+endif()
+run_cli(1 perf --threads 0)
+if(NOT cli_err MATCHES "--threads")
+  message(FATAL_ERROR "perf --threads 0 not rejected:\n${cli_err}")
+endif()
+# The committed depth x threads frontier plan parses and runs end to end;
+# the threads axis must not move the objective aggregates (deterministic
+# reduction), which the sweep's own per-cell min==max check would expose
+# as a spread — here we just pin that both axis points ran ok.
+get_filename_component(_cli_tests_dir "${CMAKE_SCRIPT_MODE_FILE}" DIRECTORY)
+get_filename_component(_repo_root "${_cli_tests_dir}" DIRECTORY)
+run_cli(0 sweep --plan "${_repo_root}/bench/plans/enum_frontier.plan"
+        --csv "${WORK_DIR}/enum_frontier.csv")
+file(READ "${WORK_DIR}/enum_frontier.csv" frontier_csv)
+if(NOT frontier_csv MATCHES "threads=2")
+  message(FATAL_ERROR "frontier plan lost its threads axis:\n${frontier_csv}")
+endif()
+if(frontier_csv MATCHES "requires a unit-skew")
+  message(FATAL_ERROR "frontier plan has failing cells:\n${frontier_csv}")
+endif()
+
 # --- serving sessions: gen-events -> serve round-trip ------------------------
 run_cli(0 gen-events "${WORK_DIR}/cap.vd" --events 50 --seed 9
         --out "${WORK_DIR}/cap.events")

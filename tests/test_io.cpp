@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "engine/scenario.h"
+#include "util/json.h"
 #include "gen/iptv.h"
 #include "gen/random_instances.h"
 #include "model/factory.h"
@@ -292,6 +294,28 @@ TEST(AssignmentIo, LoadRejectsBadPairsAndMismatchedUtility) {
     std::istringstream is("bogus 1 2\n");
     EXPECT_THROW((void)load_assignment(is, inst), std::runtime_error);
   }
+}
+
+TEST(JsonNumber, IntegralDoublesPrintAsIntegers) {
+  // Perf counters travel as doubles; large counts must not flip to
+  // scientific notation (9968784 used to print as "9.96878e+06").
+  EXPECT_EQ(util::json_number_string(0.0), "0");
+  EXPECT_EQ(util::json_number_string(-0.0), "-0");  // sign bit round-trips
+  EXPECT_EQ(util::json_number_string(415316.0), "415316");
+  EXPECT_EQ(util::json_number_string(9968784.0), "9968784");
+  EXPECT_EQ(util::json_number_string(-123456789.0), "-123456789");
+  EXPECT_EQ(util::json_number_string(9007199254740992.0),
+            "9007199254740992");  // 2^53: the last exact integer
+  // Beyond 2^53 adjacent integers collide; fall back to round-trip %g.
+  const std::string big = util::json_number_string(1.8446744073709552e19);
+  EXPECT_EQ(std::strtod(big.c_str(), nullptr), 1.8446744073709552e19);
+}
+
+TEST(JsonNumber, NonIntegralValuesKeepShortestRoundTrip) {
+  EXPECT_EQ(util::json_number_string(0.5), "0.5");
+  EXPECT_EQ(util::json_number_string(64.65), "64.65");
+  const std::string pi = util::json_number_string(3.141592653589793);
+  EXPECT_EQ(std::strtod(pi.c_str(), nullptr), 3.141592653589793);
 }
 
 }  // namespace

@@ -80,8 +80,13 @@ TEST(SelectKernel, AllStrategiesMatchOnEveryRegisteredScenario) {
               << name << "/" << algo << "/" << strategy << " seed " << seed;
           EXPECT_EQ(fast.variant, naive.variant)
               << name << "/" << algo << "/" << strategy << " seed " << seed;
-          EXPECT_EQ(fast.stat("select_picks"), naive.stat("select_picks"))
-              << name << "/" << algo << "/" << strategy << " seed " << seed;
+          // Work counters match across strategies except under "enum",
+          // where the shared-prefix replay (delta-heap only) scores most
+          // leaves without touching the kernel — fewer picks, same bits.
+          if (algo != "enum") {
+            EXPECT_EQ(fast.stat("select_picks"), naive.stat("select_picks"))
+                << name << "/" << algo << "/" << strategy << " seed " << seed;
+          }
           EXPECT_EQ(pairs(fast.solution()), pairs(naive.solution()))
               << name << "/" << algo << "/" << strategy << " seed " << seed;
         }

@@ -562,7 +562,7 @@ int cmd_perf(const Args& args) {
     const std::vector<std::string> known = {
         "smoke", "out",      "reps",        "seed",
         "min-speedup", "baseline", "max-regress", "regress-metric",
-        "filter"};
+        "filter", "threads"};
     for (const auto& [key, value] : args.options)
       if (std::find(known.begin(), known.end(), key) == known.end())
         throw std::runtime_error("perf does not take --" + key +
@@ -616,6 +616,9 @@ int cmd_perf(const Args& args) {
   options.repetitions = static_cast<int>(opt_u(args, "reps", 0));
   options.seed = static_cast<std::uint64_t>(opt_u(args, "seed", 1));
   options.filter = opt(args, "filter", "");
+  options.threads = static_cast<int>(opt_u(args, "threads", 1));
+  if (options.threads < 1)
+    throw std::runtime_error("option --threads expects a count >= 1");
   const engine::PerfReport report = engine::run_perf(options);
   if (!options.filter.empty() && report.cases.empty())
     throw std::runtime_error("perf --filter '" + options.filter +
@@ -727,8 +730,9 @@ int cmd_help(std::ostream& os) {
       "            [--list-cells 1] [--shutdown-workers 1] [--verbose 1]\n"
       "  vdist_cli worker [--port P] [--capacity N]\n"
       "  vdist_cli perf [--smoke 1] [--out FILE|-] [--reps N] [--seed S]\n"
-      "            [--filter SUBSTR] [--min-speedup X] [--baseline FILE]\n"
-      "            [--max-regress R] [--regress-metric both|wall|evals]\n"
+      "            [--filter SUBSTR] [--threads N] [--min-speedup X]\n"
+      "            [--baseline FILE] [--max-regress R]\n"
+      "            [--regress-metric both|wall|evals]\n"
       "  vdist_cli eval FILE --assignment ASSIGNMENT_FILE\n\n"
       "'gen' resolves --kind through the scenario registry ('vdist_cli\n"
       "scenarios' lists every workload family with its declared params)\n"
