@@ -180,6 +180,10 @@ std::vector<PerfCaseSpec> default_perf_suite(bool smoke) {
     suite.back().options.set("policy", "resolve").set("events", 300).set(
         "shards", 2);
     suite.back().label = "serve-300/shards-2";
+    suite.push_back(make_case("cap", 60, 20, "serve"));
+    suite.back().options.set("policy", "repair").set("events", 300).set(
+        "family", "flash-crowd");
+    suite.back().label = "serve-flash-crowd/repair";
     return suite;
   }
   // Full suite: the plain greedy scaling to |S| = 8000 (the naive scan is
@@ -212,6 +216,15 @@ std::vector<PerfCaseSpec> default_perf_suite(bool smoke) {
   suite.push_back(make_case("cap", 400, 100, "serve"));
   suite.back().options.set("policy", "resolve").set("events", 10000);
   suite.back().label = "serve-10k/resolve";
+  // The flash-crowd adversary at the same serving scale: correlated join
+  // bursts on one hot stream stress the repair path's completion replay
+  // where uniform churn mostly exercises single-user refreshes. The
+  // case's events_per_sec is the adversarial-throughput number BENCH
+  // commits next to the uniform-churn one.
+  suite.push_back(make_case("cap", 400, 100, "serve"));
+  suite.back().options.set("policy", "repair").set("events", 10000).set(
+      "family", "flash-crowd");
+  suite.back().label = "serve-flash-crowd/repair";
   // The sharded engine at serving scale: one ~1M-user cap world churned
   // by ~160 events under the repair policy, served by the single-session
   // engine (shards 1) and the 8-shard router. The pair's events_per_sec

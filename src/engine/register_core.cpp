@@ -15,8 +15,8 @@
 #include "engine/builtin_solvers.h"
 #include "engine/registry.h"
 #include "engine/serving.h"
-#include "gen/events.h"
 #include "util/rng.h"
+#include "workload/workload.h"
 
 namespace vdist::engine {
 
@@ -185,28 +185,32 @@ SolveOutcome run_online(const SolveRequest& req) {
   return out;
 }
 
-// The serving backend as a sweepable solver: derive a deterministic churn
-// trace from (instance, seed, trace overrides), replay it through a
-// make_backend() ServingBackend under the requested repair policy and
-// shard count, and report the end-state solution plus the backend's
-// repair accounting. This is how BatchRunner sweeps exercise the dynamic
-// setting without a side-channel event file.
+// The serving backend as a sweepable solver: derive a deterministic
+// event trace from (instance, family, seed, trace overrides), replay it
+// through a make_backend() ServingBackend under the requested repair
+// policy and shard count, and report the end-state solution plus the
+// backend's repair accounting. This is how BatchRunner sweeps exercise
+// the dynamic setting without a side-channel event file; `family`
+// selects any workload-registry adversary (churn, zipf-drift,
+// flash-crowd, diurnal, hetero-cap) as a sweepable axis.
 SolveOutcome run_serve(const SolveRequest& req) {
   ServeConfig cfg = ServeConfig::from_options(req.options);
   // Share the batch runner's per-thread workspace like every adapter.
   cfg.workspace = greedy_options(req).workspace;
 
-  gen::EventTraceConfig ecfg;
-  ecfg.num_events = cfg.events;
+  std::map<std::string, std::string> wparams;
+  wparams["events"] = std::to_string(cfg.events);
   // The trace is the workload, not solver randomness: prefer the paired
   // workload_seed (sweeps set it per replicate, batch-index-stable) so
   // every algorithm cell of a replicate churns the identical trace.
-  ecfg.seed = req.workload_seed != 0 ? req.workload_seed : req.seed;
-  // --trace key=value,... overrides any trace knob, including events and
+  wparams["seed"] =
+      std::to_string(req.workload_seed != 0 ? req.workload_seed : req.seed);
+  // --trace key=value,... overrides any family knob, including events and
   // seed — a plan line reproduces the exact workload.
-  gen::apply_event_trace_overrides(ecfg, cfg.trace);
+  workload::apply_workload_overrides(wparams, cfg.trace);
   const std::vector<model::InstanceEvent> trace =
-      gen::make_event_trace(*req.instance, ecfg);
+      workload::WorkloadRegistry::global().generate(cfg.family,
+                                                    *req.instance, wparams);
 
   const std::unique_ptr<ServingBackend> backend =
       make_backend(*req.instance, cfg);
@@ -329,9 +333,10 @@ void register_core_solvers(SolverRegistry& r) {
   r.add({.name = "serve",
          .description =
              "serving backend (engine/serving.h): replay a seed-derived "
-             "churn trace through the repair|resolve|online policy, "
-             "sharded when --shards > 1; options: policy, events, bound, "
-             "refresh, mode, select, mu, guard, shards, queue, trace; "
+             "workload event trace through the repair|resolve|online "
+             "policy, sharded when --shards > 1; options: policy, events, "
+             "bound, refresh, mode, select, mu, guard, shards, queue, "
+             "trace, family; "
              "stats: events, local_repairs, full_resolves, drift_checks, "
              "shards, repair_wall_ms, objective_mean",
          .form = InstanceForm::kUnitSkew,

@@ -7,6 +7,7 @@
 // layer where plans and the CLI can reach them.
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "gen/trace.h"
 #include "model/instance.h"
 #include "model/overlay.h"
+#include "workload/workload.h"
 
 namespace vdist::engine {
 
@@ -286,11 +288,17 @@ model::Instance build_trace(const ScenarioSpec& spec) {
 // session's arrival/departure processes over every existing workload, so
 // offline solvers and sweeps face the world a session would have been
 // serving after `events` changes.
-model::Instance build_churn(const ScenarioSpec& spec) {
+// Resolves the shared base-scenario surface of every event-churned
+// scenario (`churn` and the adversarial workload families): `base` names
+// the family, `set` forwards arbitrary params, and the common knobs are
+// declared directly so sweep axes can drive them. The result must be a
+// unit-skew cap form — the form every event trace churns.
+model::Instance churned_base_instance(const ScenarioSpec& spec,
+                                      const std::string& self) {
   ScenarioSpec base;
   base.name = spec.params.get("base", "cap");
-  if (base.name == "churn")
-    throw std::invalid_argument("churn scenario cannot nest itself");
+  if (base.name == self)
+    throw std::invalid_argument(self + " scenario cannot nest itself");
   base.seed = spec.seed;
   // `set` forwards comma-separated key=value pairs to the base scenario
   // (strictly resolved there, so typos still fail loudly); "-" = none.
@@ -306,7 +314,7 @@ model::Instance build_churn(const ScenarioSpec& spec) {
     const std::size_t eq = kv.find('=');
     if (eq == std::string::npos || eq == 0)
       throw std::invalid_argument(
-          "churn param set expects key=value[,key=value...], got '" + kv +
+          self + " param set expects key=value[,key=value...], got '" + kv +
           "'");
     base.params.set(kv.substr(0, eq), kv.substr(eq + 1));
   }
@@ -319,8 +327,13 @@ model::Instance build_churn(const ScenarioSpec& spec) {
   const model::Instance inst = build_scenario(base);
   if (!inst.is_smd() || !inst.is_unit_skew())
     throw std::invalid_argument(
-        "churn base scenario '" + base.name +
+        self + " base scenario '" + base.name +
         "' must build a unit-skew cap-form instance (try cap or trace)");
+  return inst;
+}
+
+model::Instance build_churn(const ScenarioSpec& spec) {
+  const model::Instance inst = churned_base_instance(spec, "churn");
 
   gen::EventTraceConfig cfg;
   cfg.num_events = get_size(spec.params, "events");
@@ -335,6 +348,62 @@ model::Instance build_churn(const ScenarioSpec& spec) {
   for (const model::InstanceEvent& event : gen::make_event_trace(inst, cfg))
     overlay.apply(event);
   return overlay.materialize();
+}
+
+// --- adversarial workload families ------------------------------------
+
+// One registration per workload-registry family: the family's declared
+// params are flattened into the scenario surface (next to the shared
+// base/set/... knobs), the scenario seed drives the trace, and the
+// snapshot rides the same overlay machinery as `churn`.
+model::Instance build_workload_churned(const ScenarioSpec& spec,
+                                       const std::string& family) {
+  const model::Instance inst = churned_base_instance(spec, family);
+  const workload::WorkloadRegistry& registry =
+      workload::WorkloadRegistry::global();
+  std::map<std::string, std::string> overrides;
+  for (const workload::WorkloadParam& p : registry.model(family).info().params)
+    if (std::string(p.key) != "seed")
+      overrides[p.key] = spec.params.get(p.key, p.fallback);
+  overrides["seed"] = std::to_string(spec.seed);
+  model::InstanceOverlay overlay(inst);
+  for (const model::InstanceEvent& event :
+       registry.generate(family, inst, overrides))
+    overlay.apply(event);
+  return overlay.materialize();
+}
+
+void register_workload_scenarios(ScenarioRegistry& r) {
+  const workload::WorkloadRegistry& registry =
+      workload::WorkloadRegistry::global();
+  for (const std::string& family : registry.names()) {
+    if (family == "churn") continue;  // registered above, predating this
+    const workload::WorkloadInfo& winfo = registry.model(family).info();
+    ScenarioInfo info;
+    info.name = family;
+    info.description =
+        "adversarial event-churned snapshot of a unit-skew base scenario: " +
+        winfo.description;
+    info.params = {
+        {"base", "cap",
+         "base scenario family (must build a unit-skew cap form)"},
+        {"set", "-",
+         "comma-separated key=value params forwarded to the base scenario "
+         "(\"-\" = none)"},
+        {"streams", "-",
+         "forwarded to the base scenario (\"-\" = base default)"},
+        {"users", "-",
+         "forwarded to the base scenario (\"-\" = base default)"},
+        {"budget-fraction", "-",
+         "forwarded to the base scenario (\"-\" = base default)"},
+    };
+    for (const workload::WorkloadParam& p : winfo.params)
+      if (std::string(p.key) != "seed")  // the scenario seed drives it
+        info.params.push_back({p.key, p.fallback, p.description});
+    r.add(std::move(info), [family](const ScenarioSpec& spec) {
+      return build_workload_churned(spec, family);
+    });
+  }
 }
 
 }  // namespace
@@ -508,6 +577,7 @@ void register_builtin_scenarios(ScenarioRegistry& r) {
                "popularity bias: offering probability ~ (1 + total "
                "utility)^bias"}}},
         build_trace);
+  register_workload_scenarios(r);
 }
 
 }  // namespace vdist::engine

@@ -30,7 +30,7 @@ const char* to_string(ServePolicy policy) noexcept {
 
 namespace {
 
-constexpr std::array<ServeOptionSpec, 11> kServeOptions = {{
+constexpr std::array<ServeOptionSpec, 12> kServeOptions = {{
     {"policy", "repair", "repair policy per event: repair|resolve|online"},
     {"bound", "0.05", "repair: relative drift tolerated before a resolve"},
     {"refresh", "64", "repair: events between drift checks (0 = never)"},
@@ -40,8 +40,10 @@ constexpr std::array<ServeOptionSpec, 11> kServeOptions = {{
     {"guard", "1", "online: feasibility guard"},
     {"shards", "1", "worker shards; > 1 routes events by entity id"},
     {"queue", "256", "per-shard bounded event-queue capacity"},
-    {"events", "200", "derived churn-trace length (registry adapter)"},
-    {"trace", "", "comma-separated gen-events key=value overrides"},
+    {"events", "200", "derived event-trace length (registry adapter)"},
+    {"trace", "", "comma-separated workload key=value overrides"},
+    {"family", "churn", "workload family deriving the trace (see "
+                        "`vdist_cli scenarios`)"},
 }};
 
 }  // namespace
@@ -99,6 +101,11 @@ ServeConfig ServeConfig::from_options(const SolveOptions& opts) {
                                 opts.get("events", "") + "'");
   cfg.events = static_cast<std::size_t>(events);
   cfg.trace = opts.get("trace", "");
+  cfg.family = opts.get("family", cfg.family);
+  // Resolves (and therefore validates) lazily at generation time, so the
+  // engine layer does not pull the workload registry in here; the serve
+  // adapter and CLI both route through WorkloadRegistry::global(), which
+  // rejects unknown names with the known-family list.
   if (cfg.policy == ServePolicy::kOnline && cfg.shards > 1)
     throw std::invalid_argument(
         "option --shards expects 1 under --policy online (the §5 allocator "

@@ -118,10 +118,13 @@ struct ServeConfig {
   int shards = 1;
   // Bounded per-shard event-queue capacity (the router blocks when full).
   std::size_t queue = 256;
-  // Registry-adapter knobs (`serve` derives a churn trace per request;
+  // Registry-adapter knobs (`serve` derives an event trace per request;
   // the CLI replays an event file instead and ignores these).
   std::size_t events = 200;
-  std::string trace;  // comma-separated gen-events key=value overrides
+  std::string trace;  // comma-separated workload key=value overrides
+  // Which workload family derives the trace (the workload registry's
+  // names: churn, zipf-drift, flash-crowd, diurnal, hetero-cap).
+  std::string family = "churn";
 
   // Not option keys: adapter-level wiring.
   core::SolveWorkspace* workspace = nullptr;

@@ -187,22 +187,62 @@ std::vector<InstanceEvent> make_event_trace(const model::Instance& inst,
          e < inst.last_edge(static_cast<StreamId>(ss)); ++e)
       edge_stream[static_cast<std::size_t>(e)] = static_cast<StreamId>(ss);
 
-  const double weights[6] = {cfg.w_user_leave,    cfg.w_user_join,
-                             cfg.w_stream_remove, cfg.w_stream_add,
-                             cfg.w_capacity,      cfg.w_utility};
-  double total_weight = 0.0;
-  for (const double w : weights) {
-    if (w < 0.0)
-      throw std::invalid_argument("make_event_trace: weights must be >= 0");
-    total_weight += w;
+  // Resolve the (possibly piecewise) mix schedule into per-segment
+  // weight tables keyed by the first event index PAST the segment. The
+  // empty-schedule path collapses to one segment with the constant
+  // config weights — same table, same draws, byte-identical traces.
+  struct Segment {
+    std::size_t limit;  // events with index < limit use this mix
+    double weights[6];
+    double total;
+  };
+  const auto make_segment = [&](std::size_t limit, const double (&w)[6]) {
+    Segment seg{limit, {w[0], w[1], w[2], w[3], w[4], w[5]}, 0.0};
+    for (const double v : seg.weights) {
+      if (v < 0.0)
+        throw std::invalid_argument("make_event_trace: weights must be >= 0");
+      seg.total += v;
+    }
+    if (seg.total <= 0.0)
+      throw std::invalid_argument("make_event_trace: all weights are zero");
+    return seg;
+  };
+  std::vector<Segment> segments;
+  if (cfg.phases.empty()) {
+    const double w[6] = {cfg.w_user_leave,    cfg.w_user_join,
+                         cfg.w_stream_remove, cfg.w_stream_add,
+                         cfg.w_capacity,      cfg.w_utility};
+    segments.push_back(make_segment(cfg.num_events, w));
+  } else {
+    double prev_until = 0.0;
+    for (const EventPhase& p : cfg.phases) {
+      if (!(p.until > prev_until))
+        throw std::invalid_argument(
+            "make_event_trace: phase `until` must be strictly increasing");
+      prev_until = p.until;
+      const double w[6] = {p.w_user_leave,    p.w_user_join,
+                           p.w_stream_remove, p.w_stream_add,
+                           p.w_capacity,      p.w_utility};
+      const auto limit = static_cast<std::size_t>(
+          std::ceil(p.until * static_cast<double>(cfg.num_events)));
+      segments.push_back(make_segment(std::min(limit, cfg.num_events), w));
+    }
+    if (prev_until < 1.0)
+      throw std::invalid_argument(
+          "make_event_trace: phase schedule must cover the trace "
+          "(last `until` >= 1)");
+    segments.back().limit = cfg.num_events;
   }
-  if (total_weight <= 0.0)
-    throw std::invalid_argument("make_event_trace: all weights are zero");
 
   std::vector<InstanceEvent> trace;
   trace.reserve(cfg.num_events);
+  std::size_t seg_idx = 0;
   while (trace.size() < cfg.num_events) {
-    double draw = rng.uniform(0.0, total_weight);
+    while (trace.size() >= segments[seg_idx].limit &&
+           seg_idx + 1 < segments.size())
+      ++seg_idx;
+    const double* weights = segments[seg_idx].weights;
+    double draw = rng.uniform(0.0, segments[seg_idx].total);
     int type = 0;
     while (type < 5 && draw >= weights[type]) draw -= weights[type++];
 

@@ -23,6 +23,21 @@
 
 namespace vdist::gen {
 
+// One segment of a piecewise event-mix schedule: the weights apply to
+// every event whose fractional position in the trace is < `until`. The
+// workload families that shape intensity over time (diurnal cycles,
+// flash-crowd ramps) are built on this; a plain churn trace leaves the
+// schedule empty and uses the constant EventTraceConfig weights.
+struct EventPhase {
+  double until = 1.0;  // exclusive upper bound, as a fraction of the trace
+  double w_user_leave = 2.0;
+  double w_user_join = 2.0;
+  double w_stream_remove = 1.0;
+  double w_stream_add = 1.0;
+  double w_capacity = 2.0;
+  double w_utility = 2.0;
+};
+
 struct EventTraceConfig {
   std::size_t num_events = 200;
   // Relative mix weights; a weight of 0 disables the event type. When a
@@ -35,6 +50,14 @@ struct EventTraceConfig {
   double w_stream_add = 1.0;
   double w_capacity = 2.0;
   double w_utility = 2.0;
+  // Optional piecewise schedule. Empty = single-phase with the constant
+  // weights above (the RNG consumption is identical, so pre-schedule
+  // traces stay byte-identical). Non-empty: phases must have strictly
+  // increasing `until` with the last >= 1, non-negative weights, and a
+  // positive total per phase. The schedule is a programmatic surface
+  // (the workload families build it); the declared key=value params
+  // below stay single-phase.
+  std::vector<EventPhase> phases;
   // Capacity changes scale the user's current declared cap by a uniform
   // factor in [cap_scale_min, cap_scale_max], floored at the user's
   // largest declared pair utility.

@@ -1,0 +1,11 @@
+// diurnal: sinusoidal arrival/departure intensity over phases — built
+// directly on the gen/events.h piecewise phase schedule, so it composes
+// with the full mixed-churn machinery.
+#pragma once
+
+namespace vdist::workload {
+
+class WorkloadRegistry;
+void register_diurnal(WorkloadRegistry& registry);
+
+}  // namespace vdist::workload

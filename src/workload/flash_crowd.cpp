@@ -1,0 +1,127 @@
+#include "workload/flash_crowd.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/trace_state.h"
+#include "workload/workload.h"
+
+namespace vdist::workload {
+
+namespace {
+
+class FlashCrowdWorkload final : public WorkloadModel {
+ public:
+  FlashCrowdWorkload() {
+    info_.name = "flash-crowd";
+    info_.description =
+        "correlated join bursts on one hot stream per burst: quiet "
+        "background churn, then interested users pile in (ramp), then "
+        "the crowd leaves (decay)";
+    info_.params = {
+        {"events", "600", "trace length"},
+        {"seed", "7", "RNG seed"},
+        {"bursts", "2", "number of flash-crowd bursts across the trace"},
+        {"ramp", "0.35", "fraction of each burst block spent ramping in"},
+        {"decay", "0.35", "fraction of each burst block spent draining"},
+    };
+  }
+
+  [[nodiscard]] const WorkloadInfo& info() const override { return info_; }
+
+  [[nodiscard]] std::vector<model::InstanceEvent> generate(
+      const model::Instance& inst, const Params& params) const override {
+    const auto events = static_cast<std::size_t>(params.get_count("events"));
+    const auto bursts =
+        static_cast<std::size_t>(params.get_count("bursts"));
+    if (bursts == 0)
+      throw std::invalid_argument("workload param bursts must be >= 1");
+    const double ramp = params.get_fraction("ramp");
+    const double decay = params.get_fraction("decay");
+    if (ramp + decay > 0.95)
+      throw std::invalid_argument(
+          "workload params ramp + decay must leave a background segment "
+          "(sum <= 0.95)");
+
+    detail::TraceState st(inst);
+    util::Rng rng(params.get_count("seed"));
+
+    std::vector<model::InstanceEvent> trace;
+    trace.reserve(events);
+    const std::size_t block = std::max<std::size_t>(events / bursts, 1);
+    for (std::size_t b = 0; b < bursts && trace.size() < events; ++b) {
+      const std::size_t block_end =
+          (b + 1 == bursts) ? events
+                            : std::min(events, (b + 1) * block);
+      const std::size_t len = block_end - trace.size();
+      const auto ramp_len = static_cast<std::size_t>(
+          ramp * static_cast<double>(len));
+      const auto decay_len = static_cast<std::size_t>(
+          decay * static_cast<double>(len));
+      const std::size_t quiet_len = len - ramp_len - decay_len;
+
+      // The burst's hot stream: uniform among streams with interest pairs
+      // (retry a few draws, then scan from a random offset).
+      model::StreamId hot = 0;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        hot = static_cast<model::StreamId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(st.S) - 1));
+        if (inst.first_edge(hot) < inst.last_edge(hot)) break;
+      }
+      if (inst.first_edge(hot) >= inst.last_edge(hot))
+        for (std::size_t s = 0; s < st.S; ++s)
+          if (inst.first_edge(static_cast<model::StreamId>(s)) <
+              inst.last_edge(static_cast<model::StreamId>(s)))
+            hot = static_cast<model::StreamId>(s);
+
+      // Quiet: background wiggles plus departures that build the pool the
+      // ramp will pull from.
+      for (std::size_t i = 0; i < quiet_len; ++i) {
+        if (rng.bernoulli(0.5) && st.emit_leave(st.random_alive_user(rng),
+                                                trace))
+          continue;
+        st.emit_utility(st.random_edge(rng), rng.uniform(0.5, 1.0), trace);
+      }
+      // Ramp: the crowd arrives — departed users interested in the hot
+      // stream rejoin; when the pool dries up, hot pairs refresh to near
+      // their declared utility.
+      for (std::size_t i = 0; i < ramp_len; ++i) {
+        const model::EdgeId e = st.random_edge_of(rng, hot, /*alive=*/false);
+        if (st.valid_edge(e) && st.emit_join(inst.edge_user(e), trace))
+          continue;
+        const model::EdgeId live = st.random_edge_of(rng, hot, /*alive=*/true);
+        if (st.valid_edge(live))
+          st.emit_utility(live, rng.uniform(0.9, 1.0), trace);
+        else
+          st.emit_fallback(rng, trace);
+      }
+      // Decay: the crowd drains — interested users leave, and once the
+      // one-alive-user floor blocks departures, hot pairs sag instead.
+      for (std::size_t i = 0; i < decay_len; ++i) {
+        const model::EdgeId e = st.random_edge_of(rng, hot, /*alive=*/true);
+        if (st.valid_edge(e) && st.emit_leave(inst.edge_user(e), trace))
+          continue;
+        if (st.valid_edge(e))
+          st.emit_utility(e, rng.uniform(0.2, 0.5), trace);
+        else
+          st.emit_fallback(rng, trace);
+      }
+    }
+    // Rounding slack from the per-block phase splits.
+    while (trace.size() < events) st.emit_fallback(rng, trace);
+    return trace;
+  }
+
+ private:
+  WorkloadInfo info_;
+};
+
+}  // namespace
+
+void register_flash_crowd(WorkloadRegistry& registry) {
+  registry.add(std::make_unique<FlashCrowdWorkload>());
+}
+
+}  // namespace vdist::workload

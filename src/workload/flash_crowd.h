@@ -1,0 +1,11 @@
+// flash-crowd: correlated join bursts targeting one hot stream per
+// burst, with a configurable ramp (interested users pile in) and decay
+// (the crowd leaves) around quiet background-churn segments.
+#pragma once
+
+namespace vdist::workload {
+
+class WorkloadRegistry;
+void register_flash_crowd(WorkloadRegistry& registry);
+
+}  // namespace vdist::workload

@@ -1,0 +1,113 @@
+#include "workload/hetero_cap.h"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "util/float_cmp.h"
+#include "util/rng.h"
+#include "workload/trace_state.h"
+#include "workload/workload.h"
+
+namespace vdist::workload {
+
+namespace {
+
+class HeteroCapWorkload final : public WorkloadModel {
+ public:
+  HeteroCapWorkload() {
+    info_.name = "hetero-cap";
+    info_.description =
+        "per-user capacity classes (gold/silver/bronze) from a declared "
+        "mixture: a prologue pins every user to its class cap, then "
+        "class switches churn CapacityChange";
+    info_.params = {
+        {"events", "400", "trace length"},
+        {"seed", "7", "RNG seed"},
+        {"gold", "0.2", "mixture fraction of gold-class users"},
+        {"silver", "0.3",
+         "mixture fraction of silver-class users (the rest are bronze)"},
+        {"gold-cap", "1.6", "gold cap multiplier over the declared cap"},
+        {"silver-cap", "1", "silver cap multiplier over the declared cap"},
+        {"bronze-cap", "0.55", "bronze cap multiplier over the declared cap"},
+        {"switch", "0.3",
+         "fraction of post-prologue events that switch a user's class "
+         "(the rest are background utility noise)"},
+    };
+  }
+
+  [[nodiscard]] const WorkloadInfo& info() const override { return info_; }
+
+  [[nodiscard]] std::vector<model::InstanceEvent> generate(
+      const model::Instance& inst, const Params& params) const override {
+    const auto events = static_cast<std::size_t>(params.get_count("events"));
+    const double gold = params.get_fraction("gold");
+    const double silver = params.get_fraction("silver");
+    if (gold + silver > 1.0)
+      throw std::invalid_argument(
+          "workload params gold + silver must be <= 1");
+    const std::array<double, 3> mult = {params.get_double("gold-cap"),
+                                        params.get_double("silver-cap"),
+                                        params.get_double("bronze-cap")};
+    for (const double m : mult)
+      if (m <= 0.0)
+        throw std::invalid_argument(
+            "workload cap multipliers must be positive");
+    const double switch_rate = params.get_fraction("switch");
+
+    detail::TraceState st(inst);
+    util::Rng rng(params.get_count("seed"));
+
+    // Declared caps survive class reassignment (class multipliers apply
+    // to the instance's declared cap, not compounding on the current one).
+    std::vector<double> declared_cap(st.U);
+    for (std::size_t u = 0; u < st.U; ++u)
+      declared_cap[u] = inst.capacity(static_cast<model::UserId>(u), 0);
+
+    const auto draw_class = [&]() -> int {
+      const double r = rng.uniform(0.0, 1.0);
+      if (r < gold) return 0;
+      if (r < gold + silver) return 1;
+      return 2;
+    };
+    std::vector<int> cls(st.U);
+    for (std::size_t u = 0; u < st.U; ++u) cls[u] = draw_class();
+
+    std::vector<model::InstanceEvent> trace;
+    trace.reserve(events);
+    // Prologue: pin every bounded-cap user to its class cap, in id order.
+    for (std::size_t u = 0; u < st.U && trace.size() < events; ++u) {
+      if (util::is_unbounded(declared_cap[u])) continue;
+      st.emit_capacity(static_cast<model::UserId>(u),
+                       declared_cap[u] * mult[static_cast<std::size_t>(cls[u])],
+                       trace);
+    }
+    // Class-switch churn plus background utility noise.
+    while (trace.size() < events) {
+      if (rng.bernoulli(switch_rate)) {
+        const model::UserId u = st.random_alive_user(rng);
+        const auto uu = static_cast<std::size_t>(u);
+        if (!util::is_unbounded(declared_cap[uu])) {
+          cls[uu] = draw_class();
+          st.emit_capacity(
+              u, declared_cap[uu] * mult[static_cast<std::size_t>(cls[uu])],
+              trace);
+          continue;
+        }
+      }
+      st.emit_utility(st.random_edge(rng), rng.uniform(0.4, 1.0), trace);
+    }
+    return trace;
+  }
+
+ private:
+  WorkloadInfo info_;
+};
+
+}  // namespace
+
+void register_hetero_cap(WorkloadRegistry& registry) {
+  registry.add(std::make_unique<HeteroCapWorkload>());
+}
+
+}  // namespace vdist::workload

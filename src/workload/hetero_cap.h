@@ -1,0 +1,12 @@
+// hetero-cap: per-user capacity classes (gold/silver/bronze) drawn from
+// a declared mixture, assigned up front and then churned by class
+// switches — a CapacityChange-heavy adversary in the spirit of
+// multi-homed rate allocation.
+#pragma once
+
+namespace vdist::workload {
+
+class WorkloadRegistry;
+void register_hetero_cap(WorkloadRegistry& registry);
+
+}  // namespace vdist::workload

@@ -1,0 +1,121 @@
+#include "workload/zipf_drift.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/trace_state.h"
+#include "workload/workload.h"
+
+namespace vdist::workload {
+
+namespace {
+
+// Jitter bands for utility refresh/decay: hot pairs snap back toward the
+// declared value, cold pairs sag well below it. Fixed bands keep the
+// param surface small; the declared ceiling still caps every draw.
+constexpr double kHotScaleMin = 0.85;
+constexpr double kHotScaleMax = 1.0;
+constexpr double kColdScaleMin = 0.15;
+constexpr double kColdScaleMax = 0.45;
+
+class ZipfDriftWorkload final : public WorkloadModel {
+ public:
+  ZipfDriftWorkload() {
+    info_.name = "zipf-drift";
+    info_.description =
+        "Zipf(alpha) stream popularity with rank rotation at the drift "
+        "rate; hot streams gain users/utility, the cold tail loses them";
+    info_.params = {
+        {"events", "400", "trace length"},
+        {"seed", "7", "RNG seed"},
+        {"alpha", "0.9", "Zipf exponent over stream ranks (0 = uniform)"},
+        {"drift", "0.02",
+         "per-event probability that the popularity ranks rotate by one"},
+        {"churn", "0.5",
+         "fraction of popularity events that join/leave users (the rest "
+         "rescale pair utilities)"},
+    };
+  }
+
+  [[nodiscard]] const WorkloadInfo& info() const override { return info_; }
+
+  [[nodiscard]] std::vector<model::InstanceEvent> generate(
+      const model::Instance& inst, const Params& params) const override {
+    const auto events = static_cast<std::size_t>(params.get_count("events"));
+    const double alpha = params.get_double("alpha");
+    if (alpha < 0.0)
+      throw std::invalid_argument("workload param alpha must be >= 0");
+    const double drift = params.get_fraction("drift");
+    const double churn = params.get_fraction("churn");
+
+    detail::TraceState st(inst);
+    util::Rng rng(params.get_count("seed"));
+
+    // Initial popularity order: total declared utility descending (the
+    // instance's own notion of demand), stream id as the tie-break.
+    std::vector<double> demand(st.S, 0.0);
+    for (std::size_t e = 0; e < inst.num_edges(); ++e)
+      demand[static_cast<std::size_t>(st.edge_stream[e])] +=
+          inst.edge_utility(static_cast<model::EdgeId>(e));
+    std::vector<std::size_t> perm(st.S);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return demand[a] > demand[b];
+                     });
+    const std::vector<double> cdf = util::Rng::make_zipf_cdf(st.S, alpha);
+
+    std::vector<model::InstanceEvent> trace;
+    trace.reserve(events);
+    while (trace.size() < events) {
+      if (st.S > 1 && rng.bernoulli(drift))
+        std::rotate(perm.begin(), perm.begin() + 1, perm.end());
+
+      const bool hot = rng.bernoulli(0.5);
+      const std::size_t rank = rng.zipf(cdf);
+      const auto s = static_cast<model::StreamId>(
+          hot ? perm[rank] : perm[st.S - 1 - rank]);
+
+      bool emitted = false;
+      if (rng.bernoulli(churn)) {
+        if (hot) {
+          // A departed user interested in the hot stream rejoins.
+          const model::EdgeId e = st.random_edge_of(rng, s, /*alive=*/false);
+          if (st.valid_edge(e)) emitted = st.emit_join(inst.edge_user(e), trace);
+        } else {
+          // An interested user abandons the cold stream.
+          const model::EdgeId e = st.random_edge_of(rng, s, /*alive=*/true);
+          if (st.valid_edge(e)) emitted = st.emit_leave(inst.edge_user(e), trace);
+        }
+      }
+      if (!emitted) {
+        // Utility path (and the churn fallback): refresh hot pairs toward
+        // the declared value, sag cold pairs.
+        const model::EdgeId e = st.random_edge_of(rng, s, /*alive=*/true);
+        if (st.valid_edge(e)) {
+          st.emit_utility(e,
+                          hot ? rng.uniform(kHotScaleMin, kHotScaleMax)
+                              : rng.uniform(kColdScaleMin, kColdScaleMax),
+                          trace);
+        } else {
+          st.emit_fallback(rng, trace);
+        }
+      }
+    }
+    return trace;
+  }
+
+ private:
+  WorkloadInfo info_;
+};
+
+}  // namespace
+
+void register_zipf_drift(WorkloadRegistry& registry) {
+  registry.add(std::make_unique<ZipfDriftWorkload>());
+}
+
+}  // namespace vdist::workload

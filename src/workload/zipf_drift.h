@@ -1,0 +1,12 @@
+// zipf-drift: Zipf(alpha) stream popularity whose rank order rotates at
+// a drift rate. Popular streams attract rejoins and utility refreshes;
+// the cold tail sheds users and decays utilities — the canonical
+// popularity-skew adversary for the online allocator.
+#pragma once
+
+namespace vdist::workload {
+
+class WorkloadRegistry;
+void register_zipf_drift(WorkloadRegistry& registry);
+
+}  // namespace vdist::workload

@@ -346,6 +346,85 @@ if(NOT cli_err MATCHES "workers file line 1")
   message(FATAL_ERROR "bad workers file not rejected:\n${cli_err}")
 endif()
 
+# --- adversarial workload families: gen-events --family ----------------------
+# Every family is a deterministic trace generator behind the same flag
+# surface; the summary line echoes the resolved family=... param line.
+run_cli(0 gen-events "${WORK_DIR}/cap.vd" --family flash-crowd --events 40
+        --seed 3 --out "${WORK_DIR}/flash.events")
+if(NOT cli_err MATCHES "family=flash-crowd")
+  message(FATAL_ERROR "gen-events --family summary missing family:\n${cli_err}")
+endif()
+run_cli(0 gen-events "${WORK_DIR}/cap.vd" --family flash-crowd --events 40
+        --seed 3 --out "${WORK_DIR}/flash2.events")
+file(READ "${WORK_DIR}/flash.events" flash_a)
+file(READ "${WORK_DIR}/flash2.events" flash_b)
+if(NOT flash_a STREQUAL flash_b)
+  message(FATAL_ERROR "gen-events --family is not deterministic")
+endif()
+# Typo'd family params and unknown families are rejected strictly.
+run_cli(1 gen-events "${WORK_DIR}/cap.vd" --family zipf-drift --alpa 1.2)
+if(NOT cli_err MATCHES "--alpa")
+  message(FATAL_ERROR "typo'd family param not rejected:\n${cli_err}")
+endif()
+run_cli(1 gen-events "${WORK_DIR}/cap.vd" --family flash-crwod)
+if(NOT cli_err MATCHES "flash-crwod")
+  message(FATAL_ERROR "unknown family not named in error:\n${cli_err}")
+endif()
+# The scenarios listing covers the event-trace families too.
+run_cli(0 scenarios)
+foreach(family zipf-drift flash-crowd diurnal hetero-cap)
+  if(NOT cli_out MATCHES "${family}")
+    message(FATAL_ERROR "'vdist_cli scenarios' does not list ${family}:\n${cli_out}")
+  endif()
+endforeach()
+# An adversarial trace replays through serve with per-event resolve
+# parity, like any other event trace.
+run_cli(0 serve "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/flash.events"
+        --policy resolve --check 1 --json "${WORK_DIR}/serve-flash.json")
+
+# --- compete: online-vs-offline competitive ratios ---------------------------
+# The differential contract end to end: resolve's ratio against the
+# default offline reference is exactly 1 at every checkpoint, so a
+# --min-ratio 1.0 gate passes...
+run_cli(0 compete "${WORK_DIR}/cap.vd" --family flash-crowd --seed 3
+        --trace events=40 --policy resolve --every 10 --min-ratio 1.0
+        --json "${WORK_DIR}/compete.json")
+file(READ "${WORK_DIR}/compete.json" compete_json)
+if(NOT compete_json MATCHES "\"min_ratio\":1[,.]")
+  message(FATAL_ERROR "compete JSON min_ratio is not exactly 1:\n${compete_json}")
+endif()
+if(NOT compete_json MATCHES "\"checkpoints\":")
+  message(FATAL_ERROR "compete JSON missing checkpoints:\n${compete_json}")
+endif()
+# ...and an unreachable gate trips exit 5 deterministically.
+run_cli(5 compete "${WORK_DIR}/cap.vd" --family flash-crowd --seed 3
+        --trace events=40 --policy resolve --every 10 --min-ratio 1.5)
+if(NOT cli_err MATCHES "violates gate")
+  message(FATAL_ERROR "compete gate violation not reported:\n${cli_err}")
+endif()
+# A committed event FILE replays too (repair within its declared bound).
+run_cli(0 compete "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/flash.events"
+        --policy repair --every 10 --min-ratio 0.94
+        --csv "${WORK_DIR}/compete.csv")
+file(READ "${WORK_DIR}/compete.csv" compete_csv)
+if(NOT compete_csv MATCHES "event,online,offline,ratio")
+  message(FATAL_ERROR "compete CSV missing header:\n${compete_csv}")
+endif()
+# compete consumes every flag itself and rejects ambiguous trace sources.
+run_cli(1 compete "${WORK_DIR}/cap.vd" --family flash-crowd --evry 10)
+if(NOT cli_err MATCHES "--evry")
+  message(FATAL_ERROR "typo'd compete flag not rejected:\n${cli_err}")
+endif()
+run_cli(1 compete "${WORK_DIR}/cap.vd" --events "${WORK_DIR}/flash.events"
+        --family flash-crowd)
+if(NOT cli_err MATCHES "not both")
+  message(FATAL_ERROR "compete events/family conflict not rejected:\n${cli_err}")
+endif()
+run_cli(1 compete "${WORK_DIR}/cap.vd" --family flash-crowd --min-ratio 0.9x)
+if(NOT cli_err MATCHES "min-ratio")
+  message(FATAL_ERROR "partial --min-ratio parse not rejected:\n${cli_err}")
+endif()
+
 # --- unknown subcommands must fail loudly ------------------------------------
 run_cli(1 frobnicate)
 if(NOT cli_err MATCHES "unknown command 'frobnicate'")

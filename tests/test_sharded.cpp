@@ -294,12 +294,13 @@ TEST(Sharded, ConstructorRejectsTheWrongShapes) {
 // --- ServeConfig -------------------------------------------------------
 
 TEST(Sharded, ServeConfigValidatesEveryDeclaredOption) {
-  EXPECT_EQ(ServeConfig::declared().size(), 11u);
+  EXPECT_EQ(ServeConfig::declared().size(), 12u);
   // Defaults round-trip through from_options.
   const ServeConfig defaults = ServeConfig::from_options({});
   EXPECT_EQ(defaults.policy, ServePolicy::kRepair);
   EXPECT_EQ(defaults.shards, 1);
   EXPECT_EQ(defaults.queue, 256u);
+  EXPECT_EQ(defaults.family, "churn");
 
   const auto from = [](const std::string& key, const std::string& value) {
     SolveOptions opts;

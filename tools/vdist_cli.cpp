@@ -29,6 +29,7 @@
 
 #include "dist/scheduler.h"
 #include "dist/worker.h"
+#include "engine/competitive.h"
 #include "engine/perf.h"
 #include "engine/registry.h"
 #include "engine/scenario.h"
@@ -41,6 +42,7 @@
 #include "model/validate.h"
 #include "util/float_cmp.h"
 #include "util/json.h"
+#include "workload/workload.h"
 
 namespace {
 
@@ -115,14 +117,36 @@ int cmd_gen(const Args& args) {
 
 int cmd_scenarios() {
   const engine::ScenarioRegistry& registry = engine::ScenarioRegistry::global();
+  const workload::WorkloadRegistry& workloads =
+      workload::WorkloadRegistry::global();
   for (const std::string& name : registry.names()) {
     const engine::ScenarioInfo& info = registry.info(name);
     std::cout << name << "\n    " << info.description << "\n";
-    for (const engine::ScenarioParam& param : info.params)
+    for (const engine::ScenarioParam& param : info.params) {
       std::cout << "      --" << param.key << " (default "
                 << param.default_value << "): " << param.description << "\n";
+      // A `trace` param nests the full declared workload surface (the
+      // churn scenario forwards it to gen/events.h); surface every
+      // nested key with its default so the whole workload is visible
+      // from this one listing.
+      if (param.key == "trace" && workloads.contains(name))
+        for (const workload::WorkloadParam& wp :
+             workloads.model(name).info().params)
+          std::cout << "          trace:" << wp.key << " (default "
+                    << wp.fallback << "): " << wp.description << "\n";
+    }
   }
   std::cout << "every scenario also takes --seed (default 1)\n";
+  std::cout << "\nevent-trace workload families (vdist_cli gen-events "
+               "--family NAME,\nthe serve/compete --family option, and "
+               "sweepable via the serve\nsolver's family option):\n";
+  for (const std::string& name : workloads.names()) {
+    const workload::WorkloadInfo& info = workloads.model(name).info();
+    std::cout << name << "\n    " << info.description << "\n";
+    for (const workload::WorkloadParam& param : info.params)
+      std::cout << "      --" << param.key << " (default " << param.fallback
+                << "): " << param.description << "\n";
+  }
   return 0;
 }
 
@@ -389,29 +413,39 @@ int cmd_worker(const Args& args) {
   return dist::run_worker(options);
 }
 
-// Draws a deterministic churn trace over an instance and writes it in the
-// event text format — the input of `vdist_cli serve --events`.
+// Draws a deterministic event trace over an instance and writes it in
+// the event text format — the input of `vdist_cli serve --events` and
+// `vdist_cli compete --events`. --family selects any workload-registry
+// adversary; the flags are that family's declared params.
 int cmd_gen_events(const Args& args) {
-  // Flags are gen::event_trace_params() — the declared-parameter surface
-  // shared with the churn scenario's `trace` param and the serve solver's
-  // --trace option — plus --out. A typo'd flag must be an error, not a
-  // silently different trace.
+  const std::string family = opt(args, "family", "churn");
+  const workload::WorkloadRegistry& registry =
+      workload::WorkloadRegistry::global();
+  const workload::WorkloadModel& wmodel = registry.model(family);
+  // Flags are the family's declared params — for churn, the same surface
+  // the churn scenario's `trace` param and the serve solver's --trace
+  // option share — plus --out/--family. A typo'd flag must be an error,
+  // not a silently different trace.
   {
-    std::vector<std::string> known = {"out"};
-    for (const gen::EventParamSpec& spec : gen::event_trace_params())
-      known.emplace_back(spec.key);
+    std::vector<std::string> known = {"out", "family"};
+    for (const workload::WorkloadParam& param : wmodel.info().params)
+      known.emplace_back(param.key);
     for (const auto& [key, value] : args.options)
       if (std::find(known.begin(), known.end(), key) == known.end())
         throw std::runtime_error("gen-events does not take --" + key +
-                                 " (see 'vdist_cli help')");
+                                 " under --family " + family +
+                                 " (see 'vdist_cli scenarios')");
   }
   const model::Instance inst = io::load_instance_file(args.file);
-  gen::EventTraceConfig cfg;
+  std::map<std::string, std::string> overrides;
   for (const auto& [key, value] : args.options)
-    if (key != "out") gen::set_event_trace_param(cfg, key, value);
+    if (key != "out" && key != "family") overrides[key] = value;
+  const workload::Params params = registry.resolve(family, overrides);
   const std::vector<model::InstanceEvent> trace =
-      gen::make_event_trace(inst, cfg);
-  std::cerr << "gen-events: " << gen::event_trace_param_line(cfg) << "\n";
+      wmodel.generate(inst, params);
+  // The reproduction handle: every declared key at its resolved value.
+  std::cerr << "gen-events: " << workload::workload_param_line(wmodel, params)
+            << "\n";
   const std::string out = opt(args, "out", "");
   if (out.empty()) {
     io::save_events(std::cout, trace);
@@ -430,14 +464,15 @@ int cmd_gen_events(const Args& args) {
 // within --bound; a violation exits 4.
 int cmd_serve(const Args& args) {
   // Flags are ServeConfig's declared keys — minus the registry-only
-  // trace-derivation knobs (events here names the event FILE; trace is
-  // meaningless when one is given) — plus check/json.
+  // trace-derivation knobs (events here names the event FILE; trace and
+  // family are meaningless when one is given) — plus check/json.
   {
     std::vector<std::string> known = {"events", "check", "json"};
     for (const engine::ServeOptionSpec& spec :
          engine::ServeConfig::declared()) {
       const std::string key = spec.key;
-      if (key != "events" && key != "trace") known.push_back(key);
+      if (key != "events" && key != "trace" && key != "family")
+        known.push_back(key);
     }
     for (const auto& [key, value] : args.options)
       if (std::find(known.begin(), known.end(), key) == known.end())
@@ -553,6 +588,126 @@ int cmd_serve(const Args& args) {
             << " repairs=" << counters.local_repairs
             << " resolves=" << counters.full_resolves << "\n";
   return parity_failed ? 4 : 0;
+}
+
+// Online-vs-offline competitive-ratio measurement (engine/competitive.h):
+// replays a trace through a serving backend and solves the offline
+// optimum on every checkpoint prefix's materialized snapshot. --min-ratio
+// gates the worst per-prefix ratio (exit 5 on violation) — the CI hook
+// for "the online policies stay within their empirical guarantees on the
+// committed adversarial traces".
+int cmd_compete(const Args& args) {
+  // Flags are ServeConfig's declared backend keys plus the harness's own
+  // surface. The trace comes from --events FILE, or is derived
+  // deterministically from --family/--trace/--seed exactly as the serve
+  // solver does it.
+  {
+    std::vector<std::string> known = {"events", "family", "trace",  "seed",
+                                      "every",  "offline", "min-ratio",
+                                      "csv",    "json"};
+    for (const engine::ServeOptionSpec& spec :
+         engine::ServeConfig::declared()) {
+      const std::string key = spec.key;
+      if (key != "events" && key != "trace" && key != "family")
+        known.push_back(key);
+    }
+    for (const auto& [key, value] : args.options)
+      if (std::find(known.begin(), known.end(), key) == known.end())
+        throw std::runtime_error("compete does not take --" + key +
+                                 " (see 'vdist_cli help')");
+  }
+  // Parse the gate up front: a partial parse ("0.9x") must be an error,
+  // not a silently different gate.
+  double min_ratio = 0.0;
+  {
+    const std::string raw = opt(args, "min-ratio", "0");
+    std::size_t used = 0;
+    try {
+      min_ratio = std::stod(raw, &used);
+    } catch (const std::exception&) {
+      used = std::string::npos;
+    }
+    if (used != raw.size() || !(min_ratio >= 0.0))
+      throw std::runtime_error("compete --min-ratio expects a non-negative "
+                               "number, got '" + raw + "'");
+  }
+
+  const model::Instance inst = io::load_instance_file(args.file);
+  const std::string events_path = opt(args, "events", "");
+  const std::string family = opt(args, "family", "churn");
+  std::vector<model::InstanceEvent> trace;
+  if (!events_path.empty()) {
+    if (args.options.count("family") || args.options.count("trace") ||
+        args.options.count("seed"))
+      throw std::runtime_error(
+          "compete takes either --events FILE or --family/--trace/--seed, "
+          "not both");
+    trace = io::load_events_file(events_path);
+  } else {
+    // The same derivation path the serve solver's family/trace options
+    // take, so a sweep cell and a compete run on equal flags replay the
+    // identical trace.
+    std::map<std::string, std::string> wparams;
+    wparams["seed"] = std::to_string(opt_u(args, "seed", 1));
+    workload::apply_workload_overrides(wparams, opt(args, "trace", ""));
+    trace = workload::WorkloadRegistry::global().generate(family, inst,
+                                                          wparams);
+  }
+
+  engine::SolveOptions raw;
+  for (const auto& [key, value] : args.options)
+    if (key != "events" && key != "family" && key != "trace" &&
+        key != "seed" && key != "every" && key != "offline" &&
+        key != "min-ratio" && key != "csv" && key != "json")
+      raw.set(key, value);
+  engine::CompetitiveOptions opts;
+  opts.serve = engine::ServeConfig::from_options(raw);
+  opts.every = opt_u(args, "every", 0);
+  opts.offline = opt(args, "offline", "");
+  const engine::CompetitiveReport report =
+      engine::run_competitive(inst, trace, opts);
+
+  const std::string csv_path = opt(args, "csv", "");
+  const std::string json_path = opt(args, "json", "");
+  const auto emit = [&](const std::string& path, auto writer,
+                        const char* what) {
+    if (path == "-") {
+      writer(std::cout);
+    } else {
+      std::ofstream os(path);
+      if (!os) throw std::runtime_error("cannot open " + path);
+      writer(os);
+      std::cerr << "wrote " << what << " " << path << "\n";
+    }
+  };
+  if (!csv_path.empty())
+    emit(csv_path,
+         [&](std::ostream& os) { engine::write_competitive_csv(os, report); },
+         "csv");
+  if (!json_path.empty())
+    emit(json_path,
+         [&](std::ostream& os) { engine::write_competitive_json(os, report); },
+         "json");
+  if (csv_path != "-" && json_path != "-")
+    engine::competitive_table(report).print_aligned(
+        std::cout, "compete " + report.policy + " vs offline " +
+                       report.offline_algorithm);
+  std::cerr << "compete: policy=" << report.policy
+            << " offline=" << report.offline_algorithm
+            << " shards=" << report.shards
+            << " events=" << report.counters.events
+            << " checkpoints=" << report.checkpoints.size()
+            << " min_ratio=" << util::format_double(report.min_ratio, 6)
+            << " mean_ratio=" << util::format_double(report.mean_ratio, 6)
+            << " final_ratio=" << util::format_double(report.final_ratio, 6)
+            << "\n";
+  if (min_ratio > 0.0 && report.min_ratio < min_ratio) {
+    std::cerr << "compete: min ratio "
+              << util::format_double(report.min_ratio, 9) << " violates gate "
+              << util::format_double(min_ratio, 9) << "\n";
+    return 5;
+  }
+  return 0;
 }
 
 int cmd_perf(const Args& args) {
@@ -709,8 +864,7 @@ int cmd_help(std::ostream& os) {
       "vdist_cli — Video Distribution Under Multiple Constraints\n\n"
       "  vdist_cli gen --kind SCENARIO [scenario params] [--seed S]\n"
       "            [--out FILE]\n"
-      "  vdist_cli gen-events FILE [--events N] [--seed S] [--w-* W]\n"
-      "            [--cap-scale-min/max X] [--utility-scale-min/max X]\n"
+      "  vdist_cli gen-events FILE [--family NAME] [family params]\n"
       "            [--out FILE]\n"
       "  vdist_cli scenarios\n"
       "  vdist_cli algos\n"
@@ -722,6 +876,10 @@ int cmd_help(std::ostream& os) {
       "            [--refresh N] [--mode M] [--select S] [--mu X]\n"
       "            [--guard 0|1] [--shards N] [--queue N] [--check N]\n"
       "            [--json FILE|-]\n"
+      "  vdist_cli compete FILE (--events EVENTS_FILE |\n"
+      "            [--family NAME] [--trace k=v,...] [--seed S])\n"
+      "            [serve backend flags] [--every N] [--offline ALGO]\n"
+      "            [--min-ratio X] [--csv FILE|-] [--json FILE|-]\n"
       "  vdist_cli sweep --plan FILE | --scenario NAME [--set k=v,...]\n"
       "            [--axis k=v1,v2[;k2=...]] [--algos a,b,c]\n"
       "            [--algo-axis algo:k=v1,v2[;...]] [--replicates N]\n"
@@ -752,11 +910,13 @@ int cmd_help(std::ostream& os) {
       "so the merged CSV/JSON is byte-identical across runs and\n"
       "executors; --list-cells 1 prints each cell's cache key and status\n"
       "without solving; --shutdown-workers 1 tells surviving workers to\n"
-      "exit afterwards. 'gen-events' draws a deterministic churn\n"
-      "trace (joins, leaves, stream add/remove, capacity and utility\n"
-      "moves) over an instance; its --w-EVENT weights and scale ranges\n"
-      "are the declared params of gen/events.h (shared verbatim with the\n"
-      "churn scenario's and serve solver's 'trace' option). 'serve'\n"
+      "exit afterwards. 'gen-events' draws a deterministic event trace\n"
+      "(joins, leaves, stream add/remove, capacity and utility moves)\n"
+      "over an instance; --family selects a workload-registry adversary\n"
+      "(churn, zipf-drift, flash-crowd, diurnal, hetero-cap — 'vdist_cli\n"
+      "scenarios' lists each family's declared params, shared verbatim\n"
+      "with the corresponding scenario's and the serve solver's 'trace'\n"
+      "option). 'serve'\n"
       "replays such a trace through the ServingBackend API\n"
       "(engine/serving.h) under one of three repair policies and emits\n"
       "objective-over-time JSON; --shards N (> 1) serves through the\n"
@@ -765,7 +925,14 @@ int cmd_help(std::ostream& os) {
       "--policy resolve. With --check N the backend is compared against\n"
       "a from-scratch solve every N events (resolve must match\n"
       "bit-exactly, repair must stay within --bound; exit 4 on\n"
-      "violation). 'perf' benchmarks the selection-kernel\n"
+      "violation). 'compete' replays a trace (from --events FILE, or\n"
+      "derived via --family/--trace/--seed) through the same backend and\n"
+      "solves the OFFLINE optimum on every --every N checkpoint prefix's\n"
+      "materialized snapshot, reporting per-prefix online/offline/ratio\n"
+      "rows plus min/mean/final aggregates; --offline picks the reference\n"
+      "algorithm (default: the mode-matched greedy, under which resolve's\n"
+      "ratio is 1.0 bit-exactly), --min-ratio X gates the worst prefix\n"
+      "(exit 5 on violation). 'perf' benchmarks the selection-kernel\n"
       "strategies (delta/lazy/naive) on scaling registered scenarios and\n"
       "writes BENCH_perf.json with build provenance (exit 3 when the\n"
       "objectives diverge, the largest case's delta-vs-naive speedup\n"
@@ -791,6 +958,7 @@ int main(int argc, char** argv) {
     if (args.command == "algos") return cmd_algos();
     if (args.command == "solve") return cmd_solve(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "compete") return cmd_compete(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "worker") return cmd_worker(args);
     if (args.command == "perf") return cmd_perf(args);
